@@ -1,0 +1,927 @@
+(* The reproduction harness: one section per experiment of DESIGN.md
+   (E1..E23), each regenerating the series/rows behind one quantitative
+   claim of the paper, followed by Bechamel wall-clock benchmarks of the
+   key algorithms (one Test.make per timed table).
+
+   Run with: dune exec bench/main.exe            (all experiments)
+             dune exec bench/main.exe -- e7 e11  (a selection)          *)
+
+open Ucfg_word
+open Ucfg_lang
+open Ucfg_cfg
+open Ucfg_core
+module Bignum = Ucfg_util.Bignum
+module Rng = Ucfg_util.Rng
+
+let yes b = if b then "yes" else "NO"
+
+(* ------------------------------------------------------------------ E1 *)
+
+let e1_cfg_upper () =
+  Report.print_table
+    ~title:
+      "E1 (Thm 1.1 / Appendix A): CFG for L_n of size Θ(log n) — sizes and \
+       exactness"
+    ~headers:[ "n"; "size"; "size/log2(n)"; "language = L_n" ]
+    (List.map
+       (fun n ->
+          let g = Constructions.log_cfg n in
+          let checked =
+            if n <= 9 then
+              yes (Lang.equal (Ln.language n) (Analysis.language_exn g))
+            else "-"
+          in
+          let l = max 1 (Ucfg_util.Prelude.log2_ceil n) in
+          [
+            string_of_int n;
+            string_of_int (Grammar.size g);
+            Printf.sprintf "%.1f" (float_of_int (Grammar.size g) /. float_of_int l);
+            checked;
+          ])
+       [ 2; 3; 4; 5; 6; 7; 8; 9; 16; 32; 64; 100; 256; 1000; 4096 ])
+
+(* ------------------------------------------------------------------ E2 *)
+
+let e2_example3 () =
+  Report.print_table
+    ~title:
+      "E2 (Example 3): the KMN grammar G_t accepts L_{2^t+1}, size Θ(t), \
+       ambiguous"
+    ~headers:[ "t"; "n = 2^t+1"; "size"; "exact"; "ambiguous" ]
+    (List.map
+       (fun t ->
+          let g = Constructions.example3 t in
+          let n = (1 lsl t) + 1 in
+          let exact =
+            if t <= 2 then
+              yes (Lang.equal (Ln.language n) (Analysis.language_exn g))
+            else "-"
+          in
+          let amb =
+            if t <= 2 then yes (not (Ambiguity.is_unambiguous g)) else "-"
+          in
+          [ string_of_int t; string_of_int n; string_of_int (Grammar.size g);
+            exact; amb ])
+       (Ucfg_util.Prelude.range_incl 0 10))
+
+(* ------------------------------------------------------------------ E3 *)
+
+let e3_nfa () =
+  Report.print_table
+    ~title:
+      "E3 (Thm 1.2, corrected): NFAs for L_n — our exact NFA is Θ(n²), the \
+       certified fooling bound is Ω(n²); the paper's Θ(n) automaton exists \
+       for the unbounded pattern only.  Minimal DFAs are exponential."
+    ~headers:
+      [ "n"; "NFA states"; "NFA trans"; "fooling lb"; "pattern states";
+        "min DFA"; "exact" ]
+    (List.map
+       (fun n ->
+          let nfa = Ucfg_automata.Ln_nfa.build n in
+          let dfa =
+            if n <= 5 then
+              string_of_int
+                (Ucfg_automata.Dfa.state_count
+                   (Ucfg_automata.Determinize.minimal_dfa nfa))
+            else "-"
+          in
+          let exact =
+            if n <= 6 then
+              yes
+                (Lang.equal (Ln.language n)
+                   (Ucfg_automata.Nfa.language nfa ~max_len:(2 * n)))
+            else "-"
+          in
+          [
+            string_of_int n;
+            string_of_int (Ucfg_automata.Nfa.state_count nfa);
+            string_of_int (Ucfg_automata.Nfa.transition_count nfa);
+            string_of_int (Ucfg_automata.Ln_nfa.state_lower_bound n);
+            string_of_int
+              (Ucfg_automata.Nfa.state_count (Ucfg_automata.Ln_nfa.pattern n));
+            dfa;
+            exact;
+          ])
+       [ 1; 2; 3; 4; 5; 6; 8; 12; 16; 24; 32; 48; 64 ])
+
+(* ------------------------------------------------------------------ E4 *)
+
+let e4_ucfg_upper () =
+  Report.print_table
+    ~title:
+      "E4 (Example 4, corrected pair enumeration): unambiguous CFG for L_n — \
+       size grows 2^Θ(n)"
+    ~headers:[ "n"; "size"; "rules"; "exact"; "unambiguous" ]
+    (List.map
+       (fun n ->
+          let g = Constructions.example4 n in
+          let exact =
+            if n <= 6 then
+              yes (Lang.equal (Ln.language n) (Analysis.language_exn g))
+            else "-"
+          in
+          let unam = if n <= 6 then yes (Ambiguity.is_unambiguous g) else "-" in
+          [
+            string_of_int n;
+            string_of_int (Grammar.size g);
+            string_of_int (Grammar.rule_count g);
+            exact;
+            unam;
+          ])
+       (Ucfg_util.Prelude.range_incl 1 13));
+  Report.print_table
+    ~title:
+      "E4b (the finding, executable): the paper-literal Example 4 \
+       under-generates — missing words per n"
+    ~headers:[ "n"; "|L_n|"; "literal generates"; "missing" ]
+    (List.map
+       (fun n ->
+          let lit =
+            Lang.cardinal
+              (Analysis.language_exn (Constructions.example4_literal n))
+          in
+          let full = Lang.cardinal (Ln.language n) in
+          [
+            string_of_int n; string_of_int full; string_of_int lit;
+            string_of_int (full - lit);
+          ])
+       [ 1; 2; 3; 4; 5 ])
+
+(* ------------------------------------------------------------------ E5 *)
+
+let e5_lemma18 () =
+  let enum_counts m =
+    let blocks = Ucfg_disc.Blocks.create (4 * m) in
+    let n = 4 * m in
+    Seq.fold_left
+      (fun (a, b, bnl, adv) mask ->
+         let in_ln = Ucfg_rect.Setview.in_ln ~n mask in
+         if Ucfg_disc.Blocks.in_a blocks mask then
+           (a + 1, b, bnl, if in_ln then adv + 1 else adv)
+         else
+           ( a, b + 1, (if in_ln then bnl else bnl + 1),
+             if in_ln then adv - 1 else adv ))
+      (0, 0, 0, 0)
+      (Ucfg_disc.Blocks.family blocks)
+  in
+  Report.print_table
+    ~title:
+      "E5 (Lemma 18): |𝓛| = 2^4m, |B\\L| = 12^m, |B|-|A| = 2^3m, advantage \
+       = 12^m - 2^3m; enumerated for m <= 3"
+    ~headers:
+      [ "m"; "|L| formula"; "|B\\Ln| formula"; "enum ok"; "advantage";
+        "> 2^(7m/2)" ]
+    (List.map
+       (fun m ->
+          let enum_ok =
+            if m <= 3 then begin
+              let a, b, bnl, adv = enum_counts m in
+              yes
+                (Bignum.equal (Ucfg_disc.Counts.a_size ~m) (Bignum.of_int a)
+                 && Bignum.equal (Ucfg_disc.Counts.b_size ~m) (Bignum.of_int b)
+                 && Bignum.equal (Ucfg_disc.Counts.b_minus_ln ~m)
+                      (Bignum.of_int bnl)
+                 && Bignum.equal (Ucfg_disc.Counts.advantage ~m)
+                      (Bignum.of_int adv))
+            end
+            else "-"
+          in
+          [
+            string_of_int m;
+            Bignum.to_string (Ucfg_disc.Counts.family_size ~m);
+            Bignum.to_string (Ucfg_disc.Counts.b_minus_ln ~m);
+            enum_ok;
+            Bignum.to_string (Ucfg_disc.Counts.advantage ~m);
+            (if Ucfg_disc.Counts.advantage_exceeds_threshold ~m then "yes"
+             else "no");
+          ])
+       [ 1; 2; 3; 4; 5; 8; 16; 32 ]);
+  Printf.printf "threshold first holds at m = %d (the paper's 'n sufficiently big')\n\n"
+    (Ucfg_disc.Counts.smallest_threshold_m ())
+
+(* ------------------------------------------------------------------ E6 *)
+
+let e6_discrepancy () =
+  let rng = Rng.create 20260706 in
+  Report.print_table
+    ~title:
+      "E6 (Lemma 19 / Cor 20): [1,n]-rectangle discrepancy <= 2^3m; the \
+       full-family rectangle meets the bound exactly"
+    ~headers:[ "m"; "bound 2^3m"; "tight example |d|"; "max over random" ]
+    (List.map
+       (fun m ->
+          let blocks = Ucfg_disc.Blocks.create (4 * m) in
+          let tight =
+            abs
+              (Ucfg_disc.Discrepancy.of_rectangle blocks
+                 (Ucfg_disc.Discrepancy.tight_example blocks))
+          in
+          let partition = Ucfg_rect.Partition.make ~n:(4 * m) 1 (4 * m) in
+          let rand =
+            Ucfg_disc.Discrepancy.max_over_random blocks ~rng ~samples:30
+              ~partition
+          in
+          [
+            string_of_int m;
+            Bignum.to_string (Ucfg_disc.Discrepancy.lemma19_bound ~m);
+            string_of_int tight;
+            string_of_int rand;
+          ])
+       [ 1; 2; 3 ]);
+  (* Lemma 23 over every neat balanced ordered partition at m = 2 *)
+  let blocks = Ucfg_disc.Blocks.create 8 in
+  let worst = ref 0 in
+  List.iter
+    (fun p ->
+       if Ucfg_rect.Partition.is_neat p then begin
+         let d =
+           Ucfg_disc.Discrepancy.max_over_random blocks ~rng ~samples:20
+             ~partition:p
+         in
+         if d > !worst then worst := d
+       end)
+    (Ucfg_rect.Partition.all_balanced ~n:8);
+  Printf.printf
+    "E6b (Lemma 23): worst random discrepancy over all neat balanced ordered \
+     partitions at m=2: %d, within 2^(10m/3) ≈ %.0f: %s\n\n"
+    !worst
+    (Float.pow 2. (20. /. 3.))
+    (yes (Ucfg_disc.Discrepancy.within_lemma23_bound ~m:2 !worst))
+
+(* ------------------------------------------------------------------ E7 *)
+
+let e7_separation () =
+  let reports = List.map Separation.run [ 1; 2; 3; 4; 5; 6; 8; 10; 12 ] in
+  Report.print_table
+    ~title:
+      "E7 (Theorem 1, the headline separation): CFG Θ(log n) vs NFA poly vs \
+       uCFG 2^Ω(n)"
+    ~headers:Separation.headers (Separation.rows reports);
+  Report.print_table
+    ~title:"E7b: asymptotics of the certified uCFG lower bound (Theorem 12)"
+    ~headers:[ "n"; "cover lb"; "uCFG size lb"; "log2(lb)"; "CFG size" ]
+    (List.map
+       (fun n ->
+          [
+            string_of_int n;
+            Bignum.to_string (Ucfg_disc.Bound.cover_lower_bound n);
+            Bignum.to_string (Ucfg_disc.Bound.ucfg_size_lower_bound n);
+            Printf.sprintf "%.1f" (Ucfg_disc.Bound.log2_ucfg_bound n);
+            string_of_int (Grammar.size (Constructions.log_cfg n));
+          ])
+       [ 100; 200; 400; 800; 1600; 3200 ]);
+  Printf.printf
+    "first n with a nontrivial (>= 2) certified uCFG bound: %d\n\n"
+    (Ucfg_disc.Bound.first_nontrivial_n ())
+
+(* ------------------------------------------------------------------ E8 *)
+
+let e8_counting () =
+  Report.print_table
+    ~title:
+      "E8 (counting): |L_n| via the poly-time uCFG DP vs brute-force \
+       enumeration vs the 4^n - 3^n formula"
+    ~headers:[ "n"; "uCFG DP"; "enumeration"; "formula"; "agree" ]
+    (List.map
+       (fun n ->
+          let dp =
+            Count.words_unambiguous (Cnf.of_grammar (Constructions.example4 n))
+              (2 * n)
+          in
+          let enum = Count.words_by_enumeration (Constructions.log_cfg n) in
+          let formula = Ln.cardinal n in
+          [
+            string_of_int n;
+            Bignum.to_string dp;
+            Bignum.to_string enum;
+            Bignum.to_string formula;
+            yes (Bignum.equal dp formula && Bignum.equal enum formula);
+          ])
+       [ 1; 2; 3; 4; 5; 6; 7 ]);
+  (* the DP scales far beyond enumeration *)
+  Report.print_table ~title:"E8b: the DP keeps going where enumeration cannot"
+    ~headers:[ "n"; "uCFG DP count"; "formula"; "agree" ]
+    (List.map
+       (fun n ->
+          let dp =
+            Count.words_unambiguous (Cnf.of_grammar (Constructions.example4 n))
+              (2 * n)
+          in
+          [
+            string_of_int n; Bignum.to_string dp;
+            Bignum.to_string (Ln.cardinal n);
+            yes (Bignum.equal dp (Ln.cardinal n));
+          ])
+       [ 8; 9; 10; 11 ])
+
+(* ------------------------------------------------------------------ E9 *)
+
+let e9_cnf () =
+  let grammars =
+    [
+      ("log_cfg 4", Constructions.log_cfg 4);
+      ("log_cfg 16", Constructions.log_cfg 16);
+      ("log_cfg 100", Constructions.log_cfg 100);
+      ("example3 3", Constructions.example3 3);
+      ("example3 6", Constructions.example3 6);
+      ("example4 4", Constructions.example4 4);
+      ("example4 6", Constructions.example4 6);
+      ("csv 3x2", Csv.grammar { Csv.columns = 3; width = 2 });
+    ]
+  in
+  Report.print_table
+    ~title:"E9 (Section 2): CNF conversion |G'| <= |G|² (plus O(1) start slack)"
+    ~headers:[ "grammar"; "|G|"; "|CNF(G)|"; "ratio"; "within |G|²" ]
+    (List.map
+       (fun (name, g) ->
+          let s = Grammar.size g in
+          let s' = Grammar.size (Cnf.of_grammar g) in
+          [
+            name;
+            string_of_int s;
+            string_of_int s';
+            Printf.sprintf "%.2f" (float_of_int s' /. float_of_int s);
+            yes (s' <= (s * s) + 4);
+          ])
+       grammars)
+
+(* ----------------------------------------------------------------- E10 *)
+
+let e10_extract () =
+  let cases =
+    [
+      ("log_cfg 3", Constructions.log_cfg 3, false);
+      ("log_cfg 4", Constructions.log_cfg 4, false);
+      ("log_cfg 5", Constructions.log_cfg 5, false);
+      ("log_cfg 6", Constructions.log_cfg 6, false);
+      ("example3 1", Constructions.example3 1, false);
+      ("example4 2", Constructions.example4 2, true);
+      ("example4 3", Constructions.example4 3, true);
+      ("example4 4", Constructions.example4 4, true);
+      ("trivial L_3",
+       Constructions.of_language Alphabet.binary (Ln.language 3), true);
+      ("sigma^6", Constructions.sigma_chain Alphabet.binary 6, true);
+    ]
+  in
+  Report.print_table
+    ~title:
+      "E10 (Proposition 7): balanced rectangle covers extracted from \
+       grammars; <= N·|G| many; disjoint iff the grammar is unambiguous"
+    ~headers:
+      [ "grammar"; "N"; "|G| cnf"; "rects"; "bound"; "cover"; "disjoint";
+        "balanced" ]
+    (List.map
+       (fun (name, g, expect_disjoint) ->
+          let res = Ucfg_rect.Extract.run g in
+          let v, shape = Ucfg_rect.Extract.verify g res in
+          let disj =
+            if expect_disjoint then yes v.Ucfg_rect.Cover.is_disjoint
+            else if v.Ucfg_rect.Cover.is_disjoint then "yes" else "no (amb.)"
+          in
+          [
+            name;
+            string_of_int res.Ucfg_rect.Extract.word_length;
+            string_of_int res.Ucfg_rect.Extract.cnf_size;
+            string_of_int (List.length res.Ucfg_rect.Extract.rectangles);
+            string_of_int res.Ucfg_rect.Extract.bound;
+            yes v.Ucfg_rect.Cover.is_cover;
+            disj;
+            yes shape;
+          ])
+       cases)
+
+(* ----------------------------------------------------------------- E11 *)
+
+let e11_rank () =
+  Report.print_table
+    ~title:
+      "E11 (Theorem 17 via the classical route): rank of the midpoint L_n \
+       matrix = 2^n - 1, so disjoint [1,n]-covers need that many rectangles; \
+       fooling sets give the (weaker) bound n for arbitrary covers"
+    ~headers:[ "n"; "matrix"; "rank GF(2)"; "rank mod p"; "2^n - 1"; "fooling" ]
+    (List.map
+       (fun n ->
+          let m =
+            Ucfg_comm.Matrix.of_language Alphabet.binary (Ln.language n)
+              ~split:n
+          in
+          [
+            string_of_int n;
+            Printf.sprintf "%dx%d" (Ucfg_comm.Matrix.rows m)
+              (Ucfg_comm.Matrix.cols m);
+            string_of_int (Ucfg_comm.Rank.gf2 m);
+            string_of_int (Ucfg_comm.Rank.mod_p m);
+            string_of_int ((1 lsl n) - 1);
+            string_of_int (List.length (Ucfg_comm.Fooling.greedy m));
+          ])
+       [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+
+(* ----------------------------------------------------------------- E12 *)
+
+let e12_fr () =
+  Report.print_table
+    ~title:
+      "E12a (KMN isomorphism): CFG ↔ d-representation, language-exact, \
+       size within a constant factor, unambiguity = determinism"
+    ~headers:[ "grammar"; "|G|"; "drep edges"; "|G back|"; "exact"; "det=unamb" ]
+    (List.map
+       (fun (name, g) ->
+          let g = Trim.trim g in
+          let d = Ucfg_fr.Iso.drep_of_cfg g in
+          let back = Ucfg_fr.Iso.cfg_of_drep d in
+          let exact =
+            yes
+              (Lang.equal (Analysis.language_exn g) (Ucfg_fr.Drep.denotation d)
+               && Lang.equal (Analysis.language_exn g)
+                    (Analysis.language_exn back))
+          in
+          let det =
+            yes
+              (Ucfg_fr.Drep.is_deterministic d = Ambiguity.is_unambiguous g)
+          in
+          [
+            name;
+            string_of_int (Grammar.size g);
+            string_of_int (Ucfg_fr.Drep.size d);
+            string_of_int (Grammar.size back);
+            exact;
+            det;
+          ])
+       [
+         ("log_cfg 3", Constructions.log_cfg 3);
+         ("log_cfg 5", Constructions.log_cfg 5);
+         ("example3 1", Constructions.example3 1);
+         ("example4 3", Constructions.example4 3);
+         ("example4 4", Constructions.example4 4);
+       ]);
+  let rng = Rng.create 77 in
+  let hot = String.make 6 'a' in
+  Report.print_table
+    ~title:
+      "E12b (Olteanu–Závodný motivation): factorised join vs materialised, \
+       fully skewed keys"
+    ~headers:[ "|R|=|S|"; "join"; "materialised"; "factorised"; "exact" ]
+    (List.map
+       (fun size ->
+          let r =
+            Ucfg_fr.Join.random_relation rng ~width:6 ~size ~skew:1.0
+              ~join_side:`Second ~hot ()
+          in
+          let s =
+            Ucfg_fr.Join.random_relation rng ~width:6 ~size ~skew:1.0
+              ~join_side:`First ~hot ()
+          in
+          let tuples = Ucfg_fr.Join.join_tuples r s in
+          let d = Ucfg_fr.Join.factorize r s in
+          [
+            string_of_int size;
+            string_of_int (Lang.cardinal tuples);
+            string_of_int (Ucfg_fr.Join.materialized_size r s);
+            string_of_int (Ucfg_fr.Drep.size d);
+            yes (Lang.equal tuples (Ucfg_fr.Drep.denotation d));
+          ])
+       [ 4; 8; 16; 32; 64; 128 ])
+
+(* ----------------------------------------------------------------- E13 *)
+
+let e13_ground_truth () =
+  Report.print_table
+    ~title:"E13a: exhaustive ground truth for tiny L_n — minimal DFAs"
+    ~headers:[ "n"; "minimal DFA states" ]
+    (List.map
+       (fun n ->
+          [
+            string_of_int n;
+            string_of_int
+              (Search.minimal_dfa_states Alphabet.binary (Ln.language n));
+          ])
+       [ 1; 2; 3 ]);
+  let l1 = Search.minimal_cnf_size Alphabet.binary (Ln.language 1) in
+  let l1u =
+    Search.minimal_cnf_size ~unambiguous:true Alphabet.binary (Ln.language 1)
+  in
+  Printf.printf
+    "E13b: minimal CNF grammar for L_1 = {aa}: size %s (unambiguous: %s); \
+     nodes explored: %d\n"
+    (match l1.Search.minimal_size with Some s -> string_of_int s | None -> "?")
+    (match l1u.Search.minimal_size with Some s -> string_of_int s | None -> "?")
+    l1.Search.nodes_explored;
+  (match Ucfg_comm.Cover_search.minimum_ln 2 with
+   | Ucfg_comm.Cover_search.Exact k ->
+     Printf.printf
+       "E13c: minimum disjoint cover of L_2 by balanced ordered rectangles: \
+        exactly %d (greedy finds %d)\n\n"
+       k
+       (List.length (Ucfg_rect.Cover.greedy_disjoint_cover (Ln.language 2) ~n:2))
+   | Ucfg_comm.Cover_search.Budget_exhausted lb ->
+     Printf.printf "E13c: search exhausted; lower bound %d\n\n" lb)
+
+(* ----------------------------------------------------------------- E14 *)
+
+let e14_neat () =
+  let rng = Rng.create 4242 in
+  let trials = 40 in
+  let n = 8 in
+  let max_pieces = ref 0 in
+  let all_ok = ref true in
+  for _ = 1 to trials do
+    (* a random balanced (not necessarily neat) partition and rectangle *)
+    let ps = Array.of_list (Ucfg_rect.Partition.all_balanced ~n) in
+    let p = ps.(Rng.int rng (Array.length ps)) in
+    let ins = Ucfg_rect.Partition.inside p
+    and out = Ucfg_rect.Partition.outside p in
+    let comps k part = List.init k (fun _ -> Rng.bits62 rng land part) in
+    let r = Ucfg_rect.Set_rectangle.make p ~outer:(comps 5 out) ~inner:(comps 5 ins) in
+    let pieces = Ucfg_rect.Set_rectangle.split_neat r in
+    if List.length pieces > !max_pieces then max_pieces := List.length pieces;
+    let module IS = Set.Make (Int) in
+    let union =
+      List.fold_left
+        (fun acc pc -> IS.union acc (IS.of_seq (Ucfg_rect.Set_rectangle.members pc)))
+        IS.empty pieces
+    in
+    let orig = IS.of_seq (Ucfg_rect.Set_rectangle.members r) in
+    if not (IS.equal union orig) then all_ok := false;
+    if not (List.for_all Ucfg_rect.Set_rectangle.is_neat pieces) then
+      all_ok := false
+  done;
+  Printf.printf
+    "E14 (Lemma 21): %d random balanced rectangles at n=%d neatened: max \
+     pieces %d (bound 256), all unions preserved and neat: %s\n\n"
+    trials n !max_pieces (yes !all_ok)
+
+(* ----------------------------------------------------------------- E15 *)
+
+let e15_bar_hillel () =
+  Report.print_table
+    ~title:
+      "E15 (ablation): rebuilding L_n by Bar–Hillel product, Σ^2n ∩ pattern \
+       NFA — an independent route, cross-checked against the paper's \
+       grammars"
+    ~headers:
+      [ "n"; "cube CNF"; "pattern states"; "product size"; "exact";
+        "ambiguous (runs)" ]
+    (List.map
+       (fun n ->
+          let cube = Constructions.sigma_chain Alphabet.binary (2 * n) in
+          let pat = Ucfg_automata.Ln_nfa.pattern n in
+          let g = Ucfg_automata.Bar_hillel.intersect cube pat in
+          let exact =
+            if n <= 5 then
+              yes (Lang.equal (Ln.language n) (Analysis.language_exn g))
+            else "-"
+          in
+          let amb =
+            (* as ambiguous as the NFA's runs: multiple matches => multiple
+               runs for n >= 2; unique run at n = 1 *)
+            if n <= 4 then
+              if Ambiguity.is_unambiguous g then "no" else "yes"
+            else "-"
+          in
+          [
+            string_of_int n;
+            string_of_int (Grammar.size (Cnf.of_grammar cube));
+            string_of_int (Ucfg_automata.Nfa.state_count pat);
+            string_of_int (Grammar.size g);
+            exact;
+            amb;
+          ])
+       [ 1; 2; 3; 4; 5; 6 ])
+
+(* ----------------------------------------------------------------- E16 *)
+
+let e16_direct_access () =
+  Report.print_table
+    ~title:
+      "E16 (unambiguity pays: direct access): counting-based nth/rank/sample \
+       on the Example 4 uCFG — no enumeration"
+    ~headers:[ "n"; "total"; "nth(total/2)"; "rank inverts"; "uniform sample" ]
+    (List.map
+       (fun n ->
+          let da =
+            Direct_access.create (Cnf.of_grammar (Constructions.example4 n))
+              ~max_len:(2 * n)
+          in
+          let total = Direct_access.total da in
+          let mid = fst (Bignum.divmod total Bignum.two) in
+          let w = Option.get (Direct_access.nth da mid) in
+          let inverts =
+            match Direct_access.rank da w with
+            | Some r -> yes (Bignum.equal r mid)
+            | None -> "NO"
+          in
+          let rng = Rng.create (42 + n) in
+          let sample = Option.get (Direct_access.sample da rng) in
+          [
+            string_of_int n; Bignum.to_string total; w; inverts;
+            sample;
+          ])
+       [ 2; 3; 4; 5; 6; 7; 8 ])
+
+(* ----------------------------------------------------------------- E17 *)
+
+let e17_slp () =
+  Report.print_table
+    ~title:
+      "E17 (related work, grammar-based compression): SLP sizes vs word \
+       lengths — random access without decompression"
+    ~headers:[ "word"; "length"; "SLP nodes"; "char_at spot-check" ]
+    (List.map
+       (fun (name, slp, probe, expect) ->
+          [
+            name;
+            Bignum.to_string (Slp.length slp);
+            string_of_int (Slp.size slp);
+            Printf.sprintf "w[%s]='%c' %s" (Bignum.to_string probe)
+              (Slp.char_at slp probe)
+              (yes (Char.equal (Slp.char_at slp probe) expect));
+          ])
+       [
+         ("(ab)^2^19", Slp.power (Slp.of_word "ab") (1 lsl 19),
+          Bignum.of_int 999_999, 'b');
+         ("fibonacci 60", Slp.fibonacci 60, Bignum.two_pow 40, 'a');
+         ("a^10^6", Slp.power (Slp.of_word "a") 1_000_000,
+          Bignum.of_int 123_456, 'a');
+         ("of_word (ab)^64",
+          Slp.of_word (String.concat "" (List.init 64 (fun _ -> "ab"))),
+          Bignum.of_int 100, 'a');
+       ])
+
+(* ----------------------------------------------------------------- E18 *)
+
+let e18_circuits () =
+  Report.print_table
+    ~title:
+      "E18 (knowledge compilation): Boolean circuits for INT_n — \
+       determinism is O(n²) for the FUNCTION; the paper's 2^Ω(n) hardness \
+       lives in the word structure, not the Boolean structure"
+    ~headers:
+      [ "n"; "DNNF size"; "d-DNNF size"; "det?"; "model count"; "= 4^n-3^n" ]
+    (List.map
+       (fun n ->
+          let naive = Ucfg_kc.Ln_circuit.naive n in
+          let det = Ucfg_kc.Ln_circuit.deterministic n in
+          let mc = Ucfg_kc.Circuit.model_count det in
+          let det_flag =
+            if n <= 8 then yes (Ucfg_kc.Circuit.is_deterministic det) else "-"
+          in
+          [
+            string_of_int n;
+            string_of_int (Ucfg_kc.Circuit.size naive);
+            string_of_int (Ucfg_kc.Circuit.size det);
+            det_flag;
+            Bignum.to_string mc;
+            yes (Bignum.equal mc (Ln.cardinal n));
+          ])
+       [ 1; 2; 4; 8; 16; 32; 64 ])
+
+(* ----------------------------------------------------------------- E19 *)
+
+let e19_profiles () =
+  let show name g =
+    let p = Ambiguity.profile g in
+    [
+      name;
+      string_of_int p.Ambiguity.word_total;
+      string_of_int p.Ambiguity.ambiguous_words;
+      Bignum.to_string p.Ambiguity.max_trees;
+      String.concat " "
+        (List.map (fun (k, v) -> Printf.sprintf "%s×%d" k v)
+           p.Ambiguity.histogram);
+    ]
+  in
+  Report.print_table
+    ~title:
+      "E19a (ambiguity degree): distribution of parse-tree counts per word \
+       — how non-disjoint the natural union is"
+    ~headers:[ "grammar"; "words"; "ambiguous"; "max trees"; "histogram" ]
+    [
+      show "example3 1 (L_3)" (Constructions.example3 1);
+      show "log_cfg 4 (L_4)" (Constructions.log_cfg 4);
+      show "log_cfg 5 (L_5)" (Constructions.log_cfg 5);
+      show "example4 4 (uCFG)" (Constructions.example4 4);
+    ];
+  Report.print_table
+    ~title:
+      "E19b (per-split rank profile of L_4): what each fixed partition \
+       certifies — the multi-partition bound must beat the weakest \
+       balanced split"
+    ~headers:[ "split"; "matrix"; "rank GF(2)"; "fooling" ]
+    (List.map
+       (fun r ->
+          [
+            string_of_int r.Ucfg_comm.Splits.split;
+            Printf.sprintf "%dx%d" r.Ucfg_comm.Splits.rows
+              r.Ucfg_comm.Splits.cols;
+            string_of_int r.Ucfg_comm.Splits.rank_gf2;
+            string_of_int r.Ucfg_comm.Splits.fooling;
+          ])
+       (Ucfg_comm.Splits.profile Alphabet.binary (Ln.language 4)));
+  Printf.printf "minimum GF(2) rank over balanced splits of L_4: %d\n\n"
+    (Ucfg_comm.Splits.balanced_min_rank Alphabet.binary (Ln.language 4))
+
+(* ----------------------------------------------------------------- E20 *)
+
+let e20_ufa () =
+  Report.print_table
+    ~title:
+      "E20 (unambiguous automata): the same story one level down — NFAs \
+       for L_n are Θ(n²), UFAs need 2^n - 1 states (Schmidt's rank bound), \
+       and the deterministic witness matches up to a constant"
+    ~headers:[ "n"; "NFA states"; "UFA lower (2^n-1)"; "UFA built"; "unamb" ]
+    (List.map
+       (fun n ->
+          let ufa = Ucfg_automata.Ufa_ln.build n in
+          let unamb =
+            if n <= 5 then
+              yes (Ucfg_automata.Unambiguous.is_unambiguous ufa)
+            else "-"
+          in
+          [
+            string_of_int n;
+            string_of_int (Ucfg_automata.Nfa.state_count (Ucfg_automata.Ln_nfa.build n));
+            string_of_int (Ucfg_automata.Ufa_ln.state_lower_bound n);
+            string_of_int (Ucfg_automata.Nfa.state_count ufa);
+            unamb;
+          ])
+       [ 1; 2; 3; 4; 5; 6; 7 ])
+
+(* ----------------------------------------------------------------- E21 *)
+
+let e21_structured () =
+  Report.print_table
+    ~title:
+      "E21 (structured circuits, the [6] connection): over the X|Y vtree, \
+       deterministic structured circuits for INT_n decompose into exactly \
+       2^n - 1 disjoint rectangles (= the rank bound) and are forced \
+       exponential; the unstructured d-DNNF stays O(n²)"
+    ~headers:
+      [ "n"; "structured size"; "unstructured size"; "rects (2^n-1)";
+        "cover/disjoint" ]
+    (List.map
+       (fun n ->
+          let c = Ucfg_kc.Ln_circuit.structured n in
+          let verdict =
+            if n <= 5 then begin
+              let v =
+                Ucfg_kc.Structured.verify
+                  (Ucfg_kc.Ln_circuit.structured_vtree n)
+                  c
+              in
+              Printf.sprintf "%s/%s"
+                (if v.Ucfg_kc.Structured.is_cover then "yes" else "NO")
+                (if v.Ucfg_kc.Structured.is_disjoint then "yes" else "NO")
+            end
+            else "-"
+          in
+          [
+            string_of_int n;
+            string_of_int (Ucfg_kc.Circuit.size c);
+            string_of_int (Ucfg_kc.Circuit.size (Ucfg_kc.Ln_circuit.deterministic n));
+            string_of_int ((1 lsl n) - 1);
+            verdict;
+          ])
+       [ 1; 2; 3; 4; 5; 8; 10; 12 ])
+
+(* ----------------------------------------------------------------- E22 *)
+
+let e22_disambiguate () =
+  Report.print_table
+    ~title:
+      "E22 (the KMN upper-bound direction): CFG → canonical uCFG (minimal \
+       DFA route) — the measured face of the double-exponential optimality \
+       claim; Theorem 12 lower bound and Example 4 upper bound sandwich it"
+    ~headers:
+      [ "n"; "CFG (Θ(log n))"; "canonical uCFG"; "Example 4 uCFG"; "unamb" ]
+    (List.map
+       (fun n ->
+          let g = Constructions.log_cfg n in
+          let u = Ucfg_automata.Disambiguate.ucfg_of_grammar g in
+          let unamb =
+            if n <= 5 then yes (Ambiguity.is_unambiguous u) else "-"
+          in
+          [
+            string_of_int n;
+            string_of_int (Grammar.size g);
+            string_of_int (Grammar.size u);
+            string_of_int (Grammar.size (Constructions.example4 n));
+            unamb;
+          ])
+       [ 1; 2; 3; 4; 5; 6; 7 ])
+
+(* ----------------------------------------------------------------- E23 *)
+
+let e23_overlap_asymmetry () =
+  Report.print_table
+    ~title:
+      "E23 (the central asymmetry, at the matrix level): covering the L_n \
+       matrix with overlaps (bicliques / nondeterminism) is ~n; covering it \
+       disjointly (rank / unambiguity) is 2^n - 1"
+    ~headers:
+      [ "n"; "fooling lb"; "greedy bicliques"; "rank (disjoint lb)";
+        "witness columns" ]
+    (List.map
+       (fun n ->
+          let m =
+            Ucfg_comm.Matrix.of_language Alphabet.binary (Ln.language n)
+              ~split:n
+          in
+          let lower, upper = Ucfg_comm.Biclique.cover_number_bounds m in
+          [
+            string_of_int n;
+            string_of_int lower;
+            string_of_int upper;
+            string_of_int (Ucfg_comm.Rank.gf2 m);
+            string_of_int n;
+          ])
+       [ 2; 3; 4; 5; 6; 7 ])
+
+(* ------------------------------------------------------- timing section *)
+
+let timings () =
+  let open Bechamel in
+  let log6_cnf = Cnf.of_grammar (Constructions.log_cfg 6) in
+  let ex4_8_cnf = Cnf.of_grammar (Constructions.example4 8) in
+  let log7 = Constructions.log_cfg 7 in
+  let word12 = "aabbabaabbab" in
+  let blocks3 = Ucfg_disc.Blocks.create 12 in
+  let tight3 = Ucfg_disc.Discrepancy.tight_example blocks3 in
+  let matrix6 =
+    Ucfg_comm.Matrix.of_language Alphabet.binary (Ln.language 6) ~split:6
+  in
+  let log4 = Constructions.log_cfg 4 in
+  let tests =
+    [
+      Test.make ~name:"cyk-recognize (log_cfg 6, |w|=12)"
+        (Staged.stage (fun () -> ignore (Cyk.recognize log6_cnf word12)));
+      Test.make ~name:"count-dp uCFG n=8 (poly)"
+        (Staged.stage (fun () ->
+             ignore (Count.words_unambiguous ex4_8_cnf 16)));
+      Test.make ~name:"count-enumeration CFG n=7 (exp)"
+        (Staged.stage (fun () -> ignore (Count.words_by_enumeration log7)));
+      Test.make ~name:"extract rectangles (Prop 7, log_cfg 4)"
+        (Staged.stage (fun () -> ignore (Ucfg_rect.Extract.run log4)));
+      Test.make ~name:"rank GF(2) 64x64 (L_6 midpoint)"
+        (Staged.stage (fun () -> ignore (Ucfg_comm.Rank.gf2 matrix6)));
+      Test.make ~name:"discrepancy m=3 full-family rectangle"
+        (Staged.stage (fun () ->
+             ignore (Ucfg_disc.Discrepancy.of_rectangle blocks3 tight3)));
+      Test.make ~name:"nfa-accepts (L_16 NFA)"
+        (let nfa = Ucfg_automata.Ln_nfa.build 16 in
+         let w = String.init 32 (fun i -> if i mod 3 = 0 then 'a' else 'b') in
+         Staged.stage (fun () -> ignore (Ucfg_automata.Nfa.accepts nfa w)));
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 500) ()
+  in
+  let grouped = Test.make_grouped ~name:"ucfg" tests in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let results = Analyze.all ols instance raw in
+  Report.print_table ~title:"timings (Bechamel OLS estimate, ns per run)"
+    ~headers:[ "benchmark"; "ns/run" ]
+    (Hashtbl.fold
+       (fun name ols_result acc ->
+          let ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some [ est ] -> Printf.sprintf "%.0f" est
+            | _ -> "?"
+          in
+          [ name; ns ] :: acc)
+       results []
+     |> List.sort compare)
+
+(* ------------------------------------------------------------------ main *)
+
+let experiments =
+  [
+    ("e1", e1_cfg_upper); ("e2", e2_example3); ("e3", e3_nfa);
+    ("e4", e4_ucfg_upper); ("e5", e5_lemma18); ("e6", e6_discrepancy);
+    ("e7", e7_separation); ("e8", e8_counting); ("e9", e9_cnf);
+    ("e10", e10_extract); ("e11", e11_rank); ("e12", e12_fr);
+    ("e13", e13_ground_truth); ("e14", e14_neat);
+    ("e15", e15_bar_hillel); ("e16", e16_direct_access); ("e17", e17_slp);
+    ("e18", e18_circuits); ("e19", e19_profiles); ("e20", e20_ufa);
+    ("e21", e21_structured); ("e22", e22_disambiguate);
+    ("e23", e23_overlap_asymmetry);
+    ("timings", timings);
+  ]
+
+let () =
+  let selected =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+       match List.assoc_opt name experiments with
+       | Some f ->
+         Printf.printf "\n";
+         f ()
+       | None -> Printf.eprintf "unknown experiment %s\n" name)
+    selected

@@ -1,0 +1,312 @@
+(* Command line interface to the library: build the paper's grammars and
+   automata, check them, count, extract rectangle covers, and print the
+   certified bounds. *)
+
+open Cmdliner
+open Ucfg_lang
+open Ucfg_cfg
+open Ucfg_core
+module Bignum = Ucfg_util.Bignum
+
+let n_arg =
+  Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Language parameter n.")
+
+let kind_arg =
+  let kinds =
+    [ ("log", `Log); ("example3", `Example3); ("example4", `Example4);
+      ("trivial", `Trivial) ]
+  in
+  Arg.(
+    value
+    & opt (enum kinds) `Log
+    & info [ "kind" ] ~docv:"KIND"
+        ~doc:
+          "Grammar construction: $(b,log) (Appendix A), $(b,example3) (the \
+           KMN grammar, n interpreted as t), $(b,example4) (the unambiguous \
+           grammar), $(b,trivial) (one rule per word).")
+
+let build_grammar kind n =
+  match kind with
+  | `Log -> Constructions.log_cfg n
+  | `Example3 -> Constructions.example3 n
+  | `Example4 -> Constructions.example4 n
+  | `Trivial ->
+    Constructions.of_language Ucfg_word.Alphabet.binary (Ln.language n)
+
+(* --- separation ---------------------------------------------------------- *)
+
+let separation_cmd =
+  let run ns =
+    let reports = List.map Separation.run ns in
+    Report.print_table ~title:"Theorem 1 separation"
+      ~headers:Separation.headers (Separation.rows reports)
+  in
+  let ns_arg =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 3; 4; 5; 6; 8; 10; 12 ]
+      & info [ "ns" ] ~docv:"N,N,..." ~doc:"Values of n to report.")
+  in
+  Cmd.v (Cmd.info "separation" ~doc:"The Theorem 1 size table for L_n.")
+    Term.(const run $ ns_arg)
+
+(* --- grammar ------------------------------------------------------------- *)
+
+let grammar_cmd =
+  let run kind n print check from_file =
+    let g =
+      match from_file with
+      | Some path ->
+        let ic = open_in path in
+        let len = in_channel_length ic in
+        let text = really_input_string ic len in
+        close_in ic;
+        Grammar_io.parse Ucfg_word.Alphabet.binary text
+      | None -> build_grammar kind n
+    in
+    Printf.printf "size: %d\nnonterminals: %d\nrules: %d\n" (Grammar.size g)
+      (Grammar.nonterminal_count g) (Grammar.rule_count g);
+    if check then begin
+      (if from_file = None then begin
+         let expected =
+           match kind with
+           | `Example3 -> Ln.language ((1 lsl n) + 1)
+           | _ -> Ln.language n
+         in
+         let actual = Analysis.language_exn g in
+         Printf.printf "accepts L_n exactly: %b\n" (Lang.equal expected actual)
+       end);
+      Printf.printf "unambiguous: %b\n" (Ambiguity.is_unambiguous g)
+    end;
+    if print then print_endline (Grammar.to_string g)
+  in
+  let print_arg =
+    Arg.(value & flag & info [ "print" ] ~doc:"Print all rules.")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"Verify the language against brute force and decide ambiguity.")
+  in
+  let from_file_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "from-file" ] ~docv:"PATH"
+          ~doc:
+            "Load a grammar from a file (Grammar_io text format over the \
+             binary alphabet) instead of building a construction.")
+  in
+  Cmd.v
+    (Cmd.info "grammar"
+       ~doc:"Build one of the paper's grammars for L_n, or load one.")
+    Term.(const run $ kind_arg $ n_arg $ print_arg $ check_arg $ from_file_arg)
+
+(* --- count --------------------------------------------------------------- *)
+
+let count_cmd =
+  let run n meth =
+    match meth with
+    | `Dp ->
+      let g = Cnf.of_grammar (Constructions.example4 n) in
+      Printf.printf "|L_%d| = %s (uCFG dynamic program)\n" n
+        (Bignum.to_string (Count.words_unambiguous g (2 * n)))
+    | `Enum ->
+      let g = Constructions.log_cfg n in
+      Printf.printf "|L_%d| = %s (enumeration of the ambiguous CFG)\n" n
+        (Bignum.to_string (Count.words_by_enumeration g))
+    | `Formula ->
+      Printf.printf "|L_%d| = %s (4^n - 3^n)\n" n (Bignum.to_string (Ln.cardinal n))
+  in
+  let meth_arg =
+    Arg.(
+      value
+      & opt (enum [ ("dp", `Dp); ("enum", `Enum); ("formula", `Formula) ]) `Formula
+      & info [ "method" ] ~docv:"METHOD"
+          ~doc:"$(b,dp) (poly-time on the uCFG), $(b,enum) (brute force), \
+                $(b,formula).")
+  in
+  Cmd.v (Cmd.info "count" ~doc:"Count the words of L_n.")
+    Term.(const run $ n_arg $ meth_arg)
+
+(* --- rectangles ---------------------------------------------------------- *)
+
+let rectangles_cmd =
+  let run kind n =
+    let g = build_grammar kind n in
+    let res = Ucfg_rect.Extract.run g in
+    let v, shape_ok = Ucfg_rect.Extract.verify g res in
+    Printf.printf
+      "word length: %d\nCNF size: %d\nannotated size (Lemma 10): %d\n\
+       rectangles: %d (bound N·|G| = %d)\ncover verified: %b\ndisjoint: %b\n\
+       balanced and within bound: %b\n"
+      res.Ucfg_rect.Extract.word_length res.Ucfg_rect.Extract.cnf_size
+      res.Ucfg_rect.Extract.annotated_size
+      (List.length res.Ucfg_rect.Extract.rectangles)
+      res.Ucfg_rect.Extract.bound v.Ucfg_rect.Cover.is_cover
+      v.Ucfg_rect.Cover.is_disjoint shape_ok
+  in
+  Cmd.v
+    (Cmd.info "rectangles"
+       ~doc:"Run the Proposition 7 extraction on one of the grammars.")
+    Term.(const run $ kind_arg $ n_arg)
+
+(* --- bound --------------------------------------------------------------- *)
+
+let bound_cmd =
+  let run ns =
+    Report.print_table ~title:"Theorem 12 certified bounds"
+      ~headers:[ "n"; "cover lower bound"; "uCFG size lower bound"; "log2" ]
+      (List.map
+         (fun n ->
+            [
+              string_of_int n;
+              Bignum.to_string (Ucfg_disc.Bound.cover_lower_bound n);
+              Bignum.to_string (Ucfg_disc.Bound.ucfg_size_lower_bound n);
+              Printf.sprintf "%.1f" (Ucfg_disc.Bound.log2_ucfg_bound n);
+            ])
+         ns)
+  in
+  let ns_arg =
+    Arg.(
+      value
+      & opt (list int) [ 50; 100; 200; 400; 800 ]
+      & info [ "ns" ] ~docv:"N,N,..." ~doc:"Values of n.")
+  in
+  Cmd.v (Cmd.info "bound" ~doc:"Print the certified uCFG lower bounds.")
+    Term.(const run $ ns_arg)
+
+(* --- csv ----------------------------------------------------------------- *)
+
+let csv_cmd =
+  let run columns width =
+    let s = { Csv.columns; width } in
+    let g = Csv.grammar s in
+    Printf.printf "columns: %d, width: %d, word length: %d\n" columns width
+      (Csv.word_length s);
+    Printf.printf "ambiguous CFG size: %d\n" (Grammar.size g);
+    Printf.printf "uCFG lower bound (via the L_n reduction): %s\n"
+      (Bignum.to_string (Csv.ucfg_size_lower_bound s))
+  in
+  let columns_arg =
+    Arg.(value & opt int 4 & info [ "columns" ] ~docv:"K" ~doc:"Column count.")
+  in
+  let width_arg =
+    Arg.(value & opt int 2 & info [ "width" ] ~docv:"W" ~doc:"Column width.")
+  in
+  Cmd.v
+    (Cmd.info "csv" ~doc:"The CSV information-extraction application.")
+    Term.(const run $ columns_arg $ width_arg)
+
+(* --- access -------------------------------------------------------------- *)
+
+let access_cmd =
+  let run n index sample seed =
+    let da =
+      Direct_access.create (Cnf.of_grammar (Constructions.example4 n))
+        ~max_len:(2 * n)
+    in
+    Printf.printf "|L_%d| = %s\n" n (Bignum.to_string (Direct_access.total da));
+    (match index with
+     | Some i -> begin
+         match Direct_access.nth da (Bignum.of_int i) with
+         | Some w ->
+           Printf.printf "word #%d = %s" i w;
+           (match Direct_access.rank da w with
+            | Some r -> Printf.printf " (rank checks: %s)\n" (Bignum.to_string r)
+            | None -> print_newline ())
+         | None -> Printf.printf "index %d out of range\n" i
+       end
+     | None -> ());
+    if sample then begin
+      let rng = Ucfg_util.Rng.create seed in
+      match Direct_access.sample da rng with
+      | Some w -> Printf.printf "uniform sample: %s\n" w
+      | None -> Printf.printf "empty language\n"
+    end
+  in
+  let index_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "index" ] ~docv:"I" ~doc:"Return the I-th word of L_n.")
+  in
+  let sample_arg =
+    Arg.(value & flag & info [ "sample" ] ~doc:"Draw a uniform word.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Sampling seed.")
+  in
+  Cmd.v
+    (Cmd.info "access"
+       ~doc:"Direct access into L_n through the unambiguous grammar.")
+    Term.(const run $ n_arg $ index_arg $ sample_arg $ seed_arg)
+
+(* --- profile ------------------------------------------------------------- *)
+
+let profile_cmd =
+  let run kind n =
+    let g = build_grammar kind n in
+    let p = Ambiguity.profile g in
+    Printf.printf "words: %d\nambiguous words: %d\nmax parse trees: %s\n"
+      p.Ambiguity.word_total p.Ambiguity.ambiguous_words
+      (Bignum.to_string p.Ambiguity.max_trees);
+    List.iter
+      (fun (k, v) -> Printf.printf "  %s trees: %d words\n" k v)
+      p.Ambiguity.histogram
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Ambiguity-degree histogram of a grammar.")
+    Term.(const run $ kind_arg $ n_arg)
+
+(* --- intersect ------------------------------------------------------------ *)
+
+let intersect_cmd =
+  let run n check =
+    let cube =
+      Constructions.sigma_chain Ucfg_word.Alphabet.binary (2 * n)
+    in
+    let g =
+      Ucfg_automata.Bar_hillel.intersect cube (Ucfg_automata.Ln_nfa.pattern n)
+    in
+    Printf.printf "Bar–Hillel product (Σ^%d ∩ pattern): size %d, %d rules\n"
+      (2 * n) (Grammar.size g) (Grammar.rule_count g);
+    if check then
+      Printf.printf "equals L_%d: %b\n" n
+        (Lang.equal (Ln.language n) (Analysis.language_exn g))
+  in
+  let check_arg =
+    Arg.(value & flag & info [ "check" ] ~doc:"Verify against brute force.")
+  in
+  Cmd.v
+    (Cmd.info "intersect"
+       ~doc:"Rebuild L_n by the Bar–Hillel product Σ^2n ∩ pattern.")
+    Term.(const run $ n_arg $ check_arg)
+
+(* --- circuit ---------------------------------------------------------------- *)
+
+let circuit_cmd =
+  let run n =
+    let naive = Ucfg_kc.Ln_circuit.naive n in
+    let det = Ucfg_kc.Ln_circuit.deterministic n in
+    Printf.printf "DNNF size: %d\nd-DNNF size: %d\nmodel count: %s (4^n - 3^n = %s)\n"
+      (Ucfg_kc.Circuit.size naive) (Ucfg_kc.Circuit.size det)
+      (Bignum.to_string (Ucfg_kc.Circuit.model_count det))
+      (Bignum.to_string (Ln.cardinal n))
+  in
+  Cmd.v
+    (Cmd.info "circuit"
+       ~doc:"Boolean DNNF / d-DNNF circuits for the L_n predicate.")
+    Term.(const run $ n_arg)
+
+let main_cmd =
+  let doc =
+    "reproduction of 'A Lower Bound on Unambiguous Context Free Grammars via \
+     Communication Complexity' (PODS 2025)"
+  in
+  Cmd.group (Cmd.info "ucfg" ~version:"1.0.0" ~doc)
+    [ separation_cmd; grammar_cmd; count_cmd; rectangles_cmd; bound_cmd;
+      csv_cmd; access_cmd; profile_cmd; intersect_cmd; circuit_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

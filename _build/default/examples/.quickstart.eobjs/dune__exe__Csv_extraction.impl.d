@@ -1,0 +1,1 @@
+examples/csv_extraction.ml: Ambiguity Analysis Csv Grammar Lang List Ln Printf Report Ucfg_cfg Ucfg_core Ucfg_lang Ucfg_util

@@ -1,0 +1,1 @@
+examples/csv_extraction.mli:

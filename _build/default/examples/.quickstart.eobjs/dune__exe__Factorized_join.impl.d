@@ -1,0 +1,1 @@
+examples/factorized_join.ml: Drep Iso Join List Printf Report String Ucfg_cfg Ucfg_core Ucfg_fr Ucfg_lang Ucfg_util

@@ -1,0 +1,1 @@
+examples/factorized_join.mli:

@@ -1,0 +1,1 @@
+examples/separation_demo.ml: Array List Printf Report Separation Sys Ucfg_cfg Ucfg_core Ucfg_disc

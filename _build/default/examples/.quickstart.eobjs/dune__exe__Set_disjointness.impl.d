@@ -1,0 +1,1 @@
+examples/set_disjointness.ml: Cover_search Fooling Fun List Matrix Printf Protocol Rank Report Setview String Ucfg_comm Ucfg_core Ucfg_disc Ucfg_lang Ucfg_rect Ucfg_util Ucfg_word

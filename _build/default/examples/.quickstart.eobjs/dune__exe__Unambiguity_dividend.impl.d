@@ -1,0 +1,1 @@
+examples/unambiguity_dividend.ml: Cnf Constructions Count Direct_access Grammar List Ln Option Printf Semiring Ucfg_cfg Ucfg_lang Ucfg_util Weighted

@@ -1,0 +1,1 @@
+examples/unambiguity_dividend.mli:

@@ -1,0 +1,86 @@
+(* The database motivation: query answers as factorised representations.
+   A join result R(A,B) ⋈ S(B,C) materialises quadratically on skewed
+   keys but factorises linearly; and factorised representations are
+   exactly CFGs of finite languages (Kimelfeld–Martens–Niewerth), which
+   is what connects the paper's grammar lower bound to databases.
+
+   Run with: dune exec examples/factorized_join.exe *)
+
+open Ucfg_fr
+open Ucfg_core
+
+let () =
+  let rng = Ucfg_util.Rng.create 2026 in
+  let width = 6 in
+  let hot = String.make width 'a' in
+
+  Report.print_table
+    ~title:
+      "R(A,B) ⋈ S(B,C), fully skewed keys: factorised vs materialised size"
+    ~headers:[ "|R|=|S|"; "join tuples"; "materialised chars"; "factorised edges" ]
+    (List.map
+       (fun size ->
+          let r =
+            Join.random_relation rng ~width ~size ~skew:1.0 ~join_side:`Second
+              ~hot ()
+          in
+          let s =
+            Join.random_relation rng ~width ~size ~skew:1.0 ~join_side:`First
+              ~hot ()
+          in
+          let tuples = Join.join_tuples r s in
+          let d = Join.factorize r s in
+          assert (Ucfg_lang.Lang.equal tuples (Drep.denotation d));
+          [
+            string_of_int size;
+            string_of_int (Ucfg_lang.Lang.cardinal tuples);
+            string_of_int (Join.materialized_size r s);
+            string_of_int (Drep.size d);
+          ])
+       [ 4; 8; 16; 32; 64 ]);
+
+  (* uniform keys for contrast *)
+  Report.print_table
+    ~title:"same, uniform keys (skew 0)"
+    ~headers:[ "|R|=|S|"; "join tuples"; "materialised chars"; "factorised edges" ]
+    (List.map
+       (fun size ->
+          let r =
+            Join.random_relation rng ~width ~size ~skew:0.0 ~join_side:`Second ()
+          in
+          let s =
+            Join.random_relation rng ~width ~size ~skew:0.0 ~join_side:`First ()
+          in
+          let tuples = Join.join_tuples r s in
+          let d = Join.factorize r s in
+          [
+            string_of_int size;
+            string_of_int (Ucfg_lang.Lang.cardinal tuples);
+            string_of_int (Join.materialized_size r s);
+            string_of_int (Drep.size d);
+          ])
+       [ 16; 64; 256 ]);
+
+  (* the KMN bridge: a factorised representation IS a grammar *)
+  let r =
+    Join.random_relation rng ~width:3 ~size:6 ~skew:1.0 ~join_side:`Second
+      ~hot:"aba" ()
+  in
+  let s =
+    Join.random_relation rng ~width:3 ~size:6 ~skew:1.0 ~join_side:`First
+      ~hot:"aba" ()
+  in
+  let d = Join.factorize r s in
+  let g = Iso.cfg_of_drep d in
+  Printf.printf
+    "KMN isomorphism: the factorised join as a CFG has size %d (drep %d \
+     edges), language equal: %b, unambiguous: %b\n"
+    (Ucfg_cfg.Grammar.size g) (Drep.size d)
+    (Ucfg_lang.Lang.equal (Drep.denotation d)
+       (Ucfg_cfg.Analysis.language_exn g))
+    (Ucfg_cfg.Ambiguity.is_unambiguous g);
+  Printf.printf
+    "\nThe paper's theorem, read through this bridge: there are finite\n\
+     relations (the L_n family) whose factorised representation is tiny,\n\
+     but whose *deterministic* (d-) representation — the kind that counts\n\
+     and enumerates efficiently — must be exponentially large.\n"

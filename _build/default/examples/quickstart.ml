@@ -1,0 +1,86 @@
+(* Quickstart: build the paper's witness language three ways, parse, count,
+   check ambiguity, and extract the Proposition 7 rectangle cover.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Ucfg_lang
+open Ucfg_cfg
+
+let () =
+  let n = 3 in
+  Printf.printf "L_%d: binary words of length %d with two a's at distance %d\n"
+    n (2 * n) n;
+
+  (* the language itself, by brute force *)
+  let reference = Ln.language n in
+  Printf.printf "|L_%d| = %d words (formula 4^n - 3^n = %s)\n\n" n
+    (Lang.cardinal reference)
+    (Ucfg_util.Bignum.to_string (Ln.cardinal n));
+
+  (* 1. the Θ(log n) ambiguous CFG from Appendix A *)
+  let cfg = Constructions.log_cfg n in
+  Printf.printf "Appendix A CFG: size %d, %d nonterminals, unambiguous? %b\n"
+    (Grammar.size cfg)
+    (Grammar.nonterminal_count cfg)
+    (Ambiguity.is_unambiguous cfg);
+
+  (* 2. the exponential unambiguous CFG from Example 4 *)
+  let ucfg = Constructions.example4 n in
+  Printf.printf "Example 4 uCFG: size %d, unambiguous? %b\n" (Grammar.size ucfg)
+    (Ambiguity.is_unambiguous ucfg);
+
+  (* 3. the guess-and-verify NFA *)
+  let nfa = Ucfg_automata.Ln_nfa.build n in
+  Printf.printf "NFA: %d states, %d transitions\n\n"
+    (Ucfg_automata.Nfa.state_count nfa)
+    (Ucfg_automata.Nfa.transition_count nfa);
+
+  (* all three agree with the brute-force language *)
+  let cfg_lang = Analysis.language_exn cfg in
+  let ucfg_lang = Analysis.language_exn ucfg in
+  let nfa_lang = Ucfg_automata.Nfa.language nfa ~max_len:(2 * n) in
+  Printf.printf "CFG language correct: %b\n" (Lang.equal reference cfg_lang);
+  Printf.printf "uCFG language correct: %b\n" (Lang.equal reference ucfg_lang);
+  Printf.printf "NFA language correct: %b\n\n" (Lang.equal reference nfa_lang);
+
+  (* parse a word and show its tree; show ambiguity on the small CFG *)
+  let w = "aabaab" in
+  let cnf = Cnf.of_grammar cfg in
+  (match Cyk.parse cnf w with
+   | Some tree ->
+     Printf.printf "a parse tree of %S (CNF of the Appendix A grammar):\n%s\n" w
+       (Format.asprintf "%a" (Parse_tree.pp cnf) tree)
+   | None -> Printf.printf "unexpected: %S did not parse\n" w);
+  Printf.printf "parse trees of %S in the ambiguous grammar: %s\n" w
+    (Ucfg_util.Bignum.to_string (Count_word.trees cfg w));
+  Printf.printf "parse trees of %S in the unambiguous grammar: %s\n\n" w
+    (Ucfg_util.Bignum.to_string (Count_word.trees ucfg w));
+
+  (* counting: polynomial DP on the uCFG *)
+  let count = Count.words_unambiguous (Cnf.of_grammar ucfg) (2 * n) in
+  Printf.printf "counting |L_%d| by the uCFG dynamic program: %s\n" n
+    (Ucfg_util.Bignum.to_string count);
+
+  (* enumeration: the uCFG needs no duplicate suppression *)
+  let first_five =
+    Enumerate.derivation_words ucfg |> Seq.take 5 |> List.of_seq
+  in
+  Printf.printf "first five words enumerated from the uCFG: %s\n\n"
+    (String.concat ", " first_five);
+
+  (* Proposition 7: extract a balanced rectangle cover from each grammar *)
+  let show_extraction name g =
+    let res = Ucfg_rect.Extract.run g in
+    let v, _ = Ucfg_rect.Extract.verify g res in
+    Printf.printf
+      "%s: %d rectangles (bound %d), covers: %b, disjoint: %b\n" name
+      (List.length res.Ucfg_rect.Extract.rectangles)
+      res.Ucfg_rect.Extract.bound v.Ucfg_rect.Cover.is_cover
+      v.Ucfg_rect.Cover.is_disjoint
+  in
+  show_extraction "rectangles from the ambiguous CFG" cfg;
+  show_extraction "rectangles from the uCFG" ucfg;
+
+  (* the certified lower bound *)
+  Printf.printf "\ncertified uCFG size lower bound at n = 64: %s\n"
+    (Ucfg_util.Bignum.to_string (Ucfg_disc.Bound.ucfg_size_lower_bound 64))

@@ -1,0 +1,1 @@
+lib/automata/bar_hillel.ml: Array Char Cnf Grammar List Nfa Printf Trim Ucfg_cfg

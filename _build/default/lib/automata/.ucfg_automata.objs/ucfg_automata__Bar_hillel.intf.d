@@ -1,0 +1,1 @@
+lib/automata/bar_hillel.mli: Nfa Ucfg_cfg

@@ -1,0 +1,1 @@
+lib/automata/determinize.ml: Alphabet Array Dfa Hashtbl List Nfa Queue Ucfg_word

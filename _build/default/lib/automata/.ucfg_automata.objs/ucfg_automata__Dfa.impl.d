@@ -1,0 +1,1 @@
+lib/automata/dfa.ml: Alphabet Array Format Hashtbl List Nfa Queue String Ucfg_lang Ucfg_util Ucfg_word

@@ -1,0 +1,1 @@
+lib/automata/dfa.mli: Alphabet Format Nfa Ucfg_lang Ucfg_util Ucfg_word

@@ -1,0 +1,1 @@
+lib/automata/disambiguate.ml: Analysis Determinize Grammar Nfa Translate Trim Ucfg_cfg Ucfg_lang

@@ -1,0 +1,1 @@
+lib/automata/disambiguate.mli: Ucfg_cfg

@@ -1,0 +1,1 @@
+lib/automata/ln_nfa.ml: Alphabet Hashtbl List Nfa Printf String Ucfg_util Ucfg_word

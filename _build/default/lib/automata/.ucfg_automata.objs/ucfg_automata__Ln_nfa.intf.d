@@ -1,0 +1,1 @@
+lib/automata/ln_nfa.mli: Nfa

@@ -1,0 +1,1 @@
+lib/automata/nfa.ml: Alphabet Array Char Format Hashtbl List Printf String Ucfg_lang Ucfg_util Ucfg_word

@@ -1,0 +1,1 @@
+lib/automata/nfa.mli: Alphabet Format Ucfg_lang Ucfg_util Ucfg_word

@@ -1,0 +1,1 @@
+lib/automata/translate.ml: Array Dfa Grammar List Nfa Printf Ucfg_cfg

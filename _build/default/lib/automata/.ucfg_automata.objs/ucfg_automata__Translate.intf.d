@@ -1,0 +1,1 @@
+lib/automata/translate.mli: Dfa Nfa Ucfg_cfg

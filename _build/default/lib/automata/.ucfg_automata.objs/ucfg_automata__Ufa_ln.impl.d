@@ -1,0 +1,1 @@
+lib/automata/ufa_ln.ml: Determinize Dfa Ln_nfa Nfa

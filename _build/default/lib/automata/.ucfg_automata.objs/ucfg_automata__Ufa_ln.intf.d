@@ -1,0 +1,1 @@
+lib/automata/ufa_ln.mli: Nfa

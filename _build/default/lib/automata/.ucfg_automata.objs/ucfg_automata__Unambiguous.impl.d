@@ -1,0 +1,1 @@
+lib/automata/unambiguous.ml: Array Char Determinize Dfa Hashtbl List Nfa Queue Seq String Ucfg_util Ucfg_word

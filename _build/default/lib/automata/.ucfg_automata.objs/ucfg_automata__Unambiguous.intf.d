@@ -1,0 +1,1 @@
+lib/automata/unambiguous.mli: Nfa Ucfg_util

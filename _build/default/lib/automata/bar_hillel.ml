@@ -1,0 +1,67 @@
+open Ucfg_cfg
+open Grammar
+
+let intersect g nfa =
+  if Nfa.epsilon_count nfa > 0 then
+    invalid_arg "Bar_hillel.intersect: ε-transitions not supported";
+  let g = Cnf.ensure g in
+  let nn = nonterminal_count g in
+  let ns = Nfa.state_count nfa in
+  if nn = 0 || ns = 0 then
+    (* one side is empty: an empty grammar *)
+    make ~alphabet:(alphabet g) ~names:[| "S" |] ~rules:[] ~start:0
+  else begin
+    let triple p a q = (((p * nn) + a) * ns) + q in
+    let fresh = nn * ns * ns in
+    let names =
+      Array.init (fresh + 1) (fun i ->
+          if i = fresh then "S&"
+          else begin
+            let q = i mod ns in
+            let a = i / ns mod nn in
+            let p = i / ns / nn in
+            Printf.sprintf "%d_%s_%d" p (name g a) q
+          end)
+    in
+    let acc_rules = ref [] in
+    List.iter
+      (fun { lhs; rhs } ->
+         match rhs with
+         | [ T c ] ->
+           List.iter
+             (fun (p, c', q) ->
+                if Char.equal c c' then
+                  acc_rules := { lhs = triple p lhs q; rhs = [ T c ] } :: !acc_rules)
+             (Nfa.transitions nfa)
+         | [ N b; N c ] ->
+           for p = 0 to ns - 1 do
+             for r = 0 to ns - 1 do
+               for q = 0 to ns - 1 do
+                 acc_rules :=
+                   { lhs = triple p lhs q;
+                     rhs = [ N (triple p b r); N (triple r c q) ] }
+                   :: !acc_rules
+               done
+             done
+           done
+         | [] ->
+           (* only the start symbol may have an ε-rule in CNF; handled at
+              the fresh start below *)
+           ()
+         | _ -> assert false (* CNF *))
+      (rules g);
+    List.iter
+      (fun i ->
+         List.iter
+           (fun f ->
+              acc_rules :=
+                { lhs = fresh; rhs = [ N (triple i (start g) f) ] } :: !acc_rules)
+           (Nfa.finals nfa))
+      (Nfa.initials nfa);
+    if
+      has_rule g (start g) []
+      && List.exists (Nfa.is_final nfa) (Nfa.initials nfa)
+    then acc_rules := { lhs = fresh; rhs = [] } :: !acc_rules;
+    Trim.trim
+      (make ~alphabet:(alphabet g) ~names ~rules:!acc_rules ~start:fresh)
+  end

@@ -1,0 +1,20 @@
+(** The Bar–Hillel product: CFG ∩ NFA.
+
+    A grammar for [L(g) ∩ L(nfa)] over triple nonterminals [(p, A, q)]
+    ("[A] derives a word taking the automaton from [p] to [q]").  The
+    paper's witness language factors as
+    [L_n = Σ^2n ∩ Σ* a Σ^(n-1) a Σ*], so intersecting the (unambiguous)
+    full-cube grammar with the [Θ(n)] pattern automaton rebuilds [L_n] by
+    a route entirely independent of the paper's constructions — the
+    experiments use it as a cross-check and an ablation.
+
+    Parse trees of the product are in bijection with pairs (parse tree of
+    [g], accepting run of [nfa] over the same word): the product of an
+    unambiguous grammar with an ambiguous automaton is exactly as
+    ambiguous as the automaton's runs. *)
+
+(** [intersect g nfa] — [g] is converted to CNF if needed; [nfa] must be
+    ε-free.  Only reachable/productive triples are materialised and the
+    result is trimmed.
+    @raise Invalid_argument on ε-transitions. *)
+val intersect : Ucfg_cfg.Grammar.t -> Nfa.t -> Ucfg_cfg.Grammar.t

@@ -1,0 +1,64 @@
+open Ucfg_word
+
+exception Overflow
+
+let run ?(max_states = 1_000_000) nfa =
+  let alpha = Nfa.alphabet nfa in
+  let k = Alphabet.size alpha in
+  (* subset states keyed by their sorted state lists *)
+  let ids : (int list, int) Hashtbl.t = Hashtbl.create 256 in
+  let subsets = ref [] in
+  let count = ref 0 in
+  let node subset =
+    match Hashtbl.find_opt ids subset with
+    | Some id -> (id, false)
+    | None ->
+      if !count >= max_states then raise Overflow;
+      let id = !count in
+      incr count;
+      Hashtbl.add ids subset id;
+      subsets := subset :: !subsets;
+      (id, true)
+  in
+  try
+    let start = Nfa.eps_closure nfa (Nfa.initials nfa) in
+    let queue = Queue.create () in
+    let transitions = ref [] in
+    let start_id, _ = node start in
+    Queue.add (start_id, start) queue;
+    while not (Queue.is_empty queue) do
+      let id, subset = Queue.pop queue in
+      for ci = 0 to k - 1 do
+        let c = Alphabet.char_at alpha ci in
+        let nxt =
+          Nfa.eps_closure nfa
+            (List.sort_uniq compare
+               (List.concat_map (fun s -> Nfa.step nfa s c) subset))
+        in
+        let nid, fresh = node nxt in
+        if fresh then Queue.add (nid, nxt) queue;
+        transitions := ((id, ci), nid) :: !transitions
+      done
+    done;
+    let subset_arr = Array.make !count [] in
+    List.iter (fun s -> subset_arr.(Hashtbl.find ids s) <- s) !subsets;
+    let finals = ref [] in
+    Array.iteri
+      (fun id subset ->
+         if List.exists (Nfa.is_final nfa) subset then finals := id :: !finals)
+      subset_arr;
+    let tbl = Hashtbl.create 256 in
+    List.iter (fun (kq, v) -> Hashtbl.replace tbl kq v) !transitions;
+    Ok
+      (Dfa.make ~alphabet:alpha ~states:!count ~initial:start_id
+         ~finals:!finals
+         ~delta:(fun s ci -> Hashtbl.find tbl (s, ci)))
+  with Overflow -> Error `Too_many_states
+
+let run_exn ?max_states nfa =
+  match run ?max_states nfa with
+  | Ok d -> d
+  | Error `Too_many_states ->
+    invalid_arg "Determinize.run_exn: too many subset states"
+
+let minimal_dfa ?max_states nfa = Dfa.minimize (run_exn ?max_states nfa)

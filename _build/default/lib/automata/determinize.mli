@@ -1,0 +1,16 @@
+(** Subset construction: NFA → DFA.
+
+    Exponential in the worst case — exactly the succinctness gap the paper
+    places next to the CFG/uCFG gap.  A state cap keeps experiments from
+    running away. *)
+
+(** [run ?max_states nfa] determinizes [nfa] (ε-transitions allowed).
+    Returns [Error `Too_many_states] once more than [max_states]
+    (default 1_000_000) subset states appear. *)
+val run : ?max_states:int -> Nfa.t -> (Dfa.t, [ `Too_many_states ]) result
+
+(** [run_exn ?max_states nfa] raises [Invalid_argument] on overflow. *)
+val run_exn : ?max_states:int -> Nfa.t -> Dfa.t
+
+(** [minimal_dfa ?max_states nfa] is the minimized determinization. *)
+val minimal_dfa : ?max_states:int -> Nfa.t -> Dfa.t

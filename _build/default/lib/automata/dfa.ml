@@ -1,0 +1,194 @@
+open Ucfg_word
+module Bignum = Ucfg_util.Bignum
+
+type t = {
+  alphabet : Alphabet.t;
+  states : int;
+  initial : int;
+  finals : bool array;
+  (* delta.(s).(ci) = successor on the ci-th alphabet character *)
+  delta : int array array;
+}
+
+let make ~alphabet ~states ~initial ~finals ~delta =
+  if states <= 0 then invalid_arg "Dfa.make: need at least one state";
+  if initial < 0 || initial >= states then invalid_arg "Dfa.make: bad initial";
+  let fin = Array.make states false in
+  List.iter
+    (fun s ->
+       if s < 0 || s >= states then invalid_arg "Dfa.make: bad final";
+       fin.(s) <- true)
+    finals;
+  let k = Alphabet.size alphabet in
+  let d =
+    Array.init states (fun s ->
+        Array.init k (fun ci ->
+            let dst = delta s ci in
+            if dst < 0 || dst >= states then
+              invalid_arg "Dfa.make: transition out of range";
+            dst))
+  in
+  { alphabet; states; initial; finals = fin; delta = d }
+
+let alphabet t = t.alphabet
+let state_count t = t.states
+let initial t = t.initial
+
+let is_final t s =
+  if s < 0 || s >= t.states then invalid_arg "Dfa.is_final: bad state";
+  t.finals.(s)
+
+let next t s c = t.delta.(s).(Alphabet.index t.alphabet c)
+
+let accepts t w =
+  let s = ref t.initial in
+  String.iter (fun c -> s := next t !s c) w;
+  t.finals.(!s)
+
+let complement t =
+  { t with finals = Array.map not t.finals }
+
+let reachable t =
+  let seen = Array.make t.states false in
+  let rec visit s =
+    if not seen.(s) then begin
+      seen.(s) <- true;
+      Array.iter visit t.delta.(s)
+    end
+  in
+  visit t.initial;
+  seen
+
+let minimize t =
+  let reach = reachable t in
+  (* Moore: start from the final / non-final split, refine by successor
+     block vectors until stable; unreachable states are parked in class
+     (-1) and dropped at rebuild *)
+  let cls = Array.make t.states (-1) in
+  for s = 0 to t.states - 1 do
+    if reach.(s) then cls.(s) <- if t.finals.(s) then 1 else 0
+  done;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let signature s =
+      (cls.(s), Array.to_list (Array.map (fun d -> cls.(d)) t.delta.(s)))
+    in
+    let tbl = Hashtbl.create 64 in
+    let next_cls = Array.make t.states (-1) in
+    let counter = ref 0 in
+    for s = 0 to t.states - 1 do
+      if reach.(s) then begin
+        let sg = signature s in
+        match Hashtbl.find_opt tbl sg with
+        | Some c -> next_cls.(s) <- c
+        | None ->
+          Hashtbl.add tbl sg !counter;
+          next_cls.(s) <- !counter;
+          incr counter
+      end
+    done;
+    if next_cls <> cls then begin
+      Array.blit next_cls 0 cls 0 t.states;
+      changed := true
+    end
+  done;
+  let nclasses = 1 + Array.fold_left max (-1) cls in
+  (* a representative per class *)
+  let repr = Array.make nclasses (-1) in
+  for s = t.states - 1 downto 0 do
+    if cls.(s) >= 0 then repr.(cls.(s)) <- s
+  done;
+  let finals = ref [] in
+  for c = 0 to nclasses - 1 do
+    if t.finals.(repr.(c)) then finals := c :: !finals
+  done;
+  make ~alphabet:t.alphabet ~states:nclasses ~initial:cls.(t.initial)
+    ~finals:!finals
+    ~delta:(fun c ci -> cls.(t.delta.(repr.(c)).(ci)))
+
+let equivalent a b =
+  if not (Alphabet.equal a.alphabet b.alphabet) then
+    invalid_arg "Dfa.equivalent: alphabet mismatch";
+  (* product BFS looking for a distinguishing pair *)
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let push p = if not (Hashtbl.mem seen p) then begin
+      Hashtbl.add seen p ();
+      Queue.add p queue
+    end
+  in
+  push (a.initial, b.initial);
+  let k = Alphabet.size a.alphabet in
+  let ok = ref true in
+  while !ok && not (Queue.is_empty queue) do
+    let p, q = Queue.pop queue in
+    if a.finals.(p) <> b.finals.(q) then ok := false
+    else
+      for ci = 0 to k - 1 do
+        push (a.delta.(p).(ci), b.delta.(q).(ci))
+      done
+  done;
+  !ok
+
+let language t ~max_len =
+  let chars = Alphabet.chars t.alphabet in
+  let rec explore s len acc prefix =
+    let acc = if t.finals.(s) then Ucfg_lang.Lang.add prefix acc else acc in
+    if len = max_len then acc
+    else
+      List.fold_left
+        (fun acc c -> explore (next t s c) (len + 1) acc (prefix ^ String.make 1 c))
+        acc chars
+  in
+  explore t.initial 0 Ucfg_lang.Lang.empty ""
+
+let count_words_by_length t len =
+  let vec = Array.make t.states Bignum.zero in
+  vec.(t.initial) <- Bignum.one;
+  let result = Array.make (len + 1) Bignum.zero in
+  let count v =
+    let acc = ref Bignum.zero in
+    Array.iteri (fun s x -> if t.finals.(s) then acc := Bignum.add !acc x) v;
+    !acc
+  in
+  result.(0) <- count vec;
+  let current = ref vec in
+  for l = 1 to len do
+    let nxt = Array.make t.states Bignum.zero in
+    Array.iteri
+      (fun s x ->
+         if Bignum.sign x > 0 then
+           Array.iter (fun d -> nxt.(d) <- Bignum.add nxt.(d) x) t.delta.(s))
+      !current;
+    current := nxt;
+    result.(l) <- count nxt
+  done;
+  result
+
+let to_nfa t =
+  let transitions = ref [] in
+  for s = 0 to t.states - 1 do
+    Array.iteri
+      (fun ci d ->
+         transitions := (s, Alphabet.char_at t.alphabet ci, d) :: !transitions)
+      t.delta.(s)
+  done;
+  let finals = ref [] in
+  for s = t.states - 1 downto 0 do
+    if t.finals.(s) then finals := s :: !finals
+  done;
+  Nfa.make ~alphabet:t.alphabet ~states:t.states ~initials:[ t.initial ]
+    ~finals:!finals ~transitions:!transitions ()
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>states: %d, initial: %d@," t.states t.initial;
+  for s = 0 to t.states - 1 do
+    Format.fprintf fmt "%d%s:" s (if t.finals.(s) then "*" else "");
+    Array.iteri
+      (fun ci d ->
+         Format.fprintf fmt " %c->%d" (Alphabet.char_at t.alphabet ci) d)
+      t.delta.(s);
+    Format.fprintf fmt "@,"
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,54 @@
+(** Deterministic finite automata.
+
+    Complete DFAs (every state has exactly one successor per symbol) with
+    Moore minimisation — used to contrast the paper's [Θ(n)] NFA for [L_n]
+    with the exponentially larger minimal DFA, and to decide language
+    equivalence of automata exactly. *)
+
+open Ucfg_word
+
+type t
+
+(** [make ~alphabet ~states ~initial ~finals ~delta] builds a complete DFA;
+    [delta state char_index] must be a valid state for every pair.
+    @raise Invalid_argument on inconsistencies. *)
+val make :
+  alphabet:Alphabet.t ->
+  states:int ->
+  initial:int ->
+  finals:int list ->
+  delta:(int -> int -> int) ->
+  t
+
+val alphabet : t -> Alphabet.t
+val state_count : t -> int
+val initial : t -> int
+val is_final : t -> int -> bool
+
+(** [next t s c] is the unique [c]-successor. *)
+val next : t -> int -> char -> int
+
+val accepts : t -> string -> bool
+
+(** [complement t] swaps final and non-final states. *)
+val complement : t -> t
+
+(** [minimize t] is the unique minimal complete DFA for [L(t)]
+    (Moore partition refinement over reachable states). *)
+val minimize : t -> t
+
+(** [equivalent a b] decides [L(a) = L(b)] by product reachability. *)
+val equivalent : t -> t -> bool
+
+(** [language t ~max_len] is the set of accepted words of length
+    [<= max_len]. *)
+val language : t -> max_len:int -> Ucfg_lang.Lang.t
+
+(** [count_words_by_length t len] counts accepted words per length
+    (exact: a DFA is trivially unambiguous). *)
+val count_words_by_length : t -> int -> Ucfg_util.Bignum.t array
+
+(** [to_nfa t] forgets determinism. *)
+val to_nfa : t -> Nfa.t
+
+val pp : Format.formatter -> t -> unit

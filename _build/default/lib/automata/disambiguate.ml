@@ -1,0 +1,18 @@
+open Ucfg_cfg
+
+let ucfg_of_grammar g =
+  let lang = Analysis.language_exn g in
+  if Ucfg_lang.Lang.is_empty lang then
+    Grammar.make ~alphabet:(Grammar.alphabet g) ~names:[| "S" |] ~rules:[]
+      ~start:0
+  else begin
+    let trie =
+      Nfa.of_word_list (Grammar.alphabet g) (Ucfg_lang.Lang.elements lang)
+    in
+    let dfa = Determinize.minimal_dfa trie in
+    (* the trimmed right-linear grammar of the minimal DFA: unambiguous
+       because accepting runs of a DFA are unique *)
+    Trim.trim (Translate.cfg_of_dfa dfa)
+  end
+
+let blowup g = (Grammar.size g, Grammar.size (ucfg_of_grammar g))

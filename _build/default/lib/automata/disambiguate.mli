@@ -1,0 +1,21 @@
+(** The upper-bound direction of the separation: CFG → uCFG.
+
+    The paper notes (crediting KMN) that the double-exponential separation
+    is {e optimal}: every CFG of a finite language converts to an
+    equivalent uCFG with at most a double-exponential blow-up.  This
+    module implements the canonical such conversion for the sizes we can
+    materialise: language → minimal DFA → right-linear grammar.  The
+    result is unambiguous (DFA runs are unique), and its size is the
+    minimal-DFA size — for [L_n] that is [Θ(2^n)], sitting between the
+    [2^Ω(n)] lower bound of Theorem 12 and the [2^O(n)] Example 4 upper
+    bound. *)
+
+(** [ucfg_of_grammar g] — an unambiguous grammar for [L(g)], built through
+    the minimal DFA of the (materialised) language.  Exponential-time in
+    general; meant for the experimental regime.
+    @raise Invalid_argument when the language cannot be materialised
+    (see {!Ucfg_cfg.Analysis.language}). *)
+val ucfg_of_grammar : Ucfg_cfg.Grammar.t -> Ucfg_cfg.Grammar.t
+
+(** [blowup g] — [(original size, ucfg size)]. *)
+val blowup : Ucfg_cfg.Grammar.t -> int * int

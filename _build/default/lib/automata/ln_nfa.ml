@@ -1,0 +1,109 @@
+open Ucfg_word
+
+(* Leveled guess-and-verify NFA for L_n.
+   States:
+   - B_i (i in [0, n-1]): read i symbols, no guess yet;
+   - M_(i,t) (t in [1, n-1], i = k + t for some guess position
+     k in [0, n-1]): the first matched 'a' was read at position k,
+     t further symbols consumed, currently at absolute position i;
+   - D_i (i in [n+1, 2n]): both matched 'a's read, absolute position i.
+   Accept at D_2n.  For n = 1 there is no M layer: the second 'a'
+   immediately follows the first. *)
+let build n =
+  if n < 1 then invalid_arg "Ln_nfa.build: n must be >= 1";
+  let ids : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let names = ref [] in
+  let count = ref 0 in
+  let state name =
+    match Hashtbl.find_opt ids name with
+    | Some id -> id
+    | None ->
+      let id = !count in
+      incr count;
+      Hashtbl.add ids name id;
+      names := name :: !names;
+      id
+  in
+  let b i = state (Printf.sprintf "B%d" i) in
+  let m i t = state (Printf.sprintf "M%d_%d" i t) in
+  let d i = state (Printf.sprintf "D%d" i) in
+  let transitions = ref [] in
+  let add src c dst = transitions := (src, c, dst) :: !transitions in
+  let sigma src dst =
+    add src 'a' dst;
+    add src 'b' dst
+  in
+  (* prefix *)
+  for i = 0 to n - 2 do
+    sigma (b i) (b (i + 1))
+  done;
+  (* guess at position k: consume the matched 'a', land in the window with
+     0 middle symbols consumed at absolute position k+1 *)
+  for k = 0 to n - 1 do
+    add (b k) 'a' (m (k + 1) 0)
+  done;
+  (* window: t = middle symbols consumed; M_(i,t) has i = k+1+t *)
+  for t = 0 to n - 2 do
+    for k = 0 to n - 1 do
+      let i = k + 1 + t in
+      sigma (m i t) (m (i + 1) (t + 1))
+    done
+  done;
+  (* the second matched 'a' at absolute position k+n, read from t = n-1 *)
+  for k = 0 to n - 1 do
+    let i = k + n in
+    add (m i (n - 1)) 'a' (d (i + 1))
+  done;
+  (* suffix *)
+  for i = n + 1 to (2 * n) - 1 do
+    sigma (d i) (d (i + 1))
+  done;
+  let accept = d (2 * n) in
+  Nfa.make ~alphabet:Alphabet.binary ~states:!count ~initials:[ b 0 ]
+    ~finals:[ accept ] ~transitions:!transitions ()
+
+let pattern n =
+  if n < 1 then invalid_arg "Ln_nfa.pattern: n must be >= 1";
+  (* states: 0 = looking (loop); 1..n = window progress (state 1+t after t
+     middle symbols); n+1 = done (loop).  0 --a--> 1, n-1 middle steps,
+     n --a--> n+1.  That is n+2 states. *)
+  let transitions = ref [] in
+  let add src c dst = transitions := (src, c, dst) :: !transitions in
+  let sigma src dst =
+    add src 'a' dst;
+    add src 'b' dst
+  in
+  sigma 0 0;
+  add 0 'a' 1;
+  for t = 1 to n - 1 do
+    sigma t (t + 1)
+  done;
+  add n 'a' (n + 1);
+  sigma (n + 1) (n + 1);
+  Nfa.make ~alphabet:Alphabet.binary ~states:(n + 2) ~initials:[ 0 ]
+    ~finals:[ n + 1 ] ~transitions:!transitions ()
+
+let fooling_set n i =
+  if n < 1 || i < 0 || i > 2 * n then invalid_arg "Ln_nfa.fooling_set";
+  (* pairs indexed by k: x has its single 'a' at position k (so k < i and
+     k <= n-1), y has its single 'a' at absolute position n+k (so
+     n+k >= i, i.e. k >= i-n, and n+k <= 2n-1) *)
+  let lo = max 0 (i - n) and hi = min (i - 1) (n - 1) in
+  List.filter_map
+    (fun k ->
+       if k < lo || k > hi then None
+       else begin
+         let x = String.init i (fun p -> if p = k then 'a' else 'b') in
+         let y =
+           String.init ((2 * n) - i) (fun p ->
+               if p + i = n + k then 'a' else 'b')
+         in
+         Some (x, y)
+       end)
+    (Ucfg_util.Prelude.range_incl lo hi)
+
+let state_lower_bound n =
+  Ucfg_util.Prelude.sum_int
+    (List.map
+       (fun i -> List.length (fooling_set n i))
+       (Ucfg_util.Prelude.range_incl 0 (2 * n)))

@@ -1,0 +1,42 @@
+(** NFAs for the witness language [L_n] — and a reproduction finding.
+
+    Theorem 1(2) of the paper states that [L_n] has an NFA of size [Θ(n)],
+    by "guessing the positions of the matching a symbols and verifying the
+    guess".  Reproducing this surfaced a discrepancy:
+
+    - the {e unbounded} pattern language [Σ* a Σ^(n-1) a Σ*] does have an
+      [(n+2)]-state NFA ({!pattern}) — the guess-and-verify automaton;
+    - but [L_n] itself is {e fixed-length} ([Σ^2n] ∩ pattern), and every
+      trim NFA for a fixed-length language is leveled (a state's depth is
+      unique, else two accepted lengths would differ).  At level [i], the
+      fooling pairs [x_k = b^k a b^(i-k-1)], [y_k] with a single ['a'] at
+      absolute position [n+k] form an identity sub-matrix of size
+      [min(i, 2n-i, n)], forcing that many states at that level
+      ({!fooling_set} returns them, and the test-suite checks the fooling
+      property exhaustively).  Summing over levels gives [Ω(n²)] states.
+
+    So the best possible NFA for [L_n] is [Θ(n²)] ({!build} achieves it),
+    and the paper's [Θ(n)] can only refer to the unbounded pattern
+    automaton.  Theorem 1's separation is unaffected: [Θ(n²)] is still
+    exponentially smaller than the [2^Ω(n)] uCFG lower bound. *)
+
+(** [build n] is a [Θ(n²)]-state NFA accepting exactly [L_n]
+    (leveled guess-and-verify: level × window-progress).
+    Requires [n >= 1]. *)
+val build : int -> Nfa.t
+
+(** [pattern n] is the [(n+2)]-state NFA for the unbounded language
+    [Σ* a Σ^(n-1) a Σ*]; [L_n = L(pattern n) ∩ Σ^(2n)].
+    Requires [n >= 1]. *)
+val pattern : int -> Nfa.t
+
+(** [fooling_set n i] is the level-[i] fooling set: a list of pairs
+    [(x, y)] with [|x| = i], [|y| = 2n - i], such that [x·y ∈ L_n] but
+    [x·y' ∉ L_n] for any two distinct pairs — a certificate that any
+    NFA for [L_n] has at least [List.length (fooling_set n i)] states at
+    level [i]. *)
+val fooling_set : int -> int -> (string * string) list
+
+(** [state_lower_bound n] is [Σ_i |fooling_set n i|] — the certified
+    [Ω(n²)] lower bound on NFA states for [L_n]. *)
+val state_lower_bound : int -> int

@@ -1,0 +1,47 @@
+open Ucfg_cfg
+module G = Grammar
+
+let cfg_of_nfa nfa =
+  if Nfa.epsilon_count nfa > 0 then
+    invalid_arg "Translate.cfg_of_nfa: ε-transitions not supported";
+  let nfa = Nfa.trim nfa in
+  let n = Nfa.state_count nfa in
+  (* nonterminal ids: 0 = fresh start, s+1 = state s *)
+  let names =
+    Array.init (n + 1) (fun i ->
+        if i = 0 then "S" else Printf.sprintf "Q%d" (i - 1))
+  in
+  let rules = ref [] in
+  List.iter
+    (fun i -> rules := { G.lhs = 0; rhs = [ G.N (i + 1) ] } :: !rules)
+    (Nfa.initials nfa);
+  List.iter
+    (fun (s, c, d) ->
+       rules := { G.lhs = s + 1; rhs = [ G.T c; G.N (d + 1) ] } :: !rules)
+    (Nfa.transitions nfa);
+  List.iter
+    (fun f -> rules := { G.lhs = f + 1; rhs = [] } :: !rules)
+    (Nfa.finals nfa);
+  G.make ~alphabet:(Nfa.alphabet nfa) ~names ~rules:(List.rev !rules) ~start:0
+
+let cfg_of_dfa dfa = cfg_of_nfa (Dfa.to_nfa dfa)
+
+let nfa_of_right_linear g =
+  let n = G.nonterminal_count g in
+  (* state ids: nonterminal a -> a; fresh sink final -> n *)
+  let transitions = ref [] in
+  let epsilons = ref [] in
+  let finals = ref [ n ] in
+  List.iter
+    (fun { G.lhs; rhs } ->
+       match rhs with
+       | [ G.T c; G.N b ] -> transitions := (lhs, c, b) :: !transitions
+       | [ G.T c ] -> transitions := (lhs, c, n) :: !transitions
+       | [ G.N b ] -> epsilons := (lhs, b) :: !epsilons
+       | [] -> finals := lhs :: !finals
+       | _ -> invalid_arg "Translate.nfa_of_right_linear: not right-linear")
+    (G.rules g);
+  Nfa.trim
+    (Nfa.make ~alphabet:(G.alphabet g) ~states:(n + 1)
+       ~initials:[ G.start g ] ~finals:!finals ~transitions:!transitions
+       ~epsilons:!epsilons ())

@@ -1,0 +1,21 @@
+(** Automata ↔ grammar translations.
+
+    A right-linear grammar built from an NFA has exactly one parse tree per
+    accepting run, so DFAs (and UFAs) give unambiguous grammars — the
+    bridge between the automata side and the grammar side of Theorem 1. *)
+
+(** [cfg_of_nfa nfa] is a right-linear CFG with [L(cfg) = L(nfa)]; its
+    parse trees are in bijection with the accepting runs of [nfa] (so the
+    grammar is unambiguous iff [nfa] is a UFA).  ε-free automata only;
+    ε in the language is handled by an ε-rule on a fresh start symbol.
+    @raise Invalid_argument on ε-transitions. *)
+val cfg_of_nfa : Nfa.t -> Ucfg_cfg.Grammar.t
+
+(** [cfg_of_dfa dfa] = [cfg_of_nfa (Dfa.to_nfa dfa)] restricted to useful
+    states; always unambiguous. *)
+val cfg_of_dfa : Dfa.t -> Ucfg_cfg.Grammar.t
+
+(** [nfa_of_right_linear g] converts a right-linear grammar (rules of the
+    form [A -> cB], [A -> c] or [A -> ε]) back to an NFA.
+    @raise Invalid_argument if [g] is not right-linear. *)
+val nfa_of_right_linear : Ucfg_cfg.Grammar.t -> Nfa.t

@@ -1,0 +1,12 @@
+(* The deterministic (hence unambiguous) witness: the trimmed minimal DFA.
+   Its state count is Θ(2^n) — within a constant factor of the 2^n − 1
+   rank lower bound — while the plain NFA of Ln_nfa is Θ(n²): unambiguity
+   costs exponentially for automata too. *)
+
+let build n =
+  if n < 1 then invalid_arg "Ufa_ln.build: n must be >= 1";
+  Nfa.trim (Dfa.to_nfa (Determinize.minimal_dfa (Ln_nfa.build n)))
+
+let state_lower_bound n =
+  if n < 1 then invalid_arg "Ufa_ln.state_lower_bound";
+  (1 lsl n) - 1

@@ -1,0 +1,28 @@
+(** Unambiguous finite automata for [L_n] — the automata-side analogue of
+    the paper's theorem.
+
+    The paper's introduction places uCFG lower bounds next to the recent
+    unambiguous-automata results (Göös–Kiefer–Yuan, Raskin).  For [L_n]
+    itself the situation mirrors Theorem 1 one level down:
+
+    - NFAs for [L_n] are polynomial ([Θ(n²)], see {!Ln_nfa});
+    - every {e unambiguous} NFA needs [2^n − 1] states, by Schmidt's
+      classical rank bound: a UFA with [k] states induces a rank-[k]
+      factorisation of the word matrix over ℚ, and the midpoint matrix of
+      [L_n] has rank [2^n − 1] (computed exactly in {!Ucfg_comm.Rank});
+    - {!build} constructs a matching [O(2^n)]-state UFA by first-match
+      subset tracking: remember the set of first-half ['a'] positions
+      still "pending", discharge them deterministically in the second
+      half at the first matched position.
+
+    So unambiguity costs exponentially for automata too — with the same
+    witness language, by the same kind of algebraic argument. *)
+
+(** [build n] — an unambiguous NFA for [L_n] with [O(n·2^n)] states
+    (first-match subset construction).  Use [n <= 6] or so. *)
+val build : int -> Nfa.t
+
+(** [state_lower_bound n] = [2^n − 1]: Schmidt's rank bound instantiated
+    to [L_n] (the midpoint matrix rank, which {!Ucfg_comm.Rank} verifies
+    numerically for small [n]). *)
+val state_lower_bound : int -> int

@@ -1,0 +1,117 @@
+module Bignum = Ucfg_util.Bignum
+
+(* Self-product criterion.  On the trim automaton, a word with two distinct
+   accepting runs yields a reachable, co-reachable product state (p, q)
+   with p <> q (the runs differ somewhere); conversely such a state splices
+   into two distinct accepting runs of one word.  Distinct initial states
+   reachable on the same (empty) prefix count as well, which the product's
+   initial pairs cover. *)
+let is_unambiguous nfa =
+  if Nfa.epsilon_count nfa > 0 then
+    invalid_arg "Unambiguous.is_unambiguous: ε-transitions not supported";
+  let t = Nfa.trim nfa in
+  let n = Nfa.state_count t in
+  (* forward-reachable product pairs *)
+  let fwd = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  let push pq =
+    if not (Hashtbl.mem fwd pq) then begin
+      Hashtbl.add fwd pq ();
+      Queue.add pq queue
+    end
+  in
+  List.iter
+    (fun p -> List.iter (fun q -> push (p, q)) (Nfa.initials t))
+    (Nfa.initials t);
+  let alphabet = Nfa.alphabet t in
+  while not (Queue.is_empty queue) do
+    let p, q = Queue.pop queue in
+    List.iter
+      (fun c ->
+         List.iter
+           (fun p' -> List.iter (fun q' -> push (p', q')) (Nfa.step t q c))
+           (Nfa.step t p c))
+      (Ucfg_word.Alphabet.chars alphabet)
+  done;
+  (* backward co-reachability over the product *)
+  let co = Hashtbl.create 256 in
+  let bqueue = Queue.create () in
+  let bpush pq =
+    if not (Hashtbl.mem co pq) then begin
+      Hashtbl.add co pq ();
+      Queue.add pq bqueue
+    end
+  in
+  List.iter
+    (fun f -> List.iter (fun f' -> bpush (f, f')) (Nfa.finals t))
+    (Nfa.finals t);
+  (* predecessor map of t *)
+  let preds = Array.make n [] in
+  List.iter
+    (fun (s, c, d) -> preds.(d) <- (s, c) :: preds.(d))
+    (Nfa.transitions t);
+  while not (Queue.is_empty bqueue) do
+    let p, q = Queue.pop bqueue in
+    List.iter
+      (fun (p', c) ->
+         List.iter
+           (fun (q', c') -> if Char.equal c c' then bpush (p', q'))
+           preds.(q))
+      preds.(p)
+  done;
+  not
+    (Hashtbl.fold
+       (fun (p, q) () acc -> acc || (p <> q && Hashtbl.mem co (p, q)))
+       fwd false)
+
+let count_paths nfa len = Nfa.count_paths_by_length nfa len
+
+let count_words_via_dfa nfa len =
+  let dfa = Determinize.run_exn nfa in
+  Dfa.count_words_by_length dfa len
+
+let ambiguous_word nfa ~max_len =
+  let dfa = Determinize.run_exn nfa in
+  let words = Dfa.count_words_by_length dfa max_len in
+  let paths = count_paths nfa max_len in
+  (* find the shortest length where paths exceed words, then locate a word
+     of that length with two runs by direct path counting per word *)
+  let rec find_len l =
+    if l > max_len then None
+    else if Bignum.compare paths.(l) words.(l) > 0 then Some l
+    else find_len (l + 1)
+  in
+  match find_len 0 with
+  | None -> None
+  | Some l ->
+    let count_runs w =
+      (* runs of w: dynamic program over positions *)
+      let n = Nfa.state_count nfa in
+      let vec = Array.make n Bignum.zero in
+      List.iter (fun s -> vec.(s) <- Bignum.one) (Nfa.initials nfa);
+      let cur = ref vec in
+      String.iter
+        (fun c ->
+           let nxt = Array.make n Bignum.zero in
+           Array.iteri
+             (fun s x ->
+                if Bignum.sign x > 0 then
+                  List.iter
+                    (fun d -> nxt.(d) <- Bignum.add nxt.(d) x)
+                    (Nfa.step nfa s c))
+             !cur;
+           cur := nxt)
+        w;
+      let acc = ref Bignum.zero in
+      Array.iteri
+        (fun s x -> if Nfa.is_final nfa s then acc := Bignum.add !acc x)
+        !cur;
+      !acc
+    in
+    Seq.find
+      (fun w -> Bignum.compare (count_runs w) Bignum.one > 0)
+      (Ucfg_word.Word.enumerate (Nfa.alphabet nfa) l)
+
+let count_words nfa len =
+  if is_unambiguous nfa then count_paths nfa len
+  else count_words_via_dfa nfa len

@@ -1,0 +1,1 @@
+lib/cfg/ambiguity.ml: Analysis Count_word Hashtbl Lang List Option Trim Ucfg_lang Ucfg_util

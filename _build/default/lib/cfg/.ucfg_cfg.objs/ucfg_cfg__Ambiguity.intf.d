@@ -1,0 +1,1 @@
+lib/cfg/ambiguity.mli: Grammar Ucfg_util

@@ -1,0 +1,1 @@
+lib/cfg/analysis.ml: Array Grammar Hashtbl Lang List Option Parse_tree Printf String Trim Ucfg_lang Ucfg_util

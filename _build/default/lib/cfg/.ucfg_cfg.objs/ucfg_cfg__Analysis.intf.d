@@ -1,0 +1,1 @@
+lib/cfg/analysis.mli: Grammar Lang Parse_tree Ucfg_lang Ucfg_util

@@ -1,0 +1,1 @@
+lib/cfg/cnf.ml: Array Grammar Hashtbl List Printf Trim

@@ -1,0 +1,1 @@
+lib/cfg/cnf.mli: Grammar

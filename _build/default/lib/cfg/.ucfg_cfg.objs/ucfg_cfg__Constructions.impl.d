@@ -1,0 +1,1 @@
+lib/cfg/constructions.ml: Alphabet Array Grammar Hashtbl Lang List Printf Seq String Ucfg_lang Ucfg_util Ucfg_word Word

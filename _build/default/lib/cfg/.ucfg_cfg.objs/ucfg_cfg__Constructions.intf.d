@@ -1,0 +1,1 @@
+lib/cfg/constructions.mli: Grammar Lang Ucfg_lang Ucfg_word

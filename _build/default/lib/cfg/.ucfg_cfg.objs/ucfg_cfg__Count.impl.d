@@ -1,0 +1,1 @@
+lib/cfg/count.ml: Analysis Array Grammar List Ucfg_lang Ucfg_util

@@ -1,0 +1,1 @@
+lib/cfg/count.mli: Grammar Ucfg_util

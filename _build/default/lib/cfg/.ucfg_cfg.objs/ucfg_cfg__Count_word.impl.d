@@ -1,0 +1,1 @@
+lib/cfg/count_word.ml: Analysis Array Char Grammar Hashtbl String Trim Ucfg_util

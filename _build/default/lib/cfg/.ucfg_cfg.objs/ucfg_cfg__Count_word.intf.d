@@ -1,0 +1,1 @@
+lib/cfg/count_word.mli: Grammar Ucfg_util

@@ -1,0 +1,1 @@
+lib/cfg/cyk.ml: Array Char Grammar List Parse_tree Seq String Ucfg_util

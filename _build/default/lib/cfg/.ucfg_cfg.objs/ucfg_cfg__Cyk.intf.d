@@ -1,0 +1,1 @@
+lib/cfg/cyk.mli: Grammar Parse_tree Ucfg_util

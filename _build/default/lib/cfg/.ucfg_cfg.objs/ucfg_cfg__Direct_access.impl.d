@@ -1,0 +1,1 @@
+lib/cfg/direct_access.ml: Array Char Cyk Grammar List String Ucfg_util

@@ -1,0 +1,1 @@
+lib/cfg/direct_access.mli: Grammar Ucfg_util

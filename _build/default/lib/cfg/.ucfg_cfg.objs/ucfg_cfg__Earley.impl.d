@@ -1,0 +1,1 @@
+lib/cfg/earley.ml: Array Char Grammar Hashtbl List Queue String

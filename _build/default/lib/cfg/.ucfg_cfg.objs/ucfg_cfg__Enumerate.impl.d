@@ -1,0 +1,1 @@
+lib/cfg/enumerate.ml: Analysis Grammar Hashtbl List Parse_tree Seq Trim

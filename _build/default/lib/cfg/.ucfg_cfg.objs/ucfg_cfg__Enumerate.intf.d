@@ -1,0 +1,1 @@
+lib/cfg/enumerate.mli: Grammar Parse_tree Seq

@@ -1,0 +1,1 @@
+lib/cfg/grammar.ml: Alphabet Array Format Hashtbl List Printf Ucfg_word

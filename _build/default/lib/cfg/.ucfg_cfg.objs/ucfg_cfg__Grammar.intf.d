@@ -1,0 +1,1 @@
+lib/cfg/grammar.mli: Alphabet Format Ucfg_word

@@ -1,0 +1,1 @@
+lib/cfg/grammar_io.ml: Alphabet Grammar List Printf String Ucfg_word

@@ -1,0 +1,1 @@
+lib/cfg/grammar_io.mli: Grammar Ucfg_word

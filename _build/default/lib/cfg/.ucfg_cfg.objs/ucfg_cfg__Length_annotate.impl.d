@@ -1,0 +1,1 @@
+lib/cfg/length_annotate.ml: Analysis Array Cnf Grammar Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/cfg/length_annotate.mli: Grammar

@@ -1,0 +1,1 @@
+lib/cfg/ops.ml: Array Grammar List String Ucfg_word

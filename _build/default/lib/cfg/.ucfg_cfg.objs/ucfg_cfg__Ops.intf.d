@@ -1,0 +1,1 @@
+lib/cfg/ops.mli: Grammar

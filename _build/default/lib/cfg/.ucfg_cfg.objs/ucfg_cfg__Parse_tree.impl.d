@@ -1,0 +1,1 @@
+lib/cfg/parse_tree.ml: Buffer Char Format Grammar List Stdlib

@@ -1,0 +1,1 @@
+lib/cfg/parse_tree.mli: Format Grammar

@@ -1,0 +1,1 @@
+lib/cfg/random_grammar.ml: Alphabet Array Grammar List Printf Rng Ucfg_util Ucfg_word

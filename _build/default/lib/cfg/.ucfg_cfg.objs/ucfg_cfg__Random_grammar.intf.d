@@ -1,0 +1,1 @@
+lib/cfg/random_grammar.mli: Grammar Rng Ucfg_util

@@ -1,0 +1,1 @@
+lib/cfg/semiring.ml: Array Bool Float Format List Printf String Ucfg_util

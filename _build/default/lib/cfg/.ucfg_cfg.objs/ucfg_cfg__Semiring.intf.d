@@ -1,0 +1,1 @@
+lib/cfg/semiring.mli: Format Ucfg_util

@@ -1,0 +1,1 @@
+lib/cfg/slp.ml: Array Buffer Char Grammar Hashtbl List Printf String Ucfg_util

@@ -1,0 +1,1 @@
+lib/cfg/slp.mli: Grammar Ucfg_util Ucfg_word

@@ -1,0 +1,1 @@
+lib/cfg/trim.ml: Array Grammar List

@@ -1,0 +1,1 @@
+lib/cfg/weighted.ml: Array Char Grammar List Semiring String

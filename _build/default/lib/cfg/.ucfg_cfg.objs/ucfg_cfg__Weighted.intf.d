@@ -1,0 +1,1 @@
+lib/cfg/weighted.mli: Grammar Semiring

@@ -1,0 +1,77 @@
+open Ucfg_lang
+module Bignum = Ucfg_util.Bignum
+
+type verdict = {
+  unambiguous : bool;
+  total_trees : Bignum.t;
+  word_count : int;
+}
+
+let check ?max_len ?max_card g =
+  let g = Trim.trim g in
+  let lang = Analysis.language_exn ?max_len ?max_card g in
+  let word_count = Lang.cardinal lang in
+  if not (Analysis.has_finitely_many_trees g) then
+    (* a trimmed grammar with a dependency cycle pumps parse trees;
+       infinitely many trees over finitely many words forces a word with
+       two trees (the trimmed grammar is non-empty, else it is acyclic) *)
+    invalid_arg "Ambiguity.check: infinitely many parse trees (grammar is \
+                 trivially ambiguous on a finite language)"
+  else begin
+    let total_trees = Analysis.count_trees_total g in
+    let unambiguous = Bignum.equal total_trees (Bignum.of_int word_count) in
+    { unambiguous; total_trees; word_count }
+  end
+
+let is_unambiguous ?max_len ?max_card g = (check ?max_len ?max_card g).unambiguous
+
+type profile = {
+  word_total : int;
+  ambiguous_words : int;
+  max_trees : Bignum.t;
+  histogram : (string * int) list;
+}
+
+let profile ?max_len ?max_card g =
+  let g = Trim.trim g in
+  let lang = Analysis.language_exn ?max_len ?max_card g in
+  if not (Analysis.has_finitely_many_trees g) then
+    invalid_arg "Ambiguity.profile: infinitely many parse trees";
+  let hist = Hashtbl.create 16 in
+  let max_trees = ref Bignum.zero in
+  let ambiguous_words = ref 0 in
+  Lang.iter
+    (fun w ->
+       let c = Count_word.trees g w in
+       if Bignum.compare c Bignum.one > 0 then incr ambiguous_words;
+       if Bignum.compare c !max_trees > 0 then max_trees := c;
+       let key = Bignum.to_string c in
+       Hashtbl.replace hist key
+         (1 + Option.value ~default:0 (Hashtbl.find_opt hist key)))
+    lang;
+  let histogram =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) hist []
+    |> List.sort (fun (a, _) (b, _) ->
+        compare (Bignum.of_string a) (Bignum.of_string b))
+  in
+  {
+    word_total = Lang.cardinal lang;
+    ambiguous_words = !ambiguous_words;
+    max_trees = !max_trees;
+    histogram;
+  }
+
+let ambiguous_witness ?max_len ?max_card g =
+  let g = Trim.trim g in
+  let lang = Analysis.language_exn ?max_len ?max_card g in
+  if not (Analysis.has_finitely_many_trees g) then
+    invalid_arg "Ambiguity.ambiguous_witness: infinitely many parse trees"
+  else
+    Lang.fold
+      (fun w acc ->
+         match acc with
+         | Some _ -> acc
+         | None ->
+           if Bignum.compare (Count_word.trees g w) Bignum.one > 0 then Some w
+           else None)
+      lang None

@@ -1,0 +1,43 @@
+(** Deciding unambiguity of finite-language grammars.
+
+    Unambiguity is semantic, which is what makes lower bounds hard — but
+    for finite languages it is decidable by exact counting: a grammar is
+    unambiguous iff its total number of parse trees equals the number of
+    words in its language (every word has at least one tree, so equality
+    forces exactly one each). *)
+
+type verdict = {
+  unambiguous : bool;
+  total_trees : Ucfg_util.Bignum.t;
+  word_count : int;
+}
+
+(** [check ?max_len ?max_card g] decides unambiguity of [g].
+    @raise Invalid_argument when the language is infinite or too large to
+    materialise under the caps (see {!Analysis.language}), or when the
+    trimmed grammar has a dependency cycle — in which case it has
+    infinitely many parse trees and is trivially ambiguous on a finite
+    language. *)
+val check : ?max_len:int -> ?max_card:int -> Grammar.t -> verdict
+
+(** [is_unambiguous g] is [(check g).unambiguous]. *)
+val is_unambiguous : ?max_len:int -> ?max_card:int -> Grammar.t -> bool
+
+(** [ambiguous_witness g] is some word with at least two parse trees, when
+    one exists.  Found by per-word tree counting over the language. *)
+val ambiguous_witness :
+  ?max_len:int -> ?max_card:int -> Grammar.t -> string option
+
+type profile = {
+  word_total : int;
+  ambiguous_words : int;  (** words with at least two parse trees *)
+  max_trees : Ucfg_util.Bignum.t;  (** the ambiguity degree *)
+  histogram : (string * int) list;
+      (** tree-count (as a decimal string) → number of words, ascending *)
+}
+
+(** [profile g] measures the distribution of parse-tree counts over the
+    words of a finite-language grammar — how ambiguous the grammar is,
+    beyond the yes/no of {!check}.  Same caps and exceptions as
+    {!check}. *)
+val profile : ?max_len:int -> ?max_card:int -> Grammar.t -> profile

@@ -1,0 +1,59 @@
+(** Semantic analyses of grammars with (intended) finite languages.
+
+    The paper is exclusively about finite languages, where everything about
+    a grammar is decidable by exhaustive computation: the exact language
+    (a Kleene fixpoint), finiteness (growing cycles), the total number of
+    parse trees (a DP over the acyclic dependency graph), and the
+    fixed-length property of Observation 9. *)
+
+open Ucfg_lang
+module Bignum = Ucfg_util.Bignum
+
+type overflow = [ `Length_exceeded of int | `Card_exceeded of int ]
+
+(** [language ?max_len ?max_card g] is the exact language of [g], computed
+    by a Kleene fixpoint over per-nonterminal word sets.  [Error] reports
+    that some derivable word exceeds [max_len] (default 64) or that some
+    nonterminal's set exceeds [max_card] (default 2_000_000) — in either
+    case the grammar is too big to materialise, not necessarily
+    infinite. *)
+val language :
+  ?max_len:int -> ?max_card:int -> Grammar.t -> (Lang.t, overflow) result
+
+(** [language_exn ?max_len ?max_card g] raises [Invalid_argument] instead
+    of returning [Error]. *)
+val language_exn : ?max_len:int -> ?max_card:int -> Grammar.t -> Lang.t
+
+(** [is_finite g] decides finiteness of [L(g)]: after trimming, the
+    language is infinite iff some strongly connected component of the
+    dependency graph contains a "growing" rule occurrence (pumping). *)
+val is_finite : Grammar.t -> bool
+
+(** [has_finitely_many_trees g] decides whether [g] has finitely many parse
+    trees: true iff the trimmed dependency graph is acyclic. *)
+val has_finitely_many_trees : Grammar.t -> bool
+
+(** [count_trees_total g] is the number of parse trees of [g] (all words
+    together).  @raise Invalid_argument when there are infinitely many. *)
+val count_trees_total : Grammar.t -> Bignum.t
+
+(** [fixed_lengths g] is [Some lens] when every nonterminal of the trimmed
+    grammar derives words of a single length — the situation of
+    Observation 9 — with [lens.(a)] that length, indexed by the
+    nonterminals of [Trim.trim g].  Returns the trimmed grammar alongside.
+    [None] when some nonterminal derives words of different lengths.
+    @raise Invalid_argument when the trimmed grammar is cyclic. *)
+val fixed_lengths : Grammar.t -> (Grammar.t * int array) option
+
+(** [topological_order g] lists the nonterminals of [g] so that every
+    nonterminal comes after all nonterminals occurring in its rules
+    (dependencies first).
+    @raise Invalid_argument when the dependency graph is cyclic. *)
+val topological_order : Grammar.t -> int list
+
+(** [witness_tree g a] is some parse tree rooted at [a], if [a] is
+    productive.  Deterministic (first usable rule, recursively). *)
+val witness_tree : Grammar.t -> int -> Parse_tree.t option
+
+(** [witness_word g] is the yield of [witness_tree g (start g)]. *)
+val witness_word : Grammar.t -> string option

@@ -1,0 +1,26 @@
+(** Counting words of a grammar's language.
+
+    For unambiguous grammars, counting is polynomial: the number of
+    derivations of each length satisfies a convolution recurrence over the
+    CNF rules, and unambiguity makes derivations and words coincide.  For
+    ambiguous grammars the same recurrence counts derivations (an upper
+    bound) and exact word counting needs enumeration — the succinctness /
+    tractability trade-off the paper's introduction highlights. *)
+
+module Bignum = Ucfg_util.Bignum
+
+(** [derivations_by_length g max_len] is an array [d] with [d.(l)] the
+    number of leftmost derivations (equivalently parse trees) of words of
+    length [l], for [0 <= l <= max_len].
+    @raise Invalid_argument when [g] is not in CNF. *)
+val derivations_by_length : Grammar.t -> int -> Bignum.t array
+
+(** [words_unambiguous g max_len] counts the words of length [<= max_len]
+    of an unambiguous CNF grammar in polynomial time.  (On an ambiguous
+    grammar this overcounts — it counts parse trees.) *)
+val words_unambiguous : Grammar.t -> int -> Bignum.t
+
+(** [words_by_enumeration g] counts words exactly by materialising the
+    language (exponential in general — the #P-flavoured baseline). *)
+val words_by_enumeration :
+  ?max_len:int -> ?max_card:int -> Grammar.t -> Bignum.t

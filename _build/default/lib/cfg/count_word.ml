@@ -1,0 +1,62 @@
+open Grammar
+module Bignum = Ucfg_util.Bignum
+
+let trees g w =
+  (* trimming removes unproductive cycles and preserves parse trees *)
+  let g = Trim.trim g in
+  if nonterminal_count g = 0 then Bignum.zero
+  else if not (Analysis.has_finitely_many_trees g) then
+    invalid_arg "Count_word.trees: infinitely many parse trees"
+  else begin
+    let n = String.length w in
+    let rules_arr = Array.of_list (rules g) in
+    let rhs_arr = Array.map (fun r -> Array.of_list r.rhs) rules_arr in
+    let nt_memo : (int * int * int, Bignum.t) Hashtbl.t = Hashtbl.create 256 in
+    let seq_memo : (int * int * int * int, Bignum.t) Hashtbl.t =
+      Hashtbl.create 256
+    in
+    (* #ways nonterminal a derives w[i..j) *)
+    let rec nt a i j =
+      match Hashtbl.find_opt nt_memo (a, i, j) with
+      | Some v -> v
+      | None ->
+        (* seed with zero to cut ε-cycles: trimmed acyclic grammars never
+           revisit, but the guard is harmless *)
+        Hashtbl.replace nt_memo (a, i, j) Bignum.zero;
+        let total = ref Bignum.zero in
+        Array.iteri
+          (fun ridx r ->
+             if r.lhs = a then total := Bignum.add !total (seq ridx 0 i j))
+          rules_arr;
+        Hashtbl.replace nt_memo (a, i, j) !total;
+        !total
+    (* #ways the suffix rhs_arr.(ridx)[k..] derives w[i..j) *)
+    and seq ridx k i j =
+      let rhs = rhs_arr.(ridx) in
+      let len = Array.length rhs in
+      if k = len then if i = j then Bignum.one else Bignum.zero
+      else
+        match Hashtbl.find_opt seq_memo (ridx, k, i, j) with
+        | Some v -> v
+        | None ->
+          let total = ref Bignum.zero in
+          begin
+            match rhs.(k) with
+            | T c ->
+              if i < j && Char.equal w.[i] c then
+                total := seq ridx (k + 1) (i + 1) j
+            | N b ->
+              for mid = i to j do
+                let left = nt b i mid in
+                if Bignum.sign left > 0 then
+                  total :=
+                    Bignum.add !total (Bignum.mul left (seq ridx (k + 1) mid j))
+              done
+          end;
+          Hashtbl.replace seq_memo (ridx, k, i, j) !total;
+          !total
+    in
+    nt (start g) 0 n
+  end
+
+let recognize g w = Bignum.sign (trees g w) > 0

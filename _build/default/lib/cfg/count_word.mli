@@ -1,0 +1,17 @@
+(** Parse-tree counting for general (non-CNF) grammars.
+
+    CNF conversion does not always preserve the number of parse trees
+    (UNIT elimination may merge duplicate rules), so ambiguity questions
+    about a grammar as written need counting on the original rules.  This
+    works for any grammar whose trimmed dependency graph is acyclic —
+    which covers every finite-language grammar in this repository. *)
+
+module Bignum = Ucfg_util.Bignum
+
+(** [trees g w] is the number of parse trees of [w] in [g], counted on the
+    original rules.
+    @raise Invalid_argument when [g] has infinitely many parse trees. *)
+val trees : Grammar.t -> string -> Bignum.t
+
+(** [recognize g w] is [trees g w > 0]. *)
+val recognize : Grammar.t -> string -> bool

@@ -1,0 +1,181 @@
+open Grammar
+module Bignum = Ucfg_util.Bignum
+
+(* counts.(pos).(len-1).(a) = number of parse trees of w[pos..pos+len-1]
+   rooted at a.  Laid out as a triangular array of Bignum arrays. *)
+type table = {
+  g : Grammar.t;
+  w : string;
+  counts : Bignum.t array array array;
+}
+
+let binary_rules g =
+  List.filter_map
+    (fun { lhs; rhs } ->
+       match rhs with [ N b; N c ] -> Some (lhs, b, c) | _ -> None)
+    (rules g)
+
+let terminal_rules g =
+  List.filter_map
+    (fun { lhs; rhs } -> match rhs with [ T c ] -> Some (lhs, c) | _ -> None)
+    (rules g)
+
+let build g w =
+  if not (Grammar.is_cnf g) then invalid_arg "Cyk.build: grammar not in CNF";
+  let n = String.length w in
+  let nn = nonterminal_count g in
+  let counts =
+    Array.init n (fun pos ->
+        Array.init (n - pos) (fun _ -> Array.make nn Bignum.zero))
+  in
+  let bin = binary_rules g in
+  let term = terminal_rules g in
+  for pos = 0 to n - 1 do
+    List.iter
+      (fun (a, c) ->
+         if Char.equal w.[pos] c then
+           counts.(pos).(0).(a) <- Bignum.add counts.(pos).(0).(a) Bignum.one)
+      term
+  done;
+  for len = 2 to n do
+    for pos = 0 to n - len do
+      let cell = counts.(pos).(len - 1) in
+      for split = 1 to len - 1 do
+        let left = counts.(pos).(split - 1) in
+        let right = counts.(pos + split).(len - split - 1) in
+        List.iter
+          (fun (a, b, c) ->
+             if Bignum.sign left.(b) > 0 && Bignum.sign right.(c) > 0 then
+               cell.(a) <-
+                 Bignum.add cell.(a) (Bignum.mul left.(b) right.(c)))
+          bin
+      done
+    done
+  done;
+  { g; w; counts }
+
+let start_epsilon_count g =
+  if Grammar.has_rule g (start g) [] then Bignum.one else Bignum.zero
+
+let count_trees g w =
+  if String.length w = 0 then start_epsilon_count g
+  else begin
+    let t = build g w in
+    t.counts.(0).(String.length w - 1).(start g)
+  end
+
+let recognize g w = Bignum.sign (count_trees g w) > 0
+
+let derivable t a pos len =
+  len >= 1
+  && pos >= 0
+  && pos + len <= String.length t.w
+  && Bignum.sign t.counts.(pos).(len - 1).(a) > 0
+
+(* Enumerate parse trees from a filled table, lazily, capped by the
+   caller. *)
+let trees_of_cell t a pos len =
+  let g = t.g in
+  let bin = binary_rules g in
+  let rec gen a pos len : Parse_tree.t Seq.t =
+    if len = 1 then
+      (* terminal rule, and possibly binary rules do not apply at len 1 *)
+      if
+        List.exists
+          (fun (lhs, c) -> lhs = a && Char.equal c t.w.[pos])
+          (terminal_rules g)
+      then Seq.return (Parse_tree.Node (a, [ Parse_tree.Leaf t.w.[pos] ]))
+      else Seq.empty
+    else
+      List.to_seq bin
+      |> Seq.filter (fun (lhs, _, _) -> lhs = a)
+      |> Seq.concat_map (fun (_, b, c) ->
+          Seq.init (len - 1) (fun i -> i + 1)
+          |> Seq.concat_map (fun split ->
+              if derivable t b pos split && derivable t c (pos + split) (len - split)
+              then
+                Seq.concat_map
+                  (fun lt ->
+                     Seq.map
+                       (fun rt -> Parse_tree.Node (a, [ lt; rt ]))
+                       (gen c (pos + split) (len - split)))
+                  (gen b pos split)
+              else Seq.empty))
+  in
+  gen a pos len
+
+let parse g w =
+  if String.length w = 0 then
+    if Grammar.has_rule g (start g) [] then Some (Parse_tree.Node (start g, []))
+    else None
+  else begin
+    let t = build g w in
+    let n = String.length w in
+    if not (derivable t (start g) 0 n) then None
+    else
+      match (trees_of_cell t (start g) 0 n) () with
+      | Seq.Nil -> None
+      | Seq.Cons (tree, _) -> Some tree
+  end
+
+let occurrence_counts g w =
+  let t = build g w in
+  let n = String.length w in
+  let nn = nonterminal_count g in
+  let inside = t.counts in
+  (* outside.(pos).(len-1).(a): parse-ways of the context around the
+     span *)
+  let outside =
+    Array.init n (fun pos ->
+        Array.init (n - pos) (fun _ -> Array.make nn Bignum.zero))
+  in
+  if n > 0 then begin
+    outside.(0).(n - 1).(start g) <- Bignum.one;
+    let bin = binary_rules g in
+    for len = n downto 2 do
+      for pos = 0 to n - len do
+        List.iter
+          (fun (a, b, c) ->
+             let out_a = outside.(pos).(len - 1).(a) in
+             if Bignum.sign out_a > 0 then
+               for split = 1 to len - 1 do
+                 let in_b = inside.(pos).(split - 1).(b) in
+                 let in_c = inside.(pos + split).(len - split - 1).(c) in
+                 if Bignum.sign in_c > 0 then
+                   outside.(pos).(split - 1).(b) <-
+                     Bignum.add
+                       outside.(pos).(split - 1).(b)
+                       (Bignum.mul out_a in_c);
+                 if Bignum.sign in_b > 0 then
+                   outside.(pos + split).(len - split - 1).(c) <-
+                     Bignum.add
+                       outside.(pos + split).(len - split - 1).(c)
+                       (Bignum.mul out_a in_b)
+               done)
+          bin
+      done
+    done
+  end;
+  let acc = ref [] in
+  for pos = n - 1 downto 0 do
+    for len = n - pos downto 1 do
+      for a = nn - 1 downto 0 do
+        let occ =
+          Bignum.mul inside.(pos).(len - 1).(a) outside.(pos).(len - 1).(a)
+        in
+        if Bignum.sign occ > 0 then acc := (a, pos, len, occ) :: !acc
+      done
+    done
+  done;
+  !acc
+
+let all_trees ?(limit = 1000) g w =
+  if String.length w = 0 then
+    if Grammar.has_rule g (start g) [] then [ Parse_tree.Node (start g, []) ]
+    else []
+  else begin
+    let t = build g w in
+    let n = String.length w in
+    trees_of_cell t (start g) 0 n
+    |> Seq.take limit |> List.of_seq
+  end

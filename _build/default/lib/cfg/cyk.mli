@@ -1,0 +1,39 @@
+(** CYK recognition, parsing and parse-tree counting for CNF grammars.
+
+    Counting parse trees per word is the workhorse behind the unambiguity
+    checks and behind the #P-flavoured experiments: for a CNF grammar the
+    number of parse trees of a word is a simple O(|w|³·|G|) dynamic
+    program with big-integer entries. *)
+
+module Bignum = Ucfg_util.Bignum
+
+type table
+
+(** [build g w] fills the CYK table for word [w].
+    @raise Invalid_argument when [g] is not in CNF. *)
+val build : Grammar.t -> string -> table
+
+(** [recognize g w] decides [w ∈ L(g)].  Handles [ε] via a start ε-rule. *)
+val recognize : Grammar.t -> string -> bool
+
+(** [count_trees g w] is the number of parse trees of [w] in [g]. *)
+val count_trees : Grammar.t -> string -> Bignum.t
+
+(** [parse g w] is some parse tree of [w], when [w ∈ L(g)]. *)
+val parse : Grammar.t -> string -> Parse_tree.t option
+
+(** [all_trees ?limit g w] lists the parse trees of [w] (at most [limit],
+    default 1000). *)
+val all_trees : ?limit:int -> Grammar.t -> string -> Parse_tree.t list
+
+(** [derivable table a pos len] queries the table: does nonterminal [a]
+    derive the subword at [pos] (0-based) of length [len]? *)
+val derivable : table -> int -> int -> int -> bool
+
+(** [occurrence_counts g w] — the inside–outside product: for every
+    nonterminal occurrence [(a, pos, len)], the number of parse trees of
+    [w] containing it.  This is the quantitative form of Observation 11:
+    on an unambiguous grammar every count is 0 or 1, and the 1-entries
+    are exactly the spans of the unique parse tree. *)
+val occurrence_counts :
+  Grammar.t -> string -> (int * int * int * Bignum.t) list

@@ -1,0 +1,47 @@
+(** Direct access (unranking), ranking, and exact uniform sampling for
+    unambiguous grammars.
+
+    One of the paper's motivations: unambiguous representations support
+    counting-based algorithms.  This module realises the strongest of
+    them — given an unambiguous CNF grammar, words are totally ordered by
+    a canonical derivation order, and the [i]-th word is computed in time
+    polynomial in the grammar and word length from the counting tables
+    (no enumeration), like ranked access over factorised representations.
+
+    The canonical order is length-first, then, recursively at each
+    nonterminal: by rule (declaration order), then by split position, then
+    by the left subderivation, then the right.  On an {e ambiguous}
+    grammar the functions index {e derivations} rather than words (each
+    word appears once per parse tree) — which the experiments use to show
+    the difference. *)
+
+module Bignum = Ucfg_util.Bignum
+
+type t
+
+(** [create g ~max_len] precomputes counting tables for words of length
+    up to [max_len].
+    @raise Invalid_argument when [g] is not in CNF. *)
+val create : Grammar.t -> max_len:int -> t
+
+val grammar : t -> Grammar.t
+val max_len : t -> int
+
+(** [count_length t len] — derivations of words of length [len]. *)
+val count_length : t -> int -> Bignum.t
+
+(** [total t] — derivations of words of length [<= max_len]. *)
+val total : t -> Bignum.t
+
+(** [nth t i] — the [i]-th word (0-based) in the canonical order;
+    [None] if [i >= total t]. *)
+val nth : t -> Bignum.t -> string option
+
+(** [rank t w] — the inverse of {!nth} for unambiguous grammars:
+    the canonical index of [w], or [None] if [w ∉ L(g)] (or longer than
+    [max_len]). *)
+val rank : t -> string -> Bignum.t option
+
+(** [sample t rng] — an exactly uniformly random derivation (= word, when
+    the grammar is unambiguous); [None] on an empty language. *)
+val sample : t -> Ucfg_util.Rng.t -> string option

@@ -1,0 +1,82 @@
+open Grammar
+
+type stats = { accepted : bool; items : int }
+
+(* Earley items are (rule index, dot position, origin column).  Columns are
+   processed strictly in order: additions only ever target the current
+   column (predict / complete) or the next one (scan), so when a completion
+   looks back at its origin column, that column is already closed — except
+   for empty spans (origin = current column), which are caught at
+   prediction time by [completed_empty_span] (the classical nullable
+   fix). *)
+let recognize_stats g w =
+  let n = String.length w in
+  let rules_arr = Array.of_list (rules g) in
+  let rhs_arr = Array.map (fun r -> Array.of_list r.rhs) rules_arr in
+  let nrules = Array.length rules_arr in
+  let chart = Array.init (n + 1) (fun _ -> Hashtbl.create 64) in
+  let pending = Array.init (n + 1) (fun _ -> Queue.create ()) in
+  let add col item =
+    if not (Hashtbl.mem chart.(col) item) then begin
+      Hashtbl.add chart.(col) item ();
+      Queue.add item pending.(col)
+    end
+  in
+  for r = 0 to nrules - 1 do
+    if rules_arr.(r).lhs = start g then add 0 (r, 0, 0)
+  done;
+  let expecting col a =
+    Hashtbl.fold
+      (fun (r, dot, org) () acc ->
+         if dot < Array.length rhs_arr.(r) then
+           match rhs_arr.(r).(dot) with
+           | N b when b = a -> (r, dot, org) :: acc
+           | _ -> acc
+         else acc)
+      chart.(col) []
+  in
+  let completed_empty_span col a =
+    Hashtbl.fold
+      (fun (r, dot, org) () acc ->
+         acc
+         || (org = col && dot = Array.length rhs_arr.(r)
+             && rules_arr.(r).lhs = a))
+      chart.(col) false
+  in
+  for col = 0 to n do
+    let q = pending.(col) in
+    while not (Queue.is_empty q) do
+      let (r, dot, org) = Queue.pop q in
+      let rhs = rhs_arr.(r) in
+      if dot < Array.length rhs then begin
+        match rhs.(dot) with
+        | T c ->
+          if col < n && Char.equal w.[col] c then add (col + 1) (r, dot + 1, org)
+        | N a ->
+          for r' = 0 to nrules - 1 do
+            if rules_arr.(r').lhs = a then add col (r', 0, col)
+          done;
+          if completed_empty_span col a then add col (r, dot + 1, org)
+      end
+      else begin
+        let a = rules_arr.(r).lhs in
+        List.iter
+          (fun (r', dot', org') -> add col (r', dot' + 1, org'))
+          (expecting org a)
+      end
+    done
+  done;
+  let accepted =
+    Hashtbl.fold
+      (fun (r, dot, org) () acc ->
+         acc
+         || (org = 0 && dot = Array.length rhs_arr.(r)
+             && rules_arr.(r).lhs = start g))
+      chart.(n) false
+  in
+  let items =
+    Array.fold_left (fun acc tbl -> acc + Hashtbl.length tbl) 0 chart
+  in
+  { accepted; items }
+
+let recognize g w = (recognize_stats g w).accepted

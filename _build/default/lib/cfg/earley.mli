@@ -1,0 +1,17 @@
+(** Earley recognition for arbitrary grammars.
+
+    CYK needs Chomsky normal form; the Earley recogniser works on any
+    grammar as written, which lets the test-suite cross-check CNF
+    conversion (same membership answers before and after) and gives the
+    examples a parser that follows the paper's rule shapes directly. *)
+
+type stats = {
+  accepted : bool;
+  items : int;  (** total Earley items over all chart columns *)
+}
+
+(** [recognize g w] decides [w ∈ L(g)]. *)
+val recognize : Grammar.t -> string -> bool
+
+(** [recognize_stats g w] also reports the chart size. *)
+val recognize_stats : Grammar.t -> string -> stats

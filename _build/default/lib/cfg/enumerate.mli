@@ -1,0 +1,20 @@
+(** Enumerating the language and the parse trees of a grammar.
+
+    Unambiguity matters for enumeration (this is one of the paper's
+    motivations): an unambiguous grammar can be enumerated by walking its
+    derivations without any duplicate suppression, whereas an ambiguous
+    grammar enumerated the same way emits each word once per parse tree. *)
+
+(** [trees g] lazily enumerates every parse tree of [g].
+    @raise Invalid_argument when there are infinitely many (the sequence
+    is produced for trimmed acyclic grammars). *)
+val trees : Grammar.t -> Parse_tree.t Seq.t
+
+(** [derivation_words g] is [Seq.map yield (trees g)]: each word appears
+    once per parse tree.  Duplicate-free exactly when [g] is
+    unambiguous. *)
+val derivation_words : Grammar.t -> string Seq.t
+
+(** [words g] enumerates the language without duplicates, whatever the
+    ambiguity, by filtering [derivation_words] through a seen-set. *)
+val words : Grammar.t -> string Seq.t

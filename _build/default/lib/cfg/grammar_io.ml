@@ -1,0 +1,74 @@
+open Ucfg_word
+
+let fail line msg =
+  invalid_arg (Printf.sprintf "Grammar_io.parse: line %d: %s" line msg)
+
+(* tokenize one right-hand side: "<A> a <B>" -> [N "A"; T 'a'; N "B"];
+   "ε" / "eps" / empty -> [] *)
+let parse_rhs alpha line s =
+  let s = String.trim s in
+  if s = "" || s = "ε" || s = "eps" then []
+  else begin
+    let tokens =
+      String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
+    in
+    List.map
+      (fun tok ->
+         let len = String.length tok in
+         if len >= 2 && tok.[0] = '<' && tok.[len - 1] = '>' then
+           `N (String.sub tok 1 (len - 2))
+         else if len = 1 && Alphabet.mem alpha tok.[0] then `T tok.[0]
+         else fail line (Printf.sprintf "unrecognised token %S" tok))
+      tokens
+  end
+
+let parse alpha s =
+  let lines = String.split_on_char '\n' s in
+  let b = Grammar.Builder.create alpha in
+  let start = ref None in
+  List.iteri
+    (fun i raw ->
+       let line = i + 1 in
+       let text = String.trim raw in
+       if text = "" || text.[0] = '#' then ()
+       else if String.length text > 6 && String.sub text 0 6 = "start:" then begin
+         match
+           parse_rhs alpha line (String.sub text 6 (String.length text - 6))
+         with
+         | [ `N name ] -> start := Some (Grammar.Builder.fresh_memo b name)
+         | _ -> fail line "start: expects a single <nonterminal>"
+       end
+       else begin
+         match String.index_opt text '-' with
+         | Some i
+           when i + 1 < String.length text
+                && text.[i + 1] = '>' -> begin
+             let lhs_text = String.trim (String.sub text 0 i) in
+             let rhs_text =
+               String.sub text (i + 2) (String.length text - i - 2)
+             in
+             match parse_rhs alpha line lhs_text with
+             | [ `N name ] ->
+               let lhs = Grammar.Builder.fresh_memo b name in
+               List.iter
+                 (fun alt ->
+                    let rhs =
+                      List.map
+                        (function
+                          | `N name ->
+                            Grammar.N (Grammar.Builder.fresh_memo b name)
+                          | `T c -> Grammar.T c)
+                        (parse_rhs alpha line alt)
+                    in
+                    Grammar.Builder.add_rule b lhs rhs)
+                 (String.split_on_char '|' rhs_text)
+             | _ -> fail line "left-hand side must be one <nonterminal>"
+           end
+         | _ -> fail line "expected '<A> -> ...' or 'start: <A>'"
+       end)
+    lines;
+  match !start with
+  | None -> invalid_arg "Grammar_io.parse: missing 'start:' declaration"
+  | Some s -> Grammar.Builder.finish b ~start:s
+
+let to_string = Grammar.to_string

@@ -1,0 +1,28 @@
+(** Textual grammar format: parse and print.
+
+    A practical front door for the CLI and for test fixtures.  The format
+    is the one {!Grammar.pp} prints:
+
+    {v
+    start: <S>
+    <S> -> <A> <B>
+    <S> -> <B> <A>
+    <A> -> a
+    <B> -> b | ε
+    v}
+
+    Nonterminals in angle brackets, terminals as bare characters, [ε] (or
+    [eps]) for the empty right-hand side, [|] separating alternative
+    right-hand sides of one line (sugar for several rules, as in the
+    paper's Definition 2 remark).  Lines starting with [#] are
+    comments. *)
+
+(** [parse alpha s] — @raise Invalid_argument with a line-numbered message
+    on syntax errors, unknown terminals, or a missing start
+    declaration. *)
+val parse : Ucfg_word.Alphabet.t -> string -> Grammar.t
+
+(** [to_string g] — {!Grammar.to_string}, re-exported for symmetry;
+    [parse alpha (to_string g)] reproduces [g] up to nonterminal
+    numbering. *)
+val to_string : Grammar.t -> string

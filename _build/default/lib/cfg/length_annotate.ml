@@ -1,0 +1,60 @@
+open Grammar
+
+type t = {
+  grammar : Grammar.t;
+  word_length : int;
+  origin : (int * int) array;
+  span_length : int array;
+}
+
+let annotate g =
+  let cnf = Cnf.ensure g in
+  match Analysis.fixed_lengths cnf with
+  | None ->
+    invalid_arg "Length_annotate.annotate: language not of fixed word length"
+  | Some (cnf, lens) ->
+    if nonterminal_count cnf = 0 || rules_of cnf (start cnf) = [] then
+      invalid_arg "Length_annotate.annotate: empty language";
+    let n = lens.(start cnf) in
+    (* allocate copies (a, i) on demand, reachably from (start, 1) *)
+    let ids : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+    let origin_rev = ref [] in
+    let count = ref 0 in
+    let new_rules = ref [] in
+    let rec copy (a, i) =
+      match Hashtbl.find_opt ids (a, i) with
+      | Some id -> id
+      | None ->
+        let id = !count in
+        incr count;
+        Hashtbl.add ids (a, i) id;
+        origin_rev := (a, i) :: !origin_rev;
+        List.iter
+          (fun rhs ->
+             match rhs with
+             | [ T c ] -> new_rules := (id, [ T c ]) :: !new_rules
+             | [ N b; N c ] ->
+               let bid = copy (b, i) in
+               let cid = copy (c, i + lens.(b)) in
+               new_rules := (id, [ N bid; N cid ]) :: !new_rules
+             | [] ->
+               invalid_arg "Length_annotate.annotate: ε in the language"
+             | _ -> assert false (* CNF *))
+          (rules_of cnf a);
+        id
+    in
+    let start_id = copy (start cnf, 1) in
+    let origin = Array.of_list (List.rev !origin_rev) in
+    let names =
+      Array.map
+        (fun (a, i) -> Printf.sprintf "%s@%d" (name cnf a) i)
+        origin
+    in
+    let rules =
+      List.rev_map (fun (lhs, rhs) -> { lhs; rhs }) !new_rules
+    in
+    let grammar =
+      make ~alphabet:(alphabet cnf) ~names ~rules ~start:start_id
+    in
+    let span_length = Array.map (fun (a, _) -> lens.(a)) origin in
+    { grammar; word_length = n; origin; span_length }

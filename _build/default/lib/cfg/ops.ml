@@ -1,0 +1,39 @@
+open Grammar
+
+(* Disjointly renumber [b]'s nonterminals after [a]'s, add a fresh start. *)
+let combine name_tag build_start_rules a b =
+  if not (Ucfg_word.Alphabet.equal (alphabet a) (alphabet b)) then
+    invalid_arg ("Ops." ^ name_tag ^ ": alphabet mismatch");
+  let na = nonterminal_count a in
+  let nb = nonterminal_count b in
+  let fresh = na + nb in
+  let names =
+    Array.concat
+      [
+        names a;
+        Array.map (fun s -> s ^ "'") (names b);
+        [| String.uppercase_ascii name_tag |];
+      ]
+  in
+  let shift_sym = function T c -> T c | N i -> N (i + na) in
+  let rules =
+    rules a
+    @ List.map
+        (fun { lhs; rhs } -> { lhs = lhs + na; rhs = List.map shift_sym rhs })
+        (rules b)
+    @ build_start_rules ~fresh ~start_a:(start a) ~start_b:(start b + na)
+  in
+  make ~alphabet:(alphabet a) ~names ~rules ~start:fresh
+
+let union a b =
+  combine "union"
+    (fun ~fresh ~start_a ~start_b ->
+       [ { lhs = fresh; rhs = [ N start_a ] };
+         { lhs = fresh; rhs = [ N start_b ] } ])
+    a b
+
+let concat a b =
+  combine "concat"
+    (fun ~fresh ~start_a ~start_b ->
+       [ { lhs = fresh; rhs = [ N start_a; N start_b ] } ])
+    a b

@@ -1,0 +1,17 @@
+(** Closure operations on grammars: union and concatenation.
+
+    (The Bar–Hillel intersection with an automaton lives in
+    {!Ucfg_automata.Bar_hillel}, next to the automata it consumes.)
+    Both operations preserve parse-tree structure: a tree of the result
+    is a choice tag plus trees of the arguments, so unambiguity is
+    preserved exactly when the operands' languages are disjoint (union)
+    or concatenation-unambiguous (concat) — for the fixed-length
+    languages of this repository, concatenation is always unambiguous. *)
+
+(** [union a b] accepts [L(a) ∪ L(b)] (fresh start with two unit rules);
+    size [|a| + |b| + 2].
+    @raise Invalid_argument on alphabet mismatch. *)
+val union : Grammar.t -> Grammar.t -> Grammar.t
+
+(** [concat a b] accepts [L(a)·L(b)]; size [|a| + |b| + 2]. *)
+val concat : Grammar.t -> Grammar.t -> Grammar.t

@@ -1,0 +1,77 @@
+type t = Leaf of char | Node of int * t list
+
+let yield t =
+  let buf = Buffer.create 16 in
+  let rec go = function
+    | Leaf c -> Buffer.add_char buf c
+    | Node (_, children) -> List.iter go children
+  in
+  go t;
+  Buffer.contents buf
+
+let root = function
+  | Node (a, _) -> a
+  | Leaf _ -> invalid_arg "Parse_tree.root: leaf"
+
+let rec size = function
+  | Leaf _ -> 1
+  | Node (_, children) -> 1 + List.fold_left (fun acc c -> acc + size c) 0 children
+
+let rec leaf_count = function
+  | Leaf _ -> 1
+  | Node (_, children) ->
+    List.fold_left (fun acc c -> acc + leaf_count c) 0 children
+
+let rec depth = function
+  | Leaf _ -> 1
+  | Node (_, children) ->
+    1 + List.fold_left (fun acc c -> max acc (depth c)) 0 children
+
+let shape_of_child = function
+  | Leaf c -> Grammar.T c
+  | Node (a, _) -> Grammar.N a
+
+let rule_of_node g t =
+  match t with
+  | Leaf _ -> None
+  | Node (a, children) ->
+    let rhs = List.map shape_of_child children in
+    if Grammar.has_rule g a rhs then Some rhs else None
+
+let is_valid g a t =
+  let rec go expected t =
+    match (expected, t) with
+    | Grammar.T c, Leaf c' -> Char.equal c c'
+    | Grammar.N a, Node (a', children) ->
+      a = a'
+      && Grammar.has_rule g a (List.map shape_of_child children)
+      && List.for_all2 go (List.map shape_of_child children) children
+    | _ -> false
+  in
+  go (Grammar.N a) t
+
+let nonterminals t =
+  let rec go acc = function
+    | Leaf _ -> acc
+    | Node (a, children) -> List.fold_left go (a :: acc) children
+  in
+  List.rev (go [] t)
+
+let rec contains_nonterminal t a =
+  match t with
+  | Leaf _ -> false
+  | Node (a', children) ->
+    a = a' || List.exists (fun c -> contains_nonterminal c a) children
+
+let equal = ( = )
+let compare = Stdlib.compare
+
+let pp g fmt t =
+  let rec go fmt = function
+    | Leaf c -> Format.fprintf fmt "%c" c
+    | Node (a, children) ->
+      Format.fprintf fmt "@[<hov 1>(%s" (Grammar.name g a);
+      List.iter (fun c -> Format.fprintf fmt "@ %a" go c) children;
+      Format.fprintf fmt ")@]"
+  in
+  go fmt t

@@ -1,0 +1,46 @@
+(** Parse trees of context free grammars.
+
+    A parse tree witnesses a derivation: internal nodes are labelled by a
+    nonterminal together with the right-hand side used, leaves are
+    terminals.  Unambiguity (Section 2) is the property that every word of
+    the language has exactly one parse tree. *)
+
+type t =
+  | Leaf of char
+  | Node of int * t list
+      (** [Node (a, children)]: nonterminal [a] expanded by the rule whose
+          right-hand side matches the children shapes. *)
+
+(** [yield t] is the word at the leaves, left to right. *)
+val yield : t -> string
+
+(** [root t] is the root nonterminal.  @raise Invalid_argument on a leaf. *)
+val root : t -> int
+
+(** [size t] is the number of nodes (internal and leaves). *)
+val size : t -> int
+
+(** [leaf_count t] is the number of leaves, i.e. the yield length. *)
+val leaf_count : t -> int
+
+(** [depth t] is the height of the tree (a leaf has depth 1). *)
+val depth : t -> int
+
+(** [rule_of_node g t] recovers the right-hand side used at the root of
+    [t]; checks it is an actual rule of [g]. *)
+val rule_of_node : Grammar.t -> t -> Grammar.sym list option
+
+(** [is_valid g a t] checks [t] is a parse tree of [g] rooted at
+    nonterminal [a]: every internal node uses an existing rule. *)
+val is_valid : Grammar.t -> int -> t -> bool
+
+(** [nonterminals t] lists the nonterminals occurring in [t] (with
+    repetition, preorder). *)
+val nonterminals : t -> int list
+
+(** [contains_nonterminal t a] tests whether [a] labels some node. *)
+val contains_nonterminal : t -> int -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Grammar.t -> Format.formatter -> t -> unit

@@ -1,0 +1,57 @@
+open Ucfg_util
+open Ucfg_word
+open Grammar
+module B = Grammar.Builder
+
+let general rng ~nonterminals ~max_rules ~max_rhs_len =
+  if nonterminals < 1 then invalid_arg "Random_grammar.general";
+  let b = B.create Alphabet.binary in
+  let nts =
+    Array.init nonterminals (fun i -> B.fresh b (Printf.sprintf "N%d" i))
+  in
+  for i = 0 to nonterminals - 1 do
+    let nrules = Rng.int rng (max_rules + 1) in
+    for _ = 1 to nrules do
+      let len = Rng.int rng (max_rhs_len + 1) in
+      let rhs =
+        List.init len (fun _ ->
+            (* bias towards terminals so the language stays small; only
+               higher-numbered nonterminals keep the grammar acyclic *)
+            if i = nonterminals - 1 || Rng.int rng 3 < 2 then
+              T (if Rng.bool rng then 'a' else 'b')
+            else N nts.(i + 1 + Rng.int rng (nonterminals - i - 1)))
+      in
+      B.add_rule b nts.(i) rhs
+    done
+  done;
+  B.finish b ~start:nts.(0)
+
+let fixed_length rng ~word_len ~variants =
+  if word_len < 1 || variants < 1 then invalid_arg "Random_grammar.fixed_length";
+  let b = B.create Alphabet.binary in
+  (* by_len.(l) = nonterminals generating words of length exactly l+1 *)
+  let by_len = Array.make word_len [] in
+  for l = 1 to word_len do
+    let k = if l = word_len then 1 else 1 + Rng.int rng variants in
+    for v = 1 to k do
+      let nt = B.fresh b (Printf.sprintf "L%d_%d" l v) in
+      by_len.(l - 1) <- nt :: by_len.(l - 1);
+      if l = 1 then begin
+        B.add_rule b nt [ T (if Rng.bool rng then 'a' else 'b') ];
+        if Rng.bool rng then
+          B.add_rule b nt [ T (if Rng.bool rng then 'a' else 'b') ]
+      end
+      else begin
+        let nrules = 1 + Rng.int rng 2 in
+        for _ = 1 to nrules do
+          let split = 1 + Rng.int rng (l - 1) in
+          let left = Rng.pick rng (Array.of_list by_len.(split - 1)) in
+          let right = Rng.pick rng (Array.of_list by_len.(l - split - 1)) in
+          B.add_rule b nt [ N left; N right ]
+        done
+      end
+    done
+  done;
+  match by_len.(word_len - 1) with
+  | start :: _ -> B.finish b ~start
+  | [] -> assert false

@@ -1,0 +1,19 @@
+(** Random finite-language grammars for property-based tests.
+
+    Acyclicity is enforced structurally (a nonterminal only references
+    higher-numbered ones), so every generated grammar has a finite language
+    and finitely many parse trees. *)
+
+open Ucfg_util
+
+(** [general rng ~nonterminals ~max_rules ~max_rhs_len] draws a random
+    acyclic grammar over the binary alphabet.  Some nonterminals may be
+    useless (no rules, or unreachable) on purpose, to exercise trimming. *)
+val general :
+  Rng.t -> nonterminals:int -> max_rules:int -> max_rhs_len:int -> Grammar.t
+
+(** [fixed_length rng ~word_len ~variants] draws a random CNF grammar all
+    of whose words have length exactly [word_len]; [variants] controls how
+    many distinct nonterminals share each span length (more variants, more
+    rules).  The language is never empty. *)
+val fixed_length : Rng.t -> word_len:int -> variants:int -> Grammar.t

@@ -1,0 +1,183 @@
+module Bignum = Ucfg_util.Bignum
+
+type node = Char of char | Pair of int * int
+
+type t = { nodes : node array; root : int; lengths : Bignum.t array }
+
+let compute_lengths nodes =
+  Array.mapi
+    (fun i nd ->
+       match nd with
+       | Char _ -> Bignum.one
+       | Pair (a, b) ->
+         if a < 0 || b < 0 || a >= i || b >= i then
+           invalid_arg "Slp.make: children must precede their node"
+         else Bignum.zero)
+    nodes
+  |> fun lengths ->
+  Array.iteri
+    (fun i nd ->
+       match nd with
+       | Char _ -> ()
+       | Pair (a, b) -> lengths.(i) <- Bignum.add lengths.(a) lengths.(b))
+    nodes;
+  lengths
+
+let make ~nodes ~root =
+  if root < 0 || root >= Array.length nodes then invalid_arg "Slp.make: root";
+  { nodes; root; lengths = compute_lengths nodes }
+
+let root t = t.root
+let node_count t = Array.length t.nodes
+let size t = Array.length t.nodes
+let length t = t.lengths.(t.root)
+
+let char_at t i =
+  if Bignum.sign i < 0 || Bignum.compare i (length t) >= 0 then
+    invalid_arg "Slp.char_at: index out of range";
+  let rec go node i =
+    match t.nodes.(node) with
+    | Char c -> c
+    | Pair (a, b) ->
+      if Bignum.compare i t.lengths.(a) < 0 then go a i
+      else go b (Bignum.sub i t.lengths.(a))
+  in
+  go t.root i
+
+let to_word ?(max_len = 1_000_000) t =
+  match Bignum.to_int (length t) with
+  | Some len when len <= max_len ->
+    let buf = Buffer.create len in
+    let rec go node =
+      match t.nodes.(node) with
+      | Char c -> Buffer.add_char buf c
+      | Pair (a, b) ->
+        go a;
+        go b
+    in
+    go t.root;
+    Buffer.contents buf
+  | _ -> invalid_arg "Slp.to_word: word too long"
+
+(* hash-consed bottom-up builder *)
+module Builder = struct
+  type b = {
+    mutable nodes_rev : node list;
+    mutable count : int;
+    cache : (node, int) Hashtbl.t;
+  }
+
+  let create () = { nodes_rev = []; count = 0; cache = Hashtbl.create 64 }
+
+  let node b nd =
+    match Hashtbl.find_opt b.cache nd with
+    | Some id -> id
+    | None ->
+      let id = b.count in
+      b.count <- id + 1;
+      b.nodes_rev <- nd :: b.nodes_rev;
+      Hashtbl.add b.cache nd id;
+      id
+
+  let finish b ~root =
+    make ~nodes:(Array.of_list (List.rev b.nodes_rev)) ~root
+end
+
+let of_word w =
+  if String.length w = 0 then invalid_arg "Slp.of_word: empty word";
+  let b = Builder.create () in
+  let rec build lo hi =
+    (* [lo, hi): balanced split, hash-consing shares repeated subwords of
+       aligned shape *)
+    if hi - lo = 1 then Builder.node b (Char w.[lo])
+    else begin
+      let mid = lo + ((hi - lo) / 2) in
+      let l = build lo mid in
+      let r = build mid hi in
+      Builder.node b (Pair (l, r))
+    end
+  in
+  let root = build 0 (String.length w) in
+  Builder.finish b ~root
+
+(* import the nodes of [src] into builder [b]; returns the new id of
+   [src]'s root *)
+let import b src =
+  let map = Array.make (Array.length src.nodes) (-1) in
+  Array.iteri
+    (fun i nd ->
+       let nd' =
+         match nd with
+         | Char c -> Char c
+         | Pair (x, y) -> Pair (map.(x), map.(y))
+       in
+       map.(i) <- Builder.node b nd')
+    src.nodes;
+  map.(src.root)
+
+let concat a b =
+  let bl = Builder.create () in
+  let ra = import bl a in
+  let rb = import bl b in
+  Builder.finish bl ~root:(Builder.node bl (Pair (ra, rb)))
+
+let power t k =
+  if k < 1 then invalid_arg "Slp.power: k must be >= 1";
+  let b = Builder.create () in
+  let base = import b t in
+  (* binary exponentiation: squares plus combinations *)
+  let rec go k =
+    if k = 1 then base
+    else begin
+      let half = go (k / 2) in
+      let sq = Builder.node b (Pair (half, half)) in
+      if k mod 2 = 0 then sq else Builder.node b (Pair (sq, base))
+    end
+  in
+  Builder.finish b ~root:(go k)
+
+let fibonacci k =
+  if k < 1 then invalid_arg "Slp.fibonacci: k must be >= 1";
+  let b = Builder.create () in
+  let f1 = Builder.node b (Char 'b') in
+  let f2 = Builder.node b (Char 'a') in
+  if k = 1 then Builder.finish b ~root:f1
+  else begin
+    let rec go i prev prev2 =
+      if i = k then prev
+      else go (i + 1) (Builder.node b (Pair (prev, prev2))) prev
+    in
+    Builder.finish b ~root:(go 2 f2 f1)
+  end
+
+let to_grammar alpha t =
+  let names =
+    Array.init (Array.length t.nodes) (fun i -> Printf.sprintf "X%d" i)
+  in
+  let rules =
+    Array.to_list
+      (Array.mapi
+         (fun i nd ->
+            match nd with
+            | Char c -> { Grammar.lhs = i; rhs = [ Grammar.T c ] }
+            | Pair (a, b) ->
+              { Grammar.lhs = i; rhs = [ Grammar.N a; Grammar.N b ] })
+         t.nodes)
+  in
+  Grammar.make ~alphabet:alpha ~names ~rules ~start:t.root
+
+let equal_naive ?(max_len = 100_000) a b =
+  Bignum.equal (length a) (length b)
+  && begin
+    match Bignum.to_int (length a) with
+    | Some len when len <= max_len ->
+      let rec go i =
+        i >= len
+        || (Char.equal
+              (char_at a (Bignum.of_int i))
+              (char_at b (Bignum.of_int i))
+            && go (i + 1))
+      in
+      go 0
+    | _ -> invalid_arg "Slp.equal_naive: word too long"
+  end

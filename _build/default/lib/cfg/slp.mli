@@ -1,0 +1,68 @@
+(** Straight-line programs: grammar-based compression of single words.
+
+    The related-work strand the paper contrasts itself with ([18–21]
+    and the recent database applications): a CFG generating exactly one
+    word is a compressed representation of that word, on which algorithms
+    run without decompression.  An SLP assigns every nonterminal exactly
+    one rule — a terminal character or a pair of earlier nonterminals —
+    so the derived word can be doubly exponential in the program size;
+    lengths are big integers and random access walks the DAG. *)
+
+module Bignum = Ucfg_util.Bignum
+
+type node =
+  | Char of char
+  | Pair of int * int  (** indices of earlier nodes *)
+
+type t
+
+(** [make ~nodes ~root] validates: [Pair] children must precede their
+    node.  @raise Invalid_argument otherwise. *)
+val make : nodes:node array -> root:int -> t
+
+val root : t -> int
+val node_count : t -> int
+
+(** [size t] — number of nodes (the usual SLP size measure; each node is
+    one rule of size ≤ 2). *)
+val size : t -> int
+
+(** [length t] — the length of the derived word, without expanding. *)
+val length : t -> Bignum.t
+
+(** [char_at t i] — the [i]-th character (0-based big-integer index) in
+    time O(depth), without expanding.
+    @raise Invalid_argument when out of range. *)
+val char_at : t -> Bignum.t -> char
+
+(** [to_word ?max_len t] materialises the word.
+    @raise Invalid_argument when longer than [max_len] (default 10^6). *)
+val to_word : ?max_len:int -> t -> string
+
+(** [of_word w] — an SLP for [w] by balanced splitting with hash-consing,
+    so repetitive words compress (e.g. [(ab)^(2^k)] to O(k) nodes).
+    Requires [w] non-empty. *)
+val of_word : string -> t
+
+(** [power t k] — an SLP for [word(t)^k] of size [size t + O(log k)]
+    (binary exponentiation).  Requires [k >= 1]. *)
+val power : t -> int -> t
+
+(** [concat a b] — derives [word(a) · word(b)]. *)
+val concat : t -> t -> t
+
+(** [fibonacci k] — the [k]-th Fibonacci word ([F_1 = "b"], [F_2 = "a"],
+    [F_k = F_(k-1) F_(k-2)]): [O(k)] nodes for a word of length
+    [Fib(k)].  Requires [k >= 1]. *)
+val fibonacci : int -> t
+
+(** [to_grammar alpha t] — the corresponding single-word CFG; its language
+    is the singleton [{word(t)}]. *)
+val to_grammar : Ucfg_word.Alphabet.t -> t -> Grammar.t
+
+(** [equal_naive ?max_len a b] — equality of the derived words, decided by
+    comparing lengths and then characters through {!char_at} (up to
+    [max_len] characters, default 10^5).  Polynomial SLP equality
+    (Plandowski) is a classical result out of scope here.
+    @raise Invalid_argument when the words are longer than [max_len]. *)
+val equal_naive : ?max_len:int -> t -> t -> bool

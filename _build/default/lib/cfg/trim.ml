@@ -1,0 +1,77 @@
+open Grammar
+
+let productive g =
+  let n = nonterminal_count g in
+  let prod = Array.make n false in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun { lhs; rhs } ->
+         if not prod.(lhs) then begin
+           let all_ok =
+             List.for_all (function T _ -> true | N i -> prod.(i)) rhs
+           in
+           if all_ok then begin
+             prod.(lhs) <- true;
+             changed := true
+           end
+         end)
+      (rules g)
+  done;
+  prod
+
+let reachable_from g prod root =
+  let n = nonterminal_count g in
+  let reach = Array.make n false in
+  let rec visit a =
+    if not reach.(a) then begin
+      reach.(a) <- true;
+      List.iter
+        (fun rhs ->
+           (* only rules usable in a parse tree: all nonterminals productive *)
+           if List.for_all (function T _ -> true | N i -> prod.(i)) rhs then
+             List.iter (function N i -> visit i | T _ -> ()) rhs)
+        (rules_of g a)
+    end
+  in
+  if prod.(root) then visit root;
+  reach
+
+let reachable g = reachable_from g (productive g) (start g)
+
+let useful g =
+  let prod = productive g in
+  let reach = reachable_from g prod (start g) in
+  Array.init (nonterminal_count g) (fun i -> prod.(i) && reach.(i))
+
+let trim g =
+  let keep = useful g in
+  keep.(start g) <- true;
+  let n = nonterminal_count g in
+  let remap = Array.make n (-1) in
+  let next = ref 0 in
+  for i = 0 to n - 1 do
+    if keep.(i) then begin
+      remap.(i) <- !next;
+      incr next
+    end
+  done;
+  let new_names = Array.make !next "" in
+  for i = 0 to n - 1 do
+    if keep.(i) then new_names.(remap.(i)) <- name g i
+  done;
+  let keep_rule { lhs; rhs } =
+    keep.(lhs)
+    && List.for_all (function N i -> keep.(i) | T _ -> true) rhs
+  in
+  let remap_sym = function T c -> T c | N i -> N remap.(i) in
+  let new_rules =
+    List.filter keep_rule (rules g)
+    |> List.map (fun { lhs; rhs } ->
+        { lhs = remap.(lhs); rhs = List.map remap_sym rhs })
+  in
+  make ~alphabet:(alphabet g) ~names:new_names ~rules:new_rules
+    ~start:remap.(start g)
+
+let is_trim g = Array.for_all (fun b -> b) (useful g)

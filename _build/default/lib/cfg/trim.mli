@@ -1,0 +1,24 @@
+(** Removing useless nonterminals.
+
+    Section 2 assumes grammars have no redundant nonterminals: every
+    nonterminal appears in some parse tree.  That is exactly the
+    productive-and-reachable ("useful") restriction computed here. *)
+
+(** [productive g] marks nonterminals that derive at least one terminal
+    word. *)
+val productive : Grammar.t -> bool array
+
+(** [reachable g] marks nonterminals reachable from the start symbol
+    through rules whose nonterminals are all productive. *)
+val reachable : Grammar.t -> bool array
+
+(** [useful g] marks nonterminals appearing in at least one parse tree. *)
+val useful : Grammar.t -> bool array
+
+(** [trim g] restricts [g] to its useful nonterminals (the start symbol is
+    always kept, so a grammar with empty language trims to a start symbol
+    with no rules).  Parse trees are preserved exactly. *)
+val trim : Grammar.t -> Grammar.t
+
+(** [is_trim g] holds when every nonterminal of [g] is useful. *)
+val is_trim : Grammar.t -> bool

@@ -1,0 +1,89 @@
+open Grammar
+
+module Make (R : Semiring.S) = struct
+  let default_weight _ = R.one
+
+  let split_rules g =
+    let term = ref [] and bin = ref [] in
+    List.iter
+      (fun r ->
+         match r.rhs with
+         | [ T c ] -> term := (r, c) :: !term
+         | [ N b; N c ] -> bin := (r, b, c) :: !bin
+         | _ -> ())
+      (rules g);
+    (List.rev !term, List.rev !bin)
+
+  let word_weight ?(rule_weight = default_weight) g w =
+    if not (Grammar.is_cnf g) then
+      invalid_arg "Weighted.word_weight: grammar not in CNF";
+    let n = String.length w in
+    if n = 0 then
+      if Grammar.has_rule g (start g) [] then
+        rule_weight { lhs = start g; rhs = [] }
+      else R.zero
+    else begin
+      let nn = nonterminal_count g in
+      let term, bin = split_rules g in
+      (* table.(pos).(len-1).(a) *)
+      let table =
+        Array.init n (fun pos ->
+            Array.init (n - pos) (fun _ -> Array.make nn R.zero))
+      in
+      for pos = 0 to n - 1 do
+        List.iter
+          (fun (r, c) ->
+             if Char.equal w.[pos] c then
+               table.(pos).(0).(r.lhs) <-
+                 R.plus table.(pos).(0).(r.lhs) (rule_weight r))
+          term
+      done;
+      for len = 2 to n do
+        for pos = 0 to n - len do
+          let cell = table.(pos).(len - 1) in
+          for split = 1 to len - 1 do
+            let left = table.(pos).(split - 1) in
+            let right = table.(pos + split).(len - split - 1) in
+            List.iter
+              (fun (r, b, c) ->
+                 let contribution =
+                   R.times (rule_weight r) (R.times left.(b) right.(c))
+                 in
+                 cell.(r.lhs) <- R.plus cell.(r.lhs) contribution)
+              bin
+          done
+        done
+      done;
+      table.(0).(n - 1).(start g)
+    end
+
+  let length_weight ?(rule_weight = default_weight) g len =
+    if not (Grammar.is_cnf g) then
+      invalid_arg "Weighted.length_weight: grammar not in CNF";
+    if len = 0 then
+      if Grammar.has_rule g (start g) [] then
+        rule_weight { lhs = start g; rhs = [] }
+      else R.zero
+    else begin
+      let nn = nonterminal_count g in
+      let term, bin = split_rules g in
+      (* d.(a).(l) = Σ over derivations of length-l words from a *)
+      let d = Array.make_matrix nn (len + 1) R.zero in
+      List.iter
+        (fun (r, _) -> d.(r.lhs).(1) <- R.plus d.(r.lhs).(1) (rule_weight r))
+        term;
+      for l = 2 to len do
+        List.iter
+          (fun (r, b, c) ->
+             let acc = ref d.(r.lhs).(l) in
+             for k = 1 to l - 1 do
+               acc :=
+                 R.plus !acc
+                   (R.times (rule_weight r) (R.times d.(b).(k) d.(c).(l - k)))
+             done;
+             d.(r.lhs).(l) <- !acc)
+          bin
+      done;
+      d.(start g).(len)
+    end
+end

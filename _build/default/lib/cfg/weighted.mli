@@ -1,0 +1,28 @@
+(** Semiring-weighted parsing (CYK over an arbitrary commutative semiring).
+
+    For a CNF grammar with a weight per rule, the weight of a word is the
+    semiring sum over its parse trees of the product of the rule weights
+    used.  Instantiations:
+    - {!Semiring.Boolean} with weight 1: recognition;
+    - {!Semiring.Counting} with weight 1: parse-tree counting;
+    - {!Semiring.Tropical}: the cheapest derivation;
+    - {!Semiring.Inside}: inside probabilities of a weighted grammar;
+    - {!Semiring.Provenance}: the full derivation provenance
+      (how-provenance of the parse, in database terms).
+
+    On unambiguous grammars the sum has one addend per word — the paper's
+    tractability side, generalised. *)
+
+module Make (R : Semiring.S) : sig
+  (** [word_weight ?rule_weight g w] — the weight of [w].  [rule_weight]
+      defaults to [R.one] everywhere (so Boolean/Counting give
+      recognition/counting).
+      @raise Invalid_argument if [g] is not in CNF. *)
+  val word_weight :
+    ?rule_weight:(Grammar.rule -> R.t) -> Grammar.t -> string -> R.t
+
+  (** [length_weight ?rule_weight g len] — the semiring sum of the weights
+      of all derivations of words of length exactly [len]. *)
+  val length_weight :
+    ?rule_weight:(Grammar.rule -> R.t) -> Grammar.t -> int -> R.t
+end

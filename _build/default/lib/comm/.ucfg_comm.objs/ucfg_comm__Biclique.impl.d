@@ -1,0 +1,1 @@
+lib/comm/biclique.ml: Array Fooling List Matrix Ucfg_util

@@ -1,0 +1,1 @@
+lib/comm/cover_search.ml: Hashtbl Int List Partition Set Ucfg_lang Ucfg_rect

@@ -1,0 +1,1 @@
+lib/comm/cover_search.mli:

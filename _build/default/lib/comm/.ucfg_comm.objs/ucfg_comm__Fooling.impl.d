@@ -1,0 +1,1 @@
+lib/comm/fooling.ml: Array List Matrix Ucfg_util

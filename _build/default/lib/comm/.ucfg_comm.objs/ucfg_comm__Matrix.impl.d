@@ -1,0 +1,1 @@
+lib/comm/matrix.ml: Array Format Lang List Ucfg_lang Ucfg_util Ucfg_word Word

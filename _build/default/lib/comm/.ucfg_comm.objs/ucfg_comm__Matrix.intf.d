@@ -1,0 +1,1 @@
+lib/comm/matrix.mli: Alphabet Format Lang Ucfg_lang Ucfg_util Ucfg_word

@@ -1,0 +1,1 @@
+lib/comm/rank.ml: Array Matrix Ucfg_util

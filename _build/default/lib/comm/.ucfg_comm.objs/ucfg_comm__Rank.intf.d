@@ -1,0 +1,1 @@
+lib/comm/rank.mli: Matrix

@@ -1,0 +1,1 @@
+lib/comm/splits.ml: Float Fooling Lang List Matrix Rank Ucfg_lang Ucfg_util Ucfg_word

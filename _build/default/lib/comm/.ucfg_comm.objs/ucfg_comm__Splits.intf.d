@@ -1,0 +1,1 @@
+lib/comm/splits.mli: Ucfg_lang Ucfg_word

@@ -1,0 +1,103 @@
+module Bitset = Ucfg_util.Bitset
+
+(* the maximal biclique containing all of column c: its rows are those
+   with a 1 at c, its columns the ones those rows share *)
+let grow_column m c =
+  let rows = ref [] in
+  for r = 0 to Matrix.rows m - 1 do
+    if Matrix.get m r c then rows := r :: !rows
+  done;
+  match !rows with
+  | [] -> ([], [])
+  | first :: rest ->
+    let cols =
+      List.fold_left
+        (fun acc r -> Bitset.inter acc (Matrix.row m r))
+        (Matrix.row m first) rest
+    in
+    (List.rev !rows, Bitset.elements cols)
+
+(* the maximal biclique containing all of row r *)
+let grow_row m r =
+  let cols = Matrix.row m r in
+  if Bitset.is_empty cols then ([], [])
+  else begin
+    let rows = ref [] in
+    for r' = 0 to Matrix.rows m - 1 do
+      if Bitset.subset cols (Matrix.row m r') then rows := r' :: !rows
+    done;
+    (List.rev !rows, Bitset.elements cols)
+  end
+
+let greedy_cover m =
+  let covered =
+    Array.init (Matrix.rows m) (fun _ -> Bitset.create (Matrix.cols m))
+  in
+  let uncovered_in (rows, cols) =
+    Ucfg_util.Prelude.sum_int
+      (List.map
+         (fun r ->
+            List.length (List.filter (fun c -> not (Bitset.mem covered.(r) c)) cols))
+         rows)
+  in
+  let candidates () =
+    List.map (grow_column m) (Ucfg_util.Prelude.range 0 (Matrix.cols m))
+    @ List.map (grow_row m) (Ucfg_util.Prelude.range 0 (Matrix.rows m))
+  in
+  let all_candidates = candidates () in
+  let bicliques = ref [] in
+  let remaining = ref (Matrix.ones m) in
+  while !remaining > 0 do
+    (* pick the candidate covering the most still-uncovered entries *)
+    let best =
+      List.fold_left
+        (fun best cand ->
+           let gain = uncovered_in cand in
+           match best with
+           | Some (bg, _) when bg >= gain -> best
+           | _ when gain = 0 -> best
+           | _ -> Some (gain, cand))
+        None all_candidates
+    in
+    match best with
+    | None ->
+      (* should not happen: every 1-entry lies in some column biclique *)
+      assert false
+    | Some (gain, (rows, cols)) ->
+      List.iter
+        (fun r ->
+           covered.(r) <-
+             Bitset.union covered.(r) (Bitset.of_list (Matrix.cols m) cols))
+        rows;
+      remaining := !remaining - gain;
+      bicliques := (rows, cols) :: !bicliques
+  done;
+  List.rev !bicliques
+
+let is_cover m bicliques =
+  (* inside the ones *)
+  List.for_all
+    (fun (rows, cols) ->
+       List.for_all
+         (fun r -> List.for_all (fun c -> Matrix.get m r c) cols)
+         rows)
+    bicliques
+  && begin
+    (* covering *)
+    let covered =
+      Array.init (Matrix.rows m) (fun _ -> Bitset.create (Matrix.cols m))
+    in
+    List.iter
+      (fun (rows, cols) ->
+         let cs = Bitset.of_list (Matrix.cols m) cols in
+         List.iter (fun r -> covered.(r) <- Bitset.union covered.(r) cs) rows)
+      bicliques;
+    let ok = ref true in
+    for r = 0 to Matrix.rows m - 1 do
+      if not (Bitset.subset (Matrix.row m r) covered.(r)) then ok := false
+    done;
+    !ok
+  end
+
+let cover_number_bounds m =
+  (List.length (Fooling.greedy m), List.length (greedy_cover m))

@@ -1,0 +1,23 @@
+(** Biclique covers of communication matrices — the nondeterministic
+    analogue of the rank bound.
+
+    A biclique (all-ones combinatorial rectangle) cover of the 1-entries
+    corresponds to a nondeterministic protocol, and its minimum size
+    lower-bounds NFA states at the corresponding level (the quantity
+    behind the Ω(n²) certificate of {!Ucfg_automata.Ln_nfa}).  Unlike
+    disjoint covers, overlaps are free — which is exactly why the [L_n]
+    matrix needs only [n] bicliques but [2^n − 1] disjoint rectangles. *)
+
+(** [greedy_cover m] — a cover of the 1-entries by maximal-ish bicliques,
+    grown greedily from uncovered entries.  Returns each biclique as
+    [(rows, cols)].  The count is an upper bound on the biclique cover
+    number. *)
+val greedy_cover : Matrix.t -> (int list * int list) list
+
+(** [is_cover m bicliques] — every 1-entry covered, every biclique inside
+    the 1-entries. *)
+val is_cover : Matrix.t -> (int list * int list) list -> bool
+
+(** [cover_number_bounds m] — [(lower, upper)]: the fooling-set lower
+    bound and the greedy upper bound. *)
+val cover_number_bounds : Matrix.t -> int * int

@@ -1,0 +1,94 @@
+open Ucfg_rect
+module IntSet = Set.Make (Int)
+
+type outcome = Exact of int | Budget_exhausted of int
+
+exception Out_of_budget
+
+(* all subsets of a list (as lists); the caller bounds the length *)
+let rec subsets = function
+  | [] -> [ [] ]
+  | x :: rest ->
+    let s = subsets rest in
+    s @ List.map (fun l -> x :: l) s
+
+let minimum ?(budget = 2_000_000) ~n target =
+  let partitions = Partition.all_balanced ~n in
+  let target_set = IntSet.of_list target in
+  let nodes = ref 0 in
+  let tick () =
+    incr nodes;
+    if !nodes > budget then raise Out_of_budget
+  in
+  (* candidate rectangles containing the element [w], lying inside
+     [remaining]; exhaustive over component subsets *)
+  let candidates remaining w =
+    List.concat_map
+      (fun p ->
+         let ins = Partition.inside p and out = Partition.outside p in
+         let o_w = w land out and i_w = w land ins in
+         (* values occurring in remaining *)
+         let outers = Hashtbl.create 16 and inners = Hashtbl.create 16 in
+         IntSet.iter
+           (fun m ->
+              Hashtbl.replace outers (m land out) ();
+              Hashtbl.replace inners (m land ins) ())
+           remaining;
+         let outer_vals =
+           Hashtbl.fold (fun k () acc -> if k <> o_w then k :: acc else acc)
+             outers []
+         in
+         let inner_vals =
+           Hashtbl.fold (fun k () acc -> if k <> i_w then k :: acc else acc)
+             inners []
+         in
+         if List.length outer_vals > 10 || List.length inner_vals > 10 then
+           raise Out_of_budget
+         else begin
+           List.concat_map
+             (fun os ->
+                let os = o_w :: os in
+                List.filter_map
+                  (fun is ->
+                     let is = i_w :: is in
+                     tick ();
+                     let members =
+                       List.concat_map (fun o -> List.map (fun i -> o lor i) is) os
+                     in
+                     if List.for_all (fun m -> IntSet.mem m remaining) members
+                     then Some (IntSet.of_list members)
+                     else None)
+                  (subsets inner_vals))
+             (subsets outer_vals)
+         end)
+      partitions
+  in
+  (* depth-limited DFS: can [remaining] be covered with [k] rectangles? *)
+  let rec covers remaining k =
+    tick ();
+    if IntSet.is_empty remaining then true
+    else if k = 0 then false
+    else begin
+      let w = IntSet.min_elt remaining in
+      List.exists
+        (fun members -> covers (IntSet.diff remaining members) (k - 1))
+        (candidates remaining w)
+    end
+  in
+  let refuted = ref 0 in
+  try
+    if IntSet.is_empty target_set then Exact 0
+    else begin
+      let rec loop k =
+        if covers target_set k then Exact k
+        else begin
+          refuted := k;
+          loop (k + 1)
+        end
+      in
+      loop 1
+    end
+  with Out_of_budget -> Budget_exhausted (!refuted + 1)
+
+let minimum_ln ?budget n =
+  minimum ?budget ~n (List.of_seq (Ucfg_lang.Ln.codes n))

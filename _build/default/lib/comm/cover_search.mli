@@ -1,0 +1,23 @@
+(** Exact minimum disjoint rectangle covers for tiny instances.
+
+    Proposition 16 lower-bounds disjoint covers asymptotically; this
+    module computes ground truth for small [n] by iterative-deepening
+    search: cover the target mask-set with balanced ordered set
+    rectangles, pairwise disjoint, of minimum number.  The branching
+    enumerates the maximal rectangles (per balanced ordered partition)
+    that contain the smallest uncovered element and stay inside the
+    remaining set.  A work budget keeps it total. *)
+
+type outcome =
+  | Exact of int  (** the minimum disjoint cover size *)
+  | Budget_exhausted of int
+      (** search aborted; the argument is a proven lower bound (all
+          smaller sizes were refuted before the budget ran out) *)
+
+(** [minimum ~n target] — the target is a list of masks (words of length
+    [2n]); typically [L_n]'s codes.  [budget] caps the number of search
+    nodes (default [2_000_000]). *)
+val minimum : ?budget:int -> n:int -> int list -> outcome
+
+(** [minimum_ln ?budget n] — specialised to [L_n]. *)
+val minimum_ln : ?budget:int -> int -> outcome

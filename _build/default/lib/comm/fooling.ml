@@ -1,0 +1,66 @@
+let compatible m (r1, c1) (r2, c2) =
+  not (Matrix.get m r1 c2) || not (Matrix.get m r2 c1)
+
+let is_fooling m pairs =
+  List.for_all (fun (r, c) -> Matrix.get m r c) pairs
+  && begin
+    let arr = Array.of_list pairs in
+    let ok = ref true in
+    Array.iteri
+      (fun i p ->
+         Array.iteri (fun j q -> if i < j && not (compatible m p q) then ok := false) arr)
+      arr;
+    !ok
+  end
+
+let greedy m =
+  (* visit 1-entries sparsest-first: dense rows/columns (like the all-a
+     word of L_n) are compatible with almost nothing and would poison a
+     naive scan order *)
+  let row_ones =
+    Array.init (Matrix.rows m) (fun r ->
+        Ucfg_util.Bitset.cardinal (Matrix.row m r))
+  in
+  let col_ones = Array.make (Matrix.cols m) 0 in
+  for r = 0 to Matrix.rows m - 1 do
+    Ucfg_util.Bitset.iter (fun c -> col_ones.(c) <- col_ones.(c) + 1)
+      (Matrix.row m r)
+  done;
+  let entries = ref [] in
+  for r = 0 to Matrix.rows m - 1 do
+    Ucfg_util.Bitset.iter (fun c -> entries := (r, c) :: !entries)
+      (Matrix.row m r)
+  done;
+  let ordered =
+    List.sort
+      (fun (r1, c1) (r2, c2) ->
+         compare (row_ones.(r1) + col_ones.(c1)) (row_ones.(r2) + col_ones.(c2)))
+      !entries
+  in
+  let chosen = ref [] in
+  List.iter
+    (fun e ->
+       if List.for_all (fun q -> compatible m e q) !chosen then
+         chosen := e :: !chosen)
+    ordered;
+  List.rev !chosen
+
+let diagonal m =
+  let side = min (Matrix.rows m) (Matrix.cols m) in
+  (* sparse rows first, for the same reason as in [greedy] *)
+  let order =
+    List.sort
+      (fun i j ->
+         compare
+           (Ucfg_util.Bitset.cardinal (Matrix.row m i))
+           (Ucfg_util.Bitset.cardinal (Matrix.row m j)))
+      (Ucfg_util.Prelude.range 0 side)
+  in
+  let chosen = ref [] in
+  List.iter
+    (fun i ->
+       if Matrix.get m i i
+       && List.for_all (fun q -> compatible m (i, i) q) !chosen
+       then chosen := (i, i) :: !chosen)
+    order;
+  List.rev !chosen

@@ -1,0 +1,19 @@
+(** Fooling sets.
+
+    A fooling set for a matrix [M] is a set of 1-entries
+    [(r_1,c_1), ..., (r_k,c_k)] such that for every [i ≠ j] at least one
+    of [M[r_i][c_j]], [M[r_j][c_i]] is 0.  No rectangle inside the
+    1-entries can contain two fooling pairs, so [k] lower-bounds the
+    rectangle cover number (disjoint or not). *)
+
+(** [is_fooling m pairs] verifies the property. *)
+val is_fooling : Matrix.t -> (int * int) list -> bool
+
+(** [greedy m] grows a fooling set greedily over the 1-entries (a lower
+    bound, not necessarily maximum). *)
+val greedy : Matrix.t -> (int * int) list
+
+(** [diagonal m] — the special case where rows and columns have the same
+    index space ([rows = cols]): try the diagonal pairs [(i, i)], keeping
+    the fooling subset.  This is the structure used for [L_n]. *)
+val diagonal : Matrix.t -> (int * int) list

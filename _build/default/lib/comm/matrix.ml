@@ -1,0 +1,79 @@
+open Ucfg_word
+open Ucfg_lang
+module Bitset = Ucfg_util.Bitset
+
+type t = {
+  rows : int;
+  cols : int;
+  data : Bitset.t array;  (** one bitset per row *)
+  row_labels : string array;
+  col_labels : string array;
+}
+
+let max_side = 1 lsl 20
+
+let of_predicate ~rows ~cols f =
+  if rows < 0 || cols < 0 || rows > max_side || cols > max_side then
+    invalid_arg "Matrix.of_predicate: bad dimensions";
+  let data =
+    Array.init rows (fun i ->
+        Bitset.of_list cols
+          (List.filter (fun j -> f i j) (Ucfg_util.Prelude.range 0 cols)))
+  in
+  { rows; cols; data; row_labels = [||]; col_labels = [||] }
+
+let of_language alpha l ~split =
+  match Lang.uniform_length l with
+  | None -> invalid_arg "Matrix.of_language: mixed word lengths"
+  | Some len ->
+    if split < 0 || split > len then invalid_arg "Matrix.of_language: bad split";
+    let row_labels = Array.of_seq (Word.enumerate alpha split) in
+    let col_labels = Array.of_seq (Word.enumerate alpha (len - split)) in
+    let rows = Array.length row_labels and cols = Array.length col_labels in
+    if rows > max_side || cols > max_side then
+      invalid_arg "Matrix.of_language: matrix too large";
+    let data =
+      Array.map
+        (fun x ->
+           Bitset.of_list cols
+             (Array.to_list col_labels
+              |> List.mapi (fun j y -> (j, y))
+              |> List.filter_map (fun (j, y) ->
+                  if Lang.mem (x ^ y) l then Some j else None)))
+        row_labels
+    in
+    { rows; cols; data; row_labels; col_labels }
+
+let rows t = t.rows
+let cols t = t.cols
+
+let get t i j =
+  if i < 0 || i >= t.rows || j < 0 || j >= t.cols then
+    invalid_arg "Matrix.get: out of range";
+  Bitset.mem t.data.(i) j
+
+let row t i =
+  if i < 0 || i >= t.rows then invalid_arg "Matrix.row: out of range";
+  t.data.(i)
+
+let ones t = Array.fold_left (fun acc r -> acc + Bitset.cardinal r) 0 t.data
+
+let row_label t i =
+  if Array.length t.row_labels = 0 then
+    invalid_arg "Matrix.row_label: unlabelled matrix";
+  t.row_labels.(i)
+
+let col_label t j =
+  if Array.length t.col_labels = 0 then
+    invalid_arg "Matrix.col_label: unlabelled matrix";
+  t.col_labels.(j)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to t.rows - 1 do
+    for j = 0 to t.cols - 1 do
+      Format.pp_print_char fmt (if get t i j then '1' else '0')
+    done;
+    Format.fprintf fmt "@,"
+  done;
+  Format.fprintf fmt "@]"

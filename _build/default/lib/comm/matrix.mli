@@ -1,0 +1,39 @@
+(** Communication matrices.
+
+    For a language [L] of words of length [N] and a split position [i],
+    the communication matrix has a row per prefix [x ∈ Σ^i], a column per
+    suffix [y ∈ Σ^(N-i)], and entry 1 iff [xy ∈ L].  This is the object
+    on which the classical rank bound (Theorem 17's standard proof) and
+    fooling-set bounds live. *)
+
+open Ucfg_word
+open Ucfg_lang
+
+type t
+
+(** [of_language alpha l ~split] builds the matrix; all words of [l] must
+    have the same length [>= split].
+    @raise Invalid_argument on mixed lengths or an oversized matrix
+    (more than [2^20] rows or columns). *)
+val of_language : Alphabet.t -> Lang.t -> split:int -> t
+
+(** [of_predicate ~rows ~cols f] builds an explicit boolean matrix. *)
+val of_predicate : rows:int -> cols:int -> (int -> int -> bool) -> t
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> bool
+
+(** [row t i] is row [i] as a bitset over the columns. *)
+val row : t -> int -> Ucfg_util.Bitset.t
+
+(** [ones t] counts the 1-entries. *)
+val ones : t -> int
+
+(** [row_label t i] / [col_label t j] — the words indexing the matrix
+    (only for matrices built by {!of_language}). *)
+val row_label : t -> int -> string
+
+val col_label : t -> int -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,90 @@
+type ('x, 'y) t =
+  | Output of bool
+  | Alice of ('x -> bool) * ('x, 'y) t * ('x, 'y) t
+  | Bob of ('y -> bool) * ('x, 'y) t * ('x, 'y) t
+
+let rec eval p x y =
+  match p with
+  | Output b -> b
+  | Alice (pred, f, t) -> eval (if pred x then t else f) x y
+  | Bob (pred, f, t) -> eval (if pred y then t else f) x y
+
+let rec cost = function
+  | Output _ -> 0
+  | Alice (_, f, t) | Bob (_, f, t) -> 1 + max (cost f) (cost t)
+
+let rec leaves = function
+  | Output _ -> 1
+  | Alice (_, f, t) | Bob (_, f, t) -> leaves f + leaves t
+
+let computes p ~xs ~ys f =
+  List.for_all
+    (fun x -> List.for_all (fun y -> eval p x y = f x y) ys)
+    xs
+
+(* index of the leaf reached, by numbering leaves left to right *)
+let leaf_index p x y =
+  let rec go p acc =
+    match p with
+    | Output b -> `Leaf (acc, b)
+    | Alice (pred, f, t) ->
+      if pred x then go t (acc + leaves f) else go f acc
+    | Bob (pred, f, t) -> if pred y then go t (acc + leaves f) else go f acc
+  in
+  match go p 0 with `Leaf (i, b) -> (i, b)
+
+let classes_with_index p ~xs ~ys =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun x ->
+       List.iter
+         (fun y ->
+            let i, b = leaf_index p x y in
+            let xs', ys' =
+              Option.value ~default:([], []) (Hashtbl.find_opt tbl (i, b))
+            in
+            Hashtbl.replace tbl (i, b) (x :: xs', y :: ys'))
+         ys)
+    xs;
+  Hashtbl.fold
+    (fun (i, b) (xs', ys') acc ->
+       (i, List.sort_uniq compare xs', List.sort_uniq compare ys', b) :: acc)
+    tbl []
+
+let leaf_classes p ~xs ~ys =
+  List.map (fun (_, xs', ys', b) -> (xs', ys', b)) (classes_with_index p ~xs ~ys)
+
+let classes_are_rectangles p ~xs ~ys =
+  (* the class of leaf i must equal the full product of its projections:
+     every pair from the product reaches leaf i again *)
+  List.for_all
+    (fun (i, rxs, rys, _) ->
+       List.for_all
+         (fun x -> List.for_all (fun y -> fst (leaf_index p x y) = i) rys)
+         rxs)
+    (classes_with_index p ~xs ~ys)
+
+let alice_announces ~bits ~extract ~decide =
+  let rec build i revealed =
+    if i = bits then
+      (* Bob decides from the transcript *)
+      Bob
+        ( (fun y -> decide (List.rev revealed) y),
+          Output false,
+          Output true )
+    else
+      Alice
+        ( (fun x -> extract i x),
+          build (i + 1) (false :: revealed),
+          build (i + 1) (true :: revealed) )
+  in
+  build 0 []
+
+let intersects_protocol n =
+  alice_announces ~bits:n
+    ~extract:(fun i x -> (x lsr i) land 1 = 1)
+    ~decide:(fun revealed y ->
+        List.exists2
+          (fun bit i -> bit && (y lsr i) land 1 = 1)
+          revealed
+          (List.init n Fun.id))

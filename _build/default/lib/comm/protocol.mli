@@ -1,0 +1,53 @@
+(** Deterministic two-party communication protocols.
+
+    A protocol is a binary tree: internal nodes name a speaker and a
+    predicate of that speaker's input; leaves output a bit.  A protocol
+    with [k] leaves partitions the input space into [k] rectangles — the
+    origin of the rectangle method that Section 3 transplants to
+    grammars. *)
+
+type ('x, 'y) t =
+  | Output of bool
+  | Alice of ('x -> bool) * ('x, 'y) t * ('x, 'y) t
+      (** [(pred, on_false, on_true)] *)
+  | Bob of ('y -> bool) * ('x, 'y) t * ('x, 'y) t
+
+(** [eval p x y] runs the protocol. *)
+val eval : ('x, 'y) t -> 'x -> 'y -> bool
+
+(** [cost p] is the depth (bits exchanged in the worst case). *)
+val cost : ('x, 'y) t -> int
+
+(** [leaves p] is the number of leaves. *)
+val leaves : ('x, 'y) t -> int
+
+(** [computes p ~xs ~ys f] — does [p] compute [f] on the given finite
+    domain? *)
+val computes : ('x, 'y) t -> xs:'x list -> ys:'y list -> ('x -> 'y -> bool) -> bool
+
+(** [leaf_classes p ~xs ~ys] groups the input pairs by the leaf they reach
+    and returns each class as [(row_set, col_set, output)].  The classes
+    are rectangles by construction; {!classes_are_rectangles} re-verifies
+    it extensionally. *)
+val leaf_classes :
+  ('x, 'y) t -> xs:'x list -> ys:'y list -> ('x list * 'y list * bool) list
+
+(** [classes_are_rectangles p ~xs ~ys] checks that each leaf class equals
+    the full product of its projections. *)
+val classes_are_rectangles : ('x, 'y) t -> xs:'x list -> ys:'y list -> bool
+
+(** [exchange_bits ~bits extract] — the canonical protocol where Alice
+    announces [bits] predicates of her input and Bob then answers:
+    [extract i x] is Alice's [i]-th bit; [decide revealed y] is Bob's
+    verdict from the transcript. *)
+val alice_announces :
+  bits:int -> extract:(int -> 'x -> bool) -> decide:(bool list -> 'y -> bool) ->
+  ('x, 'y) t
+
+(** [intersects_protocol n] — the trivial protocol for the [L_n]
+    predicate on mask pairs ([x] and [y] are [n]-bit masks): Alice
+    announces all of [x], Bob outputs [x ∧ y ≠ 0].  Cost [n],
+    [2^n] leaf... [2^(n+1)] nodes in the worst case — the point being
+    that {e deterministic} communication for set intersection is
+    expensive. *)
+val intersects_protocol : int -> (int, int) t

@@ -1,0 +1,79 @@
+module Bitset = Ucfg_util.Bitset
+
+let gf2 m =
+  let rows = Matrix.rows m in
+  (* copy rows and eliminate *)
+  let work = Array.init rows (fun i -> Bitset.Mut.copy (Matrix.row m i)) in
+  let rank = ref 0 in
+  (* pivots.(c) = row index with leading column c, or -1 *)
+  let pivot_of_row = Array.make rows (-1) in
+  for i = 0 to rows - 1 do
+    let continue_ = ref true in
+    while !continue_ do
+      match Bitset.Mut.lowest_set work.(i) with
+      | None -> continue_ := false
+      | Some c ->
+        (* find an existing pivot row with the same leading column *)
+        let found = ref (-1) in
+        for r = 0 to i - 1 do
+          if pivot_of_row.(r) = c then found := r
+        done;
+        if !found >= 0 then Bitset.Mut.xor_in_place work.(i) work.(!found)
+        else begin
+          pivot_of_row.(i) <- c;
+          incr rank;
+          continue_ := false
+        end
+    done
+  done;
+  !rank
+
+let mod_p ?(p = (1 lsl 31) - 1) m =
+  let rows = Matrix.rows m and cols = Matrix.cols m in
+  let work =
+    Array.init rows (fun i ->
+        Array.init cols (fun j -> if Matrix.get m i j then 1 else 0))
+  in
+  (* Gaussian elimination over Z_p; p < 2^31 keeps products in range *)
+  let rank = ref 0 in
+  let r = ref 0 in
+  let modinv a =
+    (* Fermat: a^(p-2) mod p *)
+    let rec power b e acc =
+      if e = 0 then acc
+      else power (b * b mod p) (e asr 1) (if e land 1 = 1 then acc * b mod p else acc)
+    in
+    power a (p - 2) 1
+  in
+  let c = ref 0 in
+  while !r < rows && !c < cols do
+    (* find pivot in column c at or below row r *)
+    let piv = ref (-1) in
+    for i = !r to rows - 1 do
+      if !piv < 0 && work.(i).(!c) <> 0 then piv := i
+    done;
+    if !piv < 0 then incr c
+    else begin
+      let tmp = work.(!r) in
+      work.(!r) <- work.(!piv);
+      work.(!piv) <- tmp;
+      let inv = modinv work.(!r).(!c) in
+      for j = !c to cols - 1 do
+        work.(!r).(j) <- work.(!r).(j) * inv mod p
+      done;
+      for i = 0 to rows - 1 do
+        if i <> !r && work.(i).(!c) <> 0 then begin
+          let f = work.(i).(!c) in
+          for j = !c to cols - 1 do
+            work.(i).(j) <- ((work.(i).(j) - (f * work.(!r).(j) mod p)) mod p + p) mod p
+          done
+        end
+      done;
+      incr rank;
+      incr r;
+      incr c
+    end
+  done;
+  !rank
+
+let disjoint_cover_lower_bound m = max (gf2 m) (mod_p m)

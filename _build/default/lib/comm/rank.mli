@@ -1,0 +1,19 @@
+(** Matrix rank bounds.
+
+    Theorem 17 of the paper is "an immediate consequence of the so-called
+    rank bound" (Mehlhorn–Schmidt): the number of rectangles in any
+    disjoint cover of the 1-entries of a communication matrix is at least
+    the matrix's rank over any field.  We compute the rank over GF(2)
+    (bitset elimination) and modulo a large prime (a lower bound on —
+    and in practice equal to — the rank over ℚ). *)
+
+(** [gf2 m] — rank over GF(2). *)
+val gf2 : Matrix.t -> int
+
+(** [mod_p ?p m] — rank modulo the prime [p]
+    (default [2^31 - 1]). *)
+val mod_p : ?p:int -> Matrix.t -> int
+
+(** [disjoint_cover_lower_bound m] — the best rank bound we can certify:
+    [max (gf2 m) (mod_p m)]. *)
+val disjoint_cover_lower_bound : Matrix.t -> int

@@ -1,0 +1,50 @@
+open Ucfg_lang
+
+type row = {
+  split : int;
+  rows : int;
+  cols : int;
+  rank_gf2 : int;
+  fooling : int;
+}
+
+let cap = 1 lsl 12
+
+let profile alpha lang =
+  match Lang.uniform_length lang with
+  | None -> invalid_arg "Splits.profile: mixed word lengths"
+  | Some len ->
+    List.filter_map
+      (fun split ->
+         let k = Ucfg_word.Alphabet.size alpha in
+         let rows = int_of_float (Float.pow (float_of_int k) (float_of_int split)) in
+         let cols =
+           int_of_float (Float.pow (float_of_int k) (float_of_int (len - split)))
+         in
+         if rows > cap || cols > cap then None
+         else begin
+           let m = Matrix.of_language alpha lang ~split in
+           Some
+             {
+               split;
+               rows = Matrix.rows m;
+               cols = Matrix.cols m;
+               rank_gf2 = Rank.gf2 m;
+               fooling = List.length (Fooling.greedy m);
+             }
+         end)
+      (Ucfg_util.Prelude.range 1 len)
+
+let balanced_min_rank alpha lang =
+  match Lang.uniform_length lang with
+  | None -> invalid_arg "Splits.balanced_min_rank: mixed word lengths"
+  | Some len ->
+    let balanced =
+      List.filter
+        (fun r -> 3 * r.split >= len && 3 * r.split <= 2 * len)
+        (profile alpha lang)
+    in
+    (match balanced with
+     | [] -> 0
+     | r :: rest ->
+       List.fold_left (fun acc r -> min acc r.rank_gf2) r.rank_gf2 rest)

@@ -1,0 +1,25 @@
+(** Rank and fooling profiles across every split position.
+
+    The multi-partition model of Section 4 lets each rectangle choose its
+    own (balanced) split; the classical single-partition bounds below show
+    how much each individual split position certifies — the per-split rank
+    profile is the fixed-partition shadow of Proposition 16. *)
+
+type row = {
+  split : int;
+  rows : int;
+  cols : int;
+  rank_gf2 : int;
+  fooling : int;  (** greedy fooling set size *)
+}
+
+(** [profile alpha lang] computes one {!row} per split position
+    [1 .. len-1] of a fixed-length language.  Matrices capped at 2^12
+    rows/columns; larger splits are skipped. *)
+val profile : Ucfg_word.Alphabet.t -> Ucfg_lang.Lang.t -> row list
+
+(** [balanced_min_rank alpha lang] — the minimum GF(2) rank over the
+    balanced splits (positions [p] with [len/3 <= p <= 2len/3]): a valid
+    lower bound on disjoint covers in which all rectangles use the {e
+    best} single balanced split. *)
+val balanced_min_rank : Ucfg_word.Alphabet.t -> Ucfg_lang.Lang.t -> int

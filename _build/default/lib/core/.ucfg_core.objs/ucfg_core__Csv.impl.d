@@ -1,0 +1,1 @@
+lib/core/csv.ml: Alphabet Grammar Hashtbl Lang List Printf Seq String Ucfg_cfg Ucfg_disc Ucfg_lang Ucfg_util Ucfg_word Word

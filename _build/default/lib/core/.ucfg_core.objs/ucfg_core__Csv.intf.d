@@ -1,0 +1,1 @@
+lib/core/csv.mli: Lang Ucfg_cfg Ucfg_lang Ucfg_util

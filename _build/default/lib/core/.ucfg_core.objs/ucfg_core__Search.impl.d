@@ -1,0 +1,1 @@
+lib/core/search.ml: Alphabet Ambiguity Analysis Array Determinize Dfa Grammar Lang List Nfa Printf Ucfg_automata Ucfg_cfg Ucfg_lang Ucfg_util Ucfg_word

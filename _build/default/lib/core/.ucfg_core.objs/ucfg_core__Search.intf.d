@@ -1,0 +1,1 @@
+lib/core/search.mli: Alphabet Lang Ucfg_cfg Ucfg_lang Ucfg_word

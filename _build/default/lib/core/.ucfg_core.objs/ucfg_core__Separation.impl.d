@@ -1,0 +1,1 @@
+lib/core/separation.ml: Ambiguity Analysis Constructions Grammar Lang List Ln Ln_nfa Nfa Option Ucfg_automata Ucfg_cfg Ucfg_disc Ucfg_lang Ucfg_util

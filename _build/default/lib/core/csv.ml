@@ -1,0 +1,145 @@
+open Ucfg_word
+open Ucfg_lang
+open Ucfg_cfg
+module B = Grammar.Builder
+
+type scheme = { columns : int; width : int }
+
+let check s =
+  if s.columns < 1 || s.width < 1 then invalid_arg "Csv: bad scheme"
+
+let word_length s =
+  check s;
+  2 * s.columns * s.width
+
+let column_slice s w ~row ~col =
+  Word.slice w ((row * s.columns * s.width) + (col * s.width)) s.width
+
+let mem s w =
+  check s;
+  String.length w = word_length s
+  && String.for_all (fun c -> c = 'a' || c = 'b') w
+  && List.exists
+       (fun j ->
+          String.equal (column_slice s w ~row:0 ~col:j)
+            (column_slice s w ~row:1 ~col:j))
+       (Ucfg_util.Prelude.range 0 s.columns)
+
+let language s =
+  check s;
+  Lang.filter (mem s) (Lang.full Alphabet.binary (word_length s))
+
+type comparison = Equal | Leq | Distinct
+
+let satisfies op u v =
+  match op with
+  | Equal -> String.equal u v
+  | Leq -> String.compare u v <= 0
+  | Distinct -> not (String.equal u v)
+
+let mem_op op s w =
+  check s;
+  String.length w = word_length s
+  && String.for_all (fun c -> c = 'a' || c = 'b') w
+  && List.exists
+       (fun j ->
+          satisfies op
+            (column_slice s w ~row:0 ~col:j)
+            (column_slice s w ~row:1 ~col:j))
+       (Ucfg_util.Prelude.range 0 s.columns)
+
+let language_op op s =
+  check s;
+  Lang.filter (mem_op op s) (Lang.full Alphabet.binary (word_length s))
+
+let grammar_op_filtered op s ~column_ok =
+  check s;
+  let c = s.width and cols = s.columns in
+  let b = B.create Alphabet.binary in
+  let start = B.fresh b "S" in
+  (* Σ^len generators, allocated on demand and shared *)
+  let sigma_cache = Hashtbl.create 16 in
+  let rec sigma len =
+    if len = 0 then []
+    else
+      match Hashtbl.find_opt sigma_cache len with
+      | Some id -> [ Grammar.N id ]
+      | None ->
+        let id = B.fresh b (Printf.sprintf "Sig%d" len) in
+        Hashtbl.add sigma_cache len id;
+        if len = 1 then begin
+          B.add_rule b id [ Grammar.T 'a' ];
+          B.add_rule b id [ Grammar.T 'b' ]
+        end
+        else begin
+          let rest = sigma (len - 1) in
+          B.add_rule b id ([ Grammar.T 'a' ] @ rest);
+          B.add_rule b id ([ Grammar.T 'b' ] @ rest)
+        end;
+        [ Grammar.N id ]
+  in
+  (* the comparison gadget: E -> u Σ^{(cols-1)·c} v for every satisfying
+     value pair (u, v) *)
+  let gadget = B.fresh b "Cmp" in
+  Seq.iter
+    (fun u ->
+       Seq.iter
+         (fun v ->
+            if satisfies op u v then begin
+              let lits w = List.init c (fun i -> Grammar.T w.[i]) in
+              B.add_rule b gadget
+                (lits u @ sigma ((cols - 1) * c) @ lits v)
+            end)
+         (Word.enumerate Alphabet.binary c))
+    (Word.enumerate Alphabet.binary c);
+  (* column choice: S -> Σ^{jc} E Σ^{(cols-1-j)c} *)
+  List.iter
+    (fun j ->
+       if column_ok j then
+         B.add_rule b start
+           (sigma (j * c) @ [ Grammar.N gadget ] @ sigma ((cols - 1 - j) * c)))
+    (Ucfg_util.Prelude.range 0 cols);
+  B.finish b ~start
+
+let grammar_op op s = grammar_op_filtered op s ~column_ok:(fun _ -> true)
+
+let grammar s = grammar_op Equal s
+
+let witness_columns s w =
+  check s;
+  if String.length w <> word_length s then
+    invalid_arg "Csv.witness_columns: bad length";
+  List.filter
+    (fun j ->
+       String.equal (column_slice s w ~row:0 ~col:j)
+         (column_slice s w ~row:1 ~col:j))
+    (Ucfg_util.Prelude.range 0 s.columns)
+
+let witness_columns_by_parsing s w =
+  check s;
+  (* one single-column grammar per column: the word parses in it iff that
+     column is a witness.  Equivalently, each parse tree of the full
+     grammar uses exactly one column rule. *)
+  List.filter
+    (fun j ->
+       let g = grammar_op_filtered Equal s ~column_ok:(( = ) j) in
+       Ucfg_cfg.Count_word.recognize g w)
+    (Ucfg_util.Prelude.range 0 s.columns)
+
+let embedding_scheme n = { columns = n; width = 2 }
+
+let embed n w =
+  if String.length w <> 2 * n then invalid_arg "Csv.embed: bad length";
+  let row1 =
+    Ucfg_util.Prelude.string_init_concat n (fun i ->
+        if w.[i] = 'a' then "aa" else "ab")
+  in
+  let row2 =
+    Ucfg_util.Prelude.string_init_concat n (fun i ->
+        if w.[i + n] = 'a' then "aa" else "bb")
+  in
+  row1 ^ row2
+
+let ucfg_size_lower_bound s =
+  check s;
+  Ucfg_disc.Bound.ucfg_size_lower_bound s.columns

@@ -1,0 +1,76 @@
+(** The introduction's information-extraction application.
+
+    Data in a CSV file with fixed-width columns; extract all pairs of
+    lines with identical entries in at least one column.  Encoded as a
+    formal language: a word is the concatenation of two rows, each of
+    [columns] fields of [width] binary characters; the language [P_S]
+    contains the pairs agreeing on some column.
+
+    A small ambiguous CFG for [P_S] exists (union over columns of an
+    equality gadget), but the paper observes that any {e unambiguous}
+    grammar must be exponential in the number of columns: [L_n] reduces
+    to [P_S] by the encoding {!embed}, which turns "two a's at distance
+    n" into "equal entries in some column". *)
+
+open Ucfg_lang
+
+type scheme = { columns : int; width : int }
+
+(** [word_length s] = [2 · columns · width]. *)
+val word_length : scheme -> int
+
+(** [mem s w] — do the two encoded rows agree on some column? *)
+val mem : scheme -> string -> bool
+
+(** [language s] materialises [P_S] (use for tiny schemes). *)
+val language : scheme -> Lang.t
+
+(** [grammar s] — an ambiguous CFG for [P_S] of size
+    [O(columns² · width + 2^width · width)]. *)
+val grammar : scheme -> Ucfg_cfg.Grammar.t
+
+(** The paper notes the lower bound survives replacing equality by "other
+    natural comparisons of the columns, say lexicographic order": the
+    comparison is a parameter. *)
+type comparison =
+  | Equal  (** identical entries *)
+  | Leq  (** row-1 entry lexicographically ≤ row-2 entry (['a'] < ['b']) *)
+  | Distinct  (** differing entries *)
+
+(** [mem_op op s w] — do the rows satisfy [op] on some column of [S]? *)
+val mem_op : comparison -> scheme -> string -> bool
+
+(** [language_op op s] materialises the language (tiny schemes). *)
+val language_op : comparison -> scheme -> Lang.t
+
+(** [grammar_op op s] — the comparison-parameterised grammar (the equality
+    gadget generalises to any binary predicate on column values by
+    enumerating the satisfying value pairs — [O(4^width)] rules).
+    [grammar s = grammar_op Equal s]. *)
+val grammar_op : comparison -> scheme -> Ucfg_cfg.Grammar.t
+
+(** [embed n w] encodes a word [w ∈ Σ^2n] into the scheme
+    [{columns = n; width = 2}]: column [i] of row 1 is [aa]/[ab] for
+    [w_i = a/b], of row 2 is [aa]/[bb] — so columns agree iff both
+    original positions carry ['a'].  Hence
+    [w ∈ L_n ⟺ embed n w ∈ P_S]. *)
+val embed : int -> string -> string
+
+(** [embedding_scheme n] = [{ columns = n; width = 2 }]. *)
+val embedding_scheme : int -> scheme
+
+(** [witness_columns s w] — the columns on which the two rows agree
+    (directly computed). *)
+val witness_columns : scheme -> string -> int list
+
+(** [witness_columns_by_parsing s w] — the same set, but {e extracted from
+    the parse trees} of the ambiguous grammar: each parse tree of [w]
+    places the equality gadget at one agreeing column, and the ambiguity
+    degree of [w] equals the number of witnesses — the
+    information-extraction reading of ambiguity. *)
+val witness_columns_by_parsing : scheme -> string -> int list
+
+(** [ucfg_size_lower_bound s] — the lower bound on unambiguous grammars
+    for [P_S] obtained through the [L_n] reduction (Theorem 12 at
+    [n = columns], constants per the paper's Section 1 discussion). *)
+val ucfg_size_lower_bound : scheme -> Ucfg_util.Bignum.t

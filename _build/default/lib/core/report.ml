@@ -1,0 +1,50 @@
+(* UTF-8 aware-enough width: we only emit ASCII in tables, so byte length
+   is fine. *)
+
+let pad width s =
+  let len = String.length s in
+  if len >= width then s else s ^ String.make (width - len) ' '
+
+let table ~title ~headers rows =
+  let all = headers :: rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let norm r =
+    r @ List.init (ncols - List.length r) (fun _ -> "")
+  in
+  let all = List.map norm all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("== " ^ title ^ " ==\n");
+  let render r =
+    Buffer.add_string buf
+      (String.concat "  " (List.mapi (fun i cell -> pad widths.(i) cell) r));
+    Buffer.add_char buf '\n'
+  in
+  (match all with
+   | header :: body ->
+     render header;
+     Buffer.add_string buf
+       (String.concat "  "
+          (Array.to_list (Array.map (fun w -> String.make w '-') widths)));
+     Buffer.add_char buf '\n';
+     List.iter render body
+   | [] -> ());
+  Buffer.contents buf
+
+let print_table ~title ~headers rows =
+  print_string (table ~title ~headers rows);
+  print_newline ()
+
+let kv ~title pairs =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf ("== " ^ title ^ " ==\n");
+  let width =
+    List.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 pairs
+  in
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (pad width k ^ " : " ^ v ^ "\n"))
+    pairs;
+  Buffer.contents buf

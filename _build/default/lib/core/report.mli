@@ -1,0 +1,11 @@
+(** Plain-text tables shared by the benchmark harness, the CLI and the
+    examples. *)
+
+(** [table ~title ~headers rows] renders an aligned text table. *)
+val table : title:string -> headers:string list -> string list list -> string
+
+(** [print_table ~title ~headers rows] — same, to stdout. *)
+val print_table : title:string -> headers:string list -> string list list -> unit
+
+(** [kv ~title pairs] renders a key/value block. *)
+val kv : title:string -> (string * string) list -> string

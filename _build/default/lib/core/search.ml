@@ -1,0 +1,105 @@
+open Ucfg_word
+open Ucfg_lang
+open Ucfg_cfg
+open Ucfg_automata
+module G = Grammar
+
+let minimal_dfa_states alpha l =
+  let nfa = Nfa.of_word_list alpha (Lang.elements l) in
+  Dfa.state_count (Determinize.minimal_dfa nfa)
+
+type grammar_search = {
+  minimal_size : int option;
+  witness : G.t option;
+  nodes_explored : int;
+  budget_exhausted : bool;
+}
+
+exception Out_of_budget
+
+let minimal_cnf_size ?(unambiguous = false) ?(max_nonterminals = 3)
+    ?(max_size = 12) ?(budget = 3_000_000) alpha l =
+  if Lang.mem "" l then invalid_arg "Search.minimal_cnf_size: ε not supported";
+  let max_word_len =
+    List.fold_left max 0 (Lang.lengths l)
+  in
+  let nodes = ref 0 in
+  let tick () =
+    incr nodes;
+    if !nodes > budget then raise Out_of_budget
+  in
+  (* the candidate rule universe for k nonterminals, with costs *)
+  let rules_for k =
+    let terminal =
+      List.concat_map
+        (fun a ->
+           List.map (fun c -> ({ G.lhs = a; rhs = [ G.T c ] }, 1))
+             (Alphabet.chars alpha))
+        (Ucfg_util.Prelude.range 0 k)
+    in
+    let binary =
+      List.concat_map
+        (fun a ->
+           List.concat_map
+             (fun b ->
+                List.map
+                  (fun c -> ({ G.lhs = a; rhs = [ G.N b; G.N c ] }, 2))
+                  (Ucfg_util.Prelude.range 0 k))
+             (Ucfg_util.Prelude.range 0 k))
+        (Ucfg_util.Prelude.range 0 k)
+    in
+    Array.of_list (terminal @ binary)
+  in
+  let names k = Array.init k (fun i -> Printf.sprintf "N%d" i) in
+  let accepts_exactly rules k =
+    tick ();
+    let g = G.make ~alphabet:alpha ~names:(names k) ~rules ~start:0 in
+    match Analysis.language ~max_len:max_word_len ~max_card:(4 * Lang.cardinal l + 16) g with
+    | Error _ -> false
+    | Ok lg ->
+      Lang.equal lg l
+      && (not unambiguous
+          || (Analysis.has_finitely_many_trees g && Ambiguity.is_unambiguous g))
+  in
+  let witness = ref None in
+  (* find some rule set of total cost exactly s accepting l *)
+  let try_size k s =
+    let universe = rules_for k in
+    let len = Array.length universe in
+    let rec dfs idx remaining chosen =
+      tick ();
+      if remaining = 0 then begin
+        if accepts_exactly (List.rev chosen) k then begin
+          witness :=
+            Some (G.make ~alphabet:alpha ~names:(names k) ~rules:(List.rev chosen) ~start:0);
+          true
+        end
+        else false
+      end
+      else if idx >= len then false
+      else begin
+        let rule, cost = universe.(idx) in
+        (cost <= remaining && dfs (idx + 1) (remaining - cost) (rule :: chosen))
+        || dfs (idx + 1) remaining chosen
+      end
+    in
+    dfs 0 s []
+  in
+  try
+    let rec over_sizes s =
+      if s > max_size then
+        { minimal_size = None; witness = None; nodes_explored = !nodes;
+          budget_exhausted = false }
+      else if
+        List.exists
+          (fun k -> try_size k s)
+          (Ucfg_util.Prelude.range_incl 1 max_nonterminals)
+      then
+        { minimal_size = Some s; witness = !witness; nodes_explored = !nodes;
+          budget_exhausted = false }
+      else over_sizes (s + 1)
+    in
+    over_sizes 1
+  with Out_of_budget ->
+    { minimal_size = None; witness = None; nodes_explored = !nodes;
+      budget_exhausted = true }

@@ -1,0 +1,37 @@
+(** Exhaustive minimal representations for tiny languages — ground truth.
+
+    The paper's bounds are asymptotic; for very small instances we can
+    compute the actual minima: the minimal DFA in polynomial time
+    (Myhill–Nerode), and the minimal CNF grammar — plain or unambiguous —
+    by budgeted exhaustive search over rule sets. *)
+
+open Ucfg_word
+open Ucfg_lang
+
+(** [minimal_dfa_states alpha l] — number of states of the minimal
+    complete DFA of the finite language [l]. *)
+val minimal_dfa_states : Alphabet.t -> Lang.t -> int
+
+type grammar_search = {
+  minimal_size : int option;
+      (** smallest CNF grammar size found, [None] if none within caps *)
+  witness : Ucfg_cfg.Grammar.t option;
+  nodes_explored : int;
+  budget_exhausted : bool;
+}
+
+(** [minimal_cnf_size ?unambiguous ?max_nonterminals ?max_size ?budget
+    alpha l] searches for the smallest CNF grammar (rules [A -> a] of
+    size 1 and [A -> BC] of size 2) accepting exactly [l]; with
+    [unambiguous = true] (default false), restricts to uCFGs.
+
+    Defaults: 3 nonterminals, size cap 12, budget 3 million nodes.
+    [l] must not contain [ε]. *)
+val minimal_cnf_size :
+  ?unambiguous:bool ->
+  ?max_nonterminals:int ->
+  ?max_size:int ->
+  ?budget:int ->
+  Alphabet.t ->
+  Lang.t ->
+  grammar_search

@@ -1,0 +1,82 @@
+open Ucfg_lang
+open Ucfg_cfg
+open Ucfg_automata
+module Bignum = Ucfg_util.Bignum
+
+type report = {
+  n : int;
+  cfg_size : int;
+  example3_size : int option;
+  nfa_states : int;
+  nfa_size : int;
+  pattern_nfa_states : int;
+  nfa_state_lower_bound : int;
+  ucfg_upper : Bignum.t option;
+  ucfg_lower : Bignum.t;
+  language_cardinal : Bignum.t;
+  verified : bool;
+}
+
+let exact_log2 n =
+  (* Some t with n = 2^t + 1 *)
+  let rec go t =
+    let v = (1 lsl t) + 1 in
+    if v = n then Some t else if v > n then None else go (t + 1)
+  in
+  go 0
+
+let run ?(verify_cap = 6) ?(build_cap = 12) n =
+  if n < 1 then invalid_arg "Separation.run";
+  let cfg = Constructions.log_cfg n in
+  let nfa = Ln_nfa.build n in
+  let ucfg = if n <= build_cap then Some (Constructions.example4 n) else None in
+  let verified =
+    if n > verify_cap then false
+    else begin
+      let reference = Ln.language n in
+      let cfg_ok = Lang.equal reference (Analysis.language_exn cfg) in
+      let nfa_ok = Lang.equal reference (Nfa.language nfa ~max_len:(2 * n)) in
+      let ucfg_ok =
+        match ucfg with
+        | None -> true
+        | Some g ->
+          Lang.equal reference (Analysis.language_exn g)
+          && Ambiguity.is_unambiguous g
+      in
+      cfg_ok && nfa_ok && ucfg_ok
+    end
+  in
+  {
+    n;
+    cfg_size = Grammar.size cfg;
+    example3_size =
+      Option.map (fun t -> Grammar.size (Constructions.example3 t)) (exact_log2 n);
+    nfa_states = Nfa.state_count nfa;
+    nfa_size = Nfa.size nfa;
+    pattern_nfa_states = Nfa.state_count (Ln_nfa.pattern n);
+    nfa_state_lower_bound = Ln_nfa.state_lower_bound n;
+    ucfg_upper = Option.map (fun g -> Bignum.of_int (Grammar.size g)) ucfg;
+    ucfg_lower = Ucfg_disc.Bound.ucfg_size_lower_bound n;
+    language_cardinal = Ln.cardinal n;
+    verified;
+  }
+
+let headers =
+  [ "n"; "|L_n|"; "CFG"; "Ex3"; "NFA st"; "NFA lb"; "uCFG<="; "uCFG>=";
+    "verified" ]
+
+let rows reports =
+  List.map
+    (fun r ->
+       [
+         string_of_int r.n;
+         Bignum.to_string r.language_cardinal;
+         string_of_int r.cfg_size;
+         (match r.example3_size with Some s -> string_of_int s | None -> "-");
+         string_of_int r.nfa_states;
+         string_of_int r.nfa_state_lower_bound;
+         (match r.ucfg_upper with Some b -> Bignum.to_string b | None -> "-");
+         Bignum.to_string r.ucfg_lower;
+         (if r.verified then "yes" else "-");
+       ])
+    reports

@@ -1,0 +1,35 @@
+(** The headline result, end to end (Theorem 1).
+
+    For a given [n], build the three representations of [L_n] —
+    the [Θ(log n)] CFG, the polynomial NFA, the exponential uCFG — verify
+    each against brute force where feasible, and put the certified
+    [2^Ω(n)] uCFG lower bound next to them. *)
+
+module Bignum = Ucfg_util.Bignum
+
+type report = {
+  n : int;
+  cfg_size : int;  (** Appendix A grammar *)
+  example3_size : int option;
+      (** Example 3 grammar, when [n = 2^t + 1] for some [t] *)
+  nfa_states : int;  (** the exact (leveled) NFA *)
+  nfa_size : int;  (** states + transitions *)
+  pattern_nfa_states : int;  (** the unbounded Θ(n) pattern automaton *)
+  nfa_state_lower_bound : int;  (** certified Ω(n²) fooling bound *)
+  ucfg_upper : Bignum.t option;
+      (** size of the Example 4 uCFG (built only for [n <= build_cap]) *)
+  ucfg_lower : Bignum.t;  (** Theorem 12's certified lower bound *)
+  language_cardinal : Bignum.t;  (** |L_n| = 4^n - 3^n *)
+  verified : bool;
+      (** all built representations checked against brute-force [L_n]
+          (performed when [n <= verify_cap]) *)
+}
+
+(** [run ?verify_cap ?build_cap n] — defaults: verify for [n <= 6], build
+    the exponential uCFG for [n <= 12]. *)
+val run : ?verify_cap:int -> ?build_cap:int -> int -> report
+
+(** [rows reports] formats reports for {!Report.table}. *)
+val rows : report list -> string list list
+
+val headers : string list

@@ -1,0 +1,1 @@
+lib/disc/blocks.ml: List Partition Seq Setview Ucfg_rect Ucfg_util

@@ -1,0 +1,1 @@
+lib/disc/blocks.mli: Seq Ucfg_util

@@ -1,0 +1,1 @@
+lib/disc/bound.ml: Ucfg_util

@@ -1,0 +1,1 @@
+lib/disc/bound.mli: Ucfg_util

@@ -1,0 +1,1 @@
+lib/disc/counts.ml: Ucfg_util

@@ -1,0 +1,1 @@
+lib/disc/counts.mli: Ucfg_util

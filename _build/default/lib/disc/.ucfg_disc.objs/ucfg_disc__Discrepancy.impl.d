@@ -1,0 +1,1 @@
+lib/disc/discrepancy.ml: Blocks Hashtbl List Partition Seq Set_rectangle Setview Ucfg_rect Ucfg_util

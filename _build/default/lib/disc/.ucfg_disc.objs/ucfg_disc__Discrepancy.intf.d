@@ -1,0 +1,1 @@
+lib/disc/discrepancy.mli: Blocks Partition Set_rectangle Ucfg_rect Ucfg_util

@@ -1,0 +1,43 @@
+open Ucfg_rect
+module Bignum = Ucfg_util.Bignum
+
+type t = { n : int; m : int; masks : int list }
+
+let create n =
+  if n < 4 || n mod 4 <> 0 then
+    invalid_arg "Blocks.create: n must be a positive multiple of 4";
+  if 2 * n > 60 then invalid_arg "Blocks.create: n too large for masks";
+  { n; m = n / 4; masks = Partition.blocks ~n }
+
+let n t = t.n
+let m t = t.m
+let interval_masks t = t.masks
+
+let in_family t mask =
+  List.for_all (fun blk -> Setview.popcount (mask land blk) = 1) t.masks
+
+let matches t mask =
+  let x = mask land ((1 lsl t.n) - 1) in
+  let y = mask lsr t.n in
+  Setview.popcount (x land y)
+
+let in_a t mask = in_family t mask && matches t mask mod 2 = 1
+let in_b t mask = in_family t mask && matches t mask mod 2 = 0
+
+let family t =
+  (* choose an offset 0..3 in each of the 2m blocks *)
+  let rec gen blocks =
+    match blocks with
+    | [] -> Seq.return 0
+    | blk :: rest ->
+      (* lowest bit position of blk *)
+      let rec low b p = if b land 1 = 1 then p else low (b lsr 1) (p + 1) in
+      let base = low blk 0 in
+      Seq.concat_map
+        (fun partial ->
+           Seq.init 4 (fun off -> partial lor (1 lsl (base + off))))
+        (gen rest)
+  in
+  gen t.masks
+
+let family_cardinal t = Bignum.two_pow (4 * t.m)

@@ -1,0 +1,39 @@
+(** The block structure of the discrepancy argument (Section 4.2).
+
+    For [n = 4m], [X ∪ Y] splits into [2m] intervals of size four;
+    [𝓛] is the family of sets picking exactly one element from each
+    interval, [A ⊆ 𝓛] are the picks with an {e odd} number of matched
+    blocks (blocks where the [X]-choice and the [Y]-choice use the same
+    offset, i.e. contribute an [x_ℓ, y_ℓ] pair), and [B = 𝓛 \ A]. *)
+
+(** [create n] precomputes the blocks.  Requires [n >= 4] divisible
+    by 4. *)
+type t
+
+val create : int -> t
+
+val n : t -> int
+
+(** [m t] = [n/4]. *)
+val m : t -> int
+
+(** [interval_masks t] — the [2m] block masks, [I^X] blocks first. *)
+val interval_masks : t -> int list
+
+(** [in_family t mask] — does [mask] pick exactly one element per
+    block? *)
+val in_family : t -> int -> bool
+
+(** [matches t mask] — the number of [i ∈ [m]] with [x_i] and [y_i] both
+    picked.  Meaningful for arbitrary masks; for family members it is the
+    number of matched blocks. *)
+val matches : t -> int -> int
+
+val in_a : t -> int -> bool
+val in_b : t -> int -> bool
+
+(** [family t] enumerates [𝓛] ([16^m] masks — keep [m <= 5]). *)
+val family : t -> int Seq.t
+
+(** [family_cardinal t] = [2^(4m)], exactly (Lemma 18(1)). *)
+val family_cardinal : t -> Ucfg_util.Bignum.t

@@ -1,0 +1,39 @@
+module Bignum = Ucfg_util.Bignum
+
+let cover_lower_bound n =
+  if n < 1 then invalid_arg "Bound.cover_lower_bound";
+  let m = n / 4 in
+  if m = 0 then Bignum.zero
+  else begin
+    let numer = Bignum.sub (Bignum.pow (Bignum.of_int 12) m) (Bignum.two_pow (3 * m)) in
+    if Bignum.sign numer <= 0 then Bignum.zero
+    else begin
+      (* divide by 2^⌈10m/3⌉ (conservative), by 2^8 for neatification, and
+         by 2^6 more when n is not a multiple of 4 *)
+      let e = ((10 * m) + 2) / 3 in
+      let e = e + 8 + if n mod 4 = 0 then 0 else 6 in
+      Bignum.div_pow2 numer e
+    end
+  end
+
+let ucfg_size_lower_bound n =
+  let cover = cover_lower_bound n in
+  if Bignum.is_zero cover then Bignum.zero
+  else begin
+    (* ℓ <= 2n·|G| (Proposition 7 at word length 2n), so
+       |G| >= ⌈ℓ / 2n⌉ *)
+    let q, r = Bignum.divmod_int cover (2 * n) in
+    if r = 0 then q else Bignum.succ q
+  end
+
+let log2_ucfg_bound n =
+  let b = ucfg_size_lower_bound n in
+  if Bignum.sign b <= 0 then neg_infinity else Bignum.log2 b
+
+let first_nontrivial_n () =
+  let rec go n =
+    if n > 10_000 then invalid_arg "Bound.first_nontrivial_n: not found"
+    else if Bignum.compare (ucfg_size_lower_bound n) Bignum.two >= 0 then n
+    else go (n + 1)
+  in
+  go 1

@@ -1,0 +1,33 @@
+(** The end-to-end lower bound (Proposition 16 / Theorem 12 / Theorem 1(3)).
+
+    Chaining the pieces, for a word length [2n] with [m = ⌊n/4⌋]:
+    - any disjoint cover of [L_n] by balanced ordered rectangles has size
+      [ℓ >= (12^m - 2^(3m)) / (2^(10m/3) · 256 [· 64])] — the [256] from
+      Lemma 21's neatification, the extra [64] only when [n mod 4 ≠ 0]
+      (the spare-element reduction of Section 4.3);
+    - any uCFG [G] for [L_n] yields such a cover of size at most
+      [2n·|G|] (Proposition 7), hence
+      [|G| >= ℓ_min / 2n = 2^(Ω(n))].
+
+    All bounds here round conservatively (they are valid lower bounds,
+    slightly weaker than the real constants). *)
+
+module Bignum = Ucfg_util.Bignum
+
+(** [cover_lower_bound n] — minimum size of any disjoint cover of [L_n]
+    by balanced ordered rectangles, as certified by the discrepancy
+    argument.  May be 0 or 1 for small [n] (the bound only bites once
+    [12^m - 2^(3m) > 0], i.e. [m >= 1] and asymptotically). *)
+val cover_lower_bound : int -> Bignum.t
+
+(** [ucfg_size_lower_bound n] = [cover_lower_bound n / 2n] (ceiling) —
+    the Theorem 12 bound on the size of every uCFG accepting [L_n]. *)
+val ucfg_size_lower_bound : int -> Bignum.t
+
+(** [log2_ucfg_bound n] — [log₂] of the bound, for growth-rate tables
+    (≈ [n·(log₂ 12 - 10/3)/4 ≈ 0.063·n] minus additive constants). *)
+val log2_ucfg_bound : int -> float
+
+(** [first_nontrivial_n ()] — the least [n] where
+    [ucfg_size_lower_bound n >= 2]. *)
+val first_nontrivial_n : unit -> int

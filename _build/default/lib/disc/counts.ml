@@ -1,0 +1,50 @@
+module Bignum = Ucfg_util.Bignum
+
+let check_m m = if m < 1 then invalid_arg "Counts: m must be >= 1"
+
+let family_size ~m =
+  check_m m;
+  Bignum.two_pow (4 * m)
+
+let b_minus_ln ~m =
+  check_m m;
+  Bignum.pow (Bignum.of_int 12) m
+
+let b_minus_a ~m =
+  check_m m;
+  Bignum.two_pow (3 * m)
+
+let a_size ~m =
+  check_m m;
+  (* (2^(4m) - 2^(3m)) / 2 *)
+  let q, r =
+    Bignum.divmod_int (Bignum.sub (Bignum.two_pow (4 * m)) (Bignum.two_pow (3 * m))) 2
+  in
+  assert (r = 0);
+  q
+
+let b_size ~m =
+  check_m m;
+  let q, r =
+    Bignum.divmod_int (Bignum.add (Bignum.two_pow (4 * m)) (Bignum.two_pow (3 * m))) 2
+  in
+  assert (r = 0);
+  q
+
+let advantage ~m =
+  check_m m;
+  Bignum.sub (b_minus_ln ~m) (b_minus_a ~m)
+
+let advantage_exceeds_threshold ~m =
+  check_m m;
+  let adv = advantage ~m in
+  Bignum.sign adv > 0
+  && Bignum.compare (Bignum.mul adv adv) (Bignum.two_pow (7 * m)) > 0
+
+let smallest_threshold_m () =
+  let rec go m =
+    if advantage_exceeds_threshold ~m then m
+    else if m > 1000 then invalid_arg "Counts.smallest_threshold_m: not found"
+    else go (m + 1)
+  in
+  go 1

@@ -1,0 +1,35 @@
+(** Lemma 18, exactly.
+
+    With [m = n/4]:
+    - [|𝓛| = 2^(4m)],
+    - [|B \ L_n| = 12^m] (the all-blocks-unmatched picks),
+    - [|B| - |A| = 2^(3m)] (the binomial telescope),
+    - [|A ∩ L_n| - |B ∩ L_n| = |A| - |B ∩ L_n| = 12^m - 2^(3m)],
+    and the paper uses [12^m - 2^(3m) > 2^(7m/2)] for large [m].
+    All values are exact big integers; the test-suite cross-checks them
+    against brute-force enumeration for small [m]. *)
+
+module Bignum = Ucfg_util.Bignum
+
+val family_size : m:int -> Bignum.t
+val b_minus_ln : m:int -> Bignum.t
+val b_minus_a : m:int -> Bignum.t
+
+(** [a_size ~m] = [(16^m - 8^m) / 2] and [b_size ~m] = [(16^m + 8^m) / 2]
+    (from [|A| + |B| = 2^(4m)] and [|B| - |A| = 2^(3m)]). *)
+val a_size : m:int -> Bignum.t
+
+val b_size : m:int -> Bignum.t
+
+(** [advantage ~m] = [|A ∩ L_n| - |B ∩ L_n| = 12^m - 2^(3m)]. *)
+val advantage : m:int -> Bignum.t
+
+(** [advantage_exceeds_threshold ~m] decides
+    [12^m - 2^(3m) > 2^(7m/2)] exactly (by squaring, to avoid the
+    half-integer exponent). *)
+val advantage_exceeds_threshold : m:int -> bool
+
+(** [smallest_threshold_m] is the least [m] with
+    {!advantage_exceeds_threshold} — the point where the paper's "n
+    sufficiently big" kicks in. *)
+val smallest_threshold_m : unit -> int

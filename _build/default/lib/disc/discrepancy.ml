@@ -1,0 +1,51 @@
+open Ucfg_rect
+module Bignum = Ucfg_util.Bignum
+
+let of_rectangle blocks r =
+  Set_rectangle.count_diff r ~in_a:(Blocks.in_a blocks)
+    ~in_b:(Blocks.in_b blocks)
+
+let lemma19_bound ~m = Bignum.two_pow (3 * m)
+
+let within_lemma23_bound ~m d =
+  let d = Bignum.of_int (abs d) in
+  Bignum.compare (Bignum.mul d (Bignum.mul d d)) (Bignum.two_pow (10 * m)) <= 0
+
+let random_family_member blocks rng =
+  List.fold_left
+    (fun acc blk ->
+       let rec low b p = if b land 1 = 1 then p else low (b lsr 1) (p + 1) in
+       let base = low blk 0 in
+       acc lor (1 lsl (base + Ucfg_util.Rng.int rng 4)))
+    0
+    (Blocks.interval_masks blocks)
+
+let max_over_random blocks ~rng ~samples ~partition =
+  let ins = Partition.inside partition in
+  let out = Partition.outside partition in
+  let best = ref 0 in
+  for _ = 1 to samples do
+    let picks = List.init 32 (fun _ -> random_family_member blocks rng) in
+    let inner = List.sort_uniq compare (List.map (fun m -> m land ins) picks) in
+    let outer = List.sort_uniq compare (List.map (fun m -> m land out) picks) in
+    let r = Set_rectangle.make partition ~outer ~inner in
+    let d = abs (of_rectangle blocks r) in
+    if d > !best then best := d
+  done;
+  !best
+
+let tight_example blocks =
+  let n = Blocks.n blocks in
+  let partition = Partition.make ~n 1 n in
+  let ins = Partition.inside partition in
+  (* every family member splits cleanly into its X and Y halves; collect
+     the distinct halves *)
+  let inner = Hashtbl.create 256 and outer = Hashtbl.create 256 in
+  Seq.iter
+    (fun m ->
+       Hashtbl.replace inner (m land ins) ();
+       Hashtbl.replace outer (m land lnot ins land Setview.universe ~n) ())
+    (Blocks.family blocks);
+  Set_rectangle.make partition
+    ~outer:(Hashtbl.fold (fun k () acc -> k :: acc) outer [])
+    ~inner:(Hashtbl.fold (fun k () acc -> k :: acc) inner [])

@@ -1,0 +1,38 @@
+(** Rectangle discrepancy (Lemma 19, Corollary 20, Lemma 23).
+
+    The discrepancy of a rectangle [R] is [||R ∩ A| - |R ∩ B||].  The
+    paper bounds it by [2^(3m)] for [[1,n]]-rectangles (and any interval
+    splitting every [(x_ℓ, y_ℓ)] pair), and by [2^(10m/3)] for arbitrary
+    neat ordered balanced rectangles — always strictly below the
+    [12^m - 2^(3m)] advantage of [L_n], which is what forces exponential
+    disjoint covers. *)
+
+module Bignum = Ucfg_util.Bignum
+open Ucfg_rect
+
+(** [of_rectangle blocks r] computes [|R ∩ A| - |R ∩ B|] by enumerating
+    the rectangle. *)
+val of_rectangle : Blocks.t -> Set_rectangle.t -> int
+
+(** [lemma19_bound ~m] = [2^(3m)]. *)
+val lemma19_bound : m:int -> Bignum.t
+
+(** [within_lemma23_bound ~m d] decides [|d| <= 2^(10m/3)] exactly (by
+    cubing). *)
+val within_lemma23_bound : m:int -> int -> bool
+
+(** [max_over_random blocks ~rng ~samples ~partition] samples random
+    rectangles over a given partition and returns the maximum absolute
+    discrepancy observed (a lower-bound probe of tightness). *)
+val max_over_random :
+  Blocks.t ->
+  rng:Ucfg_util.Rng.t ->
+  samples:int ->
+  partition:Partition.t ->
+  int
+
+(** [tight_example blocks] builds the worst [[1,n]]-rectangle we know:
+    [S = 𝓛^X], [T = 𝓛^Y] — the full family rectangle, whose discrepancy
+    is exactly [|B| - |A| = 2^(3m)] in absolute value (it meets Lemma 19
+    with equality). *)
+val tight_example : Blocks.t -> Set_rectangle.t

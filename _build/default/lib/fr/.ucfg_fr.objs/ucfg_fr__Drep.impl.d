@@ -1,0 +1,1 @@
+lib/fr/drep.ml: Alphabet Array Format Fun Lang Lazy List String Ucfg_lang Ucfg_util Ucfg_word

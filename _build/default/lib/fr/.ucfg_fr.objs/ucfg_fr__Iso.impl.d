@@ -1,0 +1,1 @@
+lib/fr/iso.ml: Analysis Array Drep Grammar Lazy List Printf Trim Ucfg_cfg Ucfg_word

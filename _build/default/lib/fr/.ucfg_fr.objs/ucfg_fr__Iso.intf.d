@@ -1,0 +1,1 @@
+lib/fr/iso.mli: Drep Ucfg_cfg

@@ -1,0 +1,1 @@
+lib/fr/join.ml: Alphabet Array Drep Hashtbl Lang List String Ucfg_lang Ucfg_util Ucfg_word

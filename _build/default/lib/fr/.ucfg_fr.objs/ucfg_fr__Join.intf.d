@@ -1,0 +1,1 @@
+lib/fr/join.mli: Drep Lang Ucfg_lang Ucfg_util

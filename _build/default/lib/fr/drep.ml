@@ -1,0 +1,134 @@
+open Ucfg_word
+open Ucfg_lang
+module Bignum = Ucfg_util.Bignum
+
+type node = Letter of char | Eps | Union of int list | Prod of int list
+
+type t = { alphabet : Alphabet.t; nodes : node array; root : int }
+
+let make ~alphabet ~nodes ~root =
+  let n = Array.length nodes in
+  if root < 0 || root >= n then invalid_arg "Drep.make: root out of range";
+  Array.iteri
+    (fun i nd ->
+       match nd with
+       | Letter c ->
+         if not (Alphabet.mem alphabet c) then
+           invalid_arg "Drep.make: letter outside the alphabet"
+       | Eps -> ()
+       | Union children | Prod children ->
+         List.iter
+           (fun j ->
+              (* bottom-up order doubles as the acyclicity certificate *)
+              if j < 0 || j >= i then
+                invalid_arg "Drep.make: children must precede their gate")
+           children)
+    nodes;
+  { alphabet; nodes; root }
+
+let alphabet d = d.alphabet
+let node_count d = Array.length d.nodes
+let root d = d.root
+
+let node d i =
+  if i < 0 || i >= Array.length d.nodes then invalid_arg "Drep.node";
+  d.nodes.(i)
+
+let size d =
+  Array.fold_left
+    (fun acc nd ->
+       match nd with
+       | Letter _ | Eps -> acc
+       | Union children | Prod children -> acc + List.length children)
+    0 d.nodes
+
+let denotations d =
+  let n = Array.length d.nodes in
+  let sem = Array.make n Lang.empty in
+  for i = 0 to n - 1 do
+    sem.(i) <-
+      (match d.nodes.(i) with
+       | Letter c -> Lang.singleton (String.make 1 c)
+       | Eps -> Lang.singleton ""
+       | Union children ->
+         List.fold_left (fun acc j -> Lang.union acc sem.(j)) Lang.empty children
+       | Prod children -> Lang.concat_list (List.map (fun j -> sem.(j)) children))
+  done;
+  sem
+
+let denotation d = (denotations d).(d.root)
+
+let denotation_of d i =
+  if i < 0 || i >= Array.length d.nodes then invalid_arg "Drep.denotation_of";
+  (denotations d).(i)
+
+let count_tuples d =
+  let n = Array.length d.nodes in
+  let cnt = Array.make n Bignum.zero in
+  for i = 0 to n - 1 do
+    cnt.(i) <-
+      (match d.nodes.(i) with
+       | Letter _ | Eps -> Bignum.one
+       | Union children ->
+         Bignum.sum (List.map (fun j -> cnt.(j)) children)
+       | Prod children ->
+         List.fold_left (fun acc j -> Bignum.mul acc cnt.(j)) Bignum.one children)
+  done;
+  cnt.(d.root)
+
+let is_deterministic d =
+  Bignum.equal (count_tuples d) (Bignum.of_int (Lang.cardinal (denotation d)))
+
+let of_word alphabet w =
+  let len = String.length w in
+  if len = 0 then make ~alphabet ~nodes:[| Eps |] ~root:0
+  else begin
+    let letters = Array.init len (fun i -> Letter w.[i]) in
+    let prod = Prod (List.init len Fun.id) in
+    make ~alphabet ~nodes:(Array.append letters [| prod |]) ~root:len
+  end
+
+let of_language alphabet l =
+  (* share letter leaves; one product per word; a top union *)
+  let nodes = ref [] in
+  let count = ref 0 in
+  let push nd =
+    nodes := nd :: !nodes;
+    let id = !count in
+    incr count;
+    id
+  in
+  let letter_ids =
+    List.map (fun c -> (c, push (Letter c))) (Alphabet.chars alphabet)
+  in
+  let eps_id = lazy (push Eps) in
+  let word_ids =
+    Lang.fold
+      (fun w acc ->
+         if String.length w = 0 then Lazy.force eps_id :: acc
+         else
+           push
+             (Prod
+                (List.init (String.length w) (fun i ->
+                     List.assoc w.[i] letter_ids)))
+           :: acc)
+      l []
+  in
+  let root = push (Union (List.rev word_ids)) in
+  make ~alphabet ~nodes:(Array.of_list (List.rev !nodes)) ~root
+
+let pp fmt d =
+  Format.fprintf fmt "@[<v>root: %d@," d.root;
+  Array.iteri
+    (fun i nd ->
+       match nd with
+       | Letter c -> Format.fprintf fmt "%d: '%c'@," i c
+       | Eps -> Format.fprintf fmt "%d: ε@," i
+       | Union children ->
+         Format.fprintf fmt "%d: ∪(%s)@," i
+           (String.concat "," (List.map string_of_int children))
+       | Prod children ->
+         Format.fprintf fmt "%d: ×(%s)@," i
+           (String.concat "," (List.map string_of_int children)))
+    d.nodes;
+  Format.fprintf fmt "@]"

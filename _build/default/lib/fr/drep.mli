@@ -1,0 +1,61 @@
+(** d-representations: factorised representations as ∪/× circuits.
+
+    The database motivation of the paper: Kimelfeld, Martens and Niewerth
+    observed that CFGs of finite languages are isomorphic to
+    d-representations in the unnamed perspective.  A d-representation is
+    a DAG whose leaves are letters (or ε) and whose internal gates are
+    unions and ordered products; it denotes a finite set of words (=
+    tuples of an implicit relation).  The size measure — total number of
+    gate inputs (edges) — matches the paper's CFG size up to a constant
+    factor. *)
+
+open Ucfg_word
+open Ucfg_lang
+
+type node =
+  | Letter of char
+  | Eps
+  | Union of int list
+  | Prod of int list
+
+type t
+
+(** [make ~alphabet ~nodes ~root] validates: children in range, no cycles
+    (children must have smaller indices — nodes are given in bottom-up
+    order), letters in the alphabet.
+    @raise Invalid_argument otherwise. *)
+val make : alphabet:Alphabet.t -> nodes:node array -> root:int -> t
+
+val alphabet : t -> Alphabet.t
+val node_count : t -> int
+val root : t -> int
+val node : t -> int -> node
+
+(** [size d] — the number of edges (gate inputs); leaves cost nothing by
+    themselves, mirroring the paper's [Σ|rhs|] grammar measure where a
+    letter is charged at its occurrence in a rule. *)
+val size : t -> int
+
+(** [denotation d] — the set of words, computed bottom-up. *)
+val denotation : t -> Lang.t
+
+(** [denotation_of d i] — the language of node [i]. *)
+val denotation_of : t -> int -> Lang.t
+
+(** [count_tuples d] — the number of parse-ways, i.e. derivations: equals
+    the number of words iff [d] is deterministic.  Computed without
+    materialising. *)
+val count_tuples : t -> Ucfg_util.Bignum.t
+
+(** [is_deterministic d] — every union gate has pairwise disjoint child
+    languages and every product has unambiguous factorisations (the d- in
+    d-representation; corresponds to grammar unambiguity).  Decided
+    exactly by comparing derivation counts with word counts. *)
+val is_deterministic : t -> bool
+
+(** [of_word w] / [of_language alpha l] — trivial representations. *)
+val of_word : Alphabet.t -> string -> t
+
+val of_language : Alphabet.t -> Lang.t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,18 @@
+(** The Kimelfeld–Martens–Niewerth correspondence: CFG ↔ d-representation.
+
+    Both directions preserve the language exactly, the derivation
+    structure bijectively (so unambiguity ↔ determinism), and the size up
+    to a small constant factor — the observation that makes the paper's
+    uCFG lower bound a lower bound on deterministic factorised
+    representations. *)
+
+(** [drep_of_cfg g] — one union gate per nonterminal, one product gate per
+    rule.  Requires a grammar with a finite language and finitely many
+    parse trees (acyclic when trimmed); the result's size is at most
+    [|G| + #rules + |Σ| + 1].
+    @raise Invalid_argument on cyclic (trimmed) grammars. *)
+val drep_of_cfg : Ucfg_cfg.Grammar.t -> Drep.t
+
+(** [cfg_of_drep d] — one nonterminal per gate; size at most
+    [size d + node_count d]. *)
+val cfg_of_drep : Drep.t -> Ucfg_cfg.Grammar.t

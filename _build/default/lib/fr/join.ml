@@ -1,0 +1,92 @@
+open Ucfg_word
+open Ucfg_lang
+
+type relation = { width : int; tuples : (string * string) list }
+
+let is_binary w s =
+  String.length s = w && String.for_all (fun c -> c = 'a' || c = 'b') s
+
+let make ~width pairs =
+  if width < 1 then invalid_arg "Join.make: width must be >= 1";
+  List.iter
+    (fun (x, y) ->
+       if not (is_binary width x && is_binary width y) then
+         invalid_arg "Join.make: attributes must be binary of the given width")
+    pairs;
+  { width; tuples = List.sort_uniq compare pairs }
+
+let cardinal r = List.length r.tuples
+
+let join_tuples r s =
+  if r.width <> s.width then invalid_arg "Join.join_tuples: width mismatch";
+  List.fold_left
+    (fun acc (a, b) ->
+       List.fold_left
+         (fun acc (b', c) ->
+            if String.equal b b' then Lang.add (a ^ b ^ c) acc else acc)
+         acc s.tuples)
+    Lang.empty r.tuples
+
+let materialized_size r s = 3 * r.width * Lang.cardinal (join_tuples r s)
+
+let factorize r s =
+  if r.width <> s.width then invalid_arg "Join.factorize: width mismatch";
+  (* group both sides by the join value *)
+  let by_b side = Ucfg_util.Prelude.group_by_key side in
+  let left = by_b (List.map (fun (a, b) -> (b, a)) r.tuples) in
+  let right = by_b s.tuples in
+  let nodes = ref [] in
+  let count = ref 0 in
+  let push nd =
+    nodes := nd :: !nodes;
+    let id = !count in
+    incr count;
+    id
+  in
+  let letter_a = push (Drep.Letter 'a') in
+  let letter_b = push (Drep.Letter 'b') in
+  let letter c = if c = 'a' then letter_a else letter_b in
+  let word_cache = Hashtbl.create 64 in
+  let word_node v =
+    match Hashtbl.find_opt word_cache v with
+    | Some id -> id
+    | None ->
+      let id =
+        push (Drep.Prod (List.init (String.length v) (fun i -> letter v.[i])))
+      in
+      Hashtbl.add word_cache v id;
+      id
+  in
+  let groups =
+    List.filter_map
+      (fun (b, as_) ->
+         match List.assoc_opt b right with
+         | None -> None
+         | Some cs ->
+           let a_union = push (Drep.Union (List.map word_node as_)) in
+           let c_union = push (Drep.Union (List.map word_node cs)) in
+           Some (push (Drep.Prod [ a_union; word_node b; c_union ])))
+      left
+  in
+  let root = push (Drep.Union groups) in
+  Drep.make ~alphabet:Alphabet.binary
+    ~nodes:(Array.of_list (List.rev !nodes))
+    ~root
+
+let random_relation rng ~width ~size ~skew ~join_side ?hot () =
+  if skew < 0. || skew > 1. then invalid_arg "Join.random_relation: bad skew";
+  let random_word () =
+    String.init width (fun _ -> if Ucfg_util.Rng.bool rng then 'a' else 'b')
+  in
+  let hot = match hot with Some h -> h | None -> random_word () in
+  if not (is_binary width hot) then
+    invalid_arg "Join.random_relation: bad hot key";
+  let pairs =
+    List.init size (fun _ ->
+        let b = if Ucfg_util.Rng.float rng < skew then hot else random_word () in
+        let other = random_word () in
+        match join_side with
+        | `First -> (b, other)
+        | `Second -> (other, b))
+  in
+  make ~width pairs

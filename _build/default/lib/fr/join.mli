@@ -1,0 +1,48 @@
+(** Factorised join results (the Olteanu–Závodný motivation).
+
+    A miniature of the database story behind the paper: the result of
+    [R(A,B) ⋈ S(B,C)] materialises to [Σ_b |R_b|·|S_b|] tuples, but
+    factorises as [∪_b (R_b × {b} × S_b)] — a d-representation of size
+    [O(|R| + |S|)].  Tuples are encoded as words (unnamed perspective):
+    each attribute is a fixed-width binary string. *)
+
+open Ucfg_lang
+
+type relation = {
+  width : int;  (** characters per attribute *)
+  tuples : (string * string) list;  (** binary pairs, each of [width] *)
+}
+
+(** [make ~width pairs] validates widths and deduplicates.
+    @raise Invalid_argument on malformed values. *)
+val make : width:int -> (string * string) list -> relation
+
+val cardinal : relation -> int
+
+(** [join_tuples r s] — the materialised join [{(a,b,c)}] as encoded words
+    [a·b·c]. *)
+val join_tuples : relation -> relation -> Lang.t
+
+(** [materialized_size r s] — total characters of the materialised
+    result. *)
+val materialized_size : relation -> relation -> int
+
+(** [factorize r s] — the factorised d-representation of the join,
+    grouped by the join attribute. *)
+val factorize : relation -> relation -> Drep.t
+
+(** [random_relation rng ~width ~size ~skew ~join_side ?hot ()] — a
+    workload generator.  [join_side] says which attribute is the join
+    attribute ([`First] for an [S(B,C)], [`Second] for an [R(A,B)]);
+    [skew] in [[0,1]] concentrates join values on the hot key
+    ([0] = uniform keys, [1] = a single hot key — the quadratic worst
+    case); pass the same [hot] to both relations to actually collide. *)
+val random_relation :
+  Ucfg_util.Rng.t ->
+  width:int ->
+  size:int ->
+  skew:float ->
+  join_side:[ `First | `Second ] ->
+  ?hot:string ->
+  unit ->
+  relation

@@ -1,0 +1,1 @@
+lib/kc/circuit.ml: Array Bool Format Fun List Seq String Ucfg_util

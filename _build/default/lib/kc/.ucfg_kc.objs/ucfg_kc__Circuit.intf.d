@@ -1,0 +1,1 @@
+lib/kc/circuit.mli: Format Seq Ucfg_util

@@ -1,0 +1,1 @@
+lib/kc/ln_circuit.ml: Array Circuit Fun Hashtbl List Ucfg_util Vtree

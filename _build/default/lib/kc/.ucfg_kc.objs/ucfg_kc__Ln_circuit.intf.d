@@ -1,0 +1,1 @@
+lib/kc/ln_circuit.mli: Circuit Vtree

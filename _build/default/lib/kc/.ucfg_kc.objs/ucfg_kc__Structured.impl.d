@@ -1,0 +1,1 @@
+lib/kc/structured.ml: Array Circuit Fun Int List Seq Set Ucfg_util Vtree

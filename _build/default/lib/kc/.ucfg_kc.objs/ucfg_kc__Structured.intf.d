@@ -1,0 +1,1 @@
+lib/kc/structured.mli: Circuit Seq Ucfg_util Vtree

@@ -1,0 +1,1 @@
+lib/kc/vtree.ml: Format List Ucfg_util

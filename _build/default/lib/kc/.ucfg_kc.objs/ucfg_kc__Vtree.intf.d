@@ -1,0 +1,1 @@
+lib/kc/vtree.mli: Format Ucfg_util

@@ -1,0 +1,197 @@
+module Bignum = Ucfg_util.Bignum
+module Bitset = Ucfg_util.Bitset
+
+type node = True | False | Lit of int * bool | And of int list | Or of int list
+
+type t = {
+  vars : int;
+  nodes : node array;
+  root : int;
+  supports : Bitset.t array;  (** per-node variable support *)
+}
+
+let make ~vars ~nodes ~root =
+  if vars < 0 then invalid_arg "Circuit.make: negative vars";
+  if root < 0 || root >= Array.length nodes then invalid_arg "Circuit.make: root";
+  let supports = Array.make (Array.length nodes) (Bitset.create vars) in
+  Array.iteri
+    (fun i nd ->
+       match nd with
+       | True | False -> ()
+       | Lit (v, _) ->
+         if v < 0 || v >= vars then invalid_arg "Circuit.make: variable range";
+         supports.(i) <- Bitset.add supports.(i) v
+       | And children | Or children ->
+         List.iter
+           (fun j ->
+              if j < 0 || j >= i then
+                invalid_arg "Circuit.make: children must precede their gate";
+              supports.(i) <- Bitset.union supports.(i) supports.(j))
+           children)
+    nodes;
+  { vars; nodes; root; supports }
+
+let vars c = c.vars
+let node_count c = Array.length c.nodes
+let root c = c.root
+
+let node c i =
+  if i < 0 || i >= Array.length c.nodes then invalid_arg "Circuit.node";
+  c.nodes.(i)
+
+let size c =
+  Array.fold_left
+    (fun acc nd ->
+       match nd with
+       | True | False | Lit _ -> acc
+       | And children | Or children -> acc + List.length children)
+    0 c.nodes
+
+let support c i =
+  if i < 0 || i >= Array.length c.nodes then invalid_arg "Circuit.support";
+  c.supports.(i)
+
+let evaluate_node c assignment i =
+  let memo = Array.make (Array.length c.nodes) None in
+  let rec go i =
+    match memo.(i) with
+    | Some v -> v
+    | None ->
+      let v =
+        match c.nodes.(i) with
+        | True -> true
+        | False -> false
+        | Lit (x, pol) -> Bool.equal assignment.(x) pol
+        | And children -> List.for_all go children
+        | Or children -> List.exists go children
+      in
+      memo.(i) <- Some v;
+      v
+  in
+  go i
+
+let evaluate c assignment =
+  if Array.length assignment <> c.vars then
+    invalid_arg "Circuit.evaluate: assignment length";
+  evaluate_node c assignment c.root
+
+let evaluate_at c i assignment =
+  if i < 0 || i >= Array.length c.nodes then invalid_arg "Circuit.evaluate_at";
+  if Array.length assignment <> c.vars then
+    invalid_arg "Circuit.evaluate_at: assignment length";
+  evaluate_node c assignment i
+
+let is_decomposable c =
+  Array.for_all
+    (fun nd ->
+       match nd with
+       | And children ->
+         let rec pairwise = function
+           | [] -> true
+           | x :: rest ->
+             List.for_all
+               (fun y -> Bitset.disjoint c.supports.(x) c.supports.(y))
+               rest
+             && pairwise rest
+         in
+         pairwise children
+       | True | False | Lit _ | Or _ -> true)
+    c.nodes
+
+let is_smooth c =
+  Array.mapi
+    (fun i nd ->
+       match nd with
+       | Or children ->
+         List.for_all (fun j -> Bitset.equal c.supports.(j) c.supports.(i)) children
+       | True | False | Lit _ | And _ -> true)
+    c.nodes
+  |> Array.for_all Fun.id
+
+let is_deterministic c =
+  let check_gate i children =
+    let sup = c.supports.(i) in
+    let sup_vars = Array.of_list (Bitset.elements sup) in
+    let k = Array.length sup_vars in
+    if k > 22 then
+      invalid_arg "Circuit.is_deterministic: gate support too large";
+    let assignment = Array.make c.vars false in
+    let ok = ref true in
+    for mask = 0 to (1 lsl k) - 1 do
+      Array.iteri
+        (fun bit v -> assignment.(v) <- (mask lsr bit) land 1 = 1)
+        sup_vars;
+      let sat = List.filter (evaluate_node c assignment) children in
+      if List.length sat > 1 then ok := false
+    done;
+    !ok
+  in
+  let result = ref true in
+  Array.iteri
+    (fun i nd ->
+       match nd with
+       | Or children -> if not (check_gate i children) then result := false
+       | True | False | Lit _ | And _ -> ())
+    c.nodes;
+  !result
+
+let model_count c =
+  (* counts over each node's own support; smoothing applied at ∨-gates and
+     at the root *)
+  let n = Array.length c.nodes in
+  let counts = Array.make n Bignum.zero in
+  for i = 0 to n - 1 do
+    counts.(i) <-
+      (match c.nodes.(i) with
+       | True -> Bignum.one
+       | False -> Bignum.zero
+       | Lit _ -> Bignum.one
+       | And children ->
+         List.fold_left
+           (fun acc j -> Bignum.mul acc counts.(j))
+           Bignum.one children
+       | Or children ->
+         Bignum.sum
+           (List.map
+              (fun j ->
+                 let missing =
+                   Bitset.cardinal c.supports.(i)
+                   - Bitset.cardinal c.supports.(j)
+                 in
+                 Bignum.mul counts.(j) (Bignum.two_pow missing))
+              children))
+  done;
+  let missing = c.vars - Bitset.cardinal c.supports.(c.root) in
+  Bignum.mul counts.(c.root) (Bignum.two_pow missing)
+
+let models c =
+  if c.vars > 24 then invalid_arg "Circuit.models: too many variables";
+  let assignment = Array.make c.vars false in
+  Seq.filter
+    (fun mask ->
+       for v = 0 to c.vars - 1 do
+         assignment.(v) <- (mask lsr v) land 1 = 1
+       done;
+       evaluate c assignment)
+    (Seq.init (1 lsl c.vars) Fun.id)
+
+let model_count_brute c =
+  Seq.fold_left (fun acc _ -> Bignum.succ acc) Bignum.zero (models c)
+
+let pp fmt c =
+  Format.fprintf fmt "@[<v>vars: %d, root: %d@," c.vars c.root;
+  Array.iteri
+    (fun i nd ->
+       match nd with
+       | True -> Format.fprintf fmt "%d: ⊤@," i
+       | False -> Format.fprintf fmt "%d: ⊥@," i
+       | Lit (v, true) -> Format.fprintf fmt "%d: v%d@," i v
+       | Lit (v, false) -> Format.fprintf fmt "%d: ¬v%d@," i v
+       | And children ->
+         Format.fprintf fmt "%d: ∧(%s)@," i
+           (String.concat "," (List.map string_of_int children))
+       | Or children ->
+         Format.fprintf fmt "%d: ∨(%s)@," i
+           (String.concat "," (List.map string_of_int children)))
+    c.nodes;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,74 @@
+(** Knowledge-compilation circuits (NNF / DNNF / d-DNNF).
+
+    The paper's lower-bound technique is "inspired by methods from
+    knowledge compilation [Bova–Capelli–Mengel–Slivovsky]"; this module
+    provides the circuit classes those methods live in.  Circuits are
+    DAGs over literals with ∧/∨ gates; {e decomposable} ∧-gates have
+    variable-disjoint children (DNNF), {e deterministic} ∨-gates have
+    pairwise inconsistent children (d-DNNF) — determinism is to circuits
+    what unambiguity is to grammars, and it is what makes model counting
+    a simple dynamic program. *)
+
+module Bignum = Ucfg_util.Bignum
+
+type node =
+  | True
+  | False
+  | Lit of int * bool  (** variable, polarity ([true] = positive) *)
+  | And of int list
+  | Or of int list
+
+type t
+
+(** [make ~vars ~nodes ~root] validates: children precede their gate,
+    variables in range.  @raise Invalid_argument otherwise. *)
+val make : vars:int -> nodes:node array -> root:int -> t
+
+val vars : t -> int
+val node_count : t -> int
+val root : t -> int
+
+(** [node c i] — the [i]-th node.  @raise Invalid_argument. *)
+val node : t -> int -> node
+
+(** [size c] — the number of gate inputs (edges). *)
+val size : t -> int
+
+(** [support c i] — the variables below node [i], as a bitset. *)
+val support : t -> int -> Ucfg_util.Bitset.t
+
+(** [evaluate c assignment] — the root value under a total assignment
+    (array of length [vars c]). *)
+val evaluate : t -> bool array -> bool
+
+(** [evaluate_at c i assignment] — the value of node [i]. *)
+val evaluate_at : t -> int -> bool array -> bool
+
+(** [is_decomposable c] — every ∧-gate has pairwise variable-disjoint
+    children (the D in DNNF). *)
+val is_decomposable : t -> bool
+
+(** [is_smooth c] — every ∨-gate's children mention the same variables. *)
+val is_smooth : t -> bool
+
+(** [is_deterministic c] — every ∨-gate's children are pairwise jointly
+    unsatisfiable, decided exactly by enumerating assignments over the
+    gate's support (kept feasible by a per-gate cap of 2^22
+    assignments).
+    @raise Invalid_argument when some gate's support is too large. *)
+val is_deterministic : t -> bool
+
+(** [model_count c] — the number of satisfying total assignments, by the
+    d-DNNF dynamic program with on-the-fly smoothing.  Correct when the
+    circuit is decomposable and deterministic (an upper bound
+    otherwise). *)
+val model_count : t -> Bignum.t
+
+(** [model_count_brute c] — by enumeration; requires [vars c <= 24]. *)
+val model_count_brute : t -> Bignum.t
+
+(** [models c] enumerates the satisfying assignments as bit masks
+    (variable [v] = bit [v]); requires [vars c <= 24]. *)
+val models : t -> int Seq.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,120 @@
+(* variables: x_i = i, y_i = n + i, for i in [0, n) *)
+
+let naive n =
+  if n < 1 then invalid_arg "Ln_circuit.naive";
+  let nodes = ref [] in
+  let count = ref 0 in
+  let push nd =
+    nodes := nd :: !nodes;
+    let id = !count in
+    incr count;
+    id
+  in
+  let conjuncts =
+    List.map
+      (fun i ->
+         let x = push (Circuit.Lit (i, true)) in
+         let y = push (Circuit.Lit (n + i, true)) in
+         push (Circuit.And [ x; y ]))
+      (Ucfg_util.Prelude.range 0 n)
+  in
+  let root = push (Circuit.Or conjuncts) in
+  Circuit.make ~vars:(2 * n) ~nodes:(Array.of_list (List.rev !nodes)) ~root
+
+let structured_vtree n =
+  Vtree.Node
+    ( Vtree.right_linear (Ucfg_util.Prelude.range 0 n),
+      Vtree.right_linear (Ucfg_util.Prelude.range n (2 * n)) )
+
+let structured n =
+  if n < 1 then invalid_arg "Ln_circuit.structured";
+  if n > 16 then invalid_arg "Ln_circuit.structured: n too large";
+  let nodes = ref [] in
+  let count = ref 0 in
+  let push nd =
+    nodes := nd :: !nodes;
+    let id = !count in
+    incr count;
+    id
+  in
+  let lit_cache = Hashtbl.create 64 in
+  let lit v pol =
+    match Hashtbl.find_opt lit_cache (v, pol) with
+    | Some id -> id
+    | None ->
+      let id = push (Circuit.Lit (v, pol)) in
+      Hashtbl.add lit_cache (v, pol) id;
+      id
+  in
+  (* binary right-nested conjunction of literals given in increasing
+     variable order, so every And splits along the right-linear vtree *)
+  let rec chain = function
+    | [] -> push Circuit.True
+    | [ (v, pol) ] -> lit v pol
+    | (v, pol) :: rest -> push (Circuit.And [ lit v pol; chain rest ])
+  in
+  let branches =
+    (* α ranges over the non-empty subsets of [0, n) *)
+    List.filter_map
+      (fun alpha ->
+         if alpha = 0 then None
+         else begin
+           (* x side: the exact profile α *)
+           let x_lits =
+             List.init n (fun i -> (i, (alpha lsr i) land 1 = 1))
+           in
+           let xgate = chain x_lits in
+           (* y side: first matched index within α — deterministic *)
+           let members =
+             List.filter (fun i -> (alpha lsr i) land 1 = 1)
+               (Ucfg_util.Prelude.range 0 n)
+           in
+           let y_disjuncts =
+             List.mapi
+               (fun k i ->
+                  let earlier = Ucfg_util.Prelude.take k members in
+                  chain
+                    (List.map (fun j -> (n + j, false)) earlier
+                     @ [ (n + i, true) ]))
+               members
+           in
+           let ygate = push (Circuit.Or y_disjuncts) in
+           Some (push (Circuit.And [ xgate; ygate ]))
+         end)
+      (List.init (1 lsl n) Fun.id)
+  in
+  let root = push (Circuit.Or branches) in
+  Circuit.make ~vars:(2 * n) ~nodes:(Array.of_list (List.rev !nodes)) ~root
+
+let deterministic n =
+  if n < 1 then invalid_arg "Ln_circuit.deterministic";
+  let nodes = ref [] in
+  let count = ref 0 in
+  let push nd =
+    nodes := nd :: !nodes;
+    let id = !count in
+    incr count;
+    id
+  in
+  let pos v = push (Circuit.Lit (v, true)) in
+  let neg v = push (Circuit.Lit (v, false)) in
+  (* nomatch_j: the j-th position pair is not a match, split three ways so
+     the gate is deterministic — the Boolean shadow of the corrected
+     Example 4 *)
+  let nomatch j =
+    let a = push (Circuit.And [ neg j; neg (n + j) ]) in
+    let b = push (Circuit.And [ neg j; pos (n + j) ]) in
+    let c = push (Circuit.And [ pos j; neg (n + j) ]) in
+    push (Circuit.Or [ a; b; c ])
+  in
+  let branches =
+    List.map
+      (fun i ->
+         (* first match at i: positions j < i unmatched, x_i ∧ y_i *)
+         let earlier = List.map nomatch (Ucfg_util.Prelude.range 0 i) in
+         let here = [ pos i; pos (n + i) ] in
+         push (Circuit.And (earlier @ here)))
+      (Ucfg_util.Prelude.range 0 n)
+  in
+  let root = push (Circuit.Or branches) in
+  Circuit.make ~vars:(2 * n) ~nodes:(Array.of_list (List.rev !nodes)) ~root

@@ -1,0 +1,43 @@
+(** Boolean circuits for the [L_n] predicate — and what they teach.
+
+    Under the set view, [L_n] is the Boolean function
+    [INT_n(x, y) = ∨_i (x_i ∧ y_i)] over [2n] variables (variable [i] is
+    [x_i], variable [n+i] is [y_i]).
+
+    - {!naive} is a DNNF (decomposable, tiny) but {e not} deterministic:
+      the disjuncts overlap — the same overlap that makes Example 3's
+      grammar ambiguous.
+    - {!deterministic} resolves the overlap by first-match splitting,
+      with a {e three-way} deterministic gate per earlier block
+      ([x̄ȳ ∨ x̄y ∨ xȳ]) — the exact Boolean shadow of the corrected
+      Example 4 — and is a d-DNNF of size only [O(n²)].
+
+    The contrast is the point: determinism is cheap for the Boolean
+    function but exponential for the {e grammar} (Theorem 12).  The
+    paper's hardness lives in the word/concatenation structure (ordered
+    partitions), not in the Boolean structure of set intersection. *)
+
+(** [naive n] — [∨_i (x_i ∧ y_i)]; decomposable, non-deterministic,
+    size [Θ(n)]. *)
+val naive : int -> Circuit.t
+
+(** [deterministic n] — the first-match d-DNNF; decomposable and
+    deterministic, size [Θ(n²)]. *)
+val deterministic : int -> Circuit.t
+
+(** [structured n] — a {e structured} deterministic circuit for [INT_n]
+    over the vtree [{x-vars} | {y-vars}] ({!structured_vtree}): a root
+    disjunction with one conjunct per non-empty [X]-assignment [α]
+    ([2^n − 1] of them), each [And(x-profile α, first-match-in-α over
+    y)].  Exponential — {e necessarily} so: its root-rectangle
+    decomposition is a disjoint cover of the [INT_n] matrix, which needs
+    [2^n − 1] rectangles by the rank bound.  The structure requirement
+    (the circuit analogue of the grammar's ordered partitions) is exactly
+    what makes determinism expensive; compare the unstructured
+    {!deterministic} at [O(n²)]. *)
+val structured : int -> Circuit.t
+
+(** [structured_vtree n] — the vtree [structured n] respects: a right
+    comb over the [x] variables joined to a right comb over the [y]
+    variables. *)
+val structured_vtree : int -> Vtree.t

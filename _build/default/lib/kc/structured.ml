@@ -1,0 +1,125 @@
+module Bitset = Ucfg_util.Bitset
+
+let respects vtree c =
+  let nvars = Circuit.vars c in
+  let node_sets =
+    List.filter_map
+      (function
+        | Vtree.Node (l, r) ->
+          Some (Vtree.var_set ~vars:nvars l, Vtree.var_set ~vars:nvars r)
+        | Vtree.Leaf _ -> None)
+      (Vtree.subtrees vtree)
+  in
+  let ok = ref true in
+  for i = 0 to Circuit.node_count c - 1 do
+    match Circuit.node c i with
+    | Circuit.And [] | Circuit.And [ _ ] -> ()
+    | Circuit.And [ a; b ] ->
+      let sa = Circuit.support c a and sb = Circuit.support c b in
+      if
+        not
+          (List.exists
+             (fun (l, r) -> Bitset.subset sa l && Bitset.subset sb r)
+             node_sets)
+      then ok := false
+    | Circuit.And _ -> ok := false
+    | Circuit.True | Circuit.False | Circuit.Lit _ | Circuit.Or _ -> ()
+  done;
+  !ok
+
+type rectangle = {
+  left_part : int list;
+  right_part : int list;
+  left_vars : Bitset.t;
+  right_vars : Bitset.t;
+}
+
+let rectangle_members r =
+  Seq.concat_map
+    (fun l -> Seq.map (fun rt -> l lor rt) (List.to_seq r.right_part))
+    (List.to_seq r.left_part)
+
+(* all masks over the variable set [vs] (a bitset over the circuit's
+   variables) on which node [i] evaluates true; other variables are set
+   false, and the result masks mention only [vs]'s bits (smoothing: free
+   variables of [vs] range over both values) *)
+let side_models c i vs =
+  let nvars = Circuit.vars c in
+  let members = Bitset.elements vs in
+  let k = List.length members in
+  if k > 20 then invalid_arg "Structured.side_models: side too large";
+  let assignment = Array.make nvars false in
+  List.filter_map
+    (fun sel ->
+       Array.fill assignment 0 nvars false;
+       List.iteri
+         (fun bit v -> assignment.(v) <- (sel lsr bit) land 1 = 1)
+         members;
+       if Circuit.evaluate_at c i assignment then begin
+         let mask =
+           List.fold_left
+             (fun acc (bit, v) ->
+                if (sel lsr bit) land 1 = 1 then acc lor (1 lsl v) else acc)
+             0
+             (List.mapi (fun bit v -> (bit, v)) members)
+         in
+         Some mask
+       end
+       else None)
+    (List.init (1 lsl k) Fun.id)
+
+let root_rectangles vtree c =
+  if Circuit.vars c > 20 then
+    invalid_arg "Structured.root_rectangles: too many variables";
+  let xl, yl = Vtree.root_split vtree in
+  let xs = Bitset.of_list (Circuit.vars c) xl in
+  let ys = Bitset.of_list (Circuit.vars c) yl in
+  let conjuncts =
+    match Circuit.node c (Circuit.root c) with
+    | Circuit.Or children -> children
+    | Circuit.And _ -> [ Circuit.root c ]
+    | _ -> invalid_arg "Structured.root_rectangles: root not ∨/∧"
+  in
+  List.map
+    (fun g ->
+       match Circuit.node c g with
+       | Circuit.And [ a; b ]
+         when Bitset.subset (Circuit.support c a) xs
+              && Bitset.subset (Circuit.support c b) ys ->
+         {
+           left_part = side_models c a xs;
+           right_part = side_models c b ys;
+           left_vars = xs;
+           right_vars = ys;
+         }
+       | _ ->
+         invalid_arg
+           "Structured.root_rectangles: conjunct does not split at the root")
+    conjuncts
+
+type verification = {
+  is_cover : bool;
+  is_disjoint : bool;
+  rectangle_count : int;
+}
+
+let verify vtree c =
+  let rects = root_rectangles vtree c in
+  let module IS = Set.Make (Int) in
+  let union =
+    List.fold_left
+      (fun acc r -> IS.union acc (IS.of_seq (rectangle_members r)))
+      IS.empty rects
+  in
+  let total =
+    Ucfg_util.Prelude.sum_int
+      (List.map
+         (fun r -> List.length r.left_part * List.length r.right_part)
+         rects)
+  in
+  let models = IS.of_seq (Circuit.models c) in
+  {
+    is_cover = IS.equal union models;
+    is_disjoint = total = IS.cardinal union;
+    rectangle_count = List.length rects;
+  }

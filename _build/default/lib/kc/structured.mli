@@ -1,0 +1,47 @@
+(** Structured circuits and their rectangle decompositions — the
+    knowledge-compilation result ([6]) that inspired Proposition 7.
+
+    For circuits in {e root-DNF shape} — a root ∨-gate over ∧-gates each
+    splitting along the vtree's root partition [(X, Y)] — the rectangle
+    decomposition is immediate and exact: each root conjunct is the
+    product of its two sides' model sets, so the models are a union of at
+    most [#conjuncts] rectangles w.r.t. [(X, Y)], {e disjoint} when the
+    root is deterministic.  This mirrors Proposition 7 line by line
+    (∧-gate ↔ balanced nonterminal occurrence, determinism ↔ unambiguity)
+    and, combined with the rank bound, yields exponential lower bounds for
+    structured deterministic circuits computing [INT_n] — see
+    {!Ln_circuit.structured}. *)
+
+module Bitset = Ucfg_util.Bitset
+
+(** [respects vtree c] — every ∧-gate of [c] has at most two children
+    whose supports split along some vtree node (the standard
+    structuredness condition, checked per gate). *)
+val respects : Vtree.t -> Circuit.t -> bool
+
+type rectangle = {
+  left_part : int list;  (** model masks restricted to the left variables *)
+  right_part : int list;
+  left_vars : Bitset.t;
+  right_vars : Bitset.t;
+}
+
+(** [rectangle_members r] — the masks [l lor r]. *)
+val rectangle_members : rectangle -> int Seq.t
+
+(** [root_rectangles vtree c] — the rectangle decomposition of a
+    root-DNF-shaped structured circuit: one rectangle per root conjunct,
+    smoothing free variables on each side.
+    @raise Invalid_argument when [c] is not root-DNF-shaped w.r.t. the
+    vtree's root split, or has more than 20 variables (model sets are
+    materialised). *)
+val root_rectangles : Vtree.t -> Circuit.t -> rectangle list
+
+type verification = {
+  is_cover : bool;
+  is_disjoint : bool;
+  rectangle_count : int;
+}
+
+(** [verify vtree c] — decompose and check against [Circuit.models]. *)
+val verify : Vtree.t -> Circuit.t -> verification

@@ -1,0 +1,38 @@
+module Bitset = Ucfg_util.Bitset
+
+type t = Leaf of int | Node of t * t
+
+let rec balanced = function
+  | [] -> invalid_arg "Vtree.balanced: no variables"
+  | [ v ] -> Leaf v
+  | vars ->
+    let n = List.length vars in
+    let left = Ucfg_util.Prelude.take (n / 2) vars in
+    let right =
+      List.filteri (fun i _ -> i >= n / 2) vars
+    in
+    Node (balanced left, balanced right)
+
+let rec right_linear = function
+  | [] -> invalid_arg "Vtree.right_linear: no variables"
+  | [ v ] -> Leaf v
+  | v :: rest -> Node (Leaf v, right_linear rest)
+
+let rec variables = function
+  | Leaf v -> [ v ]
+  | Node (l, r) -> variables l @ variables r
+
+let var_set ~vars t = Bitset.of_list vars (variables t)
+
+let root_split = function
+  | Leaf _ -> invalid_arg "Vtree.root_split: single leaf"
+  | Node (l, r) -> (variables l, variables r)
+
+let rec subtrees t =
+  match t with
+  | Leaf _ -> [ t ]
+  | Node (l, r) -> (t :: subtrees l) @ subtrees r
+
+let rec pp fmt = function
+  | Leaf v -> Format.fprintf fmt "%d" v
+  | Node (l, r) -> Format.fprintf fmt "(%a %a)" pp l pp r

@@ -1,0 +1,35 @@
+(** Variable trees (vtrees) for structured circuits.
+
+    A vtree is a binary tree whose leaves are the variables; a circuit is
+    {e structured} by a vtree when every ∧-gate splits its variables along
+    some vtree node.  Structure is the circuit-world counterpart of the
+    paper's {e ordered partitions}: the root split of a vtree induces a
+    fixed variable partition, exactly like an interval induces a partition
+    of [Z] — which is why structured circuits decompose into rectangles
+    (Bova–Capelli–Mengel–Slivovsky) the same way grammars do
+    (Proposition 7). *)
+
+type t = Leaf of int | Node of t * t
+
+(** [balanced vars] — a balanced vtree over the given variables, in
+    order.  @raise Invalid_argument on an empty list. *)
+val balanced : int list -> t
+
+(** [right_linear vars] — a right-comb vtree. *)
+val right_linear : int list -> t
+
+(** [variables t] — the leaves, left to right. *)
+val variables : t -> int list
+
+(** [var_set ~vars t] — the leaves as a bitset over a universe of [vars]
+    variables. *)
+val var_set : vars:int -> t -> Ucfg_util.Bitset.t
+
+(** [root_split t] — [(left leaves, right leaves)] of the root.
+    @raise Invalid_argument on a single-leaf vtree. *)
+val root_split : t -> int list * int list
+
+(** [subtrees t] — all subtrees, preorder. *)
+val subtrees : t -> t list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/lang/lang.ml: Array Format List String Ucfg_util Ucfg_word Word

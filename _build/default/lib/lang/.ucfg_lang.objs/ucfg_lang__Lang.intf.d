@@ -1,0 +1,1 @@
+lib/lang/lang.mli: Alphabet Format Seq Ucfg_util Ucfg_word Word

@@ -1,0 +1,1 @@
+lib/lang/ln.ml: Alphabet Fun Lang Seq String Ucfg_util Ucfg_word Word

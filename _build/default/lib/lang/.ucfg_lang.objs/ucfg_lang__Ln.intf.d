@@ -1,0 +1,1 @@
+lib/lang/ln.mli: Lang Seq Ucfg_util Ucfg_word Word

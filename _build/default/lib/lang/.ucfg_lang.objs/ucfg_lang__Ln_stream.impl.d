@@ -1,0 +1,1 @@
+lib/lang/ln_stream.ml: String

@@ -1,0 +1,1 @@
+lib/lang/residual.ml: Alphabet Lang List Queue Set String Ucfg_word

@@ -1,0 +1,1 @@
+lib/lang/residual.mli: Alphabet Lang Ucfg_word

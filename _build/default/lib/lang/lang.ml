@@ -1,0 +1,61 @@
+open Ucfg_word
+
+type t = Word.Set.t
+
+let empty = Word.Set.empty
+let singleton = Word.Set.singleton
+let of_list = Word.Set.of_list
+let of_seq = Word.Set.of_seq
+let add = Word.Set.add
+let mem = Word.Set.mem
+let cardinal = Word.Set.cardinal
+let is_empty = Word.Set.is_empty
+
+let union = Word.Set.union
+let inter = Word.Set.inter
+let diff = Word.Set.diff
+let equal = Word.Set.equal
+let subset = Word.Set.subset
+let disjoint = Word.Set.disjoint
+
+let concat l1 l2 =
+  Word.Set.fold
+    (fun u acc ->
+       Word.Set.fold (fun v acc -> Word.Set.add (u ^ v) acc) l2 acc)
+    l1 Word.Set.empty
+
+let concat_list ls = List.fold_left concat (singleton "") ls
+
+let elements = Word.Set.elements
+let to_seq = Word.Set.to_seq
+let iter = Word.Set.iter
+let fold = Word.Set.fold
+let filter = Word.Set.filter
+let map = Word.Set.map
+let for_all = Word.Set.for_all
+let exists = Word.Set.exists
+let choose_opt = Word.Set.choose_opt
+
+let full alpha n = of_seq (Word.enumerate alpha n)
+
+let complement_within alpha n l =
+  Word.Set.filter (fun w -> not (Word.Set.mem w l)) (full alpha n)
+
+let lengths l =
+  Word.Set.fold
+    (fun w acc ->
+       let n = String.length w in
+       if List.mem n acc then acc else n :: acc)
+    l []
+  |> List.sort compare
+
+let uniform_length l =
+  match lengths l with [ n ] -> Some n | _ -> None
+
+let sample rng k l =
+  let arr = Array.of_list (elements l) in
+  Ucfg_util.Rng.shuffle rng arr;
+  Array.to_list (Array.sub arr 0 (min k (Array.length arr)))
+
+let pp fmt l =
+  Format.fprintf fmt "{%s}" (String.concat ", " (elements l))

@@ -1,0 +1,62 @@
+(** Finite languages.
+
+    A finite language is a finite set of words; this is the object that the
+    paper's grammars, automata and rectangle covers all denote.  All the
+    usual boolean and concatenation operations are provided, together with
+    the fixed-length queries the rectangle machinery needs. *)
+
+open Ucfg_word
+
+type t
+
+val empty : t
+val singleton : Word.t -> t
+val of_list : Word.t list -> t
+val of_seq : Word.t Seq.t -> t
+val add : Word.t -> t -> t
+val mem : Word.t -> t -> bool
+val cardinal : t -> int
+val is_empty : t -> bool
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+val disjoint : t -> t -> bool
+
+(** [concat l1 l2] is the pairwise concatenation [{uv | u in l1, v in l2}]. *)
+val concat : t -> t -> t
+
+(** [concat_list ls] folds {!concat} over a list, starting from [{ε}]. *)
+val concat_list : t list -> t
+
+val elements : t -> Word.t list
+val to_seq : t -> Word.t Seq.t
+val iter : (Word.t -> unit) -> t -> unit
+val fold : (Word.t -> 'a -> 'a) -> t -> 'a -> 'a
+val filter : (Word.t -> bool) -> t -> t
+val map : (Word.t -> Word.t) -> t -> t
+val for_all : (Word.t -> bool) -> t -> bool
+val exists : (Word.t -> bool) -> t -> bool
+val choose_opt : t -> Word.t option
+
+(** [full alpha n] is [Σ^n]. *)
+val full : Alphabet.t -> int -> t
+
+(** [complement_within alpha n l] is [Σ^n \ l]; words of other lengths in
+    [l] are ignored. *)
+val complement_within : Alphabet.t -> int -> t -> t
+
+(** Distinct word lengths occurring in the language, ascending. *)
+val lengths : t -> int list
+
+(** [uniform_length l] is [Some n] when every word has length [n]
+    (and the language is non-empty). *)
+val uniform_length : t -> int option
+
+(** [sample rng k l] draws [k] distinct words uniformly without
+    replacement (all of them if [k >= cardinal l]). *)
+val sample : Ucfg_util.Rng.t -> int -> t -> Word.t list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+open Ucfg_word
+module Bignum = Ucfg_util.Bignum
+
+let mem n w =
+  String.length w = 2 * n
+  && String.for_all (fun c -> c = 'a' || c = 'b') w
+  && begin
+    let rec go k = k < n && ((w.[k] = 'a' && w.[k + n] = 'a') || go (k + 1)) in
+    go 0
+  end
+
+let mem_code n code =
+  let x = code land ((1 lsl n) - 1) in
+  let y = (code lsr n) land ((1 lsl n) - 1) in
+  x land y <> 0
+
+let codes n =
+  if 2 * n > 60 then invalid_arg "Ln.codes: n too large";
+  let total = 1 lsl (2 * n) in
+  Seq.filter (mem_code n) (Seq.init total Fun.id)
+
+let language n =
+  Lang.of_seq (Seq.map (fun code -> Word.of_bits ~len:(2 * n) code) (codes n))
+
+let cardinal n =
+  Bignum.sub (Bignum.pow (Bignum.of_int 4) n) (Bignum.pow (Bignum.of_int 3) n)
+
+let slice_mem n k w =
+  if k < 0 || k > n - 1 then invalid_arg "Ln.slice_mem: bad k";
+  String.length w = 2 * n
+  && String.for_all (fun c -> c = 'a' || c = 'b') w
+  && w.[k] = 'a'
+  && w.[k + n] = 'a'
+
+let slice n k =
+  Lang.filter (fun w -> slice_mem n k w) (Lang.full Alphabet.binary (2 * n))
+
+let star_mem n w =
+  if n mod 2 <> 0 then invalid_arg "Ln.star_mem: n must be even";
+  let h = n / 2 in
+  String.length w = 2 * n
+  && String.for_all (fun c -> c = 'a' || c = 'b') w
+  && begin
+    let ok = ref true in
+    for i = 0 to h - 1 do
+      if w.[i] <> 'a' || w.[(2 * n) - 1 - i] <> 'a' then ok := false
+    done;
+    !ok
+  end
+
+let star n =
+  Lang.filter (fun w -> star_mem n w) (Lang.full Alphabet.binary (2 * n))

@@ -1,0 +1,44 @@
+(** The paper's witness language family.
+
+    [L_n = { (a+b)^k a (a+b)^(n-1) a (a+b)^(n-1-k) | 0 <= k <= n-1 }] — all
+    binary words of length [2n] carrying two ['a']s at distance exactly [n]
+    (Example 3).  Identifying a word with the pair of bit masks
+    [(x, y) ∈ {0,1}^n × {0,1}^n] of its two halves (bit set iff ['a']),
+    membership is exactly [x AND y ≠ 0]: the complement of set
+    disjointness. *)
+
+open Ucfg_word
+
+(** [mem n w] decides membership of a word of length [2n].
+    Words of a different length or over other characters are rejected. *)
+val mem : int -> Word.t -> bool
+
+(** [mem_code n code] decides membership from the packed code of a binary
+    word of length [2n] (as produced by {!Ucfg_word.Word.to_bits}). *)
+val mem_code : int -> int -> bool
+
+(** [language n] materialises [L_n] by enumerating all [4^n] words.
+    Use for [n] up to ~10. *)
+val language : int -> Lang.t
+
+(** [codes n] enumerates the packed codes of [L_n] lazily. *)
+val codes : int -> int Seq.t
+
+(** [cardinal n] is [|L_n| = 4^n − 3^n], exactly. *)
+val cardinal : int -> Ucfg_util.Bignum.t
+
+(** [slice n k] is the language [L_n^k] of Example 8: words whose
+    positions [k] and [k+n] (0-based) both carry ['a'].
+    Requires [0 <= k <= n-1]. *)
+val slice : int -> int -> Lang.t
+
+(** [slice_mem n k w] decides membership in [L_n^k] without
+    materialisation. *)
+val slice_mem : int -> int -> Word.t -> bool
+
+(** [star n] is the balanced-rectangle language [L*_n] of Example 6:
+    words of length [2n] beginning and ending with [n/2] ['a']s.
+    Requires [n] even. *)
+val star : int -> Lang.t
+
+val star_mem : int -> Word.t -> bool

@@ -1,0 +1,36 @@
+type t = {
+  n : int;
+  consumed : int;
+  window : int;  (** bit [p mod n] = 1 iff character at position [p] was 'a',
+                     for the last [n] positions *)
+  matched : bool;
+}
+
+let create n =
+  if n < 1 || n > 60 then invalid_arg "Ln_stream.create: need 1 <= n <= 60";
+  { n; consumed = 0; window = 0; matched = false }
+
+let feed t c =
+  if t.consumed >= 2 * t.n then
+    invalid_arg "Ln_stream.feed: already consumed 2n characters";
+  let is_a =
+    match c with
+    | 'a' -> true
+    | 'b' -> false
+    | _ -> invalid_arg "Ln_stream.feed: non-binary character"
+  in
+  let slot = t.consumed mod t.n in
+  (* the character n positions back lives in the slot we are about to
+     overwrite *)
+  let partner_a = t.consumed >= t.n && (t.window lsr slot) land 1 = 1 in
+  let matched = t.matched || (is_a && partner_a) in
+  let window =
+    if is_a then t.window lor (1 lsl slot) else t.window land lnot (1 lsl slot)
+  in
+  { t with consumed = t.consumed + 1; window; matched }
+
+let feed_string t w = String.fold_left feed t w
+
+let accepted t = t.consumed = 2 * t.n && t.matched
+
+let chars_consumed t = t.consumed

@@ -1,0 +1,28 @@
+(** A streaming recogniser for [L_n] in O(n) bits.
+
+    Set disjointness is the canonical streaming lower-bound tool (the
+    survey [39] the paper cites); the positive side for [L_n] itself is
+    easy: slide a window of the last [n] characters, raise a flag when the
+    character [n] steps back and the current one are both ['a'].  One pass,
+    constant time per character, [n + O(log n)] bits of state. *)
+
+type t
+
+(** [create n] — a fresh recogniser for [L_n].  Requires [1 <= n <= 60]
+    (the window is a machine-word bit mask). *)
+val create : int -> t
+
+(** [feed t c] consumes one character (['a'] or ['b']).
+    @raise Invalid_argument on other characters or after [2n]
+    characters. *)
+val feed : t -> char -> t
+
+(** [feed_string t w] folds {!feed}. *)
+val feed_string : t -> string -> t
+
+(** [accepted t] — exactly [2n] characters consumed and two ['a']s at
+    distance [n] were seen. *)
+val accepted : t -> bool
+
+(** [chars_consumed t]. *)
+val chars_consumed : t -> int

@@ -1,0 +1,48 @@
+open Ucfg_word
+
+type t = Lang.t
+
+let left w l =
+  let lw = String.length w in
+  Lang.fold
+    (fun u acc ->
+       if String.length u >= lw && String.equal (String.sub u 0 lw) w then
+         Lang.add (String.sub u lw (String.length u - lw)) acc
+       else acc)
+    l Lang.empty
+
+let right w l =
+  let lw = String.length w in
+  Lang.fold
+    (fun u acc ->
+       let lu = String.length u in
+       if lu >= lw && String.equal (String.sub u (lu - lw) lw) w then
+         Lang.add (String.sub u 0 (lu - lw)) acc
+       else acc)
+    l Lang.empty
+
+let distinct_left alpha l =
+  (* BFS over residuals: finitely many for a finite language *)
+  let module LS = Set.Make (struct
+      type t = Lang.t
+
+      let compare a b =
+        compare (Lang.elements a) (Lang.elements b)
+    end)
+  in
+  let seen = ref LS.empty in
+  let queue = Queue.create () in
+  let push r =
+    if not (LS.mem r !seen) then begin
+      seen := LS.add r !seen;
+      Queue.add r queue
+    end
+  in
+  push l;
+  while not (Queue.is_empty queue) do
+    let r = Queue.pop queue in
+    List.iter (fun c -> push (left (String.make 1 c) r)) (Alphabet.chars alpha)
+  done;
+  LS.elements !seen
+
+let nerode_index alpha l = List.length (distinct_left alpha l)

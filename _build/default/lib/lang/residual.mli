@@ -1,0 +1,27 @@
+(** Residuals (left quotients) and the Myhill–Nerode view.
+
+    [w⁻¹L = { v | wv ∈ L }].  For a finite language the number of distinct
+    non-empty residuals (plus the empty one when reachable) is exactly the
+    minimal-DFA state count — ground truth the automata side is tested
+    against, and the quantity whose UFA/uCFG analogues the paper's
+    techniques bound. *)
+
+open Ucfg_word
+
+type t = Lang.t
+
+(** [left w l] = [w⁻¹ l]. *)
+val left : string -> Lang.t -> Lang.t
+
+(** [right w l] = [l w⁻¹ = { u | uw ∈ l }]. *)
+val right : string -> Lang.t -> Lang.t
+
+(** [distinct_left alpha l] — the set of distinct left residuals of [l] by
+    prefixes over [alpha] (including [l] itself for [w = ε]; the empty
+    residual appears when some prefix leads nowhere). *)
+val distinct_left : Alphabet.t -> Lang.t -> Lang.t list
+
+(** [nerode_index alpha l] — the number of distinct left residuals
+    (= minimal complete DFA states, counting the sink iff the empty
+    residual is reachable). *)
+val nerode_index : Alphabet.t -> Lang.t -> int

@@ -1,0 +1,1 @@
+lib/rect/cover.ml: Hashtbl Lang List Option Rectangle String Ucfg_lang Ucfg_util Ucfg_word Word

@@ -1,0 +1,1 @@
+lib/rect/cover.mli: Lang Rectangle Ucfg_lang

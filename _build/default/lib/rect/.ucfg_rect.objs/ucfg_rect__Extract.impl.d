@@ -1,0 +1,1 @@
+lib/rect/extract.ml: Alphabet Analysis Array Cnf Cover Grammar Lang Length_annotate List Parse_tree Rectangle String Ucfg_cfg Ucfg_lang Ucfg_word Word

@@ -1,0 +1,1 @@
+lib/rect/extract.mli: Cover Rectangle Ucfg_cfg

@@ -1,0 +1,1 @@
+lib/rect/partition.ml: Format List Setview Ucfg_util

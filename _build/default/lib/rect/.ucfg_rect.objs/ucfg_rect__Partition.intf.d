@@ -1,0 +1,1 @@
+lib/rect/partition.mli: Format

@@ -1,0 +1,1 @@
+lib/rect/rectangle.ml: Alphabet Format Lang String Ucfg_lang Ucfg_word Word

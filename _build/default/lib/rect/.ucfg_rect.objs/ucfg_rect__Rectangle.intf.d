@@ -1,0 +1,1 @@
+lib/rect/rectangle.mli: Format Lang Ucfg_lang

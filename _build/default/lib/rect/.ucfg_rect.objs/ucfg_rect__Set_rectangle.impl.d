@@ -1,0 +1,1 @@
+lib/rect/set_rectangle.ml: Format Int Lang List Partition Rectangle Seq Set Setview Ucfg_lang Ucfg_word Word

@@ -1,0 +1,1 @@
+lib/rect/set_rectangle.mli: Format Partition Rectangle Seq Set

@@ -1,0 +1,1 @@
+lib/rect/setview.ml: Fun Seq Ucfg_lang Ucfg_word Word

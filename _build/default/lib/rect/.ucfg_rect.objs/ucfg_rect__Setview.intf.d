@@ -1,0 +1,1 @@
+lib/rect/setview.mli: Seq

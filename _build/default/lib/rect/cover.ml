@@ -1,0 +1,87 @@
+open Ucfg_word
+open Ucfg_lang
+
+type verification = {
+  is_cover : bool;
+  is_disjoint : bool;
+  union_cardinal : int;
+  sum_cardinals : int;
+}
+
+let verify rects lang =
+  let materialized = List.map Rectangle.materialize rects in
+  let union = List.fold_left Lang.union Lang.empty materialized in
+  let sum_cardinals =
+    Ucfg_util.Prelude.sum_int (List.map Lang.cardinal materialized)
+  in
+  let union_cardinal = Lang.cardinal union in
+  {
+    is_cover = Lang.equal union lang;
+    is_disjoint = sum_cardinals = union_cardinal;
+    union_cardinal;
+    sum_cardinals;
+  }
+
+let all_balanced rects = List.for_all Rectangle.is_balanced rects
+
+let example8_cover n =
+  List.map (Rectangle.example8 n) (Ucfg_util.Prelude.range 0 n)
+
+let singleton_cover l ~n1 ~n2 =
+  Lang.fold (fun w acc -> Rectangle.singleton w ~n1 ~n2 :: acc) l []
+
+let greedy_disjoint_cover l ~n =
+  let len = 2 * n in
+  if not (Lang.for_all (fun w -> String.length w = len) l) then
+    invalid_arg "Cover.greedy_disjoint_cover: words must have length 2n";
+  (* balanced splits (n1, n2) *)
+  let splits =
+    List.concat_map
+      (fun n2 ->
+         if 3 * n2 >= len && 3 * n2 <= 2 * len then
+           List.map (fun n1 -> (n1, n2)) (Ucfg_util.Prelude.range_incl 0 (len - n2))
+         else [])
+      (Ucfg_util.Prelude.range_incl 1 len)
+  in
+  let outer_of (n1, n2) w =
+    Word.slice w 0 n1 ^ Word.slice w (n1 + n2) (len - n1 - n2)
+  in
+  let middle_of (n1, n2) w = Word.slice w n1 n2 in
+  let best_rectangle remaining w =
+    List.fold_left
+      (fun best ((n1, n2) as split) ->
+         (* middles available for each outer *)
+         let by_outer = Hashtbl.create 64 in
+         Lang.iter
+           (fun u ->
+              let o = outer_of split u in
+              let m = middle_of split u in
+              let cur =
+                Option.value ~default:Lang.empty (Hashtbl.find_opt by_outer o)
+              in
+              Hashtbl.replace by_outer o (Lang.add m cur))
+           remaining;
+         let m0 = Hashtbl.find by_outer (outer_of split w) in
+         let outer =
+           Hashtbl.fold
+             (fun o ms acc -> if Lang.subset m0 ms then Lang.add o acc else acc)
+             by_outer Lang.empty
+         in
+         let r =
+           Rectangle.make ~n1 ~n2 ~n3:(len - n1 - n2) ~outer ~middle:m0
+         in
+         match best with
+         | Some b when Rectangle.cardinal b >= Rectangle.cardinal r -> best
+         | _ -> Some r)
+      None splits
+  in
+  let rec go remaining acc =
+    match Lang.choose_opt remaining with
+    | None -> List.rev acc
+    | Some w ->
+      (match best_rectangle remaining w with
+       | None -> assert false
+       | Some r ->
+         go (Lang.diff remaining (Rectangle.materialize r)) (r :: acc))
+  in
+  go l []

@@ -1,0 +1,36 @@
+(** Rectangle covers of a language (the object of Propositions 7 and 16).
+
+    A cover is a list of string rectangles whose union is the language; it
+    is a {e disjoint} cover when the rectangles are pairwise disjoint —
+    which is what unambiguity buys (Proposition 7) and what the
+    discrepancy argument taxes (Proposition 16). *)
+
+open Ucfg_lang
+
+type verification = {
+  is_cover : bool;  (** union of the rectangles = the language *)
+  is_disjoint : bool;  (** pairwise disjoint *)
+  union_cardinal : int;
+  sum_cardinals : int;
+      (** [Σ |R_i|]; equals [union_cardinal] iff the cover is disjoint *)
+}
+
+(** [verify rects lang] materialises everything and checks. *)
+val verify : Rectangle.t list -> Lang.t -> verification
+
+(** [all_balanced rects] — every rectangle is balanced. *)
+val all_balanced : Rectangle.t list -> bool
+
+(** [example8_cover n] is the (non-disjoint!) cover of [L_n] by the [n]
+    balanced rectangles [L_n^0, ..., L_n^(n-1)]. *)
+val example8_cover : int -> Rectangle.t list
+
+(** [singleton_cover l ~n1 ~n2] is the trivial disjoint cover by one
+    rectangle per word. *)
+val singleton_cover : Lang.t -> n1:int -> n2:int -> Rectangle.t list
+
+(** [greedy_disjoint_cover l ~n] covers a language of words of length
+    [2n] by balanced rectangles greedily: repeatedly grow a maximal
+    rectangle inside the remaining words (a cheap upper-bound heuristic
+    for the minimum disjoint cover). *)
+val greedy_disjoint_cover : Lang.t -> n:int -> Rectangle.t list

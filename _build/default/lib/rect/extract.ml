@@ -1,0 +1,105 @@
+open Ucfg_word
+open Ucfg_lang
+open Ucfg_cfg
+module G = Grammar
+
+type result = {
+  rectangles : Rectangle.t list;
+  word_length : int;
+  annotated_size : int;
+  cnf_size : int;
+  bound : int;
+}
+
+let run g =
+  let cnf = Cnf.ensure g in
+  let ann = Length_annotate.annotate g in
+  let n = ann.Length_annotate.word_length in
+  if n < 2 then
+    invalid_arg "Extract.run: need word length >= 2 for balanced rectangles";
+  let names = G.names ann.Length_annotate.grammar in
+  let start = G.start ann.Length_annotate.grammar in
+  let span = ann.Length_annotate.span_length in
+  let origin = ann.Length_annotate.origin in
+  let alphabet = G.alphabet ann.Length_annotate.grammar in
+  if Alphabet.mem alphabet '#' then
+    invalid_arg "Extract.run: alphabet already uses the marker '#'";
+  let marker_alphabet = Alphabet.make (Alphabet.chars alphabet @ [ '#' ]) in
+  let rules = ref (G.rules ann.Length_annotate.grammar) in
+  let mentions a r =
+    r.G.lhs = a
+    || List.exists (function G.N b -> b = a | G.T _ -> false) r.G.rhs
+  in
+  let rectangles = ref [] in
+  let current () = G.make ~alphabet ~names ~rules:!rules ~start in
+  let continue_ = ref true in
+  while !continue_ do
+    match Analysis.witness_tree (current ()) start with
+    | None -> continue_ := false
+    | Some tree ->
+      (* descend to a balanced node: heaviest child until span <= 2n/3 *)
+      let rec descend node =
+        let a = Parse_tree.root node in
+        if 3 * span.(a) <= 2 * n then a
+        else
+          match node with
+          | Parse_tree.Node (_, [ l; r ]) ->
+            let weight = function
+              | Parse_tree.Node (b, _) -> span.(b)
+              | Parse_tree.Leaf _ -> 0
+            in
+            descend (if weight l >= weight r then l else r)
+          | Parse_tree.Node (_, _) | Parse_tree.Leaf _ ->
+            (* CNF node with span > 2n/3 >= 2 always has two children *)
+            assert false
+      in
+      let a_i = descend tree in
+      let _, pos = origin.(a_i) in
+      let n1 = pos - 1 in
+      let n2 = span.(a_i) in
+      let n3 = n - n1 - n2 in
+      (* middle: the words generated from a_i under the current rules *)
+      let middle =
+        Analysis.language_exn (G.make ~alphabet ~names ~rules:!rules ~start:a_i)
+      in
+      (* outer: replace a_i's productions with a marker block, collect the
+         words whose derivation passes through a_i *)
+      let marker_rules =
+        { G.lhs = a_i; rhs = List.init n2 (fun _ -> G.T '#') }
+        :: List.filter (fun r -> r.G.lhs <> a_i) !rules
+      in
+      let marked =
+        Analysis.language_exn
+          (G.make ~alphabet:marker_alphabet ~names ~rules:marker_rules ~start)
+      in
+      let outer =
+        Lang.fold
+          (fun w acc ->
+             if String.contains w '#' then begin
+               (* Lemma 10 pins every occurrence of a_i at position n1+1 *)
+               assert (Word.slice w n1 n2 = String.make n2 '#');
+               Lang.add (Word.slice w 0 n1 ^ Word.slice w (n1 + n2) n3) acc
+             end
+             else acc)
+          marked Lang.empty
+      in
+      rectangles := Rectangle.make ~n1 ~n2 ~n3 ~outer ~middle :: !rectangles;
+      (* delete a_i entirely *)
+      rules := List.filter (fun r -> not (mentions a_i r)) !rules
+  done;
+  {
+    rectangles = List.rev !rectangles;
+    word_length = n;
+    annotated_size = G.size ann.Length_annotate.grammar;
+    cnf_size = G.size cnf;
+    bound = n * G.size cnf;
+  }
+
+let verify g res =
+  let lang = Analysis.language_exn g in
+  let ver = Cover.verify res.rectangles lang in
+  let shape_ok =
+    Cover.all_balanced res.rectangles
+    && List.length res.rectangles <= res.bound
+  in
+  (ver, shape_ok)

@@ -1,0 +1,39 @@
+(** The Proposition 7 algorithm: grammar → balanced rectangle cover.
+
+    Given a CNF grammar [G] of a language with all words of length [N],
+    the paper constructs a cover of [L(G)] by at most [N·|G|] balanced
+    rectangles — {e disjoint} when [G] is unambiguous:
+
+    + length-annotate [G] into [G'] (Lemma 10), so each nonterminal pins
+      its span;
+    + while [L(G')] is non-empty, pick a witness parse tree, descend to
+      the heaviest-child node until its span is at most [2N/3] (then it is
+      at least [N/3]): a balanced nonterminal [A_i];
+    + emit the rectangle of all words having a parse tree through [A_i]
+      (Observation 11): middle = [L(A_i)], outer = the words of the
+      grammar with [A_i]'s rules replaced by a marker block;
+    + delete [A_i], trim, repeat.
+
+    Materialising the rectangles is exponential in [N], so this is for the
+    experimental regime ([N] up to ~16); the {e count} of rectangles — the
+    quantity Proposition 16 bounds from below — is what matters. *)
+
+
+type result = {
+  rectangles : Rectangle.t list;
+  word_length : int;
+  annotated_size : int;  (** |G'| — the Lemma 10 grammar's size *)
+  cnf_size : int;  (** |G| after CNF conversion *)
+  bound : int;  (** the paper's guarantee [N·|G|] *)
+}
+
+(** [run g] executes the extraction.
+    @raise Invalid_argument when the language of [g] is empty, not of
+    fixed word length, or of word length < 2 (no balanced split
+    exists). *)
+val run : Ucfg_cfg.Grammar.t -> result
+
+(** [verify g res] checks the Proposition 7 guarantees against [g]'s
+    materialised language: cover, balancedness, count within bound, and
+    disjointness (the latter only asserted when [g] is unambiguous). *)
+val verify : Ucfg_cfg.Grammar.t -> result -> Cover.verification * bool

@@ -1,0 +1,70 @@
+type t = { n : int; i : int; j : int }
+
+let make ~n i j =
+  if n < 1 || i < 1 || j > 2 * n || i > j then invalid_arg "Partition.make";
+  { n; i; j }
+
+let n p = p.n
+let interval p = (p.i, p.j)
+let inside p = Setview.interval_mask ~n:p.n p.i p.j
+let outside p = Setview.universe ~n:p.n land lnot (inside p)
+
+let is_balanced p =
+  let size = p.j - p.i + 1 in
+  (* 2n/3 <= size <= 4n/3, exactly *)
+  3 * size >= 2 * p.n && 3 * size <= 4 * p.n
+
+let blocks ~n =
+  if n mod 4 <> 0 then invalid_arg "Partition.blocks: n must be divisible by 4";
+  let m = n / 4 in
+  List.map
+    (fun b -> Setview.interval_mask ~n ((4 * b) + 1) (4 * (b + 1)))
+    (Ucfg_util.Prelude.range 0 (2 * m))
+
+let is_neat p =
+  let ins = inside p in
+  List.for_all
+    (fun blk -> blk land ins = 0 || blk land ins = blk)
+    (blocks ~n:p.n)
+
+let neaten p =
+  if p.n mod 4 <> 0 then invalid_arg "Partition.neaten: n must be divisible by 4";
+  let size_in = p.j - p.i + 1 in
+  let size_out = (2 * p.n) - size_in in
+  (* round the interval to block boundaries: grow it when the inside part
+     is the smaller one, shrink it otherwise — either way the straddled
+     elements join the smaller part (Lemma 21) *)
+  let round_down_i i = i - ((i - 1) mod 4) in
+  let round_up_j j = j + ((4 - (j mod 4)) mod 4) in
+  let round_up_i i = if (i - 1) mod 4 = 0 then i else i + (4 - ((i - 1) mod 4)) in
+  let round_down_j j = j - (j mod 4) in
+  let i', j' =
+    if size_in <= size_out then (round_down_i p.i, round_up_j p.j)
+    else (round_up_i p.i, round_down_j p.j)
+  in
+  if i' > j' || i' < 1 || j' > 2 * p.n then
+    invalid_arg "Partition.neaten: interval degenerates (n too small)";
+  let q = make ~n:p.n i' j' in
+  (q, inside p lxor inside q)
+
+let matched_mask p =
+  let ins = inside p in
+  let acc = ref 0 in
+  for l = 0 to p.n - 1 do
+    let x = (ins lsr l) land 1 in
+    let y = (ins lsr (l + p.n)) land 1 in
+    if x <> y then acc := !acc lor (1 lsl l) lor (1 lsl (l + p.n))
+  done;
+  !acc
+
+let all_ordered ~n =
+  List.concat_map
+    (fun i ->
+       List.map (fun j -> make ~n i j) (Ucfg_util.Prelude.range_incl i (2 * n)))
+    (Ucfg_util.Prelude.range_incl 1 (2 * n))
+
+let all_balanced ~n = List.filter is_balanced (all_ordered ~n)
+
+let equal a b = a = b
+
+let pp fmt p = Format.fprintf fmt "[%d,%d]⊆Z[1,%d]" p.i p.j (2 * p.n)

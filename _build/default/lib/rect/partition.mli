@@ -1,0 +1,57 @@
+(** Ordered partitions of [Z] (Definition 13).
+
+    A partition [(Π_0, Π_1)] of [Z = {z_1..z_2n}] is {e induced by the
+    interval} [[i, j]] when one part equals [Z[i, j]]; such partitions are
+    {e ordered}.  It is {e balanced} when [2n/3 <= |Π_0|, |Π_1| <= 4n/3],
+    and (for [n] divisible by 4) {e neat} when every size-4 block [I_ℓ] of
+    the discrepancy argument lies entirely in one part. *)
+
+type t
+
+(** [make ~n i j] is the partition of [Z] induced by the interval [[i, j]]
+    (1-based, inclusive); [inside] is [Z[i,j]], [outside] its
+    complement. *)
+val make : n:int -> int -> int -> t
+
+val n : t -> int
+val interval : t -> int * int
+
+(** [inside p] is the mask of [Z[i, j]]. *)
+val inside : t -> int
+
+(** [outside p] is the complementary mask. *)
+val outside : t -> int
+
+(** [is_balanced p] — [2n/3 <= |Z[i,j]| <= 4n/3] (Definition 13, exact
+    rational comparison). *)
+val is_balanced : t -> bool
+
+(** [blocks ~n] is the list of the [2m = n/2] size-4 interval masks
+    [I_1, ..., I_2m] of Section 4.2 ([I_ℓ^X] first, then [I_ℓ^Y]).
+    Requires [n] divisible by 4. *)
+val blocks : n:int -> int list
+
+(** [is_neat p] — every size-4 block lies inside one part.  Requires
+    [n mod 4 = 0]. *)
+val is_neat : t -> bool
+
+(** [neaten p] rounds [p] to a neat ordered partition by moving the (at
+    most two) straddling blocks into the smaller part, as in Lemma 21.
+    The result is balanced whenever [p] is balanced and [n] is large
+    enough; requires [n mod 4 = 0].  Returns the new partition together
+    with the mask of elements that changed side. *)
+val neaten : t -> t * int
+
+(** [matched_mask p] is the paper's [V_G]: the mask of all [x_ℓ, y_ℓ] such
+    that [x_ℓ] and [y_ℓ] lie in different parts. *)
+val matched_mask : t -> int
+
+(** [all_ordered ~n] enumerates every ordered partition (every interval
+    [[i, j]] with [1 <= i <= j <= 2n]). *)
+val all_ordered : n:int -> t list
+
+(** [all_balanced ~n] restricts {!all_ordered} to balanced ones. *)
+val all_balanced : n:int -> t list
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,93 @@
+open Ucfg_word
+open Ucfg_lang
+
+type t = {
+  n1 : int;
+  n2 : int;
+  n3 : int;
+  outer : Lang.t;
+  middle : Lang.t;
+}
+
+let make ~n1 ~n2 ~n3 ~outer ~middle =
+  if n1 < 0 || n2 < 0 || n3 < 0 then invalid_arg "Rectangle.make: negative part";
+  if not (Lang.for_all (fun w -> String.length w = n1 + n3) outer) then
+    invalid_arg "Rectangle.make: outer words must have length n1+n3";
+  if not (Lang.for_all (fun w -> String.length w = n2) middle) then
+    invalid_arg "Rectangle.make: middle words must have length n2";
+  { n1; n2; n3; outer; middle }
+
+let word_length r = r.n1 + r.n2 + r.n3
+
+let is_balanced r =
+  let n = word_length r in
+  3 * r.n2 >= n && 3 * r.n2 <= 2 * n
+
+let mem r w =
+  String.length w = word_length r
+  && Lang.mem (Word.slice w r.n1 r.n2) r.middle
+  && Lang.mem (Word.slice w 0 r.n1 ^ Word.slice w (r.n1 + r.n2) r.n3) r.outer
+
+let materialize r =
+  Lang.fold
+    (fun w13 acc ->
+       let w1 = Word.slice w13 0 r.n1 in
+       let w3 = Word.slice w13 r.n1 r.n3 in
+       Lang.fold (fun w2 acc -> Lang.add (w1 ^ w2 ^ w3) acc) r.middle acc)
+    r.outer Lang.empty
+
+let cardinal r = Lang.cardinal r.outer * Lang.cardinal r.middle
+
+let recover ~n1 ~n2 l =
+  match Lang.uniform_length l with
+  | None -> None
+  | Some len ->
+    if len < n1 + n2 then None
+    else begin
+      let n3 = len - n1 - n2 in
+      let outer =
+        Lang.map (fun w -> Word.slice w 0 n1 ^ Word.slice w (n1 + n2) n3) l
+      in
+      let middle = Lang.map (fun w -> Word.slice w n1 n2) l in
+      let r = { n1; n2; n3; outer; middle } in
+      if Lang.equal (materialize r) l then Some r else None
+    end
+
+let singleton w ~n1 ~n2 =
+  let len = String.length w in
+  if n1 + n2 > len then invalid_arg "Rectangle.singleton";
+  let n3 = len - n1 - n2 in
+  {
+    n1;
+    n2;
+    n3;
+    outer = Lang.singleton (Word.slice w 0 n1 ^ Word.slice w (n1 + n2) n3);
+    middle = Lang.singleton (Word.slice w n1 n2);
+  }
+
+let example8 n k =
+  if n < 1 || k < 0 || k > n - 1 then invalid_arg "Rectangle.example8";
+  let sigma j = Lang.full Alphabet.binary j in
+  {
+    n1 = k;
+    n2 = n + 1;
+    n3 = n - 1 - k;
+    outer = sigma (n - 1);
+    middle =
+      Lang.concat (Lang.singleton "a") (Lang.concat (sigma (n - 1)) (Lang.singleton "a"));
+  }
+
+let star n =
+  if n < 2 || n mod 2 <> 0 then invalid_arg "Rectangle.star";
+  let h = n / 2 in
+  {
+    n1 = h;
+    n2 = n;
+    n3 = h;
+    outer = Lang.singleton (String.make n 'a');
+    middle = Lang.full Alphabet.binary n;
+  }
+
+let pp fmt r =
+  Format.fprintf fmt "rect(n1=%d,n2=%d,n3=%d,|L1|=%d,|L2|=%d)" r.n1 r.n2 r.n3
+    (Lang.cardinal r.outer) (Lang.cardinal r.middle)

@@ -1,0 +1,56 @@
+(** String rectangles (Definition 5).
+
+    A language [L] of words of length [N] is a rectangle with parameters
+    [(L1, L2, n1, n2, n3)] when
+    [L = ∪_{w1 w3 ∈ L1} {w1} × L2 × {w3}] with [|w1| = n1], [|w3| = n3],
+    [L2 ⊆ Σ^n2]: the middle section varies freely over [L2],
+    independently of the (paired) outside.  Balanced: [N/3 <= n2 <= 2N/3]. *)
+
+open Ucfg_lang
+
+type t = {
+  n1 : int;
+  n2 : int;
+  n3 : int;
+  outer : Lang.t;  (** [L1]: words [w1 w3] of length [n1 + n3] *)
+  middle : Lang.t;  (** [L2]: words of length [n2] *)
+}
+
+(** [make ~n1 ~n2 ~n3 ~outer ~middle] validates lengths.
+    @raise Invalid_argument on length mismatches. *)
+val make : n1:int -> n2:int -> n3:int -> outer:Lang.t -> middle:Lang.t -> t
+
+(** Total word length [n1 + n2 + n3]. *)
+val word_length : t -> int
+
+(** [is_balanced r] — [N/3 <= n2 <= 2N/3] (exact rationals). *)
+val is_balanced : t -> bool
+
+(** [mem r w] decides membership without materialising. *)
+val mem : t -> string -> bool
+
+(** [materialize r] is the denoted language [|L1|·|L2|] words. *)
+val materialize : t -> Lang.t
+
+(** [cardinal r] = [|L1| · |L2|]. *)
+val cardinal : t -> int
+
+(** [recover ~n1 ~n2 l] checks whether [l] {e is} a rectangle with the
+    given split: it computes the outer/middle projections of [l] and
+    verifies that their product gives back exactly [l].  All words of [l]
+    must have the same length [>= n1 + n2]. *)
+val recover : n1:int -> n2:int -> Lang.t -> t option
+
+(** [singleton w ~n1 ~n2] is the one-word rectangle [{w}] split at
+    [(n1, n2)]. *)
+val singleton : string -> n1:int -> n2:int -> t
+
+(** [example8 n k] is the balanced rectangle [L_n^k] of Example 8:
+    [n1 = k], [n2 = n + 1], [n3 = n - 1 - k], [L1 = Σ^(n-1)],
+    [L2 = a Σ^(n-1) a]. *)
+val example8 : int -> int -> t
+
+(** [star n] is Example 6's [L*_n] as a balanced rectangle ([n] even). *)
+val star : int -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,122 @@
+open Ucfg_word
+open Ucfg_lang
+module IntSet = Set.Make (Int)
+
+type t = {
+  partition : Partition.t;
+  outer : IntSet.t;
+  inner : IntSet.t;
+}
+
+let make partition ~outer ~inner =
+  let ins = Partition.inside partition in
+  let out = Partition.outside partition in
+  List.iter
+    (fun m ->
+       if m land lnot out <> 0 then
+         invalid_arg "Set_rectangle.make: outer mask leaves its part")
+    outer;
+  List.iter
+    (fun m ->
+       if m land lnot ins <> 0 then
+         invalid_arg "Set_rectangle.make: inner mask leaves its part")
+    inner;
+  { partition; outer = IntSet.of_list outer; inner = IntSet.of_list inner }
+
+let mem r mask =
+  IntSet.mem (mask land Partition.outside r.partition) r.outer
+  && IntSet.mem (mask land Partition.inside r.partition) r.inner
+
+let members r =
+  Seq.concat_map
+    (fun u -> Seq.map (fun v -> u lor v) (IntSet.to_seq r.inner))
+    (IntSet.to_seq r.outer)
+
+let cardinal r = IntSet.cardinal r.outer * IntSet.cardinal r.inner
+let is_balanced r = Partition.is_balanced r.partition
+let is_neat r = Partition.is_neat r.partition
+
+let of_string_rectangle (sr : Rectangle.t) =
+  let nn = Rectangle.word_length sr in
+  if nn mod 2 <> 0 then
+    invalid_arg "Set_rectangle.of_string_rectangle: odd word length";
+  let n = nn / 2 in
+  if sr.Rectangle.n2 = 0 || sr.Rectangle.n1 + sr.Rectangle.n3 = 0 then
+    invalid_arg "Set_rectangle.of_string_rectangle: degenerate split";
+  let n1 = sr.Rectangle.n1 and n2 = sr.Rectangle.n2 and n3 = sr.Rectangle.n3 in
+  let partition = Partition.make ~n (n1 + 1) (n1 + n2) in
+  let inner =
+    Lang.fold
+      (fun w2 acc -> (Word.to_bits w2 lsl n1) :: acc)
+      sr.Rectangle.middle []
+  in
+  let outer =
+    Lang.fold
+      (fun w13 acc ->
+         let w1 = Word.slice w13 0 n1 and w3 = Word.slice w13 n1 n3 in
+         (Word.to_bits w1 lor (Word.to_bits w3 lsl (n1 + n2))) :: acc)
+      sr.Rectangle.outer []
+  in
+  make partition ~outer ~inner
+
+let to_string_rectangle r =
+  let n = Partition.n r.partition in
+  let i, j = Partition.interval r.partition in
+  let n1 = i - 1 and n2 = j - i + 1 in
+  let n3 = (2 * n) - (n1 + n2) in
+  let middle =
+    IntSet.fold
+      (fun m acc -> Lang.add (Word.of_bits ~len:n2 (m lsr n1)) acc)
+      r.inner Lang.empty
+  in
+  let outer =
+    IntSet.fold
+      (fun m acc ->
+         let w1 = Word.of_bits ~len:n1 m in
+         let w3 = Word.of_bits ~len:n3 (m lsr (n1 + n2)) in
+         Lang.add (w1 ^ w3) acc)
+      r.outer Lang.empty
+  in
+  Rectangle.make ~n1 ~n2 ~n3 ~outer ~middle
+
+let split_neat r =
+  let q, moved = Partition.neaten r.partition in
+  let ins_q = Partition.inside q and out_q = Partition.outside q in
+  let mo = moved land Partition.outside r.partition in
+  let mi = moved land Partition.inside r.partition in
+  (* one sub-rectangle per trace α ⊆ moved; each is fixed on [moved], so
+     it is a rectangle for both partitions *)
+  Seq.filter_map
+    (fun alpha ->
+       let outer_a =
+         IntSet.filter (fun u -> u land mo = alpha land mo) r.outer
+       in
+       let inner_a =
+         IntSet.filter (fun v -> v land mi = alpha land mi) r.inner
+       in
+       if IntSet.is_empty outer_a || IntSet.is_empty inner_a then None
+       else begin
+         let inner' =
+           IntSet.fold
+             (fun v acc -> ((v lor (alpha land mo)) land ins_q) :: acc)
+             inner_a []
+         in
+         let outer' =
+           IntSet.fold
+             (fun u acc -> ((u lor (alpha land mi)) land out_q) :: acc)
+             outer_a []
+         in
+         Some (make q ~outer:outer' ~inner:inner')
+       end)
+    (Setview.subsets_of moved)
+  |> List.of_seq
+
+let count_diff r ~in_a ~in_b =
+  Seq.fold_left
+    (fun acc m ->
+       if in_a m then acc + 1 else if in_b m then acc - 1 else acc)
+    0 (members r)
+
+let pp fmt r =
+  Format.fprintf fmt "set-rect(%a, |S|=%d, |T|=%d)" Partition.pp r.partition
+    (IntSet.cardinal r.outer) (IntSet.cardinal r.inner)

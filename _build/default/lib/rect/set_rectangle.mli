@@ -1,0 +1,51 @@
+(** Set rectangles (Definition 14) and the Lemma 15 translation.
+
+    For an ordered partition [(Π_0, Π_1)] of [Z], a set rectangle is
+    [R = S × T = {U ∪ V | U ∈ S, V ∈ T}] with [S ⊆ P(Π_0)],
+    [T ⊆ P(Π_1)].  Here the two parts are named after the string picture:
+    [inner] masks live on the inducing interval [Z[i,j]] (the [L2] side of
+    Lemma 15), [outer] masks on its complement (the [L1] side).  Sets are
+    bit masks; the components are mask sets. *)
+
+module IntSet : Set.S with type elt = int
+
+type t = {
+  partition : Partition.t;
+  outer : IntSet.t;  (** subsets of [Partition.outside] — the [S]/[L1] side *)
+  inner : IntSet.t;  (** subsets of [Partition.inside] — the [T]/[L2] side *)
+}
+
+(** [make partition ~outer ~inner] validates the side conditions.
+    @raise Invalid_argument if some mask strays outside its part. *)
+val make : Partition.t -> outer:int list -> inner:int list -> t
+
+(** [mem r mask] — membership of a set (= word) in the rectangle. *)
+val mem : t -> int -> bool
+
+(** [members r] enumerates the masks of [R = S × T]. *)
+val members : t -> int Seq.t
+
+val cardinal : t -> int
+val is_balanced : t -> bool
+
+(** [is_neat r] — the underlying partition is neat. *)
+val is_neat : t -> bool
+
+(** [of_string_rectangle r] is Lemma 15, forward direction: a string
+    rectangle with parameters [(L1, L2, n1, n2, n3)] over words of length
+    [2n] becomes an [[n1+1, n1+n2]]-set rectangle. *)
+val of_string_rectangle : Rectangle.t -> t
+
+(** [to_string_rectangle r] is Lemma 15, converse direction. *)
+val to_string_rectangle : t -> Rectangle.t
+
+(** [split_neat r] is Lemma 21: decompose an ordered balanced rectangle
+    into at most 256 pairwise disjoint rectangles over one {e neat}
+    ordered partition, with the same union.  Requires [n mod 4 = 0]. *)
+val split_neat : t -> t list
+
+(** [count_diff r ~in_a ~in_b] is [|R ∩ A| - |R ∩ B|] for arbitrary
+    predicate classes [A], [B], by enumerating [R]. *)
+val count_diff : t -> in_a:(int -> bool) -> in_b:(int -> bool) -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+open Ucfg_word
+
+let of_word = Word.to_bits
+
+let to_word ~n mask = Word.of_bits ~len:(2 * n) mask
+
+let x_part ~n mask = mask land ((1 lsl n) - 1)
+
+let y_part ~n mask = mask land (((1 lsl n) - 1) lsl n)
+
+let interval_mask ~n i j =
+  if i < 1 || j > 2 * n || i > j then invalid_arg "Setview.interval_mask";
+  ((1 lsl (j - i + 1)) - 1) lsl (i - 1)
+
+let universe ~n = (1 lsl (2 * n)) - 1
+
+let in_ln ~n mask = Ucfg_lang.Ln.mem_code n mask
+
+let all ~n =
+  if 2 * n > 60 then invalid_arg "Setview.all: n too large";
+  Seq.init (1 lsl (2 * n)) Fun.id
+
+let subsets_of mask =
+  (* descending submask enumeration: m, (m-1)&mask, ...; emit 0 last *)
+  let rec from sub () =
+    if sub = 0 then Seq.Cons (0, fun () -> Seq.Nil)
+    else Seq.Cons (sub, from ((sub - 1) land mask))
+  in
+  from mask
+
+let popcount m =
+  let rec go m acc = if m = 0 then acc else go (m land (m - 1)) (acc + 1) in
+  go m 0

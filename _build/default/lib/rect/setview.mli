@@ -1,0 +1,40 @@
+(** The set perspective of Section 4.1.
+
+    A binary word [w] of length [2n] is identified with the pair
+    [(X_w, Y_w)] of subsets of [{x_1..x_n}] and [{y_1..y_n}]: [x_i ∈ X_w]
+    iff [w_i = a], [y_i ∈ Y_w] iff [w_{i+n} = a].  Unified, [w] is a
+    subset of [Z = {z_1, ..., z_2n}], which we pack into an [int] bit mask
+    (bit [i-1] set iff [z_i] in the set).  Under this view [L_n] is
+    exactly the set of pairs with [X ∩ Y ≠ ∅] — the complement of set
+    disjointness. *)
+
+(** [of_word w] is the bit mask of a binary word ([|w| <= 60]). *)
+val of_word : string -> int
+
+(** [to_word ~n mask] is the length-[2n] word of a mask. *)
+val to_word : n:int -> int -> string
+
+(** [x_part ~n mask] restricts to [X] (low [n] bits). *)
+val x_part : n:int -> int -> int
+
+(** [y_part ~n mask] restricts to [Y] (kept in place: bits [n..2n-1]). *)
+val y_part : n:int -> int -> int
+
+(** [interval_mask ~n i j] is the mask of [Z[i, j]] (1-based, inclusive).
+    Requires [1 <= i <= j <= 2n]. *)
+val interval_mask : n:int -> int -> int -> int
+
+(** [universe ~n] is the mask of all of [Z]. *)
+val universe : n:int -> int
+
+(** [in_ln ~n mask] — membership of the corresponding word in [L_n]. *)
+val in_ln : n:int -> int -> bool
+
+(** [all ~n] enumerates all [4^n] masks. *)
+val all : n:int -> int Seq.t
+
+(** [subsets_of mask] enumerates all subsets of [mask] (including [0] and
+    [mask] itself), in the standard descending-submask order. *)
+val subsets_of : int -> int Seq.t
+
+val popcount : int -> int

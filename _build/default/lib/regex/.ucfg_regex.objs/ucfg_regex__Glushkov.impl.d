@@ -1,0 +1,1 @@
+lib/regex/glushkov.ml: Hashtbl List Nfa Regex Ucfg_automata

@@ -1,0 +1,1 @@
+lib/regex/glushkov.mli: Regex Ucfg_automata Ucfg_word

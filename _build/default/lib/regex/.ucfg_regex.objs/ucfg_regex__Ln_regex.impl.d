@@ -1,0 +1,1 @@
+lib/regex/ln_regex.ml: Alphabet List Regex Ucfg_util Ucfg_word

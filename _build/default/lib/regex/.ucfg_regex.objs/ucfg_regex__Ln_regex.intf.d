@@ -1,0 +1,1 @@
+lib/regex/ln_regex.mli: Regex

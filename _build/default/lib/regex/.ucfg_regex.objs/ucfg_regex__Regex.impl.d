@@ -1,0 +1,1 @@
+lib/regex/regex.ml: Alphabet Char Format List Printf Seq String Ucfg_lang Ucfg_word Word

@@ -1,0 +1,1 @@
+lib/regex/regex.mli: Alphabet Format Ucfg_lang Ucfg_word

@@ -1,0 +1,65 @@
+open Ucfg_automata
+
+(* Positions are numbered left to right.  The automaton has state 0 as the
+   initial state and state p for position p (1-based).  Transitions:
+   0 --c(p)--> p for p in first(r), p --c(q)--> q for (p,q) in follow(r);
+   finals: last(r) (plus 0 when r is nullable). *)
+
+type info = {
+  first : int list;
+  last : int list;
+  nullable : bool;
+  follow : (int * int) list;
+}
+
+let nfa alpha r =
+  let counter = ref 0 in
+  let char_of = Hashtbl.create 64 in
+  (* linearise: assign positions and compute first/last/nullable/follow *)
+  let rec go = function
+    | Regex.Empty -> { first = []; last = []; nullable = false; follow = [] }
+    | Regex.Eps -> { first = []; last = []; nullable = true; follow = [] }
+    | Regex.Chr c ->
+      incr counter;
+      let p = !counter in
+      Hashtbl.add char_of p c;
+      { first = [ p ]; last = [ p ]; nullable = false; follow = [] }
+    | Regex.Alt (a, b) ->
+      let ia = go a in
+      let ib = go b in
+      {
+        first = ia.first @ ib.first;
+        last = ia.last @ ib.last;
+        nullable = ia.nullable || ib.nullable;
+        follow = ia.follow @ ib.follow;
+      }
+    | Regex.Cat (a, b) ->
+      let ia = go a in
+      let ib = go b in
+      let bridge =
+        List.concat_map (fun p -> List.map (fun q -> (p, q)) ib.first) ia.last
+      in
+      {
+        first = (if ia.nullable then ia.first @ ib.first else ia.first);
+        last = (if ib.nullable then ib.last @ ia.last else ib.last);
+        nullable = ia.nullable && ib.nullable;
+        follow = ia.follow @ ib.follow @ bridge;
+      }
+    | Regex.Star a ->
+      let ia = go a in
+      let loop =
+        List.concat_map (fun p -> List.map (fun q -> (p, q)) ia.first) ia.last
+      in
+      { first = ia.first; last = ia.last; nullable = true;
+        follow = ia.follow @ loop }
+  in
+  let info = go r in
+  let states = !counter + 1 in
+  let transitions =
+    List.map (fun p -> (0, Hashtbl.find char_of p, p)) info.first
+    @ List.map (fun (p, q) -> (p, Hashtbl.find char_of q, q)) info.follow
+  in
+  let finals = if info.nullable then 0 :: info.last else info.last in
+  Nfa.make ~alphabet:alpha ~states ~initials:[ 0 ] ~finals
+    ~transitions:(List.sort_uniq compare transitions)
+    ()

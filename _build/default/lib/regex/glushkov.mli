@@ -1,0 +1,9 @@
+(** The Glushkov (position) automaton of a regular expression.
+
+    An ε-free NFA with one state per character occurrence plus one initial
+    state; accepts exactly the regex's language.  Unlike Thompson's
+    construction it introduces no ε-transitions, so its output feeds
+    directly into products, path counting and the UFA check. *)
+
+(** [nfa alpha r] is the position automaton of [r] over [alpha]. *)
+val nfa : Ucfg_word.Alphabet.t -> Regex.t -> Ucfg_automata.Nfa.t

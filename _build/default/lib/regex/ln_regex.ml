@@ -1,0 +1,39 @@
+open Ucfg_word
+
+let sigma = Regex.any Alphabet.binary
+
+let slice n k =
+  if n < 1 || k < 0 || k > n - 1 then invalid_arg "Ln_regex.slice";
+  Regex.cat_list
+    [
+      Regex.power sigma k;
+      Regex.chr 'a';
+      Regex.power sigma (n - 1);
+      Regex.chr 'a';
+      Regex.power sigma (n - 1 - k);
+    ]
+
+let ln n =
+  if n < 1 then invalid_arg "Ln_regex.ln";
+  Regex.alt_list (List.map (slice n) (Ucfg_util.Prelude.range 0 n))
+
+let pattern n =
+  if n < 1 then invalid_arg "Ln_regex.pattern";
+  Regex.cat_list
+    [
+      Regex.star sigma;
+      Regex.chr 'a';
+      Regex.power sigma (n - 1);
+      Regex.chr 'a';
+      Regex.star sigma;
+    ]
+
+let ln_star n =
+  if n < 2 || n mod 2 <> 0 then invalid_arg "Ln_regex.ln_star";
+  let h = n / 2 in
+  Regex.cat_list
+    [
+      Regex.power (Regex.chr 'a') h;
+      Regex.power sigma n;
+      Regex.power (Regex.chr 'a') h;
+    ]

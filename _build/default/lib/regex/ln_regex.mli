@@ -1,0 +1,16 @@
+(** Regular expressions for the paper's languages. *)
+
+(** [ln n] is the defining expression of [L_n] (Example 3):
+    [∪_{k<=n-1} Σ^k a Σ^(n-1) a Σ^(n-1-k)]; size [Θ(n²)]. *)
+val ln : int -> Regex.t
+
+(** [pattern n] is the unbounded guess-and-verify expression
+    [Σ* a Σ^(n-1) a Σ*]; size [Θ(n)]. *)
+val pattern : int -> Regex.t
+
+(** [ln_star n] is [L*_n] of Example 6: [a^(n/2) Σ^n a^(n/2)]
+    ([n] even). *)
+val ln_star : int -> Regex.t
+
+(** [slice n k] is [L_n^k] of Example 8: [Σ^k a Σ^(n-1) a Σ^(n-1-k)]. *)
+val slice : int -> int -> Regex.t

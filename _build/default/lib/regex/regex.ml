@@ -1,0 +1,158 @@
+open Ucfg_word
+
+type t =
+  | Empty
+  | Eps
+  | Chr of char
+  | Alt of t * t
+  | Cat of t * t
+  | Star of t
+
+let empty = Empty
+let eps = Eps
+let chr c = Chr c
+
+let alt a b =
+  match (a, b) with
+  | Empty, r | r, Empty -> r
+  | a, b when a = b -> a
+  | _ -> Alt (a, b)
+
+let cat a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> Empty
+  | Eps, r | r, Eps -> r
+  | _ -> Cat (a, b)
+
+let star = function
+  | Empty | Eps -> Eps
+  | Star r -> Star r
+  | r -> Star r
+
+let alt_list = function [] -> Empty | r :: rest -> List.fold_left alt r rest
+let cat_list = function [] -> Eps | r :: rest -> List.fold_left cat r rest
+
+let any alpha = alt_list (List.map chr (Alphabet.chars alpha))
+
+let power r k =
+  if k < 0 then invalid_arg "Regex.power: negative exponent";
+  cat_list (List.init k (fun _ -> r))
+
+let of_word w = cat_list (List.init (String.length w) (fun i -> chr w.[i]))
+
+let rec nullable = function
+  | Empty | Chr _ -> false
+  | Eps | Star _ -> true
+  | Alt (a, b) -> nullable a || nullable b
+  | Cat (a, b) -> nullable a && nullable b
+
+let rec deriv r c =
+  match r with
+  | Empty | Eps -> Empty
+  | Chr c' -> if Char.equal c c' then Eps else Empty
+  | Alt (a, b) -> alt (deriv a c) (deriv b c)
+  | Cat (a, b) ->
+    let left = cat (deriv a c) b in
+    if nullable a then alt left (deriv b c) else left
+  | Star a -> cat (deriv a c) (star a)
+
+let matches r w =
+  let rec go r i =
+    if i = String.length w then nullable r
+    else
+      match deriv r w.[i] with Empty -> false | r' -> go r' (i + 1)
+  in
+  go r 0
+
+let rec size = function
+  | Empty | Eps | Chr _ -> 1
+  | Alt (a, b) | Cat (a, b) -> 1 + size a + size b
+  | Star a -> 1 + size a
+
+let language r ~alphabet ~max_len =
+  let acc = ref Ucfg_lang.Lang.empty in
+  for len = 0 to max_len do
+    Seq.iter
+      (fun w -> if matches r w then acc := Ucfg_lang.Lang.add w !acc)
+      (Word.enumerate alphabet len)
+  done;
+  !acc
+
+(* printing with precedence: alt(0) < cat(1) < star(2) *)
+let pp fmt r =
+  let rec go prec fmt = function
+    | Empty -> Format.pp_print_char fmt '~'
+    | Eps -> Format.pp_print_string fmt "()"
+    | Chr c -> Format.pp_print_char fmt c
+    | Alt (a, b) ->
+      if prec > 0 then Format.fprintf fmt "(%a|%a)" (go 0) a (go 0) b
+      else Format.fprintf fmt "%a|%a" (go 0) a (go 0) b
+    | Cat (a, b) ->
+      if prec > 1 then Format.fprintf fmt "(%a%a)" (go 1) a (go 1) b
+      else Format.fprintf fmt "%a%a" (go 1) a (go 1) b
+    | Star a -> Format.fprintf fmt "%a*" (go 2) a
+  in
+  go 0 fmt r
+
+let to_string r = Format.asprintf "%a" pp r
+
+let parse s =
+  (* recursive descent; grammar:
+     alt := cat ('|' cat)* ; cat := star* (ε when empty) ;
+     star := atom '*'* ; atom := '(' alt ')' | '~' | letter *)
+  let pos = ref 0 in
+  let len = String.length s in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = invalid_arg (Printf.sprintf "Regex.parse: %s at %d" msg !pos) in
+  let is_letter c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  in
+  let rec p_alt () =
+    let a = p_cat () in
+    match peek () with
+    | Some '|' ->
+      advance ();
+      alt a (p_alt ())
+    | _ -> a
+  and p_cat () =
+    let rec loop acc =
+      match peek () with
+      | Some c when is_letter c || c = '(' || c = '~' -> loop (cat acc (p_star ()))
+      | _ -> acc
+    in
+    loop Eps
+  and p_star () =
+    let a = p_atom () in
+    let rec stars a =
+      match peek () with
+      | Some '*' ->
+        advance ();
+        stars (star a)
+      | _ -> a
+    in
+    stars a
+  and p_atom () =
+    match peek () with
+    | Some '(' ->
+      advance ();
+      let a = p_alt () in
+      (match peek () with
+       | Some ')' ->
+         advance ();
+         a
+       | _ -> fail "expected ')'")
+    | Some '~' ->
+      advance ();
+      Empty
+    | Some c when is_letter c ->
+      advance ();
+      Chr c
+    | Some c -> fail (Printf.sprintf "unexpected '%c'" c)
+    | None -> fail "unexpected end of input"
+  in
+  let r = p_alt () in
+  if !pos <> len then fail "trailing input";
+  r
+
+let equal = ( = )

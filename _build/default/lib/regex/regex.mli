@@ -1,0 +1,69 @@
+(** Regular expressions.
+
+    The paper writes languages as regular expressions throughout
+    ([L_n = ∪_k (a+b)^k a (a+b)^(n-1) a (a+b)^(n-1-k)]); this module makes
+    those expressions first-class so the test-suite can cross-check every
+    representation (regex → NFA → DFA → grammar) against every other. *)
+
+open Ucfg_word
+
+type t =
+  | Empty  (** ∅ *)
+  | Eps  (** ε *)
+  | Chr of char
+  | Alt of t * t
+  | Cat of t * t
+  | Star of t
+
+(** Smart constructors applying the cheap simplifications
+    (∅ absorbs/cancels, ε cancels in products, [Star Star] collapses). *)
+
+val empty : t
+val eps : t
+val chr : char -> t
+val alt : t -> t -> t
+val cat : t -> t -> t
+val star : t -> t
+
+(** [alt_list rs] folds {!alt}; [Empty] for the empty list. *)
+val alt_list : t list -> t
+
+(** [cat_list rs] folds {!cat}; [Eps] for the empty list. *)
+val cat_list : t list -> t
+
+(** [any alpha] is the union of all characters of [alpha] ([Σ]). *)
+val any : Alphabet.t -> t
+
+(** [power r k] is [r·r·...·r] ([k] times); [Eps] when [k = 0]. *)
+val power : t -> int -> t
+
+(** [of_word w] is the concatenation of [w]'s characters. *)
+val of_word : string -> t
+
+(** [nullable r] — does [r] accept ε? *)
+val nullable : t -> bool
+
+(** [matches r w] decides membership by Brzozowski derivatives. *)
+val matches : t -> string -> bool
+
+(** [deriv r c] is the Brzozowski derivative [c⁻¹ r]. *)
+val deriv : t -> char -> t
+
+(** [size r] is the number of AST nodes. *)
+val size : t -> int
+
+(** [language r ~max_len] materialises the words of length [<= max_len]. *)
+val language : t -> alphabet:Alphabet.t -> max_len:int -> Ucfg_lang.Lang.t
+
+(** [pp] prints with the usual precedence (alternation < concatenation <
+    star); [parse] reads it back.  Characters: any letter; metacharacters
+    [( ) | * ~] ([~] is ∅, the empty string between delimiters is ε). *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** [parse s] parses {!to_string}'s output format.
+    @raise Invalid_argument on syntax errors. *)
+val parse : string -> t
+
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/util/bignum.ml: Array Buffer Float Format List Printf Rng Stdlib String

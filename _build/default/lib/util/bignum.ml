@@ -1,0 +1,333 @@
+(* Signed big integers: sign plus little-endian base-10^9 magnitude without
+   leading zero limbs.  The zero value is canonically [{ sign = 0; mag = [||] }]. *)
+
+let base = 1_000_000_000
+let base_digits = 9
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+
+let normalize sign mag =
+  let len = Array.length mag in
+  let rec top i = if i >= 0 && mag.(i) = 0 then top (i - 1) else i in
+  let hi = top (len - 1) in
+  if hi < 0 then zero
+  else if hi = len - 1 then { sign; mag }
+  else { sign; mag = Array.sub mag 0 (hi + 1) }
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    let sign = if n < 0 then -1 else 1 in
+    (* min_int negation is safe limb-wise because we divide before negating *)
+    let rec limbs acc n =
+      if n = 0 then List.rev acc
+      else limbs (abs (n mod base) :: acc) (n / base)
+    in
+    { sign; mag = Array.of_list (limbs [] n) }
+  end
+
+let one = of_int 1
+let two = of_int 2
+let minus_one = of_int (-1)
+
+let sign t = t.sign
+let is_zero t = t.sign = 0
+
+let neg t = if t.sign = 0 then t else { t with sign = -t.sign }
+let abs t = if t.sign < 0 then neg t else t
+
+(* Magnitude comparison: |a| vs |b|. *)
+let cmp_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec go i = if i < 0 then 0
+      else if a.(i) <> b.(i) then compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = 1 + Stdlib.max la lb in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let s = !carry
+            + (if i < la then a.(i) else 0)
+            + (if i < lb then b.(i) else 0)
+    in
+    r.(i) <- s mod base;
+    carry := s / base
+  done;
+  r
+
+(* Requires |a| >= |b|. *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - !borrow - (if i < lb then b.(i) else 0) in
+    if d < 0 then begin r.(i) <- d + base; borrow := 1 end
+    else begin r.(i) <- d; borrow := 0 end
+  done;
+  r
+
+let add x y =
+  if x.sign = 0 then y
+  else if y.sign = 0 then x
+  else if x.sign = y.sign then normalize x.sign (add_mag x.mag y.mag)
+  else begin
+    match cmp_mag x.mag y.mag with
+    | 0 -> zero
+    | c when c > 0 -> normalize x.sign (sub_mag x.mag y.mag)
+    | _ -> normalize y.sign (sub_mag y.mag x.mag)
+  end
+
+let sub x y = add x (neg y)
+let succ x = add x one
+let pred x = sub x one
+
+let mul x y =
+  if x.sign = 0 || y.sign = 0 then zero
+  else begin
+    let a = x.mag and b = y.mag in
+    let la = Array.length a and lb = Array.length b in
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      for j = 0 to lb - 1 do
+        (* a.(i)*b.(j) < 10^18 and fits comfortably in a 63-bit int *)
+        let cur = r.(i + j) + (a.(i) * b.(j)) + !carry in
+        r.(i + j) <- cur mod base;
+        carry := cur / base
+      done;
+      let k = ref (i + lb) in
+      while !carry > 0 do
+        let cur = r.(!k) + !carry in
+        r.(!k) <- cur mod base;
+        carry := cur / base;
+        incr k
+      done
+    done;
+    normalize (x.sign * y.sign) r
+  end
+
+let mul_int t k =
+  if k = 0 || t.sign = 0 then zero
+  else begin
+    let ka = Stdlib.abs k in
+    if ka >= base then mul t (of_int k)
+    else begin
+      let la = Array.length t.mag in
+      let r = Array.make (la + 2) 0 in
+      let carry = ref 0 in
+      for i = 0 to la - 1 do
+        let cur = (t.mag.(i) * ka) + !carry in
+        r.(i) <- cur mod base;
+        carry := cur / base
+      done;
+      let k' = ref la in
+      while !carry > 0 do
+        r.(!k') <- !carry mod base;
+        carry := !carry / base;
+        incr k'
+      done;
+      normalize (t.sign * if k < 0 then -1 else 1) r
+    end
+  end
+
+let pow b e =
+  if e < 0 then invalid_arg "Bignum.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (mul acc b) (mul b b) (e asr 1)
+    else go acc (mul b b) (e asr 1)
+  in
+  go one b e
+
+let two_pow e = pow two e
+
+let divmod_int t k =
+  if k <= 0 || k > base then invalid_arg "Bignum.divmod_int: bad divisor";
+  if t.sign = 0 then (zero, 0)
+  else begin
+    let la = Array.length t.mag in
+    let q = Array.make la 0 in
+    let r = ref 0 in
+    for i = la - 1 downto 0 do
+      let cur = (!r * base) + t.mag.(i) in
+      q.(i) <- cur / k;
+      r := cur mod k
+    done;
+    (normalize t.sign q, !r)
+  end
+
+let div_pow2 t e =
+  if t.sign < 0 then invalid_arg "Bignum.div_pow2: negative argument";
+  let rec go t e =
+    if e = 0 || is_zero t then t
+    else begin
+      let step = Stdlib.min e 29 in
+      let q, _ = divmod_int t (1 lsl step) in
+      go q (e - step)
+    end
+  in
+  go t e
+
+let equal_aux a b = a.sign = b.sign && cmp_mag a.mag b.mag = 0
+
+(* binary digits of |t|, most significant first *)
+let bits_msb_first t =
+  if t.sign = 0 then []
+  else begin
+    let rec chunks acc t =
+      if t.sign = 0 then acc
+      else begin
+        let q, r = divmod_int t (1 lsl 29) in
+        chunks (r :: acc) q
+      end
+    in
+    (* chunks: most significant first, each 29 bits (leading chunk may be
+       shorter) *)
+    match chunks [] { t with sign = 1 } with
+    | [] -> []
+    | top :: rest ->
+      let rec top_bits v acc =
+        if v = 0 then acc else top_bits (v lsr 1) ((v land 1) :: acc)
+      in
+      let fixed_bits v =
+        List.init 29 (fun i -> (v lsr (28 - i)) land 1)
+      in
+      top_bits top [] @ List.concat_map fixed_bits rest
+  end
+
+let bit_length t = List.length (bits_msb_first t)
+
+let divmod a d =
+  if a.sign < 0 then invalid_arg "Bignum.divmod: negative dividend";
+  if d.sign <= 0 then invalid_arg "Bignum.divmod: non-positive divisor";
+  (* binary long division over the dividend's bits; operands stay
+     non-negative so magnitude comparison suffices *)
+  let q = ref zero and r = ref zero in
+  List.iter
+    (fun bit ->
+       r := add (add !r !r) (if bit = 1 then one else zero);
+       q := add !q !q;
+       if cmp_mag !r.mag d.mag >= 0 then begin
+         r := sub !r d;
+         q := add !q one
+       end)
+    (bits_msb_first a);
+  (!q, !r)
+
+let cdiv_pow2 t e =
+  if t.sign < 0 then invalid_arg "Bignum.cdiv_pow2: negative argument";
+  let q = div_pow2 t e in
+  (* exact iff t = q * 2^e *)
+  if equal_aux (mul q (two_pow e)) t then q else succ q
+
+let compare x y =
+  if x.sign <> y.sign then Stdlib.compare x.sign y.sign
+  else x.sign * cmp_mag x.mag y.mag
+
+let equal x y = compare x y = 0
+let min x y = if compare x y <= 0 then x else y
+let max x y = if compare x y >= 0 then x else y
+
+let sum ts = List.fold_left add zero ts
+
+let to_int t =
+  match t.sign with
+  | 0 -> Some 0
+  | _ ->
+    (* accumulate while watching for overflow *)
+    let la = Array.length t.mag in
+    let rec go i acc =
+      if i < 0 then Some (t.sign * acc)
+      else if acc > (max_int - t.mag.(i)) / base then None
+      else go (i - 1) ((acc * base) + t.mag.(i))
+    in
+    go (la - 1) 0
+
+let to_float t =
+  let la = Array.length t.mag in
+  let rec go i acc =
+    if i < 0 then acc else go (i - 1) ((acc *. float_of_int base) +. float_of_int t.mag.(i))
+  in
+  float_of_int t.sign *. go (la - 1) 0.
+
+let log2 t =
+  if t.sign <= 0 then invalid_arg "Bignum.log2: non-positive argument";
+  let la = Array.length t.mag in
+  (* use the top three limbs for the mantissa, count the rest as exponent *)
+  let top = Stdlib.min la 3 in
+  let lead = ref 0. in
+  for i = la - 1 downto la - top do
+    lead := (!lead *. float_of_int base) +. float_of_int t.mag.(i)
+  done;
+  let dropped = la - top in
+  (Float.log !lead /. Float.log 2.)
+  +. (float_of_int (dropped * base_digits) *. (Float.log 10. /. Float.log 2.))
+
+let to_string t =
+  if t.sign = 0 then "0"
+  else begin
+    let la = Array.length t.mag in
+    let buf = Buffer.create (la * base_digits + 1) in
+    if t.sign < 0 then Buffer.add_char buf '-';
+    Buffer.add_string buf (string_of_int t.mag.(la - 1));
+    for i = la - 2 downto 0 do
+      Buffer.add_string buf (Printf.sprintf "%09d" t.mag.(i))
+    done;
+    Buffer.contents buf
+  end
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Bignum.of_string: empty string";
+  let sign, start =
+    match s.[0] with
+    | '-' -> (-1, 1)
+    | '+' -> (1, 1)
+    | _ -> (1, 0)
+  in
+  if start >= len then invalid_arg "Bignum.of_string: no digits";
+  String.iter
+    (fun c -> if not (c >= '0' && c <= '9') && c <> '-' && c <> '+' then
+        invalid_arg "Bignum.of_string: non-digit")
+    s;
+  let ndigits = len - start in
+  let nlimbs = (ndigits + base_digits - 1) / base_digits in
+  let mag = Array.make nlimbs 0 in
+  let stop = ref len in
+  for i = 0 to nlimbs - 1 do
+    let lo = Stdlib.max start (!stop - base_digits) in
+    mag.(i) <- int_of_string (String.sub s lo (!stop - lo));
+    stop := lo
+  done;
+  normalize sign mag
+
+let random rng bound =
+  if sign bound <= 0 then invalid_arg "Bignum.random: non-positive bound";
+  let k = bit_length bound in
+  (* rejection sampling on k-bit candidates: exactly uniform *)
+  let rec draw () =
+    let rec build remaining acc =
+      if remaining <= 0 then acc
+      else begin
+        let take = Stdlib.min remaining 29 in
+        let chunk = Rng.int rng (1 lsl take) in
+        build (remaining - take) (add (mul_int acc (1 lsl take)) (of_int chunk))
+      end
+    in
+    let candidate = build k zero in
+    if compare candidate bound < 0 then candidate else draw ()
+  in
+  draw ()
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,84 @@
+(** Signed arbitrary-precision integers.
+
+    Implemented from scratch (the sealed container has no [zarith]) on top of
+    little-endian magnitude arrays in base [10^9].  The library only needs
+    exact combinatorial counting — addition, subtraction, multiplication,
+    powers, division by machine integers and by powers of two — so the
+    implementation favours clarity over asymptotic sophistication
+    (schoolbook multiplication). *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+
+(** [of_int n] is the big integer with value [n]. *)
+val of_int : int -> t
+
+(** [to_int t] is [Some n] when [t] fits a native [int]. *)
+val to_int : t -> int option
+
+(** [sign t] is [-1], [0] or [1]. *)
+val sign : t -> int
+
+val is_zero : t -> bool
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val succ : t -> t
+val pred : t -> t
+
+(** [mul_int t k] multiplies by a machine integer ([abs k < 10^9]). *)
+val mul_int : t -> int -> t
+
+(** [pow base e] is [base^e].  @raise Invalid_argument on negative [e]. *)
+val pow : t -> int -> t
+
+(** [two_pow e] is [2^e] for [e >= 0]. *)
+val two_pow : int -> t
+
+(** [divmod_int t k] is [(q, r)] with [t = q*k + r], [0 <= r < k].
+    Requires [0 < k <= 10^9]. *)
+val divmod_int : t -> int -> t * int
+
+(** [divmod a d] is [(q, r)] with [a = q*d + r], [0 <= r < d], for
+    [a >= 0] and [d > 0] (binary long division).
+    @raise Invalid_argument otherwise. *)
+val divmod : t -> t -> t * t
+
+(** [bit_length t] is the number of binary digits of [|t|] ([0] for 0). *)
+val bit_length : t -> int
+
+(** [random rng bound] is uniform in [[0, bound)] for [bound > 0]
+    (rejection sampling on {!bit_length} bits — exactly uniform). *)
+val random : Rng.t -> t -> t
+
+(** [div_pow2 t e] is [t / 2^e] rounded towards zero, for [t >= 0]. *)
+val div_pow2 : t -> int -> t
+
+(** [cdiv_pow2 t e] is [ceil (t / 2^e)] for [t >= 0]. *)
+val cdiv_pow2 : t -> int -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** [sum ts] adds up a list of big integers. *)
+val sum : t list -> t
+
+(** [log2 t] approximates [log2 t] as a float, for [t > 0]. *)
+val log2 : t -> float
+
+val to_float : t -> float
+val to_string : t -> string
+
+(** [of_string s] parses an optionally signed decimal literal.
+    @raise Invalid_argument on malformed input. *)
+val of_string : string -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,174 @@
+(* Bitsets as arrays of 62-bit words (we stay clear of the native int's sign
+   bit so that masks and shifts need no special cases). *)
+
+let bits_per_word = 62
+
+type t = { size : int; words : int array }
+
+let nwords size = (size + bits_per_word - 1) / bits_per_word
+
+let create size =
+  if size < 0 then invalid_arg "Bitset.create: negative size";
+  { size; words = Array.make (nwords size) 0 }
+
+let size t = t.size
+
+let check t i =
+  if i < 0 || i >= t.size then invalid_arg "Bitset: index out of range"
+
+(* Mask selecting the valid bits of the last word. *)
+let tail_mask size =
+  let rem = size mod bits_per_word in
+  if rem = 0 then (1 lsl bits_per_word) - 1 else (1 lsl rem) - 1
+
+let full size =
+  let t = create size in
+  let n = Array.length t.words in
+  if n > 0 then begin
+    Array.fill t.words 0 n ((1 lsl bits_per_word) - 1);
+    t.words.(n - 1) <- tail_mask size
+  end;
+  t
+
+let mem t i =
+  check t i;
+  (t.words.(i / bits_per_word) lsr (i mod bits_per_word)) land 1 = 1
+
+let copy t = { t with words = Array.copy t.words }
+
+let add t i =
+  check t i;
+  let r = copy t in
+  r.words.(i / bits_per_word) <-
+    r.words.(i / bits_per_word) lor (1 lsl (i mod bits_per_word));
+  r
+
+let remove t i =
+  check t i;
+  let r = copy t in
+  r.words.(i / bits_per_word) <-
+    r.words.(i / bits_per_word) land lnot (1 lsl (i mod bits_per_word));
+  r
+
+let zip_words op a b =
+  if a.size <> b.size then invalid_arg "Bitset: size mismatch";
+  let r = copy a in
+  for i = 0 to Array.length r.words - 1 do
+    r.words.(i) <- op r.words.(i) b.words.(i)
+  done;
+  r
+
+let union a b = zip_words ( lor ) a b
+let inter a b = zip_words ( land ) a b
+let diff a b = zip_words (fun x y -> x land lnot y) a b
+
+let complement t =
+  let r = copy t in
+  let n = Array.length r.words in
+  for i = 0 to n - 1 do
+    r.words.(i) <- lnot r.words.(i) land ((1 lsl bits_per_word) - 1)
+  done;
+  if n > 0 then r.words.(n - 1) <- r.words.(n - 1) land tail_mask t.size;
+  r
+
+let popcount w =
+  let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
+  go w 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let equal a b = a.size = b.size && a.words = b.words
+
+let compare a b =
+  let c = Stdlib.compare a.size b.size in
+  if c <> 0 then c else Stdlib.compare a.words b.words
+
+let subset a b =
+  if a.size <> b.size then invalid_arg "Bitset.subset: size mismatch";
+  let ok = ref true in
+  for i = 0 to Array.length a.words - 1 do
+    if a.words.(i) land lnot b.words.(i) <> 0 then ok := false
+  done;
+  !ok
+
+let disjoint a b =
+  if a.size <> b.size then invalid_arg "Bitset.disjoint: size mismatch";
+  let ok = ref true in
+  for i = 0 to Array.length a.words - 1 do
+    if a.words.(i) land b.words.(i) <> 0 then ok := false
+  done;
+  !ok
+
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    let word = ref t.words.(w) in
+    while !word <> 0 do
+      let bit = !word land (- !word) in
+      let rec log2 b acc = if b = 1 then acc else log2 (b lsr 1) (acc + 1) in
+      f ((w * bits_per_word) + log2 bit 0);
+      word := !word land lnot bit
+    done
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list size l =
+  let t = create size in
+  List.iter
+    (fun i ->
+       check t i;
+       t.words.(i / bits_per_word) <-
+         t.words.(i / bits_per_word) lor (1 lsl (i mod bits_per_word)))
+    l;
+  t
+
+let of_mask size mask =
+  if size > bits_per_word then invalid_arg "Bitset.of_mask: size too large";
+  let t = create size in
+  if Array.length t.words > 0 then t.words.(0) <- mask land tail_mask size;
+  t
+
+let to_mask t =
+  if t.size > bits_per_word then invalid_arg "Bitset.to_mask: size too large";
+  if Array.length t.words = 0 then 0 else t.words.(0)
+
+let hash t = Hashtbl.hash (t.size, t.words)
+
+let pp fmt t =
+  Format.fprintf fmt "{%s}"
+    (String.concat "," (List.map string_of_int (elements t)))
+
+module Mut = struct
+  let copy = copy
+
+  let xor_in_place a b =
+    if a.size <> b.size then invalid_arg "Bitset.Mut.xor_in_place: size mismatch";
+    for i = 0 to Array.length a.words - 1 do
+      a.words.(i) <- a.words.(i) lxor b.words.(i)
+    done
+
+  let set t i =
+    check t i;
+    t.words.(i / bits_per_word) <-
+      t.words.(i / bits_per_word) lor (1 lsl (i mod bits_per_word))
+
+  let lowest_set t =
+    let n = Array.length t.words in
+    let rec go w =
+      if w >= n then None
+      else if t.words.(w) = 0 then go (w + 1)
+      else begin
+        let bit = t.words.(w) land (-t.words.(w)) in
+        let rec log2 b acc = if b = 1 then acc else log2 (b lsr 1) (acc + 1) in
+        Some ((w * bits_per_word) + log2 bit 0)
+      end
+    in
+    go 0
+end

@@ -1,0 +1,65 @@
+(** Dense bitsets over a fixed universe [{0, ..., size-1}].
+
+    The rectangle machinery works with subsets of [Z = [1..2n]] and the
+    GF(2) rank computation works with matrix rows of a few thousand columns;
+    both want compact bit-level sets with fast boolean operations.  Values
+    are immutable from the outside: every operation returns a fresh set
+    (mutation is confined to the implementation). *)
+
+type t
+
+(** [create size] is the empty set over a universe of [size] elements. *)
+val create : int -> t
+
+(** [full size] is the complete universe. *)
+val full : int -> t
+
+(** Number of elements in the universe (not the cardinality). *)
+val size : t -> int
+
+val mem : t -> int -> bool
+
+(** [add t i] is [t ∪ {i}].  @raise Invalid_argument if [i] is out of range. *)
+val add : t -> int -> t
+
+(** [remove t i] is [t \ {i}]. *)
+val remove : t -> int -> t
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+(** Complement within the universe. *)
+val complement : t -> t
+
+val cardinal : t -> int
+val is_empty : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val subset : t -> t -> bool
+val disjoint : t -> t -> bool
+
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val elements : t -> int list
+val of_list : int -> int list -> t
+
+(** [of_mask size mask] interprets the low [size] bits of [mask] as a set.
+    Requires [size <= 62]. *)
+val of_mask : int -> int -> t
+
+(** [to_mask t] packs the set into an [int] bit mask.  Requires
+    [size t <= 62]. *)
+val to_mask : t -> int
+
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+(** In-place interface used by hot loops (GF(2) elimination).  These mutate
+    their first argument; callers own the value exclusively. *)
+module Mut : sig
+  val copy : t -> t
+  val xor_in_place : t -> t -> unit
+  val set : t -> int -> unit
+  val lowest_set : t -> int option
+end

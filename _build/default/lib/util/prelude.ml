@@ -1,0 +1,59 @@
+let range lo hi =
+  let rec go i acc = if i < lo then acc else go (i - 1) (i :: acc) in
+  go (hi - 1) []
+
+let range_incl lo hi = range lo (hi + 1)
+
+let sum_int l = List.fold_left ( + ) 0 l
+
+let cartesian xs ys =
+  List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs
+
+let all_splits k = List.map (fun i -> (i, k - i)) (range_incl 0 k)
+
+let log2_floor n =
+  if n < 1 then invalid_arg "Prelude.log2_floor";
+  let rec go n acc = if n = 1 then acc else go (n lsr 1) (acc + 1) in
+  go n 0
+
+let log2_ceil n =
+  if n < 1 then invalid_arg "Prelude.log2_ceil";
+  let f = log2_floor n in
+  if 1 lsl f = n then f else f + 1
+
+let binary_digits n =
+  let rec go n i acc =
+    if n = 0 then List.rev acc
+    else go (n lsr 1) (i + 1) (if n land 1 = 1 then i :: acc else acc)
+  in
+  go n 0 []
+
+let group_by_key kvs =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (k, v) ->
+       match Hashtbl.find_opt tbl k with
+       | None ->
+         Hashtbl.add tbl k (ref [ v ]);
+         order := k :: !order
+       | Some r -> r := v :: !r)
+    kvs;
+  List.rev_map (fun k -> (k, List.rev !(Hashtbl.find tbl k))) !order
+
+let take n l =
+  let rec go n l acc =
+    match (n, l) with
+    | 0, _ | _, [] -> List.rev acc
+    | n, x :: rest -> go (n - 1) rest (x :: acc)
+  in
+  go n l []
+
+let unique_sorted cmp l = List.sort_uniq cmp l
+
+let string_init_concat n f =
+  let buf = Buffer.create (n * 2) in
+  for i = 0 to n - 1 do
+    Buffer.add_string buf (f i)
+  done;
+  Buffer.contents buf

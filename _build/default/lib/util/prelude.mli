@@ -1,0 +1,38 @@
+(** Small helpers shared by every library in the repository. *)
+
+(** [range lo hi] is [[lo; lo+1; ...; hi-1]] (empty when [lo >= hi]). *)
+val range : int -> int -> int list
+
+(** [range_incl lo hi] is [[lo; ...; hi]] (empty when [lo > hi]). *)
+val range_incl : int -> int -> int list
+
+(** [sum_int l] adds up a list of ints. *)
+val sum_int : int list -> int
+
+(** [cartesian xs ys] is all pairs, [xs] major. *)
+val cartesian : 'a list -> 'b list -> ('a * 'b) list
+
+(** [all_splits k] is all [(i, k - i)] with [0 <= i <= k]. *)
+val all_splits : int -> (int * int) list
+
+(** [log2_ceil n] is the least [e] with [2^e >= n]; requires [n >= 1]. *)
+val log2_ceil : int -> int
+
+(** [log2_floor n] is the greatest [e] with [2^e <= n]; requires [n >= 1]. *)
+val log2_floor : int -> int
+
+(** [binary_digits n] is the positions of set bits of [n], lowest first. *)
+val binary_digits : int -> int list
+
+(** [group_by_key kvs] groups a list of key/value pairs by key, preserving
+    value order within each group; keys appear in first-seen order. *)
+val group_by_key : ('k * 'v) list -> ('k * 'v list) list
+
+(** [take n l] is the first [n] elements of [l] (or all of [l] if shorter). *)
+val take : int -> 'a list -> 'a list
+
+(** [unique_sorted cmp l] sorts and removes duplicates. *)
+val unique_sorted : ('a -> 'a -> int) -> 'a list -> 'a list
+
+(** [string_init_concat n f] concatenates [f 0 ^ f 1 ^ ... ^ f (n-1)]. *)
+val string_init_concat : int -> (int -> string) -> string

@@ -1,0 +1,42 @@
+(* splitmix64, the usual constants; state advances by the golden gamma. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits62 t = Int64.to_int (Int64.shift_right_logical (next t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: non-positive bound";
+  bits62 t mod bound
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+(* divide by 2^62 without materialising it as an int (1 lsl 62 overflows
+   the 63-bit native int) *)
+let float t = Float.ldexp (float_of_int (bits62 t)) (-62)
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let split t = { state = next t }

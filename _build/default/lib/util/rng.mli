@@ -1,0 +1,31 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Workload generators and property tests want reproducible randomness that
+    does not depend on the global [Random] state; a tiny splitmix64 stream
+    keeps every experiment replayable from its printed seed. *)
+
+type t
+
+(** [create seed] is a fresh generator. *)
+val create : int -> t
+
+(** [int t bound] is uniform in [[0, bound)].  Requires [bound > 0]. *)
+val int : t -> int -> int
+
+(** [bits62 t] is a uniform 62-bit non-negative integer. *)
+val bits62 : t -> int
+
+(** [bool t] is a uniform boolean. *)
+val bool : t -> bool
+
+(** [float t] is uniform in [[0, 1)]. *)
+val float : t -> float
+
+(** [pick t arr] is a uniform element of [arr].  Requires [arr] non-empty. *)
+val pick : t -> 'a array -> 'a
+
+(** [shuffle t arr] permutes [arr] in place (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [split t] derives an independent generator. *)
+val split : t -> t

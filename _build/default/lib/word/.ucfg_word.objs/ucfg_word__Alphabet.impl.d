@@ -1,0 +1,1 @@
+lib/word/alphabet.ml: Array Char Format List String

@@ -1,0 +1,1 @@
+lib/word/word.ml: Alphabet Format List Map Seq Set String Ucfg_util

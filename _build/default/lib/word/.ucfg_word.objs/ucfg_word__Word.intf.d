@@ -1,0 +1,1 @@
+lib/word/word.mli: Alphabet Format Map Seq Set Ucfg_util

@@ -1,0 +1,34 @@
+type t = { chars : char array }
+
+let make chars =
+  if chars = [] then invalid_arg "Alphabet.make: empty alphabet";
+  let sorted = List.sort_uniq Char.compare chars in
+  if List.length sorted <> List.length chars then
+    invalid_arg "Alphabet.make: duplicate characters";
+  { chars = Array.of_list chars }
+
+let binary = make [ 'a'; 'b' ]
+
+let size t = Array.length t.chars
+let chars t = Array.to_list t.chars
+let mem t c = Array.exists (Char.equal c) t.chars
+
+let index t c =
+  let n = Array.length t.chars in
+  let rec go i =
+    if i >= n then raise Not_found
+    else if Char.equal t.chars.(i) c then i
+    else go (i + 1)
+  in
+  go 0
+
+let char_at t i =
+  if i < 0 || i >= Array.length t.chars then
+    invalid_arg "Alphabet.char_at: out of range";
+  t.chars.(i)
+
+let equal a b = a.chars = b.chars
+
+let pp fmt t =
+  Format.fprintf fmt "{%s}"
+    (String.concat "," (List.map (String.make 1) (chars t)))

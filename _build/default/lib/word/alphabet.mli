@@ -1,0 +1,28 @@
+(** Finite alphabets.
+
+    The paper works over the binary alphabet [{a, b}]; the CSV application
+    and the relational examples use slightly larger alphabets, so alphabets
+    are explicit values rather than a global assumption. *)
+
+type t
+
+(** [make chars] builds an alphabet from a list of distinct characters,
+    kept in the given order.  @raise Invalid_argument on duplicates or an
+    empty list. *)
+val make : char list -> t
+
+(** The binary alphabet [{a, b}] used throughout the paper. *)
+val binary : t
+
+val size : t -> int
+val chars : t -> char list
+val mem : t -> char -> bool
+
+(** [index t c] is the position of [c] in [t].  @raise Not_found. *)
+val index : t -> char -> int
+
+(** [char_at t i] is the [i]-th character.  @raise Invalid_argument. *)
+val char_at : t -> int -> char
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,62 @@
+type t = string
+
+let length = String.length
+let concat = ( ^ )
+let concat_list = String.concat ""
+let empty = ""
+
+let is_over alpha w =
+  String.for_all (fun c -> Alphabet.mem alpha c) w
+
+let slice w pos len =
+  if pos < 0 || len < 0 || pos + len > String.length w then
+    invalid_arg "Word.slice: out of range";
+  String.sub w pos len
+
+let complement w =
+  String.map
+    (function
+      | 'a' -> 'b'
+      | 'b' -> 'a'
+      | _ -> invalid_arg "Word.complement: non-binary character")
+    w
+
+let enumerate alpha n =
+  if n < 0 then invalid_arg "Word.enumerate: negative length";
+  let chars = List.to_seq (Alphabet.chars alpha) in
+  (* Persistent lazy enumeration: extend every word of length [n-1] by each
+     character in first position, so the order is lexicographic in the
+     alphabet's own character order. *)
+  let rec gen n =
+    if n = 0 then Seq.return ""
+    else
+      Seq.concat_map
+        (fun c -> Seq.map (fun rest -> String.make 1 c ^ rest) (gen (n - 1)))
+        chars
+  in
+  gen n
+
+let count alpha n = Ucfg_util.Bignum.pow (Ucfg_util.Bignum.of_int (Alphabet.size alpha)) n
+
+let of_bits ~len bits =
+  if len < 0 || len > 62 then invalid_arg "Word.of_bits: bad length";
+  String.init len (fun i -> if (bits lsr i) land 1 = 1 then 'a' else 'b')
+
+let to_bits w =
+  let n = String.length w in
+  if n > 62 then invalid_arg "Word.to_bits: word too long";
+  let bits = ref 0 in
+  for i = 0 to n - 1 do
+    match w.[i] with
+    | 'a' -> bits := !bits lor (1 lsl i)
+    | 'b' -> ()
+    | _ -> invalid_arg "Word.to_bits: non-binary character"
+  done;
+  !bits
+
+let equal = String.equal
+let compare = String.compare
+let pp fmt w = Format.fprintf fmt "%S" w
+
+module Set = Set.Make (String)
+module Map = Map.Make (String)

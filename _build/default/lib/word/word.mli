@@ -1,0 +1,47 @@
+(** Words over an alphabet.
+
+    Words are immutable strings; the binary alphabet additionally gets a
+    packed integer code (bit [i] set iff position [i] carries an ['a'])
+    which the set-perspective and the discrepancy machinery rely on for
+    fast enumeration. *)
+
+type t = string
+
+val length : t -> int
+val concat : t -> t -> t
+val concat_list : t list -> t
+val empty : t
+
+(** [is_over alpha w] checks every character of [w] belongs to [alpha]. *)
+val is_over : Alphabet.t -> t -> bool
+
+(** [slice w pos len] is the subword of length [len] starting at 0-based
+    [pos].  @raise Invalid_argument when out of range. *)
+val slice : t -> int -> int -> t
+
+(** [complement w] flips ['a'] and ['b'] (the \bar{w} of Example 4).
+    @raise Invalid_argument on non-binary characters. *)
+val complement : t -> t
+
+(** [enumerate alpha n] is all words of length [n] over [alpha] in
+    lexicographic order of character indices, as a lazy sequence. *)
+val enumerate : Alphabet.t -> int -> t Seq.t
+
+(** [count alpha n] is [|alpha|^n]. *)
+val count : Alphabet.t -> int -> Ucfg_util.Bignum.t
+
+(** [of_bits ~len bits] is the binary word of length [len] whose position
+    [i] (0-based) is ['a'] iff bit [i] of [bits] is set.  Requires
+    [len <= 62]. *)
+val of_bits : len:int -> int -> t
+
+(** [to_bits w] inverts {!of_bits}.  Requires a binary word with
+    [length w <= 62]. *)
+val to_bits : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,1 @@
+test/test_comm.ml: Alcotest Alphabet Biclique Cover_search Fooling Fun List Ln Matrix Printf Protocol Rank Splits Ucfg_comm Ucfg_lang Ucfg_rect Ucfg_util Ucfg_word

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Alphabet Csv Lang List Ln Ln_stream Printf QCheck QCheck_alcotest Report Search Separation Seq String Ucfg_cfg Ucfg_core Ucfg_lang Ucfg_util Ucfg_word Word

@@ -1,0 +1,1 @@
+test/test_disc.ml: Alcotest Blocks Bound Counts Discrepancy Float Format Fun List Option Partition Printf Seq Set_rectangle Setview Ucfg_cfg Ucfg_disc Ucfg_lang Ucfg_rect Ucfg_util

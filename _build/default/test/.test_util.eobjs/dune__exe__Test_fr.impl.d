@@ -1,0 +1,1 @@
+test/test_fr.ml: Alcotest Alphabet Analysis Constructions Drep Grammar Iso Join Lang List Ln Printf QCheck QCheck_alcotest Random_grammar Ucfg_cfg Ucfg_fr Ucfg_lang Ucfg_util Ucfg_word

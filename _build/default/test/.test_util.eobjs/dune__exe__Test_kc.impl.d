@@ -1,0 +1,1 @@
+test/test_kc.ml: Alcotest Array Circuit List Ln_circuit Printf QCheck QCheck_alcotest Seq Structured Ucfg_kc Ucfg_lang Ucfg_util Vtree

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Alphabet Lang List Ln Option Printf QCheck QCheck_alcotest Residual String Ucfg_automata Ucfg_lang Ucfg_util Ucfg_word Word

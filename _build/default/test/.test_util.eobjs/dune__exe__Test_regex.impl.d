@@ -1,0 +1,1 @@
+test/test_regex.ml: Alcotest Alphabet Glushkov Lang List Ln Ln_regex Printf QCheck QCheck_alcotest Regex Seq String Ucfg_automata Ucfg_lang Ucfg_regex Ucfg_util Ucfg_word Word

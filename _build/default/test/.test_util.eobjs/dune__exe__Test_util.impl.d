@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bignum Bitset Float Fun List Prelude Printf QCheck QCheck_alcotest Rng Ucfg_util

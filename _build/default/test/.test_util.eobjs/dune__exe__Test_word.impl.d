@@ -1,0 +1,1 @@
+test/test_word.ml: Alcotest Alphabet List QCheck QCheck_alcotest Seq Ucfg_util Ucfg_word Word

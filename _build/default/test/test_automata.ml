@@ -1,0 +1,529 @@
+(* Tests for the automata substrate: NFA core, determinization, DFA
+   minimization, unambiguity, the L_n automata (including the Theorem 1(2)
+   reproduction finding) and the grammar translations. *)
+
+open Ucfg_word
+open Ucfg_lang
+open Ucfg_automata
+module BN = Ucfg_util.Bignum
+
+let lang = Alcotest.testable Lang.pp Lang.equal
+
+(* NFA for (ab)* as a warm-up fixture *)
+let ab_star () =
+  Nfa.make ~alphabet:Alphabet.binary ~states:2 ~initials:[ 0 ] ~finals:[ 0 ]
+    ~transitions:[ (0, 'a', 1); (1, 'b', 0) ]
+    ()
+
+(* ambiguous NFA: two parallel paths for "ab" *)
+let ambiguous_ab () =
+  Nfa.make ~alphabet:Alphabet.binary ~states:5 ~initials:[ 0 ] ~finals:[ 3; 4 ]
+    ~transitions:
+      [ (0, 'a', 1); (1, 'b', 3); (0, 'a', 2); (2, 'b', 4) ]
+    ()
+
+let test_nfa_accepts () =
+  let m = ab_star () in
+  List.iter
+    (fun (w, expect) ->
+       Alcotest.(check bool) w expect (Nfa.accepts m w))
+    [ ("", true); ("ab", true); ("abab", true); ("a", false); ("ba", false);
+      ("aba", false) ]
+
+let test_nfa_epsilon () =
+  (* a?b via ε *)
+  let m =
+    Nfa.make ~alphabet:Alphabet.binary ~states:3 ~initials:[ 0 ] ~finals:[ 2 ]
+      ~transitions:[ (0, 'a', 1); (1, 'b', 2) ]
+      ~epsilons:[ (0, 1) ] ()
+  in
+  Alcotest.(check bool) "ab" true (Nfa.accepts m "ab");
+  Alcotest.(check bool) "b" true (Nfa.accepts m "b");
+  Alcotest.(check bool) "a" false (Nfa.accepts m "a");
+  let m' = Nfa.remove_epsilon m in
+  Alcotest.(check int) "no ε left" 0 (Nfa.epsilon_count m');
+  Alcotest.check lang "same language"
+    (Nfa.language m ~max_len:4)
+    (Nfa.language m' ~max_len:4)
+
+let test_nfa_product () =
+  (* (ab)* ∩ words of even length... (ab)* already even; intersect with
+     language of words starting with a *)
+  let starts_a =
+    Nfa.make ~alphabet:Alphabet.binary ~states:2 ~initials:[ 0 ] ~finals:[ 1 ]
+      ~transitions:[ (0, 'a', 1); (1, 'a', 1); (1, 'b', 1) ]
+      ()
+  in
+  let p = Nfa.product (ab_star ()) starts_a in
+  Alcotest.(check bool) "ab" true (Nfa.accepts p "ab");
+  Alcotest.(check bool) "ε excluded" false (Nfa.accepts p "");
+  Alcotest.check lang "language"
+    (Lang.inter
+       (Nfa.language (ab_star ()) ~max_len:4)
+       (Nfa.language starts_a ~max_len:4))
+    (Nfa.language p ~max_len:4)
+
+let test_nfa_union_reverse () =
+  let u = Nfa.union (ab_star ()) (Nfa.of_word_list Alphabet.binary [ "ba" ]) in
+  Alcotest.(check bool) "ab" true (Nfa.accepts u "ab");
+  Alcotest.(check bool) "ba" true (Nfa.accepts u "ba");
+  let r = Nfa.reverse (Nfa.of_word_list Alphabet.binary [ "ab"; "aab" ]) in
+  Alcotest.check lang "reversed" (Lang.of_list [ "ba"; "baa" ])
+    (Nfa.language r ~max_len:4)
+
+let test_nfa_trim () =
+  let m =
+    Nfa.make ~alphabet:Alphabet.binary ~states:4 ~initials:[ 0 ] ~finals:[ 1 ]
+      ~transitions:[ (0, 'a', 1); (0, 'b', 2); (3, 'a', 1) ]
+      ()
+  in
+  let t = Nfa.trim m in
+  Alcotest.(check int) "2 useful states" 2 (Nfa.state_count t);
+  Alcotest.check lang "language kept" (Lang.singleton "a")
+    (Nfa.language t ~max_len:3)
+
+let test_count_paths () =
+  let m = ambiguous_ab () in
+  let counts = Nfa.count_paths_by_length m 2 in
+  Alcotest.(check string) "two runs for ab" "2" (BN.to_string counts.(2))
+
+let test_determinize () =
+  let d = Determinize.run_exn (ambiguous_ab ()) in
+  Alcotest.check lang "same language" (Lang.singleton "ab")
+    (Dfa.language d ~max_len:3);
+  Alcotest.(check bool) "accepts" true (Dfa.accepts d "ab");
+  Alcotest.(check bool) "rejects" false (Dfa.accepts d "aa")
+
+let test_determinize_cap () =
+  match Determinize.run ~max_states:2 (Ln_nfa.build 4) with
+  | Error `Too_many_states -> ()
+  | Ok _ -> Alcotest.fail "expected state-cap overflow"
+
+let test_dfa_minimize () =
+  let d = Determinize.run_exn (ambiguous_ab ()) in
+  let m = Dfa.minimize d in
+  Alcotest.(check bool) "equivalent" true (Dfa.equivalent d m);
+  (* minimal DFA for {ab}: 4 states (start, after-a, accept, dead) *)
+  Alcotest.(check int) "4 states" 4 (Dfa.state_count m);
+  (* idempotent *)
+  Alcotest.(check int) "idempotent" 4 (Dfa.state_count (Dfa.minimize m))
+
+let test_dfa_complement () =
+  let d = Determinize.run_exn (Nfa.of_word_list Alphabet.binary [ "ab" ]) in
+  let c = Dfa.complement d in
+  Alcotest.(check bool) "ab rejected" false (Dfa.accepts c "ab");
+  Alcotest.(check bool) "aa accepted" true (Dfa.accepts c "aa");
+  Alcotest.(check bool) "ε accepted" true (Dfa.accepts c "")
+
+let test_dfa_count_words () =
+  let d = Determinize.run_exn (Ln_nfa.build 3) in
+  let counts = Dfa.count_words_by_length d 6 in
+  Alcotest.(check string) "|L_3| = 4^3-3^3 = 37" "37" (BN.to_string counts.(6));
+  Alcotest.(check string) "no length-5 words" "0" (BN.to_string counts.(5))
+
+(* --- L_n automata ------------------------------------------------------- *)
+
+let test_ln_nfa_exact () =
+  List.iter
+    (fun n ->
+       Alcotest.check lang
+         (Printf.sprintf "Ln_nfa %d accepts L_%d" n n)
+         (Ln.language n)
+         (Nfa.language (Ln_nfa.build n) ~max_len:(2 * n)))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_ln_nfa_no_longer_words () =
+  let m = Ln_nfa.build 3 in
+  Seq.iter
+    (fun w ->
+       if Nfa.accepts m w then Alcotest.failf "accepts length-7 word %s" w)
+    (Word.enumerate Alphabet.binary 7)
+
+let test_ln_nfa_quadratic_size () =
+  let sizes = List.map (fun n -> Nfa.state_count (Ln_nfa.build n)) [ 4; 8; 16 ] in
+  match sizes with
+  | [ s4; s8; s16 ] ->
+    (* doubling n should roughly quadruple the state count *)
+    Alcotest.(check bool)
+      (Printf.sprintf "quadratic growth: %d %d %d" s4 s8 s16)
+      true
+      (s8 > 3 * s4 && s8 < 6 * s4 && s16 > 3 * s8 && s16 < 6 * s8)
+  | _ -> assert false
+
+let test_ln_pattern () =
+  let p = Ln_nfa.pattern 3 in
+  Alcotest.(check int) "n+2 states" 5 (Nfa.state_count p);
+  (* the unbounded pattern accepts longer words too *)
+  Alcotest.(check bool) "long word" true (Nfa.accepts p "bbabbabb");
+  Alcotest.(check bool) "member of L_3" true (Nfa.accepts p "aabaab");
+  Alcotest.(check bool) "no match" false (Nfa.accepts p "aabbba");
+  (* L_n = pattern ∩ Σ^2n *)
+  List.iter
+    (fun n ->
+       let filtered =
+         Lang.filter
+           (fun w -> Nfa.accepts (Ln_nfa.pattern n) w)
+           (Lang.full Alphabet.binary (2 * n))
+       in
+       Alcotest.check lang
+         (Printf.sprintf "pattern ∩ Σ^%d = L_%d" (2 * n) n)
+         (Ln.language n) filtered)
+    [ 1; 2; 3; 4 ]
+
+let test_fooling_sets_are_fooling () =
+  (* the Ω(n²) certificate: each level's pairs satisfy the fooling
+     property exactly *)
+  List.iter
+    (fun n ->
+       List.iter
+         (fun i ->
+            let pairs = Array.of_list (Ln_nfa.fooling_set n i) in
+            Array.iteri
+              (fun k (x, y) ->
+                 if not (Ln.mem n (x ^ y)) then
+                   Alcotest.failf "n=%d i=%d: diagonal pair %d not in L_n" n i k;
+                 Array.iteri
+                   (fun j (_, y') ->
+                      if j <> k && Ln.mem n (x ^ y') then
+                        Alcotest.failf "n=%d i=%d: cross pair (%d,%d) in L_n" n
+                          i k j)
+                   pairs)
+              pairs)
+         (Ucfg_util.Prelude.range_incl 0 (2 * n)))
+    [ 1; 2; 3; 4; 6; 8 ]
+
+let test_state_lower_bound_quadratic () =
+  (* Σ_i min(i, 2n-i, n) = Θ(n²); exact value n²-n+... check monotone
+     quadratic behaviour and the closed form for a couple of n *)
+  let lb n = Ln_nfa.state_lower_bound n in
+  Alcotest.(check int) "n=2" (0 + 1 + 2 + 1 + 0) (lb 2);
+  Alcotest.(check bool) "quadratic" true
+    (lb 16 > 3 * lb 8 && lb 16 < 5 * lb 8);
+  (* the certified lower bound is consistent: our Θ(n²) NFA respects it *)
+  List.iter
+    (fun n ->
+       Alcotest.(check bool)
+         (Printf.sprintf "NFA(%d) >= bound" n)
+         true
+         (Nfa.state_count (Ln_nfa.build n) >= lb n))
+    [ 1; 2; 4; 8 ]
+
+let test_minimal_dfa_exponential () =
+  let dfa_size n = Dfa.state_count (Determinize.minimal_dfa (Ln_nfa.build n)) in
+  let s2 = dfa_size 2 and s3 = dfa_size 3 and s4 = dfa_size 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "DFA sizes grow fast: %d %d %d" s2 s3 s4)
+    true
+    (s3 >= 2 * s2 && s4 >= 2 * s3)
+
+(* --- unambiguity -------------------------------------------------------- *)
+
+let test_ufa_check () =
+  Alcotest.(check bool) "(ab)* unambiguous" true
+    (Unambiguous.is_unambiguous (ab_star ()));
+  Alcotest.(check bool) "parallel paths ambiguous" false
+    (Unambiguous.is_unambiguous (ambiguous_ab ()));
+  (* the guess-and-verify NFA is ambiguous for n >= 2: a word with two
+     matches has two runs *)
+  Alcotest.(check bool) "Ln_nfa 2 ambiguous" false
+    (Unambiguous.is_unambiguous (Ln_nfa.build 2));
+  Alcotest.(check bool) "Ln_nfa 1 unambiguous" true
+    (Unambiguous.is_unambiguous (Ln_nfa.build 1))
+
+let test_ambiguous_word () =
+  match Unambiguous.ambiguous_word (Ln_nfa.build 2) ~max_len:4 with
+  | None -> Alcotest.fail "expected an ambiguous word"
+  | Some w ->
+    (* must have two distinct matches *)
+    Alcotest.(check bool) ("two matches in " ^ w) true
+      (w.[0] = 'a' && w.[2] = 'a' && w.[1] = 'a' && w.[3] = 'a')
+
+let test_count_words_nfa () =
+  let counts = Unambiguous.count_words (Ln_nfa.build 3) 6 in
+  Alcotest.(check string) "|L_3|" "37" (BN.to_string counts.(6))
+
+(* --- translations ------------------------------------------------------- *)
+
+let test_cfg_of_nfa () =
+  List.iter
+    (fun n ->
+       let g = Translate.cfg_of_nfa (Ln_nfa.build n) in
+       Alcotest.check lang
+         (Printf.sprintf "right-linear grammar accepts L_%d" n)
+         (Ln.language n)
+         (Ucfg_cfg.Analysis.language_exn g))
+    [ 1; 2; 3 ]
+
+let test_cfg_of_nfa_tree_bijection () =
+  (* parse trees = accepting runs: ambiguous NFA gives ambiguous grammar *)
+  let g_amb = Translate.cfg_of_nfa (ambiguous_ab ()) in
+  Alcotest.(check bool) "ambiguous carried over" false
+    (Ucfg_cfg.Ambiguity.is_unambiguous g_amb);
+  let g_det = Translate.cfg_of_dfa (Determinize.run_exn (ambiguous_ab ())) in
+  Alcotest.(check bool) "DFA grammar unambiguous" true
+    (Ucfg_cfg.Ambiguity.is_unambiguous g_det)
+
+let test_right_linear_roundtrip () =
+  let g = Translate.cfg_of_nfa (Ln_nfa.build 2) in
+  let m = Translate.nfa_of_right_linear g in
+  Alcotest.check lang "roundtrip language" (Ln.language 2)
+    (Nfa.language m ~max_len:4)
+
+(* --- UFA for L_n ---------------------------------------------------------- *)
+
+let test_ufa_ln_exact_and_unambiguous () =
+  List.iter
+    (fun n ->
+       let u = Ufa_ln.build n in
+       Alcotest.check lang
+         (Printf.sprintf "UFA accepts L_%d" n)
+         (Ln.language n)
+         (Nfa.language u ~max_len:(2 * n));
+       Alcotest.(check bool)
+         (Printf.sprintf "UFA %d unambiguous" n)
+         true
+         (Unambiguous.is_unambiguous u))
+    [ 1; 2; 3; 4 ]
+
+let test_ufa_ln_size_sandwich () =
+  (* 2^n - 1 <= UFA states <= O(2^n); and exponentially above the plain
+     NFA *)
+  List.iter
+    (fun n ->
+       let states = Nfa.state_count (Ufa_ln.build n) in
+       let lb = Ufa_ln.state_lower_bound n in
+       Alcotest.(check bool)
+         (Printf.sprintf "n=%d: %d within [%d, %d]" n states lb (8 * lb))
+         true
+         (states >= lb && states <= 8 * lb))
+    [ 2; 3; 4; 5 ];
+  let nfa5 = Nfa.state_count (Ln_nfa.build 5) in
+  let ufa5 = Nfa.state_count (Ufa_ln.build 5) in
+  Alcotest.(check bool)
+    (Printf.sprintf "UFA %d > NFA %d" ufa5 nfa5)
+    true (ufa5 > 2 * nfa5)
+
+let test_ufa_lower_bound_is_rank () =
+  (* the Schmidt bound used is exactly the midpoint matrix rank *)
+  List.iter
+    (fun n ->
+       let m =
+         Ucfg_comm.Matrix.of_language Alphabet.binary (Ln.language n) ~split:n
+       in
+       Alcotest.(check int)
+         (Printf.sprintf "rank at n=%d" n)
+         (Ufa_ln.state_lower_bound n)
+         (Ucfg_comm.Rank.mod_p m))
+    [ 1; 2; 3; 4; 5 ]
+
+(* --- disambiguation (the KMN upper bound direction) ----------------------- *)
+
+let test_disambiguate_correct () =
+  List.iter
+    (fun (name, g) ->
+       let u = Disambiguate.ucfg_of_grammar g in
+       Alcotest.check lang (name ^ ": language preserved")
+         (Ucfg_cfg.Analysis.language_exn g)
+         (Ucfg_cfg.Analysis.language_exn u);
+       Alcotest.(check bool) (name ^ ": unambiguous") true
+         (Ucfg_cfg.Ambiguity.is_unambiguous u))
+    [
+      ("log_cfg 3", Ucfg_cfg.Constructions.log_cfg 3);
+      ("log_cfg 4", Ucfg_cfg.Constructions.log_cfg 4);
+      ("example3 1", Ucfg_cfg.Constructions.example3 1);
+    ]
+
+let test_disambiguate_empty () =
+  let empty =
+    Ucfg_cfg.Grammar.make ~alphabet:Alphabet.binary ~names:[| "S" |] ~rules:[]
+      ~start:0
+  in
+  Alcotest.check lang "empty stays empty" Lang.empty
+    (Ucfg_cfg.Analysis.language_exn (Disambiguate.ucfg_of_grammar empty))
+
+let test_disambiguate_blowup_exponential () =
+  (* CFG Θ(log n) -> canonical uCFG Θ(2^n): the measured face of the
+     double-exponential upper bound *)
+  let _, u4 = Disambiguate.blowup (Ucfg_cfg.Constructions.log_cfg 4) in
+  let s4, _ = Disambiguate.blowup (Ucfg_cfg.Constructions.log_cfg 4) in
+  let _, u6 = Disambiguate.blowup (Ucfg_cfg.Constructions.log_cfg 6) in
+  Alcotest.(check bool)
+    (Printf.sprintf "blowup: %d -> %d, and %d at n=6" s4 u4 u6)
+    true
+    (u4 > 4 * s4 && u6 > 3 * u4)
+
+(* --- Bar–Hillel ---------------------------------------------------------- *)
+
+let test_bar_hillel_rebuilds_ln () =
+  (* L_n = Σ^2n ∩ pattern: an independent route to a grammar for L_n *)
+  List.iter
+    (fun n ->
+       let cube = Ucfg_cfg.Constructions.sigma_chain Alphabet.binary (2 * n) in
+       let g = Bar_hillel.intersect cube (Ln_nfa.pattern n) in
+       Alcotest.check lang
+         (Printf.sprintf "Σ^%d ∩ pattern = L_%d" (2 * n) n)
+         (Ln.language n)
+         (Ucfg_cfg.Analysis.language_exn g))
+    [ 1; 2; 3; 4 ]
+
+let test_bar_hillel_ambiguity_tracks_runs () =
+  (* cube grammar unambiguous × ambiguous pattern NFA: the product is
+     exactly as ambiguous as the automaton's runs *)
+  let cube = Ucfg_cfg.Constructions.sigma_chain Alphabet.binary 4 in
+  let amb = Bar_hillel.intersect cube (Ln_nfa.pattern 2) in
+  Alcotest.(check bool) "ambiguous product" false
+    (Ucfg_cfg.Ambiguity.is_unambiguous amb);
+  (* with a DFA instead, the product stays unambiguous *)
+  let dfa = Determinize.run_exn (Ln_nfa.pattern 2) in
+  let unam = Bar_hillel.intersect cube (Dfa.to_nfa dfa) in
+  Alcotest.(check bool) "DFA product unambiguous" true
+    (Ucfg_cfg.Ambiguity.is_unambiguous unam);
+  Alcotest.check lang "same language"
+    (Ucfg_cfg.Analysis.language_exn amb)
+    (Ucfg_cfg.Analysis.language_exn unam)
+
+let test_bar_hillel_empty_cases () =
+  let cube = Ucfg_cfg.Constructions.sigma_chain Alphabet.binary 2 in
+  (* intersect with an automaton accepting nothing of length 2 *)
+  let only_long = Ln_nfa.build 3 in
+  let g = Bar_hillel.intersect cube only_long in
+  Alcotest.check lang "empty" Lang.empty (Ucfg_cfg.Analysis.language_exn g)
+
+let prop_bar_hillel_random =
+  QCheck.Test.make ~name:"Bar–Hillel = language intersection (random)"
+    ~count:30 (QCheck.int_range 0 100_000)
+    (fun seed ->
+       let rng = Ucfg_util.Rng.create seed in
+       let g =
+         Ucfg_cfg.Random_grammar.fixed_length rng ~word_len:4 ~variants:2
+       in
+       let words =
+         List.init (1 + Ucfg_util.Rng.int rng 6) (fun _ ->
+             Word.of_bits ~len:4 (Ucfg_util.Rng.bits62 rng land 15))
+       in
+       let nfa = Nfa.of_word_list Alphabet.binary words in
+       let inter = Bar_hillel.intersect g nfa in
+       Lang.equal
+         (Ucfg_cfg.Analysis.language_exn inter)
+         (Lang.inter
+            (Ucfg_cfg.Analysis.language_exn g)
+            (Lang.of_list words)))
+
+let prop_determinize_preserves =
+  QCheck.Test.make ~name:"determinization preserves language (random tries)"
+    ~count:40 (QCheck.int_range 0 100_000)
+    (fun seed ->
+       let rng = Ucfg_util.Rng.create seed in
+       let words =
+         List.init (1 + Ucfg_util.Rng.int rng 8) (fun _ ->
+             Word.of_bits ~len:(Ucfg_util.Rng.int rng 5)
+               (Ucfg_util.Rng.bits62 rng land 31))
+       in
+       let nfa = Nfa.of_word_list Alphabet.binary words in
+       let dfa = Determinize.run_exn nfa in
+       Lang.equal (Nfa.language nfa ~max_len:6) (Dfa.language dfa ~max_len:6))
+
+let prop_minimize_preserves =
+  QCheck.Test.make ~name:"minimization preserves language (random tries)"
+    ~count:40 (QCheck.int_range 0 100_000)
+    (fun seed ->
+       let rng = Ucfg_util.Rng.create seed in
+       let words =
+         List.init (1 + Ucfg_util.Rng.int rng 8) (fun _ ->
+             Word.of_bits ~len:(Ucfg_util.Rng.int rng 5)
+               (Ucfg_util.Rng.bits62 rng land 31))
+       in
+       let dfa = Determinize.run_exn (Nfa.of_word_list Alphabet.binary words) in
+       Dfa.equivalent dfa (Dfa.minimize dfa))
+
+let prop_trie_unambiguous =
+  QCheck.Test.make ~name:"word tries are unambiguous" ~count:40
+    (QCheck.int_range 0 100_000)
+    (fun seed ->
+       let rng = Ucfg_util.Rng.create seed in
+       let words =
+         List.init (1 + Ucfg_util.Rng.int rng 6) (fun _ ->
+             Word.of_bits ~len:(1 + Ucfg_util.Rng.int rng 4)
+               (Ucfg_util.Rng.bits62 rng land 15))
+       in
+       Unambiguous.is_unambiguous (Nfa.of_word_list Alphabet.binary words))
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_determinize_preserves; prop_minimize_preserves;
+      prop_trie_unambiguous; prop_bar_hillel_random ]
+
+let () =
+  Alcotest.run "ucfg_automata"
+    [
+      ( "nfa",
+        [
+          Alcotest.test_case "accepts" `Quick test_nfa_accepts;
+          Alcotest.test_case "epsilon" `Quick test_nfa_epsilon;
+          Alcotest.test_case "product" `Quick test_nfa_product;
+          Alcotest.test_case "union/reverse" `Quick test_nfa_union_reverse;
+          Alcotest.test_case "trim" `Quick test_nfa_trim;
+          Alcotest.test_case "path counting" `Quick test_count_paths;
+        ] );
+      ( "dfa",
+        [
+          Alcotest.test_case "determinize" `Quick test_determinize;
+          Alcotest.test_case "state cap" `Quick test_determinize_cap;
+          Alcotest.test_case "minimize" `Quick test_dfa_minimize;
+          Alcotest.test_case "complement" `Quick test_dfa_complement;
+          Alcotest.test_case "word counting" `Quick test_dfa_count_words;
+        ] );
+      ( "ln-automata",
+        [
+          Alcotest.test_case "exact language" `Quick test_ln_nfa_exact;
+          Alcotest.test_case "rejects other lengths" `Quick
+            test_ln_nfa_no_longer_words;
+          Alcotest.test_case "Θ(n²) size" `Quick test_ln_nfa_quadratic_size;
+          Alcotest.test_case "pattern automaton Θ(n)" `Quick test_ln_pattern;
+          Alcotest.test_case "fooling sets valid (Ω(n²))" `Quick
+            test_fooling_sets_are_fooling;
+          Alcotest.test_case "lower bound quadratic" `Quick
+            test_state_lower_bound_quadratic;
+          Alcotest.test_case "minimal DFA exponential" `Slow
+            test_minimal_dfa_exponential;
+        ] );
+      ( "unambiguous",
+        [
+          Alcotest.test_case "UFA check" `Quick test_ufa_check;
+          Alcotest.test_case "ambiguous word" `Quick test_ambiguous_word;
+          Alcotest.test_case "word counting" `Quick test_count_words_nfa;
+        ] );
+      ( "disambiguate",
+        [
+          Alcotest.test_case "correct + unambiguous" `Quick
+            test_disambiguate_correct;
+          Alcotest.test_case "empty language" `Quick test_disambiguate_empty;
+          Alcotest.test_case "exponential blowup" `Quick
+            test_disambiguate_blowup_exponential;
+        ] );
+      ( "ufa-ln",
+        [
+          Alcotest.test_case "exact + unambiguous" `Quick
+            test_ufa_ln_exact_and_unambiguous;
+          Alcotest.test_case "size sandwich 2^n" `Quick
+            test_ufa_ln_size_sandwich;
+          Alcotest.test_case "bound = rank" `Quick test_ufa_lower_bound_is_rank;
+        ] );
+      ( "bar-hillel",
+        [
+          Alcotest.test_case "rebuilds L_n" `Quick test_bar_hillel_rebuilds_ln;
+          Alcotest.test_case "ambiguity tracks runs" `Quick
+            test_bar_hillel_ambiguity_tracks_runs;
+          Alcotest.test_case "empty intersection" `Quick
+            test_bar_hillel_empty_cases;
+        ] );
+      ( "translate",
+        [
+          Alcotest.test_case "cfg_of_nfa language" `Quick test_cfg_of_nfa;
+          Alcotest.test_case "tree/run bijection" `Quick
+            test_cfg_of_nfa_tree_bijection;
+          Alcotest.test_case "right-linear roundtrip" `Quick
+            test_right_linear_roundtrip;
+        ] );
+      ("properties", qtests);
+    ]

@@ -1,0 +1,226 @@
+(* Tests for the communication complexity substrate: matrices, rank
+   bounds, fooling sets, protocol trees and the exact cover search. *)
+
+open Ucfg_word
+open Ucfg_lang
+open Ucfg_comm
+
+(* the L_n matrix at the midpoint split *)
+let ln_matrix n = Matrix.of_language Alphabet.binary (Ln.language n) ~split:n
+
+let test_matrix_basics () =
+  let m = ln_matrix 2 in
+  Alcotest.(check int) "rows" 4 (Matrix.rows m);
+  Alcotest.(check int) "cols" 4 (Matrix.cols m);
+  Alcotest.(check int) "ones = |L_2|" 7 (Matrix.ones m);
+  (* row of "aa" intersects everything except "bb" *)
+  let find_row w =
+    let rec go i = if Matrix.row_label m i = w then i else go (i + 1) in
+    go 0
+  in
+  let r_aa = find_row "aa" in
+  Alcotest.(check int) "aa row has 3 ones" 3
+    (Ucfg_util.Bitset.cardinal (Matrix.row m r_aa))
+
+let test_matrix_of_predicate () =
+  let m = Matrix.of_predicate ~rows:3 ~cols:3 (fun i j -> i = j) in
+  Alcotest.(check bool) "diag" true (Matrix.get m 1 1);
+  Alcotest.(check bool) "off" false (Matrix.get m 0 1);
+  Alcotest.(check int) "ones" 3 (Matrix.ones m)
+
+let test_rank_identity () =
+  let m = Matrix.of_predicate ~rows:8 ~cols:8 (fun i j -> i = j) in
+  Alcotest.(check int) "gf2 identity" 8 (Rank.gf2 m);
+  Alcotest.(check int) "mod_p identity" 8 (Rank.mod_p m)
+
+let test_rank_all_ones () =
+  let m = Matrix.of_predicate ~rows:5 ~cols:7 (fun _ _ -> true) in
+  Alcotest.(check int) "gf2 rank 1" 1 (Rank.gf2 m);
+  Alcotest.(check int) "mod_p rank 1" 1 (Rank.mod_p m)
+
+let test_rank_parity_differs () =
+  (* the complement-of-identity matrix J - I: rank n over Q (n >= 2), but
+     over GF(2) it can differ; for n=3: rows 011,101,110: gf2 rank 2 *)
+  let m = Matrix.of_predicate ~rows:3 ~cols:3 (fun i j -> i <> j) in
+  Alcotest.(check int) "gf2" 2 (Rank.gf2 m);
+  Alcotest.(check int) "mod p" 3 (Rank.mod_p m);
+  Alcotest.(check int) "combined bound" 3 (Rank.disjoint_cover_lower_bound m)
+
+let test_rank_ln () =
+  (* the midpoint L_n matrix M[x,y] = [x∧y ≠ 0] has full rank minus one
+     over ℚ: rank 2^n - 1 (the all-b row is zero); over GF(2) it is
+     also 2^n - 1 *)
+  List.iter
+    (fun n ->
+       let m = ln_matrix n in
+       let expect = (1 lsl n) - 1 in
+       Alcotest.(check int) (Printf.sprintf "mod_p n=%d" n) expect (Rank.mod_p m);
+       Alcotest.(check int) (Printf.sprintf "gf2 n=%d" n) expect (Rank.gf2 m))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_fooling_ln () =
+  (* the singleton pairs (e_k, e_k) fool the L_n matrix *)
+  let n = 4 in
+  let m = ln_matrix n in
+  let pairs = Fooling.diagonal m in
+  Alcotest.(check bool) "valid" true (Fooling.is_fooling m pairs);
+  Alcotest.(check bool) ">= n pairs" true (List.length pairs >= n);
+  let g = Fooling.greedy m in
+  Alcotest.(check bool) "greedy valid" true (Fooling.is_fooling m g);
+  Alcotest.(check bool) "greedy >= n" true (List.length g >= n)
+
+let test_fooling_rejects () =
+  let m = Matrix.of_predicate ~rows:2 ~cols:2 (fun _ _ -> true) in
+  Alcotest.(check bool) "two pairs in all-ones" false
+    (Fooling.is_fooling m [ (0, 0); (1, 1) ])
+
+let test_protocol_eval () =
+  let p = Protocol.intersects_protocol 4 in
+  for x = 0 to 15 do
+    for y = 0 to 15 do
+      if Protocol.eval p x y <> (x land y <> 0) then
+        Alcotest.failf "protocol wrong on (%d,%d)" x y
+    done
+  done;
+  Alcotest.(check int) "cost n+1" 5 (Protocol.cost p)
+
+let test_protocol_computes () =
+  let xs = List.init 16 Fun.id and ys = List.init 16 Fun.id in
+  Alcotest.(check bool) "computes intersection" true
+    (Protocol.computes (Protocol.intersects_protocol 4) ~xs ~ys (fun x y ->
+         x land y <> 0))
+
+let test_protocol_rectangles () =
+  let xs = List.init 8 Fun.id and ys = List.init 8 Fun.id in
+  let p = Protocol.intersects_protocol 3 in
+  Alcotest.(check bool) "leaf classes are rectangles" true
+    (Protocol.classes_are_rectangles p ~xs ~ys);
+  (* every pair lands in exactly one class: classes partition the space *)
+  let classes = Protocol.leaf_classes p ~xs ~ys in
+  let total =
+    Ucfg_util.Prelude.sum_int
+      (List.map (fun (rxs, rys, _) -> List.length rxs * List.length rys) classes)
+  in
+  Alcotest.(check int) "partition" 64 total
+
+let test_splits_profile () =
+  let rows = Splits.profile Alphabet.binary (Ln.language 3) in
+  Alcotest.(check int) "one row per split" 5 (List.length rows);
+  (* the midpoint split certifies the most *)
+  let mid = List.find (fun r -> r.Splits.split = 3) rows in
+  Alcotest.(check int) "midpoint rank" 7 mid.Splits.rank_gf2;
+  List.iter
+    (fun r ->
+       Alcotest.(check bool)
+         (Printf.sprintf "split %d: rank <= midpoint" r.Splits.split)
+         true
+         (r.Splits.rank_gf2 <= mid.Splits.rank_gf2))
+    rows
+
+let test_splits_balanced_min () =
+  (* the multi-partition adversary gets to use the weakest balanced split:
+     the certified single-split bound is the minimum over balanced
+     positions *)
+  let v = Splits.balanced_min_rank Alphabet.binary (Ln.language 3) in
+  Alcotest.(check bool) "positive and <= midpoint" true (v >= 1 && v <= 7)
+
+let test_biclique_cover () =
+  List.iter
+    (fun n ->
+       let m = ln_matrix n in
+       let cover = Biclique.greedy_cover m in
+       Alcotest.(check bool)
+         (Printf.sprintf "valid cover n=%d" n)
+         true
+         (Biclique.is_cover m cover);
+       let lower, upper = Biclique.cover_number_bounds m in
+       Alcotest.(check bool)
+         (Printf.sprintf "n=%d: %d <= cover <= %d, lower >= n" n lower upper)
+         true
+         (lower <= upper && lower >= n))
+    [ 2; 3; 4; 5 ]
+
+let test_biclique_vs_disjoint_gap () =
+  (* overlap is free for bicliques (≈ n-ish), crippling for disjoint
+     rectangles (2^n - 1 by rank): the paper's central asymmetry *)
+  let n = 5 in
+  let m = ln_matrix n in
+  let _, upper = Biclique.cover_number_bounds m in
+  Alcotest.(check bool)
+    (Printf.sprintf "biclique %d << rank %d" upper (Rank.gf2 m))
+    true
+    (2 * upper < Rank.gf2 m)
+
+let test_cover_search_l2 () =
+  (* ground truth: minimum disjoint cover of L_2 by balanced ordered
+     rectangles *)
+  match Cover_search.minimum_ln 2 with
+  | Cover_search.Exact k ->
+    (* sanity brackets: at least 2 (L_2 is not a rectangle), at most the
+       greedy cover *)
+    let greedy =
+      List.length (Ucfg_rect.Cover.greedy_disjoint_cover (Ln.language 2) ~n:2)
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "2 <= %d <= %d" k greedy)
+      true
+      (k >= 2 && k <= greedy)
+  | Cover_search.Budget_exhausted _ -> Alcotest.fail "n=2 should be exact"
+
+let test_cover_search_trivial () =
+  (* a rectangle needs exactly one rectangle *)
+  let target =
+    List.of_seq
+      (Ucfg_rect.Set_rectangle.members
+         (Ucfg_rect.Set_rectangle.of_string_rectangle
+            (Ucfg_rect.Rectangle.example8 2 0)))
+  in
+  match Cover_search.minimum ~n:2 target with
+  | Cover_search.Exact 1 -> ()
+  | Cover_search.Exact k -> Alcotest.failf "expected 1 rectangle, got %d" k
+  | Cover_search.Budget_exhausted _ -> Alcotest.fail "budget"
+
+let () =
+  Alcotest.run "ucfg_comm"
+    [
+      ( "matrix",
+        [
+          Alcotest.test_case "of_language" `Quick test_matrix_basics;
+          Alcotest.test_case "of_predicate" `Quick test_matrix_of_predicate;
+        ] );
+      ( "rank",
+        [
+          Alcotest.test_case "identity" `Quick test_rank_identity;
+          Alcotest.test_case "all ones" `Quick test_rank_all_ones;
+          Alcotest.test_case "GF(2) vs mod p" `Quick test_rank_parity_differs;
+          Alcotest.test_case "L_n rank 2^n - 1" `Slow test_rank_ln;
+        ] );
+      ( "fooling",
+        [
+          Alcotest.test_case "L_n diagonal" `Quick test_fooling_ln;
+          Alcotest.test_case "rejects non-fooling" `Quick test_fooling_rejects;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "eval" `Quick test_protocol_eval;
+          Alcotest.test_case "computes" `Quick test_protocol_computes;
+          Alcotest.test_case "leaves are rectangles" `Quick
+            test_protocol_rectangles;
+        ] );
+      ( "splits",
+        [
+          Alcotest.test_case "per-split profile" `Quick test_splits_profile;
+          Alcotest.test_case "balanced minimum" `Quick test_splits_balanced_min;
+        ] );
+      ( "biclique",
+        [
+          Alcotest.test_case "greedy cover valid" `Quick test_biclique_cover;
+          Alcotest.test_case "overlap vs disjoint gap" `Quick
+            test_biclique_vs_disjoint_gap;
+        ] );
+      ( "cover-search",
+        [
+          Alcotest.test_case "L_2 exact" `Quick test_cover_search_l2;
+          Alcotest.test_case "single rectangle" `Quick test_cover_search_trivial;
+        ] );
+    ]

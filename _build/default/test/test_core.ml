@@ -1,0 +1,276 @@
+(* Tests for the top layer: the separation report, the exhaustive minimal
+   searches and the CSV application. *)
+
+open Ucfg_word
+open Ucfg_lang
+open Ucfg_core
+module BN = Ucfg_util.Bignum
+
+let lang = Alcotest.testable Lang.pp Lang.equal
+
+(* --- separation ----------------------------------------------------------- *)
+
+let test_separation_small () =
+  List.iter
+    (fun n ->
+       let r = Separation.run n in
+       Alcotest.(check bool) (Printf.sprintf "n=%d verified" n) true
+         r.Separation.verified;
+       Alcotest.(check string)
+         (Printf.sprintf "|L_%d|" n)
+         (BN.to_string (Ln.cardinal n))
+         (BN.to_string r.Separation.language_cardinal))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_separation_shape () =
+  (* CFG logarithmic vs uCFG upper exponential vs NFA quadratic *)
+  let r8 = Separation.run 8 and r12 = Separation.run 12 in
+  Alcotest.(check bool) "CFG stays tiny" true
+    (r12.Separation.cfg_size < 2 * r8.Separation.cfg_size);
+  (match (r8.Separation.ucfg_upper, r12.Separation.ucfg_upper) with
+   | Some u8, Some u12 ->
+     Alcotest.(check bool) "uCFG upper explodes" true
+       (BN.compare u12 (BN.mul_int u8 8) > 0)
+   | _ -> Alcotest.fail "uCFG upper bounds should be built");
+  Alcotest.(check bool) "NFA superlinear but poly" true
+    (r12.Separation.nfa_states > r8.Separation.nfa_states
+     && r12.Separation.nfa_states < 4 * r8.Separation.nfa_states)
+
+let test_separation_example3_detection () =
+  let r5 = Separation.run 5 in
+  (* 5 = 2^2 + 1 *)
+  Alcotest.(check bool) "example3 present" true
+    (r5.Separation.example3_size <> None);
+  let r6 = Separation.run 6 in
+  Alcotest.(check bool) "example3 absent" true
+    (r6.Separation.example3_size = None)
+
+let test_separation_rows () =
+  let rows = Separation.rows [ Separation.run 2; Separation.run 3 ] in
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  List.iter
+    (fun row ->
+       Alcotest.(check int) "columns match headers"
+         (List.length Separation.headers)
+         (List.length row))
+    rows
+
+let test_report_table () =
+  let s =
+    Report.table ~title:"t" ~headers:[ "a"; "bb" ]
+      [ [ "1"; "2" ]; [ "333"; "4" ] ]
+  in
+  Alcotest.(check bool) "contains title" true
+    (String.length s > 0 && String.sub s 0 6 = "== t =")
+
+(* --- search ---------------------------------------------------------------- *)
+
+let test_minimal_dfa () =
+  (* {ab}: states start, after-a, accept, dead = 4 *)
+  Alcotest.(check int) "dfa {ab}" 4
+    (Search.minimal_dfa_states Alphabet.binary (Lang.singleton "ab"));
+  (* L_1 = {aa} *)
+  Alcotest.(check int) "dfa L_1" 4
+    (Search.minimal_dfa_states Alphabet.binary (Ln.language 1))
+
+let test_minimal_cnf_l1 () =
+  (* L_1 = {aa}: minimal CNF grammar is S -> AA, A -> a of size 4...
+     or with S itself: S -> SS impossible (cycle), so 2 nonterminals,
+     rules S->AA (2) + A->a (1) = size 3 *)
+  let res = Search.minimal_cnf_size Alphabet.binary (Ln.language 1) in
+  Alcotest.(check (option int)) "size 3" (Some 3) res.Search.minimal_size;
+  match res.Search.witness with
+  | Some g ->
+    Alcotest.check lang "witness accepts L_1" (Ln.language 1)
+      (Ucfg_cfg.Analysis.language_exn g)
+  | None -> Alcotest.fail "witness expected"
+
+let test_minimal_cnf_unambiguous_vs_plain () =
+  (* {a, aa}: plain and unambiguous minimal sizes coincide here, but the
+     search paths differ; check both return valid witnesses *)
+  let l = Lang.of_list [ "a"; "aa" ] in
+  let plain = Search.minimal_cnf_size Alphabet.binary l in
+  let unam = Search.minimal_cnf_size ~unambiguous:true Alphabet.binary l in
+  (match (plain.Search.minimal_size, unam.Search.minimal_size) with
+   | Some p, Some u ->
+     Alcotest.(check bool) (Printf.sprintf "plain %d <= unambiguous %d" p u)
+       true (p <= u)
+   | _ -> Alcotest.fail "both should succeed");
+  match unam.Search.witness with
+  | Some g ->
+    Alcotest.(check bool) "witness unambiguous" true
+      (Ucfg_cfg.Ambiguity.is_unambiguous g)
+  | None -> Alcotest.fail "witness expected"
+
+let test_minimal_cnf_budget () =
+  let res =
+    Search.minimal_cnf_size ~budget:100 Alphabet.binary (Ln.language 2)
+  in
+  Alcotest.(check bool) "budget exhausted" true res.Search.budget_exhausted
+
+(* --- csv ------------------------------------------------------------------- *)
+
+let test_csv_mem () =
+  let s = { Csv.columns = 2; width = 1 } in
+  (* rows "ab" and "bb": column 2 agrees *)
+  Alcotest.(check bool) "agree col 2" true (Csv.mem s "abbb");
+  Alcotest.(check bool) "no agreement" false (Csv.mem s "abba");
+  Alcotest.(check bool) "wrong length" false (Csv.mem s "ab")
+
+let test_csv_grammar () =
+  List.iter
+    (fun scheme ->
+       let g = Csv.grammar scheme in
+       Alcotest.check lang
+         (Printf.sprintf "P_S for %d cols width %d" scheme.Csv.columns
+            scheme.Csv.width)
+         (Csv.language scheme)
+         (Ucfg_cfg.Analysis.language_exn g))
+    [ { Csv.columns = 1; width = 1 }; { Csv.columns = 2; width = 1 };
+      { Csv.columns = 3; width = 1 }; { Csv.columns = 2; width = 2 } ]
+
+let test_csv_grammar_ambiguous () =
+  (* the cheap grammar is ambiguous as soon as two columns can agree *)
+  Alcotest.(check bool) "ambiguous" false
+    (Ucfg_cfg.Ambiguity.is_unambiguous (Csv.grammar { Csv.columns = 2; width = 1 }))
+
+let test_csv_embed () =
+  (* w ∈ L_n ⟺ embed w ∈ P_S, exhaustively for n <= 3 *)
+  List.iter
+    (fun n ->
+       let scheme = Csv.embedding_scheme n in
+       Seq.iter
+         (fun w ->
+            if Ln.mem n w <> Csv.mem scheme (Csv.embed n w) then
+              Alcotest.failf "embedding wrong on %s" w)
+         (Word.enumerate Alphabet.binary (2 * n)))
+    [ 1; 2; 3 ]
+
+let test_csv_embed_shape () =
+  let e = Csv.embed 2 "abba" in
+  Alcotest.(check int) "length" 8 (String.length e);
+  Alcotest.(check string) "encoding" "aaabbbaa" e
+
+let test_csv_comparison_ops () =
+  let s = { Csv.columns = 2; width = 2 } in
+  List.iter
+    (fun (name, op) ->
+       let g = Csv.grammar_op op s in
+       Alcotest.check lang
+         (Printf.sprintf "P_S^%s grammar correct" name)
+         (Csv.language_op op s)
+         (Ucfg_cfg.Analysis.language_exn g))
+    [ ("eq", Csv.Equal); ("leq", Csv.Leq); ("distinct", Csv.Distinct) ]
+
+let test_csv_comparison_semantics () =
+  let s = { Csv.columns = 1; width = 2 } in
+  (* rows "ab" and "ba": ab < ba lexicographically *)
+  Alcotest.(check bool) "leq holds" true (Csv.mem_op Csv.Leq s "abba");
+  Alcotest.(check bool) "geq direction fails" false (Csv.mem_op Csv.Leq s "baab");
+  Alcotest.(check bool) "distinct" true (Csv.mem_op Csv.Distinct s "abba");
+  Alcotest.(check bool) "equal fails" false (Csv.mem_op Csv.Equal s "abba");
+  Alcotest.(check bool) "equal reflexive" true (Csv.mem_op Csv.Equal s "abab");
+  Alcotest.(check bool) "leq reflexive" true (Csv.mem_op Csv.Leq s "abab")
+
+let test_csv_witnesses () =
+  let s = { Csv.columns = 3; width = 1 } in
+  Seq.iter
+    (fun w ->
+       let direct = Csv.witness_columns s w in
+       let parsed = Csv.witness_columns_by_parsing s w in
+       if direct <> parsed then
+         Alcotest.failf "witness mismatch on %s" w;
+       (* ambiguity degree of the full grammar = number of witnesses *)
+       let trees = Ucfg_cfg.Count_word.trees (Csv.grammar s) w in
+       if
+         not
+           (Ucfg_util.Bignum.equal trees
+              (Ucfg_util.Bignum.of_int (List.length direct)))
+       then Alcotest.failf "tree count != witnesses on %s" w)
+    (Word.enumerate Alphabet.binary 6)
+
+(* --- streaming ------------------------------------------------------------- *)
+
+let test_stream_matches_ln () =
+  List.iter
+    (fun n ->
+       Seq.iter
+         (fun w ->
+            let t = Ln_stream.feed_string (Ln_stream.create n) w in
+            if Ln_stream.accepted t <> Ln.mem n w then
+              Alcotest.failf "stream disagrees on %s (n=%d)" w n)
+         (Word.enumerate Alphabet.binary (2 * n)))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_stream_partial_not_accepted () =
+  let t = Ln_stream.feed_string (Ln_stream.create 3) "aab" in
+  Alcotest.(check bool) "not accepted midway" false (Ln_stream.accepted t);
+  Alcotest.(check int) "consumed" 3 (Ln_stream.chars_consumed t)
+
+let test_stream_rejects_overfeed () =
+  let t = Ln_stream.feed_string (Ln_stream.create 1) "aa" in
+  Alcotest.check_raises "overfeed"
+    (Invalid_argument "Ln_stream.feed: already consumed 2n characters")
+    (fun () -> ignore (Ln_stream.feed t 'a'))
+
+let prop_stream_random =
+  QCheck.Test.make ~name:"streaming recogniser = L_n membership" ~count:300
+    (QCheck.pair (QCheck.int_range 1 15) (QCheck.int_range 0 (1 lsl 30)))
+    (fun (n, bits) ->
+       let code = bits land ((1 lsl (2 * n)) - 1) in
+       let w = Word.of_bits ~len:(2 * n) code in
+       Ln_stream.accepted (Ln_stream.feed_string (Ln_stream.create n) w)
+       = Ln.mem n w)
+
+let test_csv_lower_bound () =
+  (* the additive constants (256·2n) eat small n; by 2000 columns the
+     bound is astronomically past 1000 *)
+  let s = { Csv.columns = 2000; width = 2 } in
+  Alcotest.(check bool) "exponential in columns" true
+    (BN.compare (Csv.ucfg_size_lower_bound s) (BN.of_int 1000) > 0)
+
+let () =
+  Alcotest.run "ucfg_core"
+    [
+      ( "separation",
+        [
+          Alcotest.test_case "small n verified" `Quick test_separation_small;
+          Alcotest.test_case "growth shapes" `Quick test_separation_shape;
+          Alcotest.test_case "example3 detection" `Quick
+            test_separation_example3_detection;
+          Alcotest.test_case "rows/headers" `Quick test_separation_rows;
+          Alcotest.test_case "report table" `Quick test_report_table;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "minimal DFA" `Quick test_minimal_dfa;
+          Alcotest.test_case "minimal CNF for L_1" `Quick test_minimal_cnf_l1;
+          Alcotest.test_case "unambiguous vs plain" `Quick
+            test_minimal_cnf_unambiguous_vs_plain;
+          Alcotest.test_case "budget handling" `Quick test_minimal_cnf_budget;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "membership" `Quick test_csv_mem;
+          Alcotest.test_case "grammar correct" `Quick test_csv_grammar;
+          Alcotest.test_case "grammar ambiguous" `Quick test_csv_grammar_ambiguous;
+          Alcotest.test_case "embedding exact" `Quick test_csv_embed;
+          Alcotest.test_case "embedding shape" `Quick test_csv_embed_shape;
+          Alcotest.test_case "lower bound transfers" `Quick test_csv_lower_bound;
+          Alcotest.test_case "comparison operators" `Quick
+            test_csv_comparison_ops;
+          Alcotest.test_case "comparison semantics" `Quick
+            test_csv_comparison_semantics;
+          Alcotest.test_case "witness extraction = ambiguity degree" `Quick
+            test_csv_witnesses;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "matches L_n" `Quick test_stream_matches_ln;
+          Alcotest.test_case "partial input" `Quick
+            test_stream_partial_not_accepted;
+          Alcotest.test_case "overfeed rejected" `Quick
+            test_stream_rejects_overfeed;
+          QCheck_alcotest.to_alcotest prop_stream_random;
+        ] );
+    ]

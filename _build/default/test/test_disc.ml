@@ -1,0 +1,271 @@
+(* Tests for the discrepancy argument: block structure, the exact Lemma 18
+   counts, the Lemma 19/23 discrepancy bounds and the final Theorem 12
+   lower bound. *)
+
+open Ucfg_rect
+open Ucfg_disc
+module BN = Ucfg_util.Bignum
+
+let bn = Alcotest.testable BN.pp BN.equal
+
+(* brute-force versions over the enumerated family *)
+let enum_counts blocks =
+  let n = Blocks.n blocks in
+  Seq.fold_left
+    (fun (a, b, b_not_ln) mask ->
+       if Blocks.in_a blocks mask then (a + 1, b, b_not_ln)
+       else begin
+         let in_ln = Setview.in_ln ~n mask in
+         (a, b + 1, if in_ln then b_not_ln else b_not_ln + 1)
+       end)
+    (0, 0, 0) (Blocks.family blocks)
+
+let test_family_basics () =
+  let blocks = Blocks.create 8 in
+  Alcotest.(check int) "m" 2 (Blocks.m blocks);
+  Alcotest.(check int) "2m blocks" 4 (List.length (Blocks.interval_masks blocks));
+  Alcotest.(check int) "family size 16^m" 256 (Seq.length (Blocks.family blocks));
+  Seq.iter
+    (fun mask ->
+       if not (Blocks.in_family blocks mask) then
+         Alcotest.failf "family member rejected: %d" mask)
+    (Blocks.family blocks)
+
+let test_in_family_rejects () =
+  let blocks = Blocks.create 4 in
+  Alcotest.(check bool) "empty set" false (Blocks.in_family blocks 0);
+  Alcotest.(check bool) "two in a block" false
+    (Blocks.in_family blocks 0b00010011)
+
+let test_a_members_in_ln () =
+  (* A ⊆ L_n: an odd number of matches is at least one match *)
+  List.iter
+    (fun n ->
+       let blocks = Blocks.create n in
+       Seq.iter
+         (fun mask ->
+            if Blocks.in_a blocks mask && not (Setview.in_ln ~n mask) then
+              Alcotest.failf "A member outside L_n at n=%d" n)
+         (Blocks.family blocks))
+    [ 4; 8 ]
+
+let test_lemma18_by_enumeration () =
+  List.iter
+    (fun m ->
+       let blocks = Blocks.create (4 * m) in
+       let a, b, b_not_ln = enum_counts blocks in
+       Alcotest.check bn
+         (Printf.sprintf "|A| m=%d" m)
+         (Counts.a_size ~m) (BN.of_int a);
+       Alcotest.check bn
+         (Printf.sprintf "|B| m=%d" m)
+         (Counts.b_size ~m) (BN.of_int b);
+       Alcotest.check bn
+         (Printf.sprintf "|B\\L_n| = 12^m, m=%d" m)
+         (Counts.b_minus_ln ~m) (BN.of_int b_not_ln);
+       Alcotest.check bn
+         (Printf.sprintf "|B|-|A| = 2^3m, m=%d" m)
+         (Counts.b_minus_a ~m)
+         (BN.of_int (b - a));
+       Alcotest.check bn
+         (Printf.sprintf "|𝓛| = 2^4m, m=%d" m)
+         (Counts.family_size ~m)
+         (BN.of_int (a + b)))
+    [ 1; 2; 3 ]
+
+let test_advantage () =
+  (* advantage = |A ∩ L_n| - |B ∩ L_n| = |A| - (|B| - |B\L_n|) *)
+  List.iter
+    (fun m ->
+       let blocks = Blocks.create (4 * m) in
+       let n = 4 * m in
+       let adv =
+         Seq.fold_left
+           (fun acc mask ->
+              if not (Setview.in_ln ~n mask) then acc
+              else if Blocks.in_a blocks mask then acc + 1
+              else acc - 1)
+           0 (Blocks.family blocks)
+       in
+       Alcotest.check bn
+         (Printf.sprintf "advantage m=%d" m)
+         (Counts.advantage ~m) (BN.of_int adv))
+    [ 1; 2; 3 ]
+
+let test_threshold () =
+  (* 12^m - 8^m > 2^(7m/2) first holds at m = 4 *)
+  Alcotest.(check int) "threshold m" 4 (Counts.smallest_threshold_m ());
+  Alcotest.(check bool) "m=3 below" false (Counts.advantage_exceeds_threshold ~m:3);
+  Alcotest.(check bool) "m=20 above" true (Counts.advantage_exceeds_threshold ~m:20)
+
+(* --- discrepancy bounds --------------------------------------------------- *)
+
+let test_tight_example_meets_lemma19 () =
+  List.iter
+    (fun m ->
+       let blocks = Blocks.create (4 * m) in
+       let r = Discrepancy.tight_example blocks in
+       let d = Discrepancy.of_rectangle blocks r in
+       Alcotest.check bn
+         (Printf.sprintf "full-family rectangle m=%d" m)
+         (Discrepancy.lemma19_bound ~m)
+         (BN.of_int (abs d)))
+    [ 1; 2; 3 ]
+
+let test_lemma19_exhaustive_m1 () =
+  (* n = 4: all [1,n]-rectangles whose components are family halves *)
+  let blocks = Blocks.create 4 in
+  let p = Partition.make ~n:4 1 4 in
+  let ins = Partition.inside p in
+  let halves_in = [ 0b0001; 0b0010; 0b0100; 0b1000 ] in
+  let halves_out = List.map (fun h -> h lsl 4) halves_in in
+  let bound = Option.get (BN.to_int (Discrepancy.lemma19_bound ~m:1)) in
+  ignore ins;
+  (* all 2^4 × 2^4 component subsets *)
+  let subsets l =
+    List.to_seq
+      (List.concat_map
+         (fun mask ->
+            [ List.filteri (fun i _ -> (mask lsr i) land 1 = 1) l ])
+         (List.init 16 Fun.id))
+  in
+  Seq.iter
+    (fun inner ->
+       Seq.iter
+         (fun outer ->
+            let r = Set_rectangle.make p ~outer ~inner in
+            let d = abs (Discrepancy.of_rectangle blocks r) in
+            if d > bound then
+              Alcotest.failf "Lemma 19 violated: %d > %d" d bound)
+         (subsets halves_out))
+    (subsets halves_in)
+
+let test_lemma19_random_m2 () =
+  let blocks = Blocks.create 8 in
+  let rng = Ucfg_util.Rng.create 42 in
+  let p = Partition.make ~n:8 1 8 in
+  let d = Discrepancy.max_over_random blocks ~rng ~samples:50 ~partition:p in
+  let bound = Option.get (BN.to_int (Discrepancy.lemma19_bound ~m:2)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "max %d <= 2^6 = %d" d bound)
+    true (d <= bound)
+
+let test_lemma23_all_neat_balanced_m2 () =
+  (* n = 8: every neat balanced ordered partition, random rectangles *)
+  let blocks = Blocks.create 8 in
+  let rng = Ucfg_util.Rng.create 7 in
+  List.iter
+    (fun p ->
+       if Partition.is_neat p then begin
+         let d =
+           Discrepancy.max_over_random blocks ~rng ~samples:20 ~partition:p
+         in
+         Alcotest.(check bool)
+           (Printf.sprintf "Lemma 23 at %s: %d"
+              (Format.asprintf "%a" Partition.pp p)
+              d)
+           true
+           (Discrepancy.within_lemma23_bound ~m:2 d)
+       end)
+    (Partition.all_balanced ~n:8)
+
+(* --- the final bound ------------------------------------------------------ *)
+
+let test_bound_growth () =
+  (* the bound is eventually exponential with slope
+     (log₂12 - 10/3)/4 ≈ 0.0629 bits per unit of n; additive constants
+     (the 256·2n divisors) need n in the thousands to wash out *)
+  let l2k = Bound.log2_ucfg_bound 2000 in
+  let l4k = Bound.log2_ucfg_bound 4000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "doubling n ~doubles log-bound: %f vs %f" l2k l4k)
+    true
+    (l4k > 1.7 *. l2k && l4k < 2.3 *. l2k);
+  let slope = (Float.log 12. /. Float.log 2. -. (10. /. 3.)) /. 4. in
+  let measured = (l4k -. l2k) /. 2000. in
+  Alcotest.(check bool)
+    (Printf.sprintf "slope %f ≈ %f" measured slope)
+    true
+    (Float.abs (measured -. slope) < 0.005)
+
+let test_bound_monotone_eventually () =
+  let b i = Bound.ucfg_size_lower_bound i in
+  Alcotest.(check bool) "b(200) < b(400)" true (BN.compare (b 200) (b 400) < 0);
+  Alcotest.(check bool) "b(400) < b(800)" true (BN.compare (b 400) (b 800) < 0)
+
+let test_first_nontrivial () =
+  let n0 = Bound.first_nontrivial_n () in
+  Alcotest.(check bool) "exists and below 300" true (n0 > 4 && n0 < 300);
+  Alcotest.(check bool) "bound at n0 >= 2" true
+    (BN.compare (Bound.ucfg_size_lower_bound n0) BN.two >= 0)
+
+let test_bound_vs_example4_upper () =
+  (* lower bound <= actual uCFG size (Example 4) wherever both are
+     available *)
+  List.iter
+    (fun n ->
+       let lower = Bound.ucfg_size_lower_bound n in
+       let upper =
+         BN.of_int (Ucfg_cfg.Grammar.size (Ucfg_cfg.Constructions.example4 n))
+       in
+       Alcotest.(check bool)
+         (Printf.sprintf "n=%d: lower %s <= upper %s" n (BN.to_string lower)
+            (BN.to_string upper))
+         true
+         (BN.compare lower upper <= 0))
+    [ 4; 8; 12 ]
+
+let test_small_n_consistency () =
+  (* for small n where we can compute actual disjoint covers, the certified
+     cover bound must not exceed them *)
+  List.iter
+    (fun n ->
+       let lb = Bound.cover_lower_bound n in
+       let greedy =
+         List.length (Ucfg_rect.Cover.greedy_disjoint_cover (Ucfg_lang.Ln.language n) ~n)
+       in
+       Alcotest.(check bool)
+         (Printf.sprintf "n=%d: certified %s <= greedy %d" n (BN.to_string lb)
+            greedy)
+         true
+         (BN.compare lb (BN.of_int greedy) <= 0))
+    [ 2; 3 ]
+
+let () =
+  Alcotest.run "ucfg_disc"
+    [
+      ( "blocks",
+        [
+          Alcotest.test_case "family basics" `Quick test_family_basics;
+          Alcotest.test_case "family rejection" `Quick test_in_family_rejects;
+          Alcotest.test_case "A ⊆ L_n" `Quick test_a_members_in_ln;
+        ] );
+      ( "lemma18",
+        [
+          Alcotest.test_case "counts by enumeration" `Quick
+            test_lemma18_by_enumeration;
+          Alcotest.test_case "advantage" `Quick test_advantage;
+          Alcotest.test_case "threshold 2^(7m/2)" `Quick test_threshold;
+        ] );
+      ( "discrepancy",
+        [
+          Alcotest.test_case "tight example (Lemma 19 equality)" `Quick
+            test_tight_example_meets_lemma19;
+          Alcotest.test_case "Lemma 19 exhaustive m=1" `Quick
+            test_lemma19_exhaustive_m1;
+          Alcotest.test_case "Lemma 19 random m=2" `Quick test_lemma19_random_m2;
+          Alcotest.test_case "Lemma 23 all neat balanced m=2" `Slow
+            test_lemma23_all_neat_balanced_m2;
+        ] );
+      ( "bound (Theorem 12)",
+        [
+          Alcotest.test_case "exponential growth" `Quick test_bound_growth;
+          Alcotest.test_case "eventual monotonicity" `Quick
+            test_bound_monotone_eventually;
+          Alcotest.test_case "first nontrivial n" `Quick test_first_nontrivial;
+          Alcotest.test_case "below Example 4 upper bound" `Quick
+            test_bound_vs_example4_upper;
+          Alcotest.test_case "small-n consistency" `Quick
+            test_small_n_consistency;
+        ] );
+    ]

@@ -1,0 +1,204 @@
+(* Tests for factorised representations: d-rep semantics, determinism,
+   the KMN isomorphism with CFGs, and the factorised join. *)
+
+open Ucfg_word
+open Ucfg_lang
+open Ucfg_cfg
+open Ucfg_fr
+module BN = Ucfg_util.Bignum
+
+let lang = Alcotest.testable Lang.pp Lang.equal
+
+let test_drep_semantics () =
+  (* ∪( ×(a b), ×(b a) ) *)
+  let d =
+    Drep.make ~alphabet:Alphabet.binary
+      ~nodes:
+        [| Drep.Letter 'a'; Drep.Letter 'b'; Drep.Prod [ 0; 1 ];
+           Drep.Prod [ 1; 0 ]; Drep.Union [ 2; 3 ] |]
+      ~root:4
+  in
+  Alcotest.check lang "denotation" (Lang.of_list [ "ab"; "ba" ])
+    (Drep.denotation d);
+  Alcotest.(check int) "size (edges)" 6 (Drep.size d);
+  Alcotest.(check bool) "deterministic" true (Drep.is_deterministic d)
+
+let test_drep_nondeterministic () =
+  (* a ∪ a: two derivations of the same word *)
+  let d =
+    Drep.make ~alphabet:Alphabet.binary
+      ~nodes:[| Drep.Letter 'a'; Drep.Letter 'a'; Drep.Union [ 0; 1 ] |]
+      ~root:2
+  in
+  Alcotest.(check bool) "not deterministic" false (Drep.is_deterministic d);
+  Alcotest.(check string) "2 tuples counted" "2"
+    (BN.to_string (Drep.count_tuples d))
+
+let test_drep_validation () =
+  Alcotest.check_raises "forward edge"
+    (Invalid_argument "Drep.make: children must precede their gate") (fun () ->
+        ignore
+          (Drep.make ~alphabet:Alphabet.binary
+             ~nodes:[| Drep.Union [ 1 ]; Drep.Letter 'a' |]
+             ~root:0))
+
+let test_drep_of_word_language () =
+  let d = Drep.of_word Alphabet.binary "abba" in
+  Alcotest.check lang "word" (Lang.singleton "abba") (Drep.denotation d);
+  let l = Ln.language 2 in
+  let d2 = Drep.of_language Alphabet.binary l in
+  Alcotest.check lang "language" l (Drep.denotation d2);
+  Alcotest.(check bool) "trivial rep deterministic" true
+    (Drep.is_deterministic d2)
+
+(* --- the KMN isomorphism ------------------------------------------------- *)
+
+let roundtrip_grammars () =
+  [
+    ("log_cfg 3", Constructions.log_cfg 3);
+    ("log_cfg 5", Constructions.log_cfg 5);
+    ("example3 1", Constructions.example3 1);
+    ("example4 3", Constructions.example4 3);
+    ("sigma 4", Constructions.sigma_chain Alphabet.binary 4);
+  ]
+
+let test_iso_preserves_language () =
+  List.iter
+    (fun (name, g) ->
+       let d = Iso.drep_of_cfg g in
+       Alcotest.check lang (name ^ ": drep language")
+         (Analysis.language_exn g) (Drep.denotation d);
+       let g' = Iso.cfg_of_drep d in
+       Alcotest.check lang (name ^ ": roundtrip")
+         (Analysis.language_exn g) (Analysis.language_exn g'))
+    (roundtrip_grammars ())
+
+let test_iso_preserves_determinism () =
+  let unam = Iso.drep_of_cfg (Constructions.example4 3) in
+  Alcotest.(check bool) "uCFG -> deterministic drep" true
+    (Drep.is_deterministic unam);
+  let amb = Iso.drep_of_cfg (Constructions.example3 1) in
+  Alcotest.(check bool) "ambiguous CFG -> nondeterministic drep" false
+    (Drep.is_deterministic amb)
+
+let test_iso_size_constant_factor () =
+  List.iter
+    (fun (name, g) ->
+       let g = Ucfg_cfg.Trim.trim g in
+       let d = Iso.drep_of_cfg g in
+       let gs = Grammar.size g and ds = Drep.size d in
+       Alcotest.(check bool)
+         (Printf.sprintf "%s: drep %d within [|G|/2, 2|G|+10] of %d" name ds gs)
+         true
+         (ds <= (2 * gs) + 10 && 2 * ds >= gs);
+       let g' = Iso.cfg_of_drep d in
+       Alcotest.(check bool)
+         (Printf.sprintf "%s: back size %d <= 2·%d" name (Grammar.size g') ds)
+         true
+         (Grammar.size g' <= 2 * ds))
+    (roundtrip_grammars ())
+
+let test_iso_counts_match () =
+  (* derivation counts transfer through the isomorphism *)
+  List.iter
+    (fun (name, g) ->
+       let d = Iso.drep_of_cfg g in
+       Alcotest.(check string)
+         (name ^ ": tuple count = tree count")
+         (BN.to_string (Analysis.count_trees_total (Ucfg_cfg.Trim.trim g)))
+         (BN.to_string (Drep.count_tuples d)))
+    (roundtrip_grammars ())
+
+(* --- joins ---------------------------------------------------------------- *)
+
+let test_join_semantics () =
+  let r = Join.make ~width:2 [ ("aa", "ab"); ("ab", "ab"); ("bb", "ba") ] in
+  let s = Join.make ~width:2 [ ("ab", "aa"); ("ab", "bb"); ("ba", "aa") ] in
+  let tuples = Join.join_tuples r s in
+  Alcotest.(check int) "5 join tuples" 5 (Lang.cardinal tuples);
+  let d = Join.factorize r s in
+  Alcotest.check lang "factorised = materialised" tuples (Drep.denotation d);
+  Alcotest.(check bool) "deterministic" true (Drep.is_deterministic d)
+
+let test_join_sizes () =
+  (* skewed workload: factorised stays linear while materialised goes
+     quadratic *)
+  let rng = Ucfg_util.Rng.create 99 in
+  let hot = "aaaaaaaa" in
+  let r =
+    Join.random_relation rng ~width:8 ~size:64 ~skew:1.0 ~join_side:`Second
+      ~hot ()
+  in
+  let s =
+    Join.random_relation rng ~width:8 ~size:64 ~skew:1.0 ~join_side:`First
+      ~hot ()
+  in
+  let mat = Join.materialized_size r s in
+  let fac = Drep.size (Join.factorize r s) in
+  Alcotest.(check bool)
+    (Printf.sprintf "factorised %d << materialised %d" fac mat)
+    true
+    (fac * 8 < mat)
+
+let prop_join_factorization_correct =
+  QCheck.Test.make ~name:"factorised join = materialised join (random)"
+    ~count:40 (QCheck.int_range 0 100_000)
+    (fun seed ->
+       let rng = Ucfg_util.Rng.create seed in
+       let skew = Ucfg_util.Rng.float rng in
+       let hot = "aba" in
+       let r =
+         Join.random_relation rng ~width:3 ~size:12 ~skew ~join_side:`Second
+           ~hot ()
+       in
+       let s =
+         Join.random_relation rng ~width:3 ~size:12 ~skew ~join_side:`First
+           ~hot ()
+       in
+       let tuples = Join.join_tuples r s in
+       let d = Join.factorize r s in
+       Lang.equal tuples (Drep.denotation d) && Drep.is_deterministic d)
+
+let prop_iso_random_grammars =
+  QCheck.Test.make ~name:"KMN isomorphism on random grammars" ~count:40
+    (QCheck.int_range 0 100_000)
+    (fun seed ->
+       let rng = Ucfg_util.Rng.create seed in
+       let g = Random_grammar.fixed_length rng ~word_len:4 ~variants:2 in
+       let d = Iso.drep_of_cfg g in
+       let back = Iso.cfg_of_drep d in
+       Lang.equal (Analysis.language_exn g) (Drep.denotation d)
+       && Lang.equal (Analysis.language_exn g) (Analysis.language_exn back))
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_join_factorization_correct; prop_iso_random_grammars ]
+
+let () =
+  Alcotest.run "ucfg_fr"
+    [
+      ( "drep",
+        [
+          Alcotest.test_case "semantics" `Quick test_drep_semantics;
+          Alcotest.test_case "nondeterminism" `Quick test_drep_nondeterministic;
+          Alcotest.test_case "validation" `Quick test_drep_validation;
+          Alcotest.test_case "of_word/of_language" `Quick
+            test_drep_of_word_language;
+        ] );
+      ( "iso (KMN)",
+        [
+          Alcotest.test_case "language preserved" `Quick
+            test_iso_preserves_language;
+          Alcotest.test_case "determinism ↔ unambiguity" `Quick
+            test_iso_preserves_determinism;
+          Alcotest.test_case "size constant factor" `Quick
+            test_iso_size_constant_factor;
+          Alcotest.test_case "counts transfer" `Quick test_iso_counts_match;
+        ] );
+      ( "join",
+        [
+          Alcotest.test_case "semantics" `Quick test_join_semantics;
+          Alcotest.test_case "size separation" `Quick test_join_sizes;
+        ] );
+      ("properties", qtests);
+    ]

@@ -1,0 +1,181 @@
+(* Cross-library integration properties: the pipelines of the paper
+   composed end to end on randomised inputs.  Each test here crosses at
+   least two libraries. *)
+
+open Ucfg_word
+open Ucfg_lang
+open Ucfg_cfg
+module BN = Ucfg_util.Bignum
+
+let arb_seed = QCheck.int_range 0 1_000_000
+
+(* random word lists as finite-language fixtures *)
+let random_words rng ~len ~count =
+  List.init count (fun _ ->
+      Word.of_bits ~len (Ucfg_util.Rng.bits62 rng land ((1 lsl len) - 1)))
+
+let prop_pipeline_language_agreement =
+  (* trivial grammar = trie NFA = minimal DFA = d-rep = canonical uCFG:
+     five routes, one language *)
+  QCheck.Test.make ~name:"five representations, one language" ~count:30
+    arb_seed
+    (fun seed ->
+       let rng = Ucfg_util.Rng.create seed in
+       let words = random_words rng ~len:4 ~count:(1 + Ucfg_util.Rng.int rng 8) in
+       let l = Lang.of_list words in
+       let g = Constructions.of_language Alphabet.binary l in
+       let nfa = Ucfg_automata.Nfa.of_word_list Alphabet.binary words in
+       let dfa = Ucfg_automata.Determinize.minimal_dfa nfa in
+       let drep = Ucfg_fr.Iso.drep_of_cfg g in
+       let ucfg = Ucfg_automata.Disambiguate.ucfg_of_grammar g in
+       Lang.equal l (Analysis.language_exn g)
+       && Lang.equal l (Ucfg_automata.Nfa.language nfa ~max_len:4)
+       && Lang.equal l (Ucfg_automata.Dfa.language dfa ~max_len:4)
+       && Lang.equal l (Ucfg_fr.Drep.denotation drep)
+       && Lang.equal l (Analysis.language_exn ucfg))
+
+let prop_extract_counts_vs_language =
+  (* Proposition 7 on uCFGs built from random languages: Σ|R_i| = |L| *)
+  QCheck.Test.make ~name:"disjoint covers partition the language exactly"
+    ~count:20 arb_seed
+    (fun seed ->
+       let rng = Ucfg_util.Rng.create seed in
+       let words = random_words rng ~len:4 ~count:(2 + Ucfg_util.Rng.int rng 8) in
+       let l = Lang.of_list words in
+       let g = Constructions.of_language Alphabet.binary l in
+       let res = Ucfg_rect.Extract.run g in
+       let v, _ = Ucfg_rect.Extract.verify g res in
+       v.Ucfg_rect.Cover.is_cover && v.Ucfg_rect.Cover.is_disjoint
+       && v.Ucfg_rect.Cover.sum_cardinals = Lang.cardinal l)
+
+let prop_direct_access_on_dfa_grammars =
+  (* direct access through any unambiguous grammar enumerates the language
+     bijectively *)
+  QCheck.Test.make ~name:"nth/rank bijective on DFA-derived uCFGs" ~count:20
+    arb_seed
+    (fun seed ->
+       let rng = Ucfg_util.Rng.create seed in
+       let words = random_words rng ~len:5 ~count:(1 + Ucfg_util.Rng.int rng 10) in
+       let l = Lang.of_list words in
+       let g =
+         Cnf.of_grammar
+           (Ucfg_automata.Disambiguate.ucfg_of_grammar
+              (Constructions.of_language Alphabet.binary l))
+       in
+       let da = Direct_access.create g ~max_len:5 in
+       match BN.to_int (Direct_access.total da) with
+       | Some total when total = Lang.cardinal l ->
+         List.for_all
+           (fun i ->
+              match Direct_access.nth da (BN.of_int i) with
+              | Some w ->
+                Lang.mem w l
+                && Direct_access.rank da w = Some (BN.of_int i)
+              | None -> false)
+           (Ucfg_util.Prelude.range 0 total)
+       | _ -> false)
+
+let prop_weighted_counting_matches_drep =
+  (* Σ-counting through grammars equals tuple counting through the KMN
+     isomorphism *)
+  QCheck.Test.make ~name:"CFG tree totals = d-rep tuple counts" ~count:30
+    arb_seed
+    (fun seed ->
+       let rng = Ucfg_util.Rng.create seed in
+       let g = Random_grammar.fixed_length rng ~word_len:4 ~variants:2 in
+       let g = Trim.trim g in
+       BN.equal
+         (Analysis.count_trees_total g)
+         (Ucfg_fr.Drep.count_tuples (Ucfg_fr.Iso.drep_of_cfg g)))
+
+let prop_slp_char_at_total =
+  QCheck.Test.make ~name:"SLP char_at reconstructs to_word" ~count:50
+    arb_seed
+    (fun seed ->
+       let rng = Ucfg_util.Rng.create seed in
+       let len = 1 + Ucfg_util.Rng.int rng 24 in
+       let w = Word.of_bits ~len (Ucfg_util.Rng.bits62 rng land ((1 lsl len) - 1)) in
+       let s = Slp.of_word w in
+       let k = 1 + Ucfg_util.Rng.int rng 4 in
+       let p = Slp.power s k in
+       let expanded = Slp.to_word p in
+       String.length expanded = len * k
+       && List.for_all
+            (fun i -> Char.equal expanded.[i] (Slp.char_at p (BN.of_int i)))
+            (Ucfg_util.Prelude.range 0 (String.length expanded)))
+
+let prop_stream_vs_nfa =
+  (* two O(1)-per-character recognisers agree: the streaming window and the
+     NFA simulation *)
+  QCheck.Test.make ~name:"streaming window = NFA simulation" ~count:100
+    arb_seed
+    (fun seed ->
+       let rng = Ucfg_util.Rng.create seed in
+       let n = 1 + Ucfg_util.Rng.int rng 6 in
+       let code = Ucfg_util.Rng.bits62 rng land ((1 lsl (2 * n)) - 1) in
+       let w = Word.of_bits ~len:(2 * n) code in
+       let stream =
+         Ln_stream.accepted (Ln_stream.feed_string (Ln_stream.create n) w)
+       in
+       stream = Ucfg_automata.Nfa.accepts (Ucfg_automata.Ln_nfa.build n) w)
+
+let prop_bar_hillel_vs_product_route =
+  (* two intersection routes agree: Bar–Hillel on grammars, product on
+     automata *)
+  QCheck.Test.make ~name:"Bar–Hillel = NFA product route" ~count:20 arb_seed
+    (fun seed ->
+       let rng = Ucfg_util.Rng.create seed in
+       let words = random_words rng ~len:4 ~count:(1 + Ucfg_util.Rng.int rng 8) in
+       let nfa1 = Ucfg_automata.Nfa.of_word_list Alphabet.binary words in
+       let words2 = random_words rng ~len:4 ~count:(1 + Ucfg_util.Rng.int rng 8) in
+       let nfa2 = Ucfg_automata.Nfa.of_word_list Alphabet.binary words2 in
+       let via_grammar =
+         Analysis.language_exn
+           (Ucfg_automata.Bar_hillel.intersect
+              (Constructions.of_language Alphabet.binary (Lang.of_list words))
+              nfa2)
+       in
+       let via_product =
+         Ucfg_automata.Nfa.language
+           (Ucfg_automata.Nfa.product nfa1 nfa2)
+           ~max_len:4
+       in
+       Lang.equal via_grammar via_product)
+
+let prop_census_total =
+  (* summing the Parikh census recovers the word count *)
+  QCheck.Test.make ~name:"census coefficients sum to the word count" ~count:15
+    (QCheck.int_range 1 4)
+    (fun n ->
+       let module WPoly = Weighted.Make (Semiring.Polynomial) in
+       let g = Cnf.of_grammar (Constructions.example4 n) in
+       let weight r =
+         match r.Grammar.rhs with
+         | [ Grammar.T 'a' ] -> Semiring.Polynomial.x
+         | _ -> Semiring.Polynomial.one
+       in
+       let poly = WPoly.length_weight ~rule_weight:weight g (2 * n) in
+       let total =
+         BN.sum
+           (List.map
+              (Semiring.Polynomial.coeff poly)
+              (Ucfg_util.Prelude.range_incl 0 (2 * n)))
+       in
+       BN.equal total (Ln.cardinal n))
+
+let () =
+  Alcotest.run "ucfg_integration"
+    [
+      ( "pipelines",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_pipeline_language_agreement;
+            prop_extract_counts_vs_language;
+            prop_direct_access_on_dfa_grammars;
+            prop_weighted_counting_matches_drep;
+            prop_slp_char_at_total;
+            prop_stream_vs_nfa;
+            prop_bar_hillel_vs_product_route;
+            prop_census_total;
+          ] );
+    ]

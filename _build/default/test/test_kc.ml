@@ -1,0 +1,225 @@
+(* Tests for the knowledge-compilation circuits and the L_n Boolean
+   functions. *)
+
+open Ucfg_kc
+module BN = Ucfg_util.Bignum
+
+let bn = Alcotest.testable BN.pp BN.equal
+
+(* (v0 ∧ v1) ∨ (¬v0 ∧ v2): a deterministic, decomposable decision on v0 *)
+let decision () =
+  Circuit.make ~vars:3
+    ~nodes:
+      [|
+        Circuit.Lit (0, true); Circuit.Lit (1, true); Circuit.Lit (0, false);
+        Circuit.Lit (2, true); Circuit.And [ 0; 1 ]; Circuit.And [ 2; 3 ];
+        Circuit.Or [ 4; 5 ];
+      |]
+    ~root:6
+
+let test_evaluate () =
+  let c = decision () in
+  Alcotest.(check bool) "110" true (Circuit.evaluate c [| true; true; false |]);
+  Alcotest.(check bool) "101" false (Circuit.evaluate c [| true; false; true |]);
+  Alcotest.(check bool) "001" true (Circuit.evaluate c [| false; false; true |])
+
+let test_structural_checks () =
+  let c = decision () in
+  Alcotest.(check bool) "decomposable" true (Circuit.is_decomposable c);
+  Alcotest.(check bool) "deterministic" true (Circuit.is_deterministic c);
+  Alcotest.(check bool) "not smooth" false (Circuit.is_smooth c);
+  (* a non-decomposable And: v0 ∧ v0 *)
+  let bad =
+    Circuit.make ~vars:1
+      ~nodes:[| Circuit.Lit (0, true); Circuit.Lit (0, true); Circuit.And [ 0; 1 ] |]
+      ~root:2
+  in
+  Alcotest.(check bool) "shared-var And" false (Circuit.is_decomposable bad)
+
+let test_model_count () =
+  let c = decision () in
+  (* models: v0=1: v1=1 (v2 free) -> 2; v0=0: v2=1 (v1 free) -> 2 *)
+  Alcotest.check bn "dp count" (BN.of_int 4) (Circuit.model_count c);
+  Alcotest.check bn "brute agrees" (BN.of_int 4) (Circuit.model_count_brute c);
+  Alcotest.(check int) "models enumerated" 4 (Seq.length (Circuit.models c))
+
+let test_nondeterministic_overcounts () =
+  (* v0 ∨ v1: DP with smoothing counts 2+2 = 4 > 3 actual models *)
+  let c =
+    Circuit.make ~vars:2
+      ~nodes:[| Circuit.Lit (0, true); Circuit.Lit (1, true); Circuit.Or [ 0; 1 ] |]
+      ~root:2
+  in
+  Alcotest.(check bool) "not deterministic" false (Circuit.is_deterministic c);
+  Alcotest.check bn "brute 3" (BN.of_int 3) (Circuit.model_count_brute c);
+  Alcotest.check bn "dp overcounts to 4" (BN.of_int 4) (Circuit.model_count c)
+
+let test_ln_circuits_semantics () =
+  List.iter
+    (fun n ->
+       let naive = Ln_circuit.naive n in
+       let det = Ln_circuit.deterministic n in
+       (* both compute INT_n: model masks = codes of L_n *)
+       let expected = List.of_seq (Ucfg_lang.Ln.codes n) in
+       Alcotest.(check (list int))
+         (Printf.sprintf "naive models n=%d" n)
+         expected
+         (List.of_seq (Circuit.models naive));
+       Alcotest.(check (list int))
+         (Printf.sprintf "det models n=%d" n)
+         expected
+         (List.of_seq (Circuit.models det)))
+    [ 1; 2; 3; 4 ]
+
+let test_ln_circuits_classes () =
+  let n = 4 in
+  let naive = Ln_circuit.naive n in
+  let det = Ln_circuit.deterministic n in
+  Alcotest.(check bool) "naive decomposable" true (Circuit.is_decomposable naive);
+  Alcotest.(check bool) "naive NOT deterministic (n >= 2)" false
+    (Circuit.is_deterministic naive);
+  Alcotest.(check bool) "det decomposable" true (Circuit.is_decomposable det);
+  Alcotest.(check bool) "det deterministic" true (Circuit.is_deterministic det)
+
+let test_ln_model_counts () =
+  (* the d-DNNF DP counts |L_n| = 4^n - 3^n exactly, even beyond brute
+     force *)
+  List.iter
+    (fun n ->
+       Alcotest.check bn
+         (Printf.sprintf "4^%d - 3^%d" n n)
+         (Ucfg_lang.Ln.cardinal n)
+         (Circuit.model_count (Ln_circuit.deterministic n)))
+    [ 1; 2; 3; 4; 8; 16; 24 ]
+
+let test_ln_sizes () =
+  (* naive Θ(n), deterministic Θ(n²) — determinism is cheap for the
+     Boolean function (the paper's hardness is in the word structure) *)
+  let s_naive n = Circuit.size (Ln_circuit.naive n) in
+  let s_det n = Circuit.size (Ln_circuit.deterministic n) in
+  Alcotest.(check bool) "naive linear" true
+    (s_naive 32 < 2 * s_naive 16 + 8);
+  Alcotest.(check bool) "det quadratic-ish" true
+    (s_det 32 > 3 * s_det 16 && s_det 32 < 5 * s_det 16)
+
+(* --- structured circuits (vtrees, rectangles) ----------------------------- *)
+
+let test_vtree_basics () =
+  let t = Vtree.balanced [ 0; 1; 2; 3 ] in
+  Alcotest.(check (list int)) "variables" [ 0; 1; 2; 3 ] (Vtree.variables t);
+  let l, r = Vtree.root_split t in
+  Alcotest.(check (list int)) "left" [ 0; 1 ] l;
+  Alcotest.(check (list int)) "right" [ 2; 3 ] r;
+  Alcotest.(check int) "subtrees" 7 (List.length (Vtree.subtrees t));
+  let rl = Vtree.right_linear [ 0; 1; 2 ] in
+  Alcotest.(check (list int)) "right-linear" [ 0; 1; 2 ] (Vtree.variables rl)
+
+let test_structured_semantics () =
+  List.iter
+    (fun n ->
+       let c = Ln_circuit.structured n in
+       Alcotest.(check (list int))
+         (Printf.sprintf "structured models n=%d" n)
+         (List.of_seq (Ucfg_lang.Ln.codes n))
+         (List.of_seq (Circuit.models c));
+       Alcotest.(check bool) "deterministic" true (Circuit.is_deterministic c);
+       Alcotest.(check bool) "decomposable" true (Circuit.is_decomposable c);
+       Alcotest.(check bool) "respects its vtree" true
+         (Structured.respects (Ln_circuit.structured_vtree n) c))
+    [ 1; 2; 3; 4 ]
+
+let test_unstructured_does_not_respect () =
+  (* the O(n²) first-match circuit is NOT structured over the X|Y vtree:
+     its no-match gates mix both sides below n-ary conjunctions *)
+  let n = 3 in
+  Alcotest.(check bool) "deterministic circuit unstructured" false
+    (Structured.respects (Ln_circuit.structured_vtree n)
+       (Ln_circuit.deterministic n))
+
+let test_structured_rectangles () =
+  (* the BCMS decomposition: one rectangle per root conjunct, disjoint
+     cover, and the count is exactly 2^n - 1 = the rank bound — the
+     structured circuit is rectangle-optimal *)
+  List.iter
+    (fun n ->
+       let c = Ln_circuit.structured n in
+       let v = Structured.verify (Ln_circuit.structured_vtree n) c in
+       Alcotest.(check bool) "cover" true v.Structured.is_cover;
+       Alcotest.(check bool) "disjoint" true v.Structured.is_disjoint;
+       Alcotest.(check int)
+         (Printf.sprintf "2^%d - 1 rectangles" n)
+         ((1 lsl n) - 1)
+         v.Structured.rectangle_count)
+    [ 1; 2; 3; 4 ]
+
+let test_structured_rectangles_nondeterministic () =
+  (* a nondeterministic root-DNF circuit still covers, not disjointly:
+     (x0 ∧ y0-or-y1) ∨ (x0-or-x1 ∧ y0) over 4 vars *)
+  let c =
+    Circuit.make ~vars:4
+      ~nodes:
+        [|
+          Circuit.Lit (0, true); Circuit.Lit (1, true); Circuit.Lit (2, true);
+          Circuit.Lit (3, true); Circuit.Or [ 2; 3 ]; Circuit.Or [ 0; 1 ];
+          Circuit.And [ 0; 4 ]; Circuit.And [ 5; 2 ]; Circuit.Or [ 6; 7 ];
+        |]
+      ~root:8
+  in
+  let vtree = Vtree.Node (Vtree.right_linear [ 0; 1 ], Vtree.right_linear [ 2; 3 ]) in
+  let v = Structured.verify vtree c in
+  Alcotest.(check bool) "cover" true v.Structured.is_cover;
+  Alcotest.(check bool) "overlapping" false v.Structured.is_disjoint
+
+let test_structured_sizes () =
+  (* exponential, as the rank bound forces *)
+  let s n = Circuit.size (Ln_circuit.structured n) in
+  Alcotest.(check bool)
+    (Printf.sprintf "exponential: %d %d %d" (s 4) (s 6) (s 8))
+    true
+    (s 6 > 3 * s 4 && s 8 > 3 * s 6)
+
+let prop_det_circuit_matches_ln =
+  QCheck.Test.make ~name:"deterministic circuit decides L_n" ~count:200
+    (QCheck.pair (QCheck.int_range 1 6) (QCheck.int_range 0 4095))
+    (fun (n, code) ->
+       let code = code land ((1 lsl (2 * n)) - 1) in
+       let c = Ln_circuit.deterministic n in
+       let assignment = Array.init (2 * n) (fun v -> (code lsr v) land 1 = 1) in
+       Circuit.evaluate c assignment = Ucfg_lang.Ln.mem_code n code)
+
+let qtests = List.map QCheck_alcotest.to_alcotest [ prop_det_circuit_matches_ln ]
+
+let () =
+  Alcotest.run "ucfg_kc"
+    [
+      ( "circuit",
+        [
+          Alcotest.test_case "evaluate" `Quick test_evaluate;
+          Alcotest.test_case "structural checks" `Quick test_structural_checks;
+          Alcotest.test_case "model counting" `Quick test_model_count;
+          Alcotest.test_case "nondeterminism overcounts" `Quick
+            test_nondeterministic_overcounts;
+        ] );
+      ( "ln-circuits",
+        [
+          Alcotest.test_case "semantics" `Quick test_ln_circuits_semantics;
+          Alcotest.test_case "DNNF vs d-DNNF" `Quick test_ln_circuits_classes;
+          Alcotest.test_case "model counts (4^n - 3^n)" `Quick
+            test_ln_model_counts;
+          Alcotest.test_case "size classes" `Quick test_ln_sizes;
+        ] );
+      ( "structured (vtrees)",
+        [
+          Alcotest.test_case "vtree basics" `Quick test_vtree_basics;
+          Alcotest.test_case "structured L_n circuit" `Quick
+            test_structured_semantics;
+          Alcotest.test_case "unstructured detected" `Quick
+            test_unstructured_does_not_respect;
+          Alcotest.test_case "rectangles = rank bound" `Quick
+            test_structured_rectangles;
+          Alcotest.test_case "nondeterministic overlap" `Quick
+            test_structured_rectangles_nondeterministic;
+          Alcotest.test_case "exponential size" `Quick test_structured_sizes;
+        ] );
+      ("properties", qtests);
+    ]

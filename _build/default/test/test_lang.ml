@@ -1,0 +1,237 @@
+(* Tests for finite languages and the witness family L_n. *)
+
+open Ucfg_word
+open Ucfg_lang
+module BN = Ucfg_util.Bignum
+
+let lang = Alcotest.testable Lang.pp Lang.equal
+
+let test_lang_ops () =
+  let a = Lang.of_list [ "ab"; "ba" ] and b = Lang.of_list [ "ba"; "bb" ] in
+  Alcotest.check lang "union" (Lang.of_list [ "ab"; "ba"; "bb" ]) (Lang.union a b);
+  Alcotest.check lang "inter" (Lang.of_list [ "ba" ]) (Lang.inter a b);
+  Alcotest.check lang "diff" (Lang.of_list [ "ab" ]) (Lang.diff a b);
+  Alcotest.(check int) "cardinal" 2 (Lang.cardinal a)
+
+let test_lang_concat () =
+  let a = Lang.of_list [ "a"; "b" ] and b = Lang.of_list [ "x"; "y" ] in
+  Alcotest.check lang "product"
+    (Lang.of_list [ "ax"; "ay"; "bx"; "by" ])
+    (Lang.concat a b);
+  Alcotest.check lang "unit left" a (Lang.concat (Lang.singleton "") a);
+  Alcotest.check lang "empty absorbs" Lang.empty (Lang.concat Lang.empty a);
+  Alcotest.check lang "concat_list"
+    (Lang.of_list [ "axa"; "axb"; "aya"; "ayb"; "bxa"; "bxb"; "bya"; "byb" ])
+    (Lang.concat_list [ a; b; a ])
+
+let test_lang_full_complement () =
+  let f2 = Lang.full Alphabet.binary 2 in
+  Alcotest.(check int) "Σ^2" 4 (Lang.cardinal f2);
+  let l = Lang.of_list [ "aa"; "bb" ] in
+  Alcotest.check lang "complement"
+    (Lang.of_list [ "ab"; "ba" ])
+    (Lang.complement_within Alphabet.binary 2 l)
+
+let test_lang_lengths () =
+  let l = Lang.of_list [ "a"; "bb"; "ab" ] in
+  Alcotest.(check (list int)) "lengths" [ 1; 2 ] (Lang.lengths l);
+  Alcotest.(check (option int)) "not uniform" None (Lang.uniform_length l);
+  Alcotest.(check (option int))
+    "uniform" (Some 2)
+    (Lang.uniform_length (Lang.of_list [ "aa"; "bb" ]))
+
+let test_lang_sample () =
+  let rng = Ucfg_util.Rng.create 11 in
+  let l = Lang.full Alphabet.binary 4 in
+  let s = Lang.sample rng 5 l in
+  Alcotest.(check int) "five samples" 5 (List.length s);
+  Alcotest.(check int) "distinct" 5 (List.length (List.sort_uniq compare s));
+  List.iter (fun w -> Alcotest.(check bool) "member" true (Lang.mem w l)) s
+
+(* --- L_n --------------------------------------------------------------- *)
+
+let brute_ln n =
+  (* reference definition straight from the paper: exists k <= n-1 with 'a'
+     at positions k and k+n (0-based) *)
+  Lang.filter
+    (fun w ->
+       List.exists
+         (fun k -> w.[k] = 'a' && w.[k + n] = 'a')
+         (Ucfg_util.Prelude.range 0 n))
+    (Lang.full Alphabet.binary (2 * n))
+
+let test_ln_matches_brute_force () =
+  List.iter
+    (fun n ->
+       Alcotest.check lang
+         (Printf.sprintf "L_%d" n)
+         (brute_ln n) (Ln.language n))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_ln_cardinal () =
+  List.iter
+    (fun n ->
+       Alcotest.(check int)
+         (Printf.sprintf "|L_%d| = 4^%d - 3^%d" n n n)
+         (Lang.cardinal (Ln.language n))
+         (Option.get (BN.to_int (Ln.cardinal n))))
+    [ 1; 2; 3; 4; 5; 6 ];
+  Alcotest.(check string)
+    "|L_40| formula"
+    (BN.to_string
+       (BN.sub (BN.pow (BN.of_int 4) 40) (BN.pow (BN.of_int 3) 40)))
+    (BN.to_string (Ln.cardinal 40))
+
+let test_ln_membership_examples () =
+  Alcotest.(check bool) "aa in L_1" true (Ln.mem 1 "aa");
+  Alcotest.(check bool) "ab not in L_1" false (Ln.mem 1 "ab");
+  Alcotest.(check bool) "abab in L_2" true (Ln.mem 2 "abab");
+  Alcotest.(check bool) "abba not in L_2" false (Ln.mem 2 "abba");
+  Alcotest.(check bool) "wrong length" false (Ln.mem 2 "ab");
+  Alcotest.(check bool) "bad chars" false (Ln.mem 1 "ax")
+
+let test_ln_mem_code_agrees () =
+  List.iter
+    (fun n ->
+       let all = 1 lsl (2 * n) in
+       for code = 0 to all - 1 do
+         let w = Word.of_bits ~len:(2 * n) code in
+         if Ln.mem_code n code <> Ln.mem n w then
+           Alcotest.failf "mem_code disagrees at n=%d code=%d (%s)" n code w
+       done)
+    [ 1; 2; 3; 4 ]
+
+let test_ln_slices_cover () =
+  (* Example 8: L_n is the union of the slices L_n^k (not disjointly) *)
+  List.iter
+    (fun n ->
+       let union =
+         List.fold_left
+           (fun acc k -> Lang.union acc (Ln.slice n k))
+           Lang.empty
+           (Ucfg_util.Prelude.range 0 n)
+       in
+       Alcotest.check lang
+         (Printf.sprintf "slices cover L_%d" n)
+         (Ln.language n) union)
+    [ 1; 2; 3; 4 ]
+
+let test_ln_slices_overlap () =
+  (* the point of the paper: the natural cover is NOT disjoint *)
+  let s0 = Ln.slice 2 0 and s1 = Ln.slice 2 1 in
+  Alcotest.(check bool) "L_2^0 and L_2^1 overlap" false (Lang.disjoint s0 s1);
+  Alcotest.(check bool) "aaaa in both" true
+    (Lang.mem "aaaa" s0 && Lang.mem "aaaa" s1)
+
+let test_ln_slice_cardinal () =
+  (* |L_n^k| = 4^(n-1): two positions fixed to 'a' *)
+  List.iter
+    (fun n ->
+       List.iter
+         (fun k ->
+            Alcotest.(check int)
+              (Printf.sprintf "|L_%d^%d|" n k)
+              (1 lsl (2 * (n - 1)))
+              (Lang.cardinal (Ln.slice n k)))
+         (Ucfg_util.Prelude.range 0 n))
+    [ 1; 2; 3 ]
+
+let test_ln_star () =
+  let s = Ln.star 2 in
+  (* words of length 4 starting and ending with one 'a' *)
+  Alcotest.check lang "L*_2"
+    (Lang.of_list [ "aaaa"; "aaba"; "abaa"; "abba" ])
+    s;
+  Alcotest.(check int) "|L*_4|" 16 (Lang.cardinal (Ln.star 4))
+
+let prop_ln_complement_is_disjointness =
+  (* the complement of L_n within Σ^2n is exactly the disjoint pairs *)
+  QCheck.Test.make ~name:"L_n complement = set disjointness" ~count:200
+    (QCheck.pair (QCheck.int_range 1 8) (QCheck.int_range 0 (1 lsl 16)))
+    (fun (n, code) ->
+       let code = code land ((1 lsl (2 * n)) - 1) in
+       let x = code land ((1 lsl n) - 1) in
+       let y = code lsr n in
+       Ln.mem_code n code = (x land y <> 0))
+
+let prop_ln_shift_invariance =
+  (* membership depends only on the pairs (w_k, w_{k+n}) *)
+  QCheck.Test.make ~name:"L_n via half-overlap" ~count:500
+    (QCheck.int_range 0 (1 lsl 12))
+    (fun code ->
+       let n = 6 in
+       let code = code land ((1 lsl (2 * n)) - 1) in
+       let w = Word.of_bits ~len:(2 * n) code in
+       Ln.mem n w
+       = List.exists
+           (fun k -> w.[k] = 'a' && w.[k + n] = 'a')
+           (Ucfg_util.Prelude.range 0 n))
+
+(* --- residuals ----------------------------------------------------------- *)
+
+let test_residual_left_right () =
+  let l = Lang.of_list [ "ab"; "aa"; "ba" ] in
+  Alcotest.check lang "a⁻¹l" (Lang.of_list [ "b"; "a" ])
+    (Residual.left "a" l);
+  Alcotest.check lang "b⁻¹l" (Lang.of_list [ "a" ]) (Residual.left "b" l);
+  Alcotest.check lang "l a⁻¹" (Lang.of_list [ "a"; "b" ])
+    (Residual.right "a" l);
+  Alcotest.check lang "ε residual" l (Residual.left "" l);
+  Alcotest.check lang "dead prefix" Lang.empty (Residual.left "bb" l)
+
+let test_nerode_index_is_min_dfa () =
+  (* the Myhill–Nerode index equals the minimal complete DFA size *)
+  List.iter
+    (fun (name, l) ->
+       let trie =
+         Ucfg_automata.Nfa.of_word_list Alphabet.binary (Lang.elements l)
+       in
+       let dfa_states =
+         Ucfg_automata.Dfa.state_count
+           (Ucfg_automata.Determinize.minimal_dfa trie)
+       in
+       Alcotest.(check int) name dfa_states
+         (Residual.nerode_index Alphabet.binary l))
+    [
+      ("{ab}", Lang.singleton "ab");
+      ("L_1", Ln.language 1);
+      ("L_2", Ln.language 2);
+      ("L_3", Ln.language 3);
+      ("L*_2", Ln.star 2);
+    ]
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_ln_complement_is_disjointness; prop_ln_shift_invariance ]
+
+let () =
+  Alcotest.run "ucfg_lang"
+    [
+      ( "lang",
+        [
+          Alcotest.test_case "boolean ops" `Quick test_lang_ops;
+          Alcotest.test_case "concatenation" `Quick test_lang_concat;
+          Alcotest.test_case "full/complement" `Quick test_lang_full_complement;
+          Alcotest.test_case "lengths" `Quick test_lang_lengths;
+          Alcotest.test_case "sampling" `Quick test_lang_sample;
+        ] );
+      ( "ln",
+        [
+          Alcotest.test_case "matches brute force" `Quick test_ln_matches_brute_force;
+          Alcotest.test_case "cardinality 4^n-3^n" `Quick test_ln_cardinal;
+          Alcotest.test_case "membership examples" `Quick test_ln_membership_examples;
+          Alcotest.test_case "mem_code agrees" `Quick test_ln_mem_code_agrees;
+          Alcotest.test_case "slices cover (Example 8)" `Quick test_ln_slices_cover;
+          Alcotest.test_case "slices overlap" `Quick test_ln_slices_overlap;
+          Alcotest.test_case "slice cardinality" `Quick test_ln_slice_cardinal;
+          Alcotest.test_case "star language (Example 6)" `Quick test_ln_star;
+        ] );
+      ( "residual",
+        [
+          Alcotest.test_case "left/right quotients" `Quick
+            test_residual_left_right;
+          Alcotest.test_case "Nerode index = min DFA" `Quick
+            test_nerode_index_is_min_dfa;
+        ] );
+      ("properties", qtests);
+    ]

@@ -1,0 +1,363 @@
+(* Tests for the rectangle machinery: the set perspective, ordered
+   partitions, string/set rectangles, Lemma 15 translations, Lemma 21
+   neatification, covers, and the Proposition 7 extraction. *)
+
+open Ucfg_word
+open Ucfg_lang
+open Ucfg_cfg
+open Ucfg_rect
+
+let lang = Alcotest.testable Lang.pp Lang.equal
+
+(* --- set view ----------------------------------------------------------- *)
+
+let test_setview_roundtrip () =
+  List.iter
+    (fun w ->
+       let n = String.length w / 2 in
+       Alcotest.(check string) ("roundtrip " ^ w) w
+         (Setview.to_word ~n (Setview.of_word w)))
+    [ "aa"; "abab"; "bbbbbb"; "abbaba" ]
+
+let test_setview_parts () =
+  let m = Setview.of_word "abba" in
+  (* positions: 1:a 2:b 3:b 4:a -> bits 0 and 3 *)
+  Alcotest.(check int) "mask" 0b1001 m;
+  Alcotest.(check int) "x part" 0b01 (Setview.x_part ~n:2 m);
+  Alcotest.(check int) "y part" 0b1000 (Setview.y_part ~n:2 m)
+
+let test_setview_interval () =
+  Alcotest.(check int) "Z[2,3] of n=2" 0b0110 (Setview.interval_mask ~n:2 2 3);
+  Alcotest.(check int) "universe" 0b1111 (Setview.universe ~n:2)
+
+let test_setview_ln () =
+  Seq.iter
+    (fun mask ->
+       let w = Setview.to_word ~n:3 mask in
+       if Setview.in_ln ~n:3 mask <> Ln.mem 3 w then
+         Alcotest.failf "in_ln disagrees on %s" w)
+    (Setview.all ~n:3)
+
+let test_subsets_of () =
+  let subs = List.of_seq (Setview.subsets_of 0b101) in
+  Alcotest.(check (list int)) "subsets" [ 0b101; 0b100; 0b001; 0 ]
+    subs
+
+(* --- partitions --------------------------------------------------------- *)
+
+let test_partition_balanced () =
+  (* n=6: 2n=12, balanced iff 4 <= size <= 8 *)
+  Alcotest.(check bool) "[1,4] ok" true
+    (Partition.is_balanced (Partition.make ~n:6 1 4));
+  Alcotest.(check bool) "[1,8] ok" true
+    (Partition.is_balanced (Partition.make ~n:6 1 8));
+  Alcotest.(check bool) "[1,3] too small" false
+    (Partition.is_balanced (Partition.make ~n:6 1 3));
+  Alcotest.(check bool) "[1,9] too big" false
+    (Partition.is_balanced (Partition.make ~n:6 1 9))
+
+let test_partition_neat () =
+  (* n=4: blocks are [1,4] and [5,8] *)
+  Alcotest.(check bool) "[1,4] neat" true (Partition.is_neat (Partition.make ~n:4 1 4));
+  Alcotest.(check bool) "[5,8] neat" true (Partition.is_neat (Partition.make ~n:4 5 8));
+  Alcotest.(check bool) "[2,5] not neat" false
+    (Partition.is_neat (Partition.make ~n:4 2 5))
+
+let test_partition_neaten () =
+  let p = Partition.make ~n:8 3 10 in
+  (* inside size 8 = outside size: grows to [1,12] *)
+  let q, moved = Partition.neaten p in
+  Alcotest.(check bool) "neat now" true (Partition.is_neat q);
+  Alcotest.(check bool) "moved <= 8 elements" true (Setview.popcount moved <= 8);
+  (* moved = symmetric difference *)
+  Alcotest.(check int) "moved is the diff"
+    (Partition.inside p lxor Partition.inside q)
+    moved
+
+let test_partition_matched_mask () =
+  (* the [1,n] partition splits every pair: V_G = Z *)
+  let p = Partition.make ~n:4 1 4 in
+  Alcotest.(check int) "V_G = Z" (Setview.universe ~n:4)
+    (Partition.matched_mask p);
+  (* [1,2n] keeps every pair together: V_G = ∅ *)
+  let q = Partition.make ~n:4 1 8 in
+  Alcotest.(check int) "V_G empty" 0 (Partition.matched_mask q)
+
+let test_lemma22_neat_balanced_partitions () =
+  (* Lemma 22: for neat ordered balanced partitions, the smaller part is
+     inside V_G and |Π_small| = |G| = |V_G|/2 *)
+  List.iter
+    (fun p ->
+       if Partition.is_neat p then begin
+         let vg = Partition.matched_mask p in
+         let ins = Partition.inside p and out = Partition.outside p in
+         let small, _big =
+           if Setview.popcount ins <= Setview.popcount out then (ins, out)
+           else (out, ins)
+         in
+         Alcotest.(check bool) "small part ⊆ V_G" true (small land lnot vg = 0);
+         Alcotest.(check int) "|small| = |G|"
+           (Setview.popcount vg / 2)
+           (Setview.popcount small)
+       end)
+    (Partition.all_balanced ~n:8)
+
+(* --- string rectangles --------------------------------------------------- *)
+
+let test_rectangle_example8 () =
+  List.iter
+    (fun (n, k) ->
+       let r = Rectangle.example8 n k in
+       (* the middle has width n+1 over words of length 2n: balanced
+          requires 3(n+1) <= 4n, i.e. n >= 3 *)
+       Alcotest.(check bool) "balanced iff n >= 3" (n >= 3)
+         (Rectangle.is_balanced r);
+       Alcotest.check lang
+         (Printf.sprintf "L_%d^%d" n k)
+         (Ln.slice n k)
+         (Rectangle.materialize r))
+    [ (2, 0); (2, 1); (3, 0); (3, 2); (4, 1) ]
+
+let test_rectangle_star () =
+  let r = Rectangle.star 2 in
+  Alcotest.(check bool) "balanced" true (Rectangle.is_balanced r);
+  Alcotest.check lang "L*_2" (Ln.star 2) (Rectangle.materialize r)
+
+let test_rectangle_mem_agrees () =
+  let r = Rectangle.example8 3 1 in
+  Seq.iter
+    (fun w ->
+       if Rectangle.mem r w <> Lang.mem w (Rectangle.materialize r) then
+         Alcotest.failf "mem disagrees on %s" w)
+    (Word.enumerate Alphabet.binary 6)
+
+let test_rectangle_recover () =
+  (* a genuine rectangle is recovered... *)
+  let r = Rectangle.example8 2 0 in
+  (match Rectangle.recover ~n1:0 ~n2:3 (Rectangle.materialize r) with
+   | Some r' ->
+     Alcotest.check lang "same denotation" (Rectangle.materialize r)
+       (Rectangle.materialize r')
+   | None -> Alcotest.fail "expected recovery");
+  (* ... but L_n itself is not a rectangle for any proper split (only the
+     degenerate whole-word split makes every language a rectangle) *)
+  List.iter
+    (fun (n1, n2) ->
+       match Rectangle.recover ~n1 ~n2 (Ln.language 2) with
+       | Some _ -> Alcotest.failf "L_2 recovered as (%d,%d) rectangle" n1 n2
+       | None -> ())
+    [ (0, 2); (1, 2); (2, 2); (1, 1); (0, 3); (1, 3) ];
+  match Rectangle.recover ~n1:0 ~n2:4 (Ln.language 2) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "whole-word split is always a rectangle"
+
+let test_rectangle_singleton () =
+  let r = Rectangle.singleton "abba" ~n1:1 ~n2:2 in
+  Alcotest.check lang "just the word" (Lang.singleton "abba")
+    (Rectangle.materialize r);
+  Alcotest.(check bool) "balanced" true (Rectangle.is_balanced r)
+
+(* --- set rectangles and Lemma 15 ----------------------------------------- *)
+
+let test_lemma15_forward_backward () =
+  List.iter
+    (fun r ->
+       let sr = Set_rectangle.of_string_rectangle r in
+       (* members of the set rectangle = words of the string rectangle *)
+       let from_set =
+         Lang.of_seq
+           (Seq.map
+              (Setview.to_word ~n:(Rectangle.word_length r / 2))
+              (Set_rectangle.members sr))
+       in
+       Alcotest.check lang "forward members" (Rectangle.materialize r) from_set;
+       let back = Set_rectangle.to_string_rectangle sr in
+       Alcotest.check lang "roundtrip" (Rectangle.materialize r)
+         (Rectangle.materialize back))
+    [ Rectangle.example8 2 0; Rectangle.example8 3 1; Rectangle.star 2 ]
+
+let test_set_rectangle_mem () =
+  let sr = Set_rectangle.of_string_rectangle (Rectangle.example8 2 1) in
+  Seq.iter
+    (fun mask ->
+       let w = Setview.to_word ~n:2 mask in
+       if Set_rectangle.mem sr mask <> Ln.slice_mem 2 1 w then
+         Alcotest.failf "set mem disagrees on %s" w)
+    (Setview.all ~n:2)
+
+let test_split_neat () =
+  (* a balanced non-neat rectangle over n=8 *)
+  let n = 8 in
+  let p = Partition.make ~n 3 10 in
+  Alcotest.(check bool) "not neat yet" false (Partition.is_neat p);
+  let ins = Partition.inside p and out = Partition.outside p in
+  (* a small rectangle: a few arbitrary component masks *)
+  let rng = Ucfg_util.Rng.create 5 in
+  let masks k part =
+    List.init k (fun _ -> Ucfg_util.Rng.bits62 rng land part)
+  in
+  let r = Set_rectangle.make p ~outer:(masks 6 out) ~inner:(masks 6 ins) in
+  let pieces = Set_rectangle.split_neat r in
+  Alcotest.(check bool) "at most 256" true (List.length pieces <= 256);
+  List.iter
+    (fun pc ->
+       Alcotest.(check bool) "piece neat" true (Set_rectangle.is_neat pc))
+    pieces;
+  (* same union, pairwise disjoint *)
+  let module IS = Set.Make (Int) in
+  let union_pieces =
+    List.fold_left
+      (fun acc pc -> IS.union acc (IS.of_seq (Set_rectangle.members pc)))
+      IS.empty pieces
+  in
+  let original = IS.of_seq (Set_rectangle.members r) in
+  Alcotest.(check bool) "same union" true (IS.equal union_pieces original);
+  let total_pieces =
+    Ucfg_util.Prelude.sum_int (List.map Set_rectangle.cardinal pieces)
+  in
+  Alcotest.(check int) "disjoint (cardinalities add)" (IS.cardinal original)
+    total_pieces
+
+(* --- covers --------------------------------------------------------------- *)
+
+let test_example8_cover () =
+  List.iter
+    (fun n ->
+       let v = Cover.verify (Cover.example8_cover n) (Ln.language n) in
+       Alcotest.(check bool) "covers" true v.Cover.is_cover;
+       Alcotest.(check bool) "not disjoint (n >= 2)" (n < 2)
+         v.Cover.is_disjoint;
+       Alcotest.(check bool) "balanced for n >= 3" (n >= 3)
+         (Cover.all_balanced (Cover.example8_cover n)))
+    [ 1; 2; 3; 4 ]
+
+let test_singleton_cover () =
+  let l = Ln.language 2 in
+  let v = Cover.verify (Cover.singleton_cover l ~n1:1 ~n2:2) l in
+  Alcotest.(check bool) "covers" true v.Cover.is_cover;
+  Alcotest.(check bool) "disjoint" true v.Cover.is_disjoint
+
+let test_greedy_cover () =
+  List.iter
+    (fun n ->
+       let l = Ln.language n in
+       let rects = Cover.greedy_disjoint_cover l ~n in
+       let v = Cover.verify rects l in
+       Alcotest.(check bool) "covers" true v.Cover.is_cover;
+       Alcotest.(check bool) "disjoint" true v.Cover.is_disjoint;
+       Alcotest.(check bool) "balanced" true (Cover.all_balanced rects))
+    [ 2; 3 ]
+
+(* --- Proposition 7 extraction -------------------------------------------- *)
+
+let check_extraction ?(expect_disjoint = false) name g =
+  let res = Extract.run g in
+  let v, shape_ok = Extract.verify g res in
+  Alcotest.(check bool) (name ^ ": is a cover") true v.Cover.is_cover;
+  Alcotest.(check bool) (name ^ ": balanced + within bound") true shape_ok;
+  if expect_disjoint then
+    Alcotest.(check bool) (name ^ ": disjoint") true v.Cover.is_disjoint
+
+let test_extract_log_cfg () =
+  List.iter
+    (fun n ->
+       check_extraction (Printf.sprintf "log_cfg %d" n) (Constructions.log_cfg n))
+    [ 2; 3; 4; 5 ]
+
+let test_extract_example3 () =
+  check_extraction "example3 1" (Constructions.example3 1)
+
+let test_extract_unambiguous () =
+  List.iter
+    (fun n ->
+       check_extraction ~expect_disjoint:true
+         (Printf.sprintf "example4 %d" n)
+         (Constructions.example4 n))
+    [ 2; 3; 4 ]
+
+let test_extract_trivial_grammar () =
+  let g = Constructions.of_language Alphabet.binary (Ln.language 2) in
+  check_extraction ~expect_disjoint:true "trivial L_2" g
+
+let test_extract_sigma_chain () =
+  check_extraction ~expect_disjoint:true "sigma^4"
+    (Constructions.sigma_chain Alphabet.binary 4)
+
+let test_extract_counts () =
+  (* the rectangle count respects ℓ <= N·|G| visibly, and is small for the
+     small constructions *)
+  let res = Extract.run (Constructions.log_cfg 3) in
+  Alcotest.(check bool) "count <= bound" true
+    (List.length res.Extract.rectangles <= res.Extract.bound);
+  Alcotest.(check int) "word length" 6 res.Extract.word_length
+
+let prop_extract_random_fixed_length =
+  QCheck.Test.make ~name:"Proposition 7 on random fixed-length grammars"
+    ~count:25 (QCheck.int_range 0 100_000)
+    (fun seed ->
+       let rng = Ucfg_util.Rng.create seed in
+       let g = Random_grammar.fixed_length rng ~word_len:5 ~variants:2 in
+       let res = Extract.run g in
+       let v, shape_ok = Extract.verify g res in
+       let disjoint_ok =
+         (not (Ambiguity.is_unambiguous g)) || v.Cover.is_disjoint
+       in
+       v.Cover.is_cover && shape_ok && disjoint_ok)
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest [ prop_extract_random_fixed_length ]
+
+let () =
+  Alcotest.run "ucfg_rect"
+    [
+      ( "setview",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_setview_roundtrip;
+          Alcotest.test_case "parts" `Quick test_setview_parts;
+          Alcotest.test_case "interval masks" `Quick test_setview_interval;
+          Alcotest.test_case "L_n agreement" `Quick test_setview_ln;
+          Alcotest.test_case "subset enumeration" `Quick test_subsets_of;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "balanced" `Quick test_partition_balanced;
+          Alcotest.test_case "neat" `Quick test_partition_neat;
+          Alcotest.test_case "neaten (Lemma 21)" `Quick test_partition_neaten;
+          Alcotest.test_case "matched mask" `Quick test_partition_matched_mask;
+          Alcotest.test_case "Lemma 22 properties" `Quick
+            test_lemma22_neat_balanced_partitions;
+        ] );
+      ( "rectangle",
+        [
+          Alcotest.test_case "example8" `Quick test_rectangle_example8;
+          Alcotest.test_case "star (Example 6)" `Quick test_rectangle_star;
+          Alcotest.test_case "mem agrees" `Quick test_rectangle_mem_agrees;
+          Alcotest.test_case "recover / L_n not a rectangle" `Quick
+            test_rectangle_recover;
+          Alcotest.test_case "singleton" `Quick test_rectangle_singleton;
+        ] );
+      ( "set-rectangle",
+        [
+          Alcotest.test_case "Lemma 15 both ways" `Quick
+            test_lemma15_forward_backward;
+          Alcotest.test_case "membership" `Quick test_set_rectangle_mem;
+          Alcotest.test_case "Lemma 21 split_neat" `Quick test_split_neat;
+        ] );
+      ( "cover",
+        [
+          Alcotest.test_case "example8 cover" `Quick test_example8_cover;
+          Alcotest.test_case "singleton cover" `Quick test_singleton_cover;
+          Alcotest.test_case "greedy disjoint cover" `Quick test_greedy_cover;
+        ] );
+      ( "extract (Proposition 7)",
+        [
+          Alcotest.test_case "log_cfg" `Quick test_extract_log_cfg;
+          Alcotest.test_case "example3" `Quick test_extract_example3;
+          Alcotest.test_case "unambiguous => disjoint" `Quick
+            test_extract_unambiguous;
+          Alcotest.test_case "trivial grammar" `Quick test_extract_trivial_grammar;
+          Alcotest.test_case "sigma chain" `Quick test_extract_sigma_chain;
+          Alcotest.test_case "counts and bound" `Quick test_extract_counts;
+        ] );
+      ("properties", qtests);
+    ]

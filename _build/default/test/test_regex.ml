@@ -1,0 +1,190 @@
+(* Tests for regular expressions, the Glushkov construction and the L_n
+   expressions. *)
+
+open Ucfg_word
+open Ucfg_lang
+open Ucfg_regex
+module R = Regex
+
+let lang = Alcotest.testable Lang.pp Lang.equal
+
+let test_smart_constructors () =
+  Alcotest.(check bool) "∅|r = r" true (R.alt R.empty (R.chr 'a') = R.chr 'a');
+  Alcotest.(check bool) "∅r = ∅" true (R.cat R.empty (R.chr 'a') = R.empty);
+  Alcotest.(check bool) "εr = r" true (R.cat R.eps (R.chr 'a') = R.chr 'a');
+  Alcotest.(check bool) "ε* = ε" true (R.star R.eps = R.eps);
+  Alcotest.(check bool) "r** = r*" true
+    (R.star (R.star (R.chr 'a')) = R.star (R.chr 'a'))
+
+let test_matches () =
+  let r = R.cat (R.star (R.chr 'a')) (R.chr 'b') in
+  Alcotest.(check bool) "b" true (R.matches r "b");
+  Alcotest.(check bool) "aab" true (R.matches r "aab");
+  Alcotest.(check bool) "aba" false (R.matches r "aba");
+  Alcotest.(check bool) "ε" false (R.matches r "");
+  Alcotest.(check bool) "ε in a*" true (R.matches (R.star (R.chr 'a')) "")
+
+let test_nullable () =
+  Alcotest.(check bool) "a* nullable" true (R.nullable (R.star (R.chr 'a')));
+  Alcotest.(check bool) "a not" false (R.nullable (R.chr 'a'));
+  Alcotest.(check bool) "a|ε" true (R.nullable (R.alt (R.chr 'a') R.eps))
+
+let test_power_of_word () =
+  Alcotest.(check bool) "aaa" true (R.matches (R.power (R.chr 'a') 3) "aaa");
+  Alcotest.(check bool) "aa" false (R.matches (R.power (R.chr 'a') 3) "aa");
+  Alcotest.(check bool) "word" true (R.matches (R.of_word "abba") "abba")
+
+let test_print_parse_roundtrip () =
+  let exprs =
+    [
+      R.chr 'a';
+      R.alt (R.chr 'a') (R.chr 'b');
+      R.cat (R.alt (R.chr 'a') R.eps) (R.star (R.chr 'b'));
+      Ln_regex.ln 3;
+      Ln_regex.pattern 4;
+    ]
+  in
+  List.iter
+    (fun r ->
+       let s = R.to_string r in
+       let r' = R.parse s in
+       (* parse . print need not be syntactically identical (smart
+          constructors), but must be language-equal *)
+       Alcotest.check lang
+         (Printf.sprintf "roundtrip %s" s)
+         (R.language r ~alphabet:Alphabet.binary ~max_len:6)
+         (R.language r' ~alphabet:Alphabet.binary ~max_len:6))
+    exprs
+
+let test_parse_errors () =
+  List.iter
+    (fun s ->
+       match R.parse s with
+       | exception Invalid_argument _ -> ()
+       | _ -> Alcotest.failf "expected parse error on %S" s)
+    [ "("; "a)"; "*a"; "a|*"; "a b" ]
+
+let test_glushkov_basic () =
+  let r = R.cat (R.star (R.alt (R.chr 'a') (R.chr 'b'))) (R.chr 'a') in
+  let nfa = Glushkov.nfa Alphabet.binary r in
+  Alcotest.(check int) "ε-free" 0 (Ucfg_automata.Nfa.epsilon_count nfa);
+  Alcotest.check lang "language"
+    (R.language r ~alphabet:Alphabet.binary ~max_len:5)
+    (Ucfg_automata.Nfa.language nfa ~max_len:5)
+
+let test_ln_regex () =
+  List.iter
+    (fun n ->
+       Alcotest.check lang
+         (Printf.sprintf "regex L_%d" n)
+         (Ln.language n)
+         (R.language (Ln_regex.ln n) ~alphabet:Alphabet.binary
+            ~max_len:(2 * n)))
+    [ 1; 2; 3; 4 ]
+
+let test_ln_star_regex () =
+  Alcotest.check lang "L*_2"
+    (Ln.star 2)
+    (R.language (Ln_regex.ln_star 2) ~alphabet:Alphabet.binary ~max_len:4)
+
+let test_slice_regex () =
+  List.iter
+    (fun (n, k) ->
+       Alcotest.check lang
+         (Printf.sprintf "slice %d %d" n k)
+         (Ln.slice n k)
+         (R.language (Ln_regex.slice n k) ~alphabet:Alphabet.binary
+            ~max_len:(2 * n)))
+    [ (2, 0); (2, 1); (3, 1) ]
+
+let test_pattern_regex_vs_nfa () =
+  let r = Ln_regex.pattern 3 in
+  let m = Ucfg_automata.Ln_nfa.pattern 3 in
+  Alcotest.check lang "same unbounded pattern"
+    (R.language r ~alphabet:Alphabet.binary ~max_len:8)
+    (Ucfg_automata.Nfa.language m ~max_len:8)
+
+(* random regex generator over a seed *)
+let random_regex rng =
+  let module Rng = Ucfg_util.Rng in
+  let rec gen depth =
+    if depth = 0 then
+      match Rng.int rng 3 with
+      | 0 -> R.chr 'a'
+      | 1 -> R.chr 'b'
+      | _ -> R.eps
+    else
+      match Rng.int rng 4 with
+      | 0 -> R.alt (gen (depth - 1)) (gen (depth - 1))
+      | 1 -> R.cat (gen (depth - 1)) (gen (depth - 1))
+      | 2 -> R.star (gen (depth - 1))
+      | _ -> gen 0
+  in
+  gen 4
+
+let prop_glushkov_equals_derivatives =
+  QCheck.Test.make ~name:"Glushkov NFA = derivative semantics" ~count:60
+    (QCheck.int_range 0 100_000)
+    (fun seed ->
+       let rng = Ucfg_util.Rng.create seed in
+       let r = random_regex rng in
+       let nfa = Glushkov.nfa Alphabet.binary r in
+       Seq.for_all
+         (fun w -> R.matches r w = Ucfg_automata.Nfa.accepts nfa w)
+         (Seq.concat_map
+            (fun len -> Word.enumerate Alphabet.binary len)
+            (List.to_seq [ 0; 1; 2; 3; 4 ])))
+
+let prop_parse_print =
+  QCheck.Test.make ~name:"parse ∘ print preserves the language" ~count:60
+    (QCheck.int_range 0 100_000)
+    (fun seed ->
+       let rng = Ucfg_util.Rng.create seed in
+       let r = random_regex rng in
+       let r' = R.parse (R.to_string r) in
+       Seq.for_all
+         (fun w -> R.matches r w = R.matches r' w)
+         (Seq.concat_map
+            (fun len -> Word.enumerate Alphabet.binary len)
+            (List.to_seq [ 0; 1; 2; 3 ])))
+
+let prop_deriv_correct =
+  QCheck.Test.make ~name:"derivative: w ∈ c·L iff w' ∈ deriv" ~count:100
+    (QCheck.int_range 0 100_000)
+    (fun seed ->
+       let rng = Ucfg_util.Rng.create seed in
+       let r = random_regex rng in
+       let c = if Ucfg_util.Rng.bool rng then 'a' else 'b' in
+       Seq.for_all
+         (fun w ->
+            R.matches r (String.make 1 c ^ w) = R.matches (R.deriv r c) w)
+         (Word.enumerate Alphabet.binary 3))
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_glushkov_equals_derivatives; prop_parse_print; prop_deriv_correct ]
+
+let () =
+  Alcotest.run "ucfg_regex"
+    [
+      ( "regex",
+        [
+          Alcotest.test_case "smart constructors" `Quick test_smart_constructors;
+          Alcotest.test_case "matches" `Quick test_matches;
+          Alcotest.test_case "nullable" `Quick test_nullable;
+          Alcotest.test_case "power/of_word" `Quick test_power_of_word;
+          Alcotest.test_case "print/parse roundtrip" `Quick
+            test_print_parse_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        ] );
+      ( "glushkov",
+        [ Alcotest.test_case "basic" `Quick test_glushkov_basic ] );
+      ( "ln-regex",
+        [
+          Alcotest.test_case "L_n" `Quick test_ln_regex;
+          Alcotest.test_case "L*_n" `Quick test_ln_star_regex;
+          Alcotest.test_case "slices" `Quick test_slice_regex;
+          Alcotest.test_case "pattern vs NFA" `Quick test_pattern_regex_vs_nfa;
+        ] );
+      ("properties", qtests);
+    ]

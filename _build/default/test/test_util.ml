@@ -1,0 +1,346 @@
+(* Unit and property tests for the foundations: Bignum, Bitset, Rng,
+   Prelude. *)
+
+open Ucfg_util
+module BN = Bignum
+
+let bn = Alcotest.testable BN.pp BN.equal
+
+(* --- Bignum ----------------------------------------------------------- *)
+
+let test_of_int_roundtrip () =
+  List.iter
+    (fun n ->
+       Alcotest.(check (option int))
+         (Printf.sprintf "roundtrip %d" n)
+         (Some n)
+         (BN.to_int (BN.of_int n)))
+    [ 0; 1; -1; 42; -42; 999_999_999; 1_000_000_000; -1_000_000_001;
+      max_int; min_int + 1 ]
+
+let test_add_sub () =
+  let a = BN.of_string "123456789012345678901234567890" in
+  let b = BN.of_string "987654321098765432109876543210" in
+  Alcotest.check bn "a+b"
+    (BN.of_string "1111111110111111111011111111100")
+    (BN.add a b);
+  Alcotest.check bn "b-a"
+    (BN.of_string "864197532086419753208641975320")
+    (BN.sub b a);
+  Alcotest.check bn "a-b"
+    (BN.of_string "-864197532086419753208641975320")
+    (BN.sub a b);
+  Alcotest.check bn "a-a" BN.zero (BN.sub a a)
+
+let test_mul () =
+  let a = BN.of_string "123456789" in
+  Alcotest.check bn "square"
+    (BN.of_string "15241578750190521")
+    (BN.mul a a);
+  Alcotest.check bn "by zero" BN.zero (BN.mul a BN.zero);
+  Alcotest.check bn "signs"
+    (BN.of_string "-15241578750190521")
+    (BN.mul a (BN.neg a))
+
+let test_pow () =
+  Alcotest.check bn "2^10" (BN.of_int 1024) (BN.pow BN.two 10);
+  Alcotest.check bn "2^100"
+    (BN.of_string "1267650600228229401496703205376")
+    (BN.two_pow 100);
+  Alcotest.check bn "12^20"
+    (BN.of_string "3833759992447475122176")
+    (BN.pow (BN.of_int 12) 20);
+  Alcotest.check bn "x^0" BN.one (BN.pow (BN.of_int 7) 0)
+
+let test_divmod_int () =
+  let a = BN.of_string "1000000000000000000000001" in
+  let q, r = BN.divmod_int a 7 in
+  Alcotest.check bn "q*7+r" a (BN.add (BN.mul_int q 7) (BN.of_int r));
+  Alcotest.(check bool) "0<=r<7" true (r >= 0 && r < 7)
+
+let test_div_pow2 () =
+  let a = BN.two_pow 200 in
+  Alcotest.check bn "2^200/2^100" (BN.two_pow 100) (BN.div_pow2 a 100);
+  Alcotest.check bn "(2^200+1)/2^100"
+    (BN.two_pow 100)
+    (BN.div_pow2 (BN.succ a) 100);
+  Alcotest.check bn "ceil((2^200+1)/2^100)"
+    (BN.succ (BN.two_pow 100))
+    (BN.cdiv_pow2 (BN.succ a) 100);
+  Alcotest.check bn "ceil(2^200/2^100)" (BN.two_pow 100) (BN.cdiv_pow2 a 100)
+
+let test_compare () =
+  Alcotest.(check bool) "neg < pos" true (BN.compare BN.minus_one BN.one < 0);
+  Alcotest.(check bool) "ordering" true
+    (BN.compare (BN.two_pow 64) (BN.two_pow 65) < 0);
+  Alcotest.check bn "min" BN.minus_one (BN.min BN.minus_one BN.one);
+  Alcotest.check bn "max" BN.one (BN.max BN.minus_one BN.one)
+
+let test_to_string () =
+  Alcotest.(check string) "zero" "0" (BN.to_string BN.zero);
+  Alcotest.(check string)
+    "limb boundary" "1000000000"
+    (BN.to_string (BN.of_int 1_000_000_000));
+  Alcotest.(check string)
+    "negative" "-123456789123456789"
+    (BN.to_string (BN.of_string "-123456789123456789"))
+
+let test_divmod_general () =
+  let a = BN.of_string "123456789012345678901234567890123" in
+  let d = BN.of_string "987654321987654321" in
+  let q, r = BN.divmod a d in
+  Alcotest.check bn "reconstruct" a (BN.add (BN.mul q d) r);
+  Alcotest.(check bool) "0 <= r < d" true
+    (BN.sign r >= 0 && BN.compare r d < 0);
+  Alcotest.check bn "exact division" (BN.of_int 0)
+    (snd (BN.divmod (BN.mul d d) d));
+  Alcotest.check bn "by one" a (fst (BN.divmod a BN.one));
+  Alcotest.check bn "small by large" BN.zero (fst (BN.divmod d a))
+
+let test_bit_length () =
+  Alcotest.(check int) "0" 0 (BN.bit_length BN.zero);
+  Alcotest.(check int) "1" 1 (BN.bit_length BN.one);
+  Alcotest.(check int) "2^100" 101 (BN.bit_length (BN.two_pow 100));
+  Alcotest.(check int) "2^100 - 1" 100 (BN.bit_length (BN.pred (BN.two_pow 100)))
+
+let test_random_bignum () =
+  let rng = Rng.create 5 in
+  let bound = BN.of_string "1000000000000000000000" in
+  for _ = 1 to 200 do
+    let v = BN.random rng bound in
+    if BN.sign v < 0 || BN.compare v bound >= 0 then
+      Alcotest.failf "out of range: %s" (BN.to_string v)
+  done;
+  (* small bound hits every value *)
+  let seen = Array.make 5 false in
+  for _ = 1 to 300 do
+    match BN.to_int (BN.random rng (BN.of_int 5)) with
+    | Some v -> seen.(v) <- true
+    | None -> Alcotest.fail "small value expected"
+  done;
+  Alcotest.(check bool) "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_log2 () =
+  let check_close msg expected actual =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: |%f - %f| small" msg expected actual)
+      true
+      (Float.abs (expected -. actual) < 1e-6)
+  in
+  check_close "2^100" 100.0 (BN.log2 (BN.two_pow 100));
+  check_close "12^50"
+    (50.0 *. (Float.log 12. /. Float.log 2.))
+    (BN.log2 (BN.pow (BN.of_int 12) 50))
+
+(* properties *)
+
+let gen_bignum =
+  QCheck.Gen.(
+    map
+      (fun (a, b) -> BN.add (BN.mul (BN.of_int a) (BN.of_int b)) (BN.of_int a))
+      (pair int int))
+
+let arb_bignum = QCheck.make ~print:BN.to_string gen_bignum
+
+let prop_add_comm =
+  QCheck.Test.make ~name:"bignum add commutative" ~count:200
+    (QCheck.pair arb_bignum arb_bignum)
+    (fun (a, b) -> BN.equal (BN.add a b) (BN.add b a))
+
+let prop_mul_distributes =
+  QCheck.Test.make ~name:"bignum mul distributes over add" ~count:200
+    (QCheck.triple arb_bignum arb_bignum arb_bignum)
+    (fun (a, b, c) ->
+       BN.equal (BN.mul a (BN.add b c)) (BN.add (BN.mul a b) (BN.mul a c)))
+
+let prop_sub_inverse =
+  QCheck.Test.make ~name:"bignum a+b-b = a" ~count:200
+    (QCheck.pair arb_bignum arb_bignum)
+    (fun (a, b) -> BN.equal (BN.sub (BN.add a b) b) a)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"bignum of_string . to_string = id" ~count:200
+    arb_bignum
+    (fun a -> BN.equal a (BN.of_string (BN.to_string a)))
+
+let prop_divmod =
+  QCheck.Test.make ~name:"bignum divmod_int reconstructs" ~count:200
+    (QCheck.pair arb_bignum (QCheck.int_range 1 1_000_000_000))
+    (fun (a, k) ->
+       let a = BN.abs a in
+       let q, r = BN.divmod_int a k in
+       BN.equal a (BN.add (BN.mul_int q k) (BN.of_int r)) && r >= 0 && r < k)
+
+let prop_divmod_general =
+  QCheck.Test.make ~name:"bignum divmod reconstructs" ~count:200
+    (QCheck.pair arb_bignum arb_bignum)
+    (fun (a, d) ->
+       let a = BN.abs a and d = BN.abs d in
+       QCheck.assume (BN.sign d > 0);
+       let q, r = BN.divmod a d in
+       BN.equal a (BN.add (BN.mul q d) r)
+       && BN.sign r >= 0
+       && BN.compare r d < 0)
+
+(* --- Bitset ----------------------------------------------------------- *)
+
+let test_bitset_basic () =
+  let s = Bitset.of_list 100 [ 0; 61; 62; 63; 99 ] in
+  Alcotest.(check int) "cardinal" 5 (Bitset.cardinal s);
+  Alcotest.(check bool) "mem 62" true (Bitset.mem s 62);
+  Alcotest.(check bool) "mem 50" false (Bitset.mem s 50);
+  Alcotest.(check (list int))
+    "elements" [ 0; 61; 62; 63; 99 ] (Bitset.elements s);
+  let s2 = Bitset.remove (Bitset.add s 50) 0 in
+  Alcotest.(check (list int))
+    "add/remove" [ 50; 61; 62; 63; 99 ] (Bitset.elements s2)
+
+let test_bitset_ops () =
+  let a = Bitset.of_list 70 [ 1; 2; 3; 65 ] in
+  let b = Bitset.of_list 70 [ 3; 4; 65; 69 ] in
+  Alcotest.(check (list int))
+    "union" [ 1; 2; 3; 4; 65; 69 ]
+    (Bitset.elements (Bitset.union a b));
+  Alcotest.(check (list int))
+    "inter" [ 3; 65 ]
+    (Bitset.elements (Bitset.inter a b));
+  Alcotest.(check (list int))
+    "diff" [ 1; 2 ]
+    (Bitset.elements (Bitset.diff a b));
+  Alcotest.(check bool) "not disjoint" false (Bitset.disjoint a b);
+  Alcotest.(check bool) "subset inter" true (Bitset.subset (Bitset.inter a b) a)
+
+let test_bitset_complement () =
+  let a = Bitset.of_list 5 [ 0; 2; 4 ] in
+  Alcotest.(check (list int))
+    "complement" [ 1; 3 ]
+    (Bitset.elements (Bitset.complement a));
+  Alcotest.(check int) "full" 5 (Bitset.cardinal (Bitset.full 5));
+  Alcotest.(check bool)
+    "compl full is empty" true
+    (Bitset.is_empty (Bitset.complement (Bitset.full 5)))
+
+let test_bitset_mask () =
+  let m = 0b101101 in
+  let s = Bitset.of_mask 6 m in
+  Alcotest.(check int) "to_mask" m (Bitset.to_mask s);
+  Alcotest.(check (list int)) "elements" [ 0; 2; 3; 5 ] (Bitset.elements s)
+
+let prop_bitset_union_card =
+  QCheck.Test.make ~name:"bitset |A∪B| + |A∩B| = |A| + |B|" ~count:200
+    (QCheck.pair (QCheck.list (QCheck.int_range 0 199))
+       (QCheck.list (QCheck.int_range 0 199)))
+    (fun (la, lb) ->
+       let a = Bitset.of_list 200 la and b = Bitset.of_list 200 lb in
+       Bitset.cardinal (Bitset.union a b) + Bitset.cardinal (Bitset.inter a b)
+       = Bitset.cardinal a + Bitset.cardinal b)
+
+let prop_bitset_demorgan =
+  QCheck.Test.make ~name:"bitset De Morgan" ~count:200
+    (QCheck.pair (QCheck.list (QCheck.int_range 0 99))
+       (QCheck.list (QCheck.int_range 0 99)))
+    (fun (la, lb) ->
+       let a = Bitset.of_list 100 la and b = Bitset.of_list 100 lb in
+       Bitset.equal
+         (Bitset.complement (Bitset.union a b))
+         (Bitset.inter (Bitset.complement a) (Bitset.complement b)))
+
+(* --- Rng -------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let r1 = Rng.create 42 and r2 = Rng.create 42 in
+  let l1 = List.init 20 (fun _ -> Rng.int r1 1000) in
+  let l2 = List.init 20 (fun _ -> Rng.int r2 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" l1 l2
+
+let test_rng_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 3 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+(* --- Prelude ---------------------------------------------------------- *)
+
+let test_prelude_ranges () =
+  Alcotest.(check (list int)) "range" [ 2; 3; 4 ] (Ucfg_util.Prelude.range 2 5);
+  Alcotest.(check (list int))
+    "range_incl" [ 2; 3; 4; 5 ]
+    (Ucfg_util.Prelude.range_incl 2 5);
+  Alcotest.(check (list int)) "empty" [] (Ucfg_util.Prelude.range 5 5)
+
+let test_prelude_log2 () =
+  Alcotest.(check int) "floor 1" 0 (Prelude.log2_floor 1);
+  Alcotest.(check int) "floor 7" 2 (Prelude.log2_floor 7);
+  Alcotest.(check int) "floor 8" 3 (Prelude.log2_floor 8);
+  Alcotest.(check int) "ceil 7" 3 (Prelude.log2_ceil 7);
+  Alcotest.(check int) "ceil 8" 3 (Prelude.log2_ceil 8);
+  Alcotest.(check int) "ceil 9" 4 (Prelude.log2_ceil 9)
+
+let test_prelude_binary_digits () =
+  Alcotest.(check (list int)) "13" [ 0; 2; 3 ] (Prelude.binary_digits 13);
+  Alcotest.(check (list int)) "0" [] (Prelude.binary_digits 0);
+  Alcotest.(check int)
+    "reconstruct" 1234
+    (Prelude.sum_int (List.map (fun i -> 1 lsl i) (Prelude.binary_digits 1234)))
+
+let test_prelude_group_by () =
+  let groups = Prelude.group_by_key [ (1, "a"); (2, "b"); (1, "c") ] in
+  Alcotest.(check int) "two groups" 2 (List.length groups);
+  Alcotest.(check (list string)) "group 1" [ "a"; "c" ] (List.assoc 1 groups)
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_add_comm; prop_mul_distributes; prop_sub_inverse;
+      prop_string_roundtrip; prop_divmod; prop_divmod_general;
+      prop_bitset_union_card;
+      prop_bitset_demorgan ]
+
+let () =
+  Alcotest.run "ucfg_util"
+    [
+      ( "bignum",
+        [
+          Alcotest.test_case "of_int roundtrip" `Quick test_of_int_roundtrip;
+          Alcotest.test_case "add/sub" `Quick test_add_sub;
+          Alcotest.test_case "mul" `Quick test_mul;
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "divmod_int" `Quick test_divmod_int;
+          Alcotest.test_case "divmod general" `Quick test_divmod_general;
+          Alcotest.test_case "bit_length" `Quick test_bit_length;
+          Alcotest.test_case "random" `Quick test_random_bignum;
+          Alcotest.test_case "div_pow2" `Quick test_div_pow2;
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+          Alcotest.test_case "log2" `Quick test_log2;
+        ] );
+      ( "bitset",
+        [
+          Alcotest.test_case "basic" `Quick test_bitset_basic;
+          Alcotest.test_case "boolean ops" `Quick test_bitset_ops;
+          Alcotest.test_case "complement" `Quick test_bitset_complement;
+          Alcotest.test_case "mask roundtrip" `Quick test_bitset_mask;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+        ] );
+      ( "prelude",
+        [
+          Alcotest.test_case "ranges" `Quick test_prelude_ranges;
+          Alcotest.test_case "log2" `Quick test_prelude_log2;
+          Alcotest.test_case "binary digits" `Quick test_prelude_binary_digits;
+          Alcotest.test_case "group_by" `Quick test_prelude_group_by;
+        ] );
+      ("properties", qtests);
+    ]

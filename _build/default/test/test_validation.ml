@@ -1,0 +1,192 @@
+(* Failure injection: every public constructor and algorithm must reject
+   ill-formed input with a clear [Invalid_argument], never crash or return
+   garbage.  One suite sweeping the whole library surface. *)
+
+open Ucfg_word
+open Ucfg_lang
+open Ucfg_cfg
+module BN = Ucfg_util.Bignum
+
+let raises_invalid name f =
+  Alcotest.test_case name `Quick (fun () ->
+      match f () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "%s: expected Invalid_argument" name)
+
+let util_cases =
+  [
+    raises_invalid "Bignum.pow negative exponent" (fun () ->
+        BN.pow BN.two (-1));
+    raises_invalid "Bignum.divmod_int zero divisor" (fun () ->
+        BN.divmod_int BN.one 0);
+    raises_invalid "Bignum.divmod negative dividend" (fun () ->
+        BN.divmod BN.minus_one BN.one);
+    raises_invalid "Bignum.divmod zero divisor" (fun () ->
+        BN.divmod BN.one BN.zero);
+    raises_invalid "Bignum.of_string empty" (fun () -> BN.of_string "");
+    raises_invalid "Bignum.of_string junk" (fun () -> BN.of_string "12x4");
+    raises_invalid "Bignum.random non-positive bound" (fun () ->
+        BN.random (Ucfg_util.Rng.create 1) BN.zero);
+    raises_invalid "Bignum.log2 of zero" (fun () -> BN.log2 BN.zero);
+    raises_invalid "Bitset out of range" (fun () ->
+        Ucfg_util.Bitset.mem (Ucfg_util.Bitset.create 4) 4);
+    raises_invalid "Bitset size mismatch" (fun () ->
+        Ucfg_util.Bitset.union (Ucfg_util.Bitset.create 4)
+          (Ucfg_util.Bitset.create 5));
+    raises_invalid "Rng.int non-positive" (fun () ->
+        Ucfg_util.Rng.int (Ucfg_util.Rng.create 1) 0);
+  ]
+
+let word_cases =
+  [
+    raises_invalid "Word.slice out of range" (fun () -> Word.slice "ab" 1 2);
+    raises_invalid "Word.complement non-binary" (fun () ->
+        Word.complement "axb");
+    raises_invalid "Word.of_bits too long" (fun () -> Word.of_bits ~len:63 0);
+    raises_invalid "Word.to_bits non-binary" (fun () -> Word.to_bits "xy");
+    raises_invalid "Alphabet.char_at range" (fun () ->
+        Alphabet.char_at Alphabet.binary 2);
+  ]
+
+let lang_cases =
+  [
+    raises_invalid "Ln.slice bad k" (fun () -> Ln.slice 3 3);
+    raises_invalid "Ln.star odd n" (fun () -> Ln.star 3);
+    raises_invalid "Ln_stream odd char" (fun () ->
+        Ln_stream.feed (Ln_stream.create 2) 'x');
+    raises_invalid "Ln_stream n too large" (fun () -> Ln_stream.create 61);
+  ]
+
+let cfg_cases =
+  [
+    raises_invalid "Grammar bad start" (fun () ->
+        Grammar.make ~alphabet:Alphabet.binary ~names:[| "S" |] ~rules:[]
+          ~start:1);
+    raises_invalid "Constructions.log_cfg 0" (fun () ->
+        Constructions.log_cfg 0);
+    raises_invalid "Constructions.example4 0" (fun () ->
+        Constructions.example4 0);
+    raises_invalid "Constructions.example3 -1" (fun () ->
+        Constructions.example3 (-1));
+    raises_invalid "Cyk on non-CNF" (fun () ->
+        Cyk.recognize (Constructions.log_cfg 3) "aabaab");
+    raises_invalid "Count.derivations_by_length non-CNF" (fun () ->
+        Count.derivations_by_length (Constructions.log_cfg 3) 6);
+    raises_invalid "Direct_access non-CNF" (fun () ->
+        Direct_access.create (Constructions.log_cfg 3) ~max_len:6);
+    raises_invalid "Length_annotate on mixed lengths" (fun () ->
+        Length_annotate.annotate
+          (Constructions.of_language Alphabet.binary
+             (Lang.of_list [ "a"; "aa" ])));
+    raises_invalid "Length_annotate on empty language" (fun () ->
+        Length_annotate.annotate
+          (Grammar.make ~alphabet:Alphabet.binary ~names:[| "S" |] ~rules:[]
+             ~start:0));
+    raises_invalid "Slp.of_word empty" (fun () -> Slp.of_word "");
+    raises_invalid "Slp.power 0" (fun () -> Slp.power (Slp.of_word "a") 0);
+    raises_invalid "Slp.char_at out of range" (fun () ->
+        Slp.char_at (Slp.of_word "ab") (BN.of_int 2));
+    raises_invalid "Slp.to_word too long" (fun () ->
+        Slp.to_word ~max_len:10 (Slp.power (Slp.of_word "ab") 1024));
+    raises_invalid "Ops.union alphabet mismatch" (fun () ->
+        Ops.union
+          (Constructions.of_language Alphabet.binary (Lang.singleton "a"))
+          (Constructions.of_language (Alphabet.make [ 'x'; 'y' ])
+             (Lang.singleton "x")));
+    raises_invalid "Ambiguity.check on infinite-trees grammar" (fun () ->
+        Ambiguity.check
+          (Grammar.make ~alphabet:Alphabet.binary ~names:[| "S"; "A" |]
+             ~rules:
+               [
+                 { Grammar.lhs = 0; rhs = [ Grammar.N 1 ] };
+                 { Grammar.lhs = 1; rhs = [ Grammar.N 0 ] };
+                 { Grammar.lhs = 0; rhs = [ Grammar.T 'a' ] };
+               ]
+             ~start:0));
+  ]
+
+let automata_cases =
+  [
+    raises_invalid "Nfa bad state" (fun () ->
+        Ucfg_automata.Nfa.make ~alphabet:Alphabet.binary ~states:1
+          ~initials:[ 1 ] ~finals:[] ~transitions:[] ());
+    raises_invalid "Nfa foreign symbol" (fun () ->
+        Ucfg_automata.Nfa.make ~alphabet:Alphabet.binary ~states:1
+          ~initials:[ 0 ] ~finals:[] ~transitions:[ (0, 'z', 0) ] ());
+    raises_invalid "Ln_nfa.build 0" (fun () -> Ucfg_automata.Ln_nfa.build 0);
+    raises_invalid "product with ε" (fun () ->
+        let m =
+          Ucfg_automata.Nfa.make ~alphabet:Alphabet.binary ~states:2
+            ~initials:[ 0 ] ~finals:[ 1 ] ~transitions:[]
+            ~epsilons:[ (0, 1) ] ()
+        in
+        Ucfg_automata.Nfa.product m m);
+    raises_invalid "Bar_hillel with ε" (fun () ->
+        let m =
+          Ucfg_automata.Nfa.make ~alphabet:Alphabet.binary ~states:2
+            ~initials:[ 0 ] ~finals:[ 1 ] ~transitions:[]
+            ~epsilons:[ (0, 1) ] ()
+        in
+        Ucfg_automata.Bar_hillel.intersect (Constructions.log_cfg 2) m);
+    raises_invalid "nfa_of_right_linear on non-linear" (fun () ->
+        Ucfg_automata.Translate.nfa_of_right_linear (Constructions.log_cfg 2));
+  ]
+
+let rect_cases =
+  [
+    raises_invalid "Partition bad interval" (fun () ->
+        Ucfg_rect.Partition.make ~n:2 3 2);
+    raises_invalid "Partition.neaten n not mult of 4" (fun () ->
+        Ucfg_rect.Partition.neaten (Ucfg_rect.Partition.make ~n:3 1 3));
+    raises_invalid "Rectangle.make bad lengths" (fun () ->
+        Ucfg_rect.Rectangle.make ~n1:1 ~n2:1 ~n3:1
+          ~outer:(Lang.singleton "abc") ~middle:(Lang.singleton "a"));
+    raises_invalid "Set_rectangle mask outside part" (fun () ->
+        Ucfg_rect.Set_rectangle.make
+          (Ucfg_rect.Partition.make ~n:2 1 2)
+          ~outer:[ 0b0001 ] ~inner:[]);
+    raises_invalid "Extract on word length 1" (fun () ->
+        Ucfg_rect.Extract.run
+          (Constructions.of_language Alphabet.binary (Lang.singleton "a")));
+    raises_invalid "Blocks.create not mult of 4" (fun () ->
+        Ucfg_disc.Blocks.create 6);
+  ]
+
+let kc_cases =
+  [
+    raises_invalid "Circuit forward edge" (fun () ->
+        Ucfg_kc.Circuit.make ~vars:1
+          ~nodes:[| Ucfg_kc.Circuit.And [ 1 ]; Ucfg_kc.Circuit.True |] ~root:0);
+    raises_invalid "Circuit bad variable" (fun () ->
+        Ucfg_kc.Circuit.make ~vars:1
+          ~nodes:[| Ucfg_kc.Circuit.Lit (1, true) |] ~root:0);
+    raises_invalid "Circuit.models too many vars" (fun () ->
+        Ucfg_kc.Circuit.models (Ucfg_kc.Ln_circuit.naive 16));
+  ]
+
+let fr_cases =
+  [
+    raises_invalid "Join.make width" (fun () ->
+        Ucfg_fr.Join.make ~width:2 [ ("a", "ab") ]);
+    raises_invalid "Join width mismatch" (fun () ->
+        Ucfg_fr.Join.factorize
+          (Ucfg_fr.Join.make ~width:1 [ ("a", "b") ])
+          (Ucfg_fr.Join.make ~width:2 [ ("aa", "bb") ]));
+    raises_invalid "Drep children order" (fun () ->
+        Ucfg_fr.Drep.make ~alphabet:Alphabet.binary
+          ~nodes:[| Ucfg_fr.Drep.Union [ 1 ]; Ucfg_fr.Drep.Letter 'a' |]
+          ~root:0);
+  ]
+
+let () =
+  Alcotest.run "ucfg_validation"
+    [
+      ("util", util_cases);
+      ("word", word_cases);
+      ("lang", lang_cases);
+      ("cfg", cfg_cases);
+      ("automata", automata_cases);
+      ("rect+disc", rect_cases);
+      ("kc", kc_cases);
+      ("fr", fr_cases);
+    ]

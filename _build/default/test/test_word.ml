@@ -1,0 +1,110 @@
+(* Tests for alphabets and words. *)
+
+open Ucfg_word
+
+let test_alphabet_basic () =
+  let alpha = Alphabet.make [ 'x'; 'y'; 'z' ] in
+  Alcotest.(check int) "size" 3 (Alphabet.size alpha);
+  Alcotest.(check bool) "mem y" true (Alphabet.mem alpha 'y');
+  Alcotest.(check bool) "mem w" false (Alphabet.mem alpha 'w');
+  Alcotest.(check int) "index z" 2 (Alphabet.index alpha 'z');
+  Alcotest.(check char) "char_at 1" 'y' (Alphabet.char_at alpha 1)
+
+let test_alphabet_rejects_duplicates () =
+  Alcotest.check_raises "duplicates"
+    (Invalid_argument "Alphabet.make: duplicate characters") (fun () ->
+        ignore (Alphabet.make [ 'a'; 'a' ]));
+  Alcotest.check_raises "empty" (Invalid_argument "Alphabet.make: empty alphabet")
+    (fun () -> ignore (Alphabet.make []))
+
+let test_binary () =
+  Alcotest.(check (list char)) "chars" [ 'a'; 'b' ] (Alphabet.chars Alphabet.binary)
+
+let test_complement () =
+  Alcotest.(check string) "abba" "baab" (Word.complement "abba");
+  Alcotest.(check string) "empty" "" (Word.complement "");
+  Alcotest.(check string) "involution" "abab"
+    (Word.complement (Word.complement "abab"))
+
+let test_slice () =
+  Alcotest.(check string) "middle" "bc" (Word.slice "abcd" 1 2);
+  Alcotest.(check string) "empty slice" "" (Word.slice "abcd" 2 0);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Word.slice: out of range") (fun () ->
+        ignore (Word.slice "abc" 2 2))
+
+let test_enumerate () =
+  let words = List.of_seq (Word.enumerate Alphabet.binary 2) in
+  Alcotest.(check (list string)) "Σ^2" [ "aa"; "ab"; "ba"; "bb" ] words;
+  Alcotest.(check (list string))
+    "Σ^0" [ "" ]
+    (List.of_seq (Word.enumerate Alphabet.binary 0));
+  Alcotest.(check int)
+    "Σ^5 count" 32
+    (Seq.length (Word.enumerate Alphabet.binary 5))
+
+let test_enumerate_persistent () =
+  (* the sequence must be re-traversable *)
+  let s = Word.enumerate Alphabet.binary 3 in
+  Alcotest.(check int) "first pass" 8 (Seq.length s);
+  Alcotest.(check int) "second pass" 8 (Seq.length s)
+
+let test_count () =
+  Alcotest.(check string)
+    "2^10" "1024"
+    (Ucfg_util.Bignum.to_string (Word.count Alphabet.binary 10));
+  Alcotest.(check string)
+    "3^4" "81"
+    (Ucfg_util.Bignum.to_string (Word.count (Alphabet.make [ 'x'; 'y'; 'z' ]) 4))
+
+let test_bits_roundtrip () =
+  Alcotest.(check string) "of_bits" "aba" (Word.of_bits ~len:3 0b101);
+  Alcotest.(check int) "to_bits" 0b101 (Word.to_bits "aba");
+  Alcotest.(check string) "all b" "bbbb" (Word.of_bits ~len:4 0)
+
+let prop_bits_roundtrip =
+  QCheck.Test.make ~name:"word of_bits/to_bits roundtrip" ~count:500
+    (QCheck.pair (QCheck.int_range 0 20) (QCheck.int_range 0 (1 lsl 20)))
+    (fun (len, bits) ->
+       let bits = bits land ((1 lsl len) - 1) in
+       Word.to_bits (Word.of_bits ~len bits) = bits)
+
+let prop_complement_involution =
+  QCheck.Test.make ~name:"complement is an involution" ~count:200
+    (QCheck.pair (QCheck.int_range 0 16) (QCheck.int_range 0 (1 lsl 16)))
+    (fun (len, bits) ->
+       let w = Word.of_bits ~len (bits land ((1 lsl len) - 1)) in
+       Word.equal w (Word.complement (Word.complement w)))
+
+let prop_enumerate_count =
+  QCheck.Test.make ~name:"enumerate yields |Σ|^n distinct words" ~count:20
+    (QCheck.int_range 0 8)
+    (fun n ->
+       let l = List.of_seq (Word.enumerate Alphabet.binary n) in
+       List.length l = 1 lsl n
+       && List.length (List.sort_uniq compare l) = 1 lsl n)
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_bits_roundtrip; prop_complement_involution; prop_enumerate_count ]
+
+let () =
+  Alcotest.run "ucfg_word"
+    [
+      ( "alphabet",
+        [
+          Alcotest.test_case "basic" `Quick test_alphabet_basic;
+          Alcotest.test_case "validation" `Quick test_alphabet_rejects_duplicates;
+          Alcotest.test_case "binary" `Quick test_binary;
+        ] );
+      ( "word",
+        [
+          Alcotest.test_case "complement" `Quick test_complement;
+          Alcotest.test_case "slice" `Quick test_slice;
+          Alcotest.test_case "enumerate" `Quick test_enumerate;
+          Alcotest.test_case "enumerate persistent" `Quick test_enumerate_persistent;
+          Alcotest.test_case "count" `Quick test_count;
+          Alcotest.test_case "bits roundtrip" `Quick test_bits_roundtrip;
+        ] );
+      ("properties", qtests);
+    ]
