@@ -1,0 +1,39 @@
+# Development entry points.  `make check` is the full gate: build
+# everything, run the test suites, then dogfood the linter on the paper's
+# grammars and the example files (expected-ambiguous inputs must exit 1,
+# expected-clean ones must exit 0).
+
+CLI := dune exec --no-build -- bin/ucfg_cli.exe
+
+.PHONY: build test lint bench check clean
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+lint: build
+	$(CLI) lint --list
+	@echo "-- example4 n=4 (unambiguous construction, must pass)"
+	$(CLI) lint --kind example4 -n 4
+	@echo "-- trivial n=3 (one rule per word, must pass)"
+	$(CLI) lint --kind trivial -n 3
+	@echo "-- log n=6 (Appendix A, ambiguous: lint must exit 1)"
+	! $(CLI) lint --kind log -n 6
+	@echo "-- example3 t=2 (KMN grammar, ambiguous: lint must exit 1)"
+	! $(CLI) lint --kind example3 -n 2
+	@echo "-- example grammar files"
+	$(CLI) lint --from-file examples/grammars/unambiguous_pairs.cfg
+	! $(CLI) lint --from-file examples/grammars/ambiguous_dup.cfg
+	@echo "-- Theorem 1(2) NFA (ambiguous: lint must exit 1)"
+	! $(CLI) lint --nfa -n 6
+
+bench:
+	dune exec bench/main.exe e24
+
+check: build test lint
+	@echo "check: OK"
+
+clean:
+	dune clean

@@ -836,6 +836,52 @@ let e23_overlap_asymmetry () =
           ])
        [ 2; 3; 4; 5; 6; 7 ])
 
+(* ----------------------------------------------------------------- E24 *)
+
+let e24_lint_fastpath () =
+  (* the linter's sound pre-checks vs the exhaustive count on the Appendix-A
+     grammars: the bounded tree-count probe finds a duplicated word without
+     materialising the language, so the fast path in Ambiguity.check wins by
+     a growing factor (the exhaustive path enumerates ~4^n words) *)
+  let time f =
+    let t0 = Sys.time () in
+    let rec loop i last = if i = 0 then last else loop (i - 1) (f ()) in
+    let r = loop 5 (f ()) in
+    (r, (Sys.time () -. t0) /. 6.0 *. 1e3)
+  in
+  Report.print_table
+    ~title:
+      "E24 lint fast path: Ambiguity.is_unambiguous on log_cfg n, exhaustive \
+       vs static pre-checks (ms per call, mean of 6)"
+    ~headers:[ "n"; "exhaustive ms"; "fast ms"; "speedup"; "agree" ]
+    (List.map
+       (fun n ->
+          let g = Constructions.log_cfg n in
+          let slow, slow_ms = time (fun () -> Ambiguity.is_unambiguous ~fast:false g) in
+          let fast, fast_ms = time (fun () -> Ambiguity.is_unambiguous g) in
+          [
+            string_of_int n;
+            Printf.sprintf "%.2f" slow_ms;
+            Printf.sprintf "%.2f" fast_ms;
+            Printf.sprintf "%.1fx" (slow_ms /. Float.max fast_ms 1e-6);
+            string_of_bool (slow = fast);
+          ])
+       [ 4; 5; 6; 7; 8 ]);
+  (* beyond n=8 the exhaustive count is out of reach (4^n - 3^n words); the
+     static verdict still answers in milliseconds *)
+  let t0 = Sys.time () in
+  let v = Ucfg_lint.Grammar_lint.verdict
+      (Ucfg_lint.Grammar_lint.run (Constructions.log_cfg 16))
+  in
+  Printf.printf
+    "log_cfg 16 (|L_16| = %s words): lint verdict %s in %.2f ms\n"
+    (Bignum.to_string (Ln.cardinal 16))
+    (match v with
+     | `Ambiguous -> "ambiguous"
+     | `Unambiguous -> "unambiguous"
+     | `Unknown -> "unknown")
+    ((Sys.time () -. t0) *. 1e3)
+
 (* ------------------------------------------------------- timing section *)
 
 let timings () =
@@ -870,6 +916,13 @@ let timings () =
         (let nfa = Ucfg_automata.Ln_nfa.build 16 in
          let w = String.init 32 (fun i -> if i mod 3 = 0 then 'a' else 'b') in
          Staged.stage (fun () -> ignore (Ucfg_automata.Nfa.accepts nfa w)));
+      Test.make ~name:"ambiguity exhaustive (log_cfg 6)"
+        (let g = Constructions.log_cfg 6 in
+         Staged.stage (fun () ->
+             ignore (Ambiguity.is_unambiguous ~fast:false g)));
+      Test.make ~name:"ambiguity lint fast-path (log_cfg 6)"
+        (let g = Constructions.log_cfg 6 in
+         Staged.stage (fun () -> ignore (Ambiguity.is_unambiguous g)));
     ]
   in
   let ols =
@@ -907,7 +960,7 @@ let experiments =
     ("e15", e15_bar_hillel); ("e16", e16_direct_access); ("e17", e17_slp);
     ("e18", e18_circuits); ("e19", e19_profiles); ("e20", e20_ufa);
     ("e21", e21_structured); ("e22", e22_disambiguate);
-    ("e23", e23_overlap_asymmetry);
+    ("e23", e23_overlap_asymmetry); ("e24", e24_lint_fastpath);
     ("timings", timings);
   ]
 

@@ -33,6 +33,22 @@ let build_grammar kind n =
   | `Trivial ->
     Constructions.of_language Ucfg_word.Alphabet.binary (Ln.language n)
 
+let load_grammar path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  Grammar_io.parse Ucfg_word.Alphabet.binary text
+
+let from_file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "from-file" ] ~docv:"PATH"
+        ~doc:
+          "Load a grammar from a file (Grammar_io text format over the \
+           binary alphabet) instead of building a construction.")
+
 (* --- separation ---------------------------------------------------------- *)
 
 let separation_cmd =
@@ -56,12 +72,7 @@ let grammar_cmd =
   let run kind n print check from_file =
     let g =
       match from_file with
-      | Some path ->
-        let ic = open_in path in
-        let len = in_channel_length ic in
-        let text = really_input_string ic len in
-        close_in ic;
-        Grammar_io.parse Ucfg_word.Alphabet.binary text
+      | Some path -> load_grammar path
       | None -> build_grammar kind n
     in
     Printf.printf "size: %d\nnonterminals: %d\nrules: %d\n" (Grammar.size g)
@@ -88,15 +99,6 @@ let grammar_cmd =
       value & flag
       & info [ "check" ]
           ~doc:"Verify the language against brute force and decide ambiguity.")
-  in
-  let from_file_arg =
-    Arg.(
-      value
-      & opt (some file) None
-      & info [ "from-file" ] ~docv:"PATH"
-          ~doc:
-            "Load a grammar from a file (Grammar_io text format over the \
-             binary alphabet) instead of building a construction.")
   in
   Cmd.v
     (Cmd.info "grammar"
@@ -284,6 +286,63 @@ let intersect_cmd =
        ~doc:"Rebuild L_n by the Bar–Hillel product Σ^2n ∩ pattern.")
     Term.(const run $ n_arg $ check_arg)
 
+(* --- lint ----------------------------------------------------------------- *)
+
+let lint_cmd =
+  let run kind n from_file json nfa list_checks =
+    if list_checks then begin
+      let print_registry title checks =
+        Printf.printf "%s\n" title;
+        List.iter
+          (fun (c : Ucfg_lint.Diag.check) ->
+             Printf.printf "  %s  %-11s %s\n" c.code
+               (Ucfg_lint.Diag.soundness_label c.soundness)
+               c.title)
+          checks
+      in
+      print_registry "Grammar checks:" Ucfg_lint.Grammar_lint.checks;
+      print_registry "NFA checks:" Ucfg_lint.Nfa_lint.checks;
+      exit 0
+    end;
+    let diags =
+      if nfa then Ucfg_lint.Nfa_lint.run (Ucfg_automata.Ln_nfa.build n)
+      else begin
+        let g =
+          match from_file with
+          | Some path -> load_grammar path
+          | None -> build_grammar kind n
+        in
+        Ucfg_lint.Grammar_lint.run g
+      end
+    in
+    if json then print_endline (Ucfg_lint.Diag.list_to_json diags)
+    else Format.printf "%a@." Ucfg_lint.Diag.pp_report diags;
+    exit (if Ucfg_lint.Diag.has_errors diags then 1 else 0)
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as JSON.")
+  in
+  let nfa_arg =
+    Arg.(
+      value & flag
+      & info [ "nfa" ]
+          ~doc:"Lint the Theorem 1(2) NFA for L_n instead of a grammar.")
+  in
+  let list_arg =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"List every check code and its soundness status.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static diagnostics for a grammar or NFA: dead symbols, cycles, CNF \
+          readiness, and sound ambiguity pre-checks.  Exits 1 when an error \
+          fires (definite ambiguity).")
+    Term.(
+      const run $ kind_arg $ n_arg $ from_file_arg $ json_arg $ nfa_arg
+      $ list_arg)
+
 (* --- circuit ---------------------------------------------------------------- *)
 
 let circuit_cmd =
@@ -307,6 +366,6 @@ let main_cmd =
   in
   Cmd.group (Cmd.info "ucfg" ~version:"1.0.0" ~doc)
     [ separation_cmd; grammar_cmd; count_cmd; rectangles_cmd; bound_cmd;
-      csv_cmd; access_cmd; profile_cmd; intersect_cmd; circuit_cmd ]
+      csv_cmd; access_cmd; profile_cmd; intersect_cmd; lint_cmd; circuit_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,29 +1,60 @@
 open Ucfg_lang
 module Bignum = Ucfg_util.Bignum
 
+type method_ = Certificate | Static_witness of string | Counting
+
 type verdict = {
   unambiguous : bool;
-  total_trees : Bignum.t;
-  word_count : int;
+  total_trees : Bignum.t option;
+  word_count : int option;
+  via : method_;
 }
 
-let check ?max_len ?max_card g =
-  let g = Trim.trim g in
+let check_by_counting ?max_len ?max_card g =
   let lang = Analysis.language_exn ?max_len ?max_card g in
   let word_count = Lang.cardinal lang in
+  let total_trees = Analysis.count_trees_total g in
+  let unambiguous = Bignum.equal total_trees (Bignum.of_int word_count) in
+  {
+    unambiguous;
+    total_trees = Some total_trees;
+    word_count = Some word_count;
+    via = Counting;
+  }
+
+let check ?max_len ?max_card ?(fast = true) g =
+  let g = Trim.trim g in
   if not (Analysis.has_finitely_many_trees g) then
     (* a trimmed grammar with a dependency cycle pumps parse trees;
        infinitely many trees over finitely many words forces a word with
        two trees (the trimmed grammar is non-empty, else it is acyclic) *)
     invalid_arg "Ambiguity.check: infinitely many parse trees (grammar is \
                  trivially ambiguous on a finite language)"
-  else begin
-    let total_trees = Analysis.count_trees_total g in
-    let unambiguous = Bignum.equal total_trees (Bignum.of_int word_count) in
-    { unambiguous; total_trees; word_count }
-  end
+  else
+    match if fast then Static.verdict g else Static.Unknown with
+    | Static.Unambiguous ->
+      (* certified unambiguous: every word has exactly one tree, so the
+         polynomial tree-count DP doubles as the word count — the language
+         is never materialised *)
+      let total = Analysis.count_trees_total g in
+      {
+        unambiguous = true;
+        total_trees = Some total;
+        word_count = Bignum.to_int total;
+        via = Certificate;
+      }
+    | Static.Ambiguous { word; _ } ->
+      (* a sound witness: no need to enumerate anything *)
+      {
+        unambiguous = false;
+        total_trees = None;
+        word_count = None;
+        via = Static_witness word;
+      }
+    | Static.Unknown -> check_by_counting ?max_len ?max_card g
 
-let is_unambiguous ?max_len ?max_card g = (check ?max_len ?max_card g).unambiguous
+let is_unambiguous ?max_len ?max_card ?fast g =
+  (check ?max_len ?max_card ?fast g).unambiguous
 
 type profile = {
   word_total : int;
@@ -61,17 +92,21 @@ let profile ?max_len ?max_card g =
     histogram;
   }
 
-let ambiguous_witness ?max_len ?max_card g =
+let ambiguous_witness ?max_len ?max_card ?(fast = true) g =
   let g = Trim.trim g in
-  let lang = Analysis.language_exn ?max_len ?max_card g in
   if not (Analysis.has_finitely_many_trees g) then
     invalid_arg "Ambiguity.ambiguous_witness: infinitely many parse trees"
   else
-    Lang.fold
-      (fun w acc ->
-         match acc with
-         | Some _ -> acc
-         | None ->
-           if Bignum.compare (Count_word.trees g w) Bignum.one > 0 then Some w
-           else None)
-      lang None
+    match if fast then Static.verdict g else Static.Unknown with
+    | Static.Ambiguous { word; _ } -> Some word
+    | Static.Unambiguous -> None
+    | Static.Unknown ->
+      let lang = Analysis.language_exn ?max_len ?max_card g in
+      Lang.fold
+        (fun w acc ->
+           match acc with
+           | Some _ -> acc
+           | None ->
+             if Bignum.compare (Count_word.trees g w) Bignum.one > 0 then Some w
+             else None)
+        lang None

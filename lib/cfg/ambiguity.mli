@@ -4,29 +4,52 @@
     for finite languages it is decidable by exact counting: a grammar is
     unambiguous iff its total number of parse trees equals the number of
     words in its language (every word has at least one tree, so equality
-    forces exactly one each). *)
+    forces exactly one each).
+
+    Counting is exponential in word length, so {!check} first consults the
+    sound static pre-checks of {!Static} (the linter's certificate and
+    definite-ambiguity probe): when a static verdict is conclusive the
+    language is never materialised.  Pass [~fast:false] to force the
+    exhaustive path — the two always agree (property-tested). *)
+
+(** How a verdict was reached. *)
+type method_ =
+  | Certificate  (** {!Static.certificate} held — no enumeration ran *)
+  | Static_witness of string
+      (** {!Static.probe} exhibited this word with two parse trees — no
+          enumeration ran *)
+  | Counting  (** the exhaustive tree-count / word-count comparison *)
 
 type verdict = {
   unambiguous : bool;
-  total_trees : Ucfg_util.Bignum.t;
-  word_count : int;
+  total_trees : Ucfg_util.Bignum.t option;
+      (** [None] when a static witness short-circuited the count *)
+  word_count : int option;
+      (** [None] when the fast path skipped enumeration (or, under
+          [Certificate], when the count exceeds native [int]) *)
+  via : method_;
 }
 
-(** [check ?max_len ?max_card g] decides unambiguity of [g].
+(** [check ?max_len ?max_card ?fast g] decides unambiguity of [g].
+    [fast] (default [true]) consults the static certificate and
+    definite-ambiguity probe first and skips enumeration when conclusive.
     @raise Invalid_argument when the language is infinite or too large to
     materialise under the caps (see {!Analysis.language}), or when the
     trimmed grammar has a dependency cycle — in which case it has
     infinitely many parse trees and is trivially ambiguous on a finite
     language. *)
-val check : ?max_len:int -> ?max_card:int -> Grammar.t -> verdict
+val check : ?max_len:int -> ?max_card:int -> ?fast:bool -> Grammar.t -> verdict
 
 (** [is_unambiguous g] is [(check g).unambiguous]. *)
-val is_unambiguous : ?max_len:int -> ?max_card:int -> Grammar.t -> bool
+val is_unambiguous :
+  ?max_len:int -> ?max_card:int -> ?fast:bool -> Grammar.t -> bool
 
 (** [ambiguous_witness g] is some word with at least two parse trees, when
-    one exists.  Found by per-word tree counting over the language. *)
+    one exists.  With [fast] (default [true]) the static probe's witness is
+    returned when conclusive; otherwise found by per-word tree counting
+    over the language. *)
 val ambiguous_witness :
-  ?max_len:int -> ?max_card:int -> Grammar.t -> string option
+  ?max_len:int -> ?max_card:int -> ?fast:bool -> Grammar.t -> string option
 
 type profile = {
   word_total : int;
@@ -38,6 +61,7 @@ type profile = {
 
 (** [profile g] measures the distribution of parse-tree counts over the
     words of a finite-language grammar — how ambiguous the grammar is,
-    beyond the yes/no of {!check}.  Same caps and exceptions as
+    beyond the yes/no of {!check}.  Always exhaustive (the distribution
+    cannot be certified statically).  Same caps and exceptions as
     {!check}. *)
 val profile : ?max_len:int -> ?max_card:int -> Grammar.t -> profile

@@ -85,10 +85,19 @@ let map_nonterminals g f ~names ~start =
   make ~alphabet:g.alphabet ~names ~rules ~start
 
 let dependency_edges g =
+  (* deduplicated: repeated occurrences of B on right-hand sides of A
+     contribute the edge (A, B) once, in first-occurrence order *)
+  let seen = Hashtbl.create 64 in
   List.concat_map
     (fun { lhs; rhs } ->
        List.filter_map (function N i -> Some (lhs, i) | T _ -> None) rhs)
     g.rules
+  |> List.filter (fun e ->
+      if Hashtbl.mem seen e then false
+      else begin
+        Hashtbl.add seen e ();
+        true
+      end)
 
 let pp_sym g fmt = function
   | T c -> Format.fprintf fmt "%c" c

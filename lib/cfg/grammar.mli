@@ -52,7 +52,9 @@ val is_cnf : t -> bool
 val map_nonterminals : t -> (int -> int) -> names:string array -> start:int -> t
 
 (** Direct dependency edges [lhs -> B] for each nonterminal [B] occurring
-    on a right-hand side of [lhs]. *)
+    on a right-hand side of [lhs].  The list is duplicate-free: however
+    many times [B] occurs across the right-hand sides of [lhs], the edge
+    [(lhs, B)] appears exactly once, in first-occurrence order. *)
 val dependency_edges : t -> (int * int) list
 
 val pp_sym : t -> Format.formatter -> sym -> unit

@@ -1,0 +1,85 @@
+(** Sound static pre-checks for unambiguity — no enumeration.
+
+    {!Ambiguity.check} decides unambiguity by exhaustively counting parse
+    trees, which is exponential in word length.  This module provides the
+    conservative, polynomial-time layer underneath the linter and the
+    {!Ambiguity} fast path: cheap syntactic analyses (nullability,
+    FIRST/LAST sets, derived-length ranges) feeding two {e sound} verdicts:
+
+    - a {b certificate of unambiguity}: every nonterminal has pairwise
+      first-letter-disjoint rules, at most one nullable rule, and every
+      rule admits at most one variable-length symbol, so rule choice and
+      word factorisation are forced — no counting needed;
+    - a {b definite-ambiguity witness}: a capped bottom-up tree-count probe
+      that under-approximates the per-word tree count; any word reaching
+      count 2 at a useful nonterminal is a real ambiguity witness.
+
+    Both verdicts are conservative: [Unknown] is always a legal answer,
+    and a conclusive answer is always correct (the agreement with
+    {!Ambiguity.check} is property-tested). *)
+
+module Cset : Set.S with type elt = char
+
+(** [nullable g] marks nonterminals deriving the empty word. *)
+val nullable : Grammar.t -> bool array
+
+(** [rhs_nullable null rhs] — every symbol of [rhs] is a nullable
+    nonterminal (so the right-hand side derives [ε]). *)
+val rhs_nullable : bool array -> Grammar.sym list -> bool
+
+(** [first_sets g] is, per nonterminal, the set of first letters of its
+    nonempty derivable words (a Kleene fixpoint; cyclic grammars fine). *)
+val first_sets : Grammar.t -> Cset.t array
+
+(** [last_sets g] — symmetrically, the possible last letters. *)
+val last_sets : Grammar.t -> Cset.t array
+
+(** [rhs_first ~nullable ~first rhs] is the FIRST set of a right-hand
+    side: first letters contributed by each symbol while all symbols
+    before it are nullable. *)
+val rhs_first :
+  nullable:bool array -> first:Cset.t array -> Grammar.sym list -> Cset.t
+
+(** [rhs_last ~nullable ~last rhs] — the mirror of {!rhs_first}. *)
+val rhs_last :
+  nullable:bool array -> last:Cset.t array -> Grammar.sym list -> Cset.t
+
+(** [length_ranges g] is, per nonterminal, [Some (min, max)] over the
+    lengths of its derivable words ([None] when it derives nothing).
+    [max] saturates at a large sentinel rather than overflowing.
+    @raise Invalid_argument when the dependency graph is cyclic. *)
+val length_ranges : Grammar.t -> (int * int) option array
+
+(** [certificate g] — the sound unambiguity certificate, checked on the
+    trimmed grammar: trimmed dependency graph acyclic, and for every
+    nonterminal (i) at most one nullable rule, (ii) pairwise-disjoint rule
+    FIRST sets, (iii) at most one variable-length symbol per rule.
+    [true] implies [g] is unambiguous; [false] implies nothing. *)
+val certificate : Grammar.t -> bool
+
+(** [probe ?max_words ?max_len g] under-approximates per-word parse-tree
+    counts bottom-up, keeping at most [max_words] words (lexicographically
+    least, default 64) of length at most [max_len] (default 64) per
+    nonterminal, with saturating counts.  Truncation only drops words, so
+    every reported count is a lower bound: a count of 2 at a useful
+    nonterminal of the trimmed grammar is a real ambiguity.  Returns the
+    first [(nonterminal name, word)] witness found, scanning nonterminals
+    bottom-up.  Expects an acyclic trimmed grammar.
+    @raise Invalid_argument when the dependency graph is cyclic. *)
+val probe :
+  ?max_words:int -> ?max_len:int -> Grammar.t -> (string * string) option
+
+type verdict =
+  | Unambiguous  (** certified by {!certificate} *)
+  | Ambiguous of { nonterminal : string; word : string }
+      (** [word] has at least two parse trees, exhibited below
+          [nonterminal] (a name of the trimmed grammar) by {!probe} *)
+  | Unknown  (** neither check is conclusive — fall back to counting *)
+
+(** [verdict ?probe_words ?probe_len g] trims [g] and runs the certificate
+    then the probe.  Returns [Unknown] when the trimmed grammar is cyclic
+    (infinitely many parse trees — {!Ambiguity.check} rejects those
+    upstream) or when both checks are inconclusive.  Sound: [Unambiguous]
+    and [Ambiguous _] are never wrong. *)
+val verdict :
+  ?probe_words:int -> ?probe_len:int -> Grammar.t -> verdict

@@ -1,0 +1,117 @@
+type severity = Error | Warning | Info
+
+type location =
+  | Whole
+  | Nonterminal of string
+  | Rule of string * int
+  | State of int
+
+type t = {
+  code : string;
+  severity : severity;
+  loc : location;
+  message : string;
+  hint : string option;
+}
+
+type soundness = Certificate | Definite | Heuristic | Structural
+
+type check = { code : string; title : string; soundness : soundness }
+
+let make ?hint ~code ~severity ~loc message =
+  { code; severity; loc; message; hint }
+
+let severity_label = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let soundness_label = function
+  | Certificate -> "certificate"
+  | Definite -> "definite"
+  | Heuristic -> "heuristic"
+  | Structural -> "structural"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let sort ds =
+  List.stable_sort
+    (fun a b ->
+       match compare (severity_rank a.severity) (severity_rank b.severity) with
+       | 0 -> compare a.code b.code
+       | c -> c)
+    ds
+
+let has_errors = List.exists (fun d -> d.severity = Error)
+
+let count_severity ds =
+  List.fold_left
+    (fun (e, w, i) d ->
+       match d.severity with
+       | Error -> (e + 1, w, i)
+       | Warning -> (e, w + 1, i)
+       | Info -> (e, w, i + 1))
+    (0, 0, 0) ds
+
+let pp_location fmt = function
+  | Whole -> ()
+  | Nonterminal a -> Format.fprintf fmt "<%s>: " a
+  | Rule (a, i) -> Format.fprintf fmt "<%s> rule #%d: " a i
+  | State s -> Format.fprintf fmt "state %d: " s
+
+let pp fmt (d : t) =
+  Format.fprintf fmt "%s %-7s %a%s" d.code (severity_label d.severity)
+    pp_location d.loc d.message;
+  match d.hint with
+  | Some h -> Format.fprintf fmt "@,    hint: %s" h
+  | None -> ()
+
+let pp_report fmt ds =
+  let e, w, i = count_severity ds in
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun d -> Format.fprintf fmt "%a@," pp d) ds;
+  Format.fprintf fmt "%d error%s, %d warning%s, %d info@]" e
+    (if e = 1 then "" else "s")
+    w
+    (if w = 1 then "" else "s")
+    i
+
+(* --- JSON ---------------------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string s = Printf.sprintf "\"%s\"" (json_escape s)
+
+let location_to_json = function
+  | Whole -> {|{"kind":"whole"}|}
+  | Nonterminal a ->
+    Printf.sprintf {|{"kind":"nonterminal","name":%s}|} (json_string a)
+  | Rule (a, i) ->
+    Printf.sprintf {|{"kind":"rule","nonterminal":%s,"index":%d}|}
+      (json_string a) i
+  | State s -> Printf.sprintf {|{"kind":"state","id":%d}|} s
+
+let to_json (d : t) =
+  Printf.sprintf
+    {|{"code":%s,"severity":%s,"location":%s,"message":%s,"hint":%s}|}
+    (json_string d.code)
+    (json_string (severity_label d.severity))
+    (location_to_json d.loc) (json_string d.message)
+    (match d.hint with None -> "null" | Some h -> json_string h)
+
+let list_to_json ds =
+  Printf.sprintf "[%s]" (String.concat "," (List.map to_json ds))

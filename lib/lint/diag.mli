@@ -1,0 +1,65 @@
+(** Diagnostic records for the grammar and automaton linters.
+
+    A diagnostic carries a stable code ([G001]…, [N001]…), a severity, a
+    location inside the linted artifact, a human message and an optional
+    fix hint.  Renderers produce the CLI's text output and a JSON encoding
+    for toolchains.  The registry type {!check} documents each code's
+    soundness status: a [Certificate] or [Definite] code is never wrong
+    when it fires (or certifies), a [Heuristic] code may over-approximate,
+    and a [Structural] code reports a syntactic property. *)
+
+type severity = Error | Warning | Info
+
+type location =
+  | Whole  (** the grammar or automaton as a whole *)
+  | Nonterminal of string  (** a nonterminal, by name *)
+  | Rule of string * int
+      (** [Rule (a, i)]: the [i]-th rule (0-based) of nonterminal [a] *)
+  | State of int  (** an NFA state *)
+
+type t = {
+  code : string;
+  severity : severity;
+  loc : location;
+  message : string;
+  hint : string option;
+}
+
+(** Soundness status of a lint code, for the registry and the docs. *)
+type soundness =
+  | Certificate  (** certifies unambiguity; sound, never wrong *)
+  | Definite  (** proves ambiguity (or tree blow-up); sound, never wrong *)
+  | Heuristic  (** conservative warning; may flag unambiguous grammars *)
+  | Structural  (** a syntactic fact, no semantic claim *)
+
+(** A registry entry: one static check. *)
+type check = { code : string; title : string; soundness : soundness }
+
+val make :
+  ?hint:string -> code:string -> severity:severity -> loc:location ->
+  string -> t
+
+val severity_label : severity -> string
+val soundness_label : soundness -> string
+
+(** Sort order: errors first, then warnings, then infos; ties by code. *)
+val sort : t list -> t list
+
+val has_errors : t list -> bool
+
+(** [count_severity ds] is [(errors, warnings, infos)]. *)
+val count_severity : t list -> int * int * int
+
+val pp_location : Format.formatter -> location -> unit
+val pp : Format.formatter -> t -> unit
+
+(** One diagnostic per line, followed by a summary count line. *)
+val pp_report : Format.formatter -> t list -> unit
+
+(** JSON object for one diagnostic, e.g.
+    [{"code":"G001","severity":"warning","location":{"kind":"nonterminal",
+    "name":"A"},"message":"...","hint":null}]. *)
+val to_json : t -> string
+
+(** JSON array of {!to_json} objects. *)
+val list_to_json : t list -> string

@@ -1,0 +1,43 @@
+(** Static diagnostics for grammars — the rule registry.
+
+    Fifteen checks with stable codes.  Soundness statuses (see
+    {!Diag.soundness}): [G015] is the unambiguity {e certificate} and the
+    [Error]-severity firings of [G004]–[G007], [G009] and [G013] are
+    {e definite} — they are never wrong, which is what lets
+    {!Ucfg_cfg.Ambiguity.check} skip enumeration on a conclusive verdict.
+    [G012] and [G014] are heuristics (may warn on unambiguous grammars);
+    the rest are structural facts.
+
+    {v
+    G001  unproductive nonterminal                  structural  warning
+    G002  unreachable nonterminal                   structural  warning
+    G003  empty language                            structural  warning
+    G004  self-referential rule                     definite    error/info
+    G005  unit-rule cycle                           definite    error/warning
+    G006  ε-cycle                                   definite    error/warning
+    G007  dependency cycle (useful nonterminals)    definite    error/info
+    G008  infinite language                         structural  info
+    G009  duplicate rule via unit indirection       definite    error/warning
+    G010  not in Chomsky normal form                structural  info
+    G011  start symbol on a right-hand side         structural  info
+    G012  vertical ambiguity (FIRST-set overlap)    heuristic   warning
+    G013  definite ambiguity (bounded probe)        definite    error
+    G014  horizontal ambiguity (two factorisations) heuristic   warning
+    G015  unambiguity certificate                   certificate info
+    v} *)
+
+(** The registry: every check this linter implements, in code order. *)
+val checks : Diag.check list
+
+(** [run ?probe_words ?probe_len g] runs every check and returns the
+    diagnostics sorted errors-first (see {!Diag.sort}).  [probe_words] and
+    [probe_len] cap the {!Ucfg_cfg.Static.probe} underlying [G013]. *)
+val run :
+  ?probe_words:int -> ?probe_len:int -> Ucfg_cfg.Grammar.t -> Diag.t list
+
+(** The linter's overall verdict, derived from the diagnostics:
+    [`Ambiguous] when a definite [Error] fired, [`Unambiguous] when the
+    certificate ([G015]) holds, [`Unknown] otherwise.  Sound by
+    construction — the qcheck suite asserts agreement with
+    {!Ucfg_cfg.Ambiguity.check}. *)
+val verdict : Diag.t list -> [ `Unambiguous | `Ambiguous | `Unknown ]

@@ -1,0 +1,192 @@
+open Ucfg_automata
+module D = Diag
+
+let checks =
+  [
+    { D.code = "N001"; title = "unreachable states"; soundness = D.Structural };
+    { D.code = "N002"; title = "states that reach no final state";
+      soundness = D.Structural };
+    { D.code = "N003"; title = "\xce\xb5-transitions present";
+      soundness = D.Structural };
+    { D.code = "N004"; title = "nondeterministic fan-out";
+      soundness = D.Structural };
+    { D.code = "N005"; title = "no initial or no final state";
+      soundness = D.Structural };
+    { D.code = "N006"; title = "ambiguous: off-diagonal self-product pair";
+      soundness = D.Definite };
+    { D.code = "N007"; title = "unambiguity certificate (self-product)";
+      soundness = D.Certificate };
+  ]
+
+let sample_ids ids =
+  let shown = List.filteri (fun i _ -> i < 4) ids in
+  String.concat ", " (List.map string_of_int shown)
+  ^ if List.length ids > 4 then ", ..." else ""
+
+(* reachability over labelled + ε edges, forwards or backwards *)
+let closure n seeds edges =
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  let push s =
+    if not seen.(s) then begin
+      seen.(s) <- true;
+      Queue.add s queue
+    end
+  in
+  List.iter push seeds;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    List.iter (fun (a, b) -> if a = s then push b) edges
+  done;
+  seen
+
+let run a =
+  let n = Nfa.state_count a in
+  let fwd_edges =
+    List.map (fun (s, _, d) -> (s, d)) (Nfa.transitions a) @ Nfa.epsilons a
+  in
+  let bwd_edges = List.map (fun (s, d) -> (d, s)) fwd_edges in
+  let reach = closure n (Nfa.initials a) fwd_edges in
+  let co = closure n (Nfa.finals a) bwd_edges in
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  (* N001 / N002: useless states *)
+  let unreachable =
+    List.filter (fun s -> not reach.(s)) (List.init n (fun i -> i))
+  in
+  let dead =
+    List.filter (fun s -> reach.(s) && not co.(s)) (List.init n (fun i -> i))
+  in
+  if unreachable <> [] then
+    emit
+      (D.make ~code:"N001" ~severity:D.Warning
+         ~loc:(D.State (List.hd unreachable))
+         ~hint:"Nfa.trim removes them"
+         (Printf.sprintf "%d state%s unreachable from the initial states (%s)"
+            (List.length unreachable)
+            (if List.length unreachable = 1 then "" else "s")
+            (sample_ids unreachable)));
+  if dead <> [] then
+    emit
+      (D.make ~code:"N002" ~severity:D.Warning ~loc:(D.State (List.hd dead))
+         ~hint:"Nfa.trim removes them"
+         (Printf.sprintf "%d reachable state%s cannot reach a final state (%s)"
+            (List.length dead)
+            (if List.length dead = 1 then "" else "s")
+            (sample_ids dead)));
+  (* N003: ε-transitions *)
+  let eps_free = Nfa.epsilon_count a = 0 in
+  if not eps_free then
+    emit
+      (D.make ~code:"N003" ~severity:D.Info ~loc:D.Whole
+         ~hint:"Nfa.remove_epsilon yields an equivalent \xce\xb5-free automaton"
+         (Printf.sprintf
+            "%d \xce\xb5-transition%s present; the self-product ambiguity \
+             checks (N006/N007) are skipped"
+            (Nfa.epsilon_count a)
+            (if Nfa.epsilon_count a = 1 then "" else "s")));
+  (* N004: nondeterministic fan-out — (state, letter) pairs with several
+     successors.  None of these (plus a single initial state and ε-freeness)
+     means the automaton is a DFA, hence trivially unambiguous. *)
+  let fanout = Hashtbl.create 64 in
+  List.iter
+    (fun (s, c, _) ->
+       Hashtbl.replace fanout (s, c)
+         (1 + Option.value ~default:0 (Hashtbl.find_opt fanout (s, c))))
+    (Nfa.transitions a);
+  let nondet =
+    Hashtbl.fold (fun k v acc -> if v >= 2 then k :: acc else acc) fanout []
+    |> List.sort compare
+  in
+  (match nondet with
+   | [] -> ()
+   | (s, c) :: _ ->
+     emit
+       (D.make ~code:"N004" ~severity:D.Info ~loc:(D.State s)
+          (Printf.sprintf
+             "%d nondeterministic choice%s (first: state %d has several \
+              '%c'-successors) — the only possible source of ambiguity"
+             (List.length nondet)
+             (if List.length nondet = 1 then "" else "s")
+             s c)));
+  (* N005: trivially empty automaton *)
+  if Nfa.initials a = [] || Nfa.finals a = [] then
+    emit
+      (D.make ~code:"N005" ~severity:D.Warning ~loc:D.Whole
+         (Printf.sprintf "no %s state: the language is empty"
+            (if Nfa.initials a = [] then "initial" else "final")));
+  (* N006 / N007: self-product criterion on the useful part, original ids *)
+  if eps_free && Nfa.initials a <> [] && Nfa.finals a <> [] then begin
+    let useful s = reach.(s) && co.(s) in
+    let fwd = Hashtbl.create 256 in
+    let queue = Queue.create () in
+    let push pq =
+      if not (Hashtbl.mem fwd pq) then begin
+        Hashtbl.add fwd pq ();
+        Queue.add pq queue
+      end
+    in
+    let uinit = List.filter useful (Nfa.initials a) in
+    List.iter (fun p -> List.iter (fun q -> push (p, q)) uinit) uinit;
+    let chars = Ucfg_word.Alphabet.chars (Nfa.alphabet a) in
+    let ustep s c = List.filter useful (Nfa.step a s c) in
+    while not (Queue.is_empty queue) do
+      let p, q = Queue.pop queue in
+      List.iter
+        (fun c ->
+           List.iter
+             (fun p' -> List.iter (fun q' -> push (p', q')) (ustep q c))
+             (ustep p c))
+        chars
+    done;
+    let co2 = Hashtbl.create 256 in
+    let bqueue = Queue.create () in
+    let bpush pq =
+      if not (Hashtbl.mem co2 pq) then begin
+        Hashtbl.add co2 pq ();
+        Queue.add pq bqueue
+      end
+    in
+    let ufinal = List.filter useful (Nfa.finals a) in
+    List.iter (fun f -> List.iter (fun f' -> bpush (f, f')) ufinal) ufinal;
+    let preds = Array.make n [] in
+    List.iter
+      (fun (s, c, d) ->
+         if useful s && useful d then preds.(d) <- (s, c) :: preds.(d))
+      (Nfa.transitions a);
+    while not (Queue.is_empty bqueue) do
+      let p, q = Queue.pop bqueue in
+      List.iter
+        (fun (p', c) ->
+           List.iter
+             (fun (q', c') -> if Char.equal c c' then bpush (p', q'))
+             preds.(q))
+        preds.(p)
+    done;
+    let witness =
+      Hashtbl.fold
+        (fun (p, q) () best ->
+           if p < q && Hashtbl.mem co2 (p, q) then
+             match best with
+             | Some (p0, q0) when (p0, q0) <= (p, q) -> best
+             | _ -> Some (p, q)
+           else best)
+        fwd None
+    in
+    match witness with
+    | Some (p, q) ->
+      emit
+        (D.make ~code:"N006" ~severity:D.Error ~loc:(D.State p)
+           ~hint:"Unambiguous.ambiguous_word finds a witness word"
+           (Printf.sprintf
+              "states %d and %d are simultaneously reachable on a common \
+               prefix and co-reachable on a common suffix: some word has \
+               two accepting runs — definitely ambiguous"
+              p q))
+    | None ->
+      emit
+        (D.make ~code:"N007" ~severity:D.Info ~loc:D.Whole
+           "certified unambiguous: the self-product has no useful \
+            off-diagonal pair, so every word has at most one accepting run")
+  end;
+  D.sort (List.rev !diags)

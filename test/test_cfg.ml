@@ -52,6 +52,21 @@ let test_size_measure () =
   Alcotest.(check int) "tiny size" 6 (G.size (tiny ()));
   Alcotest.(check int) "amb size" 5 (G.size (amb ()))
 
+let test_dependency_edges_deduplicated () =
+  (* S mentions A twice in one rule and once in another: one edge *)
+  let g =
+    G.make ~alphabet:Alphabet.binary ~names:[| "S"; "A" |]
+      ~rules:
+        [
+          { G.lhs = 0; rhs = [ G.N 1; G.N 1 ] };
+          { G.lhs = 0; rhs = [ G.N 1; G.T 'a' ] };
+          { G.lhs = 1; rhs = [ G.T 'a' ] };
+        ]
+      ~start:0
+  in
+  Alcotest.(check (list (pair int int)))
+    "edges are unique" [ (0, 1) ] (G.dependency_edges g)
+
 let test_duplicate_rules_collapse () =
   let g =
     G.make ~alphabet:Alphabet.binary ~names:[| "S" |]
@@ -996,6 +1011,8 @@ let () =
           Alcotest.test_case "size measure" `Quick test_size_measure;
           Alcotest.test_case "duplicate rules collapse" `Quick
             test_duplicate_rules_collapse;
+          Alcotest.test_case "dependency edges deduplicated" `Quick
+            test_dependency_edges_deduplicated;
           Alcotest.test_case "validation" `Quick test_make_validates;
           Alcotest.test_case "builder" `Quick test_builder;
         ] );
