@@ -1,11 +1,18 @@
 # Development entry points.  `make check` is the full gate: build
 # everything, run the test suites, then dogfood the linter on the paper's
 # grammars and the example files (expected-ambiguous inputs must exit 1,
-# expected-clean ones must exit 0).
+# expected-clean ones must exit 0).  `make ci` mirrors the GitHub workflow:
+# check plus the bench smoke run and the parallel-determinism diff.
 
 CLI := dune exec --no-build -- bin/ucfg_cli.exe
+BENCH := dune exec --no-build -- bench/main.exe
 
-.PHONY: build test lint bench check clean
+# experiments with fully deterministic output (e24/e25/timings print
+# wall-clock numbers and are excluded from the determinism diff)
+DET_EXPERIMENTS := e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 \
+  e17 e18 e19 e20 e21 e22 e23
+
+.PHONY: build test lint bench smoke determinism ci check clean
 
 build:
 	dune build @all
@@ -32,8 +39,23 @@ lint: build
 bench:
 	dune exec bench/main.exe e24
 
+smoke: build
+	$(BENCH) --smoke
+
+# the pooled paths must print bit-identical output at any job count
+determinism: build
+	@mkdir -p _build/determinism
+	UCFG_JOBS=1 $(BENCH) --smoke $(DET_EXPERIMENTS) > _build/determinism/seq.out
+	UCFG_JOBS=4 $(BENCH) --smoke $(DET_EXPERIMENTS) > _build/determinism/par.out
+	diff _build/determinism/seq.out _build/determinism/par.out
+	UCFG_JOBS=4 dune runtest --force
+	@echo "determinism: OK"
+
 check: build test lint
 	@echo "check: OK"
+
+ci: check smoke determinism
+	@echo "ci: OK"
 
 clean:
 	dune clean

@@ -1,10 +1,13 @@
 (* The reproduction harness: one section per experiment of DESIGN.md
-   (E1..E23), each regenerating the series/rows behind one quantitative
+   (E1..E25), each regenerating the series/rows behind one quantitative
    claim of the paper, followed by Bechamel wall-clock benchmarks of the
    key algorithms (one Test.make per timed table).
 
    Run with: dune exec bench/main.exe            (all experiments)
-             dune exec bench/main.exe -- e7 e11  (a selection)          *)
+             dune exec bench/main.exe -- e7 e11  (a selection)
+             dune exec bench/main.exe -- --smoke (CI: smallest n, one
+                                                  Bechamel iteration)
+             dune exec bench/main.exe -- --jobs 4 e24  (pool size)      *)
 
 open Ucfg_word
 open Ucfg_lang
@@ -15,6 +18,16 @@ module Rng = Ucfg_util.Rng
 
 let yes b = if b then "yes" else "NO"
 
+(* --smoke: every experiment at its smallest n, one Bechamel iteration *)
+let smoke = ref false
+let pick full small = if !smoke then small else full
+
+(* Sweeps over n are embarrassingly parallel: each row of a table is a
+   pure computation, so rows are mapped over the Ucfg_exec pool and merged
+   back in order.  Experiments that thread a shared Rng through their rows
+   keep the sequential map so output stays identical at any job count. *)
+let prows f ns = Ucfg_exec.Exec.parallel_map f ns
+
 (* ------------------------------------------------------------------ E1 *)
 
 let e1_cfg_upper () =
@@ -23,7 +36,7 @@ let e1_cfg_upper () =
       "E1 (Thm 1.1 / Appendix A): CFG for L_n of size Θ(log n) — sizes and \
        exactness"
     ~headers:[ "n"; "size"; "size/log2(n)"; "language = L_n" ]
-    (List.map
+    (prows
        (fun n ->
           let g = Constructions.log_cfg n in
           let checked =
@@ -38,7 +51,8 @@ let e1_cfg_upper () =
             Printf.sprintf "%.1f" (float_of_int (Grammar.size g) /. float_of_int l);
             checked;
           ])
-       [ 2; 3; 4; 5; 6; 7; 8; 9; 16; 32; 64; 100; 256; 1000; 4096 ])
+       (pick [ 2; 3; 4; 5; 6; 7; 8; 9; 16; 32; 64; 100; 256; 1000; 4096 ]
+          [ 2; 3; 4 ]))
 
 (* ------------------------------------------------------------------ E2 *)
 
@@ -48,7 +62,7 @@ let e2_example3 () =
       "E2 (Example 3): the KMN grammar G_t accepts L_{2^t+1}, size Θ(t), \
        ambiguous"
     ~headers:[ "t"; "n = 2^t+1"; "size"; "exact"; "ambiguous" ]
-    (List.map
+    (prows
        (fun t ->
           let g = Constructions.example3 t in
           let n = (1 lsl t) + 1 in
@@ -62,7 +76,7 @@ let e2_example3 () =
           in
           [ string_of_int t; string_of_int n; string_of_int (Grammar.size g);
             exact; amb ])
-       (Ucfg_util.Prelude.range_incl 0 10))
+       (pick (Ucfg_util.Prelude.range_incl 0 10) [ 0; 1 ]))
 
 (* ------------------------------------------------------------------ E3 *)
 
@@ -75,7 +89,7 @@ let e3_nfa () =
     ~headers:
       [ "n"; "NFA states"; "NFA trans"; "fooling lb"; "pattern states";
         "min DFA"; "exact" ]
-    (List.map
+    (prows
        (fun n ->
           let nfa = Ucfg_automata.Ln_nfa.build n in
           let dfa =
@@ -102,7 +116,7 @@ let e3_nfa () =
             dfa;
             exact;
           ])
-       [ 1; 2; 3; 4; 5; 6; 8; 12; 16; 24; 32; 48; 64 ])
+       (pick [ 1; 2; 3; 4; 5; 6; 8; 12; 16; 24; 32; 48; 64 ] [ 1; 2; 3 ]))
 
 (* ------------------------------------------------------------------ E4 *)
 
@@ -112,7 +126,7 @@ let e4_ucfg_upper () =
       "E4 (Example 4, corrected pair enumeration): unambiguous CFG for L_n — \
        size grows 2^Θ(n)"
     ~headers:[ "n"; "size"; "rules"; "exact"; "unambiguous" ]
-    (List.map
+    (prows
        (fun n ->
           let g = Constructions.example4 n in
           let exact =
@@ -128,13 +142,13 @@ let e4_ucfg_upper () =
             exact;
             unam;
           ])
-       (Ucfg_util.Prelude.range_incl 1 13));
+       (pick (Ucfg_util.Prelude.range_incl 1 13) [ 1; 2; 3 ]));
   Report.print_table
     ~title:
       "E4b (the finding, executable): the paper-literal Example 4 \
        under-generates — missing words per n"
     ~headers:[ "n"; "|L_n|"; "literal generates"; "missing" ]
-    (List.map
+    (prows
        (fun n ->
           let lit =
             Lang.cardinal
@@ -145,7 +159,7 @@ let e4_ucfg_upper () =
             string_of_int n; string_of_int full; string_of_int lit;
             string_of_int (full - lit);
           ])
-       [ 1; 2; 3; 4; 5 ])
+       (pick [ 1; 2; 3; 4; 5 ] [ 1; 2 ]))
 
 (* ------------------------------------------------------------------ E5 *)
 
@@ -171,7 +185,7 @@ let e5_lemma18 () =
     ~headers:
       [ "m"; "|L| formula"; "|B\\Ln| formula"; "enum ok"; "advantage";
         "> 2^(7m/2)" ]
-    (List.map
+    (prows
        (fun m ->
           let enum_ok =
             if m <= 3 then begin
@@ -195,7 +209,7 @@ let e5_lemma18 () =
             (if Ucfg_disc.Counts.advantage_exceeds_threshold ~m then "yes"
              else "no");
           ])
-       [ 1; 2; 3; 4; 5; 8; 16; 32 ]);
+       (pick [ 1; 2; 3; 4; 5; 8; 16; 32 ] [ 1; 2 ]));
   Printf.printf "threshold first holds at m = %d (the paper's 'n sufficiently big')\n\n"
     (Ucfg_disc.Counts.smallest_threshold_m ())
 
@@ -227,8 +241,9 @@ let e6_discrepancy () =
             string_of_int tight;
             string_of_int rand;
           ])
-       [ 1; 2; 3 ]);
+       (pick [ 1; 2; 3 ] [ 1 ]));
   (* Lemma 23 over every neat balanced ordered partition at m = 2 *)
+  if not !smoke then begin
   let blocks = Ucfg_disc.Blocks.create 8 in
   let worst = ref 0 in
   List.iter
@@ -247,11 +262,14 @@ let e6_discrepancy () =
     !worst
     (Float.pow 2. (20. /. 3.))
     (yes (Ucfg_disc.Discrepancy.within_lemma23_bound ~m:2 !worst))
+  end
 
 (* ------------------------------------------------------------------ E7 *)
 
 let e7_separation () =
-  let reports = List.map Separation.run [ 1; 2; 3; 4; 5; 6; 8; 10; 12 ] in
+  let reports =
+    prows Separation.run (pick [ 1; 2; 3; 4; 5; 6; 8; 10; 12 ] [ 1; 2 ])
+  in
   Report.print_table
     ~title:
       "E7 (Theorem 1, the headline separation): CFG Θ(log n) vs NFA poly vs \
@@ -260,7 +278,7 @@ let e7_separation () =
   Report.print_table
     ~title:"E7b: asymptotics of the certified uCFG lower bound (Theorem 12)"
     ~headers:[ "n"; "cover lb"; "uCFG size lb"; "log2(lb)"; "CFG size" ]
-    (List.map
+    (prows
        (fun n ->
           [
             string_of_int n;
@@ -269,7 +287,7 @@ let e7_separation () =
             Printf.sprintf "%.1f" (Ucfg_disc.Bound.log2_ucfg_bound n);
             string_of_int (Grammar.size (Constructions.log_cfg n));
           ])
-       [ 100; 200; 400; 800; 1600; 3200 ]);
+       (pick [ 100; 200; 400; 800; 1600; 3200 ] [ 100; 200 ]));
   Printf.printf
     "first n with a nontrivial (>= 2) certified uCFG bound: %d\n\n"
     (Ucfg_disc.Bound.first_nontrivial_n ())
@@ -282,7 +300,7 @@ let e8_counting () =
       "E8 (counting): |L_n| via the poly-time uCFG DP vs brute-force \
        enumeration vs the 4^n - 3^n formula"
     ~headers:[ "n"; "uCFG DP"; "enumeration"; "formula"; "agree" ]
-    (List.map
+    (prows
        (fun n ->
           let dp =
             Count.words_unambiguous (Cnf.of_grammar (Constructions.example4 n))
@@ -297,11 +315,11 @@ let e8_counting () =
             Bignum.to_string formula;
             yes (Bignum.equal dp formula && Bignum.equal enum formula);
           ])
-       [ 1; 2; 3; 4; 5; 6; 7 ]);
+       (pick [ 1; 2; 3; 4; 5; 6; 7 ] [ 1; 2 ]));
   (* the DP scales far beyond enumeration *)
   Report.print_table ~title:"E8b: the DP keeps going where enumeration cannot"
     ~headers:[ "n"; "uCFG DP count"; "formula"; "agree" ]
-    (List.map
+    (prows
        (fun n ->
           let dp =
             Count.words_unambiguous (Cnf.of_grammar (Constructions.example4 n))
@@ -312,27 +330,32 @@ let e8_counting () =
             Bignum.to_string (Ln.cardinal n);
             yes (Bignum.equal dp (Ln.cardinal n));
           ])
-       [ 8; 9; 10; 11 ])
+       (pick [ 8; 9; 10; 11 ] [ 8 ]))
 
 (* ------------------------------------------------------------------ E9 *)
 
 let e9_cnf () =
   let grammars =
-    [
-      ("log_cfg 4", Constructions.log_cfg 4);
-      ("log_cfg 16", Constructions.log_cfg 16);
-      ("log_cfg 100", Constructions.log_cfg 100);
-      ("example3 3", Constructions.example3 3);
-      ("example3 6", Constructions.example3 6);
-      ("example4 4", Constructions.example4 4);
-      ("example4 6", Constructions.example4 6);
-      ("csv 3x2", Csv.grammar { Csv.columns = 3; width = 2 });
-    ]
+    pick
+      [
+        ("log_cfg 4", Constructions.log_cfg 4);
+        ("log_cfg 16", Constructions.log_cfg 16);
+        ("log_cfg 100", Constructions.log_cfg 100);
+        ("example3 3", Constructions.example3 3);
+        ("example3 6", Constructions.example3 6);
+        ("example4 4", Constructions.example4 4);
+        ("example4 6", Constructions.example4 6);
+        ("csv 3x2", Csv.grammar { Csv.columns = 3; width = 2 });
+      ]
+      [
+        ("log_cfg 4", Constructions.log_cfg 4);
+        ("example3 3", Constructions.example3 3);
+      ]
   in
   Report.print_table
     ~title:"E9 (Section 2): CNF conversion |G'| <= |G|² (plus O(1) start slack)"
     ~headers:[ "grammar"; "|G|"; "|CNF(G)|"; "ratio"; "within |G|²" ]
-    (List.map
+    (prows
        (fun (name, g) ->
           let s = Grammar.size g in
           let s' = Grammar.size (Cnf.of_grammar g) in
@@ -349,19 +372,24 @@ let e9_cnf () =
 
 let e10_extract () =
   let cases =
-    [
-      ("log_cfg 3", Constructions.log_cfg 3, false);
-      ("log_cfg 4", Constructions.log_cfg 4, false);
-      ("log_cfg 5", Constructions.log_cfg 5, false);
-      ("log_cfg 6", Constructions.log_cfg 6, false);
-      ("example3 1", Constructions.example3 1, false);
-      ("example4 2", Constructions.example4 2, true);
-      ("example4 3", Constructions.example4 3, true);
-      ("example4 4", Constructions.example4 4, true);
-      ("trivial L_3",
-       Constructions.of_language Alphabet.binary (Ln.language 3), true);
-      ("sigma^6", Constructions.sigma_chain Alphabet.binary 6, true);
-    ]
+    pick
+      [
+        ("log_cfg 3", Constructions.log_cfg 3, false);
+        ("log_cfg 4", Constructions.log_cfg 4, false);
+        ("log_cfg 5", Constructions.log_cfg 5, false);
+        ("log_cfg 6", Constructions.log_cfg 6, false);
+        ("example3 1", Constructions.example3 1, false);
+        ("example4 2", Constructions.example4 2, true);
+        ("example4 3", Constructions.example4 3, true);
+        ("example4 4", Constructions.example4 4, true);
+        ("trivial L_3",
+         Constructions.of_language Alphabet.binary (Ln.language 3), true);
+        ("sigma^6", Constructions.sigma_chain Alphabet.binary 6, true);
+      ]
+      [
+        ("log_cfg 3", Constructions.log_cfg 3, false);
+        ("example4 2", Constructions.example4 2, true);
+      ]
   in
   Report.print_table
     ~title:
@@ -370,7 +398,7 @@ let e10_extract () =
     ~headers:
       [ "grammar"; "N"; "|G| cnf"; "rects"; "bound"; "cover"; "disjoint";
         "balanced" ]
-    (List.map
+    (prows
        (fun (name, g, expect_disjoint) ->
           let res = Ucfg_rect.Extract.run g in
           let v, shape = Ucfg_rect.Extract.verify g res in
@@ -399,7 +427,7 @@ let e11_rank () =
        matrix = 2^n - 1, so disjoint [1,n]-covers need that many rectangles; \
        fooling sets give the (weaker) bound n for arbitrary covers"
     ~headers:[ "n"; "matrix"; "rank GF(2)"; "rank mod p"; "2^n - 1"; "fooling" ]
-    (List.map
+    (prows
        (fun n ->
           let m =
             Ucfg_comm.Matrix.of_language Alphabet.binary (Ln.language n)
@@ -414,7 +442,7 @@ let e11_rank () =
             string_of_int ((1 lsl n) - 1);
             string_of_int (List.length (Ucfg_comm.Fooling.greedy m));
           ])
-       [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+       (pick [ 1; 2; 3; 4; 5; 6; 7; 8 ] [ 1; 2 ]))
 
 (* ----------------------------------------------------------------- E12 *)
 
@@ -424,7 +452,7 @@ let e12_fr () =
       "E12a (KMN isomorphism): CFG ↔ d-representation, language-exact, \
        size within a constant factor, unambiguity = determinism"
     ~headers:[ "grammar"; "|G|"; "drep edges"; "|G back|"; "exact"; "det=unamb" ]
-    (List.map
+    (prows
        (fun (name, g) ->
           let g = Trim.trim g in
           let d = Ucfg_fr.Iso.drep_of_cfg g in
@@ -447,13 +475,18 @@ let e12_fr () =
             exact;
             det;
           ])
-       [
-         ("log_cfg 3", Constructions.log_cfg 3);
-         ("log_cfg 5", Constructions.log_cfg 5);
-         ("example3 1", Constructions.example3 1);
-         ("example4 3", Constructions.example4 3);
-         ("example4 4", Constructions.example4 4);
-       ]);
+       (pick
+          [
+            ("log_cfg 3", Constructions.log_cfg 3);
+            ("log_cfg 5", Constructions.log_cfg 5);
+            ("example3 1", Constructions.example3 1);
+            ("example4 3", Constructions.example4 3);
+            ("example4 4", Constructions.example4 4);
+          ]
+          [
+            ("log_cfg 3", Constructions.log_cfg 3);
+            ("example3 1", Constructions.example3 1);
+          ]));
   let rng = Rng.create 77 in
   let hot = String.make 6 'a' in
   Report.print_table
@@ -480,7 +513,8 @@ let e12_fr () =
             string_of_int (Ucfg_fr.Drep.size d);
             yes (Lang.equal tuples (Ucfg_fr.Drep.denotation d));
           ])
-       [ 4; 8; 16; 32; 64; 128 ])
+       (* the rows thread one Rng, so they stay sequential at any job count *)
+       (pick [ 4; 8; 16; 32; 64; 128 ] [ 4 ]))
 
 (* ----------------------------------------------------------------- E13 *)
 
@@ -520,7 +554,7 @@ let e13_ground_truth () =
 
 let e14_neat () =
   let rng = Rng.create 4242 in
-  let trials = 40 in
+  let trials = if !smoke then 3 else 40 in
   let n = 8 in
   let max_pieces = ref 0 in
   let all_ok = ref true in
@@ -561,7 +595,7 @@ let e15_bar_hillel () =
     ~headers:
       [ "n"; "cube CNF"; "pattern states"; "product size"; "exact";
         "ambiguous (runs)" ]
-    (List.map
+    (prows
        (fun n ->
           let cube = Constructions.sigma_chain Alphabet.binary (2 * n) in
           let pat = Ucfg_automata.Ln_nfa.pattern n in
@@ -586,7 +620,7 @@ let e15_bar_hillel () =
             exact;
             amb;
           ])
-       [ 1; 2; 3; 4; 5; 6 ])
+       (pick [ 1; 2; 3; 4; 5; 6 ] [ 1; 2 ]))
 
 (* ----------------------------------------------------------------- E16 *)
 
@@ -596,7 +630,8 @@ let e16_direct_access () =
       "E16 (unambiguity pays: direct access): counting-based nth/rank/sample \
        on the Example 4 uCFG — no enumeration"
     ~headers:[ "n"; "total"; "nth(total/2)"; "rank inverts"; "uniform sample" ]
-    (List.map
+    (* each row seeds its own Rng from n, so rows are parallel-safe *)
+    (prows
        (fun n ->
           let da =
             Direct_access.create (Cnf.of_grammar (Constructions.example4 n))
@@ -616,7 +651,7 @@ let e16_direct_access () =
             string_of_int n; Bignum.to_string total; w; inverts;
             sample;
           ])
-       [ 2; 3; 4; 5; 6; 7; 8 ])
+       (pick [ 2; 3; 4; 5; 6; 7; 8 ] [ 2; 3 ]))
 
 (* ----------------------------------------------------------------- E17 *)
 
@@ -626,7 +661,7 @@ let e17_slp () =
       "E17 (related work, grammar-based compression): SLP sizes vs word \
        lengths — random access without decompression"
     ~headers:[ "word"; "length"; "SLP nodes"; "char_at spot-check" ]
-    (List.map
+    (prows
        (fun (name, slp, probe, expect) ->
           [
             name;
@@ -636,16 +671,23 @@ let e17_slp () =
               (Slp.char_at slp probe)
               (yes (Char.equal (Slp.char_at slp probe) expect));
           ])
-       [
-         ("(ab)^2^19", Slp.power (Slp.of_word "ab") (1 lsl 19),
-          Bignum.of_int 999_999, 'b');
-         ("fibonacci 60", Slp.fibonacci 60, Bignum.two_pow 40, 'a');
-         ("a^10^6", Slp.power (Slp.of_word "a") 1_000_000,
-          Bignum.of_int 123_456, 'a');
-         ("of_word (ab)^64",
-          Slp.of_word (String.concat "" (List.init 64 (fun _ -> "ab"))),
-          Bignum.of_int 100, 'a');
-       ])
+       (pick
+          [
+            ("(ab)^2^19", Slp.power (Slp.of_word "ab") (1 lsl 19),
+             Bignum.of_int 999_999, 'b');
+            ("fibonacci 60", Slp.fibonacci 60, Bignum.two_pow 40, 'a');
+            ("a^10^6", Slp.power (Slp.of_word "a") 1_000_000,
+             Bignum.of_int 123_456, 'a');
+            ("of_word (ab)^64",
+             Slp.of_word (String.concat "" (List.init 64 (fun _ -> "ab"))),
+             Bignum.of_int 100, 'a');
+          ]
+          [
+            ("fibonacci 60", Slp.fibonacci 60, Bignum.two_pow 40, 'a');
+            ("of_word (ab)^64",
+             Slp.of_word (String.concat "" (List.init 64 (fun _ -> "ab"))),
+             Bignum.of_int 100, 'a');
+          ]))
 
 (* ----------------------------------------------------------------- E18 *)
 
@@ -657,7 +699,7 @@ let e18_circuits () =
        lives in the word structure, not the Boolean structure"
     ~headers:
       [ "n"; "DNNF size"; "d-DNNF size"; "det?"; "model count"; "= 4^n-3^n" ]
-    (List.map
+    (prows
        (fun n ->
           let naive = Ucfg_kc.Ln_circuit.naive n in
           let det = Ucfg_kc.Ln_circuit.deterministic n in
@@ -673,7 +715,7 @@ let e18_circuits () =
             Bignum.to_string mc;
             yes (Bignum.equal mc (Ln.cardinal n));
           ])
-       [ 1; 2; 4; 8; 16; 32; 64 ])
+       (pick [ 1; 2; 4; 8; 16; 32; 64 ] [ 1; 2 ]))
 
 (* ----------------------------------------------------------------- E19 *)
 
@@ -695,12 +737,19 @@ let e19_profiles () =
       "E19a (ambiguity degree): distribution of parse-tree counts per word \
        — how non-disjoint the natural union is"
     ~headers:[ "grammar"; "words"; "ambiguous"; "max trees"; "histogram" ]
-    [
-      show "example3 1 (L_3)" (Constructions.example3 1);
-      show "log_cfg 4 (L_4)" (Constructions.log_cfg 4);
-      show "log_cfg 5 (L_5)" (Constructions.log_cfg 5);
-      show "example4 4 (uCFG)" (Constructions.example4 4);
-    ];
+    (prows
+       (fun (name, g) -> show name g)
+       (pick
+          [
+            ("example3 1 (L_3)", Constructions.example3 1);
+            ("log_cfg 4 (L_4)", Constructions.log_cfg 4);
+            ("log_cfg 5 (L_5)", Constructions.log_cfg 5);
+            ("example4 4 (uCFG)", Constructions.example4 4);
+          ]
+          [
+            ("example3 1 (L_3)", Constructions.example3 1);
+            ("log_cfg 4 (L_4)", Constructions.log_cfg 4);
+          ]));
   Report.print_table
     ~title:
       "E19b (per-split rank profile of L_4): what each fixed partition \
@@ -729,7 +778,7 @@ let e20_ufa () =
        for L_n are Θ(n²), UFAs need 2^n - 1 states (Schmidt's rank bound), \
        and the deterministic witness matches up to a constant"
     ~headers:[ "n"; "NFA states"; "UFA lower (2^n-1)"; "UFA built"; "unamb" ]
-    (List.map
+    (prows
        (fun n ->
           let ufa = Ucfg_automata.Ufa_ln.build n in
           let unamb =
@@ -744,7 +793,7 @@ let e20_ufa () =
             string_of_int (Ucfg_automata.Nfa.state_count ufa);
             unamb;
           ])
-       [ 1; 2; 3; 4; 5; 6; 7 ])
+       (pick [ 1; 2; 3; 4; 5; 6; 7 ] [ 1; 2 ]))
 
 (* ----------------------------------------------------------------- E21 *)
 
@@ -758,7 +807,7 @@ let e21_structured () =
     ~headers:
       [ "n"; "structured size"; "unstructured size"; "rects (2^n-1)";
         "cover/disjoint" ]
-    (List.map
+    (prows
        (fun n ->
           let c = Ucfg_kc.Ln_circuit.structured n in
           let verdict =
@@ -781,7 +830,7 @@ let e21_structured () =
             string_of_int ((1 lsl n) - 1);
             verdict;
           ])
-       [ 1; 2; 3; 4; 5; 8; 10; 12 ])
+       (pick [ 1; 2; 3; 4; 5; 8; 10; 12 ] [ 1; 2 ]))
 
 (* ----------------------------------------------------------------- E22 *)
 
@@ -793,7 +842,7 @@ let e22_disambiguate () =
        claim; Theorem 12 lower bound and Example 4 upper bound sandwich it"
     ~headers:
       [ "n"; "CFG (Θ(log n))"; "canonical uCFG"; "Example 4 uCFG"; "unamb" ]
-    (List.map
+    (prows
        (fun n ->
           let g = Constructions.log_cfg n in
           let u = Ucfg_automata.Disambiguate.ucfg_of_grammar g in
@@ -807,7 +856,7 @@ let e22_disambiguate () =
             string_of_int (Grammar.size (Constructions.example4 n));
             unamb;
           ])
-       [ 1; 2; 3; 4; 5; 6; 7 ])
+       (pick [ 1; 2; 3; 4; 5; 6; 7 ] [ 1; 2 ]))
 
 (* ----------------------------------------------------------------- E23 *)
 
@@ -820,7 +869,7 @@ let e23_overlap_asymmetry () =
     ~headers:
       [ "n"; "fooling lb"; "greedy bicliques"; "rank (disjoint lb)";
         "witness columns" ]
-    (List.map
+    (prows
        (fun n ->
           let m =
             Ucfg_comm.Matrix.of_language Alphabet.binary (Ln.language n)
@@ -834,7 +883,7 @@ let e23_overlap_asymmetry () =
             string_of_int (Ucfg_comm.Rank.gf2 m);
             string_of_int n;
           ])
-       [ 2; 3; 4; 5; 6; 7 ])
+       (pick [ 2; 3; 4; 5; 6; 7 ] [ 2; 3 ]))
 
 (* ----------------------------------------------------------------- E24 *)
 
@@ -866,7 +915,8 @@ let e24_lint_fastpath () =
             Printf.sprintf "%.1fx" (slow_ms /. Float.max fast_ms 1e-6);
             string_of_bool (slow = fast);
           ])
-       [ 4; 5; 6; 7; 8 ]);
+       (* sequential on purpose: each row times its own calls *)
+       (pick [ 4; 5; 6; 7; 8 ] [ 4 ]));
   (* beyond n=8 the exhaustive count is out of reach (4^n - 3^n words); the
      static verdict still answers in milliseconds *)
   let t0 = Sys.time () in
@@ -881,6 +931,73 @@ let e24_lint_fastpath () =
      | `Unambiguous -> "unambiguous"
      | `Unknown -> "unknown")
     ((Sys.time () -. t0) *. 1e3)
+
+(* ----------------------------------------------------------------- E25 *)
+
+let e25_parallel_speedup () =
+  (* wall-clock comparison of the pooled hot paths at jobs=1 vs jobs=4 —
+     Unix.gettimeofday because Sys.time sums CPU time across domains; the
+     results must be identical on both paths, the speedup tracks the
+     machine's core count (1.0x on a single-core container) *)
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1e3)
+  in
+  let saved = Ucfg_exec.Exec.jobs () in
+  let run jobs f =
+    Ucfg_exec.Exec.set_jobs jobs;
+    Fun.protect
+      ~finally:(fun () -> Ucfg_exec.Exec.set_jobs saved)
+      (fun () -> wall f)
+  in
+  let n_lang = pick 8 5 and n_amb = pick 7 5 in
+  let cases =
+    [
+      (Printf.sprintf "L_%d materialisation (Analysis.language)" n_lang,
+       fun () ->
+         string_of_int
+           (Lang.cardinal (Analysis.language_exn (Constructions.log_cfg n_lang))));
+      (Printf.sprintf "exhaustive ambiguity profile (log_cfg %d)" n_amb,
+       fun () ->
+         let p = Ambiguity.profile (Constructions.log_cfg n_amb) in
+         Printf.sprintf "%d ambiguous of %d, max %s"
+           p.Ambiguity.ambiguous_words p.Ambiguity.word_total
+           (Bignum.to_string p.Ambiguity.max_trees));
+      ("minimal unambiguous CNF search (L_1)",
+       fun () ->
+         let r =
+           Search.minimal_cnf_size ~unambiguous:true Alphabet.binary
+             (Ln.language 1)
+         in
+         Printf.sprintf "size %s, %d nodes"
+           (match r.Search.minimal_size with
+            | Some s -> string_of_int s
+            | None -> "?")
+           r.Search.nodes_explored);
+    ]
+  in
+  Report.print_table
+    ~title:
+      "E25 (execution layer): wall-clock of the pooled hot paths, jobs=1 vs \
+       jobs=4 — bit-identical results required at every job count"
+    ~headers:[ "hot path"; "jobs=1 ms"; "jobs=4 ms"; "speedup"; "identical" ]
+    (List.map
+       (fun (name, f) ->
+          ignore (f ());
+          (* warmup: first call pays allocation/GC ramp-up *)
+          let r1, t1 = run 1 f in
+          let r4, t4 = run 4 f in
+          [
+            name;
+            Printf.sprintf "%.1f" t1;
+            Printf.sprintf "%.1f" t4;
+            Printf.sprintf "%.2fx" (t1 /. Float.max t4 1e-6);
+            yes (String.equal r1 r4);
+          ])
+       cases);
+  Printf.printf "Domain.recommended_domain_count on this machine: %d\n\n"
+    (Domain.recommended_domain_count ())
 
 (* ------------------------------------------------------- timing section *)
 
@@ -930,7 +1047,8 @@ let timings () =
   in
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 500) ()
+    if !smoke then Benchmark.cfg ~limit:1 ~quota:(Time.second 0.001) ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 500) ()
   in
   let grouped = Test.make_grouped ~name:"ucfg" tests in
   let raw = Benchmark.all cfg [ instance ] grouped in
@@ -961,14 +1079,29 @@ let experiments =
     ("e18", e18_circuits); ("e19", e19_profiles); ("e20", e20_ufa);
     ("e21", e21_structured); ("e22", e22_disambiguate);
     ("e23", e23_overlap_asymmetry); ("e24", e24_lint_fastpath);
+    ("e25", e25_parallel_speedup);
     ("timings", timings);
   ]
 
 let () =
+  let rec parse names = function
+    | [] -> List.rev names
+    | "--smoke" :: rest ->
+      smoke := true;
+      parse names rest
+    | "--jobs" :: n :: rest ->
+      Ucfg_exec.Exec.set_jobs (int_of_string n);
+      parse names rest
+    | arg :: rest when String.starts_with ~prefix:"--jobs=" arg ->
+      Ucfg_exec.Exec.set_jobs
+        (int_of_string (String.sub arg 7 (String.length arg - 7)));
+      parse names rest
+    | arg :: rest -> parse (arg :: names) rest
+  in
   let selected =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    match parse [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst experiments
+    | names -> names
   in
   List.iter
     (fun name ->

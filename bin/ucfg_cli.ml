@@ -11,6 +11,21 @@ module Bignum = Ucfg_util.Bignum
 let n_arg =
   Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Language parameter n.")
 
+(* every subcommand takes --jobs and sizes the Ucfg_exec pool before its
+   body runs; results are identical at any job count, only wall-clock moves *)
+let jobs_term =
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"JOBS"
+          ~doc:
+            "Domains used by the parallel execution pool (default: \
+             $(b,UCFG_JOBS) or the machine's core count; 1 disables \
+             parallelism).")
+  in
+  Term.(const (fun jobs -> Option.iter Ucfg_exec.Exec.set_jobs jobs) $ jobs_arg)
+
 let kind_arg =
   let kinds =
     [ ("log", `Log); ("example3", `Example3); ("example4", `Example4);
@@ -52,8 +67,8 @@ let from_file_arg =
 (* --- separation ---------------------------------------------------------- *)
 
 let separation_cmd =
-  let run ns =
-    let reports = List.map Separation.run ns in
+  let run () ns =
+    let reports = Ucfg_exec.Exec.parallel_map Separation.run ns in
     Report.print_table ~title:"Theorem 1 separation"
       ~headers:Separation.headers (Separation.rows reports)
   in
@@ -64,12 +79,12 @@ let separation_cmd =
       & info [ "ns" ] ~docv:"N,N,..." ~doc:"Values of n to report.")
   in
   Cmd.v (Cmd.info "separation" ~doc:"The Theorem 1 size table for L_n.")
-    Term.(const run $ ns_arg)
+    Term.(const run $ jobs_term $ ns_arg)
 
 (* --- grammar ------------------------------------------------------------- *)
 
 let grammar_cmd =
-  let run kind n print check from_file =
+  let run () kind n print check from_file =
     let g =
       match from_file with
       | Some path -> load_grammar path
@@ -103,12 +118,14 @@ let grammar_cmd =
   Cmd.v
     (Cmd.info "grammar"
        ~doc:"Build one of the paper's grammars for L_n, or load one.")
-    Term.(const run $ kind_arg $ n_arg $ print_arg $ check_arg $ from_file_arg)
+    Term.(
+      const run $ jobs_term $ kind_arg $ n_arg $ print_arg $ check_arg
+      $ from_file_arg)
 
 (* --- count --------------------------------------------------------------- *)
 
 let count_cmd =
-  let run n meth =
+  let run () n meth =
     match meth with
     | `Dp ->
       let g = Cnf.of_grammar (Constructions.example4 n) in
@@ -130,12 +147,12 @@ let count_cmd =
                 $(b,formula).")
   in
   Cmd.v (Cmd.info "count" ~doc:"Count the words of L_n.")
-    Term.(const run $ n_arg $ meth_arg)
+    Term.(const run $ jobs_term $ n_arg $ meth_arg)
 
 (* --- rectangles ---------------------------------------------------------- *)
 
 let rectangles_cmd =
-  let run kind n =
+  let run () kind n =
     let g = build_grammar kind n in
     let res = Ucfg_rect.Extract.run g in
     let v, shape_ok = Ucfg_rect.Extract.verify g res in
@@ -152,15 +169,15 @@ let rectangles_cmd =
   Cmd.v
     (Cmd.info "rectangles"
        ~doc:"Run the Proposition 7 extraction on one of the grammars.")
-    Term.(const run $ kind_arg $ n_arg)
+    Term.(const run $ jobs_term $ kind_arg $ n_arg)
 
 (* --- bound --------------------------------------------------------------- *)
 
 let bound_cmd =
-  let run ns =
+  let run () ns =
     Report.print_table ~title:"Theorem 12 certified bounds"
       ~headers:[ "n"; "cover lower bound"; "uCFG size lower bound"; "log2" ]
-      (List.map
+      (Ucfg_exec.Exec.parallel_map
          (fun n ->
             [
               string_of_int n;
@@ -177,12 +194,12 @@ let bound_cmd =
       & info [ "ns" ] ~docv:"N,N,..." ~doc:"Values of n.")
   in
   Cmd.v (Cmd.info "bound" ~doc:"Print the certified uCFG lower bounds.")
-    Term.(const run $ ns_arg)
+    Term.(const run $ jobs_term $ ns_arg)
 
 (* --- csv ----------------------------------------------------------------- *)
 
 let csv_cmd =
-  let run columns width =
+  let run () columns width =
     let s = { Csv.columns; width } in
     let g = Csv.grammar s in
     Printf.printf "columns: %d, width: %d, word length: %d\n" columns width
@@ -199,12 +216,12 @@ let csv_cmd =
   in
   Cmd.v
     (Cmd.info "csv" ~doc:"The CSV information-extraction application.")
-    Term.(const run $ columns_arg $ width_arg)
+    Term.(const run $ jobs_term $ columns_arg $ width_arg)
 
 (* --- access -------------------------------------------------------------- *)
 
 let access_cmd =
-  let run n index sample seed =
+  let run () n index sample seed =
     let da =
       Direct_access.create (Cnf.of_grammar (Constructions.example4 n))
         ~max_len:(2 * n)
@@ -243,12 +260,12 @@ let access_cmd =
   Cmd.v
     (Cmd.info "access"
        ~doc:"Direct access into L_n through the unambiguous grammar.")
-    Term.(const run $ n_arg $ index_arg $ sample_arg $ seed_arg)
+    Term.(const run $ jobs_term $ n_arg $ index_arg $ sample_arg $ seed_arg)
 
 (* --- profile ------------------------------------------------------------- *)
 
 let profile_cmd =
-  let run kind n =
+  let run () kind n =
     let g = build_grammar kind n in
     let p = Ambiguity.profile g in
     Printf.printf "words: %d\nambiguous words: %d\nmax parse trees: %s\n"
@@ -260,12 +277,12 @@ let profile_cmd =
   in
   Cmd.v
     (Cmd.info "profile" ~doc:"Ambiguity-degree histogram of a grammar.")
-    Term.(const run $ kind_arg $ n_arg)
+    Term.(const run $ jobs_term $ kind_arg $ n_arg)
 
 (* --- intersect ------------------------------------------------------------ *)
 
 let intersect_cmd =
-  let run n check =
+  let run () n check =
     let cube =
       Constructions.sigma_chain Ucfg_word.Alphabet.binary (2 * n)
     in
@@ -284,12 +301,12 @@ let intersect_cmd =
   Cmd.v
     (Cmd.info "intersect"
        ~doc:"Rebuild L_n by the Bar–Hillel product Σ^2n ∩ pattern.")
-    Term.(const run $ n_arg $ check_arg)
+    Term.(const run $ jobs_term $ n_arg $ check_arg)
 
 (* --- lint ----------------------------------------------------------------- *)
 
 let lint_cmd =
-  let run kind n from_file json nfa list_checks =
+  let run () kind n from_file json nfa list_checks =
     if list_checks then begin
       let print_registry title checks =
         Printf.printf "%s\n" title;
@@ -340,13 +357,13 @@ let lint_cmd =
           readiness, and sound ambiguity pre-checks.  Exits 1 when an error \
           fires (definite ambiguity).")
     Term.(
-      const run $ kind_arg $ n_arg $ from_file_arg $ json_arg $ nfa_arg
-      $ list_arg)
+      const run $ jobs_term $ kind_arg $ n_arg $ from_file_arg $ json_arg
+      $ nfa_arg $ list_arg)
 
 (* --- circuit ---------------------------------------------------------------- *)
 
 let circuit_cmd =
-  let run n =
+  let run () n =
     let naive = Ucfg_kc.Ln_circuit.naive n in
     let det = Ucfg_kc.Ln_circuit.deterministic n in
     Printf.printf "DNNF size: %d\nd-DNNF size: %d\nmodel count: %s (4^n - 3^n = %s)\n"
@@ -357,7 +374,7 @@ let circuit_cmd =
   Cmd.v
     (Cmd.info "circuit"
        ~doc:"Boolean DNNF / d-DNNF circuits for the L_n predicate.")
-    Term.(const run $ n_arg)
+    Term.(const run $ jobs_term $ n_arg)
 
 let main_cmd =
   let doc =

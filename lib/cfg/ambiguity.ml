@@ -11,6 +11,9 @@ type verdict = {
 }
 
 let check_by_counting ?max_len ?max_card g =
+  (* the exhaustive path: materialising the language dominates, and
+     [Analysis.language] partitions its concatenation steps across the
+     [Ucfg_exec] domain pool; the tree total is a cheap polynomial DP *)
   let lang = Analysis.language_exn ?max_len ?max_card g in
   let word_count = Lang.cardinal lang in
   let total_trees = Analysis.count_trees_total g in
@@ -71,15 +74,21 @@ let profile ?max_len ?max_card g =
   let hist = Hashtbl.create 16 in
   let max_trees = ref Bignum.zero in
   let ambiguous_words = ref 0 in
-  Lang.iter
-    (fun w ->
-       let c = Count_word.trees g w in
+  (* per-word tree counting is embarrassingly parallel: candidate words are
+     partitioned across domains and the counts merged back in word order,
+     so the histogram is independent of the job count *)
+  let counts =
+    Ucfg_exec.Exec.parallel_map (fun w -> Count_word.trees g w)
+      (Lang.elements lang)
+  in
+  List.iter
+    (fun c ->
        if Bignum.compare c Bignum.one > 0 then incr ambiguous_words;
        if Bignum.compare c !max_trees > 0 then max_trees := c;
        let key = Bignum.to_string c in
        Hashtbl.replace hist key
          (1 + Option.value ~default:0 (Hashtbl.find_opt hist key)))
-    lang;
+    counts;
   let histogram =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) hist []
     |> List.sort (fun (a, _) (b, _) ->
@@ -102,11 +111,10 @@ let ambiguous_witness ?max_len ?max_card ?(fast = true) g =
     | Static.Unambiguous -> None
     | Static.Unknown ->
       let lang = Analysis.language_exn ?max_len ?max_card g in
-      Lang.fold
-        (fun w acc ->
-           match acc with
-           | Some _ -> acc
-           | None ->
-             if Bignum.compare (Count_word.trees g w) Bignum.one > 0 then Some w
-             else None)
-        lang None
+      (* candidate words are scanned in parallel chunks; [parallel_find_map]
+         returns the first hit in word order, matching the sequential scan *)
+      Ucfg_exec.Exec.parallel_find_map
+        (fun w ->
+           if Bignum.compare (Count_word.trees g w) Bignum.one > 0 then Some w
+           else None)
+        (Lang.elements lang)

@@ -91,6 +91,9 @@ let topological_order g =
 
 (* --- exact language ------------------------------------------------------ *)
 
+(* below this many (u, v) pairs a concatenation step stays sequential *)
+let par_pair_threshold = 1 lsl 12
+
 let language ?(max_len = 64) ?(max_card = 2_000_000) g =
   let n = nonterminal_count g in
   let sets = Array.make n Lang.empty in
@@ -101,22 +104,49 @@ let language ?(max_len = 64) ?(max_card = 2_000_000) g =
     | T c -> Lang.singleton (String.make 1 c)
     | N i -> sets.(i)
   in
+  (* acc · s, the hot inner step: large products are partitioned over the
+     left words across domains — the union of the per-chunk sets and the
+     or of the per-chunk truncation flags do not depend on the partition,
+     so the result is identical to the sequential fold *)
+  let concat_step acc s =
+    let concat_chunk us =
+      let trunc = ref false in
+      let set =
+        List.fold_left
+          (fun out u ->
+             Lang.fold
+               (fun v out ->
+                  let w = u ^ v in
+                  if String.length w > max_len then begin
+                    trunc := true;
+                    out
+                  end
+                  else Lang.add w out)
+               s out)
+          Lang.empty us
+      in
+      (set, !trunc)
+    in
+    if
+      Ucfg_exec.Exec.jobs () <= 1
+      || Lang.cardinal acc * Lang.cardinal s < par_pair_threshold
+    then begin
+      let set, trunc = concat_chunk (Lang.elements acc) in
+      if trunc then truncated := true;
+      set
+    end
+    else
+      Ucfg_exec.Exec.parallel_map concat_chunk
+        (Ucfg_exec.Exec.chunks (Lang.elements acc))
+      |> List.fold_left
+        (fun out (set, trunc) ->
+           if trunc then truncated := true;
+           Lang.union out set)
+        Lang.empty
+  in
   let concat_all rhs =
     List.fold_left
-      (fun acc sym ->
-         let s = denote_sym sym in
-         Lang.fold
-           (fun u acc ->
-              Lang.fold
-                (fun v acc ->
-                   let w = u ^ v in
-                   if String.length w > max_len then begin
-                     truncated := true;
-                     acc
-                   end
-                   else Lang.add w acc)
-                s acc)
-           acc Lang.empty)
+      (fun acc sym -> concat_step acc (denote_sym sym))
       (Lang.singleton "") rhs
   in
   let apply_rule { lhs; rhs } =

@@ -15,18 +15,42 @@ type grammar_search = {
   budget_exhausted : bool;
 }
 
-exception Out_of_budget
+(* The search fans out over the top-level rule-set frontier: for each
+   nonterminal count [k] and each candidate rule index [i], one branch
+   explores exactly the rule sets whose lowest-index rule is [i].  In
+   (k, i) order the branches partition the level exactly as the
+   sequential include-first backtracking does, so replaying the branch
+   outcomes in that order reproduces the sequential verdict — witness,
+   node count and budget behaviour included — for any number of domains:
+
+   - every branch runs against the level's remaining budget as a local
+     cap, so no branch does more work than a sequential run could;
+   - the replay walks the outcomes in frontier order, accumulating each
+     branch's deterministic tick count, and declares the budget exhausted
+     at exactly the branch where the sequential counter would have
+     overflowed;
+   - a branch that finds a witness or hits the cap publishes its rank, and
+     branches strictly to the right abort — their outcomes are never
+     consulted by the replay, so cancellation affects wall-clock only. *)
+type branch_outcome =
+  | Found of G.t * int  (* witness and ticks spent reaching it *)
+  | Exhausted of int    (* subtree fully explored, ticks spent *)
+  | Capped              (* ran out of the level's remaining budget *)
+  | Cancelled           (* aborted: an earlier branch terminated the level *)
+
+exception Branch_capped
+exception Branch_cancelled
+
+let rec publish_rank terminal rank =
+  let cur = Atomic.get terminal in
+  if rank < cur && not (Atomic.compare_and_set terminal cur rank) then
+    publish_rank terminal rank
 
 let minimal_cnf_size ?(unambiguous = false) ?(max_nonterminals = 3)
     ?(max_size = 12) ?(budget = 3_000_000) alpha l =
   if Lang.mem "" l then invalid_arg "Search.minimal_cnf_size: ε not supported";
   let max_word_len =
     List.fold_left max 0 (Lang.lengths l)
-  in
-  let nodes = ref 0 in
-  let tick () =
-    incr nodes;
-    if !nodes > budget then raise Out_of_budget
   in
   (* the candidate rule universe for k nonterminals, with costs *)
   let rules_for k =
@@ -51,7 +75,7 @@ let minimal_cnf_size ?(unambiguous = false) ?(max_nonterminals = 3)
     Array.of_list (terminal @ binary)
   in
   let names k = Array.init k (fun i -> Printf.sprintf "N%d" i) in
-  let accepts_exactly rules k =
+  let accepts_exactly ~tick rules k =
     tick ();
     let g = G.make ~alphabet:alpha ~names:(names k) ~rules ~start:0 in
     match Analysis.language ~max_len:max_word_len ~max_card:(4 * Lang.cardinal l + 16) g with
@@ -61,45 +85,111 @@ let minimal_cnf_size ?(unambiguous = false) ?(max_nonterminals = 3)
       && (not unambiguous
           || (Analysis.has_finitely_many_trees g && Ambiguity.is_unambiguous g))
   in
-  let witness = ref None in
-  (* find some rule set of total cost exactly s accepting l *)
-  let try_size k s =
-    let universe = rules_for k in
+  (* all rule sets of cost exactly [s] over [universe] whose first rule is
+     [first]; ticks are branch-local so the count is schedule-independent *)
+  let run_branch ~k ~universe ~s ~cap ~terminal ~rank ~first () =
+    let ticks = ref 0 in
+    let tick () =
+      if Atomic.get terminal < rank then raise Branch_cancelled;
+      incr ticks;
+      if !ticks > cap then raise Branch_capped
+    in
     let len = Array.length universe in
     let rec dfs idx remaining chosen =
       tick ();
       if remaining = 0 then begin
-        if accepts_exactly (List.rev chosen) k then begin
-          witness :=
-            Some (G.make ~alphabet:alpha ~names:(names k) ~rules:(List.rev chosen) ~start:0);
-          true
-        end
-        else false
+        if accepts_exactly ~tick (List.rev chosen) k then
+          Some
+            (G.make ~alphabet:alpha ~names:(names k) ~rules:(List.rev chosen)
+               ~start:0)
+        else None
       end
-      else if idx >= len then false
+      else if idx >= len then None
       else begin
         let rule, cost = universe.(idx) in
-        (cost <= remaining && dfs (idx + 1) (remaining - cost) (rule :: chosen))
-        || dfs (idx + 1) remaining chosen
+        let hit =
+          if cost <= remaining then dfs (idx + 1) (remaining - cost) (rule :: chosen)
+          else None
+        in
+        match hit with Some _ -> hit | None -> dfs (idx + 1) remaining chosen
       end
     in
-    dfs 0 s []
+    let rule, cost = universe.(first) in
+    match dfs (first + 1) (s - cost) [ rule ] with
+    | Some g ->
+      publish_rank terminal rank;
+      Found (g, !ticks)
+    | None -> Exhausted !ticks
+    | exception Branch_capped ->
+      publish_rank terminal rank;
+      Capped
+    | exception Branch_cancelled -> Cancelled
   in
-  try
-    let rec over_sizes s =
-      if s > max_size then
-        { minimal_size = None; witness = None; nodes_explored = !nodes;
-          budget_exhausted = false }
-      else if
-        List.exists
-          (fun k -> try_size k s)
-          (Ucfg_util.Prelude.range_incl 1 max_nonterminals)
-      then
-        { minimal_size = Some s; witness = !witness; nodes_explored = !nodes;
-          budget_exhausted = false }
-      else over_sizes (s + 1)
+  let consumed = ref 0 in
+  let out_of_budget = ref false in
+  let run_level s =
+    let cap = budget - !consumed in
+    let terminal = Atomic.make max_int in
+    let branches =
+      List.concat_map
+        (fun k ->
+           let universe = rules_for k in
+           List.filter_map
+             (fun i ->
+                if snd universe.(i) <= s then Some (k, universe, i) else None)
+             (Ucfg_util.Prelude.range 0 (Array.length universe)))
+        (Ucfg_util.Prelude.range_incl 1 max_nonterminals)
     in
-    over_sizes 1
-  with Out_of_budget ->
-    { minimal_size = None; witness = None; nodes_explored = !nodes;
-      budget_exhausted = true }
+    let outcomes =
+      Ucfg_exec.Exec.run_list
+        (List.mapi
+           (fun rank (k, universe, first) ->
+              run_branch ~k ~universe ~s ~cap ~terminal ~rank ~first)
+           branches)
+    in
+    let rec replay = function
+      | [] -> None
+      | Found (g, t) :: _ ->
+        if !consumed + t <= budget then begin
+          consumed := !consumed + t;
+          Some g
+        end
+        else begin
+          out_of_budget := true;
+          None
+        end
+      | Exhausted t :: rest ->
+        if !consumed + t <= budget then begin
+          consumed := !consumed + t;
+          replay rest
+        end
+        else begin
+          out_of_budget := true;
+          None
+        end
+      | Capped :: _ ->
+        out_of_budget := true;
+        None
+      | Cancelled :: _ ->
+        (* unreachable: a cancelled branch is always preceded in frontier
+           order by a Found or Capped branch, where the replay stops *)
+        assert false
+    in
+    replay outcomes
+  in
+  let rec over_sizes s =
+    if s > max_size then
+      { minimal_size = None; witness = None; nodes_explored = !consumed;
+        budget_exhausted = false }
+    else
+      match run_level s with
+      | Some g ->
+        { minimal_size = Some s; witness = Some g; nodes_explored = !consumed;
+          budget_exhausted = false }
+      | None when !out_of_budget ->
+        (* the sequential counter raises the moment it passes the budget *)
+        { minimal_size = None; witness = None; nodes_explored = budget + 1;
+          budget_exhausted = true }
+      | None -> over_sizes (s + 1)
+  in
+  over_sizes 1

@@ -1,0 +1,54 @@
+(* The process-wide pool behind the library's parallel hot paths.
+
+   The job count resolves, in order, to: the last [set_jobs] call (the
+   CLI's [--jobs] flag and the bench harness both land here), the
+   [UCFG_JOBS] environment variable, and finally
+   [Domain.recommended_domain_count () - 1].  With a resolved count of 1
+   every combinator takes the sequential path, and because all merges are
+   ordered the results are bit-identical at any count — callers never
+   need to care which path ran.
+
+   The pool is created lazily on first use and rebuilt when the job count
+   changes, so flipping [set_jobs] mid-process (as the determinism tests
+   do) is cheap and leak-free.  Orchestration is assumed single-domain:
+   only pool *jobs* run concurrently, [set_jobs] and the first [pool]
+   call do not. *)
+
+let override = ref None
+let pool_ref = ref None
+
+let jobs () =
+  match !override with
+  | Some j -> j
+  | None -> Pool.default_jobs ()
+
+let set_jobs j = override := Some (max 1 j)
+
+let pool () =
+  let wanted = jobs () in
+  match !pool_ref with
+  | Some p when Pool.jobs p = wanted -> p
+  | existing ->
+    Option.iter Pool.shutdown existing;
+    let p = Pool.create ~jobs:wanted () in
+    pool_ref := Some p;
+    p
+
+(* joined workers cannot outlive the process: exit paths through at_exit
+   stop the pool cleanly *)
+let () =
+  at_exit (fun () ->
+      Option.iter Pool.shutdown !pool_ref;
+      pool_ref := None)
+
+let run_list thunks = Pool.run_list (pool ()) thunks
+let parallel_map f xs = Pool.map (pool ()) f xs
+
+let parallel_map_reduce ~map ~reduce init xs =
+  Pool.map_reduce (pool ()) ~map ~reduce init xs
+
+let parallel_find_map f xs = Pool.find_map (pool ()) f xs
+
+(* pool-sized contiguous chunks, for callers that parallelise work whose
+   per-item results are not independent values (e.g. set unions) *)
+let chunks xs = Pool.chunks (pool ()) xs

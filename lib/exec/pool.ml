@@ -1,0 +1,226 @@
+(* A fixed-size pool of worker domains with deterministic combinators.
+
+   Everything funnels through [run_list], which evaluates a list of thunks
+   and returns their results in list order.  Three invariants make the
+   parallel path observationally identical to the sequential one:
+
+   - results are merged in submission order, never in completion order,
+     so output cannot depend on scheduling;
+   - an exception raised by a thunk is captured (with its backtrace) and
+     re-raised in the caller; when several thunks raise, the one earliest
+     in the list wins — again independent of scheduling;
+   - with [jobs <= 1], from inside a pool worker (no nested fan-out), or
+     on lists too short to split, the thunks run sequentially in the
+     caller's domain.
+
+   Consequently [map]/[map_reduce]/[find_map] return bit-identical values
+   for every job count, which is what the UCFG_JOBS=1 vs UCFG_JOBS=4
+   determinism gate in CI checks end to end. *)
+
+type t = {
+  jobs : int;  (* parallelism degree; <= 1 means no workers were spawned *)
+  queue : (unit -> unit) Queue.t;
+  lock : Mutex.t;
+  work : Condition.t;  (* signalled when the queue grows or on shutdown *)
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let env_var = "UCFG_JOBS"
+
+(* UCFG_JOBS wins; otherwise leave one core to the orchestrating domain *)
+let default_jobs () =
+  match Option.bind (Sys.getenv_opt env_var) int_of_string_opt with
+  | Some j when j >= 1 -> j
+  | Some _ | None -> max 1 (Domain.recommended_domain_count () - 1)
+
+(* workers are flagged through domain-local storage so that library code
+   running inside a pool job falls back to its sequential path instead of
+   re-submitting to the queue its own caller is blocked on *)
+let worker_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+let in_worker () = Domain.DLS.get worker_key
+
+let rec worker_loop pool =
+  Mutex.lock pool.lock;
+  let rec next () =
+    if pool.stopping then None
+    else
+      match Queue.take_opt pool.queue with
+      | Some job -> Some job
+      | None ->
+        Condition.wait pool.work pool.lock;
+        next ()
+  in
+  match next () with
+  | None -> Mutex.unlock pool.lock
+  | Some job ->
+    Mutex.unlock pool.lock;
+    job ();
+    worker_loop pool
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let pool =
+    {
+      jobs;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      work = Condition.create ();
+      stopping = false;
+      workers = [];
+    }
+  in
+  if jobs > 1 then
+    pool.workers <-
+      List.init jobs (fun _ ->
+          Domain.spawn (fun () ->
+              Domain.DLS.set worker_key true;
+              worker_loop pool));
+  pool
+
+let jobs pool = pool.jobs
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  pool.stopping <- true;
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.lock;
+  List.iter Domain.join pool.workers;
+  pool.workers <- []
+
+let sequential thunks = List.map (fun f -> f ()) thunks
+
+let run_list pool thunks =
+  match thunks with
+  | [] -> []
+  | [ f ] -> [ f () ]
+  | _ when pool.jobs <= 1 || in_worker () -> sequential thunks
+  | _ ->
+    let thunks = Array.of_list thunks in
+    let n = Array.length thunks in
+    let results = Array.make n None in
+    let failures = Array.make n None in
+    let remaining = ref n in
+    let all_done = Condition.create () in
+    Mutex.lock pool.lock;
+    Array.iteri
+      (fun i f ->
+         Queue.add
+           (fun () ->
+              (match f () with
+               | v -> results.(i) <- Some v
+               | exception e ->
+                 failures.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+              Mutex.lock pool.lock;
+              decr remaining;
+              if !remaining = 0 then Condition.broadcast all_done;
+              Mutex.unlock pool.lock)
+           pool.queue)
+      thunks;
+    Condition.broadcast pool.work;
+    while !remaining > 0 do
+      Condition.wait all_done pool.lock
+    done;
+    Mutex.unlock pool.lock;
+    (* slot writes happen before the counter decrement under the pool lock,
+       and we read after observing zero under the same lock, so the arrays
+       are safely published.  First failure in list order wins. *)
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      failures;
+    Array.to_list
+      (Array.map (function Some v -> v | None -> assert false) results)
+
+(* --- chunked combinators ------------------------------------------------- *)
+
+(* a few chunks per worker gives cheap load balancing without losing the
+   deterministic ordered merge *)
+let chunk_factor = 4
+
+let chunk ~pieces xs =
+  let n = List.length xs in
+  if n = 0 then []
+  else begin
+    let pieces = max 1 (min pieces n) in
+    let base = n / pieces and extra = n mod pieces in
+    (* the first [extra] chunks get one element more; order is preserved *)
+    let rec take k xs acc =
+      if k = 0 then (List.rev acc, xs)
+      else
+        match xs with
+        | [] -> (List.rev acc, [])
+        | x :: rest -> take (k - 1) rest (x :: acc)
+    in
+    let rec split i xs acc =
+      if i >= pieces then List.rev acc
+      else begin
+        let size = base + if i < extra then 1 else 0 in
+        let c, rest = take size xs [] in
+        split (i + 1) rest (c :: acc)
+      end
+    in
+    split 0 xs []
+  end
+
+let chunks pool xs = chunk ~pieces:(pool.jobs * chunk_factor) xs
+
+let map pool f xs =
+  match xs with
+  | [] | [ _ ] -> List.map f xs
+  | _ when pool.jobs <= 1 || in_worker () -> List.map f xs
+  | _ ->
+    chunks pool xs
+    |> List.map (fun c () -> List.map f c)
+    |> run_list pool
+    |> List.concat
+
+(* equals [List.fold_left (fun acc x -> reduce acc (map x)) init xs]
+   whenever [reduce] is associative: each chunk folds left to right from
+   its own first element, and the chunk partials are folded in order *)
+let map_reduce pool ~map:fm ~reduce init xs =
+  let seq () = List.fold_left (fun acc x -> reduce acc (fm x)) init xs in
+  match xs with
+  | [] | [ _ ] -> seq ()
+  | _ when pool.jobs <= 1 || in_worker () -> seq ()
+  | _ ->
+    chunks pool xs
+    |> List.map (fun c () ->
+        match c with
+        | [] -> assert false
+        | x :: rest ->
+          List.fold_left (fun acc y -> reduce acc (fm y)) (fm x) rest)
+    |> run_list pool
+    |> List.fold_left reduce init
+
+let rec note_winner winner rank =
+  let cur = Atomic.get winner in
+  if rank < cur && not (Atomic.compare_and_set winner cur rank) then
+    note_winner winner rank
+
+(* first [Some] in list order, like [List.find_map].  Chunks later than an
+   already-successful chunk abort early; a chunk only aborts when a
+   *strictly earlier* chunk has found a hit, so the chunk whose result is
+   selected was always fully scanned up to its first hit. *)
+let find_map pool f xs =
+  match xs with
+  | [] -> None
+  | _ when pool.jobs <= 1 || in_worker () -> List.find_map f xs
+  | _ ->
+    let winner = Atomic.make max_int in
+    chunks pool xs
+    |> List.mapi (fun rank c () ->
+        let rec go = function
+          | [] -> None
+          | _ when Atomic.get winner < rank -> None
+          | x :: rest ->
+            (match f x with
+             | Some v ->
+               note_winner winner rank;
+               Some v
+             | None -> go rest)
+        in
+        go c)
+    |> run_list pool
+    |> List.find_map Fun.id

@@ -18,11 +18,33 @@ let equal = Word.Set.equal
 let subset = Word.Set.subset
 let disjoint = Word.Set.disjoint
 
+(* below this many (u, v) pairs the fan-out overhead outweighs the work *)
+let par_pair_threshold = 1 lsl 12
+
 let concat l1 l2 =
-  Word.Set.fold
-    (fun u acc ->
-       Word.Set.fold (fun v acc -> Word.Set.add (u ^ v) acc) l2 acc)
-    l1 Word.Set.empty
+  let seq () =
+    Word.Set.fold
+      (fun u acc ->
+         Word.Set.fold (fun v acc -> Word.Set.add (u ^ v) acc) l2 acc)
+      l1 Word.Set.empty
+  in
+  if
+    Ucfg_exec.Exec.jobs () <= 1
+    || Word.Set.cardinal l1 * Word.Set.cardinal l2 < par_pair_threshold
+  then seq ()
+  else begin
+    (* partition the left words across domains; set union is insensitive to
+       the partition, so the result is identical to the sequential fold *)
+    let concat_chunk us =
+      List.fold_left
+        (fun acc u ->
+           Word.Set.fold (fun v acc -> Word.Set.add (u ^ v) acc) l2 acc)
+        Word.Set.empty us
+    in
+    Ucfg_exec.Exec.parallel_map concat_chunk
+      (Ucfg_exec.Exec.chunks (Word.Set.elements l1))
+    |> List.fold_left Word.Set.union Word.Set.empty
+  end
 
 let concat_list ls = List.fold_left concat (singleton "") ls
 

@@ -1,0 +1,226 @@
+(* The parallel execution layer: the Pool combinators are drop-in
+   replacements for their List counterparts at every job count, exceptions
+   propagate deterministically, and the wired-in consumers —
+   Analysis.language, Ambiguity.check/profile/ambiguous_witness,
+   Search.minimal_cnf_size — return identical verdicts whether they run
+   on one domain or many. *)
+
+open Ucfg_word
+open Ucfg_lang
+open Ucfg_cfg
+open Ucfg_core
+open Ucfg_exec
+module Bignum = Ucfg_util.Bignum
+module Rng = Ucfg_util.Rng
+
+let with_pool jobs f =
+  let p = Pool.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+(* flip the process-wide pool, restoring the previous size afterwards *)
+let with_global_jobs jobs f =
+  let saved = Exec.jobs () in
+  Exec.set_jobs jobs;
+  Fun.protect ~finally:(fun () -> Exec.set_jobs saved) f
+
+(* --- chunking ---------------------------------------------------------- *)
+
+let test_chunk_reassembles () =
+  List.iter
+    (fun (pieces, n) ->
+       let xs = List.init n Fun.id in
+       let cs = Pool.chunk ~pieces xs in
+       Alcotest.(check (list int))
+         (Printf.sprintf "concat of %d pieces over %d" pieces n)
+         xs (List.concat cs);
+       Alcotest.(check bool) "piece count" true (List.length cs <= max 1 pieces);
+       Alcotest.(check bool) "no empty piece" true
+         (List.for_all (fun c -> c <> []) cs);
+       let sizes = List.map List.length cs in
+       let mx = List.fold_left max 0 sizes
+       and mn = List.fold_left min max_int sizes in
+       Alcotest.(check bool) "balanced" true (n = 0 || mx - mn <= 1))
+    [ (1, 10); (3, 10); (4, 4); (7, 3); (16, 100); (5, 0); (2, 1) ]
+
+(* --- the combinators match their List counterparts --------------------- *)
+
+let prop_map_matches =
+  QCheck.Test.make ~name:"Pool.map = List.map at any job count" ~count:100
+    QCheck.(pair (int_range 1 5) (small_list small_int))
+    (fun (jobs, xs) ->
+       let f x = (x * x) + 3 in
+       with_pool jobs (fun p -> Pool.map p f xs = List.map f xs))
+
+let prop_map_reduce_matches =
+  QCheck.Test.make
+    ~name:"Pool.map_reduce = sequential fold (associative reduce)" ~count:100
+    QCheck.(pair (int_range 1 5) (small_list small_int))
+    (fun (jobs, xs) ->
+       let f x = x + 1 in
+       with_pool jobs (fun p ->
+           Pool.map_reduce p ~map:f ~reduce:( + ) 0 xs
+           = List.fold_left (fun acc x -> acc + f x) 0 xs))
+
+let prop_find_map_matches =
+  QCheck.Test.make ~name:"Pool.find_map = List.find_map" ~count:200
+    QCheck.(pair (int_range 1 5) (small_list small_int))
+    (fun (jobs, xs) ->
+       let f x = if x mod 3 = 0 then Some (x * 7) else None in
+       with_pool jobs (fun p -> Pool.find_map p f xs = List.find_map f xs))
+
+let prop_run_list_ordered =
+  QCheck.Test.make ~name:"Pool.run_list preserves submission order" ~count:50
+    QCheck.(pair (int_range 2 5) (int_range 2 64))
+    (fun (jobs, n) ->
+       with_pool jobs (fun p ->
+           Pool.run_list p (List.init n (fun i () -> i)) = List.init n Fun.id))
+
+(* --- exception propagation --------------------------------------------- *)
+
+exception Boom of int
+
+let test_exception_first_wins () =
+  (* several thunks raise; the earliest in submission order must surface,
+     regardless of which domain finished first *)
+  with_pool 4 (fun p ->
+      List.iter
+        (fun n ->
+           let f x = if x mod 5 = 3 then raise (Boom x) else x in
+           let xs = List.init n Fun.id in
+           let expected = List.find_opt (fun x -> x mod 5 = 3) xs in
+           match (expected, Pool.map p f xs) with
+           | None, ys -> Alcotest.(check (list int)) "no raise" xs ys
+           | Some x, _ -> Alcotest.failf "expected Boom %d" x
+           | exception Boom got ->
+             Alcotest.(check int) "first failure in list order"
+               (Option.get expected) got)
+        [ 4; 8; 17; 40; 100 ];
+      (* the pool survives failed batches *)
+      Alcotest.(check (list int)) "pool still works" [ 2; 4; 6 ]
+        (Pool.map p (fun x -> 2 * x) [ 1; 2; 3 ]))
+
+let test_nested_fan_out () =
+  (* fan-out from inside a worker must fall back to the sequential path
+     rather than deadlock on the queue its caller is blocked on *)
+  with_pool 2 (fun p ->
+      let inner x = Pool.map p (fun y -> y + 1) [ x; x + 1 ] in
+      Alcotest.(check (list (list int)))
+        "nested map"
+        [ [ 1; 2 ]; [ 2; 3 ]; [ 3; 4 ] ]
+        (Pool.map p inner [ 0; 1; 2 ]))
+
+(* --- jobs-invariance of the wired-in consumers ------------------------- *)
+
+let lang_testable = Alcotest.testable Lang.pp Lang.equal
+
+let test_language_jobs_invariant () =
+  (* log_cfg 6 is large enough (|L_6| = 3367) to cross the parallel
+     threshold inside Analysis.language *)
+  let g = Constructions.log_cfg 6 in
+  let reference = with_global_jobs 1 (fun () -> Analysis.language_exn g) in
+  List.iter
+    (fun jobs ->
+       Alcotest.check lang_testable
+         (Printf.sprintf "L_6 materialisation, jobs=%d" jobs)
+         reference
+         (with_global_jobs jobs (fun () -> Analysis.language_exn g)))
+    [ 2; 4 ];
+  Alcotest.check lang_testable "Ln reference" (Ln.language 6) reference
+
+let test_concat_jobs_invariant () =
+  let l1 = Lang.full Alphabet.binary 7 and l2 = Lang.full Alphabet.binary 3 in
+  let seq = with_global_jobs 1 (fun () -> Lang.concat l1 l2) in
+  let par = with_global_jobs 4 (fun () -> Lang.concat l1 l2) in
+  Alcotest.check lang_testable "2^7 x 2^3 concat" seq par;
+  Alcotest.(check int) "cardinal" 1024 (Lang.cardinal par)
+
+let check_fields (v : Ambiguity.verdict) =
+  ( v.Ambiguity.unambiguous,
+    Option.map Bignum.to_string v.Ambiguity.total_trees,
+    v.Ambiguity.word_count )
+
+let prop_ambiguity_check_jobs_invariant =
+  QCheck.Test.make
+    ~name:"Ambiguity.check / profile / witness are jobs-invariant" ~count:25
+    QCheck.(triple (int_range 0 10_000) (int_range 2 5) (int_range 1 3))
+    (fun (seed, word_len, variants) ->
+       let g =
+         Random_grammar.fixed_length (Rng.create seed) ~word_len ~variants
+       in
+       (* ~fast:false forces the exhaustive counting path on every run *)
+       let run jobs =
+         with_global_jobs jobs (fun () ->
+             ( check_fields (Ambiguity.check ~fast:false g),
+               (Ambiguity.profile g).Ambiguity.histogram,
+               Ambiguity.ambiguous_witness ~fast:false g ))
+       in
+       run 1 = run 4)
+
+let search_fields (r : Search.grammar_search) =
+  ( r.Search.minimal_size,
+    Option.map Grammar.to_string r.Search.witness,
+    r.Search.nodes_explored,
+    r.Search.budget_exhausted )
+
+let test_search_jobs_invariant () =
+  let cases =
+    [
+      ("L_1", Ln.language 1, None, false);
+      ("L_1 unambiguous", Ln.language 1, None, true);
+      ("{ab,ba}", Lang.of_list [ "ab"; "ba" ], None, false);
+      ("L_2 budget 100", Ln.language 2, Some 100, false);
+      ("{aa,ab} budget 2000", Lang.of_list [ "aa"; "ab" ], Some 2000, false);
+    ]
+  in
+  List.iter
+    (fun (name, l, budget, unambiguous) ->
+       let run jobs =
+         with_global_jobs jobs (fun () ->
+             search_fields
+               (Search.minimal_cnf_size ~unambiguous ?budget Alphabet.binary l))
+       in
+       let r1 = run 1 and r4 = run 4 in
+       Alcotest.(check bool)
+         (name ^ ": jobs=1 and jobs=4 agree (incl. nodes and witness)")
+         true (r1 = r4))
+    cases
+
+let test_search_budget_replay () =
+  (* the budget-exhausted verdict must report the sequential node count *)
+  let r =
+    with_global_jobs 4 (fun () ->
+        Search.minimal_cnf_size ~budget:100 Alphabet.binary (Ln.language 2))
+  in
+  Alcotest.(check bool) "exhausted" true r.Search.budget_exhausted;
+  Alcotest.(check int) "nodes = budget + 1" 101 r.Search.nodes_explored
+
+let () =
+  Alcotest.run "ucfg_exec"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "chunking reassembles" `Quick
+            test_chunk_reassembles;
+          Alcotest.test_case "first exception wins" `Quick
+            test_exception_first_wins;
+          Alcotest.test_case "nested fan-out is sequential" `Quick
+            test_nested_fan_out;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+          [
+            prop_map_matches; prop_map_reduce_matches; prop_find_map_matches;
+            prop_run_list_ordered;
+          ] );
+      ( "consumers",
+        [
+          Alcotest.test_case "language materialisation" `Quick
+            test_language_jobs_invariant;
+          Alcotest.test_case "Lang.concat" `Quick test_concat_jobs_invariant;
+          Alcotest.test_case "minimal CNF search" `Slow
+            test_search_jobs_invariant;
+          Alcotest.test_case "search budget replay" `Quick
+            test_search_budget_replay;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+          [ prop_ambiguity_check_jobs_invariant ] );
+    ]
