@@ -7,12 +7,12 @@
 CLI := dune exec --no-build -- bin/ucfg_cli.exe
 BENCH := dune exec --no-build -- bench/main.exe
 
-# experiments with fully deterministic output (e24/e25/timings print
-# wall-clock numbers and are excluded from the determinism diff)
+# experiments with fully deterministic output (e24/e25/e26/timings print
+# wall-clock numbers and are excluded from the determinism diffs)
 DET_EXPERIMENTS := e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 \
   e17 e18 e19 e20 e21 e22 e23
 
-.PHONY: build test lint bench smoke determinism ci check clean
+.PHONY: build test lint bench smoke determinism json-determinism ci check clean
 
 build:
 	dune build @all
@@ -51,10 +51,25 @@ determinism: build
 	UCFG_JOBS=4 dune runtest --force
 	@echo "determinism: OK"
 
+# the --json records must carry the same per-experiment checksums at any
+# job count (wall-clock and the jobs field are normalised away)
+json-determinism: build
+	@mkdir -p _build/determinism
+	UCFG_JOBS=1 $(BENCH) --smoke --json-out _build/determinism/seq.json \
+	  $(DET_EXPERIMENTS) > /dev/null
+	UCFG_JOBS=4 $(BENCH) --smoke --json-out _build/determinism/par.json \
+	  $(DET_EXPERIMENTS) > /dev/null
+	sed -e 's/"ms": [0-9.]*/"ms": X/' -e 's/"jobs": [0-9]*/"jobs": X/' \
+	  _build/determinism/seq.json > _build/determinism/seq.norm.json
+	sed -e 's/"ms": [0-9.]*/"ms": X/' -e 's/"jobs": [0-9]*/"jobs": X/' \
+	  _build/determinism/par.json > _build/determinism/par.norm.json
+	diff _build/determinism/seq.norm.json _build/determinism/par.norm.json
+	@echo "json-determinism: OK"
+
 check: build test lint
 	@echo "check: OK"
 
-ci: check smoke determinism
+ci: check smoke determinism json-determinism
 	@echo "ci: OK"
 
 clean:

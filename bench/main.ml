@@ -1,5 +1,5 @@
 (* The reproduction harness: one section per experiment of DESIGN.md
-   (E1..E25), each regenerating the series/rows behind one quantitative
+   (E1..E26), each regenerating the series/rows behind one quantitative
    claim of the paper, followed by Bechamel wall-clock benchmarks of the
    key algorithms (one Test.make per timed table).
 
@@ -7,7 +7,9 @@
              dune exec bench/main.exe -- e7 e11  (a selection)
              dune exec bench/main.exe -- --smoke (CI: smallest n, one
                                                   Bechamel iteration)
-             dune exec bench/main.exe -- --jobs 4 e24  (pool size)      *)
+             dune exec bench/main.exe -- --jobs 4 e24  (pool size)
+             dune exec bench/main.exe -- --smoke --json  (also write
+                       per-experiment ms + checksums to BENCH_pr3.json) *)
 
 open Ucfg_word
 open Ucfg_lang
@@ -999,6 +1001,82 @@ let e25_parallel_speedup () =
   Printf.printf "Domain.recommended_domain_count on this machine: %d\n\n"
     (Domain.recommended_domain_count ())
 
+(* ----------------------------------------------------------------- E26 *)
+
+let e26_packed_speedup () =
+  (* wall-clock of the PR 3 hot paths, measured against the pre-packed
+     baselines that still live in this binary: [Analysis.language
+     ~packed:false] runs the set-backed fixpoint, and [Count_word.trees]
+     without a shared plan re-trims per word.  Verdicts/counts must agree
+     exactly on both paths. *)
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1e3)
+  in
+  let row name before after =
+    ignore (before ());
+    ignore (after ());
+    (* warmup: first calls pay allocation/GC ramp-up *)
+    let rb, tb = wall before in
+    let ra, ta = wall after in
+    [
+      name;
+      Printf.sprintf "%.1f" tb;
+      Printf.sprintf "%.1f" ta;
+      Printf.sprintf "%.1fx" (tb /. Float.max ta 1e-6);
+      yes (String.equal rb ra);
+    ]
+  in
+  let exactness_rows =
+    List.map
+      (fun n ->
+         let g = Constructions.log_cfg n in
+         let check packed () =
+           let reference =
+             if packed then Ln.language n else Lang.unpack (Ln.language n)
+           in
+           yes (Lang.equal reference (Analysis.language_exn ~packed g))
+         in
+         row
+           (Printf.sprintf "exactness L(log_cfg %d) = L_%d" n n)
+           (check false) (check true))
+      (pick [ 7; 8; 9 ] [ 4 ])
+  in
+  let profile_rows =
+    List.map
+      (fun n ->
+         let g = Constructions.log_cfg n in
+         let words = Lang.elements (Analysis.language_exn g) in
+         let per_word () =
+           (* one plan per word: trim + finiteness check every time, as
+              before PR 3 *)
+           Bignum.to_string
+             (List.fold_left
+                (fun acc w -> Bignum.add acc (Count_word.trees g w))
+                Bignum.zero words)
+         in
+         let shared_plan () =
+           let p = Count_word.plan g in
+           Bignum.to_string
+             (List.fold_left
+                (fun acc w -> Bignum.add acc (Count_word.trees_with p w))
+                Bignum.zero words)
+         in
+         row
+           (Printf.sprintf "tree totals over L(log_cfg %d), %d words" n
+              (List.length words))
+           per_word shared_plan)
+      (pick [ 5; 6 ] [ 4 ])
+  in
+  Report.print_table
+    ~title:
+      "E26 (packed backend & indexed kernels): wall-clock of the language \
+       and counting hot paths, set/per-word baseline vs packed/shared-plan \
+       — identical verdicts required"
+    ~headers:[ "hot path"; "baseline ms"; "packed ms"; "speedup"; "identical" ]
+    (exactness_rows @ profile_rows)
+
 (* ------------------------------------------------------- timing section *)
 
 let timings () =
@@ -1079,15 +1157,94 @@ let experiments =
     ("e18", e18_circuits); ("e19", e19_profiles); ("e20", e20_ufa);
     ("e21", e21_structured); ("e22", e22_disambiguate);
     ("e23", e23_overlap_asymmetry); ("e24", e24_lint_fastpath);
-    ("e25", e25_parallel_speedup);
+    ("e25", e25_parallel_speedup); ("e26", e26_packed_speedup);
     ("timings", timings);
   ]
+
+(* --json: run each experiment with stdout captured, echo the output
+   through unchanged, and record per-experiment wall-clock plus an MD5
+   checksum of the text — the machine-readable perf trajectory.  Checksums
+   of deterministic experiments must agree between the sequential and
+   parallel runs (the `make json-determinism` gate). *)
+let json_mode = ref false
+let json_out = ref "BENCH_pr3.json"
+
+let with_stdout_captured f =
+  let tmp = Filename.temp_file "ucfg_bench" ".out" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  flush stdout;
+  Format.print_flush ();
+  let saved = Unix.dup Unix.stdout in
+  Unix.dup2 fd Unix.stdout;
+  Unix.close fd;
+  let restore () =
+    flush stdout;
+    Format.print_flush ();
+    Unix.dup2 saved Unix.stdout;
+    Unix.close saved
+  in
+  let finish () =
+    restore ();
+    let ic = open_in_bin tmp in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Sys.remove tmp;
+    text
+  in
+  match f () with
+  | () -> finish ()
+  | exception e ->
+    ignore (finish ());
+    raise e
+
+let run_experiment name f =
+  if not !json_mode then begin
+    Printf.printf "\n";
+    f ();
+    None
+  end
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let text =
+      with_stdout_captured (fun () ->
+          Printf.printf "\n";
+          f ())
+    in
+    let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+    (* echo through: with or without --json the terminal sees the same *)
+    print_string text;
+    flush stdout;
+    Some (name, ms, Digest.to_hex (Digest.string text))
+  end
+
+let write_json records =
+  let oc = open_out !json_out in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"meta\": { \"smoke\": %b, \"jobs\": %d },\n" !smoke
+    (Ucfg_exec.Exec.jobs ());
+  Printf.fprintf oc "  \"experiments\": [\n";
+  List.iteri
+    (fun i (name, ms, checksum) ->
+       Printf.fprintf oc
+         "    { \"name\": %S, \"ms\": %.2f, \"checksum\": %S }%s\n" name ms
+         checksum
+         (if i = List.length records - 1 then "" else ","))
+    records;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
 
 let () =
   let rec parse names = function
     | [] -> List.rev names
     | "--smoke" :: rest ->
       smoke := true;
+      parse names rest
+    | "--json" :: rest ->
+      json_mode := true;
+      parse names rest
+    | "--json-out" :: file :: rest ->
+      json_mode := true;
+      json_out := file;
       parse names rest
     | "--jobs" :: n :: rest ->
       Ucfg_exec.Exec.set_jobs (int_of_string n);
@@ -1103,11 +1260,14 @@ let () =
     | [] -> List.map fst experiments
     | names -> names
   in
-  List.iter
-    (fun name ->
-       match List.assoc_opt name experiments with
-       | Some f ->
-         Printf.printf "\n";
-         f ()
-       | None -> Printf.eprintf "unknown experiment %s\n" name)
-    selected
+  let records =
+    List.filter_map
+      (fun name ->
+         match List.assoc_opt name experiments with
+         | Some f -> run_experiment name f
+         | None ->
+           Printf.eprintf "unknown experiment %s\n" name;
+           None)
+      selected
+  in
+  if !json_mode then write_json records

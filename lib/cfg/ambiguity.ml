@@ -76,10 +76,12 @@ let profile ?max_len ?max_card g =
   let ambiguous_words = ref 0 in
   (* per-word tree counting is embarrassingly parallel: candidate words are
      partitioned across domains and the counts merged back in word order,
-     so the histogram is independent of the job count *)
+     so the histogram is independent of the job count.  The counting plan
+     (trim + finiteness check + rule index) is compiled once and shared by
+     every word. *)
+  let p = Count_word.plan g in
   let counts =
-    Ucfg_exec.Exec.parallel_map (fun w -> Count_word.trees g w)
-      (Lang.elements lang)
+    Ucfg_exec.Exec.parallel_map (Count_word.trees_with p) (Lang.elements lang)
   in
   List.iter
     (fun c ->
@@ -112,9 +114,12 @@ let ambiguous_witness ?max_len ?max_card ?(fast = true) g =
     | Static.Unknown ->
       let lang = Analysis.language_exn ?max_len ?max_card g in
       (* candidate words are scanned in parallel chunks; [parallel_find_map]
-         returns the first hit in word order, matching the sequential scan *)
+         returns the first hit in word order, matching the sequential scan.
+         One compiled plan serves every candidate. *)
+      let p = Count_word.plan g in
       Ucfg_exec.Exec.parallel_find_map
         (fun w ->
-           if Bignum.compare (Count_word.trees g w) Bignum.one > 0 then Some w
+           if Bignum.compare (Count_word.trees_with p w) Bignum.one > 0 then
+             Some w
            else None)
         (Lang.elements lang)

@@ -94,21 +94,24 @@ let topological_order g =
 (* below this many (u, v) pairs a concatenation step stays sequential *)
 let par_pair_threshold = 1 lsl 12
 
-let language ?(max_len = 64) ?(max_card = 2_000_000) g =
+let language ?(packed = true) ?(max_len = 64) ?(max_card = 2_000_000) g =
   let n = nonterminal_count g in
   let sets = Array.make n Lang.empty in
   (* concatenate the denotations of a right-hand side, truncating words
      longer than [max_len] (and recording the truncation) *)
   let truncated = ref false in
+  (* with [packed = false] the seeds stay set-backed, so every derived
+     language does too and the fixpoint follows the pre-packed baseline *)
+  let seed l = if packed then l else Lang.unpack l in
   let denote_sym = function
-    | T c -> Lang.singleton (String.make 1 c)
+    | T c -> seed (Lang.singleton (String.make 1 c))
     | N i -> sets.(i)
   in
   (* acc · s, the hot inner step: large products are partitioned over the
      left words across domains — the union of the per-chunk sets and the
      or of the per-chunk truncation flags do not depend on the partition,
      so the result is identical to the sequential fold *)
-  let concat_step acc s =
+  let concat_step_sets acc s =
     let concat_chunk us =
       let trunc = ref false in
       let set =
@@ -144,10 +147,27 @@ let language ?(max_len = 64) ?(max_card = 2_000_000) g =
            Lang.union out set)
         Lang.empty
   in
+  let concat_step acc s =
+    match Lang.to_packed acc, Lang.to_packed s with
+    | Some p, Some q -> begin
+        match Packed.length p + Packed.length q with
+        | len when len > max_len ->
+          (* both operands are uniform-length, so the cutoff the set path
+             applies per word is all-or-nothing here *)
+          truncated := true;
+          Lang.empty
+        | len when len <= Packed.max_length ->
+          (* the packed product: sorted machine-integer codes end to end
+             (chunked over domains inside Lang.concat when large) *)
+          Lang.concat acc s
+        | _ -> concat_step_sets acc s
+      end
+    | _ -> concat_step_sets acc s
+  in
   let concat_all rhs =
     List.fold_left
       (fun acc sym -> concat_step acc (denote_sym sym))
-      (Lang.singleton "") rhs
+      (seed (Lang.singleton "")) rhs
   in
   let apply_rule { lhs; rhs } =
     let add = concat_all rhs in
@@ -178,8 +198,8 @@ let language ?(max_len = 64) ?(max_card = 2_000_000) g =
     else Ok sets.(start g)
   with Overflowed o -> Error o
 
-let language_exn ?max_len ?max_card g =
-  match language ?max_len ?max_card g with
+let language_exn ?packed ?max_len ?max_card g =
+  match language ?packed ?max_len ?max_card g with
   | Ok l -> l
   | Error (`Length_exceeded n) ->
     invalid_arg (Printf.sprintf "Analysis.language: word length above %d" n)

@@ -11,18 +11,26 @@ module Bignum = Ucfg_util.Bignum
 
 type overflow = [ `Length_exceeded of int | `Card_exceeded of int ]
 
-(** [language ?max_len ?max_card g] is the exact language of [g], computed
-    by a Kleene fixpoint over per-nonterminal word sets.  [Error] reports
-    that some derivable word exceeds [max_len] (default 64) or that some
-    nonterminal's set exceeds [max_card] (default 2_000_000) — in either
-    case the grammar is too big to materialise, not necessarily
-    infinite. *)
+(** [language ?packed ?max_len ?max_card g] is the exact language of [g],
+    computed by a Kleene fixpoint over per-nonterminal word sets.  [Error]
+    reports that some derivable word exceeds [max_len] (default 64) or that
+    some nonterminal's set exceeds [max_card] (default 2_000_000) — in
+    either case the grammar is too big to materialise, not necessarily
+    infinite.
+
+    When every intermediate language is uniform-length binary (the [L_n]
+    constructions), the concatenation steps run on the packed backend
+    ({!Ucfg_lang.Packed}); [~packed:false] (default [true]) forces the set
+    representation throughout — the result is identical, only slower, and
+    exists so the speedup stays measurable (bench E26). *)
 val language :
+  ?packed:bool ->
   ?max_len:int -> ?max_card:int -> Grammar.t -> (Lang.t, overflow) result
 
-(** [language_exn ?max_len ?max_card g] raises [Invalid_argument] instead
-    of returning [Error]. *)
-val language_exn : ?max_len:int -> ?max_card:int -> Grammar.t -> Lang.t
+(** [language_exn ?packed ?max_len ?max_card g] raises [Invalid_argument]
+    instead of returning [Error]. *)
+val language_exn :
+  ?packed:bool -> ?max_len:int -> ?max_card:int -> Grammar.t -> Lang.t
 
 (** [is_finite g] decides finiteness of [L(g)]: after trimming, the
     language is infinite iff some strongly connected component of the

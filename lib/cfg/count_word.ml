@@ -1,45 +1,122 @@
 open Grammar
 module Bignum = Ucfg_util.Bignum
 
-let trees g w =
-  (* trimming removes unproductive cycles and preserves parse trees *)
+(* A plan hoists everything that does not depend on the word out of the
+   per-word DP: trimming, the finiteness check (a Tarjan pass), and the
+   rule arrays with a per-lhs rule index.  [Ambiguity.profile] counts every
+   word of a language against one grammar, so paying those once instead of
+   per word is the difference between O(words · |G|) setup and O(|G|). *)
+type plan = {
+  trimmed : Grammar.t;
+  rules_arr : rule array;
+  rhs_arr : sym array array;
+  by_lhs_idx : int array array;  (* rule indices per lhs, rule order *)
+  degenerate : bool;             (* trimmed to nothing: every count is 0 *)
+}
+
+let plan g =
   let g = Trim.trim g in
-  if nonterminal_count g = 0 then Bignum.zero
+  if nonterminal_count g = 0 then
+    {
+      trimmed = g;
+      rules_arr = [||];
+      rhs_arr = [||];
+      by_lhs_idx = [||];
+      degenerate = true;
+    }
   else if not (Analysis.has_finitely_many_trees g) then
     invalid_arg "Count_word.trees: infinitely many parse trees"
   else begin
-    let n = String.length w in
     let rules_arr = Array.of_list (rules g) in
-    let rhs_arr = Array.map (fun r -> Array.of_list r.rhs) rules_arr in
-    let nt_memo : (int * int * int, Bignum.t) Hashtbl.t = Hashtbl.create 256 in
-    let seq_memo : (int * int * int * int, Bignum.t) Hashtbl.t =
-      Hashtbl.create 256
-    in
+    let by_lhs = Array.make (nonterminal_count g) [] in
+    Array.iteri (fun ridx r -> by_lhs.(r.lhs) <- ridx :: by_lhs.(r.lhs)) rules_arr;
+    {
+      trimmed = g;
+      rules_arr;
+      rhs_arr = Array.map (fun r -> Array.of_list r.rhs) rules_arr;
+      by_lhs_idx = Array.map (fun l -> Array.of_list (List.rev l)) by_lhs;
+      degenerate = false;
+    }
+  end
+
+exception Int_overflow
+
+(* The DP is written once against a numeric signature and instantiated
+   twice: overflow-checked native ints for the common case (ambiguity
+   checking needs counts 0/1/2+), big integers as the escape hatch. *)
+module type NUM = sig
+  type t
+
+  val zero : t
+  val one : t
+  val add : t -> t -> t
+  val mul : t -> t -> t
+  val is_positive : t -> bool
+end
+
+module Int_num = struct
+  type t = int
+
+  let zero = 0
+  let one = 1
+
+  let add a b =
+    let s = a + b in
+    if s < 0 then raise_notrace Int_overflow else s
+
+  let mul a b =
+    if a = 0 || b = 0 then 0
+    else if a > max_int / b then raise_notrace Int_overflow
+    else a * b
+
+  let is_positive v = v > 0
+end
+
+module Big_num = struct
+  type t = Bignum.t
+
+  let zero = Bignum.zero
+  let one = Bignum.one
+  let add = Bignum.add
+  let mul = Bignum.mul
+  let is_positive v = Bignum.sign v > 0
+end
+
+module Dp (Num : NUM) = struct
+  let run p w =
+    let n = String.length w in
+    let nt_memo : (int, Num.t) Hashtbl.t = Hashtbl.create 256 in
+    let seq_memo : (int, Num.t) Hashtbl.t = Hashtbl.create 256 in
+    (* memo keys packed into a single int: positions fit in n+1 values *)
+    let span = n + 1 in
+    let nt_key a i j = ((a * span) + i) * span + j in
+    let seq_key ridx k i j = ((((ridx * span) + k) * span) + i) * span + j in
     (* #ways nonterminal a derives w[i..j) *)
     let rec nt a i j =
-      match Hashtbl.find_opt nt_memo (a, i, j) with
+      let key = nt_key a i j in
+      match Hashtbl.find_opt nt_memo key with
       | Some v -> v
       | None ->
         (* seed with zero to cut ε-cycles: trimmed acyclic grammars never
            revisit, but the guard is harmless *)
-        Hashtbl.replace nt_memo (a, i, j) Bignum.zero;
-        let total = ref Bignum.zero in
-        Array.iteri
-          (fun ridx r ->
-             if r.lhs = a then total := Bignum.add !total (seq ridx 0 i j))
-          rules_arr;
-        Hashtbl.replace nt_memo (a, i, j) !total;
+        Hashtbl.replace nt_memo key Num.zero;
+        let total = ref Num.zero in
+        Array.iter
+          (fun ridx -> total := Num.add !total (seq ridx 0 i j))
+          p.by_lhs_idx.(a);
+        Hashtbl.replace nt_memo key !total;
         !total
     (* #ways the suffix rhs_arr.(ridx)[k..] derives w[i..j) *)
     and seq ridx k i j =
-      let rhs = rhs_arr.(ridx) in
+      let rhs = p.rhs_arr.(ridx) in
       let len = Array.length rhs in
-      if k = len then if i = j then Bignum.one else Bignum.zero
-      else
-        match Hashtbl.find_opt seq_memo (ridx, k, i, j) with
+      if k = len then if i = j then Num.one else Num.zero
+      else begin
+        let key = seq_key ridx k i j in
+        match Hashtbl.find_opt seq_memo key with
         | Some v -> v
         | None ->
-          let total = ref Bignum.zero in
+          let total = ref Num.zero in
           begin
             match rhs.(k) with
             | T c ->
@@ -48,15 +125,32 @@ let trees g w =
             | N b ->
               for mid = i to j do
                 let left = nt b i mid in
-                if Bignum.sign left > 0 then
+                if Num.is_positive left then
                   total :=
-                    Bignum.add !total (Bignum.mul left (seq ridx (k + 1) mid j))
+                    Num.add !total (Num.mul left (seq ridx (k + 1) mid j))
               done
           end;
-          Hashtbl.replace seq_memo (ridx, k, i, j) !total;
+          Hashtbl.replace seq_memo key !total;
           !total
+      end
     in
-    nt (start g) 0 n
-  end
+    nt (start p.trimmed) 0 n
+end
+
+module Int_dp = Dp (Int_num)
+module Big_dp = Dp (Big_num)
+
+let trees_with p w =
+  if p.degenerate then Bignum.zero
+  else
+    match Int_dp.run p w with
+    | v -> Bignum.of_int v
+    | exception Int_overflow -> Big_dp.run p w
+
+let trees g w = trees_with (plan g) w
+
+let trees_batch g ws =
+  let p = plan g in
+  List.map (trees_with p) ws
 
 let recognize g w = Bignum.sign (trees g w) > 0

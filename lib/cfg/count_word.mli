@@ -8,10 +8,28 @@
 
 module Bignum = Ucfg_util.Bignum
 
-(** [trees g w] is the number of parse trees of [w] in [g], counted on the
-    original rules.
+(** A compiled counting plan: the grammar trimmed, checked for tree
+    finiteness, and its rules indexed by left-hand side — everything the
+    per-word DP needs that does not depend on the word. *)
+type plan
+
+(** [plan g] compiles [g] once for repeated {!trees_with} calls.  The plan
+    is immutable and safe to share across domains.
+    @raise Invalid_argument when [g] has infinitely many parse trees. *)
+val plan : Grammar.t -> plan
+
+(** [trees_with p w] counts the parse trees of [w] under a compiled plan.
+    The count runs on native ints and escapes to big integers only on
+    overflow; results are identical either way. *)
+val trees_with : plan -> string -> Bignum.t
+
+(** [trees g w] is [trees_with (plan g) w]: the number of parse trees of
+    [w] in [g], counted on the original rules.
     @raise Invalid_argument when [g] has infinitely many parse trees. *)
 val trees : Grammar.t -> string -> Bignum.t
+
+(** [trees_batch g ws] shares one plan across the batch. *)
+val trees_batch : Grammar.t -> string list -> Bignum.t list
 
 (** [recognize g w] is [trees g w > 0]. *)
 val recognize : Grammar.t -> string -> bool

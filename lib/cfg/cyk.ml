@@ -1,41 +1,121 @@
 open Grammar
 module Bignum = Ucfg_util.Bignum
 
-(* counts.(pos).(len-1).(a) = number of parse trees of w[pos..pos+len-1]
-   rooted at a.  Laid out as a triangular array of Bignum arrays. *)
-type table = {
-  g : Grammar.t;
-  w : string;
-  counts : Bignum.t array array array;
+(* --- the precompiled rule index --------------------------------------- *)
+
+(* The per-cell work of the CYK dynamic program used to rescan the rule
+   *list* of the grammar; for the thousands of same-grammar calls the
+   harness makes, the index below is computed once per grammar (memoised on
+   {!Grammar.id}) and every loop runs over flat arrays.  Rules keep their
+   first-occurrence order everywhere the order is observable (tree
+   enumeration). *)
+type index = {
+  nn : int;
+  term_pairs : (int * char) array;  (* terminal rules (lhs, c), rule order *)
+  term_by_lhs : string array;       (* chars of lhs's terminal rules *)
+  bin_by_lhs : (int * int) array array;  (* (b, c) pairs per lhs, rule order *)
+  (* binary rules grouped by rhs pair: ((b, c), all lhs with a -> b c).
+     Grouping lets one split compute the product left(b)·right(c) once and
+     credit every lhs sharing the pair. *)
+  bin_groups : ((int * int) * int array) array;
 }
 
-let binary_rules g =
-  List.filter_map
-    (fun { lhs; rhs } ->
-       match rhs with [ N b; N c ] -> Some (lhs, b, c) | _ -> None)
-    (rules g)
-
-let terminal_rules g =
-  List.filter_map
-    (fun { lhs; rhs } -> match rhs with [ T c ] -> Some (lhs, c) | _ -> None)
-    (rules g)
-
-let build g w =
-  if not (Grammar.is_cnf g) then invalid_arg "Cyk.build: grammar not in CNF";
-  let n = String.length w in
+let make_index g =
   let nn = nonterminal_count g in
+  let term = ref [] and bin = ref [] in
+  List.iter
+    (fun { lhs; rhs } ->
+       match rhs with
+       | [ T c ] -> term := (lhs, c) :: !term
+       | [ N b; N c ] -> bin := (lhs, b, c) :: !bin
+       | _ -> ())
+    (rules g);
+  let term_pairs = Array.of_list (List.rev !term) in
+  let bin = List.rev !bin in
+  let term_by_lhs = Array.make nn "" in
+  Array.iter
+    (fun (a, c) -> term_by_lhs.(a) <- term_by_lhs.(a) ^ String.make 1 c)
+    term_pairs;
+  let by_lhs = Array.make nn [] in
+  let groups : (int * int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  let group_order = ref [] in
+  List.iter
+    (fun (a, b, c) ->
+       by_lhs.(a) <- (b, c) :: by_lhs.(a);
+       match Hashtbl.find_opt groups (b, c) with
+       | Some l -> l := a :: !l
+       | None ->
+         Hashtbl.add groups (b, c) (ref [ a ]);
+         group_order := (b, c) :: !group_order)
+    bin;
+  {
+    nn;
+    term_pairs;
+    term_by_lhs;
+    bin_by_lhs = Array.map (fun l -> Array.of_list (List.rev l)) by_lhs;
+    bin_groups =
+      List.rev_map
+        (fun bc ->
+           (bc, Array.of_list (List.rev !(Hashtbl.find groups bc))))
+        !group_order
+      |> Array.of_list;
+  }
+
+(* Bounded memo keyed on the grammar id; grammars are constructed freely
+   (every [Trim.trim] mints one), so the cache is reset rather than grown
+   without bound.  Pool workers share it, hence the mutex. *)
+let index_cache : (int, index) Hashtbl.t = Hashtbl.create 16
+let index_cache_mutex = Mutex.create ()
+let index_cache_cap = 128
+
+let compile g =
+  let gid = Grammar.id g in
+  Mutex.lock index_cache_mutex;
+  match Hashtbl.find_opt index_cache gid with
+  | Some idx ->
+    Mutex.unlock index_cache_mutex;
+    idx
+  | None ->
+    Mutex.unlock index_cache_mutex;
+    let idx = make_index g in
+    Mutex.lock index_cache_mutex;
+    if Hashtbl.length index_cache >= index_cache_cap then
+      Hashtbl.reset index_cache;
+    Hashtbl.replace index_cache gid idx;
+    Mutex.unlock index_cache_mutex;
+    idx
+
+(* --- the counting kernel ----------------------------------------------- *)
+
+(* counts.(pos).(len-1).(a) = number of parse trees of w[pos..pos+len-1]
+   rooted at a.  The kernel runs on native ints — ambiguity checking only
+   needs small counts — and rebuilds in big integers iff a count overflows. *)
+type counts =
+  | Ints of int array array array
+  | Bigs of Bignum.t array array array
+
+type table = { g : Grammar.t; idx : index; w : string; counts : counts }
+
+exception Int_overflow
+
+let add_i a b =
+  let s = a + b in
+  if s < 0 then raise_notrace Int_overflow else s
+
+let mul_i a b =
+  if a > max_int / b then raise_notrace Int_overflow else a * b
+
+let build_counts_int idx w =
+  let n = String.length w in
   let counts =
-    Array.init n (fun pos ->
-        Array.init (n - pos) (fun _ -> Array.make nn Bignum.zero))
+    Array.init n (fun pos -> Array.init (n - pos) (fun _ -> Array.make idx.nn 0))
   in
-  let bin = binary_rules g in
-  let term = terminal_rules g in
   for pos = 0 to n - 1 do
-    List.iter
+    Array.iter
       (fun (a, c) ->
          if Char.equal w.[pos] c then
-           counts.(pos).(0).(a) <- Bignum.add counts.(pos).(0).(a) Bignum.one)
-      term
+           counts.(pos).(0).(a) <- counts.(pos).(0).(a) + 1)
+      idx.term_pairs
   done;
   for len = 2 to n do
     for pos = 0 to n - len do
@@ -43,16 +123,74 @@ let build g w =
       for split = 1 to len - 1 do
         let left = counts.(pos).(split - 1) in
         let right = counts.(pos + split).(len - split - 1) in
-        List.iter
-          (fun (a, b, c) ->
-             if Bignum.sign left.(b) > 0 && Bignum.sign right.(c) > 0 then
-               cell.(a) <-
-                 Bignum.add cell.(a) (Bignum.mul left.(b) right.(c)))
-          bin
+        Array.iter
+          (fun ((b, c), lhss) ->
+             let lb = left.(b) in
+             if lb > 0 then begin
+               let rc = right.(c) in
+               if rc > 0 then begin
+                 let p = mul_i lb rc in
+                 Array.iter (fun a -> cell.(a) <- add_i cell.(a) p) lhss
+               end
+             end)
+          idx.bin_groups
       done
     done
   done;
-  { g; w; counts }
+  counts
+
+let build_counts_big idx w =
+  let n = String.length w in
+  let counts =
+    Array.init n (fun pos ->
+        Array.init (n - pos) (fun _ -> Array.make idx.nn Bignum.zero))
+  in
+  for pos = 0 to n - 1 do
+    Array.iter
+      (fun (a, c) ->
+         if Char.equal w.[pos] c then
+           counts.(pos).(0).(a) <- Bignum.add counts.(pos).(0).(a) Bignum.one)
+      idx.term_pairs
+  done;
+  for len = 2 to n do
+    for pos = 0 to n - len do
+      let cell = counts.(pos).(len - 1) in
+      for split = 1 to len - 1 do
+        let left = counts.(pos).(split - 1) in
+        let right = counts.(pos + split).(len - split - 1) in
+        Array.iter
+          (fun ((b, c), lhss) ->
+             if Bignum.sign left.(b) > 0 && Bignum.sign right.(c) > 0 then begin
+               let p = Bignum.mul left.(b) right.(c) in
+               Array.iter (fun a -> cell.(a) <- Bignum.add cell.(a) p) lhss
+             end)
+          idx.bin_groups
+      done
+    done
+  done;
+  counts
+
+let build_with idx g w =
+  let counts =
+    match build_counts_int idx w with
+    | c -> Ints c
+    | exception Int_overflow -> Bigs (build_counts_big idx w)
+  in
+  { g; idx; w; counts }
+
+let build g w =
+  if not (Grammar.is_cnf g) then invalid_arg "Cyk.build: grammar not in CNF";
+  build_with (compile g) g w
+
+let count_at t pos len a =
+  match t.counts with
+  | Ints c -> Bignum.of_int c.(pos).(len - 1).(a)
+  | Bigs c -> c.(pos).(len - 1).(a)
+
+let positive_at t pos len a =
+  match t.counts with
+  | Ints c -> c.(pos).(len - 1).(a) > 0
+  | Bigs c -> Bignum.sign c.(pos).(len - 1).(a) > 0
 
 let start_epsilon_count g =
   if Grammar.has_rule g (start g) [] then Bignum.one else Bignum.zero
@@ -61,8 +199,22 @@ let count_trees g w =
   if String.length w = 0 then start_epsilon_count g
   else begin
     let t = build g w in
-    t.counts.(0).(String.length w - 1).(start g)
+    count_at t 0 (String.length w) (start g)
   end
+
+let count_trees_batch g ws =
+  (* one CNF check, one compiled index, thousands of words *)
+  if not (Grammar.is_cnf g) then
+    invalid_arg "Cyk.count_trees_batch: grammar not in CNF";
+  let idx = compile g in
+  List.map
+    (fun w ->
+       if String.length w = 0 then start_epsilon_count g
+       else begin
+         let t = build_with idx g w in
+         count_at t 0 (String.length w) (start g)
+       end)
+    ws
 
 let recognize g w = Bignum.sign (count_trees g w) > 0
 
@@ -70,26 +222,22 @@ let derivable t a pos len =
   len >= 1
   && pos >= 0
   && pos + len <= String.length t.w
-  && Bignum.sign t.counts.(pos).(len - 1).(a) > 0
+  && positive_at t pos len a
 
 (* Enumerate parse trees from a filled table, lazily, capped by the
-   caller. *)
+   caller.  The index arrays preserve rule order, so trees come out in the
+   same order the unindexed scan produced them. *)
 let trees_of_cell t a pos len =
-  let g = t.g in
-  let bin = binary_rules g in
+  let idx = t.idx in
   let rec gen a pos len : Parse_tree.t Seq.t =
     if len = 1 then
       (* terminal rule, and possibly binary rules do not apply at len 1 *)
-      if
-        List.exists
-          (fun (lhs, c) -> lhs = a && Char.equal c t.w.[pos])
-          (terminal_rules g)
-      then Seq.return (Parse_tree.Node (a, [ Parse_tree.Leaf t.w.[pos] ]))
+      if String.contains idx.term_by_lhs.(a) t.w.[pos] then
+        Seq.return (Parse_tree.Node (a, [ Parse_tree.Leaf t.w.[pos] ]))
       else Seq.empty
     else
-      List.to_seq bin
-      |> Seq.filter (fun (lhs, _, _) -> lhs = a)
-      |> Seq.concat_map (fun (_, b, c) ->
+      Array.to_seq idx.bin_by_lhs.(a)
+      |> Seq.concat_map (fun (b, c) ->
           Seq.init (len - 1) (fun i -> i + 1)
           |> Seq.concat_map (fun split ->
               if derivable t b pos split && derivable t c (pos + split) (len - split)
@@ -121,38 +269,45 @@ let parse g w =
 let occurrence_counts g w =
   let t = build g w in
   let n = String.length w in
-  let nn = nonterminal_count g in
-  let inside = t.counts in
+  let idx = t.idx in
+  let nn = idx.nn in
+  let inside pos len a = count_at t pos len a in
   (* outside.(pos).(len-1).(a): parse-ways of the context around the
-     span *)
+     span.  Products of inside entries can exceed the int range even when
+     every inside entry fits, so this stays in big integers. *)
   let outside =
     Array.init n (fun pos ->
         Array.init (n - pos) (fun _ -> Array.make nn Bignum.zero))
   in
   if n > 0 then begin
     outside.(0).(n - 1).(start g) <- Bignum.one;
-    let bin = binary_rules g in
     for len = n downto 2 do
       for pos = 0 to n - len do
-        List.iter
-          (fun (a, b, c) ->
-             let out_a = outside.(pos).(len - 1).(a) in
-             if Bignum.sign out_a > 0 then
+        Array.iter
+          (fun ((b, c), lhss) ->
+             (* the contribution of a -> b c is linear in out_a, so the
+                lhs group can be summed before touching the children *)
+             let out_bc =
+               Array.fold_left
+                 (fun acc a -> Bignum.add acc outside.(pos).(len - 1).(a))
+                 Bignum.zero lhss
+             in
+             if Bignum.sign out_bc > 0 then
                for split = 1 to len - 1 do
-                 let in_b = inside.(pos).(split - 1).(b) in
-                 let in_c = inside.(pos + split).(len - split - 1).(c) in
+                 let in_b = inside pos split b in
+                 let in_c = inside (pos + split) (len - split) c in
                  if Bignum.sign in_c > 0 then
                    outside.(pos).(split - 1).(b) <-
                      Bignum.add
                        outside.(pos).(split - 1).(b)
-                       (Bignum.mul out_a in_c);
+                       (Bignum.mul out_bc in_c);
                  if Bignum.sign in_b > 0 then
                    outside.(pos + split).(len - split - 1).(c) <-
                      Bignum.add
                        outside.(pos + split).(len - split - 1).(c)
-                       (Bignum.mul out_a in_b)
+                       (Bignum.mul out_bc in_b)
                done)
-          bin
+          idx.bin_groups
       done
     done
   end;
@@ -160,9 +315,7 @@ let occurrence_counts g w =
   for pos = n - 1 downto 0 do
     for len = n - pos downto 1 do
       for a = nn - 1 downto 0 do
-        let occ =
-          Bignum.mul inside.(pos).(len - 1).(a) outside.(pos).(len - 1).(a)
-        in
+        let occ = Bignum.mul (inside pos len a) outside.(pos).(len - 1).(a) in
         if Bignum.sign occ > 0 then acc := (a, pos, len, occ) :: !acc
       done
     done

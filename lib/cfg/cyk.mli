@@ -16,8 +16,19 @@ val build : Grammar.t -> string -> table
 (** [recognize g w] decides [w ∈ L(g)].  Handles [ε] via a start ε-rule. *)
 val recognize : Grammar.t -> string -> bool
 
-(** [count_trees g w] is the number of parse trees of [w] in [g]. *)
+(** [count_trees g w] is the number of parse trees of [w] in [g].
+
+    The table is filled through a rule index compiled once per grammar
+    (memoised on {!Grammar.id}) and counted on native ints, escaping to
+    big integers only when a count overflows — results are identical
+    either way. *)
 val count_trees : Grammar.t -> string -> Bignum.t
+
+(** [count_trees_batch g ws] is [List.map (count_trees g) ws], but the CNF
+    check and the compiled rule index are shared across the whole batch —
+    the entry point for callers that count thousands of words against one
+    grammar. *)
+val count_trees_batch : Grammar.t -> string list -> Bignum.t list
 
 (** [parse g w] is some parse tree of [w], when [w ∈ L(g)]. *)
 val parse : Grammar.t -> string -> Parse_tree.t option

@@ -10,7 +10,12 @@ type t = {
   rules : rule list;
   by_lhs : sym list list array;
   start : int;
+  id : int;  (* process-unique, for memoising derived structures *)
 }
+
+(* Grammars are built inside pool workers too (the minimal-grammar search),
+   so the id source must be race-free. *)
+let next_id = Atomic.make 0
 
 let validate_sym alphabet nnames = function
   | T c ->
@@ -46,8 +51,9 @@ let make ~alphabet ~names ~rules ~start =
   let by_lhs = Array.make nnames [] in
   List.iter (fun { lhs; rhs } -> by_lhs.(lhs) <- rhs :: by_lhs.(lhs)) rules;
   Array.iteri (fun i l -> by_lhs.(i) <- List.rev l) by_lhs;
-  { alphabet; names; rules; by_lhs; start }
+  { alphabet; names; rules; by_lhs; start; id = Atomic.fetch_and_add next_id 1 }
 
+let id g = g.id
 let alphabet g = g.alphabet
 let start g = g.start
 let nonterminal_count g = Array.length g.names

@@ -24,6 +24,12 @@ type t
 val make :
   alphabet:Alphabet.t -> names:string array -> rules:rule list -> start:int -> t
 
+(** [id g] is a process-unique identifier, assigned at construction.  Two
+    structurally equal grammars built separately have different ids; use it
+    as a key when memoising structures derived from a grammar value (the
+    CYK rule index does). *)
+val id : t -> int
+
 val alphabet : t -> Alphabet.t
 val start : t -> int
 val nonterminal_count : t -> int

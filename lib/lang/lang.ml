@@ -1,27 +1,166 @@
 open Ucfg_word
 
-type t = Word.Set.t
+(* Hybrid representation: general languages live in a persistent string set;
+   non-empty languages of one length whose words are all binary and short
+   enough live in the packed backend ({!Packed}), where the boolean algebra
+   and concatenation run on machine integers.  The packed code order equals
+   the lexicographic word order, so every observable behaviour — iteration
+   order, [elements], [choose_opt], predicate application order — is
+   identical in both representations.  Canonical form: the empty language is
+   always [Set Word.Set.empty] (a [Packed] value is never empty). *)
+type t = Set of Word.Set.t | Packed of Packed.t
 
-let empty = Word.Set.empty
-let singleton = Word.Set.singleton
-let of_list = Word.Set.of_list
-let of_seq = Word.Set.of_seq
-let add = Word.Set.add
-let mem = Word.Set.mem
-let cardinal = Word.Set.cardinal
-let is_empty = Word.Set.is_empty
+let empty = Set Word.Set.empty
 
-let union = Word.Set.union
-let inter = Word.Set.inter
-let diff = Word.Set.diff
-let equal = Word.Set.equal
-let subset = Word.Set.subset
-let disjoint = Word.Set.disjoint
+let of_packed p = if Packed.is_empty p then empty else Packed p
+let to_packed = function Packed p -> Some p | Set _ -> None
+
+let is_binary_word w = String.for_all (fun c -> c = 'a' || c = 'b') w
+
+let packable_word w =
+  String.length w <= Packed.max_length && is_binary_word w
+
+(* Lossless conversions. *)
+let to_set = function
+  | Set s -> s
+  | Packed p -> Word.Set.of_seq (Packed.words p)
+
+let pack t =
+  match t with
+  | Packed _ -> t
+  | Set s when Word.Set.is_empty s -> t
+  | Set s ->
+    let len = String.length (Word.Set.min_elt s) in
+    if
+      len <= Packed.max_length
+      && Word.Set.for_all
+           (fun w -> String.length w = len && is_binary_word w)
+           s
+    then begin
+      let codes = Array.make (Word.Set.cardinal s) 0 in
+      let k = ref 0 in
+      (* set iteration is ascending, and the code order agrees with it *)
+      Word.Set.iter
+        (fun w ->
+           codes.(!k) <- Packed.code_of_word w;
+           incr k)
+        s;
+      Packed (Packed.of_sorted_codes ~len codes)
+    end
+    else t
+
+let unpack = function Packed _ as t -> Set (to_set t) | t -> t
+
+let singleton w =
+  if packable_word w then Packed (Packed.singleton_word w)
+  else Set (Word.Set.singleton w)
+
+let of_list ws = pack (Set (Word.Set.of_list ws))
+let of_seq ws = pack (Set (Word.Set.of_seq ws))
+
+(* [add] degrades a packed value to the set representation: persistent
+   single-word insertion into a packed array is O(cardinal), so the common
+   [fold add empty] accumulation loops would turn quadratic.  Adding to the
+   empty language still yields a packed singleton, so only the second add
+   pays a (one-element) conversion. *)
+let add w t =
+  match t with
+  | Set s when Word.Set.is_empty s -> singleton w
+  | Set s -> Set (Word.Set.add w s)
+  | Packed _ -> Set (Word.Set.add w (to_set t))
+
+let mem w = function
+  | Set s -> Word.Set.mem w s
+  | Packed p -> Packed.mem p w
+
+let cardinal = function
+  | Set s -> Word.Set.cardinal s
+  | Packed p -> Packed.cardinal p
+
+let is_empty = function Set s -> Word.Set.is_empty s | Packed _ -> false
+
+let same_len p q = Packed.length p = Packed.length q
+
+let union a b =
+  match a, b with
+  | Packed p, Packed q when same_len p q -> Packed (Packed.union p q)
+  | _ ->
+    if is_empty a then b
+    else if is_empty b then a
+    else Set (Word.Set.union (to_set a) (to_set b))
+
+let inter a b =
+  match a, b with
+  | Packed p, Packed q when same_len p q -> of_packed (Packed.inter p q)
+  | Packed p, Packed q when not (same_len p q) -> empty
+  | _ -> Set (Word.Set.inter (to_set a) (to_set b))
+
+let diff a b =
+  match a, b with
+  | Packed p, Packed q when same_len p q -> of_packed (Packed.diff p q)
+  | Packed _, Packed _ -> a
+  | _ ->
+    if is_empty a || is_empty b then a
+    else Set (Word.Set.diff (to_set a) (to_set b))
+
+let equal a b =
+  match a, b with
+  | Packed p, Packed q -> same_len p q && Packed.equal p q
+  | Set s, Set s' -> Word.Set.equal s s'
+  | (Packed _ as pk), (Set _ as st) | (Set _ as st), (Packed _ as pk) ->
+    (not (is_empty st))
+    && cardinal pk = cardinal st
+    && Word.Set.equal (to_set pk) (to_set st)
+
+let subset a b =
+  match a, b with
+  | Packed p, Packed q -> same_len p q && Packed.subset p q
+  | _ ->
+    is_empty a
+    || ((not (is_empty b)) && Word.Set.subset (to_set a) (to_set b))
+
+let disjoint a b =
+  match a, b with
+  | Packed p, Packed q -> (not (same_len p q)) || Packed.disjoint p q
+  | _ ->
+    is_empty a || is_empty b || Word.Set.disjoint (to_set a) (to_set b)
 
 (* below this many (u, v) pairs the fan-out overhead outweighs the work *)
 let par_pair_threshold = 1 lsl 12
 
-let concat l1 l2 =
+(* Packed product, chunked over the left operand's codes when large.  Each
+   chunk of ascending u-codes emits an ascending slice of the result, and
+   chunks are concatenated in submission order, so the output array is the
+   same sorted array the sequential loop produces. *)
+let concat_packed p q =
+  let len = Packed.length p + Packed.length q in
+  let pairs = Packed.cardinal p * Packed.cardinal q in
+  if Ucfg_exec.Exec.jobs () <= 1 || pairs < par_pair_threshold then
+    Packed.concat p q
+  else begin
+    let len2 = Packed.length q in
+    let c2 = Packed.cardinal q in
+    let product_chunk us =
+      let out = Array.make (List.length us * c2) 0 in
+      let k = ref 0 in
+      List.iter
+        (fun cu ->
+           let hi = cu lsl len2 in
+           Packed.iter_codes
+             (fun cv ->
+                out.(!k) <- hi lor cv;
+                incr k)
+             q)
+        us;
+      out
+    in
+    Ucfg_exec.Exec.parallel_map product_chunk
+      (Ucfg_exec.Exec.chunks (List.of_seq (Packed.codes p)))
+    |> Array.concat
+    |> fun codes -> Packed.of_sorted_codes ~len codes
+  end
+
+let concat_sets l1 l2 =
   let seq () =
     Word.Set.fold
       (fun u acc ->
@@ -46,30 +185,98 @@ let concat l1 l2 =
     |> List.fold_left Word.Set.union Word.Set.empty
   end
 
+let concat a b =
+  match a, b with
+  | Packed p, Packed q
+    when Packed.length p + Packed.length q <= Packed.max_length ->
+    Packed (concat_packed p q)
+  | _ ->
+    if is_empty a || is_empty b then empty
+    else Set (concat_sets (to_set a) (to_set b))
+
 let concat_list ls = List.fold_left concat (singleton "") ls
 
-let elements = Word.Set.elements
-let to_seq = Word.Set.to_seq
-let iter = Word.Set.iter
-let fold = Word.Set.fold
-let filter = Word.Set.filter
-let map = Word.Set.map
-let for_all = Word.Set.for_all
-let exists = Word.Set.exists
-let choose_opt = Word.Set.choose_opt
+let elements = function
+  | Set s -> Word.Set.elements s
+  | Packed p -> List.of_seq (Packed.words p)
 
-let full alpha n = of_seq (Word.enumerate alpha n)
+let to_seq = function Set s -> Word.Set.to_seq s | Packed p -> Packed.words p
+
+let iter f = function
+  | Set s -> Word.Set.iter f s
+  | Packed p -> Packed.iter_codes (fun c -> f (Packed.word_of_code ~len:(Packed.length p) c)) p
+
+let fold f t init =
+  match t with
+  | Set s -> Word.Set.fold f s init
+  | Packed p ->
+    Packed.fold_codes
+      (fun c acc -> f (Packed.word_of_code ~len:(Packed.length p) c) acc)
+      p init
+
+let filter f = function
+  | Set s -> Set (Word.Set.filter f s)
+  | Packed p -> of_packed (Packed.filter f p)
+
+let map f t =
+  match t with
+  | Set s -> pack (Set (Word.Set.map f s))
+  | Packed _ -> pack (Set (fold (fun w acc -> Word.Set.add (f w) acc) t Word.Set.empty))
+
+exception Early
+
+let for_all f = function
+  | Set s -> Word.Set.for_all f s
+  | Packed p ->
+    (try
+       Packed.iter_codes
+         (fun c ->
+            if not (f (Packed.word_of_code ~len:(Packed.length p) c)) then
+              raise_notrace Early)
+         p;
+       true
+     with Early -> false)
+
+let exists f = function
+  | Set s -> Word.Set.exists f s
+  | Packed p ->
+    (try
+       Packed.iter_codes
+         (fun c ->
+            if f (Packed.word_of_code ~len:(Packed.length p) c) then
+              raise_notrace Early)
+         p;
+       false
+     with Early -> true)
+
+let choose_opt = function
+  | Set s -> Word.Set.choose_opt s (* stdlib choose = min_elt *)
+  | Packed p -> Packed.min_word p
+
+let full alpha n =
+  if Alphabet.chars alpha = [ 'a'; 'b' ] && n <= Packed.max_length then
+    of_packed (Packed.full n)
+  else of_seq (Word.enumerate alpha n)
 
 let complement_within alpha n l =
-  Word.Set.filter (fun w -> not (Word.Set.mem w l)) (full alpha n)
+  if Alphabet.chars alpha = [ 'a'; 'b' ] && n <= Packed.max_length then
+    match l with
+    | Packed p when Packed.length p = n ->
+      of_packed (Packed.complement_within p)
+    | _ ->
+      (* same filter the set path runs, just over the packed universe *)
+      of_packed (Packed.filter (fun w -> not (mem w l)) (Packed.full n))
+  else
+    Set
+      (Word.Set.filter
+         (fun w -> not (mem w l))
+         (Word.Set.of_seq (Word.enumerate alpha n)))
 
-let lengths l =
-  Word.Set.fold
-    (fun w acc ->
-       let n = String.length w in
-       if List.mem n acc then acc else n :: acc)
-    l []
-  |> List.sort compare
+let lengths = function
+  | Packed p -> [ Packed.length p ]
+  | Set s ->
+    Word.Set.fold (fun w acc -> String.length w :: acc) s []
+    |> List.sort_uniq compare
 
 let uniform_length l =
   match lengths l with [ n ] -> Some n | _ -> None

@@ -9,6 +9,32 @@ open Ucfg_word
 
 type t
 
+(** {1 Representations}
+
+    Internally a language is either a persistent string set or, when all
+    words are binary and share one length [<= Packed.max_length], a
+    {!Packed} value (sorted machine-integer codes).  The two behave
+    identically — same iteration order, same [elements], same
+    [choose_opt] — so the representation is observable only through
+    {!to_packed}. *)
+
+(** [of_packed p] wraps a packed language (empty packed values normalise to
+    {!empty}). *)
+val of_packed : Packed.t -> t
+
+(** [to_packed t] is the packed backend when [t] currently uses it — an
+    O(1) peek, never a conversion.  Use {!pack} first to force one. *)
+val to_packed : t -> Packed.t option
+
+(** [pack t] switches to the packed representation when the language is
+    non-empty, uniform-length, binary and short enough; otherwise [t]
+    unchanged.  Lossless either way. *)
+val pack : t -> t
+
+(** [unpack t] forces the set representation — the inverse of {!pack}.
+    Mostly for benchmarking the packed backend against the set baseline. *)
+val unpack : t -> t
+
 val empty : t
 val singleton : Word.t -> t
 val of_list : Word.t list -> t

@@ -20,7 +20,19 @@ let codes n =
   Seq.filter (mem_code n) (Seq.init total Fun.id)
 
 let language n =
-  Lang.of_seq (Seq.map (fun code -> Word.of_bits ~len:(2 * n) code) (codes n))
+  (* Straight into the packed backend: [codes] sets bit [i] for an 'a' at
+     position [i], while the packed key sets bit [len - 1 - i] for a 'b'
+     there, so the key is the bit-reversed complement of the code. *)
+  let len = 2 * n in
+  let key_of_code code =
+    let key = ref 0 in
+    for i = 0 to len - 1 do
+      if (code lsr i) land 1 = 0 then key := !key lor (1 lsl (len - 1 - i))
+    done;
+    !key
+  in
+  Lang.of_packed
+    (Packed.of_codes ~len (Array.of_seq (Seq.map key_of_code (codes n))))
 
 let cardinal n =
   Bignum.sub (Bignum.pow (Bignum.of_int 4) n) (Bignum.pow (Bignum.of_int 3) n)

@@ -1,0 +1,273 @@
+module Bitset = Ucfg_util.Bitset
+
+let max_length = 62
+
+(* Below this word length the full [2^len] universe fits a small bitset and
+   boolean operations become word-parallel; above it, sorted code arrays.
+   The representation depends on [len] alone, so two languages of the same
+   length never mix representations. *)
+let dense_cap = 16
+
+type repr = Dense of Bitset.t | Sparse of int array
+type t = { len : int; repr : repr }
+
+let check_len op len =
+  if len < 0 || len > max_length then
+    invalid_arg (Printf.sprintf "Packed.%s: length %d out of [0, %d]" op len max_length)
+
+let length t = t.len
+
+let is_dense len = len <= dense_cap
+
+let empty len =
+  check_len "empty" len;
+  { len;
+    repr = (if is_dense len then Dense (Bitset.create (1 lsl len)) else Sparse [||]) }
+
+let full len =
+  check_len "full" len;
+  { len;
+    repr =
+      (if is_dense len then Dense (Bitset.full (1 lsl len))
+       else Sparse (Array.init (1 lsl len) Fun.id)) }
+
+let code_of_word w =
+  let len = String.length w in
+  check_len "code_of_word" len;
+  let code = ref 0 in
+  for i = 0 to len - 1 do
+    match w.[i] with
+    | 'a' -> ()
+    | 'b' -> code := !code lor (1 lsl (len - 1 - i))
+    | _ -> invalid_arg "Packed.code_of_word: non-binary character"
+  done;
+  !code
+
+let word_of_code ~len code =
+  check_len "word_of_code" len;
+  String.init len (fun i ->
+      if (code lsr (len - 1 - i)) land 1 = 1 then 'b' else 'a')
+
+let is_empty t =
+  match t.repr with Dense b -> Bitset.is_empty b | Sparse a -> Array.length a = 0
+
+let cardinal t =
+  match t.repr with Dense b -> Bitset.cardinal b | Sparse a -> Array.length a
+
+let of_sorted_codes ~len codes =
+  check_len "of_sorted_codes" len;
+  if is_dense len then begin
+    let b = Bitset.create (1 lsl len) in
+    Array.iter (fun c -> Bitset.Mut.set b c) codes;
+    { len; repr = Dense b }
+  end
+  else { len; repr = Sparse codes }
+
+let of_codes ~len codes =
+  check_len "of_codes" len;
+  let universe = 1 lsl len in
+  Array.iter
+    (fun c ->
+       if c < 0 || c >= universe then invalid_arg "Packed.of_codes: code out of range")
+    codes;
+  if is_dense len then of_sorted_codes ~len codes
+  else begin
+    let a = Array.copy codes in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n = 0 then empty len
+    else begin
+      (* in-place dedup of the sorted copy *)
+      let k = ref 1 in
+      for i = 1 to n - 1 do
+        if a.(i) <> a.(!k - 1) then begin
+          a.(!k) <- a.(i);
+          incr k
+        end
+      done;
+      { len; repr = Sparse (Array.sub a 0 !k) }
+    end
+  end
+
+let singleton_word w = of_sorted_codes ~len:(String.length w) [| code_of_word w |]
+
+let mem_code t c =
+  c >= 0
+  && (match t.repr with
+      | Dense b -> c < Bitset.size b && Bitset.mem b c
+      | Sparse a ->
+        let lo = ref 0 and hi = ref (Array.length a - 1) and found = ref false in
+        while (not !found) && !lo <= !hi do
+          let mid = (!lo + !hi) / 2 in
+          if a.(mid) = c then found := true
+          else if a.(mid) < c then lo := mid + 1
+          else hi := mid - 1
+        done;
+        !found)
+
+let mem t w =
+  String.length w = t.len
+  && String.for_all (fun c -> c = 'a' || c = 'b') w
+  && mem_code t (code_of_word w)
+
+let iter_codes f t =
+  match t.repr with Dense b -> Bitset.iter f b | Sparse a -> Array.iter f a
+
+let fold_codes f t init =
+  match t.repr with
+  | Dense b -> Bitset.fold f b init
+  | Sparse a -> Array.fold_left (fun acc c -> f c acc) init a
+
+let codes t =
+  match t.repr with
+  | Dense b -> List.to_seq (Bitset.elements b)
+  | Sparse a -> Array.to_seq a
+
+let words t = Seq.map (word_of_code ~len:t.len) (codes t)
+
+let min_word t =
+  match t.repr with
+  | Dense b -> Option.map (word_of_code ~len:t.len) (Bitset.Mut.lowest_set b)
+  | Sparse a ->
+    if Array.length a = 0 then None else Some (word_of_code ~len:t.len a.(0))
+
+let check_same_len op t1 t2 =
+  if t1.len <> t2.len then
+    invalid_arg (Printf.sprintf "Packed.%s: length mismatch (%d vs %d)" op t1.len t2.len)
+
+(* Merge of two strictly-increasing code arrays under a boolean op encoded by
+   [keep_left]/[keep_right]/[keep_both]. *)
+let merge_sparse ~keep_left ~keep_right ~keep_both a b =
+  let na = Array.length a and nb = Array.length b in
+  let out = Array.make (na + nb) 0 in
+  let i = ref 0 and j = ref 0 and k = ref 0 in
+  let push c = out.(!k) <- c; incr k in
+  while !i < na && !j < nb do
+    let x = a.(!i) and y = b.(!j) in
+    if x < y then begin
+      if keep_left then push x;
+      incr i
+    end
+    else if x > y then begin
+      if keep_right then push y;
+      incr j
+    end
+    else begin
+      if keep_both then push x;
+      incr i; incr j
+    end
+  done;
+  if keep_left then
+    while !i < na do push a.(!i); incr i done;
+  if keep_right then
+    while !j < nb do push b.(!j); incr j done;
+  Array.sub out 0 !k
+
+let union t1 t2 =
+  check_same_len "union" t1 t2;
+  match t1.repr, t2.repr with
+  | Dense a, Dense b -> { t1 with repr = Dense (Bitset.union a b) }
+  | Sparse a, Sparse b ->
+    { t1 with repr = Sparse (merge_sparse ~keep_left:true ~keep_right:true ~keep_both:true a b) }
+  | _ -> assert false
+
+let inter t1 t2 =
+  check_same_len "inter" t1 t2;
+  match t1.repr, t2.repr with
+  | Dense a, Dense b -> { t1 with repr = Dense (Bitset.inter a b) }
+  | Sparse a, Sparse b ->
+    { t1 with repr = Sparse (merge_sparse ~keep_left:false ~keep_right:false ~keep_both:true a b) }
+  | _ -> assert false
+
+let diff t1 t2 =
+  check_same_len "diff" t1 t2;
+  match t1.repr, t2.repr with
+  | Dense a, Dense b -> { t1 with repr = Dense (Bitset.diff a b) }
+  | Sparse a, Sparse b ->
+    { t1 with repr = Sparse (merge_sparse ~keep_left:true ~keep_right:false ~keep_both:false a b) }
+  | _ -> assert false
+
+let equal t1 t2 =
+  t1.len = t2.len
+  && (match t1.repr, t2.repr with
+      | Dense a, Dense b -> Bitset.equal a b
+      | Sparse a, Sparse b -> a = b
+      | _ -> assert false)
+
+let subset t1 t2 =
+  check_same_len "subset" t1 t2;
+  match t1.repr, t2.repr with
+  | Dense a, Dense b -> Bitset.subset a b
+  | Sparse a, Sparse b ->
+    Array.length (merge_sparse ~keep_left:true ~keep_right:false ~keep_both:false a b) = 0
+  | _ -> assert false
+
+let disjoint t1 t2 =
+  check_same_len "disjoint" t1 t2;
+  match t1.repr, t2.repr with
+  | Dense a, Dense b -> Bitset.disjoint a b
+  | Sparse a, Sparse b ->
+    Array.length (merge_sparse ~keep_left:false ~keep_right:false ~keep_both:true a b) = 0
+  | _ -> assert false
+
+let complement_within t =
+  match t.repr with
+  | Dense b -> { t with repr = Dense (Bitset.complement b) }
+  | Sparse a ->
+    let universe = 1 lsl t.len in
+    let out = Array.make (universe - Array.length a) 0 in
+    let k = ref 0 and j = ref 0 in
+    for c = 0 to universe - 1 do
+      if !j < Array.length a && a.(!j) = c then incr j
+      else begin
+        out.(!k) <- c;
+        incr k
+      end
+    done;
+    { t with repr = Sparse out }
+
+let add_code t c =
+  let universe = 1 lsl t.len in
+  if c < 0 || c >= universe then invalid_arg "Packed.add_code: code out of range";
+  match t.repr with
+  | Dense b -> { t with repr = Dense (Bitset.add b c) }
+  | Sparse a ->
+    if mem_code t c then t
+    else { t with repr = Sparse (merge_sparse ~keep_left:true ~keep_right:true ~keep_both:true a [| c |]) }
+
+let concat t1 t2 =
+  let len = t1.len + t2.len in
+  if len > max_length then invalid_arg "Packed.concat: combined length too large";
+  let c1 = cardinal t1 and c2 = cardinal t2 in
+  (* key (u ^ v) = key u lsl len2 lor key v is strictly monotone in the
+     lexicographic pair (u, v), so the nested ascending iteration emits the
+     product already sorted and duplicate-free. *)
+  let out = Array.make (c1 * c2) 0 in
+  let k = ref 0 in
+  iter_codes
+    (fun cu ->
+       let hi = cu lsl t2.len in
+       iter_codes
+         (fun cv ->
+            out.(!k) <- hi lor cv;
+            incr k)
+         t2)
+    t1;
+  of_sorted_codes ~len out
+
+let filter p t =
+  let out = ref [] and n = ref 0 in
+  iter_codes
+    (fun c ->
+       if p (word_of_code ~len:t.len c) then begin
+         out := c :: !out;
+         incr n
+       end)
+    t;
+  let a = Array.make !n 0 in
+  List.iteri (fun i c -> a.(!n - 1 - i) <- c) !out;
+  of_sorted_codes ~len:t.len a
+
+let pp fmt t =
+  Format.fprintf fmt "{%s}"
+    (String.concat ", " (List.of_seq (words t)))

@@ -1,0 +1,117 @@
+(** Packed fixed-length binary languages.
+
+    A language all of whose words are binary (over [{a, b}]) and share one
+    length [len <= 62] fits into machine integers: a word is packed into
+    its {e lexicographic code} — bit [len - 1 - i] of the code is set iff
+    position [i] carries a ['b'] — so that the usual integer order on codes
+    coincides with the lexicographic order on words ([Word.Set]'s order).
+    This is the representation behind the hot paths of the reproduction:
+    the witness family [L_n] and everything the exactness checks and the
+    discrepancy enumerations materialise is of this shape.
+
+    Two consequences of the code order make the operations cheap:
+
+    - boolean operations are merges of sorted [int array]s (or, for
+      [len <= 16], bitwise operations on a {!Ucfg_util.Bitset} over the
+      full [2^len] universe);
+    - concatenation is [code u lsl len v lor code v], which is {e monotone}
+      in the pair [(u, v)] — the product of two sorted code arrays comes
+      out sorted and duplicate-free with no comparison at all.
+
+    Values are immutable.  The representation (dense vs sorted array) is a
+    function of [len] alone, so same-length operands always agree on it. *)
+
+open Ucfg_word
+
+type t
+
+(** Largest supported word length (codes must fit a tagged native int). *)
+val max_length : int
+
+(** [length t] is the common word length.  Meaningful even when empty. *)
+val length : t -> int
+
+(** [empty len] is the empty language at length [len].
+    @raise Invalid_argument unless [0 <= len <= max_length]. *)
+val empty : int -> t
+
+(** [full len] is all [2^len] binary words of length [len]. *)
+val full : int -> t
+
+(** [singleton_word w] packs the single binary word [w].
+    @raise Invalid_argument on non-binary words or lengths above
+    {!max_length}. *)
+val singleton_word : Word.t -> t
+
+val is_empty : t -> bool
+val cardinal : t -> int
+
+(** {1 Codes} *)
+
+(** [code_of_word w] is the lexicographic code of the binary word [w].
+    @raise Invalid_argument on non-binary characters or overlong words. *)
+val code_of_word : Word.t -> int
+
+(** [word_of_code ~len c] inverts {!code_of_word}. *)
+val word_of_code : len:int -> int -> Word.t
+
+(** [of_codes ~len codes] builds a language from arbitrary codes (the
+    array is not consumed; order and duplicates do not matter). *)
+val of_codes : len:int -> int array -> t
+
+(** [of_sorted_codes ~len codes] trusts [codes] to be strictly increasing
+    and takes ownership of the array.  Unchecked — the fast construction
+    path for callers that enumerate in order. *)
+val of_sorted_codes : len:int -> int array -> t
+
+val mem_code : t -> int -> bool
+
+(** [mem t w] is word membership: length, binary shape and code. *)
+val mem : t -> Word.t -> bool
+
+(** [iter_codes f t] visits codes in increasing (= lexicographic) order. *)
+val iter_codes : (int -> unit) -> t -> unit
+
+val fold_codes : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** [codes t] is the code sequence, increasing. *)
+val codes : t -> int Seq.t
+
+(** [words t] is the word sequence, lexicographically increasing — the
+    same order in which [Word.Set] iterates. *)
+val words : t -> Word.t Seq.t
+
+(** [min_word t] is the lexicographically least word, when non-empty. *)
+val min_word : t -> Word.t option
+
+(** {1 Boolean algebra}
+
+    All binary operations require operands of equal [length].
+    @raise Invalid_argument on a length mismatch. *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+val disjoint : t -> t -> bool
+
+(** [complement_within t] is [Σ^len \ t]. *)
+val complement_within : t -> t
+
+(** [add_code t c] is [t ∪ {c}]. *)
+val add_code : t -> int -> t
+
+(** {1 Concatenation} *)
+
+(** [concat t1 t2] is the pairwise concatenation, a language of length
+    [length t1 + length t2]; the result has exactly
+    [cardinal t1 * cardinal t2] words (packing is injective).
+    @raise Invalid_argument when the combined length exceeds
+    {!max_length}. *)
+val concat : t -> t -> t
+
+(** [filter p t] keeps the words satisfying [p] (applied in order). *)
+val filter : (Word.t -> bool) -> t -> t
+
+val pp : Format.formatter -> t -> unit
