@@ -1,0 +1,20 @@
+open Ucfg_cfg
+open Grammar
+
+let () =
+  let g =
+    Grammar.make
+      ~alphabet:(Ucfg_word.Alphabet.make ['a'])
+      ~names:[| "S"; "A"; "B"; "C" |]
+      ~rules:
+        [
+          { lhs = 0; rhs = [ N 1; N 2; N 3 ] };
+          { lhs = 0; rhs = [ T 'a' ] };
+          { lhs = 1; rhs = [] };
+          { lhs = 2; rhs = [] };
+          { lhs = 3; rhs = [ T 'a' ] };
+        ]
+      ~start:0
+  in
+  Printf.printf "count 'a' = %s (expected 2)\n"
+    (Ucfg_util.Bignum.to_string (Count_word.trees g "a"))
