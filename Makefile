@@ -7,12 +7,13 @@
 CLI := dune exec --no-build -- bin/ucfg_cli.exe
 BENCH := dune exec --no-build -- bench/main.exe
 
-# experiments with fully deterministic output (e24/e25/e26/timings print
-# wall-clock numbers and are excluded from the determinism diffs)
+# experiments with fully deterministic output (e24/e25/e26/e27/timings
+# print wall-clock numbers and are excluded from the determinism diffs)
 DET_EXPERIMENTS := e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 \
   e17 e18 e19 e20 e21 e22 e23
 
-.PHONY: build test lint bench smoke determinism json-determinism ci check clean
+.PHONY: build test lint bench smoke determinism json-determinism \
+  bench-record bench-compare ci check clean
 
 build:
 	dune build @all
@@ -66,10 +67,28 @@ json-determinism: build
 	diff _build/determinism/seq.norm.json _build/determinism/par.norm.json
 	@echo "json-determinism: OK"
 
+# regenerate this PR's perf record under the same conditions as the
+# committed BENCH_pr3.json baseline (smoke, sequential)
+bench-record: build
+	UCFG_JOBS=1 $(BENCH) --smoke --json-out BENCH_pr4.json > /dev/null
+
+# checksum drift gate: the deterministic experiments in BENCH_pr4.json
+# must carry byte-identical output checksums to the BENCH_pr3.json
+# baseline — the kernel rewrite may only move the ms column
+bench-compare:
+	@mkdir -p _build/determinism
+	@for pr in pr3 pr4; do \
+	  sed -n 's/ *{ "name": "\(e[0-9]*\)", "ms": [0-9.]*, "checksum": "\([0-9a-f]*\)".*/\1 \2/p' \
+	    BENCH_$$pr.json | grep -E '^e([1-9]|1[0-9]|2[0-3]) ' | sort \
+	    > _build/determinism/$$pr.sums; \
+	done
+	diff _build/determinism/pr3.sums _build/determinism/pr4.sums
+	@echo "bench-compare: OK"
+
 check: build test lint
 	@echo "check: OK"
 
-ci: check smoke determinism json-determinism
+ci: check smoke determinism json-determinism bench-record bench-compare
 	@echo "ci: OK"
 
 clean:

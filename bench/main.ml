@@ -1077,6 +1077,176 @@ let e26_packed_speedup () =
     ~headers:[ "hot path"; "baseline ms"; "packed ms"; "speedup"; "identical" ]
     (exactness_rows @ profile_rows)
 
+(* ----------------------------------------------------------------- E27 *)
+
+let e27_bitset_kernel () =
+  (* wall-clock of this PR's hot paths against the enumeration baselines
+     still reachable in this binary: [Cover.verify ~packed:false] and
+     [greedy_disjoint_cover ~packed:false] materialise string sets,
+     [Discrepancy.of_rectangle_enumerated] walks the [S × T] product,
+     [Matrix.of_predicate] probes membership label string by label string,
+     and the per-word shared-plan CYK is what [Ambiguity.profile] ran
+     before the census sweep.  Outputs must agree exactly on both paths. *)
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1e3)
+  in
+  let row name before after =
+    ignore (before ());
+    ignore (after ());
+    let rb, tb = wall before in
+    let ra, ta = wall after in
+    [
+      name;
+      Printf.sprintf "%.1f" tb;
+      Printf.sprintf "%.1f" ta;
+      Printf.sprintf "%.1fx" (tb /. Float.max ta 1e-6);
+      yes (String.equal rb ra);
+    ]
+  in
+  let verify_rows =
+    List.map
+      (fun n ->
+         let l = Ln.language n in
+         let rects = Ucfg_rect.Cover.example8_cover n in
+         let check packed () =
+           let v = Ucfg_rect.Cover.verify ~packed rects l in
+           Printf.sprintf "cover=%b disjoint=%b union=%d sum=%d"
+             v.Ucfg_rect.Cover.is_cover v.Ucfg_rect.Cover.is_disjoint
+             v.Ucfg_rect.Cover.union_cardinal v.Ucfg_rect.Cover.sum_cardinals
+         in
+         row
+           (Printf.sprintf "Cover.verify (E8 cover of L_%d)" n)
+           (check false) (check true))
+      (pick [ 7; 8 ] [ 4 ])
+  in
+  let greedy_rows =
+    List.map
+      (fun n ->
+         let l = Ln.language n in
+         let run packed () =
+           string_of_int
+             (List.length (Ucfg_rect.Cover.greedy_disjoint_cover ~packed l ~n))
+         in
+         row
+           (Printf.sprintf "greedy_disjoint_cover L_%d" n)
+           (run false) (run true))
+      (pick [ 5; 6 ] [ 3 ])
+  in
+  let profile_rows =
+    List.map
+      (fun n ->
+         let g = Constructions.log_cfg n in
+         let show (total, amb, max_trees, hist) =
+           Printf.sprintf "words=%d ambiguous=%d max=%s [%s]" total amb
+             max_trees
+             (String.concat "; "
+                (List.map (fun (k, c) -> Printf.sprintf "%s:%d" k c) hist))
+         in
+         let per_word () =
+           (* per-word CYK over a shared plan: the pre-census profile *)
+           let words = Lang.elements (Analysis.language_exn g) in
+           let plan = Count_word.plan g in
+           let counts = List.map (Count_word.trees_with plan) words in
+           let tbl = Hashtbl.create 16 in
+           let amb = ref 0 and max_trees = ref Bignum.zero in
+           List.iter
+             (fun c ->
+                if Bignum.compare c Bignum.one > 0 then incr amb;
+                if Bignum.compare c !max_trees > 0 then max_trees := c;
+                let k = Bignum.to_string c in
+                Hashtbl.replace tbl k
+                  (1 + Option.value (Hashtbl.find_opt tbl k) ~default:0))
+             counts;
+           let hist =
+             List.sort
+               (fun (a, _) (b, _) ->
+                  compare (String.length a, a) (String.length b, b))
+               (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+           in
+           show
+             ( List.length words,
+               !amb,
+               Bignum.to_string !max_trees,
+               hist )
+         in
+         let census () =
+           let p = Ambiguity.profile g in
+           show
+             ( p.Ambiguity.word_total,
+               p.Ambiguity.ambiguous_words,
+               Bignum.to_string p.Ambiguity.max_trees,
+               p.Ambiguity.histogram )
+         in
+         row
+           (Printf.sprintf "ambiguity profile (log_cfg %d)" n)
+           per_word census)
+      (pick [ 5; 6 ] [ 4 ])
+  in
+  let disc_rows =
+    List.map
+      (fun m ->
+         let blocks = Ucfg_disc.Blocks.create (4 * m) in
+         let t = Ucfg_disc.Discrepancy.tight_example blocks in
+         row
+           (Printf.sprintf "discrepancy tight rectangle m=%d" m)
+           (fun () ->
+              string_of_int
+                (Ucfg_disc.Discrepancy.of_rectangle_enumerated blocks t))
+           (fun () ->
+              string_of_int (Ucfg_disc.Discrepancy.of_rectangle blocks t)))
+      (pick [ 3; 4 ] [ 2 ])
+  in
+  let matrix_rows =
+    List.map
+      (fun n ->
+         let l = Ln.language n in
+         let by_labels () =
+           let row_w =
+             Array.of_seq (Word.enumerate Alphabet.binary n)
+           in
+           let col_w = row_w in
+           let m =
+             Ucfg_comm.Matrix.of_predicate ~rows:(Array.length row_w)
+               ~cols:(Array.length col_w) (fun r c ->
+                 Lang.mem (row_w.(r) ^ col_w.(c)) l)
+           in
+           string_of_int (Ucfg_comm.Rank.gf2 m)
+         in
+         let by_codes () =
+           let m = Ucfg_comm.Matrix.of_language Alphabet.binary l ~split:n in
+           string_of_int (Ucfg_comm.Rank.gf2 m)
+         in
+         row
+           (Printf.sprintf "M(L_%d) build + GF(2) rank" n)
+           by_labels by_codes)
+      (pick [ 6; 7 ] [ 3 ])
+  in
+  let reach_rows =
+    (* the E8 enumeration column, one n past where the full run stops *)
+    List.map
+      (fun n ->
+         let count packed () =
+           Bignum.to_string
+             (Bignum.of_int
+                (Lang.cardinal
+                   (Analysis.language_exn ~packed (Constructions.log_cfg n))))
+         in
+         row
+           (Printf.sprintf "E8 reach: |L_%d| by enumeration" n)
+           (count false) (count true))
+      (pick [ 8 ] [ 3 ])
+  in
+  Report.print_table
+    ~title:
+      "E27 (bitset kernel): wall-clock of the rectangle, cover, matrix and \
+       discrepancy hot paths, set/enumeration baseline vs packed kernel — \
+       identical output required"
+    ~headers:[ "hot path"; "baseline ms"; "packed ms"; "speedup"; "identical" ]
+    (verify_rows @ greedy_rows @ profile_rows @ disc_rows @ matrix_rows
+   @ reach_rows)
+
 (* ------------------------------------------------------- timing section *)
 
 let timings () =
@@ -1158,6 +1328,7 @@ let experiments =
     ("e21", e21_structured); ("e22", e22_disambiguate);
     ("e23", e23_overlap_asymmetry); ("e24", e24_lint_fastpath);
     ("e25", e25_parallel_speedup); ("e26", e26_packed_speedup);
+    ("e27", e27_bitset_kernel);
     ("timings", timings);
   ]
 
@@ -1167,7 +1338,7 @@ let experiments =
    of deterministic experiments must agree between the sequential and
    parallel runs (the `make json-determinism` gate). *)
 let json_mode = ref false
-let json_out = ref "BENCH_pr3.json"
+let json_out = ref "BENCH_pr4.json"
 
 let with_stdout_captured f =
   let tmp = Filename.temp_file "ucfg_bench" ".out" in

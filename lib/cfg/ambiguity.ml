@@ -66,6 +66,176 @@ type profile = {
   histogram : (string * int) list;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Tree census: per-word parse-tree multiplicities for the whole grammar
+   in one bottom-up sweep, instead of one CYK table per word.  A weighted
+   language maps each derivable word to its number of parse trees; rule
+   concatenation convolves the weights and alternatives add them.  On
+   uniform-length binary languages the words are packed machine codes
+   ({!Ucfg_lang.Packed}) and a rule product is a sorted merge of code
+   blocks — the same kernel the language fixpoint runs on. *)
+
+module Census = struct
+  type t =
+    | Packed of { len : int; codes : int array; counts : Bignum.t array }
+        (** codes strictly increasing *)
+    | Set of (string, Bignum.t) Hashtbl.t
+
+  let to_set = function
+    | Set h -> h
+    | Packed { len; codes; counts } ->
+      let h = Hashtbl.create (Array.length codes) in
+      Array.iteri
+        (fun i c ->
+           Hashtbl.replace h (Ucfg_lang.Packed.word_of_code ~len c) counts.(i))
+        codes;
+      h
+
+  let of_word w c =
+    if
+      String.length w <= Ucfg_lang.Packed.max_length
+      && String.for_all (fun ch -> ch = 'a' || ch = 'b') w
+    then
+      Packed
+        {
+          len = String.length w;
+          codes = [| Ucfg_lang.Packed.code_of_word w |];
+          counts = [| c |];
+        }
+    else begin
+      let h = Hashtbl.create 1 in
+      Hashtbl.replace h w c;
+      Set h
+    end
+
+  (* weighted concatenation (one rule product step) *)
+  let concat a b =
+    match a, b with
+    | ( Packed { len = la; codes = ca; counts = wa },
+        Packed { len = lb; codes = cb; counts = wb } )
+      when la + lb <= Ucfg_lang.Packed.max_length ->
+      (* codes concatenate as [cu lsl lb lor cv]: for each u in order the
+         block over v is ascending, and blocks for successive u are
+         disjoint and ascending — the product is born sorted *)
+      let na = Array.length ca and nb = Array.length cb in
+      let codes = Array.make (na * nb) 0 in
+      let counts = Array.make (na * nb) Bignum.zero in
+      let k = ref 0 in
+      for i = 0 to na - 1 do
+        let hi = ca.(i) lsl lb in
+        for j = 0 to nb - 1 do
+          codes.(!k) <- hi lor cb.(j);
+          counts.(!k) <- Bignum.mul wa.(i) wb.(j);
+          incr k
+        done
+      done;
+      Packed { len = la + lb; codes; counts }
+    | _ ->
+      let ha = to_set a and hb = to_set b in
+      let h = Hashtbl.create (Hashtbl.length ha * Hashtbl.length hb) in
+      Hashtbl.iter
+        (fun u cu ->
+           Hashtbl.iter
+             (fun v cv ->
+                let w = u ^ v in
+                let prev = Option.value ~default:Bignum.zero (Hashtbl.find_opt h w) in
+                Hashtbl.replace h w (Bignum.add prev (Bignum.mul cu cv)))
+             hb)
+        ha;
+      Set h
+
+  let is_empty = function
+    | Packed { codes; _ } -> Array.length codes = 0
+    | Set h -> Hashtbl.length h = 0
+
+  (* weighted union (sum of the rule alternatives) *)
+  let add a b =
+    if is_empty a then b
+    else if is_empty b then a
+    else
+    match a, b with
+    | ( Packed { len = la; codes = ca; counts = wa },
+        Packed { len = lb; codes = cb; counts = wb } )
+      when la = lb ->
+      let na = Array.length ca and nb = Array.length cb in
+      let codes = Array.make (na + nb) 0 in
+      let counts = Array.make (na + nb) Bignum.zero in
+      let k = ref 0 and i = ref 0 and j = ref 0 in
+      while !i < na && !j < nb do
+        let x = ca.(!i) and y = cb.(!j) in
+        if x < y then begin
+          codes.(!k) <- x; counts.(!k) <- wa.(!i); incr i
+        end
+        else if y < x then begin
+          codes.(!k) <- y; counts.(!k) <- wb.(!j); incr j
+        end
+        else begin
+          codes.(!k) <- x;
+          counts.(!k) <- Bignum.add wa.(!i) wb.(!j);
+          incr i; incr j
+        end;
+        incr k
+      done;
+      while !i < na do codes.(!k) <- ca.(!i); counts.(!k) <- wa.(!i); incr i; incr k done;
+      while !j < nb do codes.(!k) <- cb.(!j); counts.(!k) <- wb.(!j); incr j; incr k done;
+      if !k = na + nb then Packed { len = la; codes; counts }
+      else
+        Packed
+          { len = la; codes = Array.sub codes 0 !k; counts = Array.sub counts 0 !k }
+    | _ ->
+      let ha = to_set a in
+      let hb = to_set b in
+      let h = Hashtbl.copy ha in
+      Hashtbl.iter
+        (fun w c ->
+           let prev = Option.value ~default:Bignum.zero (Hashtbl.find_opt h w) in
+           Hashtbl.replace h w (Bignum.add prev c))
+        hb;
+      Set h
+
+  let empty () = Set (Hashtbl.create 1)
+
+  (* iterate in word order (packed code order = lexicographic order) *)
+  let iter f = function
+    | Packed { len; codes; counts } ->
+      Array.iteri
+        (fun i c -> f (Ucfg_lang.Packed.word_of_code ~len c) counts.(i))
+        codes
+    | Set h ->
+      Hashtbl.fold (fun w c acc -> (w, c) :: acc) h []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+      |> List.iter (fun (w, c) -> f w c)
+end
+
+(* per-nonterminal census over the (acyclic) dependency graph *)
+let census g =
+  let counts = Array.make (Grammar.nonterminal_count g) (Census.empty ()) in
+  List.iter
+    (fun a ->
+       let total =
+         List.fold_left
+           (fun acc rhs ->
+              let product =
+                List.fold_left
+                  (fun acc sym ->
+                     if Census.is_empty acc then acc
+                     else
+                       Census.concat acc
+                         (match sym with
+                          | Grammar.T c ->
+                            Census.of_word (String.make 1 c) Bignum.one
+                          | Grammar.N b -> counts.(b)))
+                  (Census.of_word "" Bignum.one)
+                  rhs
+              in
+              Census.add acc product)
+           (Census.empty ())
+           (Grammar.rules_of g a)
+       in
+       counts.(a) <- total)
+    (Analysis.topological_order g);
+  counts.(Grammar.start g)
+
 let profile ?max_len ?max_card g =
   let g = Trim.trim g in
   let lang = Analysis.language_exn ?max_len ?max_card g in
@@ -74,23 +244,18 @@ let profile ?max_len ?max_card g =
   let hist = Hashtbl.create 16 in
   let max_trees = ref Bignum.zero in
   let ambiguous_words = ref 0 in
-  (* per-word tree counting is embarrassingly parallel: candidate words are
-     partitioned across domains and the counts merged back in word order,
-     so the histogram is independent of the job count.  The counting plan
-     (trim + finiteness check + rule index) is compiled once and shared by
-     every word. *)
-  let p = Count_word.plan g in
-  let counts =
-    Ucfg_exec.Exec.parallel_map (Count_word.trees_with p) (Lang.elements lang)
-  in
-  List.iter
-    (fun c ->
+  (* one censused sweep over the grammar replaces a per-word CYK table;
+     the result is deterministic (no pool involvement) and identical to
+     counting each word separately — property-tested against
+     {!Count_word.trees_with} *)
+  Census.iter
+    (fun _w c ->
        if Bignum.compare c Bignum.one > 0 then incr ambiguous_words;
        if Bignum.compare c !max_trees > 0 then max_trees := c;
        let key = Bignum.to_string c in
        Hashtbl.replace hist key
          (1 + Option.value ~default:0 (Hashtbl.find_opt hist key)))
-    counts;
+    (census g);
   let histogram =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) hist []
     |> List.sort (fun (a, _) (b, _) ->

@@ -94,15 +94,24 @@ let topological_order g =
 (* below this many (u, v) pairs a concatenation step stays sequential *)
 let par_pair_threshold = 1 lsl 12
 
-let language ?(packed = true) ?(max_len = 64) ?(max_card = 2_000_000) g =
+let language_table ?(packed = true) ?(acyclic = false) ?(seeds = [||])
+    ?(max_len = 64) ?(max_card = 2_000_000) g =
   let n = nonterminal_count g in
   let sets = Array.make n Lang.empty in
+  (* a seeded nonterminal's denotation is pinned: its entry starts at the
+     seed and its rules are never applied — the incremental-recomputation
+     hook (Extract re-runs the fixpoint dozens of times on a shrinking
+     grammar whose languages only change above the deleted nonterminal) *)
+  let seeded i = i < Array.length seeds && Option.is_some seeds.(i) in
   (* concatenate the denotations of a right-hand side, truncating words
      longer than [max_len] (and recording the truncation) *)
   let truncated = ref false in
   (* with [packed = false] the seeds stay set-backed, so every derived
      language does too and the fixpoint follows the pre-packed baseline *)
   let seed l = if packed then l else Lang.unpack l in
+  for i = 0 to min n (Array.length seeds) - 1 do
+    match seeds.(i) with Some l -> sets.(i) <- seed l | None -> ()
+  done;
   let denote_sym = function
     | T c -> seed (Lang.singleton (String.make 1 c))
     | N i -> sets.(i)
@@ -170,22 +179,28 @@ let language ?(packed = true) ?(max_len = 64) ?(max_card = 2_000_000) g =
       (seed (Lang.singleton "")) rhs
   in
   let apply_rule { lhs; rhs } =
-    let add = concat_all rhs in
-    let merged = Lang.union sets.(lhs) add in
-    if Lang.equal merged sets.(lhs) then false
+    if seeded lhs then false
     else begin
-      sets.(lhs) <- merged;
-      if Lang.cardinal merged > max_card then
-        raise (Overflowed (`Card_exceeded max_card));
-      true
+      let add = concat_all rhs in
+      let merged = Lang.union sets.(lhs) add in
+      if Lang.equal merged sets.(lhs) then false
+      else begin
+        sets.(lhs) <- merged;
+        if Lang.cardinal merged > max_card then
+          raise (Overflowed (`Card_exceeded max_card));
+        true
+      end
     end
   in
   try
-    if not (dependency_cyclic g) then
+    if acyclic || not (dependency_cyclic g) then
       (* acyclic: one bottom-up pass in dependency order suffices *)
       List.iter
         (fun a ->
-           List.iter (fun rhs -> ignore (apply_rule { lhs = a; rhs })) (rules_of g a))
+           if not (seeded a) then
+             List.iter
+               (fun rhs -> ignore (apply_rule { lhs = a; rhs }))
+               (rules_of g a))
         (topological_order_unchecked g)
     else begin
       let changed = ref true in
@@ -194,17 +209,26 @@ let language ?(packed = true) ?(max_len = 64) ?(max_card = 2_000_000) g =
         List.iter (fun r -> if apply_rule r then changed := true) (rules g)
       done
     end;
-    if !truncated then Error (`Length_exceeded max_len)
-    else Ok sets.(start g)
+    if !truncated then Error (`Length_exceeded max_len) else Ok sets
   with Overflowed o -> Error o
 
-let language_exn ?packed ?max_len ?max_card g =
-  match language ?packed ?max_len ?max_card g with
-  | Ok l -> l
+let language ?packed ?acyclic ?seeds ?max_len ?max_card g =
+  Result.map
+    (fun sets -> sets.(start g))
+    (language_table ?packed ?acyclic ?seeds ?max_len ?max_card g)
+
+let overflow_exn = function
+  | Ok v -> v
   | Error (`Length_exceeded n) ->
     invalid_arg (Printf.sprintf "Analysis.language: word length above %d" n)
   | Error (`Card_exceeded n) ->
     invalid_arg (Printf.sprintf "Analysis.language: more than %d words" n)
+
+let language_exn ?packed ?acyclic ?seeds ?max_len ?max_card g =
+  overflow_exn (language ?packed ?acyclic ?seeds ?max_len ?max_card g)
+
+let language_table_exn ?packed ?acyclic ?seeds ?max_len ?max_card g =
+  overflow_exn (language_table ?packed ?acyclic ?seeds ?max_len ?max_card g)
 
 (* derives_nonempty.(a): a derives at least one word of length >= 1 *)
 let derives_nonempty g =

@@ -22,15 +22,49 @@ type overflow = [ `Length_exceeded of int | `Card_exceeded of int ]
     constructions), the concatenation steps run on the packed backend
     ({!Ucfg_lang.Packed}); [~packed:false] (default [true]) forces the set
     representation throughout — the result is identical, only slower, and
-    exists so the speedup stays measurable (bench E26). *)
+    exists so the speedup stays measurable (bench E26).
+
+    [~seeds] pins the denotations of selected nonterminals: when
+    [seeds.(i)] is [Some l], nonterminal [i] starts at [l] and its rules
+    are never applied.  This is the incremental-recomputation hook — a
+    caller that re-runs the fixpoint on a locally modified grammar (as
+    {!Ucfg_rect.Extract} does, dozens of times on a shrinking grammar)
+    seeds every nonterminal whose language is unaffected and pays only
+    for the ones above the change.
+
+    [~acyclic:true] asserts that the dependency graph is acyclic (e.g. a
+    length-annotated grammar) and skips the per-call SCC test that
+    otherwise decides between the one-pass and the iterated fixpoint;
+    passing it on a cyclic grammar is unspecified. *)
 val language :
   ?packed:bool ->
+  ?acyclic:bool ->
+  ?seeds:Lang.t option array ->
   ?max_len:int -> ?max_card:int -> Grammar.t -> (Lang.t, overflow) result
 
-(** [language_exn ?packed ?max_len ?max_card g] raises [Invalid_argument]
-    instead of returning [Error]. *)
+(** [language_exn ?packed ?acyclic ?seeds ?max_len ?max_card g] raises
+    [Invalid_argument] instead of returning [Error]. *)
 val language_exn :
-  ?packed:bool -> ?max_len:int -> ?max_card:int -> Grammar.t -> Lang.t
+  ?packed:bool ->
+  ?acyclic:bool ->
+  ?seeds:Lang.t option array ->
+  ?max_len:int -> ?max_card:int -> Grammar.t -> Lang.t
+
+(** [language_table ?packed ?acyclic ?seeds ?max_len ?max_card g] is the
+    full per-nonterminal fixpoint table behind {!language} — [table.(i)]
+    is the language of nonterminal [i] (seeded entries are returned as
+    seeded). *)
+val language_table :
+  ?packed:bool ->
+  ?acyclic:bool ->
+  ?seeds:Lang.t option array ->
+  ?max_len:int -> ?max_card:int -> Grammar.t -> (Lang.t array, overflow) result
+
+val language_table_exn :
+  ?packed:bool ->
+  ?acyclic:bool ->
+  ?seeds:Lang.t option array ->
+  ?max_len:int -> ?max_card:int -> Grammar.t -> Lang.t array
 
 (** [is_finite g] decides finiteness of [L(g)]: after trimming, the
     language is infinite iff some strongly connected component of the

@@ -33,44 +33,58 @@ let greedy_cover m =
   let covered =
     Array.init (Matrix.rows m) (fun _ -> Bitset.create (Matrix.cols m))
   in
-  let uncovered_in (rows, cols) =
-    Ucfg_util.Prelude.sum_int
-      (List.map
-         (fun r ->
-            List.length (List.filter (fun c -> not (Bitset.mem covered.(r) c)) cols))
-         rows)
-  in
+  (* candidates carry their column set as a bitset: the per-round gain is a
+     popcount of (cols \ covered) per member row instead of a per-entry
+     membership scan *)
   let candidates () =
     List.map (grow_column m) (Ucfg_util.Prelude.range 0 (Matrix.cols m))
     @ List.map (grow_row m) (Ucfg_util.Prelude.range 0 (Matrix.rows m))
   in
-  let all_candidates = candidates () in
+  let all_candidates =
+    List.map
+      (fun (rows, cols) -> (rows, cols, Bitset.of_list (Matrix.cols m) cols))
+      (candidates ())
+  in
+  let uncovered_in (rows, cols_bs) =
+    List.fold_left
+      (fun acc r -> acc + Bitset.cardinal_diff cols_bs covered.(r))
+      0 rows
+  in
+  (* lazy greedy: gains only decrease as [covered] grows, so cached gains
+     over-estimate true ones.  Each round recomputes the lowest-indexed
+     cached maximum until it confirms; a confirmed candidate has the
+     maximum true gain, and any lower-indexed candidate with the same true
+     gain would also hold the cached maximum — so the selection (and its
+     tie-breaking) is exactly the eager scan's. *)
+  let cands = Array.of_list all_candidates in
+  let cached =
+    Array.map (fun (rows, _, cols_bs) -> uncovered_in (rows, cols_bs)) cands
+  in
   let bicliques = ref [] in
   let remaining = ref (Matrix.ones m) in
   while !remaining > 0 do
-    (* pick the candidate covering the most still-uncovered entries *)
-    let best =
-      List.fold_left
-        (fun best cand ->
-           let gain = uncovered_in cand in
-           match best with
-           | Some (bg, _) when bg >= gain -> best
-           | _ when gain = 0 -> best
-           | _ -> Some (gain, cand))
-        None all_candidates
-    in
-    match best with
-    | None ->
+    let rec pick () =
+      let best = ref (-1) in
+      Array.iteri
+        (fun i g -> if g > 0 && (!best < 0 || g > cached.(!best)) then best := i)
+        cached;
       (* should not happen: every 1-entry lies in some column biclique *)
-      assert false
-    | Some (gain, (rows, cols)) ->
-      List.iter
-        (fun r ->
-           covered.(r) <-
-             Bitset.union covered.(r) (Bitset.of_list (Matrix.cols m) cols))
-        rows;
-      remaining := !remaining - gain;
-      bicliques := (rows, cols) :: !bicliques
+      assert (!best >= 0);
+      let i = !best in
+      let rows, _, cols_bs = cands.(i) in
+      let g = uncovered_in (rows, cols_bs) in
+      if g = cached.(i) then i
+      else begin
+        cached.(i) <- g;
+        pick ()
+      end
+    in
+    let i = pick () in
+    let rows, cols, cols_bs = cands.(i) in
+    List.iter (fun r -> covered.(r) <- Bitset.union covered.(r) cols_bs) rows;
+    remaining := !remaining - cached.(i);
+    cached.(i) <- 0;
+    bicliques := (rows, cols) :: !bicliques
   done;
   List.rev !bicliques
 

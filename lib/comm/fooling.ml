@@ -31,19 +31,31 @@ let greedy m =
     Ucfg_util.Bitset.iter (fun c -> entries := (r, c) :: !entries)
       (Matrix.row m r)
   done;
+  (* bucket sort on the (small, bounded) density key — stable, so the
+     order is exactly the one [List.sort] produced *)
   let ordered =
-    List.sort
-      (fun (r1, c1) (r2, c2) ->
-         compare (row_ones.(r1) + col_ones.(c1)) (row_ones.(r2) + col_ones.(c2)))
-      !entries
+    let buckets = Array.make (Matrix.rows m + Matrix.cols m + 1) [] in
+    List.iter
+      (fun ((r, c) as e) ->
+         let k = row_ones.(r) + col_ones.(c) in
+         buckets.(k) <- e :: buckets.(k))
+      !entries;
+    List.concat_map List.rev (Array.to_list buckets)
   in
   let chosen = ref [] in
+  (* same scan, on row bitsets: (r,c) clashes with a chosen (r',c') iff
+     M[r,c'] and M[r',c] — two bit probes, no bounds rechecks *)
   List.iter
-    (fun e ->
-       if List.for_all (fun q -> compatible m e q) !chosen then
-         chosen := e :: !chosen)
+    (fun ((r, c) as e) ->
+       let row_r = Matrix.row m r in
+       if
+         List.for_all
+           (fun ((_, c'), row_r') ->
+              not (Ucfg_util.Bitset.mem row_r c' && Ucfg_util.Bitset.mem row_r' c))
+           !chosen
+       then chosen := (e, row_r) :: !chosen)
     ordered;
-  List.rev !chosen
+  List.rev_map fst !chosen
 
 let diagonal m =
   let side = min (Matrix.rows m) (Matrix.cols m) in

@@ -2,12 +2,20 @@ open Ucfg_word
 open Ucfg_lang
 module Bitset = Ucfg_util.Bitset
 
+(* Row/column labels are never materialised: a label is recomputed from its
+   index on demand.  [Codes] marks a matrix whose indices are packed word
+   codes ({!Ucfg_lang.Packed}); [Enum] covers any alphabet via base-k
+   digits, matching [Word.enumerate]'s lexicographic order. *)
+type labels =
+  | No_labels
+  | Codes of { row_len : int; col_len : int }
+  | Enum of { alpha : Alphabet.t; row_len : int; col_len : int }
+
 type t = {
   rows : int;
   cols : int;
   data : Bitset.t array;  (** one bitset per row *)
-  row_labels : string array;
-  col_labels : string array;
+  labels : labels;
 }
 
 let max_side = 1 lsl 20
@@ -20,29 +28,66 @@ let of_predicate ~rows ~cols f =
         Bitset.of_list cols
           (List.filter (fun j -> f i j) (Ucfg_util.Prelude.range 0 cols)))
   in
-  { rows; cols; data; row_labels = [||]; col_labels = [||] }
+  { rows; cols; data; labels = No_labels }
+
+(* k^e, saturating just above [max_side] (enough for the size check) *)
+let ipow k e =
+  let rec go acc e =
+    if e = 0 || acc > max_side then acc else go (acc * k) (e - 1)
+  in
+  go 1 e
 
 let of_language alpha l ~split =
   match Lang.uniform_length l with
   | None -> invalid_arg "Matrix.of_language: mixed word lengths"
   | Some len ->
     if split < 0 || split > len then invalid_arg "Matrix.of_language: bad split";
-    let row_labels = Array.of_seq (Word.enumerate alpha split) in
-    let col_labels = Array.of_seq (Word.enumerate alpha (len - split)) in
-    let rows = Array.length row_labels and cols = Array.length col_labels in
+    let k = Alphabet.size alpha in
+    let rows = ipow k split and cols = ipow k (len - split) in
     if rows > max_side || cols > max_side then
       invalid_arg "Matrix.of_language: matrix too large";
-    let data =
-      Array.map
-        (fun x ->
-           Bitset.of_list cols
-             (Array.to_list col_labels
-              |> List.mapi (fun j y -> (j, y))
-              |> List.filter_map (fun (j, y) ->
-                  if Lang.mem (x ^ y) l then Some j else None)))
-        row_labels
+    let packed =
+      if Alphabet.equal alpha Alphabet.binary then
+        Lang.to_packed (Lang.pack l)
+      else None
     in
-    { rows; cols; data; row_labels; col_labels }
+    (match packed with
+     | Some p when Packed.length p = len ->
+       (* the kernel path: a word code splits as
+          [code = row_code lsl (len - split) lor col_code], and the codes
+          arrive in ascending (row-major) order — each row's bits are set
+          directly, no strings and no membership tests *)
+       let data = Array.init rows (fun _ -> Bitset.create cols) in
+       let shift = len - split in
+       let mask = cols - 1 in
+       Seq.iter
+         (fun c -> Bitset.Mut.set data.(c lsr shift) (c land mask))
+         (Packed.codes p);
+       {
+         rows;
+         cols;
+         data;
+         labels = Codes { row_len = split; col_len = len - split };
+       }
+     | _ ->
+       let col_words = Array.of_seq (Word.enumerate alpha (len - split)) in
+       let data =
+         Array.of_seq
+           (Seq.map
+              (fun x ->
+                 Bitset.of_list cols
+                   (Array.to_list col_words
+                    |> List.mapi (fun j y -> (j, y))
+                    |> List.filter_map (fun (j, y) ->
+                        if Lang.mem (x ^ y) l then Some j else None)))
+              (Word.enumerate alpha split))
+       in
+       {
+         rows;
+         cols;
+         data;
+         labels = Enum { alpha; row_len = split; col_len = len - split };
+       })
 
 let rows t = t.rows
 let cols t = t.cols
@@ -58,15 +103,31 @@ let row t i =
 
 let ones t = Array.fold_left (fun acc r -> acc + Bitset.cardinal r) 0 t.data
 
+(* index -> word, inverting [Word.enumerate]'s order: base-k digits,
+   most significant first, digit d = [Alphabet.char_at alpha d] *)
+let enum_word alpha len idx =
+  let k = Alphabet.size alpha in
+  let b = Bytes.create len in
+  let r = ref idx in
+  for pos = len - 1 downto 0 do
+    Bytes.set b pos (Alphabet.char_at alpha (!r mod k));
+    r := !r / k
+  done;
+  Bytes.to_string b
+
 let row_label t i =
-  if Array.length t.row_labels = 0 then
-    invalid_arg "Matrix.row_label: unlabelled matrix";
-  t.row_labels.(i)
+  match t.labels with
+  | No_labels -> invalid_arg "Matrix.row_label: unlabelled matrix"
+  | _ when i < 0 || i >= t.rows -> invalid_arg "Matrix.row_label: out of range"
+  | Codes { row_len; _ } -> Packed.word_of_code ~len:row_len i
+  | Enum { alpha; row_len; _ } -> enum_word alpha row_len i
 
 let col_label t j =
-  if Array.length t.col_labels = 0 then
-    invalid_arg "Matrix.col_label: unlabelled matrix";
-  t.col_labels.(j)
+  match t.labels with
+  | No_labels -> invalid_arg "Matrix.col_label: unlabelled matrix"
+  | _ when j < 0 || j >= t.cols -> invalid_arg "Matrix.col_label: out of range"
+  | Codes { col_len; _ } -> Packed.word_of_code ~len:col_len j
+  | Enum { alpha; col_len; _ } -> enum_word alpha col_len j
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>";

@@ -1,30 +1,29 @@
 module Bitset = Ucfg_util.Bitset
 
 let gf2 m =
-  let rows = Matrix.rows m in
+  let rows = Matrix.rows m and cols = Matrix.cols m in
   (* copy rows and eliminate *)
   let work = Array.init rows (fun i -> Bitset.Mut.copy (Matrix.row m i)) in
   let rank = ref 0 in
-  (* pivots.(c) = row index with leading column c, or -1 *)
-  let pivot_of_row = Array.make rows (-1) in
+  (* pivot_row_of_col.(c) = eliminated row whose leading column is c, or
+     -1: pivot lookup is O(1) instead of a scan over earlier rows *)
+  let pivot_row_of_col = Array.make cols (-1) in
   for i = 0 to rows - 1 do
-    let continue_ = ref true in
-    while !continue_ do
-      match Bitset.Mut.lowest_set work.(i) with
-      | None -> continue_ := false
-      | Some c ->
-        (* find an existing pivot row with the same leading column *)
-        let found = ref (-1) in
-        for r = 0 to i - 1 do
-          if pivot_of_row.(r) = c then found := r
-        done;
-        if !found >= 0 then Bitset.Mut.xor_in_place work.(i) work.(!found)
-        else begin
-          pivot_of_row.(i) <- c;
-          incr rank;
-          continue_ := false
-        end
-    done
+    (* after xoring away the leading 1 at column c, the next leading 1 is
+       strictly beyond c, so each scan resumes where the last stopped *)
+    let rec reduce from =
+      match Bitset.Mut.lowest_set_from work.(i) from with
+      | None -> ()
+      | Some c -> (
+          match pivot_row_of_col.(c) with
+          | -1 ->
+            pivot_row_of_col.(c) <- i;
+            incr rank
+          | r ->
+            Bitset.Mut.xor_in_place work.(i) work.(r);
+            reduce (c + 1))
+    in
+    reduce 0
   done;
   !rank
 

@@ -1,9 +1,91 @@
 open Ucfg_rect
 module Bignum = Ucfg_util.Bignum
 
-let of_rectangle blocks r =
+let of_rectangle_enumerated blocks r =
   Set_rectangle.count_diff r ~in_a:(Blocks.in_a blocks)
     ~in_b:(Blocks.in_b blocks)
+
+(* Factorised discrepancy.  Every member of [R = S × T] is [u ∪ v] with
+   disjoint supports, and both the family test and the matched-pair parity
+   decompose along that split: per block [I_ℓ] the family condition
+   [|(u ∪ v) ∩ I_ℓ| = 1] reads [c_ℓ(u) + d_ℓ(v) = 1], so only the (at
+   most two) blocks straddling the partition couple the sides, each
+   through one bit; and with [x]/[y] the halves of a mask,
+     [pop(x ∧ y) = pop(x_u ∧ y_u) + pop(x_v ∧ y_v) + pop(u ∧ swap v)]
+   ([swap] exchanges the halves), so the cross term sees [u] only through
+   [u ∧ swap inside] and [v] only through [swap v ∧ outside].  Classifying
+   each side by (straddle bits, coupling bits) and summing signs per class
+   replaces the [|S|·|T|] product walk by
+   [O(|S| + |T| + classes_S · classes_T)]. *)
+let of_rectangle blocks r =
+  let n = Blocks.n blocks in
+  let p = r.Set_rectangle.partition in
+  if Partition.n p <> n then of_rectangle_enumerated blocks r
+  else begin
+    let low = (1 lsl n) - 1 in
+    let swap m = ((m land low) lsl n) lor (m lsr n) in
+    let inside = Partition.inside p in
+    let outside = Partition.outside p in
+    let all_blocks = Blocks.interval_masks blocks in
+    let straddle =
+      Array.of_list
+        (List.filter
+           (fun b -> b land inside <> 0 && b land outside <> 0)
+           all_blocks)
+    in
+    let classify part coupling_key masks =
+      let full = List.filter (fun b -> b land part = b) all_blocks in
+      let tbl = Hashtbl.create 64 in
+      Set_rectangle.IntSet.iter
+        (fun w ->
+           if List.for_all (fun b -> Setview.popcount (w land b) = 1) full
+           then begin
+             let code = ref 0 and ok = ref true in
+             Array.iteri
+               (fun i b ->
+                  match Setview.popcount (w land b) with
+                  | 0 -> ()
+                  | 1 -> code := !code lor (1 lsl i)
+                  | _ -> ok := false)
+               straddle;
+             if !ok then begin
+               let s =
+                 if Setview.popcount (w land low land (w lsr n)) land 1 = 1
+                 then -1
+                 else 1
+               in
+               let key = (!code, coupling_key w) in
+               let prev =
+                 Option.value (Hashtbl.find_opt tbl key) ~default:0
+               in
+               Hashtbl.replace tbl key (prev + s)
+             end
+           end)
+        masks;
+      tbl
+    in
+    let hs =
+      classify outside (fun u -> u land swap inside) r.Set_rectangle.outer
+    in
+    let ht =
+      classify inside (fun v -> swap v land outside) r.Set_rectangle.inner
+    in
+    (* a member is in the family iff the straddle codes complement *)
+    let all_one = (1 lsl Array.length straddle) - 1 in
+    let acc = ref 0 in
+    Hashtbl.iter
+      (fun (cu, ku) su ->
+         Hashtbl.iter
+           (fun (cv, kv) sv ->
+              if cu lxor cv = all_one then
+                (* D = -Σ s(u)·s(v)·(-1)^coupling *)
+                if Setview.popcount (ku land kv) land 1 = 1 then
+                  acc := !acc + (su * sv)
+                else acc := !acc - (su * sv))
+           ht)
+      hs;
+    !acc
+  end
 
 let lemma19_bound ~m = Bignum.two_pow (3 * m)
 

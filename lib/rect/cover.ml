@@ -1,5 +1,6 @@
 open Ucfg_word
 open Ucfg_lang
+module Exec = Ucfg_exec.Exec
 
 type verification = {
   is_cover : bool;
@@ -8,7 +9,12 @@ type verification = {
   sum_cardinals : int;
 }
 
-let verify rects lang =
+(* ------------------------------------------------------------------ *)
+(* Set baseline: materialise every rectangle and fold string-set unions.
+   Kept reachable (~packed:false, or non-packable input) so the kernel can
+   be benchmarked against it and non-binary languages still verify. *)
+
+let verify_sets rects lang =
   let materialized = List.map Rectangle.materialize rects in
   let union = List.fold_left Lang.union Lang.empty materialized in
   let sum_cardinals =
@@ -22,6 +28,103 @@ let verify rects lang =
     sum_cardinals;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Packed kernel: every rectangle enumerates as a sorted array of machine
+   codes, so the union is a merge, the union cardinal is an array length,
+   and disjointness is the Σ|R_i| = |∪R_i| arithmetic — no strings. *)
+
+let merge_union a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make (la + lb) 0 in
+  let k = ref 0 and i = ref 0 and j = ref 0 in
+  while !i < la && !j < lb do
+    let x = a.(!i) and y = b.(!j) in
+    if x < y then begin out.(!k) <- x; incr i end
+    else if y < x then begin out.(!k) <- y; incr j end
+    else begin out.(!k) <- x; incr i; incr j end;
+    incr k
+  done;
+  Array.blit a !i out !k (la - !i);
+  k := !k + la - !i;
+  Array.blit b !j out !k (lb - !j);
+  k := !k + lb - !j;
+  if !k = la + lb then out else Array.sub out 0 !k
+
+(* balanced merge rounds; each round's pairwise merges fan out over the
+   pool (ordered, hence jobs-invariant) *)
+let rec merge_all = function
+  | [] -> [||]
+  | [ a ] -> a
+  | arrays ->
+    let rec pair = function
+      | a :: b :: rest -> (a, b) :: pair rest
+      | [ a ] -> [ (a, [||]) ]
+      | [] -> []
+    in
+    merge_all (Exec.parallel_map (fun (a, b) -> merge_union a b) (pair arrays))
+
+let diff_sorted a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make la 0 in
+  let k = ref 0 and j = ref 0 in
+  for i = 0 to la - 1 do
+    let x = a.(i) in
+    while !j < lb && b.(!j) < x do incr j done;
+    if !j >= lb || b.(!j) <> x then begin
+      out.(!k) <- x;
+      incr k
+    end
+  done;
+  if !k = la then out else Array.sub out 0 !k
+
+(* all rectangles packed at one common word length (the language's, when
+   it has one) — the precondition for the merge path *)
+let pack_rects rects lang =
+  let lang_codes =
+    if Lang.is_empty lang then Some [||]
+    else
+      match Lang.to_packed (Lang.pack lang) with
+      | Some p -> Some (Array.of_seq (Ucfg_lang.Packed.codes p))
+      | None -> None
+  in
+  match lang_codes with
+  | None -> None
+  | Some lc ->
+    let len = Lang.uniform_length lang in
+    let rec pack acc = function
+      | [] -> Some (List.rev acc)
+      | r :: rest ->
+        (match Packed_rectangle.of_rectangle r with
+         | Some pr
+           when (match len with
+               | Some n -> Packed_rectangle.word_length pr = n
+               | None -> (match acc with
+                   | [] -> true
+                   | pr0 :: _ ->
+                     Packed_rectangle.word_length pr
+                     = Packed_rectangle.word_length pr0)) ->
+           pack (pr :: acc) rest
+         | _ -> None)
+    in
+    Option.map (fun prs -> (prs, lc)) (pack [] rects)
+
+let verify ?(packed = true) rects lang =
+  match if packed then pack_rects rects lang else None with
+  | None -> verify_sets rects lang
+  | Some (prs, lang_codes) ->
+    let per_rect = Exec.parallel_map Packed_rectangle.codes prs in
+    let union = merge_all per_rect in
+    let sum_cardinals =
+      Ucfg_util.Prelude.sum_int (List.map Packed_rectangle.cardinal prs)
+    in
+    let union_cardinal = Array.length union in
+    {
+      is_cover = union = lang_codes;
+      is_disjoint = sum_cardinals = union_cardinal;
+      union_cardinal;
+      sum_cardinals;
+    }
+
 let all_balanced rects = List.for_all Rectangle.is_balanced rects
 
 let example8_cover n =
@@ -30,19 +133,23 @@ let example8_cover n =
 let singleton_cover l ~n1 ~n2 =
   Lang.fold (fun w acc -> Rectangle.singleton w ~n1 ~n2 :: acc) l []
 
-let greedy_disjoint_cover l ~n =
+(* balanced splits (n1, n2) of words of length [len] *)
+let balanced_splits len =
+  List.concat_map
+    (fun n2 ->
+       if 3 * n2 >= len && 3 * n2 <= 2 * len then
+         List.map (fun n1 -> (n1, n2)) (Ucfg_util.Prelude.range_incl 0 (len - n2))
+       else [])
+    (Ucfg_util.Prelude.range_incl 1 len)
+
+(* ------------------------------------------------------------------ *)
+(* Greedy cover, set baseline (pre-kernel implementation). *)
+
+let greedy_sets l ~n =
   let len = 2 * n in
   if not (Lang.for_all (fun w -> String.length w = len) l) then
     invalid_arg "Cover.greedy_disjoint_cover: words must have length 2n";
-  (* balanced splits (n1, n2) *)
-  let splits =
-    List.concat_map
-      (fun n2 ->
-         if 3 * n2 >= len && 3 * n2 <= 2 * len then
-           List.map (fun n1 -> (n1, n2)) (Ucfg_util.Prelude.range_incl 0 (len - n2))
-         else [])
-      (Ucfg_util.Prelude.range_incl 1 len)
-  in
+  let splits = balanced_splits len in
   let outer_of (n1, n2) w =
     Word.slice w 0 n1 ^ Word.slice w (n1 + n2) (len - n1 - n2)
   in
@@ -85,3 +192,105 @@ let greedy_disjoint_cover l ~n =
          go (Lang.diff remaining (Rectangle.materialize r)) (r :: acc))
   in
   go l []
+
+(* ------------------------------------------------------------------ *)
+(* Greedy cover on the kernel: the remaining language is a sorted code
+   array; each split classifies the codes into (outer, middle) pairs with
+   shifts and masks, and the per-split rectangle builds fan out over the
+   pool.  Selection order matches the set baseline exactly (first maximal
+   rectangle in split order), so the covers coincide. *)
+
+let subset_sorted small big =
+  (* both strictly increasing *)
+  let ls = Array.length small and lb = Array.length big in
+  let rec go i j =
+    if i >= ls then true
+    else if j >= lb then false
+    else if big.(j) = small.(i) then go (i + 1) (j + 1)
+    else if big.(j) < small.(i) then go i (j + 1)
+    else false
+  in
+  ls <= lb && go 0 0
+
+let greedy_packed codes ~len =
+  let splits = balanced_splits len in
+  let build remaining w0 (n1, n2) =
+    let n3 = len - n1 - n2 in
+    let m2 = (1 lsl n2) - 1 and m3 = (1 lsl n3) - 1 in
+    let outer_of c = ((c lsr (n2 + n3)) lsl n3) lor (c land m3) in
+    let middle_of c = (c lsr n3) land m2 in
+    let by_outer = Hashtbl.create 64 in
+    (* codes ascend, so per outer key the middles arrive ascending *)
+    Array.iter
+      (fun c ->
+         let o = outer_of c in
+         let prev = Option.value ~default:[] (Hashtbl.find_opt by_outer o) in
+         Hashtbl.replace by_outer o (middle_of c :: prev))
+      remaining;
+    let as_sorted_array rev_list =
+      let a = Array.of_list rev_list in
+      let n = Array.length a in
+      for i = 0 to (n / 2) - 1 do
+        let t = a.(i) in
+        a.(i) <- a.(n - 1 - i);
+        a.(n - 1 - i) <- t
+      done;
+      a
+    in
+    let m0 = as_sorted_array (Hashtbl.find by_outer (outer_of w0)) in
+    let outers =
+      Hashtbl.fold
+        (fun o ms acc ->
+           if subset_sorted m0 (as_sorted_array ms) then o :: acc else acc)
+        by_outer []
+      |> List.sort compare |> Array.of_list
+    in
+    {
+      Packed_rectangle.n1;
+      n2;
+      n3;
+      outer = Packed.of_sorted_codes ~len:(n1 + n3) outers;
+      middle = Packed.of_sorted_codes ~len:n2 m0;
+    }
+  in
+  let rec go remaining acc =
+    if Array.length remaining = 0 then List.rev acc
+    else begin
+      let w0 = remaining.(0) in
+      let best =
+        List.fold_left
+          (fun best r ->
+             match best with
+             | Some b
+               when Packed_rectangle.cardinal b >= Packed_rectangle.cardinal r
+               -> best
+             | _ -> Some r)
+          None
+          (Exec.parallel_map (build remaining w0) splits)
+      in
+      match best with
+      | None -> assert false
+      | Some r ->
+        go
+          (diff_sorted remaining (Packed_rectangle.codes r))
+          (Packed_rectangle.to_rectangle r :: acc)
+    end
+  in
+  go codes []
+
+let greedy_disjoint_cover ?(packed = true) l ~n =
+  let len = 2 * n in
+  let packed_codes =
+    if not packed then None
+    else if Lang.is_empty l then Some [||]
+    else
+      match Lang.to_packed (Lang.pack l) with
+      | Some p when Ucfg_lang.Packed.length p = len ->
+        Some (Array.of_seq (Ucfg_lang.Packed.codes p))
+      | Some _ ->
+        invalid_arg "Cover.greedy_disjoint_cover: words must have length 2n"
+      | None -> None
+  in
+  match packed_codes with
+  | Some codes -> greedy_packed codes ~len
+  | None -> greedy_sets l ~n

@@ -15,8 +15,14 @@ type verification = {
       (** [Σ |R_i|]; equals [union_cardinal] iff the cover is disjoint *)
 }
 
-(** [verify rects lang] materialises everything and checks. *)
-val verify : Rectangle.t list -> Lang.t -> verification
+(** [verify rects lang] checks the cover.  When the language and every
+    rectangle pack ({!Packed_rectangle}), the union is a merge of sorted
+    code arrays (per-rectangle enumeration fanned over the execution
+    pool; output is jobs-invariant) and disjointness is the
+    [Σ|R_i| = |∪ R_i|] arithmetic; otherwise — or with [~packed:false],
+    the benchmarking escape hatch — everything is materialised as string
+    sets.  Both paths produce the same record. *)
+val verify : ?packed:bool -> Rectangle.t list -> Lang.t -> verification
 
 (** [all_balanced rects] — every rectangle is balanced. *)
 val all_balanced : Rectangle.t list -> bool
@@ -32,5 +38,8 @@ val singleton_cover : Lang.t -> n1:int -> n2:int -> Rectangle.t list
 (** [greedy_disjoint_cover l ~n] covers a language of words of length
     [2n] by balanced rectangles greedily: repeatedly grow a maximal
     rectangle inside the remaining words (a cheap upper-bound heuristic
-    for the minimum disjoint cover). *)
-val greedy_disjoint_cover : Lang.t -> n:int -> Rectangle.t list
+    for the minimum disjoint cover).  On packable languages the remaining
+    words live as a sorted code array and the per-split rectangle builds
+    fan out over the pool; [~packed:false] keeps the set baseline.  Both
+    paths pick identical rectangles. *)
+val greedy_disjoint_cover : ?packed:bool -> Lang.t -> n:int -> Rectangle.t list

@@ -1,4 +1,3 @@
-open Ucfg_word
 open Ucfg_lang
 open Ucfg_cfg
 module G = Grammar
@@ -22,19 +21,92 @@ let run g =
   let span = ann.Length_annotate.span_length in
   let origin = ann.Length_annotate.origin in
   let alphabet = G.alphabet ann.Length_annotate.grammar in
-  if Alphabet.mem alphabet '#' then
-    invalid_arg "Extract.run: alphabet already uses the marker '#'";
-  let marker_alphabet = Alphabet.make (Alphabet.chars alphabet @ [ '#' ]) in
+  let nt = G.nonterminal_count ann.Length_annotate.grammar in
   let rules = ref (G.rules ann.Length_annotate.grammar) in
   let mentions a r =
     r.G.lhs = a
     || List.exists (function G.N b -> b = a | G.T _ -> false) r.G.rhs
   in
+  (* per-nonterminal language cache across delete-trim-repeat iterations:
+     deleting a_i only changes the languages of nonterminals that reach
+     a_i, so everything below stays valid (and packed) and re-seeds the
+     next fixpoint instead of being recomputed *)
+  let cache = Array.make nt None in
+  let ancestors target =
+    let rev = Array.make nt [] in
+    List.iter
+      (fun r ->
+         List.iter
+           (function G.N b -> rev.(b) <- r.G.lhs :: rev.(b) | G.T _ -> ())
+           r.G.rhs)
+      !rules;
+    let anc = Array.make nt false in
+    let rec visit v =
+      if not anc.(v) then begin
+        anc.(v) <- true;
+        List.iter visit rev.(v)
+      end
+    in
+    visit target;
+    anc
+  in
+  (* outer languages, computed directly: [through g anc table a_i] is, per
+     nonterminal A, the set of words derived from A by the derivations that
+     pass through a_i, with a_i's yield contracted to ε.  M(a_i) = {ε}; for
+     an ancestor A, M(A) = ⋃ over rules A → s1…sk and positions j of
+     L(s1)…L(s_{j-1})·M(s_j)·L(s_{j+1})…L(s_k), with L the cached full
+     languages.  Every M(A) is uniform-length (len(A) − n2), so unlike a
+     marked-grammar fixpoint — whose mixed-length intermediate sets cannot
+     pack — the whole recursion runs on the packed backend, and only the
+     ancestors of a_i are touched. *)
+  let through g anc table a_i =
+    let m = Array.make nt None in
+    m.(a_i) <- Some (Lang.singleton "");
+    let rec mlang a =
+      match m.(a) with
+      | Some l -> l
+      | None ->
+        let res =
+          if not anc.(a) then Lang.empty
+          else
+            List.fold_left
+              (fun acc rhs ->
+                 let lang_of = function
+                   | G.T c -> Lang.singleton (String.make 1 c)
+                   | G.N b -> table.(b)
+                 in
+                 (* one term per rhs position deriving through a_i *)
+                 let rec positions before after acc =
+                   match after with
+                   | [] -> acc
+                   | sym :: rest ->
+                     let acc =
+                       match sym with
+                       | G.T _ -> acc
+                       | G.N b ->
+                         let mb = mlang b in
+                         if Lang.is_empty mb then acc
+                         else
+                           Lang.union acc
+                             (Lang.concat_list
+                                (List.rev_append before
+                                   (mb :: List.map lang_of rest)))
+                     in
+                     positions (lang_of sym :: before) rest acc
+                 in
+                 positions [] rhs acc)
+              Lang.empty (G.rules_of g a)
+        in
+        m.(a) <- Some res;
+        res
+    in
+    mlang (G.start g)
+  in
   let rectangles = ref [] in
-  let current () = G.make ~alphabet ~names ~rules:!rules ~start in
+  let current = ref (G.make ~alphabet ~names ~rules:!rules ~start) in
   let continue_ = ref true in
   while !continue_ do
-    match Analysis.witness_tree (current ()) start with
+    match Analysis.witness_tree !current start with
     | None -> continue_ := false
     | Some tree ->
       (* descend to a balanced node: heaviest child until span <= 2n/3 *)
@@ -59,33 +131,24 @@ let run g =
       let n2 = span.(a_i) in
       let n3 = n - n1 - n2 in
       (* middle: the words generated from a_i under the current rules *)
-      let middle =
-        Analysis.language_exn (G.make ~alphabet ~names ~rules:!rules ~start:a_i)
+      (* the annotated grammar is acyclic (finitely many trees) and stays
+         so as rules are deleted *)
+      let table =
+        Analysis.language_table_exn ~acyclic:true ~seeds:cache !current
       in
-      (* outer: replace a_i's productions with a marker block, collect the
-         words whose derivation passes through a_i *)
-      let marker_rules =
-        { G.lhs = a_i; rhs = List.init n2 (fun _ -> G.T '#') }
-        :: List.filter (fun r -> r.G.lhs <> a_i) !rules
-      in
-      let marked =
-        Analysis.language_exn
-          (G.make ~alphabet:marker_alphabet ~names ~rules:marker_rules ~start)
-      in
-      let outer =
-        Lang.fold
-          (fun w acc ->
-             if String.contains w '#' then begin
-               (* Lemma 10 pins every occurrence of a_i at position n1+1 *)
-               assert (Word.slice w n1 n2 = String.make n2 '#');
-               Lang.add (Word.slice w 0 n1 ^ Word.slice w (n1 + n2) n3) acc
-             end
-             else acc)
-          marked Lang.empty
-      in
+      Array.iteri (fun i l -> cache.(i) <- Some l) table;
+      let middle = table.(a_i) in
+      (* outer: the words whose derivation passes through a_i, with a_i's
+         span cut out.  The grammar is length-annotated, so Lemma 10 pins
+         every a_i occurrence at position n1+1 with span n2: the
+         through-words of the start symbol *are* w1 w3. *)
+      let anc = ancestors a_i in
+      let outer = Lang.pack (through !current anc table a_i) in
       rectangles := Rectangle.make ~n1 ~n2 ~n3 ~outer ~middle :: !rectangles;
-      (* delete a_i entirely *)
-      rules := List.filter (fun r -> not (mentions a_i r)) !rules
+      (* delete a_i entirely; its ancestors' cached languages are stale *)
+      rules := List.filter (fun r -> not (mentions a_i r)) !rules;
+      Array.iteri (fun i above -> if above then cache.(i) <- None) anc;
+      current := G.make ~alphabet ~names ~rules:!rules ~start
   done;
   {
     rectangles = List.rev !rectangles;
@@ -95,9 +158,9 @@ let run g =
     bound = n * G.size cnf;
   }
 
-let verify g res =
+let verify ?packed g res =
   let lang = Analysis.language_exn g in
-  let ver = Cover.verify res.rectangles lang in
+  let ver = Cover.verify ?packed res.rectangles lang in
   let shape_ok =
     Cover.all_balanced res.rectangles
     && List.length res.rectangles <= res.bound

@@ -35,5 +35,8 @@ val run : Ucfg_cfg.Grammar.t -> result
 
 (** [verify g res] checks the Proposition 7 guarantees against [g]'s
     materialised language: cover, balancedness, count within bound, and
-    disjointness (the latter only asserted when [g] is unambiguous). *)
-val verify : Ucfg_cfg.Grammar.t -> result -> Cover.verification * bool
+    disjointness (the latter only asserted when [g] is unambiguous).
+    [?packed] is forwarded to {!Cover.verify} ([~packed:false] keeps the
+    string-set baseline). *)
+val verify :
+  ?packed:bool -> Ucfg_cfg.Grammar.t -> result -> Cover.verification * bool

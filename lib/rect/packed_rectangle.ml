@@ -1,0 +1,105 @@
+open Ucfg_lang
+
+type t = {
+  n1 : int;
+  n2 : int;
+  n3 : int;
+  outer : Packed.t;
+  middle : Packed.t;
+}
+
+let word_length t = t.n1 + t.n2 + t.n3
+
+let pack_side len lang =
+  if Lang.is_empty lang then Some (Packed.empty len)
+  else if len = 0 then Some (Packed.full 0) (* non-empty at length 0 is {ε} *)
+  else
+    match Lang.to_packed (Lang.pack lang) with
+    | Some p when Packed.length p = len -> Some p
+    | Some _ | None -> None
+
+let of_rectangle (r : Rectangle.t) =
+  if r.Rectangle.n1 + r.Rectangle.n2 + r.Rectangle.n3 > Packed.max_length then
+    None
+  else
+    match
+      ( pack_side (r.Rectangle.n1 + r.Rectangle.n3) r.Rectangle.outer,
+        pack_side r.Rectangle.n2 r.Rectangle.middle )
+    with
+    | Some outer, Some middle ->
+      Some
+        { n1 = r.Rectangle.n1; n2 = r.Rectangle.n2; n3 = r.Rectangle.n3;
+          outer; middle }
+    | _ -> None
+
+let to_rectangle t =
+  {
+    Rectangle.n1 = t.n1;
+    n2 = t.n2;
+    n3 = t.n3;
+    outer = Lang.of_packed t.outer;
+    middle = Lang.of_packed t.middle;
+  }
+
+let cardinal t = Packed.cardinal t.outer * Packed.cardinal t.middle
+
+let mem_code t c =
+  let c2 = (c lsr t.n3) land ((1 lsl t.n2) - 1) in
+  let co = ((c lsr (t.n2 + t.n3)) lsl t.n3) lor (c land ((1 lsl t.n3) - 1)) in
+  Packed.mem_code t.middle c2 && Packed.mem_code t.outer co
+
+let mem t w =
+  String.length w = word_length t
+  && String.for_all (fun ch -> ch = 'a' || ch = 'b') w
+  && mem_code t (Packed.code_of_word w)
+
+(* The sorted product: outer codes [c1 c3] sorted by [(c1, c3)] group into
+   contiguous runs of equal [c1]; emitting, per run, every middle code
+   against the run's [c3] suffixes yields the full codes
+   [c1 · 2^(n2+n3) + c2 · 2^n3 + c3] in strictly increasing order. *)
+let codes t =
+  let n2 = t.n2 and n3 = t.n3 in
+  let outer = Array.of_seq (Packed.codes t.outer) in
+  let middle = Array.of_seq (Packed.codes t.middle) in
+  let out = Array.make (Array.length outer * Array.length middle) 0 in
+  let m3 = (1 lsl n3) - 1 in
+  let k = ref 0 in
+  let i = ref 0 in
+  let len_o = Array.length outer in
+  while !i < len_o do
+    let c1 = outer.(!i) lsr n3 in
+    let j = ref (!i + 1) in
+    while !j < len_o && outer.(!j) lsr n3 = c1 do incr j done;
+    Array.iter
+      (fun c2 ->
+         let hi = ((c1 lsl n2) lor c2) lsl n3 in
+         for p = !i to !j - 1 do
+           out.(!k) <- hi lor (outer.(p) land m3);
+           incr k
+         done)
+      middle;
+    i := !j
+  done;
+  out
+
+let to_packed t = Packed.of_sorted_codes ~len:(word_length t) (codes t)
+
+let arrays_disjoint a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i j =
+    if i >= la || j >= lb then true
+    else if a.(i) = b.(j) then false
+    else if a.(i) < b.(j) then go (i + 1) j
+    else go i (j + 1)
+  in
+  go 0 0
+
+let disjoint a b =
+  if word_length a <> word_length b then true
+  else if a.n1 = b.n1 && a.n2 = b.n2 then
+    Packed.disjoint a.outer b.outer || Packed.disjoint a.middle b.middle
+  else arrays_disjoint (codes a) (codes b)
+
+let pp fmt t =
+  Format.fprintf fmt "packed-rect(n1=%d,n2=%d,n3=%d,|L1|=%d,|L2|=%d)" t.n1 t.n2
+    t.n3 (Packed.cardinal t.outer) (Packed.cardinal t.middle)

@@ -1,0 +1,57 @@
+(** Packed string rectangles — the bitset kernel under {!Cover}.
+
+    A rectangle over binary words of total length [<= 62] is represented
+    by the packed codes of its two sides ({!Ucfg_lang.Packed}): the outer
+    side [L1] as codes of the glued words [w1 w3] (length [n1 + n3]), the
+    middle side [L2] as codes of length [n2].  Because packing is
+    monotone, the denoted language enumerates as a {e sorted} code array
+    without ever building a string: group the outer codes by their [w1]
+    prefix (contiguous runs of the sorted side) and interleave the middle
+    codes — so covers verify by linear merges and popcount-style
+    cardinality arithmetic instead of set materialisation. *)
+
+open Ucfg_lang
+
+type t = {
+  n1 : int;
+  n2 : int;
+  n3 : int;
+  outer : Packed.t;  (** codes of [w1 w3], length [n1 + n3] *)
+  middle : Packed.t;  (** codes of [w2], length [n2] *)
+}
+
+(** [of_rectangle r] packs both sides; [None] when the rectangle is not
+    packable (non-binary words, or total length above
+    [Packed.max_length]).  Lossless: [to_rectangle] round-trips. *)
+val of_rectangle : Rectangle.t -> t option
+
+val to_rectangle : t -> Rectangle.t
+
+(** Total word length [n1 + n2 + n3]. *)
+val word_length : t -> int
+
+(** [cardinal t] = [|L1| · |L2|], no enumeration. *)
+val cardinal : t -> int
+
+(** [mem_code t c] — membership of a full-word code of length
+    [word_length t], by splitting [c] into its outer and middle codes. *)
+val mem_code : t -> int -> bool
+
+(** [mem t w] — string membership (length and binary shape checked). *)
+val mem : t -> string -> bool
+
+(** [codes t] is the denoted language as a strictly increasing array of
+    full-word codes — [cardinal t] entries, built in one pass. *)
+val codes : t -> int array
+
+(** [to_packed t] is the denoted language as a packed value (the
+    materialisation of the kernel, still string-free). *)
+val to_packed : t -> Packed.t
+
+(** [disjoint a b] — emptiness of the intersection of the denoted
+    languages.  Same-split rectangles compare side-wise (disjoint outer
+    {e or} disjoint middle); different splits fall back to a linear merge
+    scan of the two sorted code enumerations. *)
+val disjoint : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -71,11 +71,34 @@ let complement t =
   if n > 0 then r.words.(n - 1) <- r.words.(n - 1) land tail_mask t.size;
   r
 
+(* table-driven popcount: four 16-bit lookups per word, constant time even
+   on dense words (the Kernighan loop is O(set bits), which is the wrong
+   trade for the near-full rows the greedy covers chew through) *)
+let pop16 =
+  let count i =
+    let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
+    go i 0
+  in
+  Bytes.init 65536 (fun i -> Char.chr (count i))
+
 let popcount w =
-  let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
-  go w 0
+  Char.code (Bytes.unsafe_get pop16 (w land 0xffff))
+  + Char.code (Bytes.unsafe_get pop16 ((w lsr 16) land 0xffff))
+  + Char.code (Bytes.unsafe_get pop16 ((w lsr 32) land 0xffff))
+  + Char.code (Bytes.unsafe_get pop16 (w lsr 48))
+
+(* index of the only set bit of the power of two [bit] *)
+let bit_index bit = popcount (bit - 1)
 
 let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let cardinal_diff a b =
+  if a.size <> b.size then invalid_arg "Bitset.cardinal_diff: size mismatch";
+  let acc = ref 0 in
+  for i = 0 to Array.length a.words - 1 do
+    acc := !acc + popcount (a.words.(i) land lnot b.words.(i))
+  done;
+  !acc
 
 let is_empty t = Array.for_all (fun w -> w = 0) t.words
 
@@ -106,8 +129,7 @@ let iter f t =
     let word = ref t.words.(w) in
     while !word <> 0 do
       let bit = !word land (- !word) in
-      let rec log2 b acc = if b = 1 then acc else log2 (b lsr 1) (acc + 1) in
-      f ((w * bits_per_word) + log2 bit 0);
+      f ((w * bits_per_word) + bit_index bit);
       word := !word land lnot bit
     done
   done
@@ -166,9 +188,31 @@ module Mut = struct
       else if t.words.(w) = 0 then go (w + 1)
       else begin
         let bit = t.words.(w) land (-t.words.(w)) in
-        let rec log2 b acc = if b = 1 then acc else log2 (b lsr 1) (acc + 1) in
-        Some ((w * bits_per_word) + log2 bit 0)
+        Some ((w * bits_per_word) + bit_index bit)
       end
     in
     go 0
+
+  let lowest_set_from t i =
+    if i < 0 then invalid_arg "Bitset.Mut.lowest_set_from: negative index";
+    let n = Array.length t.words in
+    let w0 = i / bits_per_word in
+    if w0 >= n then None
+    else begin
+      let rec go w masked =
+        if w >= n then None
+        else begin
+          let word =
+            if masked then t.words.(w) land lnot ((1 lsl (i mod bits_per_word)) - 1)
+            else t.words.(w)
+          in
+          if word = 0 then go (w + 1) false
+          else begin
+            let bit = word land (-word) in
+            Some ((w * bits_per_word) + bit_index bit)
+          end
+        end
+      in
+      go w0 true
+    end
 end

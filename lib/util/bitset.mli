@@ -33,6 +33,10 @@ val diff : t -> t -> t
 val complement : t -> t
 
 val cardinal : t -> int
+
+(** [cardinal_diff a b] is [cardinal (diff a b)] without building the
+    intermediate set — the popcount step of the greedy cover loops. *)
+val cardinal_diff : t -> t -> int
 val is_empty : t -> bool
 val equal : t -> t -> bool
 val compare : t -> t -> int
@@ -62,4 +66,9 @@ module Mut : sig
   val xor_in_place : t -> t -> unit
   val set : t -> int -> unit
   val lowest_set : t -> int option
+
+  (** [lowest_set_from t i] is the lowest set bit with index [>= i] — what
+      the elimination kernel uses to resume a pivot scan where the last xor
+      left off instead of rescanning from word 0. *)
+  val lowest_set_from : t -> int -> int option
 end

@@ -1,0 +1,354 @@
+(* Equivalence properties for the PR's bitset kernel: the packed rectangle
+   backend, the packed cover sweeps, the rewritten GF(2) elimination and
+   greedy covers, the factorised discrepancy and the census-based
+   ambiguity profile must all agree with their enumeration-based
+   references — and be invariant under the pool's job count. *)
+
+open Ucfg_word
+open Ucfg_lang
+open Ucfg_rect
+module Bitset = Ucfg_util.Bitset
+module Rng = Ucfg_util.Rng
+module Bignum = Ucfg_util.Bignum
+module Matrix = Ucfg_comm.Matrix
+module Rank = Ucfg_comm.Rank
+
+let arb_seed = QCheck.int_range 0 100_000
+
+(* ---------- generators ---------- *)
+
+let random_lang rng ~len ~max_card =
+  let mask = (1 lsl len) - 1 in
+  Lang.of_list
+    (List.init (1 + Rng.int rng max_card) (fun _ ->
+         Word.of_bits ~len (Rng.bits62 rng land mask)))
+
+let random_rectangle rng =
+  let n1 = Rng.int rng 3 and n2 = 1 + Rng.int rng 3 and n3 = Rng.int rng 3 in
+  Rectangle.make ~n1 ~n2 ~n3
+    ~outer:(random_lang rng ~len:(n1 + n3) ~max_card:6)
+    ~middle:(random_lang rng ~len:n2 ~max_card:6)
+
+(* ---------- packed rectangle vs set rectangle ---------- *)
+
+let prop_packed_cardinal_mem =
+  QCheck.Test.make ~name:"packed rectangle: cardinal/mem/codes = set backend"
+    ~count:60 arb_seed (fun seed ->
+      let rng = Rng.create seed in
+      let r = random_rectangle rng in
+      match Packed_rectangle.of_rectangle r with
+      | None -> QCheck.Test.fail_report "binary rectangle must pack"
+      | Some p ->
+        let lang = Rectangle.materialize r in
+        Packed_rectangle.cardinal p = Rectangle.cardinal r
+        && Lang.equal (Rectangle.materialize (Packed_rectangle.to_rectangle p))
+             lang
+        && Lang.equal (Lang.of_packed (Packed_rectangle.to_packed p)) lang
+        && Lang.fold
+             (fun w acc -> acc && Packed_rectangle.mem p w)
+             lang true
+        && Seq.fold_left
+             (fun acc w -> acc && Packed_rectangle.mem p w = Rectangle.mem r w)
+             true
+             (Lang.to_seq
+                (Lang.full Alphabet.binary (Rectangle.word_length r)))
+        && begin
+          (* codes: strictly increasing, one per member *)
+          let cs = Packed_rectangle.codes p in
+          Array.length cs = Rectangle.cardinal r
+          && Array.for_all (fun c -> Packed_rectangle.mem_code p c) cs
+          && begin
+            let ok = ref true in
+            for i = 1 to Array.length cs - 1 do
+              if cs.(i - 1) >= cs.(i) then ok := false
+            done;
+            !ok
+          end
+        end)
+
+let prop_packed_disjoint =
+  QCheck.Test.make ~name:"packed rectangle: disjoint = empty intersection"
+    ~count:80 arb_seed (fun seed ->
+      let rng = Rng.create seed in
+      let r1 = random_rectangle rng in
+      (* same split half the time, so the side-wise fast path is hit *)
+      let r2 =
+        if Rng.int rng 2 = 0 then
+          Rectangle.make ~n1:r1.Rectangle.n1 ~n2:r1.Rectangle.n2
+            ~n3:r1.Rectangle.n3
+            ~outer:
+              (random_lang rng ~len:(r1.Rectangle.n1 + r1.Rectangle.n3)
+                 ~max_card:6)
+            ~middle:(random_lang rng ~len:r1.Rectangle.n2 ~max_card:6)
+        else random_rectangle rng
+      in
+      match
+        (Packed_rectangle.of_rectangle r1, Packed_rectangle.of_rectangle r2)
+      with
+      | Some p1, Some p2 ->
+        Packed_rectangle.disjoint p1 p2
+        = Lang.is_empty
+            (Lang.inter (Rectangle.materialize r1) (Rectangle.materialize r2))
+      | _ -> QCheck.Test.fail_report "binary rectangles must pack")
+
+(* ---------- cover verification: packed vs set, jobs 1 vs 4 ---------- *)
+
+let verification_equal (a : Cover.verification) (b : Cover.verification) =
+  a.Cover.is_cover = b.Cover.is_cover
+  && a.Cover.is_disjoint = b.Cover.is_disjoint
+  && a.Cover.union_cardinal = b.Cover.union_cardinal
+  && a.Cover.sum_cardinals = b.Cover.sum_cardinals
+
+let random_cover_instance rng =
+  let n = 2 + Rng.int rng 2 in
+  let l = Ln.language n in
+  let rects = Cover.example8_cover n in
+  (* sometimes drop a rectangle (not a cover) or duplicate one *)
+  let rects =
+    match Rng.int rng 3 with
+    | 0 -> List.tl rects
+    | 1 -> List.hd rects :: rects
+    | _ -> rects
+  in
+  (l, rects)
+
+let prop_verify_packed_vs_set =
+  QCheck.Test.make ~name:"Cover.verify: packed = set backend" ~count:25
+    arb_seed (fun seed ->
+      let rng = Rng.create seed in
+      let l, rects = random_cover_instance rng in
+      verification_equal
+        (Cover.verify ~packed:true rects l)
+        (Cover.verify ~packed:false rects l))
+
+let prop_verify_jobs_invariant =
+  QCheck.Test.make ~name:"Cover.verify: jobs 1 = jobs 4" ~count:15 arb_seed
+    (fun seed ->
+      let rng = Rng.create seed in
+      let l, rects = random_cover_instance rng in
+      Ucfg_exec.Exec.set_jobs 1;
+      let v1 = Cover.verify rects l in
+      Ucfg_exec.Exec.set_jobs 4;
+      let v4 = Cover.verify rects l in
+      Ucfg_exec.Exec.set_jobs 1;
+      verification_equal v1 v4)
+
+let prop_greedy_packed_vs_set =
+  QCheck.Test.make ~name:"greedy_disjoint_cover: packed = set backend"
+    ~count:20 arb_seed (fun seed ->
+      let rng = Rng.create seed in
+      let n = 2 + Rng.int rng 2 in
+      let l =
+        if Rng.int rng 2 = 0 then Ln.language n
+        else random_lang rng ~len:(2 * n) ~max_card:12
+      in
+      let same r1 r2 =
+        r1.Rectangle.n1 = r2.Rectangle.n1
+        && r1.Rectangle.n2 = r2.Rectangle.n2
+        && Lang.equal r1.Rectangle.outer r2.Rectangle.outer
+        && Lang.equal r1.Rectangle.middle r2.Rectangle.middle
+      in
+      List.equal same
+        (Cover.greedy_disjoint_cover ~packed:true l ~n)
+        (Cover.greedy_disjoint_cover ~packed:false l ~n))
+
+(* ---------- GF(2) rank vs naive elimination ---------- *)
+
+let naive_gf2_rank m =
+  let rows = Matrix.rows m and cols = Matrix.cols m in
+  let a = Array.init rows (fun r -> Array.init cols (Matrix.get m r)) in
+  let rank = ref 0 in
+  let row = ref 0 in
+  for c = 0 to cols - 1 do
+    let p = ref (-1) in
+    for r = !row to rows - 1 do
+      if !p < 0 && a.(r).(c) then p := r
+    done;
+    if !p >= 0 then begin
+      let tmp = a.(!p) in
+      a.(!p) <- a.(!row);
+      a.(!row) <- tmp;
+      for r = 0 to rows - 1 do
+        if r <> !row && a.(r).(c) then
+          for cc = 0 to cols - 1 do
+            a.(r).(cc) <- a.(r).(cc) <> a.(!row).(cc)
+          done
+      done;
+      incr row;
+      incr rank
+    end
+  done;
+  !rank
+
+let prop_gf2_rank =
+  QCheck.Test.make ~name:"Rank.gf2 = naive Gaussian elimination" ~count:60
+    arb_seed (fun seed ->
+      let rng = Rng.create seed in
+      let rows = 1 + Rng.int rng 40 and cols = 1 + Rng.int rng 90 in
+      let cells =
+        Array.init rows (fun _ ->
+            Array.init cols (fun _ -> Rng.int rng 3 = 0))
+      in
+      let m = Matrix.of_predicate ~rows ~cols (fun r c -> cells.(r).(c)) in
+      Rank.gf2 m = naive_gf2_rank m)
+
+(* ---------- matrix labels: packed codes vs word enumeration ---------- *)
+
+let prop_matrix_labels =
+  QCheck.Test.make
+    ~name:"Matrix.of_language: labels and cells = word enumeration" ~count:30
+    arb_seed (fun seed ->
+      let rng = Rng.create seed in
+      let binary = Rng.int rng 2 = 0 in
+      let alpha =
+        if binary then Alphabet.binary else Alphabet.make [ 'a'; 'b'; 'c' ]
+      in
+      let k = Alphabet.size alpha in
+      let len = 2 + Rng.int rng 3 in
+      let split = 1 + Rng.int rng (len - 1) in
+      let full = Lang.full alpha len in
+      let l =
+        let sampled = Lang.filter (fun _ -> Rng.int rng 3 = 0) full in
+        if Lang.is_empty sampled then
+          Lang.of_list [ List.hd (Lang.elements full) ]
+        else sampled
+      in
+      let m = Matrix.of_language alpha l ~split in
+      let pow b e =
+        let r = ref 1 in
+        for _ = 1 to e do
+          r := !r * b
+        done;
+        !r
+      in
+      Matrix.rows m = pow k split
+      && Matrix.cols m = pow k (len - split)
+      && List.equal String.equal
+           (List.of_seq (Word.enumerate alpha split))
+           (List.init (Matrix.rows m) (Matrix.row_label m))
+      && List.equal String.equal
+           (List.of_seq (Word.enumerate alpha (len - split)))
+           (List.init (Matrix.cols m) (Matrix.col_label m))
+      && begin
+        let ok = ref true in
+        for r = 0 to Matrix.rows m - 1 do
+          for c = 0 to Matrix.cols m - 1 do
+            let w = Matrix.row_label m r ^ Matrix.col_label m c in
+            if Matrix.get m r c <> Lang.mem w l then ok := false
+          done
+        done;
+        !ok
+      end)
+
+(* ---------- discrepancy: factorised vs enumerated ---------- *)
+
+let prop_discrepancy =
+  QCheck.Test.make ~name:"Discrepancy: factorised = enumerated" ~count:40
+    arb_seed (fun seed ->
+      let rng = Rng.create seed in
+      let n = 4 * (1 + Rng.int rng 2) in
+      let blocks = Ucfg_disc.Blocks.create n in
+      let parts = Partition.all_balanced ~n in
+      let p = List.nth parts (Rng.int rng (List.length parts)) in
+      let ins = Partition.inside p and out = Partition.outside p in
+      let family_member () =
+        List.fold_left
+          (fun acc blk ->
+             let rec low b q = if b land 1 = 1 then q else low (b lsr 1) (q + 1) in
+             acc lor (1 lsl (low blk 0 + Rng.int rng 4)))
+          0
+          (Ucfg_disc.Blocks.interval_masks blocks)
+      in
+      let picks = List.init 16 (fun _ -> family_member ()) in
+      (* noise masks exercise the invalid classes of the factorisation *)
+      let noise = List.init 6 (fun _ -> Rng.bits62 rng land ((1 lsl (2 * n)) - 1)) in
+      let all = picks @ noise in
+      let r =
+        Set_rectangle.make p
+          ~outer:(List.sort_uniq compare (List.map (fun m -> m land out) all))
+          ~inner:(List.sort_uniq compare (List.map (fun m -> m land ins) all))
+      in
+      Ucfg_disc.Discrepancy.of_rectangle blocks r
+      = Ucfg_disc.Discrepancy.of_rectangle_enumerated blocks r)
+
+(* ---------- ambiguity profile: census vs per-word counting ---------- *)
+
+let prop_profile_census =
+  QCheck.Test.make ~name:"Ambiguity.profile: census = per-word tree counts"
+    ~count:30 arb_seed (fun seed ->
+      let rng = Rng.create seed in
+      let g =
+        Ucfg_cfg.Random_grammar.fixed_length rng ~word_len:(2 + Rng.int rng 3)
+          ~variants:(2 + Rng.int rng 3)
+      in
+      let prof = Ucfg_cfg.Ambiguity.profile g in
+      let words = Lang.elements (Ucfg_cfg.Analysis.language_exn g) in
+      let counts = List.map (Ucfg_cfg.Count_word.trees g) words in
+      let ambiguous =
+        List.length
+          (List.filter (fun c -> Bignum.compare c Bignum.one > 0) counts)
+      in
+      let max_trees =
+        List.fold_left
+          (fun acc c -> if Bignum.compare c acc > 0 then c else acc)
+          Bignum.zero counts
+      in
+      let histogram =
+        let tbl = Hashtbl.create 16 in
+        List.iter
+          (fun c ->
+             let k = Bignum.to_string c in
+             Hashtbl.replace tbl k
+               (1 + Option.value (Hashtbl.find_opt tbl k) ~default:0))
+          counts;
+        List.sort
+          (fun (a, _) (b, _) ->
+             compare (String.length a, a) (String.length b, b))
+          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+      in
+      prof.Ucfg_cfg.Ambiguity.word_total = List.length words
+      && prof.Ucfg_cfg.Ambiguity.ambiguous_words = ambiguous
+      && Bignum.compare prof.Ucfg_cfg.Ambiguity.max_trees max_trees = 0
+      && prof.Ucfg_cfg.Ambiguity.histogram = histogram)
+
+(* ---------- bitset kernels ---------- *)
+
+let prop_bitset_kernels =
+  QCheck.Test.make
+    ~name:"Bitset: cardinal_diff / lowest_set_from / popcount kernels"
+    ~count:100 arb_seed (fun seed ->
+      let rng = Rng.create seed in
+      let size = 1 + Rng.int rng 200 in
+      let random_set () =
+        Bitset.of_list size
+          (List.init (Rng.int rng size) (fun _ -> Rng.int rng size))
+      in
+      let a = random_set () and b = random_set () in
+      Bitset.cardinal a = List.length (Bitset.elements a)
+      && Bitset.cardinal_diff a b = Bitset.cardinal (Bitset.diff a b)
+      && begin
+        let from = Rng.int rng (size + 5) in
+        let expect =
+          List.find_opt (fun i -> i >= from) (Bitset.elements a)
+        in
+        Bitset.Mut.lowest_set_from a from = expect
+        && Bitset.Mut.lowest_set a
+           = (match Bitset.elements a with [] -> None | x :: _ -> Some x)
+      end)
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_packed_cardinal_mem;
+      prop_packed_disjoint;
+      prop_verify_packed_vs_set;
+      prop_verify_jobs_invariant;
+      prop_greedy_packed_vs_set;
+      prop_gf2_rank;
+      prop_matrix_labels;
+      prop_discrepancy;
+      prop_profile_census;
+      prop_bitset_kernels;
+    ]
+
+let () = Alcotest.run "ucfg_rect_packed" [ ("kernel equivalences", qtests) ]
