@@ -13,7 +13,7 @@ DET_EXPERIMENTS := e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 \
   e17 e18 e19 e20 e21 e22 e23
 
 .PHONY: build test lint bench smoke determinism json-determinism \
-  bench-record bench-compare ci check clean
+  bench-record bench-compare chaos timeout-smoke ci check clean
 
 build:
 	dune build @all
@@ -85,10 +85,34 @@ bench-compare:
 	diff _build/determinism/pr3.sums _build/determinism/pr4.sums
 	@echo "bench-compare: OK"
 
+# the full suite must stay green under seeded fault injection: injected
+# faults are repaired deterministically by the pool's settle phase, so
+# chaos exercises the capture/cancel/drain machinery without changing any
+# verdict.  Two fixed seeds, 10% injection, 4 domains.
+chaos: build
+	UCFG_CHAOS=1066:0.1 UCFG_JOBS=4 dune runtest --force
+	UCFG_CHAOS=424242:0.1 UCFG_JOBS=4 dune runtest --force
+	@echo "chaos: OK"
+
+# a cooperative deadline on an hours-deep search must exit 124 promptly
+# (the GNU timeout convention) at any job count, reporting partial progress
+timeout-smoke: build
+	@for j in 1 4; do \
+	  start=$$(date +%s); \
+	  $(CLI) search -n 3 --timeout 1 --jobs $$j; st=$$?; \
+	  el=$$(( $$(date +%s) - start )); \
+	  if [ $$st -ne 124 ]; then \
+	    echo "timeout-smoke: expected exit 124 at jobs=$$j, got $$st"; exit 1; fi; \
+	  if [ $$el -gt 3 ]; then \
+	    echo "timeout-smoke: took $${el}s at jobs=$$j (limit 3s)"; exit 1; fi; \
+	done
+	@echo "timeout-smoke: OK"
+
 check: build test lint
 	@echo "check: OK"
 
-ci: check smoke determinism json-determinism bench-record bench-compare
+ci: check smoke determinism json-determinism bench-record bench-compare \
+  chaos timeout-smoke
 	@echo "ci: OK"
 
 clean:

@@ -550,7 +550,10 @@ let e13_ground_truth () =
        k
        (List.length (Ucfg_rect.Cover.greedy_disjoint_cover (Ln.language 2) ~n:2))
    | Ucfg_comm.Cover_search.Budget_exhausted lb ->
-     Printf.printf "E13c: search exhausted; lower bound %d\n\n" lb)
+     Printf.printf "E13c: search exhausted; lower bound %d\n\n" lb
+   | Ucfg_comm.Cover_search.Interrupted (lb, r) ->
+     Printf.printf "E13c: search interrupted (%s); lower bound %d\n\n"
+       (Ucfg_exec.Guard.reason_code r) lb)
 
 (* ----------------------------------------------------------------- E14 *)
 
@@ -1340,6 +1343,27 @@ let experiments =
 let json_mode = ref false
 let json_out = ref "BENCH_pr4.json"
 
+(* --timeout SEC wraps each experiment in its own wall-clock guard: a
+   tripped experiment prints a note, records a "timeout" outcome in the
+   JSON row, and the run moves on to the next experiment instead of
+   dying.  Without --timeout the guard is the unlimited singleton and
+   output is byte-identical to previous revisions. *)
+let exp_timeout = ref None
+
+let governed f () =
+  match !exp_timeout with
+  | None ->
+    f ();
+    `Ok
+  | Some s ->
+    let guard = Ucfg_exec.Guard.create ~timeout:s () in
+    (match Ucfg_exec.Exec.with_guard guard f with
+     | () -> `Ok
+     | exception Ucfg_exec.Guard.Interrupt r ->
+       Printf.printf "[experiment timed out: %s]\n"
+         (Ucfg_exec.Guard.describe r);
+       `Timeout)
+
 let with_stdout_captured f =
   let tmp = Filename.temp_file "ucfg_bench" ".out" in
   let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
@@ -1371,21 +1395,22 @@ let with_stdout_captured f =
 let run_experiment name f =
   if not !json_mode then begin
     Printf.printf "\n";
-    f ();
+    ignore (governed f ());
     None
   end
   else begin
     let t0 = Unix.gettimeofday () in
+    let outcome = ref `Ok in
     let text =
       with_stdout_captured (fun () ->
           Printf.printf "\n";
-          f ())
+          outcome := governed f ())
     in
     let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
     (* echo through: with or without --json the terminal sees the same *)
     print_string text;
     flush stdout;
-    Some (name, ms, Digest.to_hex (Digest.string text))
+    Some (name, ms, Digest.to_hex (Digest.string text), !outcome)
   end
 
 let write_json records =
@@ -1395,10 +1420,14 @@ let write_json records =
     (Ucfg_exec.Exec.jobs ());
   Printf.fprintf oc "  \"experiments\": [\n";
   List.iteri
-    (fun i (name, ms, checksum) ->
+    (fun i (name, ms, checksum, outcome) ->
+       (* outcome sits after the checksum so the bench-compare sed, which
+          anchors on name/ms/checksum, keeps matching *)
        Printf.fprintf oc
-         "    { \"name\": %S, \"ms\": %.2f, \"checksum\": %S }%s\n" name ms
-         checksum
+         "    { \"name\": %S, \"ms\": %.2f, \"checksum\": %S, \
+          \"outcome\": %S }%s\n"
+         name ms checksum
+         (match outcome with `Ok -> "ok" | `Timeout -> "timeout")
          (if i = List.length records - 1 then "" else ","))
     records;
   Printf.fprintf oc "  ]\n}\n";
@@ -1423,6 +1452,13 @@ let () =
     | arg :: rest when String.starts_with ~prefix:"--jobs=" arg ->
       Ucfg_exec.Exec.set_jobs
         (int_of_string (String.sub arg 7 (String.length arg - 7)));
+      parse names rest
+    | "--timeout" :: s :: rest ->
+      exp_timeout := Some (float_of_string s);
+      parse names rest
+    | arg :: rest when String.starts_with ~prefix:"--timeout=" arg ->
+      exp_timeout :=
+        Some (float_of_string (String.sub arg 10 (String.length arg - 10)));
       parse names rest
     | arg :: rest -> parse (arg :: names) rest
   in

@@ -26,6 +26,59 @@ let jobs_term =
   in
   Term.(const (fun jobs -> Option.iter Ucfg_exec.Exec.set_jobs jobs) $ jobs_arg)
 
+(* --timeout/--budget install a per-invocation resource guard as the
+   ambient [Ucfg_exec.Exec] guard; every long-running library loop polls
+   it cooperatively, and a trip surfaces as a diagnostic with exit code
+   124 (the GNU timeout convention) *)
+let guard_term =
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SEC"
+          ~doc:
+            "Abort the computation after $(docv) seconds of wall clock; \
+             exits 124 with a diagnostic.")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Abort after $(docv) guard ticks (loop iterations, summed \
+             across domains); exits 124 with a diagnostic.")
+  in
+  Term.(
+    const (fun timeout budget ->
+        if timeout <> None || budget <> None then
+          Ucfg_exec.Exec.set_guard (Ucfg_exec.Guard.create ?timeout ?budget ()))
+    $ timeout_arg $ budget_arg)
+
+(* --jobs then --timeout/--budget, shared by every subcommand *)
+let common_term = Term.(const (fun () () -> ()) $ jobs_term $ guard_term)
+
+(* guard trips and malformed inputs render as the linter's diagnostics:
+   stable code, severity, message, optional hint — same text and JSON
+   shape everywhere *)
+let interrupt_diag reason =
+  let code =
+    match reason with
+    | Ucfg_exec.Guard.Timeout -> "R001"
+    | Ucfg_exec.Guard.Budget -> "R002"
+    | Ucfg_exec.Guard.Cancel -> "R003"
+  in
+  Ucfg_lint.Diag.make ~code ~severity:Ucfg_lint.Diag.Error
+    ~loc:Ucfg_lint.Diag.Whole
+    ~hint:"raise --timeout/--budget, shrink n, or use a cheaper method"
+    (Printf.sprintf "computation interrupted: %s"
+       (Ucfg_exec.Guard.describe reason))
+
+let input_diag msg =
+  Ucfg_lint.Diag.make ~code:"R010" ~severity:Ucfg_lint.Diag.Error
+    ~loc:Ucfg_lint.Diag.Whole
+    (Printf.sprintf "invalid input: %s" msg)
+
 let kind_arg =
   let kinds =
     [ ("log", `Log); ("example3", `Example3); ("example4", `Example4);
@@ -79,7 +132,7 @@ let separation_cmd =
       & info [ "ns" ] ~docv:"N,N,..." ~doc:"Values of n to report.")
   in
   Cmd.v (Cmd.info "separation" ~doc:"The Theorem 1 size table for L_n.")
-    Term.(const run $ jobs_term $ ns_arg)
+    Term.(const run $ common_term $ ns_arg)
 
 (* --- grammar ------------------------------------------------------------- *)
 
@@ -119,7 +172,7 @@ let grammar_cmd =
     (Cmd.info "grammar"
        ~doc:"Build one of the paper's grammars for L_n, or load one.")
     Term.(
-      const run $ jobs_term $ kind_arg $ n_arg $ print_arg $ check_arg
+      const run $ common_term $ kind_arg $ n_arg $ print_arg $ check_arg
       $ from_file_arg)
 
 (* --- count --------------------------------------------------------------- *)
@@ -147,7 +200,7 @@ let count_cmd =
                 $(b,formula).")
   in
   Cmd.v (Cmd.info "count" ~doc:"Count the words of L_n.")
-    Term.(const run $ jobs_term $ n_arg $ meth_arg)
+    Term.(const run $ common_term $ n_arg $ meth_arg)
 
 (* --- rectangles ---------------------------------------------------------- *)
 
@@ -179,7 +232,7 @@ let rectangles_cmd =
   Cmd.v
     (Cmd.info "rectangles"
        ~doc:"Run the Proposition 7 extraction on one of the grammars.")
-    Term.(const run $ jobs_term $ kind_arg $ n_arg $ no_packed_arg)
+    Term.(const run $ common_term $ kind_arg $ n_arg $ no_packed_arg)
 
 (* --- bound --------------------------------------------------------------- *)
 
@@ -204,7 +257,7 @@ let bound_cmd =
       & info [ "ns" ] ~docv:"N,N,..." ~doc:"Values of n.")
   in
   Cmd.v (Cmd.info "bound" ~doc:"Print the certified uCFG lower bounds.")
-    Term.(const run $ jobs_term $ ns_arg)
+    Term.(const run $ common_term $ ns_arg)
 
 (* --- csv ----------------------------------------------------------------- *)
 
@@ -226,7 +279,7 @@ let csv_cmd =
   in
   Cmd.v
     (Cmd.info "csv" ~doc:"The CSV information-extraction application.")
-    Term.(const run $ jobs_term $ columns_arg $ width_arg)
+    Term.(const run $ common_term $ columns_arg $ width_arg)
 
 (* --- access -------------------------------------------------------------- *)
 
@@ -270,7 +323,7 @@ let access_cmd =
   Cmd.v
     (Cmd.info "access"
        ~doc:"Direct access into L_n through the unambiguous grammar.")
-    Term.(const run $ jobs_term $ n_arg $ index_arg $ sample_arg $ seed_arg)
+    Term.(const run $ common_term $ n_arg $ index_arg $ sample_arg $ seed_arg)
 
 (* --- profile ------------------------------------------------------------- *)
 
@@ -287,7 +340,7 @@ let profile_cmd =
   in
   Cmd.v
     (Cmd.info "profile" ~doc:"Ambiguity-degree histogram of a grammar.")
-    Term.(const run $ jobs_term $ kind_arg $ n_arg)
+    Term.(const run $ common_term $ kind_arg $ n_arg)
 
 (* --- intersect ------------------------------------------------------------ *)
 
@@ -311,7 +364,7 @@ let intersect_cmd =
   Cmd.v
     (Cmd.info "intersect"
        ~doc:"Rebuild L_n by the Bar–Hillel product Σ^2n ∩ pattern.")
-    Term.(const run $ jobs_term $ n_arg $ check_arg)
+    Term.(const run $ common_term $ n_arg $ check_arg)
 
 (* --- lint ----------------------------------------------------------------- *)
 
@@ -367,8 +420,95 @@ let lint_cmd =
           readiness, and sound ambiguity pre-checks.  Exits 1 when an error \
           fires (definite ambiguity).")
     Term.(
-      const run $ jobs_term $ kind_arg $ n_arg $ from_file_arg $ json_arg
+      const run $ common_term $ kind_arg $ n_arg $ from_file_arg $ json_arg
       $ nfa_arg $ list_arg)
+
+(* --- search ---------------------------------------------------------------- *)
+
+let search_cmd =
+  let run () n unambiguous max_nonterminals max_size nodes json =
+    let r =
+      Search.minimal_cnf_size ~unambiguous ~max_nonterminals ~max_size
+        ?budget:nodes Ucfg_word.Alphabet.binary (Ln.language n)
+    in
+    match r.Search.interrupted with
+    | Some reason ->
+      (* the guard tripped mid-search: report the partial progress the
+         same way in text and JSON, then exit 124 like a trip anywhere
+         else in the pipeline would *)
+      let d = interrupt_diag reason in
+      if json then
+        Printf.printf
+          "{ \"interrupted\": \"%s\", \"nodes_explored\": %d, \
+           \"nodes_exact\": false, \"diagnostics\": %s }\n"
+          (Ucfg_exec.Guard.reason_code reason)
+          r.Search.nodes_explored
+          (Ucfg_lint.Diag.list_to_json [ d ])
+      else begin
+        Format.printf "%a@." Ucfg_lint.Diag.pp_report [ d ];
+        Printf.printf
+          "partial nodes explored: %d (approximate: scheduling-dependent \
+           under --jobs > 1)\n"
+          r.Search.nodes_explored
+      end;
+      exit 124
+    | None ->
+      if json then
+        Printf.printf
+          "{ \"minimal_size\": %s, \"nodes_explored\": %d, \
+           \"budget_exhausted\": %b }\n"
+          (match r.Search.minimal_size with
+           | Some s -> string_of_int s
+           | None -> "null")
+          r.Search.nodes_explored r.Search.budget_exhausted
+      else begin
+        (match r.Search.minimal_size, r.Search.witness with
+         | Some s, Some g ->
+           Printf.printf "minimal CNF size for L_%d: %d\n" n s;
+           print_endline (Grammar.to_string g)
+         | _ ->
+           Printf.printf "no grammar within caps%s\n"
+             (if r.Search.budget_exhausted then " (node budget exhausted)"
+              else ""));
+        Printf.printf "nodes explored: %d\n" r.Search.nodes_explored
+      end
+  in
+  let unambiguous_arg =
+    Arg.(
+      value & flag
+      & info [ "unambiguous" ] ~doc:"Restrict the search to uCFGs.")
+  in
+  let max_nonterminals_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "max-nonterminals" ] ~docv:"K" ~doc:"Nonterminal cap.")
+  in
+  let max_size_arg =
+    Arg.(
+      value & opt int 12
+      & info [ "max-size" ] ~docv:"S" ~doc:"Grammar size cap.")
+  in
+  let nodes_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "nodes" ] ~docv:"B"
+          ~doc:
+            "Deterministic search-node budget (default 3000000); distinct \
+             from the wall-clock/tick guard of $(b,--timeout)/$(b,--budget).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the result as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "search"
+       ~doc:
+         "Exhaustively search the smallest CNF grammar accepting exactly \
+          L_n.  Exponential: combine with --timeout/--budget for large n; \
+          an interrupted run reports its partial node count and exits 124.")
+    Term.(
+      const run $ common_term $ n_arg $ unambiguous_arg $ max_nonterminals_arg
+      $ max_size_arg $ nodes_arg $ json_arg)
 
 (* --- circuit ---------------------------------------------------------------- *)
 
@@ -384,15 +524,35 @@ let circuit_cmd =
   Cmd.v
     (Cmd.info "circuit"
        ~doc:"Boolean DNNF / d-DNNF circuits for the L_n predicate.")
-    Term.(const run $ jobs_term $ n_arg)
+    Term.(const run $ common_term $ n_arg)
 
 let main_cmd =
   let doc =
     "reproduction of 'A Lower Bound on Unambiguous Context Free Grammars via \
      Communication Complexity' (PODS 2025)"
   in
-  Cmd.group (Cmd.info "ucfg" ~version:"1.0.0" ~doc)
+  Cmd.group (Cmd.info "ucfg" ~version:"1.1.0" ~doc)
     [ separation_cmd; grammar_cmd; count_cmd; rectangles_cmd; bound_cmd;
-      csv_cmd; access_cmd; profile_cmd; intersect_cmd; lint_cmd; circuit_cmd ]
+      csv_cmd; access_cmd; profile_cmd; intersect_cmd; lint_cmd; circuit_cmd;
+      search_cmd ]
 
-let () = exit (Cmd.eval main_cmd)
+(* Exit codes: 0 success, 1 lint errors, 2 invalid input or usage,
+   124 resource-guard trip (GNU timeout convention).  [~catch:false] lets
+   library exceptions reach this handler so every failure mode renders as
+   a diagnostic instead of a backtrace; cmdliner's own cli_error (124)
+   would collide with the guard code, so usage errors are remapped to 2. *)
+let () =
+  let render d = Format.eprintf "%a@." Ucfg_lint.Diag.pp_report [ d ] in
+  let code =
+    try
+      let c = Cmd.eval ~catch:false main_cmd in
+      if c = Cmd.Exit.cli_error then 2 else c
+    with
+    | Ucfg_exec.Guard.Interrupt reason ->
+      render (interrupt_diag reason);
+      124
+    | Invalid_argument msg | Failure msg | Sys_error msg ->
+      render (input_diag msg);
+      2
+  in
+  exit code

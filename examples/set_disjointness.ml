@@ -64,7 +64,9 @@ let () =
        "ground truth: the minimum disjoint cover of L_2 by balanced ordered \
         rectangles has exactly %d rectangles\n" k
    | Cover_search.Budget_exhausted lb ->
-     Printf.printf "search exhausted; at least %d rectangles\n" lb);
+     Printf.printf "search exhausted; at least %d rectangles\n" lb
+   | Cover_search.Interrupted (lb, _) ->
+     Printf.printf "search interrupted; at least %d rectangles\n" lb);
 
   Printf.printf
     "\nand asymptotically (Proposition 16): any disjoint cover of L_n \

@@ -10,11 +10,11 @@ type verdict = {
   via : method_;
 }
 
-let check_by_counting ?max_len ?max_card g =
+let check_by_counting ?guard ?max_len ?max_card g =
   (* the exhaustive path: materialising the language dominates, and
      [Analysis.language] partitions its concatenation steps across the
      [Ucfg_exec] domain pool; the tree total is a cheap polynomial DP *)
-  let lang = Analysis.language_exn ?max_len ?max_card g in
+  let lang = Analysis.language_exn ?guard ?max_len ?max_card g in
   let word_count = Lang.cardinal lang in
   let total_trees = Analysis.count_trees_total g in
   let unambiguous = Bignum.equal total_trees (Bignum.of_int word_count) in
@@ -25,7 +25,7 @@ let check_by_counting ?max_len ?max_card g =
     via = Counting;
   }
 
-let check ?max_len ?max_card ?(fast = true) g =
+let check ?guard ?max_len ?max_card ?(fast = true) g =
   let g = Trim.trim g in
   if not (Analysis.has_finitely_many_trees g) then
     (* a trimmed grammar with a dependency cycle pumps parse trees;
@@ -54,10 +54,10 @@ let check ?max_len ?max_card ?(fast = true) g =
         word_count = None;
         via = Static_witness word;
       }
-    | Static.Unknown -> check_by_counting ?max_len ?max_card g
+    | Static.Unknown -> check_by_counting ?guard ?max_len ?max_card g
 
-let is_unambiguous ?max_len ?max_card ?fast g =
-  (check ?max_len ?max_card ?fast g).unambiguous
+let is_unambiguous ?guard ?max_len ?max_card ?fast g =
+  (check ?guard ?max_len ?max_card ?fast g).unambiguous
 
 type profile = {
   word_total : int;
@@ -207,8 +207,9 @@ module Census = struct
       |> List.iter (fun (w, c) -> f w c)
 end
 
-(* per-nonterminal census over the (acyclic) dependency graph *)
-let census g =
+(* per-nonterminal census over the (acyclic) dependency graph; the guard
+   is polled before every weighted concatenation, the quadratic step *)
+let census guard g =
   let counts = Array.make (Grammar.nonterminal_count g) (Census.empty ()) in
   List.iter
     (fun a ->
@@ -219,12 +220,14 @@ let census g =
                 List.fold_left
                   (fun acc sym ->
                      if Census.is_empty acc then acc
-                     else
+                     else begin
+                       Ucfg_exec.Guard.tick guard;
                        Census.concat acc
                          (match sym with
                           | Grammar.T c ->
                             Census.of_word (String.make 1 c) Bignum.one
-                          | Grammar.N b -> counts.(b)))
+                          | Grammar.N b -> counts.(b))
+                     end)
                   (Census.of_word "" Bignum.one)
                   rhs
               in
@@ -236,9 +239,14 @@ let census g =
     (Analysis.topological_order g);
   counts.(Grammar.start g)
 
-let profile ?max_len ?max_card g =
+let profile ?guard ?max_len ?max_card g =
+  let guard =
+    match guard with
+    | Some gd -> gd
+    | None -> Ucfg_exec.Exec.current_guard ()
+  in
   let g = Trim.trim g in
-  let lang = Analysis.language_exn ?max_len ?max_card g in
+  let lang = Analysis.language_exn ~guard ?max_len ?max_card g in
   if not (Analysis.has_finitely_many_trees g) then
     invalid_arg "Ambiguity.profile: infinitely many parse trees";
   let hist = Hashtbl.create 16 in
@@ -255,7 +263,7 @@ let profile ?max_len ?max_card g =
        let key = Bignum.to_string c in
        Hashtbl.replace hist key
          (1 + Option.value ~default:0 (Hashtbl.find_opt hist key)))
-    (census g);
+    (census guard g);
   let histogram =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) hist []
     |> List.sort (fun (a, _) (b, _) ->
@@ -268,7 +276,12 @@ let profile ?max_len ?max_card g =
     histogram;
   }
 
-let ambiguous_witness ?max_len ?max_card ?(fast = true) g =
+let ambiguous_witness ?guard ?max_len ?max_card ?(fast = true) g =
+  let guard =
+    match guard with
+    | Some gd -> gd
+    | None -> Ucfg_exec.Exec.current_guard ()
+  in
   let g = Trim.trim g in
   if not (Analysis.has_finitely_many_trees g) then
     invalid_arg "Ambiguity.ambiguous_witness: infinitely many parse trees"
@@ -277,13 +290,14 @@ let ambiguous_witness ?max_len ?max_card ?(fast = true) g =
     | Static.Ambiguous { word; _ } -> Some word
     | Static.Unambiguous -> None
     | Static.Unknown ->
-      let lang = Analysis.language_exn ?max_len ?max_card g in
+      let lang = Analysis.language_exn ~guard ?max_len ?max_card g in
       (* candidate words are scanned in parallel chunks; [parallel_find_map]
          returns the first hit in word order, matching the sequential scan.
          One compiled plan serves every candidate. *)
       let p = Count_word.plan g in
       Ucfg_exec.Exec.parallel_find_map
         (fun w ->
+           Ucfg_exec.Guard.tick guard;
            if Bignum.compare (Count_word.trees_with p w) Bignum.one > 0 then
              Some w
            else None)

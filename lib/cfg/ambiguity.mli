@@ -30,25 +30,31 @@ type verdict = {
   via : method_;
 }
 
-(** [check ?max_len ?max_card ?fast g] decides unambiguity of [g].
+(** [check ?guard ?max_len ?max_card ?fast g] decides unambiguity of [g].
     [fast] (default [true]) consults the static certificate and
     definite-ambiguity probe first and skips enumeration when conclusive.
+    [guard] (default {!Ucfg_exec.Exec.current_guard}) bounds the
+    enumeration; once it trips, {!Ucfg_exec.Guard.Interrupt} escapes.
     @raise Invalid_argument when the language is infinite or too large to
     materialise under the caps (see {!Analysis.language}), or when the
     trimmed grammar has a dependency cycle — in which case it has
     infinitely many parse trees and is trivially ambiguous on a finite
     language. *)
-val check : ?max_len:int -> ?max_card:int -> ?fast:bool -> Grammar.t -> verdict
+val check :
+  ?guard:Ucfg_exec.Guard.t ->
+  ?max_len:int -> ?max_card:int -> ?fast:bool -> Grammar.t -> verdict
 
 (** [is_unambiguous g] is [(check g).unambiguous]. *)
 val is_unambiguous :
+  ?guard:Ucfg_exec.Guard.t ->
   ?max_len:int -> ?max_card:int -> ?fast:bool -> Grammar.t -> bool
 
 (** [ambiguous_witness g] is some word with at least two parse trees, when
     one exists.  With [fast] (default [true]) the static probe's witness is
     returned when conclusive; otherwise found by per-word tree counting
-    over the language. *)
+    over the language (polling [guard] per candidate word). *)
 val ambiguous_witness :
+  ?guard:Ucfg_exec.Guard.t ->
   ?max_len:int -> ?max_card:int -> ?fast:bool -> Grammar.t -> string option
 
 type profile = {
@@ -62,6 +68,8 @@ type profile = {
 (** [profile g] measures the distribution of parse-tree counts over the
     words of a finite-language grammar — how ambiguous the grammar is,
     beyond the yes/no of {!check}.  Always exhaustive (the distribution
-    cannot be certified statically).  Same caps and exceptions as
-    {!check}. *)
-val profile : ?max_len:int -> ?max_card:int -> Grammar.t -> profile
+    cannot be certified statically).  Same caps, guard polling and
+    exceptions as {!check}. *)
+val profile :
+  ?guard:Ucfg_exec.Guard.t ->
+  ?max_len:int -> ?max_card:int -> Grammar.t -> profile

@@ -94,8 +94,13 @@ let topological_order g =
 (* below this many (u, v) pairs a concatenation step stays sequential *)
 let par_pair_threshold = 1 lsl 12
 
-let language_table ?(packed = true) ?(acyclic = false) ?(seeds = [||])
+let language_table ?guard ?(packed = true) ?(acyclic = false) ?(seeds = [||])
     ?(max_len = 64) ?(max_card = 2_000_000) g =
+  let guard =
+    match guard with
+    | Some gd -> gd
+    | None -> Ucfg_exec.Exec.current_guard ()
+  in
   let n = nonterminal_count g in
   let sets = Array.make n Lang.empty in
   (* a seeded nonterminal's denotation is pinned: its entry starts at the
@@ -126,6 +131,7 @@ let language_table ?(packed = true) ?(acyclic = false) ?(seeds = [||])
       let set =
         List.fold_left
           (fun out u ->
+             Ucfg_exec.Guard.tick guard;
              Lang.fold
                (fun v out ->
                   let w = u ^ v in
@@ -179,6 +185,7 @@ let language_table ?(packed = true) ?(acyclic = false) ?(seeds = [||])
       (seed (Lang.singleton "")) rhs
   in
   let apply_rule { lhs; rhs } =
+    Ucfg_exec.Guard.tick guard;
     if seeded lhs then false
     else begin
       let add = concat_all rhs in
@@ -205,6 +212,7 @@ let language_table ?(packed = true) ?(acyclic = false) ?(seeds = [||])
     else begin
       let changed = ref true in
       while !changed do
+        Ucfg_exec.Guard.check guard;
         changed := false;
         List.iter (fun r -> if apply_rule r then changed := true) (rules g)
       done
@@ -212,10 +220,10 @@ let language_table ?(packed = true) ?(acyclic = false) ?(seeds = [||])
     if !truncated then Error (`Length_exceeded max_len) else Ok sets
   with Overflowed o -> Error o
 
-let language ?packed ?acyclic ?seeds ?max_len ?max_card g =
+let language ?guard ?packed ?acyclic ?seeds ?max_len ?max_card g =
   Result.map
     (fun sets -> sets.(start g))
-    (language_table ?packed ?acyclic ?seeds ?max_len ?max_card g)
+    (language_table ?guard ?packed ?acyclic ?seeds ?max_len ?max_card g)
 
 let overflow_exn = function
   | Ok v -> v
@@ -224,11 +232,12 @@ let overflow_exn = function
   | Error (`Card_exceeded n) ->
     invalid_arg (Printf.sprintf "Analysis.language: more than %d words" n)
 
-let language_exn ?packed ?acyclic ?seeds ?max_len ?max_card g =
-  overflow_exn (language ?packed ?acyclic ?seeds ?max_len ?max_card g)
+let language_exn ?guard ?packed ?acyclic ?seeds ?max_len ?max_card g =
+  overflow_exn (language ?guard ?packed ?acyclic ?seeds ?max_len ?max_card g)
 
-let language_table_exn ?packed ?acyclic ?seeds ?max_len ?max_card g =
-  overflow_exn (language_table ?packed ?acyclic ?seeds ?max_len ?max_card g)
+let language_table_exn ?guard ?packed ?acyclic ?seeds ?max_len ?max_card g =
+  overflow_exn
+    (language_table ?guard ?packed ?acyclic ?seeds ?max_len ?max_card g)
 
 (* derives_nonempty.(a): a derives at least one word of length >= 1 *)
 let derives_nonempty g =

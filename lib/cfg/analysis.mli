@@ -35,32 +35,41 @@ type overflow = [ `Length_exceeded of int | `Card_exceeded of int ]
     [~acyclic:true] asserts that the dependency graph is acyclic (e.g. a
     length-annotated grammar) and skips the per-call SCC test that
     otherwise decides between the one-pass and the iterated fixpoint;
-    passing it on a cyclic grammar is unspecified. *)
+    passing it on a cyclic grammar is unspecified.
+
+    [~guard] (default {!Ucfg_exec.Exec.current_guard}) is polled at every
+    rule application and at every left word of a large concatenation, so a
+    deadline or budget interrupts the fixpoint promptly on every domain.
+    @raise Ucfg_exec.Guard.Interrupt once the guard trips. *)
 val language :
+  ?guard:Ucfg_exec.Guard.t ->
   ?packed:bool ->
   ?acyclic:bool ->
   ?seeds:Lang.t option array ->
   ?max_len:int -> ?max_card:int -> Grammar.t -> (Lang.t, overflow) result
 
-(** [language_exn ?packed ?acyclic ?seeds ?max_len ?max_card g] raises
-    [Invalid_argument] instead of returning [Error]. *)
+(** [language_exn ?guard ?packed ?acyclic ?seeds ?max_len ?max_card g]
+    raises [Invalid_argument] instead of returning [Error]. *)
 val language_exn :
+  ?guard:Ucfg_exec.Guard.t ->
   ?packed:bool ->
   ?acyclic:bool ->
   ?seeds:Lang.t option array ->
   ?max_len:int -> ?max_card:int -> Grammar.t -> Lang.t
 
-(** [language_table ?packed ?acyclic ?seeds ?max_len ?max_card g] is the
-    full per-nonterminal fixpoint table behind {!language} — [table.(i)]
+(** [language_table ?guard ?packed ?acyclic ?seeds ?max_len ?max_card g] is
+    the full per-nonterminal fixpoint table behind {!language} — [table.(i)]
     is the language of nonterminal [i] (seeded entries are returned as
     seeded). *)
 val language_table :
+  ?guard:Ucfg_exec.Guard.t ->
   ?packed:bool ->
   ?acyclic:bool ->
   ?seeds:Lang.t option array ->
   ?max_len:int -> ?max_card:int -> Grammar.t -> (Lang.t array, overflow) result
 
 val language_table_exn :
+  ?guard:Ucfg_exec.Guard.t ->
   ?packed:bool ->
   ?acyclic:bool ->
   ?seeds:Lang.t option array ->

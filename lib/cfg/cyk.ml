@@ -105,7 +105,7 @@ let add_i a b =
 let mul_i a b =
   if a > max_int / b then raise_notrace Int_overflow else a * b
 
-let build_counts_int idx w =
+let build_counts_int guard idx w =
   let n = String.length w in
   let counts =
     Array.init n (fun pos -> Array.init (n - pos) (fun _ -> Array.make idx.nn 0))
@@ -119,6 +119,7 @@ let build_counts_int idx w =
   done;
   for len = 2 to n do
     for pos = 0 to n - len do
+      Ucfg_exec.Guard.tick guard;
       let cell = counts.(pos).(len - 1) in
       for split = 1 to len - 1 do
         let left = counts.(pos).(split - 1) in
@@ -139,7 +140,7 @@ let build_counts_int idx w =
   done;
   counts
 
-let build_counts_big idx w =
+let build_counts_big guard idx w =
   let n = String.length w in
   let counts =
     Array.init n (fun pos ->
@@ -154,6 +155,7 @@ let build_counts_big idx w =
   done;
   for len = 2 to n do
     for pos = 0 to n - len do
+      Ucfg_exec.Guard.tick guard;
       let cell = counts.(pos).(len - 1) in
       for split = 1 to len - 1 do
         let left = counts.(pos).(split - 1) in
@@ -171,10 +173,12 @@ let build_counts_big idx w =
   counts
 
 let build_with idx g w =
+  (* the guard is polled once per DP cell, in either number system *)
+  let guard = Ucfg_exec.Exec.current_guard () in
   let counts =
-    match build_counts_int idx w with
+    match build_counts_int guard idx w with
     | c -> Ints c
-    | exception Int_overflow -> Bigs (build_counts_big idx w)
+    | exception Int_overflow -> Bigs (build_counts_big guard idx w)
   in
   { g; idx; w; counts }
 

@@ -1,7 +1,10 @@
 open Ucfg_rect
 module IntSet = Set.Make (Int)
 
-type outcome = Exact of int | Budget_exhausted of int
+type outcome =
+  | Exact of int
+  | Budget_exhausted of int
+  | Interrupted of int * Ucfg_exec.Guard.reason
 
 exception Out_of_budget
 
@@ -12,11 +15,17 @@ let rec subsets = function
     let s = subsets rest in
     s @ List.map (fun l -> x :: l) s
 
-let minimum ?(budget = 2_000_000) ~n target =
+let minimum ?guard ?(budget = 2_000_000) ~n target =
+  let guard =
+    match guard with
+    | Some gd -> gd
+    | None -> Ucfg_exec.Exec.current_guard ()
+  in
   let partitions = Partition.all_balanced ~n in
   let target_set = IntSet.of_list target in
   let nodes = ref 0 in
   let tick () =
+    Ucfg_exec.Guard.tick guard;
     incr nodes;
     if !nodes > budget then raise Out_of_budget
   in
@@ -88,7 +97,9 @@ let minimum ?(budget = 2_000_000) ~n target =
       in
       loop 1
     end
-  with Out_of_budget -> Budget_exhausted (!refuted + 1)
+  with
+  | Out_of_budget -> Budget_exhausted (!refuted + 1)
+  | Ucfg_exec.Guard.Interrupt r -> Interrupted (!refuted + 1, r)
 
-let minimum_ln ?budget n =
-  minimum ?budget ~n (List.of_seq (Ucfg_lang.Ln.codes n))
+let minimum_ln ?guard ?budget n =
+  minimum ?guard ?budget ~n (List.of_seq (Ucfg_lang.Ln.codes n))

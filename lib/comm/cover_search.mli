@@ -13,11 +13,16 @@ type outcome =
   | Budget_exhausted of int
       (** search aborted; the argument is a proven lower bound (all
           smaller sizes were refuted before the budget ran out) *)
+  | Interrupted of int * Ucfg_exec.Guard.reason
+      (** the guard tripped (deadline, tick budget or cancellation); the
+          argument is the same proven lower bound as above *)
 
-(** [minimum ~n target] — the target is a list of masks (words of length
-    [2n]); typically [L_n]'s codes.  [budget] caps the number of search
-    nodes (default [2_000_000]). *)
-val minimum : ?budget:int -> n:int -> int list -> outcome
+(** [minimum ?guard ~n target] — the target is a list of masks (words of
+    length [2n]); typically [L_n]'s codes.  [budget] caps the number of
+    search nodes (default [2_000_000]); [guard] (default
+    {!Ucfg_exec.Exec.current_guard}) is polled at every node and turns a
+    trip into [Interrupted] instead of raising. *)
+val minimum : ?guard:Ucfg_exec.Guard.t -> ?budget:int -> n:int -> int list -> outcome
 
-(** [minimum_ln ?budget n] — specialised to [L_n]. *)
-val minimum_ln : ?budget:int -> int -> outcome
+(** [minimum_ln ?guard ?budget n] — specialised to [L_n]. *)
+val minimum_ln : ?guard:Ucfg_exec.Guard.t -> ?budget:int -> int -> outcome

@@ -13,6 +13,7 @@ type grammar_search = {
   witness : G.t option;
   nodes_explored : int;
   budget_exhausted : bool;
+  interrupted : Ucfg_exec.Guard.reason option;
 }
 
 (* The search fans out over the top-level rule-set frontier: for each
@@ -46,9 +47,19 @@ let rec publish_rank terminal rank =
   if rank < cur && not (Atomic.compare_and_set terminal cur rank) then
     publish_rank terminal rank
 
-let minimal_cnf_size ?(unambiguous = false) ?(max_nonterminals = 3)
+let minimal_cnf_size ?guard ?(unambiguous = false) ?(max_nonterminals = 3)
     ?(max_size = 12) ?(budget = 3_000_000) alpha l =
   if Lang.mem "" l then invalid_arg "Search.minimal_cnf_size: ε not supported";
+  let guard =
+    match guard with
+    | Some gd -> gd
+    | None -> Ucfg_exec.Exec.current_guard ()
+  in
+  (* raw count of branch ticks across all domains — the partial progress
+     reported when the guard interrupts the search mid-level.  Unlike the
+     replayed [consumed] counter it is scheduling-dependent, and the
+     callers label it as approximate. *)
+  let explored = Atomic.make 0 in
   let max_word_len =
     List.fold_left max 0 (Lang.lengths l)
   in
@@ -78,18 +89,24 @@ let minimal_cnf_size ?(unambiguous = false) ?(max_nonterminals = 3)
   let accepts_exactly ~tick rules k =
     tick ();
     let g = G.make ~alphabet:alpha ~names:(names k) ~rules ~start:0 in
-    match Analysis.language ~max_len:max_word_len ~max_card:(4 * Lang.cardinal l + 16) g with
+    match
+      Analysis.language ~guard ~max_len:max_word_len
+        ~max_card:(4 * Lang.cardinal l + 16) g
+    with
     | Error _ -> false
     | Ok lg ->
       Lang.equal lg l
       && (not unambiguous
-          || (Analysis.has_finitely_many_trees g && Ambiguity.is_unambiguous g))
+          || (Analysis.has_finitely_many_trees g
+              && Ambiguity.is_unambiguous ~guard g))
   in
   (* all rule sets of cost exactly [s] over [universe] whose first rule is
      [first]; ticks are branch-local so the count is schedule-independent *)
   let run_branch ~k ~universe ~s ~cap ~terminal ~rank ~first () =
     let ticks = ref 0 in
     let tick () =
+      Ucfg_exec.Guard.tick guard;
+      Atomic.incr explored;
       if Atomic.get terminal < rank then raise Branch_cancelled;
       incr ticks;
       if !ticks > cap then raise Branch_capped
@@ -180,16 +197,23 @@ let minimal_cnf_size ?(unambiguous = false) ?(max_nonterminals = 3)
   let rec over_sizes s =
     if s > max_size then
       { minimal_size = None; witness = None; nodes_explored = !consumed;
-        budget_exhausted = false }
+        budget_exhausted = false; interrupted = None }
     else
       match run_level s with
       | Some g ->
         { minimal_size = Some s; witness = Some g; nodes_explored = !consumed;
-          budget_exhausted = false }
+          budget_exhausted = false; interrupted = None }
       | None when !out_of_budget ->
         (* the sequential counter raises the moment it passes the budget *)
         { minimal_size = None; witness = None; nodes_explored = budget + 1;
-          budget_exhausted = true }
+          budget_exhausted = true; interrupted = None }
       | None -> over_sizes (s + 1)
   in
-  over_sizes 1
+  (* a tripped guard unwinds every branch with the same root reason (the
+     pool reraises the first in frontier order); the partial node count is
+     what the cross-domain counter had seen by then *)
+  try over_sizes 1
+  with Ucfg_exec.Guard.Interrupt r ->
+    { minimal_size = None; witness = None;
+      nodes_explored = Atomic.get explored; budget_exhausted = false;
+      interrupted = Some r }

@@ -17,17 +17,31 @@ type grammar_search = {
       (** smallest CNF grammar size found, [None] if none within caps *)
   witness : Ucfg_cfg.Grammar.t option;
   nodes_explored : int;
+      (** deterministic at any job count on completed runs; on an
+          interrupted run, the approximate cross-domain tick count —
+          scheduling-dependent, report as partial progress *)
   budget_exhausted : bool;
+  interrupted : Ucfg_exec.Guard.reason option;
+      (** [Some r] when the ambient or explicit guard tripped mid-search:
+          the run is partial, [minimal_size]/[witness] are [None].  The
+          {e kind} of reason is jobs-invariant. *)
 }
 
-(** [minimal_cnf_size ?unambiguous ?max_nonterminals ?max_size ?budget
-    alpha l] searches for the smallest CNF grammar (rules [A -> a] of
-    size 1 and [A -> BC] of size 2) accepting exactly [l]; with
-    [unambiguous = true] (default false), restricts to uCFGs.
+(** [minimal_cnf_size ?guard ?unambiguous ?max_nonterminals ?max_size
+    ?budget alpha l] searches for the smallest CNF grammar (rules
+    [A -> a] of size 1 and [A -> BC] of size 2) accepting exactly [l];
+    with [unambiguous = true] (default false), restricts to uCFGs.
 
     Defaults: 3 nonterminals, size cap 12, budget 3 million nodes.
-    [l] must not contain [ε]. *)
+    [l] must not contain [ε].
+
+    [guard] (default {!Ucfg_exec.Exec.current_guard}) is polled at every
+    search node; when it trips, the search returns a partial record with
+    [interrupted = Some _] instead of raising.  The [?budget] node cap is
+    a separate, deterministic mechanism and reports through
+    [budget_exhausted] as before. *)
 val minimal_cnf_size :
+  ?guard:Ucfg_exec.Guard.t ->
   ?unambiguous:bool ->
   ?max_nonterminals:int ->
   ?max_size:int ->

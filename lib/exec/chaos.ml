@@ -1,0 +1,65 @@
+(* Deterministic fault injection, keyed on a submission-order ordinal.
+
+   The decision for a task is a pure function of (seed, ordinal): the
+   orchestrating domain assigns ordinals while enqueuing, so two runs with
+   the same seed and the same task sequence inject at the same points
+   regardless of how workers interleave. *)
+
+exception Injected_fault of int
+
+type config = { seed : int; rate : float }
+
+let env_var = "UCFG_CHAOS"
+
+let parse s =
+  match String.index_opt s ':' with
+  | None -> None
+  | Some i -> (
+    let seed = String.sub s 0 i
+    and rate = String.sub s (i + 1) (String.length s - i - 1) in
+    match (int_of_string_opt seed, float_of_string_opt rate) with
+    | Some seed, Some rate when rate >= 0. && rate <= 1. ->
+      Some { seed; rate }
+    | _ -> None)
+
+let state =
+  Atomic.make
+    (match Sys.getenv_opt env_var with None -> None | Some s -> parse s)
+
+let config () = Atomic.get state
+let set c = Atomic.set state c
+let enabled () = Option.is_some (config ())
+
+let counter = Atomic.make 0
+let faults = Atomic.make 0
+let delays = Atomic.make 0
+let faults_injected () = Atomic.get faults
+let delays_injected () = Atomic.get delays
+
+let draw () = if enabled () then Atomic.fetch_and_add counter 1 else 0
+
+(* splitmix mixing of seed and ordinal; one stream per task *)
+let decision { seed; rate } ord =
+  let rng = Ucfg_util.Rng.create (seed + (ord * 0x2545F4914F6CDD1D)) in
+  let r = Ucfg_util.Rng.float rng in
+  if r < rate then `Fault
+  else if r < 2. *. rate then `Delay (500 + Ucfg_util.Rng.int rng 4500)
+  else `Pass
+
+let burn spins =
+  for _ = 1 to spins do
+    Domain.cpu_relax ()
+  done
+
+let prelude ord =
+  match config () with
+  | None -> ()
+  | Some c -> (
+    match decision c ord with
+    | `Pass -> ()
+    | `Delay spins ->
+      Atomic.incr delays;
+      burn spins
+    | `Fault ->
+      Atomic.incr faults;
+      raise (Injected_fault ord))

@@ -1,0 +1,42 @@
+(** Seeded fault injection for pool tasks.
+
+    Enabled by [UCFG_CHAOS=<seed>:<rate>] (e.g. [UCFG_CHAOS=1066:0.1]) or
+    programmatically via {!set}.  Each parallel pool task draws a global
+    ordinal at submission time — submission order is deterministic, so the
+    injection schedule depends only on the seed and the task sequence, not
+    on domain scheduling — and with probability [rate] raises
+    {!Injected_fault} before the real thunk runs, or with the same
+    probability busy-delays to jitter the schedule.
+
+    Faults fire strictly {e before} the task body, so {!Pool.run_list}
+    repairs them deterministically: a slot killed by an injected fault (or
+    skipped because one cancelled its batch) is re-run in the caller, and
+    the full test suite stays green under [make chaos] while the capture,
+    cancellation and drain machinery gets exercised for real. *)
+
+exception Injected_fault of int  (** payload: the task ordinal *)
+
+type config = { seed : int; rate : float }
+
+(** Parsed from [UCFG_CHAOS] at startup; [None] when unset or malformed. *)
+val config : unit -> config option
+
+(** [set c] replaces the configuration (tests use this to switch chaos on
+    and off without the environment). *)
+val set : config option -> unit
+
+val enabled : unit -> bool
+
+(** [draw ()] assigns the next task ordinal.  Cheap no-op result [0] when
+    disabled. *)
+val draw : unit -> int
+
+(** [prelude ord] runs the injection decision for task [ord]: possibly
+    busy-delays, possibly raises.  @raise Injected_fault *)
+val prelude : int -> unit
+
+(** Total faults actually raised / delays actually injected since start —
+    the chaos tests assert these grew, proving the harness ran. *)
+val faults_injected : unit -> int
+
+val delays_injected : unit -> int

@@ -41,6 +41,24 @@ let () =
       Option.iter Pool.shutdown !pool_ref;
       pool_ref := None)
 
+(* --- ambient guard ------------------------------------------------------- *)
+
+(* The process-wide resource guard, defaulting to the never-trips
+   [Guard.unlimited].  Library entry points take an optional [?guard] and
+   fall back to this, so the CLI installs one guard per invocation
+   ([--timeout]/[--budget]) and every layer below polls it without any
+   plumbing.  Installed before work is fanned out and read through an
+   Atomic, so worker domains always observe it. *)
+let guard_state = Atomic.make Guard.unlimited
+
+let current_guard () = Atomic.get guard_state
+let set_guard g = Atomic.set guard_state g
+
+let with_guard g f =
+  let saved = current_guard () in
+  set_guard g;
+  Fun.protect ~finally:(fun () -> set_guard saved) f
+
 let run_list thunks = Pool.run_list (pool ()) thunks
 let parallel_map f xs = Pool.map (pool ()) f xs
 

@@ -1,0 +1,109 @@
+(* Cooperative resource governance shared across domains.
+
+   The tripped flag is the single source of truth: whichever domain first
+   observes an exhausted resource CASes the reason in, and every later
+   poll — on any domain — raises [Interrupt] with that recorded root
+   reason.  That makes the *kind* of outcome jobs-invariant even though
+   which domain trips first, and how many ticks were consumed by then, are
+   scheduling-dependent. *)
+
+type reason = Timeout | Budget | Cancel
+
+exception Interrupt of reason
+
+type t = {
+  deadline : float option;  (* absolute Unix.gettimeofday *)
+  budget : int option;
+  active : bool;  (* skip counting and clock reads when nothing can trip *)
+  ticks : int Atomic.t;
+  tripped : reason option Atomic.t;
+}
+
+let unlimited =
+  {
+    deadline = None;
+    budget = None;
+    active = false;
+    ticks = Atomic.make 0;
+    tripped = Atomic.make None;
+  }
+
+let create ?timeout ?budget () =
+  {
+    deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout;
+    budget;
+    active = budget <> None || timeout <> None;
+    ticks = Atomic.make 0;
+    tripped = Atomic.make None;
+  }
+
+(* first reason in wins; losers re-read the winner below *)
+let trip t r = ignore (Atomic.compare_and_set t.tripped None (Some r))
+
+let fail t r =
+  trip t r;
+  match Atomic.get t.tripped with
+  | Some r -> raise (Interrupt r)
+  | None -> assert false
+
+let raise_if_tripped t =
+  match Atomic.get t.tripped with
+  | Some r -> raise (Interrupt r)
+  | None -> ()
+
+(* reading the clock on every tick would dominate tight loops; every 64th
+   tick keeps the deadline precision well under the ~2 s CLI requirement
+   because the governed loops all tick at sub-millisecond granularity *)
+let clock_mask = 63
+
+let over_deadline t =
+  match t.deadline with
+  | Some d -> Unix.gettimeofday () > d
+  | None -> false
+
+let tick t =
+  raise_if_tripped t;
+  if t.active then begin
+    let n = Atomic.fetch_and_add t.ticks 1 + 1 in
+    (match t.budget with
+     | Some b when n > b -> fail t Budget
+     | Some _ | None -> ());
+    if n land clock_mask = 1 && over_deadline t then fail t Timeout
+  end
+
+let check t =
+  raise_if_tripped t;
+  if over_deadline t then fail t Timeout
+
+let cancel t = if t != unlimited then trip t Cancel
+let tripped t = Atomic.get t.tripped
+let ticks t = Atomic.get t.ticks
+
+type ('a, 'p) outcome =
+  | Done of 'a
+  | Timed_out of 'p
+  | Budget_exhausted of 'p
+  | Cancelled of 'p
+
+let capture t ~partial f =
+  match f () with
+  | v -> Done v
+  | exception Interrupt r ->
+    (* make sure the guard is tripped for any still-running siblings even
+       if the interrupt came from a nested guard-free raise *)
+    trip t r;
+    let p = partial () in
+    (match r with
+     | Timeout -> Timed_out p
+     | Budget -> Budget_exhausted p
+     | Cancel -> Cancelled p)
+
+let reason_code = function
+  | Timeout -> "timeout"
+  | Budget -> "budget"
+  | Cancel -> "cancelled"
+
+let describe = function
+  | Timeout -> "wall-clock deadline exceeded"
+  | Budget -> "tick budget exhausted"
+  | Cancel -> "cancelled"

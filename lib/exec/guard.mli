@@ -1,0 +1,80 @@
+(** Cooperative resource governance: deadlines, tick budgets, cancellation.
+
+    OCaml domains cannot be killed from the outside, so every bound here is
+    {e cooperative}: a [Guard.t] is a small record shared across domains,
+    and long-running loops poll it at iteration boundaries via {!tick} (or
+    {!check} when the iteration should not consume budget).  The first
+    domain to observe an exhausted resource records the reason with a
+    compare-and-set — so the {e kind} of outcome is identical at any job
+    count — and every subsequent poll on any domain raises {!Interrupt}
+    with that same root reason, draining sibling work promptly.
+
+    A guard with neither deadline nor budget ({!unlimited}, the ambient
+    default installed by {!Exec.current_guard}) never trips and its [tick]
+    is a single uncontended atomic read, so ungoverned runs stay
+    byte-identical to the pre-guard pipeline. *)
+
+(** Why a computation was interrupted. *)
+type reason =
+  | Timeout  (** the wall-clock deadline passed *)
+  | Budget  (** the monotonic tick budget was exhausted *)
+  | Cancel  (** {!cancel} was called (first task failure, user abort) *)
+
+(** Raised by {!tick}/{!check} once the guard has tripped.  Library entry
+    points either let it escape to a single top-level handler (the CLI
+    renders it as a diagnostic and exits 124) or catch it and return a
+    structured {!outcome} with partial progress. *)
+exception Interrupt of reason
+
+type t
+
+(** The shared never-trips guard.  [cancel unlimited] is a no-op: the
+    ambient default must not be poisonable. *)
+val unlimited : t
+
+(** [create ?timeout ?budget ()] is a fresh guard.  [timeout] is seconds of
+    wall clock from now; [budget] a total number of {!tick}s across all
+    domains.  With neither, the guard only trips via {!cancel}. *)
+val create : ?timeout:float -> ?budget:int -> unit -> t
+
+(** [tick t] consumes one unit of budget and polls.  The wall clock is read
+    every 64th tick (and on the first); a tripped flag is observed on every
+    call.  @raise Interrupt once tripped. *)
+val tick : t -> unit
+
+(** [check t] polls without consuming budget: the tripped flag always, the
+    deadline on every call.  For coarse loop heads.
+    @raise Interrupt once tripped. *)
+val check : t -> unit
+
+(** [cancel t] trips [t] with {!Cancel} if it has not already tripped.
+    Safe from any domain; no-op on {!unlimited}. *)
+val cancel : t -> unit
+
+(** [tripped t] is the recorded root reason, if any, without raising. *)
+val tripped : t -> reason option
+
+(** [ticks t] is the total ticks consumed so far.  Under parallelism this
+    is a live cross-domain counter: monotonic, but its exact value at trip
+    time is scheduling-dependent — report it as approximate. *)
+val ticks : t -> int
+
+(** Structured result of a governed computation: ['a] on completion, a
+    partial ['p] otherwise. *)
+type ('a, 'p) outcome =
+  | Done of 'a
+  | Timed_out of 'p
+  | Budget_exhausted of 'p
+  | Cancelled of 'p
+
+(** [capture t ~partial f] runs [f ()], mapping a normal return to [Done]
+    and an {!Interrupt} from [t] into the matching partial outcome
+    (evaluating [partial ()] after the interrupt). *)
+val capture : t -> partial:(unit -> 'p) -> (unit -> 'a) -> ('a, 'p) outcome
+
+(** [reason_code r] is a stable machine-readable slug: ["timeout"],
+    ["budget"], ["cancelled"]. *)
+val reason_code : reason -> string
+
+(** [describe r] is a human-readable sentence fragment for diagnostics. *)
+val describe : reason -> string

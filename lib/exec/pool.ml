@@ -15,7 +15,16 @@
 
    Consequently [map]/[map_reduce]/[find_map] return bit-identical values
    for every job count, which is what the UCFG_JOBS=1 vs UCFG_JOBS=4
-   determinism gate in CI checks end to end. *)
+   determinism gate in CI checks end to end.
+
+   Failure additionally cancels the rest of the batch: once some slot has
+   recorded an exception, queued slots with a *larger* list index skip
+   their body, so sibling work drains promptly instead of running to
+   completion — the reraised exception is the first in list order either
+   way, exactly as in the sequential path.  Under [Chaos] injection the
+   settlement pass repairs injected faults by re-running the affected
+   slots in the caller, which keeps results deterministic while the
+   capture/cancel/drain machinery gets exercised for real. *)
 
 type t = {
   jobs : int;  (* parallelism degree; <= 1 means no workers were spawned *)
@@ -55,7 +64,10 @@ let rec worker_loop pool =
   | None -> Mutex.unlock pool.lock
   | Some job ->
     Mutex.unlock pool.lock;
-    job ();
+    (* jobs catch everything around the user thunk by construction; the
+       belt-and-braces handler means no exception can ever kill a worker
+       domain and silently leak pool capacity *)
+    (try job () with _ -> ());
     worker_loop pool
 
 let create ?jobs () =
@@ -90,6 +102,12 @@ let shutdown pool =
 
 let sequential thunks = List.map (fun f -> f ()) thunks
 
+(* CAS-min: record [rank] if it is smaller than what is already there *)
+let rec note_min cell rank =
+  let cur = Atomic.get cell in
+  if rank < cur && not (Atomic.compare_and_set cell cur rank) then
+    note_min cell rank
+
 let run_list pool thunks =
   match thunks with
   | [] -> []
@@ -100,17 +118,26 @@ let run_list pool thunks =
     let n = Array.length thunks in
     let results = Array.make n None in
     let failures = Array.make n None in
+    (* lowest list index that has failed; queued slots with a larger index
+       skip their body so the batch drains promptly after a failure *)
+    let failed_rank = Atomic.make max_int in
     let remaining = ref n in
     let all_done = Condition.create () in
     Mutex.lock pool.lock;
     Array.iteri
       (fun i f ->
+         let ord = Chaos.draw () in
          Queue.add
            (fun () ->
-              (match f () with
-               | v -> results.(i) <- Some v
-               | exception e ->
-                 failures.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+              (if Atomic.get failed_rank > i then
+                 match
+                   Chaos.prelude ord;
+                   f ()
+                 with
+                 | v -> results.(i) <- Some v
+                 | exception e ->
+                   failures.(i) <- Some (e, Printexc.get_raw_backtrace ());
+                   note_min failed_rank i);
               Mutex.lock pool.lock;
               decr remaining;
               if !remaining = 0 then Condition.broadcast all_done;
@@ -122,14 +149,28 @@ let run_list pool thunks =
       Condition.wait all_done pool.lock
     done;
     Mutex.unlock pool.lock;
-    (* slot writes happen before the counter decrement under the pool lock,
+    (* Slot writes happen before the counter decrement under the pool lock,
        and we read after observing zero under the same lock, so the arrays
-       are safely published.  First failure in list order wins. *)
-    Array.iter
-      (function
-        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-        | None -> ())
-      failures;
+       are safely published.  Settle in list order: the first *real*
+       failure is re-raised exactly as the sequential path would raise it;
+       a slot killed by an injected chaos fault, or skipped because an
+       earlier (repaired) failure cancelled the batch, is re-run in the
+       caller.  Without chaos no slot is ever re-run: a skipped slot always
+       sits behind a recorded real failure, which raises first. *)
+    let rec settle i =
+      if i < n then begin
+        (match failures.(i) with
+         | Some (Chaos.Injected_fault _, _) ->
+           results.(i) <- Some (thunks.(i) ())
+         | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+         | None -> (
+           match results.(i) with
+           | Some _ -> ()
+           | None -> results.(i) <- Some (thunks.(i) ())));
+        settle (i + 1)
+      end
+    in
+    settle 0;
     Array.to_list
       (Array.map (function Some v -> v | None -> assert false) results)
 
@@ -194,11 +235,6 @@ let map_reduce pool ~map:fm ~reduce init xs =
     |> run_list pool
     |> List.fold_left reduce init
 
-let rec note_winner winner rank =
-  let cur = Atomic.get winner in
-  if rank < cur && not (Atomic.compare_and_set winner cur rank) then
-    note_winner winner rank
-
 (* first [Some] in list order, like [List.find_map].  Chunks later than an
    already-successful chunk abort early; a chunk only aborts when a
    *strictly earlier* chunk has found a hit, so the chunk whose result is
@@ -217,7 +253,7 @@ let find_map pool f xs =
           | x :: rest ->
             (match f x with
              | Some v ->
-               note_winner winner rank;
+               note_min winner rank;
                Some v
              | None -> go rest)
         in

@@ -1,6 +1,11 @@
 open Ucfg_word
 open Ucfg_lang
 module Exec = Ucfg_exec.Exec
+module Guard = Ucfg_exec.Guard
+
+let ambient = function
+  | Some gd -> gd
+  | None -> Exec.current_guard ()
 
 type verification = {
   is_cover : bool;
@@ -51,8 +56,8 @@ let merge_union a b =
   if !k = la + lb then out else Array.sub out 0 !k
 
 (* balanced merge rounds; each round's pairwise merges fan out over the
-   pool (ordered, hence jobs-invariant) *)
-let rec merge_all = function
+   pool (ordered, hence jobs-invariant); the guard is polled per merge *)
+let rec merge_all guard = function
   | [] -> [||]
   | [ a ] -> a
   | arrays ->
@@ -61,7 +66,12 @@ let rec merge_all = function
       | [ a ] -> [ (a, [||]) ]
       | [] -> []
     in
-    merge_all (Exec.parallel_map (fun (a, b) -> merge_union a b) (pair arrays))
+    merge_all guard
+      (Exec.parallel_map
+         (fun (a, b) ->
+            Guard.tick guard;
+            merge_union a b)
+         (pair arrays))
 
 let diff_sorted a b =
   let la = Array.length a and lb = Array.length b in
@@ -108,12 +118,21 @@ let pack_rects rects lang =
     in
     Option.map (fun prs -> (prs, lc)) (pack [] rects)
 
-let verify ?(packed = true) rects lang =
+let verify ?guard ?(packed = true) rects lang =
+  let guard = ambient guard in
   match if packed then pack_rects rects lang else None with
-  | None -> verify_sets rects lang
+  | None ->
+    Guard.check guard;
+    verify_sets rects lang
   | Some (prs, lang_codes) ->
-    let per_rect = Exec.parallel_map Packed_rectangle.codes prs in
-    let union = merge_all per_rect in
+    let per_rect =
+      Exec.parallel_map
+        (fun pr ->
+           Guard.tick guard;
+           Packed_rectangle.codes pr)
+        prs
+    in
+    let union = merge_all guard per_rect in
     let sum_cardinals =
       Ucfg_util.Prelude.sum_int (List.map Packed_rectangle.cardinal prs)
     in
@@ -145,7 +164,7 @@ let balanced_splits len =
 (* ------------------------------------------------------------------ *)
 (* Greedy cover, set baseline (pre-kernel implementation). *)
 
-let greedy_sets l ~n =
+let greedy_sets guard l ~n =
   let len = 2 * n in
   if not (Lang.for_all (fun w -> String.length w = len) l) then
     invalid_arg "Cover.greedy_disjoint_cover: words must have length 2n";
@@ -157,6 +176,7 @@ let greedy_sets l ~n =
   let best_rectangle remaining w =
     List.fold_left
       (fun best ((n1, n2) as split) ->
+         Guard.tick guard;
          (* middles available for each outer *)
          let by_outer = Hashtbl.create 64 in
          Lang.iter
@@ -183,6 +203,7 @@ let greedy_sets l ~n =
       None splits
   in
   let rec go remaining acc =
+    Guard.check guard;
     match Lang.choose_opt remaining with
     | None -> List.rev acc
     | Some w ->
@@ -212,9 +233,10 @@ let subset_sorted small big =
   in
   ls <= lb && go 0 0
 
-let greedy_packed codes ~len =
+let greedy_packed guard codes ~len =
   let splits = balanced_splits len in
   let build remaining w0 (n1, n2) =
+    Guard.tick guard;
     let n3 = len - n1 - n2 in
     let m2 = (1 lsl n2) - 1 and m3 = (1 lsl n3) - 1 in
     let outer_of c = ((c lsr (n2 + n3)) lsl n3) lor (c land m3) in
@@ -254,6 +276,7 @@ let greedy_packed codes ~len =
     }
   in
   let rec go remaining acc =
+    Guard.check guard;
     if Array.length remaining = 0 then List.rev acc
     else begin
       let w0 = remaining.(0) in
@@ -278,7 +301,8 @@ let greedy_packed codes ~len =
   in
   go codes []
 
-let greedy_disjoint_cover ?(packed = true) l ~n =
+let greedy_disjoint_cover ?guard ?(packed = true) l ~n =
+  let guard = ambient guard in
   let len = 2 * n in
   let packed_codes =
     if not packed then None
@@ -292,5 +316,5 @@ let greedy_disjoint_cover ?(packed = true) l ~n =
       | None -> None
   in
   match packed_codes with
-  | Some codes -> greedy_packed codes ~len
-  | None -> greedy_sets l ~n
+  | Some codes -> greedy_packed guard codes ~len
+  | None -> greedy_sets guard l ~n

@@ -21,8 +21,12 @@ type verification = {
     pool; output is jobs-invariant) and disjointness is the
     [Σ|R_i| = |∪ R_i|] arithmetic; otherwise — or with [~packed:false],
     the benchmarking escape hatch — everything is materialised as string
-    sets.  Both paths produce the same record. *)
-val verify : ?packed:bool -> Rectangle.t list -> Lang.t -> verification
+    sets.  Both paths produce the same record.  [guard] (default
+    {!Ucfg_exec.Exec.current_guard}) is polled per merge;
+    @raise Ucfg_exec.Guard.Interrupt once it trips. *)
+val verify :
+  ?guard:Ucfg_exec.Guard.t ->
+  ?packed:bool -> Rectangle.t list -> Lang.t -> verification
 
 (** [all_balanced rects] — every rectangle is balanced. *)
 val all_balanced : Rectangle.t list -> bool
@@ -41,5 +45,8 @@ val singleton_cover : Lang.t -> n1:int -> n2:int -> Rectangle.t list
     for the minimum disjoint cover).  On packable languages the remaining
     words live as a sorted code array and the per-split rectangle builds
     fan out over the pool; [~packed:false] keeps the set baseline.  Both
-    paths pick identical rectangles. *)
-val greedy_disjoint_cover : ?packed:bool -> Lang.t -> n:int -> Rectangle.t list
+    paths pick identical rectangles.  [guard] is polled per greedy round
+    and per split build; @raise Ucfg_exec.Guard.Interrupt once it trips. *)
+val greedy_disjoint_cover :
+  ?guard:Ucfg_exec.Guard.t ->
+  ?packed:bool -> Lang.t -> n:int -> Rectangle.t list

@@ -10,7 +10,12 @@ type result = {
   bound : int;
 }
 
-let run g =
+let run ?guard g =
+  let guard =
+    match guard with
+    | Some gd -> gd
+    | None -> Ucfg_exec.Exec.current_guard ()
+  in
   let cnf = Cnf.ensure g in
   let ann = Length_annotate.annotate g in
   let n = ann.Length_annotate.word_length in
@@ -106,6 +111,9 @@ let run g =
   let current = ref (G.make ~alphabet ~names ~rules:!rules ~start) in
   let continue_ = ref true in
   while !continue_ do
+    (* one poll per delete-trim-repeat round; the fixpoint below polls the
+       same guard at every rule application *)
+    Ucfg_exec.Guard.tick guard;
     match Analysis.witness_tree !current start with
     | None -> continue_ := false
     | Some tree ->
@@ -134,7 +142,7 @@ let run g =
       (* the annotated grammar is acyclic (finitely many trees) and stays
          so as rules are deleted *)
       let table =
-        Analysis.language_table_exn ~acyclic:true ~seeds:cache !current
+        Analysis.language_table_exn ~guard ~acyclic:true ~seeds:cache !current
       in
       Array.iteri (fun i l -> cache.(i) <- Some l) table;
       let middle = table.(a_i) in

@@ -27,11 +27,14 @@ type result = {
   bound : int;  (** the paper's guarantee [N·|G|] *)
 }
 
-(** [run g] executes the extraction.
+(** [run g] executes the extraction.  [guard] (default
+    {!Ucfg_exec.Exec.current_guard}) is polled once per delete-trim-repeat
+    round and throughout the seeded fixpoints.
     @raise Invalid_argument when the language of [g] is empty, not of
     fixed word length, or of word length < 2 (no balanced split
-    exists). *)
-val run : Ucfg_cfg.Grammar.t -> result
+    exists).
+    @raise Ucfg_exec.Guard.Interrupt once the guard trips. *)
+val run : ?guard:Ucfg_exec.Guard.t -> Ucfg_cfg.Grammar.t -> result
 
 (** [verify g res] checks the Proposition 7 guarantees against [g]'s
     materialised language: cover, balancedness, count within bound, and

@@ -166,6 +166,7 @@ let test_cover_search_l2 () =
       true
       (k >= 2 && k <= greedy)
   | Cover_search.Budget_exhausted _ -> Alcotest.fail "n=2 should be exact"
+  | Cover_search.Interrupted _ -> Alcotest.fail "n=2 should not interrupt"
 
 let test_cover_search_trivial () =
   (* a rectangle needs exactly one rectangle *)
@@ -179,6 +180,7 @@ let test_cover_search_trivial () =
   | Cover_search.Exact 1 -> ()
   | Cover_search.Exact k -> Alcotest.failf "expected 1 rectangle, got %d" k
   | Cover_search.Budget_exhausted _ -> Alcotest.fail "budget"
+  | Cover_search.Interrupted _ -> Alcotest.fail "interrupted"
 
 let () =
   Alcotest.run "ucfg_comm"

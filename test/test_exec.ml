@@ -185,6 +185,178 @@ let test_search_jobs_invariant () =
          true (r1 = r4))
     cases
 
+(* --- resource guard ---------------------------------------------------- *)
+
+let test_guard_timeout_interrupts_search () =
+  (* the n=3 search space is hours deep: a 0.2 s deadline must interrupt
+     it promptly at any job count, with the same outcome kind *)
+  List.iter
+    (fun jobs ->
+       let t0 = Unix.gettimeofday () in
+       let r =
+         with_global_jobs jobs (fun () ->
+             Search.minimal_cnf_size
+               ~guard:(Guard.create ~timeout:0.2 ())
+               Alphabet.binary (Ln.language 3))
+       in
+       let elapsed = Unix.gettimeofday () -. t0 in
+       Alcotest.(check bool)
+         (Printf.sprintf "interrupted by timeout, jobs=%d" jobs)
+         true
+         (r.Search.interrupted = Some Guard.Timeout);
+       Alcotest.(check bool)
+         (Printf.sprintf "no verdict on a partial run, jobs=%d" jobs)
+         true
+         (r.Search.minimal_size = None && r.Search.witness = None);
+       Alcotest.(check bool)
+         (Printf.sprintf "partial progress reported, jobs=%d" jobs)
+         true (r.Search.nodes_explored > 0);
+       Alcotest.(check bool)
+         (Printf.sprintf "prompt cooperative stop (%.2fs), jobs=%d" elapsed
+            jobs)
+         true (elapsed < 2.0))
+    [ 1; 4 ]
+
+let test_guard_budget_interrupts_search () =
+  List.iter
+    (fun jobs ->
+       let r =
+         with_global_jobs jobs (fun () ->
+             Search.minimal_cnf_size
+               ~guard:(Guard.create ~budget:5_000 ())
+               Alphabet.binary (Ln.language 3))
+       in
+       Alcotest.(check bool)
+         (Printf.sprintf "interrupted by budget, jobs=%d" jobs)
+         true
+         (r.Search.interrupted = Some Guard.Budget))
+    [ 1; 4 ]
+
+let test_guard_capture_outcomes () =
+  (* benign run *)
+  let g = Guard.create ~budget:1_000 () in
+  (match Guard.capture g ~partial:(fun () -> -1) (fun () -> 42) with
+   | Guard.Done 42 -> ()
+   | _ -> Alcotest.fail "expected Done 42");
+  (* cancellation observed at the next poll, partial evaluated after *)
+  let g = Guard.create () in
+  let progress = ref 0 in
+  (match
+     Guard.capture g
+       ~partial:(fun () -> !progress)
+       (fun () ->
+          progress := 7;
+          Guard.cancel g;
+          Guard.tick g;
+          0)
+   with
+   | Guard.Cancelled 7 -> ()
+   | _ -> Alcotest.fail "expected Cancelled 7");
+  (* a budget guard maps to Budget_exhausted *)
+  let g = Guard.create ~budget:10 () in
+  (match
+     Guard.capture g
+       ~partial:(fun () -> ())
+       (fun () ->
+          while true do
+            Guard.tick g
+          done)
+   with
+   | Guard.Budget_exhausted () -> ()
+   | _ -> Alcotest.fail "expected Budget_exhausted");
+  (* the ambient unlimited guard must not be poisonable *)
+  Guard.cancel Guard.unlimited;
+  Guard.tick Guard.unlimited;
+  Alcotest.(check bool) "unlimited never trips" true
+    (Guard.tripped Guard.unlimited = None)
+
+let test_guard_outcome_kind_jobs_invariant () =
+  (* first-trip-wins CAS: whichever domain trips first, the recorded root
+     reason — and hence the surfaced outcome kind — is the same *)
+  let kind jobs =
+    let r =
+      with_global_jobs jobs (fun () ->
+          Search.minimal_cnf_size
+            ~guard:(Guard.create ~budget:2_000 ~timeout:60.0 ())
+            Alphabet.binary (Ln.language 3))
+    in
+    r.Search.interrupted
+  in
+  Alcotest.(check bool) "jobs=1 and jobs=4 agree on the reason kind" true
+    (kind 1 = kind 4 && kind 1 = Some Guard.Budget)
+
+(* --- chaos harness ------------------------------------------------------ *)
+
+let with_chaos cfg f =
+  let saved = Chaos.config () in
+  Chaos.set (Some cfg);
+  Fun.protect ~finally:(fun () -> Chaos.set saved) f
+
+let test_chaos_pure_batches_repaired () =
+  (* injected faults fire before the task body, so run_list re-runs the
+     slot in the caller: results must be exactly the sequential ones *)
+  with_chaos { Chaos.seed = 1066; rate = 0.3 } (fun () ->
+      let faults0 = Chaos.faults_injected () in
+      with_pool 4 (fun p ->
+          List.iter
+            (fun n ->
+               let xs = List.init n Fun.id in
+               let f x = (x * 17) + 1 in
+               Alcotest.(check (list int))
+                 (Printf.sprintf "chaotic map of %d" n)
+                 (List.map f xs) (Pool.map p f xs))
+            [ 10; 40; 100; 100; 100; 100 ]);
+      Alcotest.(check bool) "the harness actually injected faults" true
+        (Chaos.faults_injected () > faults0))
+
+let test_chaos_first_error_deterministic () =
+  (* real failures must still surface as the first in submission order,
+     and not be masked (or reordered) by injected ones *)
+  with_chaos { Chaos.seed = 7; rate = 0.3 } (fun () ->
+      with_pool 4 (fun p ->
+          for _ = 1 to 5 do
+            let f x = if x mod 5 = 3 then raise (Boom x) else x in
+            match Pool.map p f (List.init 60 Fun.id) with
+            | _ -> Alcotest.fail "expected Boom 3"
+            | exception Boom got ->
+              Alcotest.(check int) "first failure in list order" 3 got
+          done))
+
+let test_pool_reusable_after_failures () =
+  (* regression for the drain logic: a batch that fails must leave the
+     pool able to run the next batch — with and without chaos, and the
+     follow-up batch must be clean *)
+  let exercise () =
+    with_pool 4 (fun p ->
+        for round = 1 to 3 do
+          (match
+             Pool.run_list p
+               (List.init 40 (fun i () ->
+                    if i = 11 then raise (Boom i) else i))
+           with
+           | _ -> Alcotest.fail "expected Boom 11"
+           | exception Boom got ->
+             Alcotest.(check int)
+               (Printf.sprintf "round %d failure" round)
+               11 got);
+          Alcotest.(check (list int))
+            (Printf.sprintf "round %d clean follow-up" round)
+            (List.init 40 (fun i -> i * i))
+            (Pool.run_list p (List.init 40 (fun i () -> i * i)))
+        done)
+  in
+  exercise ();
+  with_chaos { Chaos.seed = 2025; rate = 0.2 } exercise
+
+let test_chaos_consumers_unchanged () =
+  (* a governed end-to-end consumer under chaos: same verdicts as without *)
+  let g = Constructions.log_cfg 5 in
+  let reference = Analysis.language_exn g in
+  with_chaos { Chaos.seed = 3; rate = 0.1 } (fun () ->
+      with_global_jobs 4 (fun () ->
+          Alcotest.check lang_testable "L_5 under chaos" reference
+            (Analysis.language_exn g)))
+
 let test_search_budget_replay () =
   (* the budget-exhausted verdict must report the sequential node count *)
   let r =
@@ -223,4 +395,26 @@ let () =
         ]
         @ List.map QCheck_alcotest.to_alcotest
           [ prop_ambiguity_check_jobs_invariant ] );
+      ( "guard",
+        [
+          Alcotest.test_case "timeout interrupts the search" `Quick
+            test_guard_timeout_interrupts_search;
+          Alcotest.test_case "budget interrupts the search" `Quick
+            test_guard_budget_interrupts_search;
+          Alcotest.test_case "capture maps outcomes" `Quick
+            test_guard_capture_outcomes;
+          Alcotest.test_case "outcome kind is jobs-invariant" `Quick
+            test_guard_outcome_kind_jobs_invariant;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "pure batches repaired" `Quick
+            test_chaos_pure_batches_repaired;
+          Alcotest.test_case "first error deterministic" `Quick
+            test_chaos_first_error_deterministic;
+          Alcotest.test_case "pool reusable after failures" `Quick
+            test_pool_reusable_after_failures;
+          Alcotest.test_case "consumers unchanged" `Quick
+            test_chaos_consumers_unchanged;
+        ] );
     ]

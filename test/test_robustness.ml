@@ -1,0 +1,140 @@
+(* Graceful-degradation boundaries: each accelerated representation must
+   hand over to its general fallback exactly at its documented limit, with
+   no observable difference — the packed word backend at
+   [Packed.max_length], [Lang.add] falling back from packed to sets, and
+   the CYK kernel escaping from int to Bignum counters (here additionally
+   under fault injection). *)
+
+open Ucfg_word
+open Ucfg_lang
+open Ucfg_cfg
+open Ucfg_exec
+module Bignum = Ucfg_util.Bignum
+
+let lang_testable = Alcotest.testable Lang.pp Lang.equal
+
+let with_global_jobs jobs f =
+  let saved = Exec.jobs () in
+  Exec.set_jobs jobs;
+  Fun.protect ~finally:(fun () -> Exec.set_jobs saved) f
+
+let with_chaos cfg f =
+  let saved = Chaos.config () in
+  Chaos.set (Some cfg);
+  Fun.protect ~finally:(fun () -> Chaos.set saved) f
+
+(* --- the packed 62-character frontier ----------------------------------- *)
+
+let is_packed l = Lang.to_packed (Lang.pack l) <> None
+
+let test_packed_length_frontier () =
+  let at = String.make Packed.max_length 'a' in
+  let over = String.make (Packed.max_length + 1) 'a' in
+  Alcotest.(check bool)
+    (Printf.sprintf "length %d packs" Packed.max_length)
+    true
+    (is_packed (Lang.singleton at));
+  Alcotest.(check bool)
+    (Printf.sprintf "length %d refuses to pack" (Packed.max_length + 1))
+    false
+    (is_packed (Lang.singleton over));
+  (* the refusal is lossless: the set fallback answers identically *)
+  let l = Lang.pack (Lang.singleton over) in
+  Alcotest.(check bool) "mem" true (Lang.mem over l);
+  Alcotest.(check int) "cardinal" 1 (Lang.cardinal l);
+  Alcotest.(check (list string)) "elements" [ over ] (Lang.elements l)
+
+let test_concat_across_frontier () =
+  (* both operands pack; their concatenation is one character too long to
+     pack and must fall back to sets without losing a word *)
+  let half n = Lang.pack (Lang.of_list [ String.make n 'a'; String.make n 'b' ]) in
+  let l1 = half 32 and l2 = half 31 in
+  Alcotest.(check bool) "operands packed" true (is_packed l1 && is_packed l2);
+  let cat = Lang.concat l1 l2 in
+  Alcotest.(check bool) "63-char result cannot pack" false (is_packed cat);
+  let expected =
+    Lang.of_list
+      [
+        String.make 32 'a' ^ String.make 31 'a';
+        String.make 32 'a' ^ String.make 31 'b';
+        String.make 32 'b' ^ String.make 31 'a';
+        String.make 32 'b' ^ String.make 31 'b';
+      ]
+  in
+  Alcotest.check lang_testable "lossless across the frontier" expected cat;
+  (* one character shorter and the same concatenation packs *)
+  Alcotest.(check bool) "62-char result packs" true
+    (is_packed (Lang.concat l1 (half 30)))
+
+(* --- Lang.add degradation under qcheck ---------------------------------- *)
+
+let word_gen =
+  (* binary words of length <= 8, biased toward a shared length so packed
+     starting points actually occur *)
+  QCheck.Gen.(
+    let* len = int_range 0 8 in
+    let* bits = list_size (return len) bool in
+    return (String.concat "" (List.map (fun b -> if b then "b" else "a") bits)))
+
+let prop_add_degrades_losslessly =
+  QCheck.Test.make ~name:"Lang.add: fold over pack = of_list, any mix"
+    ~count:500
+    (QCheck.make
+       QCheck.Gen.(pair (list_size (int_range 0 12) word_gen) word_gen))
+    (fun (ws, w) ->
+       (* start from a packed uniform-length language when possible, then
+          add arbitrary words: adding a different length forces the
+          packed -> set fallback, which must be unobservable *)
+       let folded =
+         List.fold_left (fun acc x -> Lang.add x acc) Lang.empty ws
+       in
+       let via_list = Lang.of_list ws in
+       let packed_then_add = Lang.add w (Lang.pack via_list) in
+       let set_then_add = Lang.add w via_list in
+       Lang.equal folded via_list
+       && Lang.elements folded = Lang.elements via_list
+       && Lang.equal packed_then_add set_then_add
+       && Lang.elements packed_then_add = Lang.elements set_then_add
+       && Lang.mem w packed_then_add)
+
+(* --- CYK int -> Bignum escape, also under chaos -------------------------- *)
+
+(* S -> S S | a: a^(n+1) has Catalan(n) parse trees; Catalan(35) overflows
+   a 63-bit int, so a^33..a^37 crosses the int -> Bignum escape *)
+let catalan_grammar =
+  Grammar.make ~alphabet:Alphabet.binary ~names:[| "S" |]
+    ~rules:
+      Grammar.
+        [ { lhs = 0; rhs = [ N 0; N 0 ] }; { lhs = 0; rhs = [ T 'a' ] } ]
+    ~start:0
+
+let test_cyk_overflow_under_chaos () =
+  let ws = List.init 5 (fun i -> String.make (33 + i) 'a') in
+  let reference = List.map (Cyk.count_trees catalan_grammar) ws in
+  with_chaos { Chaos.seed = 97; rate = 0.1 } (fun () ->
+      with_global_jobs 4 (fun () ->
+          let chaotic = Cyk.count_trees_batch catalan_grammar ws in
+          Alcotest.(check (list string))
+            "counts across the overflow boundary, jobs=4, 10% injection"
+            (List.map Bignum.to_string reference)
+            (List.map Bignum.to_string chaotic)))
+
+let () =
+  Alcotest.run "ucfg_robustness"
+    [
+      ( "packed-frontier",
+        [
+          Alcotest.test_case "62-char pack limit" `Quick
+            test_packed_length_frontier;
+          Alcotest.test_case "concat across the frontier" `Quick
+            test_concat_across_frontier;
+        ] );
+      ( "degradation",
+        List.map QCheck_alcotest.to_alcotest [ prop_add_degrades_losslessly ]
+      );
+      ( "overflow",
+        [
+          Alcotest.test_case "CYK int->Bignum under chaos" `Quick
+            test_cyk_overflow_under_chaos;
+        ] );
+    ]
