@@ -10,10 +10,10 @@ BENCH := dune exec --no-build -- bench/main.exe
 # experiments with fully deterministic output (e24/e25/e26/e27/timings
 # print wall-clock numbers and are excluded from the determinism diffs)
 DET_EXPERIMENTS := e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 \
-  e17 e18 e19 e20 e21 e22 e23
+  e17 e18 e19 e20 e21 e22 e23 e29
 
 .PHONY: build test lint bench smoke determinism json-determinism \
-  bench-record bench-compare chaos timeout-smoke ci check clean
+  bench-record bench-compare chaos timeout-smoke check-smoke ci check clean
 
 build:
 	dune build @all
@@ -68,21 +68,22 @@ json-determinism: build
 	@echo "json-determinism: OK"
 
 # regenerate this PR's perf record under the same conditions as the
-# committed BENCH_pr3.json baseline (smoke, sequential)
+# committed BENCH_pr4.json baseline (smoke, sequential)
 bench-record: build
-	UCFG_JOBS=1 $(BENCH) --smoke --json-out BENCH_pr4.json > /dev/null
+	UCFG_JOBS=1 $(BENCH) --smoke --json-out BENCH_pr5.json > /dev/null
 
-# checksum drift gate: the deterministic experiments in BENCH_pr4.json
-# must carry byte-identical output checksums to the BENCH_pr3.json
-# baseline — the kernel rewrite may only move the ms column
+# checksum drift gate: the deterministic experiments in BENCH_pr5.json
+# must carry byte-identical output checksums to the BENCH_pr4.json
+# baseline (e29 is new in pr5: compared on e1–e23, asserted present)
 bench-compare:
 	@mkdir -p _build/determinism
-	@for pr in pr3 pr4; do \
+	@for pr in pr4 pr5; do \
 	  sed -n 's/ *{ "name": "\(e[0-9]*\)", "ms": [0-9.]*, "checksum": "\([0-9a-f]*\)".*/\1 \2/p' \
 	    BENCH_$$pr.json | grep -E '^e([1-9]|1[0-9]|2[0-3]) ' | sort \
 	    > _build/determinism/$$pr.sums; \
 	done
-	diff _build/determinism/pr3.sums _build/determinism/pr4.sums
+	diff _build/determinism/pr4.sums _build/determinism/pr5.sums
+	@grep -q '"name": "e29"' BENCH_pr5.json
 	@echo "bench-compare: OK"
 
 # the full suite must stay green under seeded fault injection: injected
@@ -108,7 +109,40 @@ timeout-smoke: build
 	done
 	@echo "timeout-smoke: OK"
 
-check: build test lint
+# dogfood `ucfg check` on the examples/ grammar pairs: every exit code is
+# asserted (0 holds, 1 fails-with-witness, 2 bad input, 124 guard trip),
+# and the JSON verdict must be byte-identical at jobs 1 and 4
+check-smoke: build
+	@echo "-- universality (counting backend on the certified grammar)"
+	$(CLI) check --from-file examples/grammars/full_len2.cfg --universal
+	! $(CLI) check --from-file examples/grammars/unambiguous_pairs.cfg --universal
+	@echo "-- inclusion both ways (witness on the failing direction)"
+	$(CLI) check --from-file examples/grammars/subset_pair.cfg \
+	  --includes examples/grammars/unambiguous_pairs.cfg
+	! $(CLI) check --from-file examples/grammars/unambiguous_pairs.cfg \
+	  --includes examples/grammars/subset_pair.cfg
+	@echo "-- equivalence of the two L_4 constructions, with cross-check"
+	$(CLI) check --kind log -n 4 --equiv trivial:4 --cross-check
+	! $(CLI) check --kind log -n 4 --equiv trivial:3
+	@echo "-- disjointness"
+	$(CLI) check --from-file examples/grammars/unambiguous_pairs.cfg \
+	  --disjoint examples/grammars/disjoint_pair.cfg
+	! $(CLI) check --from-file examples/grammars/full_len2.cfg \
+	  --disjoint examples/grammars/disjoint_pair.cfg
+	@echo "-- usage errors exit 2"
+	$(CLI) check --kind log -n 4; test $$? -eq 2
+	@echo "-- guard trip exits 124 with a partial verdict"
+	$(CLI) check --kind log -n 6 --universal --budget 3; test $$? -eq 124
+	@echo "-- JSON verdicts byte-identical at jobs 1 vs 4"
+	@mkdir -p _build/determinism
+	$(CLI) check --kind log -n 4 --equiv trivial:4 --json --jobs 1 \
+	  > _build/determinism/check1.json
+	$(CLI) check --kind log -n 4 --equiv trivial:4 --json --jobs 4 \
+	  > _build/determinism/check4.json
+	diff _build/determinism/check1.json _build/determinism/check4.json
+	@echo "check-smoke: OK"
+
+check: build test lint check-smoke
 	@echo "check: OK"
 
 ci: check smoke determinism json-determinism bench-record bench-compare \

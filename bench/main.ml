@@ -1250,6 +1250,66 @@ let e27_bitset_kernel () =
     (verify_rows @ greedy_rows @ profile_rows @ disc_rows @ matrix_rows
    @ reach_rows)
 
+(* ----------------------------------------------------------------- E29 *)
+
+let e29_semantic_check () =
+  (* the semantic lint tier as a product: universality / inclusion /
+     equivalence / disjointness verdicts on the paper's grammar pairs.  The
+     counting backend engages exactly where the unambiguity certificate
+     holds (sigma_chain); log_cfg and the trivial grammar fall back to the
+     packed algebra.  The text is verdict-only — no wall clock — so the
+     checksum gates against drift; per-experiment latency lives in the
+     JSON "ms" field. *)
+  let module SL = Ucfg_lint.Semantic_lint in
+  let backend = function
+    | SL.Counting -> "count"
+    | SL.Packed -> "packed"
+    | SL.Mixed -> "mixed"
+  in
+  let verdict (r : SL.report) =
+    match r.SL.status with
+    | SL.Holds -> "holds"
+    | SL.Fails cex -> Printf.sprintf "fails on %S" cex.SL.word
+    | SL.Interrupted reason ->
+      "interrupted " ^ Ucfg_exec.Guard.reason_code reason
+  in
+  Report.print_table
+    ~title:
+      "E29 (semantic lint tier): ucfg check verdicts on the L_n grammar \
+       pairs — count backend iff the unambiguity certificate holds; every \
+       failing verdict carries the shortest witness"
+    ~headers:[ "n"; "check"; "verdict"; "backend"; "|L1|" ]
+    (List.concat
+       (prows
+          (fun n ->
+             let log = Constructions.log_cfg n in
+             let triv =
+               Constructions.of_language Alphabet.binary (Ln.language n)
+             in
+             let sigma = Constructions.sigma_chain Alphabet.binary (2 * n) in
+             let co =
+               Constructions.of_language Alphabet.binary
+                 (Lang.complement_within Alphabet.binary (2 * n)
+                    (Ln.language n))
+             in
+             let mk name r =
+               let card =
+                 match r.SL.cardinal with
+                 | Some b -> Bignum.to_string b
+                 | None -> "?"
+               in
+               [ string_of_int n; name; verdict r; backend r.SL.backend; card ]
+             in
+             [
+               mk "universal sigma_chain" (SL.universal ~cross_check:true sigma);
+               mk "universal log_cfg" (SL.universal log);
+               mk "includes triv sigma" (SL.includes triv sigma);
+               mk "includes sigma triv" (SL.includes sigma triv);
+               mk "equiv log triv" (SL.equiv log triv);
+               mk "disjoint triv co" (SL.disjoint triv co);
+             ])
+          (pick [ 4; 5; 6; 7 ] [ 3; 4 ])))
+
 (* ------------------------------------------------------- timing section *)
 
 let timings () =
@@ -1331,7 +1391,7 @@ let experiments =
     ("e21", e21_structured); ("e22", e22_disambiguate);
     ("e23", e23_overlap_asymmetry); ("e24", e24_lint_fastpath);
     ("e25", e25_parallel_speedup); ("e26", e26_packed_speedup);
-    ("e27", e27_bitset_kernel);
+    ("e27", e27_bitset_kernel); ("e29", e29_semantic_check);
     ("timings", timings);
   ]
 
@@ -1341,7 +1401,7 @@ let experiments =
    of deterministic experiments must agree between the sequential and
    parallel runs (the `make json-determinism` gate). *)
 let json_mode = ref false
-let json_out = ref "BENCH_pr4.json"
+let json_out = ref "BENCH_pr5.json"
 
 (* --timeout SEC wraps each experiment in its own wall-clock guard: a
    tripped experiment prints a note, records a "timeout" outcome in the

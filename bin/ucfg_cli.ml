@@ -369,7 +369,7 @@ let intersect_cmd =
 (* --- lint ----------------------------------------------------------------- *)
 
 let lint_cmd =
-  let run () kind n from_file json nfa list_checks =
+  let run () kind n from_file json nfa list_checks semantic =
     if list_checks then begin
       let print_registry title checks =
         Printf.printf "%s\n" title;
@@ -381,6 +381,7 @@ let lint_cmd =
           checks
       in
       print_registry "Grammar checks:" Ucfg_lint.Grammar_lint.checks;
+      print_registry "Semantic checks:" Ucfg_lint.Semantic_lint.checks;
       print_registry "NFA checks:" Ucfg_lint.Nfa_lint.checks;
       exit 0
     end;
@@ -392,7 +393,7 @@ let lint_cmd =
           | Some path -> load_grammar path
           | None -> build_grammar kind n
         in
-        Ucfg_lint.Grammar_lint.run g
+        Ucfg_lint.Grammar_lint.run ~semantic g
       end
     in
     if json then print_endline (Ucfg_lint.Diag.list_to_json diags)
@@ -413,6 +414,14 @@ let lint_cmd =
       value & flag
       & info [ "list" ] ~doc:"List every check code and its soundness status.")
   in
+  let semantic_arg =
+    Arg.(
+      value & flag
+      & info [ "semantic" ]
+          ~doc:
+            "Also run the deep semantic tier (universality with the \
+             counting/packed backend cross-check, codes G016\xe2\x80\x93G020).")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
@@ -421,7 +430,193 @@ let lint_cmd =
           fires (definite ambiguity).")
     Term.(
       const run $ common_term $ kind_arg $ n_arg $ from_file_arg $ json_arg
-      $ nfa_arg $ list_arg)
+      $ nfa_arg $ list_arg $ semantic_arg)
+
+(* --- check ----------------------------------------------------------------- *)
+
+module SL = Ucfg_lint.Semantic_lint
+
+(* A comparison grammar: a Grammar_io file path, or [kind:N] naming one of
+   the built-in constructions (e.g. [log:4], [trivial:4]). *)
+let load_spec spec =
+  let built =
+    match String.index_opt spec ':' with
+    | None -> None
+    | Some i ->
+      let kind = String.sub spec 0 i
+      and rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+      (match
+         ( List.assoc_opt kind
+             [ ("log", `Log); ("example3", `Example3);
+               ("example4", `Example4); ("trivial", `Trivial) ],
+           int_of_string_opt rest )
+       with
+       | Some k, Some n -> Some (build_grammar k n)
+       | _ -> None)
+  in
+  match built with
+  | Some g -> g
+  | None ->
+    if Sys.file_exists spec then load_grammar spec
+    else
+      failwith
+        (Printf.sprintf
+           "grammar spec %S is neither a readable file nor KIND:N (KIND one \
+            of log, example3, example4, trivial)" spec)
+
+let check_cmd =
+  let run () kind n from_file universal includes equiv disjoint cross_check
+      json =
+    let g1 =
+      match from_file with
+      | Some path -> load_grammar path
+      | None -> build_grammar kind n
+    in
+    let props =
+      (if universal then [ `Universal ] else [])
+      @ (match includes with Some s -> [ `Includes s ] | None -> [])
+      @ (match equiv with Some s -> [ `Equiv s ] | None -> [])
+      @ (match disjoint with Some s -> [ `Disjoint s ] | None -> [])
+    in
+    match props with
+    | [ prop ] ->
+      let name, report =
+        match prop with
+        | `Universal -> ("universal", SL.universal ~cross_check g1)
+        | `Includes s -> ("includes", SL.includes ~cross_check g1 (load_spec s))
+        | `Equiv s -> ("equiv", SL.equiv ~cross_check g1 (load_spec s))
+        | `Disjoint s -> ("disjoint", SL.disjoint ~cross_check g1 (load_spec s))
+      in
+      let diags = SL.to_diags report in
+      let backend =
+        match report.SL.backend with
+        | SL.Counting -> "count"
+        | SL.Packed -> "packed"
+        | SL.Mixed -> "mixed"
+      in
+      let big = function Some b -> Bignum.to_string b | None -> "?" in
+      if json then begin
+        let status, reason =
+          match report.SL.status with
+          | SL.Holds -> ("holds", "null")
+          | SL.Fails _ -> ("fails", "null")
+          | SL.Interrupted r ->
+            ( "interrupted",
+              Printf.sprintf "%S" (Ucfg_exec.Guard.reason_code r) )
+        in
+        let opt_big = function
+          | Some b -> Printf.sprintf "\"%s\"" (Bignum.to_string b)
+          | None -> "null"
+        in
+        let witness =
+          match report.SL.status with
+          | SL.Fails cex ->
+            Printf.sprintf
+              "{ \"word\": %S, \"in_first\": %b, \"in_second\": %b }"
+              cex.SL.word cex.SL.in_first cex.SL.in_second
+          | _ -> "null"
+        in
+        Printf.printf
+          "{ \"property\": %S, \"status\": %S, \"reason\": %s, \
+           \"backend\": %S, \"vacuous\": %b, \"cardinal\": %s, \
+           \"cardinal2\": %s, \"witness\": %s, \"diagnostics\": %s }\n"
+          name status reason backend report.SL.vacuous
+          (opt_big report.SL.cardinal)
+          (opt_big report.SL.cardinal2)
+          witness
+          (Ucfg_lint.Diag.list_to_json diags)
+      end
+      else begin
+        (match report.SL.status with
+         | SL.Holds ->
+           Printf.printf "check %s: HOLDS%s\n" name
+             (if report.SL.vacuous then " (vacuously)" else "")
+         | SL.Fails cex ->
+           Printf.printf "check %s: FAILS\n" name;
+           if not (report.SL.vacuous && prop = `Universal) then
+             Printf.printf
+               "witness: %S (in L(G1): %b, in comparison language: %b)\n"
+               cex.SL.word cex.SL.in_first cex.SL.in_second
+         | SL.Interrupted r ->
+           Printf.printf "check %s: INTERRUPTED (%s)\n" name
+             (Ucfg_exec.Guard.reason_code r));
+        Printf.printf "backend: %s\n|L(G1)| = %s\n|comparison| = %s\n" backend
+          (big report.SL.cardinal) (big report.SL.cardinal2);
+        if diags <> [] then
+          Format.printf "%a@." Ucfg_lint.Diag.pp_report diags
+      end;
+      exit
+        (match report.SL.status with
+         | SL.Interrupted _ -> 124
+         | _ -> if Ucfg_lint.Diag.has_errors diags then 1 else 0)
+    | _ ->
+      let d =
+        input_diag
+          "pass exactly one of --universal, --includes, --equiv, --disjoint"
+      in
+      if json then print_endline (Ucfg_lint.Diag.list_to_json [ d ])
+      else Format.printf "%a@." Ucfg_lint.Diag.pp_report [ d ];
+      exit 2
+  in
+  let universal_arg =
+    Arg.(
+      value & flag
+      & info [ "universal" ]
+          ~doc:
+            "Decide L(G) = \xce\xa3^\xe2\x84\x93 (the grammar's alphabet, \
+             uniform length).")
+  in
+  let spec_doc verb =
+    Printf.sprintf
+      "Decide %s, where $(docv) is a grammar file or KIND:N (KIND one of \
+       log, example3, example4, trivial)."
+      verb
+  in
+  let includes_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "includes" ] ~docv:"SPEC"
+          ~doc:(spec_doc "L(G) \xe2\x8a\x86 L(G2)"))
+  in
+  let equiv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "equiv" ] ~docv:"SPEC" ~doc:(spec_doc "L(G) = L(G2)"))
+  in
+  let disjoint_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "disjoint" ] ~docv:"SPEC"
+          ~doc:(spec_doc "L(G) \xe2\x88\xa9 L(G2) = \xe2\x88\x85"))
+  in
+  let cross_check_arg =
+    Arg.(
+      value & flag
+      & info [ "cross-check" ]
+          ~doc:
+            "Run both decision backends (certificate-gated counting and \
+             packed algebra) and fail with G020 if they disagree.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the verdict as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Decide universality, inclusion, equivalence or disjointness of \
+          bounded-length grammars, with a shortest counterexample witness \
+          on failure.  Uses exact tree counting when the unambiguity \
+          certificate holds (the comparison language is never enumerated), \
+          packed language algebra otherwise.  Exit codes: 0 the property \
+          holds, 1 it fails (or an internal cross-check error), 2 invalid \
+          input, 124 guard trip ($(b,--timeout)/$(b,--budget)).")
+    Term.(
+      const run $ common_term $ kind_arg $ n_arg $ from_file_arg
+      $ universal_arg $ includes_arg $ equiv_arg $ disjoint_arg
+      $ cross_check_arg $ json_arg)
 
 (* --- search ---------------------------------------------------------------- *)
 
@@ -533,8 +728,8 @@ let main_cmd =
   in
   Cmd.group (Cmd.info "ucfg" ~version:"1.1.0" ~doc)
     [ separation_cmd; grammar_cmd; count_cmd; rectangles_cmd; bound_cmd;
-      csv_cmd; access_cmd; profile_cmd; intersect_cmd; lint_cmd; circuit_cmd;
-      search_cmd ]
+      csv_cmd; access_cmd; profile_cmd; intersect_cmd; lint_cmd; check_cmd;
+      circuit_cmd; search_cmd ]
 
 (* Exit codes: 0 success, 1 lint errors, 2 invalid input or usage,
    124 resource-guard trip (GNU timeout convention).  [~catch:false] lets

@@ -125,11 +125,35 @@ let codes t =
 
 let words t = Seq.map (word_of_code ~len:t.len) (codes t)
 
-let min_word t =
+let first_code t =
   match t.repr with
-  | Dense b -> Option.map (word_of_code ~len:t.len) (Bitset.Mut.lowest_set b)
+  | Dense b -> Bitset.Mut.lowest_set b
+  | Sparse a -> if Array.length a = 0 then None else Some a.(0)
+
+let min_word t = Option.map (word_of_code ~len:t.len) (first_code t)
+
+(* Gap scan over the sorted codes: the least absent code is the first index
+   where the strictly-increasing code array pulls ahead of the identity —
+   O(cardinal), never O(2^len), so universality witnesses stay cheap even
+   when the complement would not fit in memory. *)
+let first_absent_code t =
+  match t.repr with
+  | Dense b ->
+    let universe = Bitset.size b in
+    let rec scan c =
+      if c >= universe then None
+      else if Bitset.mem b c then scan (c + 1)
+      else Some c
+    in
+    scan 0
   | Sparse a ->
-    if Array.length a = 0 then None else Some (word_of_code ~len:t.len a.(0))
+    let n = Array.length a in
+    let rec scan i =
+      if i >= n then if n = 1 lsl t.len then None else Some n
+      else if a.(i) > i then Some i
+      else scan (i + 1)
+    in
+    scan 0
 
 let check_same_len op t1 t2 =
   if t1.len <> t2.len then

@@ -25,7 +25,12 @@ open Ucfg_word
 
 type t
 
-(** Largest supported word length (codes must fit a tagged native int). *)
+(** Largest supported word length: {b 62} characters, the widest width at
+    which every code [0 .. 2^len - 1] still fits OCaml's tagged 63-bit
+    native [int].  Every constructor validates its length against this cap
+    and raises [Invalid_argument] with a message of the shape
+    ["Packed.<op>: length <len> out of [0, 62]"] beyond it — longer words
+    must stay on the generic {!Lang} set representation. *)
 val max_length : int
 
 (** [length t] is the common word length.  Meaningful even when empty. *)
@@ -81,8 +86,20 @@ val codes : t -> int Seq.t
     same order in which [Word.Set] iterates. *)
 val words : t -> Word.t Seq.t
 
-(** [min_word t] is the lexicographically least word, when non-empty. *)
+(** [first_code t] is the least (= lexicographically least) code, when
+    non-empty.  O(1) on the sorted-array representation, one word scan on
+    the dense one — witness extraction never unpacks a language. *)
+val first_code : t -> int option
+
+(** [min_word t] is the lexicographically least word, when non-empty:
+    [word_of_code ~len (first_code t)]. *)
 val min_word : t -> Word.t option
+
+(** [first_absent_code t] is the least code of [Σ^len \ t], or [None] when
+    [t] is full.  A gap scan over the sorted codes — O(cardinal), never
+    O(2^len) — so universality counterexamples cost nothing extra even at
+    lengths where the complement could not be materialised. *)
+val first_absent_code : t -> int option
 
 (** {1 Boolean algebra}
 

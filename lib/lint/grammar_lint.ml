@@ -82,7 +82,7 @@ let cycle_to_string g cyc =
 
 (* --- the linter ---------------------------------------------------------- *)
 
-let run ?probe_words ?probe_len g =
+let run ?probe_words ?probe_len ?(semantic = false) g =
   let n = nonterminal_count g in
   let prod = Trim.productive g in
   let reach = Trim.reachable g in
@@ -410,17 +410,31 @@ let run ?probe_words ?probe_len g =
           (rules_of g a)
     done
   end;
-  D.sort (List.rev !diags)
+  let diags = List.rev !diags in
+  D.sort (if semantic then diags @ Semantic_lint.lint g else diags)
+
+type certificate =
+  | Certified_unambiguous
+  | Certified_ambiguous of D.t
+  | Certificate_unknown
 
 let definite_error_codes = [ "G004"; "G005"; "G006"; "G007"; "G009"; "G013" ]
 
-let verdict diags =
-  if
-    List.exists
+let certificate_verdict diags =
+  match
+    List.find_opt
       (fun (d : D.t) ->
          d.severity = D.Error && List.mem d.code definite_error_codes)
       diags
-  then `Ambiguous
-  else if List.exists (fun (d : D.t) -> d.code = "G015") diags then
-    `Unambiguous
-  else `Unknown
+  with
+  | Some proof -> Certified_ambiguous proof
+  | None ->
+    if List.exists (fun (d : D.t) -> d.code = "G015") diags then
+      Certified_unambiguous
+    else Certificate_unknown
+
+let verdict diags =
+  match certificate_verdict diags with
+  | Certified_ambiguous _ -> `Ambiguous
+  | Certified_unambiguous -> `Unambiguous
+  | Certificate_unknown -> `Unknown

@@ -29,15 +29,31 @@
 (** The registry: every check this linter implements, in code order. *)
 val checks : Diag.check list
 
-(** [run ?probe_words ?probe_len g] runs every check and returns the
-    diagnostics sorted errors-first (see {!Diag.sort}).  [probe_words] and
-    [probe_len] cap the {!Ucfg_cfg.Static.probe} underlying [G013]. *)
+(** [run ?probe_words ?probe_len ?semantic g] runs every check and returns
+    the diagnostics sorted errors-first (see {!Diag.sort}).  [probe_words]
+    and [probe_len] cap the {!Ucfg_cfg.Static.probe} underlying [G013].
+    [~semantic:true] additionally runs the deep tier
+    ({!Semantic_lint.lint}: universality with the counting/packed backend
+    cross-check, codes G016–G020). *)
 val run :
-  ?probe_words:int -> ?probe_len:int -> Ucfg_cfg.Grammar.t -> Diag.t list
+  ?probe_words:int -> ?probe_len:int -> ?semantic:bool ->
+  Ucfg_cfg.Grammar.t -> Diag.t list
 
-(** The linter's overall verdict, derived from the diagnostics:
-    [`Ambiguous] when a definite [Error] fired, [`Unambiguous] when the
-    certificate ([G015]) holds, [`Unknown] otherwise.  Sound by
-    construction — the qcheck suite asserts agreement with
-    {!Ucfg_cfg.Ambiguity.check}. *)
+(** The unambiguity-certificate verdict as a typed value, so callers stop
+    re-scanning diagnostic code strings.  [Certified_ambiguous] carries
+    the definite diagnostic that proves ambiguity (the [Error]-severity
+    firing of [G004]–[G007], [G009] or [G013] that fired first in sort
+    order). *)
+type certificate =
+  | Certified_unambiguous  (** the [G015] certificate fired *)
+  | Certified_ambiguous of Diag.t  (** a definite error — the proof *)
+  | Certificate_unknown  (** neither conclusive *)
+
+(** [certificate_verdict diags] extracts the typed certificate from a
+    {!run} result.  Sound by construction — the qcheck suite asserts
+    agreement with {!Ucfg_cfg.Ambiguity.check}. *)
+val certificate_verdict : Diag.t list -> certificate
+
+(** {!certificate_verdict} collapsed to the historical polymorphic
+    variant. *)
 val verdict : Diag.t list -> [ `Unambiguous | `Ambiguous | `Unknown ]

@@ -8,6 +8,18 @@ open Ucfg_cfg
 open Ucfg_lint
 module G = Grammar
 module D = Diag
+module SL = Semantic_lint
+module Lang = Ucfg_lang.Lang
+module Packed = Ucfg_lang.Packed
+module Bignum = Ucfg_util.Bignum
+module Exec = Ucfg_exec.Exec
+module Guard = Ucfg_exec.Guard
+
+(* flip the process-wide pool, restoring the previous size afterwards *)
+let with_global_jobs jobs f =
+  let saved = Exec.jobs () in
+  Exec.set_jobs jobs;
+  Fun.protect ~finally:(fun () -> Exec.set_jobs saved) f
 
 let codes diags = List.map (fun (d : D.t) -> d.code) diags
 let has_code c diags = List.mem c (codes diags)
@@ -213,7 +225,220 @@ let test_registry_complete () =
     (List.map (fun (c : D.check) -> c.code) Grammar_lint.checks);
   Alcotest.(check (list string)) "nfa registry codes"
     [ "N001"; "N002"; "N003"; "N004"; "N005"; "N006"; "N007" ]
-    (List.map (fun (c : D.check) -> c.code) Nfa_lint.checks)
+    (List.map (fun (c : D.check) -> c.code) Nfa_lint.checks);
+  Alcotest.(check (list string)) "semantic registry codes"
+    [ "G016"; "G017"; "G018"; "G019"; "G020" ]
+    (List.map (fun (c : D.check) -> c.code) SL.checks)
+
+(* --- the semantic tier ---------------------------------------------------- *)
+
+(* Σ^2 via S -> AA, A -> a | b — universal, certified unambiguous *)
+let full2 () =
+  G.make ~alphabet:Alphabet.binary ~names:[| "S"; "A" |]
+    ~rules:
+      [
+        { G.lhs = 0; rhs = [ G.N 1; G.N 1 ] };
+        { G.lhs = 1; rhs = [ G.T 'a' ] };
+        { G.lhs = 1; rhs = [ G.T 'b' ] };
+      ]
+    ~start:0
+
+(* {ab}: a strict subset of tiny's {ab, ba} *)
+let just_ab () =
+  G.make ~alphabet:Alphabet.binary ~names:[| "S" |]
+    ~rules:[ { G.lhs = 0; rhs = [ G.T 'a'; G.T 'b' ] } ]
+    ~start:0
+
+(* {aa, bb}: disjoint from tiny's {ab, ba} *)
+let pair_aa_bb () =
+  G.make ~alphabet:Alphabet.binary ~names:[| "S" |]
+    ~rules:
+      [
+        { G.lhs = 0; rhs = [ G.T 'a'; G.T 'a' ] };
+        { G.lhs = 0; rhs = [ G.T 'b'; G.T 'b' ] };
+      ]
+    ~start:0
+
+(* the start symbol is unproductive: L = ∅ *)
+let empty_g () =
+  G.make ~alphabet:Alphabet.binary ~names:[| "S" |]
+    ~rules:[ { G.lhs = 0; rhs = [ G.T 'a'; G.N 0 ] } ]
+    ~start:0
+
+let big = Alcotest.testable Bignum.pp Bignum.equal
+let card_opt = Alcotest.(option big)
+
+let check_status what expected (r : SL.report) =
+  let pp_status ppf (s : SL.status) =
+    match s with
+    | SL.Holds -> Format.fprintf ppf "Holds"
+    | SL.Fails w ->
+      Format.fprintf ppf "Fails %S (in_first %b, in_second %b)" w.SL.word
+        w.SL.in_first w.SL.in_second
+    | SL.Interrupted reason ->
+      Format.fprintf ppf "Interrupted %s" (Guard.reason_code reason)
+  in
+  Alcotest.check (Alcotest.testable pp_status ( = )) what expected r.SL.status
+
+let test_semantic_universal_unit () =
+  let r = SL.universal (full2 ()) in
+  check_status "Σ^2 grammar is universal" SL.Holds r;
+  Alcotest.(check bool) "decided by counting" true (r.SL.backend = SL.Counting);
+  Alcotest.check card_opt "|L| = 4" (Some (Bignum.of_int 4)) r.SL.cardinal;
+  (* the cross-check forces the packed route too and must agree *)
+  let rx = SL.universal ~cross_check:true (full2 ()) in
+  check_status "cross-checked verdict unchanged" SL.Holds rx;
+  Alcotest.(check bool) "backends agree" true (rx.SL.cross_check = None);
+  let r2 = SL.universal (tiny ()) in
+  check_status "{ab, ba} misses \"aa\""
+    (SL.Fails { SL.word = "aa"; in_first = false; in_second = true })
+    r2;
+  Alcotest.(check bool) "counting engaged on the certified grammar" true
+    (r2.SL.backend = SL.Counting);
+  Alcotest.check card_opt "|L| = 2" (Some (Bignum.of_int 2)) r2.SL.cardinal;
+  let r3 = SL.universal (empty_g ()) in
+  Alcotest.(check bool) "empty language is vacuously non-universal" true
+    (r3.SL.vacuous && (match r3.SL.status with SL.Fails _ -> true | _ -> false));
+  Alcotest.check card_opt "|L| = 0" (Some Bignum.zero) r3.SL.cardinal
+
+let test_semantic_relational_unit () =
+  let r = SL.includes (just_ab ()) (tiny ()) in
+  check_status "{ab} ⊆ {ab, ba}" SL.Holds r;
+  Alcotest.(check bool) "certificate routes to counting" true
+    (r.SL.backend = SL.Counting);
+  Alcotest.check card_opt "|L1| = 1" (Some (Bignum.of_int 1)) r.SL.cardinal;
+  let r2 = SL.includes (tiny ()) (just_ab ()) in
+  check_status "reverse fails on the least extra word"
+    (SL.Fails { SL.word = "ba"; in_first = true; in_second = false })
+    r2;
+  let r3 = SL.disjoint (tiny ()) (pair_aa_bb ()) in
+  check_status "{ab, ba} ∥ {aa, bb}" SL.Holds r3;
+  let r4 = SL.disjoint (tiny ()) (full2 ()) in
+  check_status "overlap witnessed by the least shared word"
+    (SL.Fails { SL.word = "ab"; in_first = true; in_second = true })
+    r4;
+  let r5 = SL.equiv (tiny ()) (tiny ()) in
+  check_status "L = L" SL.Holds r5;
+  let r6 = SL.equiv (tiny ()) (just_ab ()) in
+  check_status "G1-side witness"
+    (SL.Fails { SL.word = "ba"; in_first = true; in_second = false })
+    r6;
+  let r7 = SL.equiv (just_ab ()) (tiny ()) in
+  check_status "G2-side witness"
+    (SL.Fails { SL.word = "ba"; in_first = false; in_second = true })
+    r7;
+  let r8 = SL.includes (empty_g ()) (tiny ()) in
+  check_status "∅ ⊆ L vacuously" SL.Holds r8;
+  Alcotest.(check bool) "flagged vacuous" true r8.SL.vacuous;
+  Alcotest.(check bool) "G019 rendered" true
+    (has_code "G019" (SL.to_diags r8))
+
+let test_semantic_guard_trip () =
+  (* the packed sweep on log n=6 needs more than 3 guard ticks: the budget
+     trips, the verdict degrades to a partial one, and the kind must not
+     depend on the job count *)
+  let kind jobs =
+    with_global_jobs jobs (fun () ->
+      let guard = Guard.create ~budget:3 () in
+      let r = SL.universal ~guard (Constructions.log_cfg 6) in
+      match r.SL.status with
+      | SL.Interrupted reason -> Guard.reason_code reason
+      | SL.Holds -> "holds"
+      | SL.Fails _ -> "fails")
+  in
+  Alcotest.(check string) "budget trips at jobs 1" "budget" (kind 1);
+  Alcotest.(check string) "same kind at jobs 4" "budget" (kind 4);
+  let guard = Guard.create ~budget:3 () in
+  let r = SL.universal ~guard (Constructions.log_cfg 6) in
+  let ds = SL.to_diags r in
+  let d = diag_with "R002" ds in
+  Alcotest.(check bool) "partial verdict is a warning" true
+    (d.severity = D.Warning);
+  Alcotest.(check bool) "says partial" true
+    (contains_substring d.message "partial verdict");
+  (* an immediate deadline degrades the same way, as R001 *)
+  let timed jobs =
+    with_global_jobs jobs (fun () ->
+      let guard = Guard.create ~timeout:1e-9 () in
+      match (SL.equiv ~guard (Constructions.log_cfg 5) (tiny ())).SL.status with
+      | SL.Interrupted reason -> Guard.reason_code reason
+      | _ -> "decided")
+  in
+  Alcotest.(check string) "timeout trips at jobs 1" "timeout" (timed 1);
+  Alcotest.(check string) "same kind at jobs 4" "timeout" (timed 4)
+
+let test_certificate_verdict_typed () =
+  (match Grammar_lint.certificate_verdict (Grammar_lint.run (tiny ())) with
+   | Grammar_lint.Certified_unambiguous -> ()
+   | _ -> Alcotest.fail "tiny should be certified unambiguous");
+  (match Grammar_lint.certificate_verdict (Grammar_lint.run (amb ())) with
+   | Grammar_lint.Certified_ambiguous proof ->
+     Alcotest.(check bool) "the proof is an error diagnostic" true
+       (proof.D.severity = D.Error)
+   | _ -> Alcotest.fail "amb should carry an ambiguity proof");
+  let inf =
+    G.make ~alphabet:Alphabet.binary ~names:[| "S" |]
+      ~rules:
+        [
+          { G.lhs = 0; rhs = [ G.T 'a'; G.N 0 ] };
+          { G.lhs = 0; rhs = [ G.T 'a' ] };
+        ]
+      ~start:0
+  in
+  match Grammar_lint.certificate_verdict (Grammar_lint.run inf) with
+  | Grammar_lint.Certificate_unknown -> ()
+  | _ -> Alcotest.fail "an infinite language is inconclusive"
+
+let test_semantic_lint_tier () =
+  let ds = Grammar_lint.run ~semantic:true (tiny ()) in
+  let d = diag_with "G016" ds in
+  Alcotest.(check bool) "non-universality is an Info fact" true
+    (d.severity = D.Info);
+  Alcotest.(check bool) "carries the witness" true
+    (contains_substring d.message "aa");
+  Alcotest.(check bool) "syntactic tier still runs" true (has_code "G015" ds);
+  Alcotest.(check bool) "no errors" false (D.has_errors ds);
+  Alcotest.(check bool) "the default run is unchanged" false
+    (has_code "G016" (Grammar_lint.run (tiny ())));
+  (* the deep tier stays silent when the language cannot be materialised *)
+  let inf =
+    G.make ~alphabet:Alphabet.binary ~names:[| "S" |]
+      ~rules:
+        [
+          { G.lhs = 0; rhs = [ G.T 'a'; G.N 0 ] };
+          { G.lhs = 0; rhs = [ G.T 'a' ] };
+        ]
+      ~start:0
+  in
+  let ds_inf = Grammar_lint.run ~semantic:true inf in
+  Alcotest.(check bool) "no semantic codes on an infinite language" false
+    (List.exists (fun c -> has_code c ds_inf)
+       [ "G016"; "G017"; "G018"; "G019"; "G020" ])
+
+let test_packed_first_codes () =
+  (* {ab, ba} at length 2: codes 1 and 2, so the first gap is 0 ("aa") *)
+  let p = Packed.of_codes ~len:2 [| 1; 2 |] in
+  Alcotest.(check (option int)) "first_code" (Some 1) (Packed.first_code p);
+  Alcotest.(check (option string)) "min_word" (Some "ab") (Packed.min_word p);
+  Alcotest.(check (option int)) "first gap" (Some 0)
+    (Packed.first_absent_code p);
+  Alcotest.(check (option int)) "empty has no code" None
+    (Packed.first_code (Packed.empty 3));
+  Alcotest.(check (option int)) "empty's gap is 0" (Some 0)
+    (Packed.first_absent_code (Packed.empty 3));
+  Alcotest.(check (option int)) "full has no gap" None
+    (Packed.first_absent_code (Packed.full 2));
+  Alcotest.(check (option int)) "Σ^0 = {ε} has no gap" None
+    (Packed.first_absent_code (Packed.full 0));
+  (* the sparse construction path (len > 16 stores a code array) *)
+  let q = Packed.of_sorted_codes ~len:20 [| 0; 1; 2; 5 |] in
+  Alcotest.(check (option int)) "sparse first_code" (Some 0)
+    (Packed.first_code q);
+  Alcotest.(check (option int)) "sparse gap after the prefix" (Some 3)
+    (Packed.first_absent_code q);
+  let r = Packed.of_sorted_codes ~len:20 (Array.init 4 Fun.id) in
+  Alcotest.(check (option int)) "gapless prefix: gap = cardinal" (Some 4)
+    (Packed.first_absent_code r)
 
 (* --- the fast path in Ambiguity.check ----------------------------------- *)
 
@@ -549,9 +774,136 @@ let prop_nfa_product_criterion =
        let ambiguous = not (Ucfg_automata.Unambiguous.is_unambiguous a) in
        has_code "N006" (Nfa_lint.run a) = ambiguous)
 
+(* --- semantic tier vs brute-force enumeration ----------------------------- *)
+
+let random_g rng =
+  Random_grammar.general rng ~nonterminals:4 ~max_rules:3 ~max_rhs_len:3
+
+(* shortest-then-lexicographically-least word, the order every semantic
+   witness is specified in *)
+let least_word lang =
+  Lang.fold
+    (fun w acc ->
+       match acc with
+       | Some b when (String.length b, b) <= (String.length w, w) -> acc
+       | _ -> Some w)
+    lang None
+
+let prop_semantic_universal_vs_brute =
+  QCheck.Test.make
+    ~name:"Semantic_lint.universal agrees with brute-force enumeration"
+    ~count:200 arb_seed
+    (fun seed ->
+       let rng = Ucfg_util.Rng.create seed in
+       let g = random_g rng in
+       match Analysis.language_exn g with
+       | exception Invalid_argument _ -> QCheck.assume_fail ()
+       | lang ->
+         let brute =
+           (not (Lang.is_empty lang))
+           && (match Lang.uniform_length lang with
+               | Some l -> Lang.equal lang (Lang.full Alphabet.binary l)
+               | None -> false)
+         in
+         let r = SL.universal ~cross_check:true g in
+         r.SL.cross_check = None
+         && (match r.SL.status with
+             | SL.Holds -> brute
+             | SL.Fails w ->
+               (not brute) && w.SL.in_first = Lang.mem w.SL.word lang
+             | SL.Interrupted _ -> false))
+
+let prop_semantic_relational_vs_brute =
+  QCheck.Test.make
+    ~name:
+      "Semantic_lint inclusion/equivalence/disjointness agree with \
+       brute-force Lang algebra, with least witnesses"
+    ~count:200 arb_seed
+    (fun seed ->
+       let rng = Ucfg_util.Rng.create seed in
+       let g1 = random_g rng in
+       let g2 = random_g rng in
+       match (Analysis.language_exn g1, Analysis.language_exn g2) with
+       | exception Invalid_argument _ -> QCheck.assume_fail ()
+       | l1, l2 ->
+         let fails_on expected (r : SL.report) in_first in_second =
+           match r.SL.status with
+           | SL.Fails w ->
+             Some w.SL.word = expected
+             && w.SL.in_first = in_first && w.SL.in_second = in_second
+           | _ -> false
+         in
+         let inc = SL.includes ~cross_check:true g1 g2 in
+         let inc_ok =
+           if Lang.subset l1 l2 then inc.SL.status = SL.Holds
+           else fails_on (least_word (Lang.diff l1 l2)) inc true false
+         in
+         let dis = SL.disjoint ~cross_check:true g1 g2 in
+         let dis_ok =
+           if Lang.disjoint l1 l2 then dis.SL.status = SL.Holds
+           else fails_on (least_word (Lang.inter l1 l2)) dis true true
+         in
+         let eqv = SL.equiv ~cross_check:true g1 g2 in
+         let eqv_ok =
+           if Lang.equal l1 l2 then eqv.SL.status = SL.Holds
+           else if not (Lang.subset l1 l2) then
+             fails_on (least_word (Lang.diff l1 l2)) eqv true false
+           else fails_on (least_word (Lang.diff l2 l1)) eqv false true
+         in
+         inc_ok && dis_ok && eqv_ok
+         && List.for_all
+              (fun (r : SL.report) -> r.SL.cross_check = None)
+              [ inc; dis; eqv ])
+
+(* every observable field of a report, flattened for equality *)
+let report_fingerprint (r : SL.report) =
+  let status =
+    match r.SL.status with
+    | SL.Holds -> "holds"
+    | SL.Fails w ->
+      Printf.sprintf "fails:%s:%b:%b" w.SL.word w.SL.in_first w.SL.in_second
+    | SL.Interrupted reason -> "interrupted:" ^ Guard.reason_code reason
+  in
+  let card = function None -> "-" | Some c -> Bignum.to_string c in
+  Printf.sprintf "%s|%s|%b|%s|%s|%b" status
+    (match r.SL.backend with
+     | SL.Counting -> "counting"
+     | SL.Packed -> "packed"
+     | SL.Mixed -> "mixed")
+    r.SL.vacuous (card r.SL.cardinal) (card r.SL.cardinal2)
+    (r.SL.cross_check = None)
+
+let prop_semantic_jobs_invariant =
+  QCheck.Test.make
+    ~name:"semantic reports are identical at jobs 1 and jobs 4" ~count:60
+    arb_seed
+    (fun seed ->
+       let rng = Ucfg_util.Rng.create seed in
+       let g1 = random_g rng in
+       let g2 = random_g rng in
+       let run jobs =
+         with_global_jobs jobs (fun () ->
+           try
+             Some
+               (List.map report_fingerprint
+                  [
+                    SL.universal ~cross_check:true g1;
+                    SL.includes g1 g2;
+                    SL.equiv g1 g2;
+                    SL.disjoint g1 g2;
+                  ])
+           with Invalid_argument _ -> None)
+       in
+       match (run 1, run 4) with
+       | Some a, Some b -> a = b
+       | None, None -> QCheck.assume_fail ()
+       | _ -> false)
+
 let qtests =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_lint_verdict_sound; prop_fast_equals_slow; prop_nfa_product_criterion ]
+    [ prop_lint_verdict_sound; prop_fast_equals_slow; prop_nfa_product_criterion;
+      prop_semantic_universal_vs_brute; prop_semantic_relational_vs_brute;
+      prop_semantic_jobs_invariant ]
 
 let () =
   Alcotest.run "ucfg_lint"
@@ -572,6 +924,20 @@ let () =
             test_heuristics_and_probe;
           Alcotest.test_case "certificate" `Quick test_certificate;
           Alcotest.test_case "registry" `Quick test_registry_complete;
+        ] );
+      ( "semantic tier",
+        [
+          Alcotest.test_case "universality" `Quick test_semantic_universal_unit;
+          Alcotest.test_case "inclusion, equivalence, disjointness" `Quick
+            test_semantic_relational_unit;
+          Alcotest.test_case "guard trip degrades to partial" `Quick
+            test_semantic_guard_trip;
+          Alcotest.test_case "typed certificate verdict" `Quick
+            test_certificate_verdict_typed;
+          Alcotest.test_case "deep tier in Grammar_lint.run" `Quick
+            test_semantic_lint_tier;
+          Alcotest.test_case "packed first codes" `Quick
+            test_packed_first_codes;
         ] );
       ( "fast path",
         [
