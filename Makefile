@@ -10,10 +10,11 @@ BENCH := dune exec --no-build -- bench/main.exe
 # experiments with fully deterministic output (e24/e25/e26/e27/timings
 # print wall-clock numbers and are excluded from the determinism diffs)
 DET_EXPERIMENTS := e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 \
-  e17 e18 e19 e20 e21 e22 e23 e29
+  e17 e18 e19 e20 e21 e22 e23 e29 e30
 
 .PHONY: build test lint bench smoke determinism json-determinism \
-  bench-record bench-compare chaos timeout-smoke check-smoke ci check clean
+  bench-record bench-compare chaos timeout-smoke check-smoke serve-smoke \
+  ci check clean
 
 build:
 	dune build @all
@@ -68,22 +69,24 @@ json-determinism: build
 	@echo "json-determinism: OK"
 
 # regenerate this PR's perf record under the same conditions as the
-# committed BENCH_pr4.json baseline (smoke, sequential)
+# committed BENCH_pr5.json baseline (smoke, sequential)
 bench-record: build
-	UCFG_JOBS=1 $(BENCH) --smoke --json-out BENCH_pr5.json > /dev/null
+	UCFG_JOBS=1 $(BENCH) --smoke --json-out BENCH_pr6.json > /dev/null
 
-# checksum drift gate: the deterministic experiments in BENCH_pr5.json
-# must carry byte-identical output checksums to the BENCH_pr4.json
-# baseline (e29 is new in pr5: compared on e1–e23, asserted present)
+# checksum drift gate: the deterministic experiments in BENCH_pr6.json
+# must carry byte-identical output checksums to the BENCH_pr5.json
+# baseline (e30 is new in pr6: compared on e1–e23, e29/e30 asserted
+# present)
 bench-compare:
 	@mkdir -p _build/determinism
-	@for pr in pr4 pr5; do \
+	@for pr in pr5 pr6; do \
 	  sed -n 's/ *{ "name": "\(e[0-9]*\)", "ms": [0-9.]*, "checksum": "\([0-9a-f]*\)".*/\1 \2/p' \
 	    BENCH_$$pr.json | grep -E '^e([1-9]|1[0-9]|2[0-3]) ' | sort \
 	    > _build/determinism/$$pr.sums; \
 	done
-	diff _build/determinism/pr4.sums _build/determinism/pr5.sums
-	@grep -q '"name": "e29"' BENCH_pr5.json
+	diff _build/determinism/pr5.sums _build/determinism/pr6.sums
+	@grep -q '"name": "e29"' BENCH_pr6.json
+	@grep -q '"name": "e30"' BENCH_pr6.json
 	@echo "bench-compare: OK"
 
 # the full suite must stay green under seeded fault injection: injected
@@ -142,11 +145,33 @@ check-smoke: build
 	diff _build/determinism/check1.json _build/determinism/check4.json
 	@echo "check-smoke: OK"
 
+# the serving gate: a daemon on a unix socket, bombarded with the smoke
+# profile at jobs 1 and 4.  bombard itself fails on any error response or
+# on two responses to the same request differing byte-wise (cold vs warm,
+# mem vs disk), and --assert-warm-hits requires a nonzero warm-phase hit
+# ratio; the dumps (cache key + result payload per distinct request) must
+# additionally be byte-identical across job counts
+serve-smoke: build
+	@mkdir -p _build/serve
+	@set -e; for j in 1 4; do \
+	  rm -rf _build/serve/cache$$j _build/serve/sock$$j; \
+	  UCFG_JOBS=$$j $(CLI) serve --socket _build/serve/sock$$j \
+	    --cache-dir _build/serve/cache$$j & pid=$$!; \
+	  i=0; while [ ! -S _build/serve/sock$$j ] && [ $$i -lt 100 ]; do \
+	    sleep 0.1; i=$$((i+1)); done; \
+	  UCFG_JOBS=$$j $(CLI) bombard --smoke --socket _build/serve/sock$$j \
+	    --assert-warm-hits --shutdown --dump _build/serve/dump$$j.txt \
+	    --json-out _build/serve/bombard$$j.json; \
+	  wait $$pid; \
+	done
+	diff _build/serve/dump1.txt _build/serve/dump4.txt
+	@echo "serve-smoke: OK"
+
 check: build test lint check-smoke
 	@echo "check: OK"
 
 ci: check smoke determinism json-determinism bench-record bench-compare \
-  chaos timeout-smoke
+  chaos timeout-smoke serve-smoke
 	@echo "ci: OK"
 
 clean:

@@ -1377,6 +1377,98 @@ let timings () =
        results []
      |> List.sort compare)
 
+let e30_serve_cache () =
+  (* the serving tier as a product: each request is answered three times —
+     a cold computation on a fresh server, a warm re-ask on the same
+     server (an in-memory LRU hit) and a re-ask on a second fresh server
+     over the same cache directory (a verified on-disk hit).  The table is
+     the byte-identity gate: one MD5 over the [result] payload per row,
+     required identical across all three sources, plus the source
+     trajectory itself.  No wall clock in the text — `make determinism`
+     diffs it across jobs 1 and 4; latency lives in bombard reports. *)
+  let module Server = Ucfg_serve.Server in
+  let module Json = Ucfg_serve.Json in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ucfg-bench-e30-%d" (Unix.getpid ()))
+  in
+  let rec rm path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  rm dir;
+  Fun.protect ~finally:(fun () -> rm dir) @@ fun () ->
+  let requests =
+    pick
+      [
+        ("lint log:4", {|{"op": "lint", "kind": "log", "n": 4}|});
+        ( "lint example4:3 sem",
+          {|{"op": "lint", "kind": "example4", "n": 3, "semantic": true}|} );
+        ("ambiguity log:4", {|{"op": "ambiguity", "kind": "log", "n": 4}|});
+        ( "ambiguity example4:4",
+          {|{"op": "ambiguity", "kind": "example4", "n": 4}|} );
+        ( "check universal trivial:3",
+          {|{"op": "check", "property": "universal", "kind": "trivial", "n": 3}|}
+        );
+        ( "check equiv log:4 trivial:4",
+          {|{"op": "check", "property": "equiv", "kind": "log", "n": 4, "kind2": "trivial", "n2": 4}|}
+        );
+        ( "rectangles example4:3",
+          {|{"op": "rectangles", "kind": "example4", "n": 3}|} );
+        ("rank log:4", {|{"op": "rank", "kind": "log", "n": 4}|});
+      ]
+      [
+        ("lint log:3", {|{"op": "lint", "kind": "log", "n": 3}|});
+        ("ambiguity log:3", {|{"op": "ambiguity", "kind": "log", "n": 3}|});
+        ( "check universal trivial:3",
+          {|{"op": "check", "property": "universal", "kind": "trivial", "n": 3}|}
+        );
+        ("rank log:3", {|{"op": "rank", "kind": "log", "n": 3}|});
+      ]
+  in
+  let srv = Server.create ~cache_dir:(Some dir) () in
+  let srv' = Server.create ~cache_dir:(Some dir) () in
+  let field name resp =
+    match Json.parse resp with
+    | Error _ -> "?"
+    | Ok v -> (
+        match Json.member name v with
+        | Some (Json.Str s) -> s
+        | Some f -> Json.to_string f
+        | None -> "?")
+  in
+  Report.print_table
+    ~title:
+      "E30 (artifact cache): each request answered cold (computed), warm \
+       (in-memory LRU) and by a fresh server over the same directory \
+       (verified disk entry) — one result checksum per row, identical \
+       across all three sources"
+    ~headers:[ "request"; "sources"; "identical"; "result md5" ]
+    (List.map
+       (fun (label, req) ->
+          let cold = Server.handle_line srv req in
+          let warm = Server.handle_line srv req in
+          let disk = Server.handle_line srv' req in
+          let payload r = field "result" r in
+          let md5 s = Digest.to_hex (Digest.string s) in
+          let identical =
+            String.equal (payload cold) (payload warm)
+            && String.equal (payload cold) (payload disk)
+          in
+          [
+            label;
+            Printf.sprintf "%s/%s/%s" (field "source" cold)
+              (field "source" warm) (field "source" disk);
+            (if identical then "yes" else "NO");
+            String.sub (md5 (payload cold)) 0 12;
+          ])
+       requests)
+
 (* ------------------------------------------------------------------ main *)
 
 let experiments =
@@ -1392,6 +1484,7 @@ let experiments =
     ("e23", e23_overlap_asymmetry); ("e24", e24_lint_fastpath);
     ("e25", e25_parallel_speedup); ("e26", e26_packed_speedup);
     ("e27", e27_bitset_kernel); ("e29", e29_semantic_check);
+    ("e30", e30_serve_cache);
     ("timings", timings);
   ]
 
@@ -1401,7 +1494,7 @@ let experiments =
    of deterministic experiments must agree between the sequential and
    parallel runs (the `make json-determinism` gate). *)
 let json_mode = ref false
-let json_out = ref "BENCH_pr5.json"
+let json_out = ref "BENCH_pr6.json"
 
 (* --timeout SEC wraps each experiment in its own wall-clock guard: a
    tripped experiment prints a note, records a "timeout" outcome in the

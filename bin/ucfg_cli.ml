@@ -58,26 +58,16 @@ let guard_term =
 (* --jobs then --timeout/--budget, shared by every subcommand *)
 let common_term = Term.(const (fun () () -> ()) $ jobs_term $ guard_term)
 
+(* the CLI's release version: also echoed by the serve daemon's ping and
+   recorded in bombard reports *)
+let version = "1.2.0"
+
 (* guard trips and malformed inputs render as the linter's diagnostics:
    stable code, severity, message, optional hint — same text and JSON
-   shape everywhere *)
-let interrupt_diag reason =
-  let code =
-    match reason with
-    | Ucfg_exec.Guard.Timeout -> "R001"
-    | Ucfg_exec.Guard.Budget -> "R002"
-    | Ucfg_exec.Guard.Cancel -> "R003"
-  in
-  Ucfg_lint.Diag.make ~code ~severity:Ucfg_lint.Diag.Error
-    ~loc:Ucfg_lint.Diag.Whole
-    ~hint:"raise --timeout/--budget, shrink n, or use a cheaper method"
-    (Printf.sprintf "computation interrupted: %s"
-       (Ucfg_exec.Guard.describe reason))
-
-let input_diag msg =
-  Ucfg_lint.Diag.make ~code:"R010" ~severity:Ucfg_lint.Diag.Error
-    ~loc:Ucfg_lint.Diag.Whole
-    (Printf.sprintf "invalid input: %s" msg)
+   shape everywhere.  The constructors live in [Ucfg_lint.Diag] so the
+   serve daemon's per-request error responses share them. *)
+let interrupt_diag = Ucfg_lint.Diag.interrupted
+let input_diag = Ucfg_lint.Diag.invalid_input
 
 let kind_arg =
   let kinds =
@@ -721,15 +711,262 @@ let circuit_cmd =
        ~doc:"Boolean DNNF / d-DNNF circuits for the L_n predicate.")
     Term.(const run $ common_term $ n_arg)
 
+(* --- serve ----------------------------------------------------------------- *)
+
+module Server = Ucfg_serve.Server
+module Bombard = Ucfg_serve.Bombard
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt string "_repro/cache"
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:"Root of the on-disk artifact cache (created on demand).")
+
+let no_disk_arg =
+  Arg.(
+    value & flag
+    & info [ "no-disk-cache" ]
+        ~doc:"Keep the cache in memory only (no on-disk tier).")
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tcp" ] ~docv:"PORT" ~doc:"Loopback TCP port.")
+
+let serve_cmd =
+  (* the daemon must not inherit a process-wide --timeout guard (it would
+     trip once and poison every later request), so it takes per-request
+     defaults instead of [guard_term] and only uses [jobs_term] *)
+  let run () socket tcp stdin_mode cache_dir no_disk mem_capacity
+      default_timeout default_budget =
+    let cache_dir = if no_disk then None else Some cache_dir in
+    let srv =
+      Server.create ~cache_dir ?mem_capacity
+        ?default_timeout_ms:(Option.map (fun s -> s *. 1000.) default_timeout)
+        ?default_budget ~version ()
+    in
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    match socket, tcp, stdin_mode with
+    | Some path, None, false ->
+      Printf.eprintf "ucfg serve: listening on %s\n%!" path;
+      Server.run_unix srv ~path
+    | None, Some port, false ->
+      Printf.eprintf "ucfg serve: listening on 127.0.0.1:%d\n%!" port;
+      Server.run_tcp srv ~port
+    | None, None, true -> Server.run_stdin srv stdin stdout
+    | None, None, false ->
+      failwith "pass one of --socket PATH, --tcp PORT, --stdin"
+    | _ -> failwith "pass exactly one of --socket, --tcp, --stdin"
+  in
+  let stdin_arg =
+    Arg.(
+      value & flag
+      & info [ "stdin" ]
+          ~doc:
+            "Batch mode: read all request lines from stdin, fan them over \
+             the pool, and write response lines in request order (tests, \
+             CI).")
+  in
+  let mem_capacity_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "mem-capacity" ] ~docv:"N"
+          ~doc:"In-memory LRU entry cap (default 512).")
+  in
+  let default_timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "default-timeout" ] ~docv:"SEC"
+          ~doc:
+            "Per-request wall-clock deadline applied when a request \
+             carries none; a trip degrades that request to an R001 error \
+             response, not process death.")
+  in
+  let default_budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "default-budget" ] ~docv:"N"
+          ~doc:"Per-request tick budget applied when a request carries none.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-lived grammar-analysis daemon: line-delimited JSON requests \
+          (lint / check / ambiguity / rectangles / rank) answered through a \
+          content-addressed artifact cache (in-memory LRU over a verified \
+          on-disk store).  Guard trips and bad inputs become structured \
+          error responses carrying the documented exit-code taxonomy \
+          (R001\xe2\x80\x93R003 \xe2\x86\x92 124, R010/R011 \xe2\x86\x92 2) \
+          instead of killing the process.")
+    Term.(
+      const run $ jobs_term $ socket_arg $ tcp_arg $ stdin_arg $ cache_dir_arg
+      $ no_disk_arg $ mem_capacity_arg $ default_timeout_arg
+      $ default_budget_arg)
+
+(* --- bombard --------------------------------------------------------------- *)
+
+let bombard_cmd =
+  let run () socket tcp in_process cache_dir no_disk smoke profile seed
+      requests dump json_out json assert_warm_hits shutdown =
+    let profile = if smoke then "smoke" else profile in
+    let requests =
+      match requests with
+      | Some r -> r
+      | None -> if profile = "smoke" then 40 else 200
+    in
+    let send, cleanup =
+      match socket, tcp, in_process with
+      | Some path, None, false ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        let ic = Unix.in_channel_of_descr fd
+        and oc = Unix.out_channel_of_descr fd in
+        ( (fun line ->
+             output_string oc line;
+             output_char oc '\n';
+             flush oc;
+             input_line ic),
+          fun () -> try Unix.close fd with Unix.Unix_error _ -> () )
+      | None, Some port, false ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        let ic = Unix.in_channel_of_descr fd
+        and oc = Unix.out_channel_of_descr fd in
+        ( (fun line ->
+             output_string oc line;
+             output_char oc '\n';
+             flush oc;
+             input_line ic),
+          fun () -> try Unix.close fd with Unix.Unix_error _ -> () )
+      | None, None, true ->
+        let cache_dir = if no_disk then None else Some cache_dir in
+        let srv = Server.create ~cache_dir ~version () in
+        (Server.handle_line srv, fun () -> ())
+      | _ ->
+        failwith "pass exactly one of --socket PATH, --tcp PORT, --in-process"
+    in
+    let report =
+      Fun.protect
+        ~finally:(fun () ->
+          if shutdown then ignore (send {|{"op": "shutdown"}|});
+          cleanup ())
+        (fun () ->
+           let dump_oc = Option.map open_out dump in
+           Fun.protect
+             ~finally:(fun () -> Option.iter close_out dump_oc)
+             (fun () -> Bombard.run ?dump:dump_oc ~profile ~seed ~requests send))
+    in
+    (match json_out with
+     | Some path ->
+       let oc = open_out path in
+       output_string oc (Bombard.to_json report);
+       output_char oc '\n';
+       close_out oc
+     | None -> ());
+    if json then print_endline (Bombard.to_json report)
+    else print_endline (Bombard.to_text report);
+    if not (Bombard.ok report) then exit 1;
+    if assert_warm_hits && report.Bombard.warm_hit_ratio <= 0. then begin
+      prerr_endline "bombard: --assert-warm-hits failed (warm hit ratio is 0)";
+      exit 3
+    end
+  in
+  let in_process_arg =
+    Arg.(
+      value & flag
+      & info [ "in-process" ]
+          ~doc:
+            "Drive an in-process server instead of a socket (no daemon \
+             needed; uses --cache-dir/--no-disk-cache).")
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Shorthand for --profile smoke with a CI-sized request count.")
+  in
+  let profile_arg =
+    Arg.(
+      value
+      & opt (enum [ ("smoke", "smoke"); ("mixed", "mixed") ]) "mixed"
+      & info [ "profile" ] ~docv:"NAME" ~doc:"Traffic profile: smoke or mixed.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1066 & info [ "seed" ] ~docv:"S" ~doc:"Traffic seed.")
+  in
+  let requests_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "requests" ] ~docv:"N"
+          ~doc:"Warm-phase request count (default 40 smoke / 200 mixed).")
+  in
+  let dump_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump" ] ~docv:"PATH"
+          ~doc:
+            "Write one '<key> <result>' line per distinct request — a \
+             stable transcript for cold/warm and jobs 1-vs-4 diffs.")
+  in
+  let json_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json-out" ] ~docv:"PATH"
+          ~doc:"Also write the JSON report to $(docv) (CI artifact).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the report as JSON.")
+  in
+  let assert_arg =
+    Arg.(
+      value & flag
+      & info [ "assert-warm-hits" ]
+          ~doc:"Exit 3 unless the warm-phase cache hit ratio is nonzero.")
+  in
+  let shutdown_arg =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ]
+          ~doc:"Send a shutdown request when done (stops the daemon).")
+  in
+  Cmd.v
+    (Cmd.info "bombard"
+       ~doc:
+         "Seeded load generator for the serve daemon: replays a mixed \
+          lint/check/ambiguity/rectangles/rank traffic profile and reports \
+          p50/p99 latency, throughput and the cache hit ratio; fails (exit \
+          1) if any response errors or two responses to the same request \
+          differ byte-wise, and under $(b,--assert-warm-hits) (exit 3) if \
+          the warm phase never hits the cache.")
+    Term.(
+      const run $ jobs_term $ socket_arg $ tcp_arg $ in_process_arg
+      $ cache_dir_arg $ no_disk_arg $ smoke_arg $ profile_arg $ seed_arg
+      $ requests_arg $ dump_arg $ json_out_arg $ json_arg $ assert_arg
+      $ shutdown_arg)
+
 let main_cmd =
   let doc =
     "reproduction of 'A Lower Bound on Unambiguous Context Free Grammars via \
      Communication Complexity' (PODS 2025)"
   in
-  Cmd.group (Cmd.info "ucfg" ~version:"1.1.0" ~doc)
+  Cmd.group (Cmd.info "ucfg" ~version ~doc)
     [ separation_cmd; grammar_cmd; count_cmd; rectangles_cmd; bound_cmd;
       csv_cmd; access_cmd; profile_cmd; intersect_cmd; lint_cmd; check_cmd;
-      circuit_cmd; search_cmd ]
+      circuit_cmd; search_cmd; serve_cmd; bombard_cmd ]
 
 (* Exit codes: 0 success, 1 lint errors, 2 invalid input or usage,
    124 resource-guard trip (GNU timeout convention).  [~catch:false] lets

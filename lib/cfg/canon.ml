@@ -1,0 +1,70 @@
+(* Canonical grammar text: presentation-invariant renumbering + sorted
+   alternatives.  See the mli for the exact invariances. *)
+
+let canonical ?(keep_names = false) g =
+  let n = Grammar.nonterminal_count g in
+  (* old id -> canonical id, assigned in BFS reachability order from the
+     start symbol; rule alternatives are scanned in insertion order so the
+     assignment depends only on the rule multiset, not on the ids *)
+  let canon = Array.make n (-1) in
+  let next = ref 0 in
+  let assign i =
+    if canon.(i) < 0 then begin
+      canon.(i) <- !next;
+      incr next
+    end
+  in
+  let queue = Queue.create () in
+  assign (Grammar.start g);
+  Queue.add (Grammar.start g) queue;
+  while not (Queue.is_empty queue) do
+    let a = Queue.pop queue in
+    List.iter
+      (List.iter (function
+        | Grammar.N b ->
+          if canon.(b) < 0 then begin
+            assign b;
+            Queue.add b queue
+          end
+        | Grammar.T _ -> ()))
+      (Grammar.rules_of g a)
+  done;
+  (* unreachable nonterminals: original order *)
+  for i = 0 to n - 1 do
+    assign i
+  done;
+  let old_of = Array.make n 0 in
+  Array.iteri (fun old c -> old_of.(c) <- old) canon;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "alphabet:";
+  List.iter (Buffer.add_char buf) (Ucfg_word.Alphabet.chars (Grammar.alphabet g));
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf "start:0\n";
+  if keep_names then begin
+    Buffer.add_string buf "names:";
+    for c = 0 to n - 1 do
+      if c > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Grammar.name g old_of.(c))
+    done;
+    Buffer.add_char buf '\n'
+  end;
+  let render_rhs rhs =
+    match rhs with
+    | [] -> "eps"
+    | _ ->
+      String.concat " "
+        (List.map
+           (function
+             | Grammar.T ch -> String.make 1 ch
+             | Grammar.N b -> Printf.sprintf "<%d>" canon.(b))
+           rhs)
+  in
+  for c = 0 to n - 1 do
+    let alts =
+      List.sort compare (List.map render_rhs (Grammar.rules_of g old_of.(c)))
+    in
+    List.iter (fun alt -> Buffer.add_string buf (Printf.sprintf "%d -> %s\n" c alt)) alts
+  done;
+  Buffer.contents buf
+
+let digest ?keep_names g = Digest.to_hex (Digest.string (canonical ?keep_names g))

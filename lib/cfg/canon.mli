@@ -1,0 +1,35 @@
+(** Canonical grammar text and content digests, for artifact caching.
+
+    A long-lived analysis service keys every derived artifact (lint
+    verdicts, ambiguity profiles, rectangle covers, rank tables) by the
+    {e content} of the grammar it was computed from, so that two clients
+    submitting the same grammar — possibly with different nonterminal
+    numbering, rule order, or names — share one cache entry.
+
+    {!canonical} renders a grammar into a normal form that is invariant
+    under exactly those presentation choices:
+
+    - nonterminals are renumbered in breadth-first reachability order
+      from the start symbol (first occurrence on a right-hand side wins;
+      unreachable nonterminals follow in their original order — they do
+      not affect the language, but they do affect lint verdicts, so they
+      stay part of the key);
+    - names are dropped (pass [~keep_names:true] for artifacts whose
+      rendering mentions names, e.g. lint diagnostics);
+    - the alternatives of each nonterminal are sorted lexicographically.
+
+    Two grammars with equal canonical text define the same rule set up to
+    renaming, hence the same language and the same semantic artifacts.
+    The converse is not claimed: canonicalisation is not a graph-canonical
+    form, so structurally equal grammars presented with sufficiently
+    different reachability orders may render differently — the cache then
+    merely recomputes, it is never wrong. *)
+
+(** [canonical ?keep_names g] is the canonical text of [g].  Stable across
+    processes and OCaml versions: the text depends only on the grammar's
+    alphabet, rules and start symbol (plus names when [keep_names]). *)
+val canonical : ?keep_names:bool -> Grammar.t -> string
+
+(** [digest ?keep_names g] is the MD5 hex digest (32 lowercase hex chars)
+    of {!canonical}. *)
+val digest : ?keep_names:bool -> Grammar.t -> string

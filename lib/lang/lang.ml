@@ -202,6 +202,18 @@ let elements = function
 
 let to_seq = function Set s -> Word.Set.to_seq s | Packed p -> Packed.words p
 
+(* both representations enumerate in ascending string order (packed code
+   order is lexicographic within the uniform length), so the digest is
+   representation-invariant: pack/unpack round trips hash identically *)
+let digest l =
+  let buf = Buffer.create 1024 in
+  Seq.iter
+    (fun w ->
+       Buffer.add_string buf w;
+       Buffer.add_char buf '\n')
+    (match l with Set s -> Word.Set.to_seq s | Packed p -> Packed.words p);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let iter f = function
   | Set s -> Word.Set.iter f s
   | Packed p -> Packed.iter_codes (fun c -> f (Packed.word_of_code ~len:(Packed.length p) c)) p

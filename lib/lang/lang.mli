@@ -85,4 +85,9 @@ val uniform_length : t -> int option
     replacement (all of them if [k >= cardinal l]). *)
 val sample : Ucfg_util.Rng.t -> int -> t -> Word.t list
 
+(** [digest l] is the MD5 hex digest of the sorted word enumeration —
+    a stable content fingerprint for cached artifacts.  Representation
+    invariant: a packed language and its set form hash identically. *)
+val digest : t -> string
+
 val pp : Format.formatter -> t -> unit

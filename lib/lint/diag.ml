@@ -26,6 +26,36 @@ let severity_label = function
   | Warning -> "warning"
   | Info -> "info"
 
+(* the R-code runtime taxonomy, shared by the CLI's top-level handler and
+   the serve daemon's per-request error responses: same codes, same text,
+   whether a trip kills a process or degrades one response *)
+let interrupted reason =
+  let code =
+    match reason with
+    | Ucfg_exec.Guard.Timeout -> "R001"
+    | Ucfg_exec.Guard.Budget -> "R002"
+    | Ucfg_exec.Guard.Cancel -> "R003"
+  in
+  make ~code ~severity:Error ~loc:Whole
+    ~hint:"raise --timeout/--budget, shrink n, or use a cheaper method"
+    (Printf.sprintf "computation interrupted: %s"
+       (Ucfg_exec.Guard.describe reason))
+
+let invalid_input msg =
+  make ~code:"R010" ~severity:Error ~loc:Whole
+    (Printf.sprintf "invalid input: %s" msg)
+
+let unsupported msg =
+  make ~code:"R011" ~severity:Error ~loc:Whole
+    (Printf.sprintf "unsupported operation: %s" msg)
+
+let cache_corrupt key =
+  make ~code:"R020" ~severity:Warning ~loc:Whole
+    ~hint:"the entry was recomputed and rewritten; no wrong answer is served"
+    (Printf.sprintf
+       "on-disk cache entry %s failed hash verification (truncated or \
+        bit-flipped)" key)
+
 let soundness_label = function
   | Certificate -> "certificate"
   | Definite -> "definite"

@@ -42,6 +42,29 @@ val make :
 val severity_label : severity -> string
 val soundness_label : soundness -> string
 
+(** {2 Runtime (R-code) diagnostics}
+
+    The shared taxonomy for failures of the {e run}, not the grammar:
+    guard trips, malformed inputs, cache damage.  The CLI renders them
+    before exiting (124 / 2); the serve daemon embeds them in per-request
+    error responses with the same codes and text. *)
+
+(** [interrupted reason] is the R001 (timeout) / R002 (budget) /
+    R003 (cancelled) error for a tripped {!Ucfg_exec.Guard}. *)
+val interrupted : Ucfg_exec.Guard.reason -> t
+
+(** [invalid_input msg] is the R010 error for malformed or unusable
+    input (exit code 2 at the CLI). *)
+val invalid_input : string -> t
+
+(** [unsupported msg] is the R011 error for a request naming an unknown
+    operation or parameter. *)
+val unsupported : string -> t
+
+(** [cache_corrupt key] is the R020 warning: an on-disk cache entry
+    failed hash verification and was transparently recomputed. *)
+val cache_corrupt : string -> t
+
 (** Sort order: errors first, then warnings, then infos; ties by code. *)
 val sort : t list -> t list
 

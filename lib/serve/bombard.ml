@@ -1,0 +1,216 @@
+(* The load generator.  Requests are literal JSON lines (no ids) so that
+   equal requests are equal strings — the consistency check keys on the
+   line itself. *)
+
+module Rng = Ucfg_util.Rng
+
+type phase = {
+  count : int;
+  p50_ms : float;
+  p99_ms : float;
+  max_ms : float;
+  hits : int;
+}
+
+type report = {
+  profile : string;
+  seed : int;
+  jobs : int;
+  distinct : int;
+  requests : int;
+  cold : phase;
+  warm : phase;
+  warm_hit_ratio : float;
+  elapsed_s : float;
+  throughput_rps : float;
+  errors : int;
+  mismatches : int;
+}
+
+(* a small grammar shipped inline to exercise the Grammar_io parse path
+   (the constructions only exercise kind:n resolution) *)
+let inline_grammar =
+  "start: <S>\\n<S> -> <A> <B> | <B> <A>\\n<A> -> a\\n<B> -> b"
+
+let smoke_pool =
+  [
+    {|{"op": "lint", "kind": "log", "n": 4}|};
+    {|{"op": "lint", "kind": "example4", "n": 3, "semantic": true}|};
+    Printf.sprintf {|{"op": "lint", "grammar": "%s"}|} inline_grammar;
+    {|{"op": "ambiguity", "kind": "log", "n": 4}|};
+    {|{"op": "ambiguity", "kind": "example4", "n": 4}|};
+    {|{"op": "check", "property": "universal", "kind": "trivial", "n": 3}|};
+    {|{"op": "check", "property": "equiv", "kind": "log", "n": 4, "kind2": "trivial", "n2": 4}|};
+    {|{"op": "rectangles", "kind": "example4", "n": 3}|};
+    {|{"op": "rank", "kind": "log", "n": 4}|};
+  ]
+
+(* the heavier mix: same operations where the artifacts are expensive
+   enough that cold admission control matters *)
+let mixed_pool =
+  smoke_pool
+  @ [
+      {|{"op": "lint", "kind": "log", "n": 6, "semantic": true}|};
+      {|{"op": "ambiguity", "kind": "log", "n": 6}|};
+      {|{"op": "check", "property": "equiv", "kind": "log", "n": 6, "kind2": "trivial", "n2": 6}|};
+      {|{"op": "rectangles", "kind": "example4", "n": 4}|};
+      {|{"op": "rank", "kind": "log", "n": 6}|};
+    ]
+
+let profiles = [ "smoke"; "mixed" ]
+
+let pool_of = function
+  | "smoke" -> smoke_pool
+  | "mixed" -> mixed_pool
+  | p -> invalid_arg (Printf.sprintf "Bombard: unknown profile %S" p)
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (q * n / 100))
+
+let phase_of latencies hits =
+  let arr = Array.of_list (List.rev latencies) in
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  {
+    count = Array.length arr;
+    p50_ms = percentile sorted 50;
+    p99_ms = percentile sorted 99;
+    max_ms = (if Array.length sorted = 0 then 0. else sorted.(Array.length sorted - 1));
+    hits;
+  }
+
+(* pull the fields the gate cares about out of a response line; the
+   [result] payload is re-rendered through the canonical printer, which
+   reproduces the daemon's bytes (same printer on both sides) *)
+let parse_response line =
+  match Json.parse line with
+  | Error msg -> Error msg
+  | Ok v ->
+    let ok = Json.member "ok" v |> Option.map Json.get_bool |> Option.join in
+    let cached =
+      Json.member "cached" v |> Option.map Json.get_bool |> Option.join
+    in
+    let key =
+      Json.member "key" v |> Option.map Json.get_string |> Option.join
+    in
+    let result = Json.member "result" v |> Option.map Json.to_string in
+    Ok (Option.value ~default:false ok, Option.value ~default:false cached,
+        key, result)
+
+let run ?dump ~profile ~seed ~requests send =
+  let pool = Array.of_list (pool_of profile) in
+  let seen : (string, string) Hashtbl.t = Hashtbl.create 32 in
+  let keys : (string, string) Hashtbl.t = Hashtbl.create 32 in
+  let errors = ref 0 and mismatches = ref 0 in
+  let shoot line =
+    let t0 = Unix.gettimeofday () in
+    let resp = send line in
+    let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    let cached =
+      match parse_response resp with
+      | Error _ -> incr errors; false
+      | Ok (ok, cached, key, result) ->
+        if not ok then incr errors;
+        (match key with
+         | Some k -> Hashtbl.replace keys line k
+         | None -> ());
+        (match result with
+         | Some r -> (
+             match Hashtbl.find_opt seen line with
+             | None -> Hashtbl.add seen line r
+             | Some first -> if not (String.equal first r) then incr mismatches)
+         | None -> ());
+        cached
+    in
+    (ms, cached)
+  in
+  let started = Unix.gettimeofday () in
+  let cold_lat = ref [] and cold_hits = ref 0 in
+  Array.iter
+    (fun line ->
+       let ms, cached = shoot line in
+       cold_lat := ms :: !cold_lat;
+       if cached then incr cold_hits)
+    pool;
+  let rng = Rng.create seed in
+  let warm_lat = ref [] and warm_hits = ref 0 in
+  for _ = 1 to requests do
+    let line = Rng.pick rng pool in
+    let ms, cached = shoot line in
+    warm_lat := ms :: !warm_lat;
+    if cached then incr warm_hits
+  done;
+  let elapsed_s = Unix.gettimeofday () -. started in
+  (match dump with
+   | None -> ()
+   | Some oc ->
+     Array.iter
+       (fun line ->
+          let key = Option.value ~default:"-" (Hashtbl.find_opt keys line) in
+          let result = Option.value ~default:"-" (Hashtbl.find_opt seen line) in
+          Printf.fprintf oc "%s %s\n" key result)
+       pool;
+     flush oc);
+  let total = Array.length pool + requests in
+  {
+    profile;
+    seed;
+    jobs = Ucfg_exec.Exec.jobs ();
+    distinct = Array.length pool;
+    requests;
+    cold = phase_of !cold_lat !cold_hits;
+    warm = phase_of !warm_lat !warm_hits;
+    warm_hit_ratio =
+      (if requests = 0 then 0. else float_of_int !warm_hits /. float_of_int requests);
+    elapsed_s;
+    throughput_rps =
+      (if elapsed_s > 0. then float_of_int total /. elapsed_s else 0.);
+    errors = !errors;
+    mismatches = !mismatches;
+  }
+
+let ok r = r.errors = 0 && r.mismatches = 0
+
+let to_text r =
+  String.concat "\n"
+    [
+      Printf.sprintf "bombard: profile=%s seed=%d jobs=%d" r.profile r.seed r.jobs;
+      Printf.sprintf "  requests: %d cold (distinct) + %d warm" r.distinct r.requests;
+      Printf.sprintf "  cold:  p50 %.2f ms, p99 %.2f ms, max %.2f ms" r.cold.p50_ms
+        r.cold.p99_ms r.cold.max_ms;
+      Printf.sprintf "  warm:  p50 %.2f ms, p99 %.2f ms, max %.2f ms" r.warm.p50_ms
+        r.warm.p99_ms r.warm.max_ms;
+      Printf.sprintf "  warm cache hit ratio: %.3f" r.warm_hit_ratio;
+      Printf.sprintf "  throughput: %.1f req/s over %.2f s" r.throughput_rps
+        r.elapsed_s;
+      Printf.sprintf "  errors: %d, result mismatches: %d (%s)" r.errors
+        r.mismatches
+        (if ok r then "consistency: ok" else "CONSISTENCY: FAILED");
+    ]
+
+let phase_json p =
+  Json.Obj
+    [ ("count", Json.Int p.count);
+      ("p50_ms", Json.Float p.p50_ms);
+      ("p99_ms", Json.Float p.p99_ms);
+      ("max_ms", Json.Float p.max_ms);
+      ("hits", Json.Int p.hits) ]
+
+let to_json r =
+  Json.to_string
+    (Json.Obj
+       [ ("profile", Json.Str r.profile);
+         ("seed", Json.Int r.seed);
+         ("jobs", Json.Int r.jobs);
+         ("distinct", Json.Int r.distinct);
+         ("requests", Json.Int r.requests);
+         ("cold", phase_json r.cold);
+         ("warm", phase_json r.warm);
+         ("warm_hit_ratio", Json.Float r.warm_hit_ratio);
+         ("elapsed_s", Json.Float r.elapsed_s);
+         ("throughput_rps", Json.Float r.throughput_rps);
+         ("errors", Json.Int r.errors);
+         ("mismatches", Json.Int r.mismatches);
+         ("consistency", Json.Str (if ok r then "ok" else "failed")) ])

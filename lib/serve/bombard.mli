@@ -1,0 +1,69 @@
+(** Seeded load generator and serving gate for the daemon.
+
+    Replays a mixed traffic profile — lint, check, ambiguity, rectangles
+    and rank requests over the paper's constructions plus an inline
+    grammar (exercising the parse path) — against a [send] function
+    (a socket connection, or an in-process {!Server.handle_line}) and
+    measures what the ROADMAP asks for: cold and warm latency quantiles,
+    throughput, and the warm cache hit ratio.
+
+    Two phases, both deterministic from [seed]:
+
+    + {b cold}: every distinct request of the profile pool once, in a
+      fixed order — these populate the cache;
+    + {b warm}: [requests] draws from the pool by a seeded splitmix64
+      stream — on a fresh cache every one of these should hit.
+
+    The run doubles as the correctness gate behind the CI serving job:
+    every response must be [ok], and all responses to the {e same request
+    line} must carry byte-identical [result] payloads (cold vs warm, mem
+    vs disk).  Violations are reported and fail the run. *)
+
+type phase = {
+  count : int;
+  p50_ms : float;
+  p99_ms : float;
+  max_ms : float;
+  hits : int;  (** responses with ["cached": true] *)
+}
+
+type report = {
+  profile : string;
+  seed : int;
+  jobs : int;
+  distinct : int;  (** pool size (cold-phase request count) *)
+  requests : int;  (** warm-phase request count *)
+  cold : phase;
+  warm : phase;
+  warm_hit_ratio : float;
+  elapsed_s : float;
+  throughput_rps : float;
+  errors : int;  (** non-[ok] responses *)
+  mismatches : int;  (** identical requests with differing [result] bytes *)
+}
+
+(** The built-in pools.  [smoke] is sized for CI (small [n]); [mixed]
+    adds heavier cold requests. *)
+val profiles : string list
+
+(** [run ~profile ~seed ~requests send] executes both phases through
+    [send] (one request line in, one response line out).  [dump], when
+    given, receives one ["<key> <result>"] line per distinct pool request
+    in pool order — a stable transcript for cold/warm and jobs 1-vs-4
+    diffs.  @raise Invalid_argument on an unknown profile name. *)
+val run :
+  ?dump:out_channel ->
+  profile:string ->
+  seed:int ->
+  requests:int ->
+  (string -> string) ->
+  report
+
+(** [ok r] — no errors and no result mismatches. *)
+val ok : report -> bool
+
+(** Render the report as an aligned text block / a canonical JSON object
+    (timings are measurements: the JSON is for artifacts, not diffs). *)
+val to_text : report -> string
+
+val to_json : report -> string

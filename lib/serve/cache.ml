@@ -1,0 +1,214 @@
+(* LRU over a self-verifying disk store; see the mli for the contract. *)
+
+type entry = { value : string; mutable stamp : int }
+
+type t = {
+  dir : string option;
+  capacity : int;
+  tbl : (string, entry) Hashtbl.t;
+  mutable clock : int;
+  mutex : Mutex.t;
+  mutable lookups : int;
+  mutable mem_hits : int;
+  mutable disk_hits : int;
+  mutable misses : int;
+  mutable corrupt : int;
+  mutable stores : int;
+  mutable evictions : int;
+}
+
+type lookup = Memory of string | Disk of string | Miss | Corrupt
+
+type stats = {
+  lookups : int;
+  mem_hits : int;
+  disk_hits : int;
+  misses : int;
+  corrupt : int;
+  stores : int;
+  evictions : int;
+}
+
+let create ?(mem_capacity = 512) ?dir () =
+  {
+    dir;
+    capacity = max 1 mem_capacity;
+    tbl = Hashtbl.create 64;
+    clock = 0;
+    mutex = Mutex.create ();
+    lookups = 0;
+    mem_hits = 0;
+    disk_hits = 0;
+    misses = 0;
+    corrupt = 0;
+    stores = 0;
+    evictions = 0;
+  }
+
+let dir t = t.dir
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* --- disk tier ------------------------------------------------------------ *)
+
+let check_key key =
+  if
+    key = ""
+    || not
+         (String.for_all
+            (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+            key)
+  then invalid_arg (Printf.sprintf "Cache: key %S is not lowercase hex" key)
+
+let entry_path t key =
+  check_key key;
+  Option.map
+    (fun dir ->
+       let prefix = String.sub (key ^ "00") 0 2 in
+       Filename.concat (Filename.concat dir prefix) (key ^ ".entry"))
+    t.dir
+
+let mkdir_p path =
+  let rec ensure p =
+    if p <> "" && p <> "." && p <> "/" && not (Sys.file_exists p) then begin
+      ensure (Filename.dirname p);
+      try Unix.mkdir p 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  ensure path
+
+let magic = "ucfg-cache v1"
+
+(* distinct temp names per writer: pid for cross-process, a counter for
+   cross-domain *)
+let tmp_counter = Atomic.make 0
+
+let write_disk path payload =
+  mkdir_p (Filename.dirname path);
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+      (Atomic.fetch_and_add tmp_counter 1)
+  in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+       Printf.fprintf oc "%s %s %d\n" magic
+         (Digest.to_hex (Digest.string payload))
+         (String.length payload);
+       output_string oc payload);
+  (* atomic on POSIX: readers see the old entry or the new one, never a
+     prefix of either *)
+  Unix.rename tmp path
+
+type disk_read = D_hit of string | D_miss | D_corrupt
+
+let read_disk path =
+  match open_in_bin path with
+  | exception Sys_error _ -> D_miss
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+         match input_line ic with
+         | exception End_of_file -> D_corrupt
+         | header -> (
+             match String.split_on_char ' ' header with
+             | [ m1; m2; digest; len_text ] when m1 ^ " " ^ m2 = magic -> (
+                 match int_of_string_opt len_text with
+                 | None -> D_corrupt
+                 | Some len when len < 0 -> D_corrupt
+                 | Some len -> (
+                     match really_input_string ic len with
+                     | exception End_of_file -> D_corrupt
+                     | payload ->
+                       (* a trailing-garbage append is damage too *)
+                       if
+                         pos_in ic = in_channel_length ic
+                         && Digest.to_hex (Digest.string payload) = digest
+                       then D_hit payload
+                       else D_corrupt))
+             | _ -> D_corrupt))
+
+(* --- LRU ------------------------------------------------------------------ *)
+
+(* O(capacity) scan on eviction: capacities are a few hundred and
+   evictions are rare relative to hits, so simplicity wins over a
+   doubly-linked list *)
+let evict_oldest_locked t =
+  let oldest = ref None in
+  Hashtbl.iter
+    (fun key e ->
+       match !oldest with
+       | Some (_, s) when s <= e.stamp -> ()
+       | _ -> oldest := Some (key, e.stamp))
+    t.tbl;
+  match !oldest with
+  | Some (key, _) ->
+    Hashtbl.remove t.tbl key;
+    t.evictions <- t.evictions + 1
+  | None -> ()
+
+let insert_locked t key value =
+  t.clock <- t.clock + 1;
+  (match Hashtbl.find_opt t.tbl key with
+   | Some _ -> Hashtbl.replace t.tbl key { value; stamp = t.clock }
+   | None ->
+     if Hashtbl.length t.tbl >= t.capacity then evict_oldest_locked t;
+     Hashtbl.add t.tbl key { value; stamp = t.clock })
+
+let lookup t key =
+  let mem =
+    locked t (fun () ->
+        t.lookups <- t.lookups + 1;
+        match Hashtbl.find_opt t.tbl key with
+        | Some e ->
+          t.clock <- t.clock + 1;
+          e.stamp <- t.clock;
+          t.mem_hits <- t.mem_hits + 1;
+          Some e.value
+        | None -> None)
+  in
+  match mem with
+  | Some v -> Memory v
+  | None -> (
+      match entry_path t key with
+      | None ->
+        locked t (fun () -> t.misses <- t.misses + 1);
+        Miss
+      | Some path -> (
+          match read_disk path with
+          | D_hit payload ->
+            locked t (fun () ->
+                t.disk_hits <- t.disk_hits + 1;
+                insert_locked t key payload);
+            Disk payload
+          | D_miss ->
+            locked t (fun () -> t.misses <- t.misses + 1);
+            Miss
+          | D_corrupt ->
+            locked t (fun () -> t.corrupt <- t.corrupt + 1);
+            Corrupt))
+
+let store t key payload =
+  check_key key;
+  locked t (fun () ->
+      t.stores <- t.stores + 1;
+      insert_locked t key payload);
+  match entry_path t key with
+  | None -> ()
+  | Some path -> write_disk path payload
+
+let stats t =
+  locked t (fun () ->
+      {
+        lookups = t.lookups;
+        mem_hits = t.mem_hits;
+        disk_hits = t.disk_hits;
+        misses = t.misses;
+        corrupt = t.corrupt;
+        stores = t.stores;
+        evictions = t.evictions;
+      })

@@ -1,0 +1,61 @@
+(** Content-addressed artifact cache: in-memory LRU over a verified
+    on-disk store.
+
+    Keys are 32-char hex digests ({!Ucfg_cfg.Canon.digest} of the
+    canonical grammar text plus the operation and its parameters); values
+    are opaque byte strings (the daemon stores rendered JSON result
+    payloads).  Lookups hit, in order: the in-process LRU (a mutex-guarded
+    hash table with last-use stamps, scanned for the oldest entry on
+    eviction), then the disk store under [dir/<k[0..1]>/<key>.entry].
+
+    Every disk entry is self-verifying — a header records the MD5 and byte
+    length of the payload, and a read that fails either check reports
+    {!Corrupt} instead of returning bytes, so a truncated or bit-flipped
+    entry can degrade only to a recomputation, never to a wrong answer.
+    Writes go through a unique temp file in the same directory followed by
+    [Unix.rename], which is atomic on POSIX: concurrent writers of the
+    same key race only over {e which complete entry} survives, and readers
+    never observe a partial one.
+
+    All operations are safe to call from multiple domains. *)
+
+type t
+
+(** [create ?mem_capacity ?dir ()] — [mem_capacity] (default 512) bounds
+    the LRU entry count; [dir] (default [None]) enables the disk tier and
+    is created on demand. *)
+val create : ?mem_capacity:int -> ?dir:string -> unit -> t
+
+(** [dir t] is the disk root, if the disk tier is enabled. *)
+val dir : t -> string option
+
+type lookup =
+  | Memory of string  (** hit in the LRU *)
+  | Disk of string  (** hit on disk, verified, promoted into the LRU *)
+  | Miss  (** no entry *)
+  | Corrupt  (** a disk entry exists but failed verification *)
+
+(** [lookup t key] — [key] must be lowercase hex. *)
+val lookup : t -> string -> lookup
+
+(** [store t key payload] inserts into the LRU and (when enabled) writes
+    the disk entry atomically, replacing any previous or corrupt one. *)
+val store : t -> string -> string -> unit
+
+(** Monotonic counters since {!create}.  [corrupt] counts failed disk
+    verifications; [evictions] LRU evictions. *)
+type stats = {
+  lookups : int;
+  mem_hits : int;
+  disk_hits : int;
+  misses : int;
+  corrupt : int;
+  stores : int;
+  evictions : int;
+}
+
+val stats : t -> stats
+
+(** [entry_path t key] is the disk path the entry lives at (diagnostics,
+    tests), when the disk tier is enabled. *)
+val entry_path : t -> string -> string option

@@ -1,0 +1,44 @@
+(** A minimal JSON codec for the line-delimited serving protocol.
+
+    The repo deliberately avoids new opam dependencies, so the daemon
+    carries its own small parser and printer.  The printer is {e canonical}
+    for a given value — fields are emitted in construction order, strings
+    are escaped one way only, no insignificant whitespace — which is what
+    makes "byte-identical cold vs warm responses" a meaningful contract:
+    re-rendering a parsed response reproduces the bytes the daemon sent.
+
+    [Raw] splices a pre-rendered JSON fragment verbatim on output (the
+    daemon uses it to embed cached result payloads and {!Ucfg_lint.Diag}
+    renderings without reparsing); the parser never produces it. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+  | Raw of string  (** verbatim fragment, output only *)
+
+(** [parse s] — objects, arrays, strings (with [\uXXXX] escapes, surrogate
+    pairs decoded to UTF-8), numbers (lossless [Int] when integral and in
+    range), booleans, null.  [Error] carries a position-annotated message. *)
+val parse : string -> (t, string) result
+
+(** [to_string v] — canonical single-line rendering. *)
+val to_string : t -> string
+
+(** [member name v] is the field [name] of an [Obj] (first occurrence). *)
+val member : string -> t -> t option
+
+(** Field accessors: [Some] on the matching constructor ([get_float] also
+    accepts [Int]), [None] on a missing field or any other constructor. *)
+
+val get_string : t -> string option
+val get_int : t -> int option
+val get_bool : t -> bool option
+val get_float : t -> float option
+
+(** [escape_string s] is the quoted, escaped JSON literal for [s]. *)
+val escape_string : string -> string

@@ -1,0 +1,543 @@
+(* Request dispatch for the serving daemon.  See the mli for the protocol
+   and the caching/guard contract. *)
+
+open Ucfg_cfg
+module Lang = Ucfg_lang.Lang
+module Diag = Ucfg_lint.Diag
+module SL = Ucfg_lint.Semantic_lint
+module Guard = Ucfg_exec.Guard
+module Bignum = Ucfg_util.Bignum
+
+(* per-grammar derived artifacts shared across operations: the parsed
+   grammar and (lazily) its materialised language, keyed by the semantic
+   content digest — a lint then a rank on the same grammar parse and
+   materialise once *)
+type artifact = { grammar : Grammar.t; mutable lang : Lang.t option }
+
+type t = {
+  cache : Cache.t;
+  version : string;
+  default_timeout_ms : float option;
+  default_budget : int option;
+  artifacts : (string, artifact) Hashtbl.t;
+  art_mutex : Mutex.t;
+  mutable stop : bool;
+  mutable requests : int;
+  mutable errors : int;
+}
+
+let create ?(cache_dir = Some "_repro/cache") ?mem_capacity ?default_timeout_ms
+    ?default_budget ?(version = "dev") () =
+  {
+    cache = Cache.create ?mem_capacity ?dir:cache_dir ();
+    version;
+    default_timeout_ms;
+    default_budget;
+    artifacts = Hashtbl.create 32;
+    art_mutex = Mutex.create ();
+    stop = false;
+    requests = 0;
+    errors = 0;
+  }
+
+let cache t = t.cache
+let stopping t = t.stop
+
+(* --- request decoding ----------------------------------------------------- *)
+
+exception Bad_request of string
+
+let badf fmt = Printf.ksprintf (fun m -> raise (Bad_request m)) fmt
+
+let kinds =
+  [ ("log", `Log); ("example3", `Example3); ("example4", `Example4);
+    ("trivial", `Trivial) ]
+
+let build_kind kind n =
+  match kind with
+  | `Log -> Constructions.log_cfg n
+  | `Example3 -> Constructions.example3 n
+  | `Example4 -> Constructions.example4 n
+  | `Trivial ->
+    Constructions.of_language Ucfg_word.Alphabet.binary (Ucfg_lang.Ln.language n)
+
+let field obj name = Json.member name obj
+
+let string_field obj name =
+  match field obj name with
+  | None -> None
+  | Some v -> (
+      match Json.get_string v with
+      | Some s -> Some s
+      | None -> badf "field %S must be a string" name)
+
+let int_field obj name =
+  match field obj name with
+  | None -> None
+  | Some v -> (
+      match Json.get_int v with
+      | Some i -> Some i
+      | None -> badf "field %S must be an integer" name)
+
+let bool_field obj name =
+  match field obj name with
+  | None -> None
+  | Some v -> (
+      match Json.get_bool v with
+      | Some b -> Some b
+      | None -> badf "field %S must be a boolean" name)
+
+let float_field obj name =
+  match field obj name with
+  | None -> None
+  | Some v -> (
+      match Json.get_float v with
+      | Some f -> Some f
+      | None -> badf "field %S must be a number" name)
+
+let alphabet_of obj suffix =
+  match string_field obj ("alphabet" ^ suffix) with
+  | None -> Ucfg_word.Alphabet.binary
+  | Some chars ->
+    if chars = "" then badf "field \"alphabet%s\" must be non-empty" suffix;
+    Ucfg_word.Alphabet.make (List.init (String.length chars) (String.get chars))
+
+(* a grammar operand: inline Grammar_io text or a named construction *)
+let grammar_of obj suffix =
+  match
+    ( string_field obj ("grammar" ^ suffix),
+      string_field obj ("kind" ^ suffix),
+      int_field obj ("n" ^ suffix) )
+  with
+  | Some text, None, None -> Grammar_io.parse (alphabet_of obj suffix) text
+  | None, Some kind, Some n -> (
+      match List.assoc_opt kind kinds with
+      | Some k -> build_kind k n
+      | None ->
+        badf "unknown kind%s %S (expected log, example3, example4, trivial)"
+          suffix kind)
+  | None, Some _, None -> badf "field \"kind%s\" needs \"n%s\"" suffix suffix
+  | None, None, Some _ -> badf "field \"n%s\" needs \"kind%s\"" suffix suffix
+  | Some _, Some _, _ | Some _, _, Some _ ->
+    badf "pass either \"grammar%s\" or \"kind%s\"+\"n%s\", not both" suffix
+      suffix suffix
+  | None, None, None ->
+    badf "missing grammar operand: \"grammar%s\" or \"kind%s\"+\"n%s\"" suffix
+      suffix suffix
+
+(* --- artifacts ------------------------------------------------------------ *)
+
+let artifact t g =
+  let key = Canon.digest g in
+  Mutex.lock t.art_mutex;
+  let art =
+    match Hashtbl.find_opt t.artifacts key with
+    | Some a -> a
+    | None ->
+      (* crude growth bound: the response cache is the real store, this
+         table only deduplicates within a busy window *)
+      if Hashtbl.length t.artifacts >= 256 then Hashtbl.reset t.artifacts;
+      let a = { grammar = g; lang = None } in
+      Hashtbl.add t.artifacts key a;
+      a
+  in
+  Mutex.unlock t.art_mutex;
+  art
+
+let language ~guard art =
+  match art.lang with
+  | Some l -> l
+  | None ->
+    let l = Analysis.language_exn ~guard art.grammar in
+    art.lang <- Some l;
+    l
+
+(* --- result rendering ----------------------------------------------------- *)
+
+let diags_json diags = Json.Raw (Diag.list_to_json diags)
+
+let big_opt = function
+  | Some b -> Json.Str (Bignum.to_string b)
+  | None -> Json.Null
+
+let check_result name (report : SL.report) =
+  let diags = SL.to_diags report in
+  let status, reason =
+    match report.SL.status with
+    | SL.Holds -> ("holds", Json.Null)
+    | SL.Fails _ -> ("fails", Json.Null)
+    | SL.Interrupted r -> ("interrupted", Json.Str (Guard.reason_code r))
+  in
+  let backend =
+    match report.SL.backend with
+    | SL.Counting -> "count"
+    | SL.Packed -> "packed"
+    | SL.Mixed -> "mixed"
+  in
+  let witness =
+    match report.SL.status with
+    | SL.Fails cex ->
+      Json.Obj
+        [ ("word", Json.Str cex.SL.word);
+          ("in_first", Json.Bool cex.SL.in_first);
+          ("in_second", Json.Bool cex.SL.in_second) ]
+    | _ -> Json.Null
+  in
+  ( Json.Obj
+      [ ("property", Json.Str name);
+        ("status", Json.Str status);
+        ("reason", reason);
+        ("backend", Json.Str backend);
+        ("vacuous", Json.Bool report.SL.vacuous);
+        ("cardinal", big_opt report.SL.cardinal);
+        ("cardinal2", big_opt report.SL.cardinal2);
+        ("witness", witness);
+        ("diagnostics", diags_json diags) ],
+    report.SL.status,
+    diags )
+
+(* --- operations ----------------------------------------------------------- *)
+
+(* the canonical cache key of a request: op, canonical parameter string,
+   canonical operand grammars.  Names only matter where the rendered
+   artifact mentions them (lint diagnostics). *)
+let key_of ~op ~params ~keep_names grammars =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          (op :: params :: List.map (Canon.canonical ~keep_names) grammars)))
+
+(* [compute] returns the result payload object; a [Guard.Interrupt] or an
+   [SL.Interrupted] status becomes an uncached error response upstream *)
+exception Interrupted_status of Guard.reason
+
+let op_lint t ~guard ~semantic g =
+  ignore t;
+  let diags =
+    let static = Ucfg_lint.Grammar_lint.run g in
+    if semantic then Diag.sort (static @ SL.lint ~guard g) else static
+  in
+  let errors, warnings, infos = Diag.count_severity diags in
+  Json.Obj
+    [ ("diagnostics", diags_json diags);
+      ("errors", Json.Int errors);
+      ("warnings", Json.Int warnings);
+      ("infos", Json.Int infos) ]
+
+let op_ambiguity ~guard g =
+  let v = Ambiguity.check ~guard g in
+  let via, witness =
+    match v.Ambiguity.via with
+    | Ambiguity.Certificate -> ("certificate", Json.Null)
+    | Ambiguity.Static_witness w -> ("static-witness", Json.Str w)
+    | Ambiguity.Counting -> ("counting", Json.Null)
+  in
+  Json.Obj
+    [ ("unambiguous", Json.Bool v.Ambiguity.unambiguous);
+      ("total_trees", big_opt v.Ambiguity.total_trees);
+      ("word_count",
+       match v.Ambiguity.word_count with
+       | Some c -> Json.Int c
+       | None -> Json.Null);
+      ("via", Json.Str via);
+      ("witness", witness) ]
+
+let op_check ~guard ~cross_check ~property g1 g2_opt =
+  let need_g2 () =
+    match g2_opt with
+    | Some g -> g
+    | None -> badf "property %S needs a second grammar" property
+  in
+  let report =
+    match property with
+    | "universal" -> SL.universal ~guard ~cross_check g1
+    | "includes" -> SL.includes ~guard ~cross_check g1 (need_g2 ())
+    | "equiv" -> SL.equiv ~guard ~cross_check g1 (need_g2 ())
+    | "disjoint" -> SL.disjoint ~guard ~cross_check g1 (need_g2 ())
+    | p ->
+      badf "unknown property %S (expected universal, includes, equiv, \
+            disjoint)" p
+  in
+  let result, status, _diags = check_result property report in
+  (match status with
+   | SL.Interrupted reason -> raise (Interrupted_status reason)
+   | _ -> ());
+  result
+
+let op_rectangles ~guard g =
+  let res = Ucfg_rect.Extract.run ~guard g in
+  let v, shape_ok = Ucfg_rect.Extract.verify g res in
+  Json.Obj
+    [ ("word_length", Json.Int res.Ucfg_rect.Extract.word_length);
+      ("cnf_size", Json.Int res.Ucfg_rect.Extract.cnf_size);
+      ("annotated_size", Json.Int res.Ucfg_rect.Extract.annotated_size);
+      ("rectangles", Json.Int (List.length res.Ucfg_rect.Extract.rectangles));
+      ("bound", Json.Int res.Ucfg_rect.Extract.bound);
+      ("is_cover", Json.Bool v.Ucfg_rect.Cover.is_cover);
+      ("is_disjoint", Json.Bool v.Ucfg_rect.Cover.is_disjoint);
+      ("balanced_within_bound", Json.Bool shape_ok) ]
+
+let op_rank t ~guard ~split g =
+  let art = artifact t g in
+  let lang = language ~guard art in
+  let len =
+    match Lang.uniform_length lang with
+    | Some l -> l
+    | None -> badf "rank needs a non-empty uniform-length language"
+  in
+  let split =
+    match split with
+    | Some s ->
+      if s < 1 || s >= len then
+        badf "split %d out of range for word length %d" s len;
+      s
+    | None -> (len + 1) / 2
+  in
+  let m = Ucfg_comm.Matrix.of_language (Grammar.alphabet g) lang ~split in
+  Json.Obj
+    [ ("word_length", Json.Int len);
+      ("split", Json.Int split);
+      ("rows", Json.Int (Ucfg_comm.Matrix.rows m));
+      ("cols", Json.Int (Ucfg_comm.Matrix.cols m));
+      ("ones", Json.Int (Ucfg_comm.Matrix.ones m));
+      ("gf2_rank", Json.Int (Ucfg_comm.Rank.gf2 m));
+      ("cover_lower_bound", Json.Int (Ucfg_comm.Rank.disjoint_cover_lower_bound m));
+      ("language_digest", Json.Str (Lang.digest lang)) ]
+
+(* --- the dispatcher ------------------------------------------------------- *)
+
+let error_response ~id ?op (diag : Diag.t) exit_code =
+  let fields =
+    [ ("id", id); ("ok", Json.Bool false) ]
+    @ (match op with Some o -> [ ("op", Json.Str o) ] | None -> [])
+    @ [ ("error",
+         Json.Obj
+           ([ ("code", Json.Str diag.Diag.code);
+              ("exit_code", Json.Int exit_code);
+              ("message", Json.Str diag.Diag.message) ]
+            @
+            match diag.Diag.hint with
+            | Some h -> [ ("hint", Json.Str h) ]
+            | None -> []));
+        ("diagnostics", diags_json [ diag ]) ]
+  in
+  Json.to_string (Json.Obj fields)
+
+let ok_response ~id ~op ~source ~key ?warning payload =
+  let cached = match source with "computed" | "recomputed" -> false | _ -> true in
+  Json.to_string
+    (Json.Obj
+       ([ ("id", id); ("ok", Json.Bool true); ("op", Json.Str op);
+          ("cached", Json.Bool cached); ("source", Json.Str source);
+          ("key", match key with Some k -> Json.Str k | None -> Json.Null);
+          ("result", Json.Raw payload) ]
+        @
+        match warning with
+        | Some d -> [ ("warning", Json.Raw (Diag.to_json d)) ]
+        | None -> []))
+
+let handle_line t line =
+  t.requests <- t.requests + 1;
+  let id = ref Json.Null in
+  let op_for_error = ref None in
+  try
+    let obj =
+      match Json.parse line with
+      | Ok v -> v
+      | Error msg -> badf "%s" msg
+    in
+    (match obj with Json.Obj _ -> () | _ -> badf "request must be a JSON object");
+    (match field obj "id" with Some v -> id := v | None -> ());
+    let op =
+      match string_field obj "op" with
+      | Some op -> op
+      | None -> badf "missing \"op\""
+    in
+    op_for_error := Some op;
+    let timeout_ms =
+      match float_field obj "timeout_ms" with
+      | Some ms -> Some ms
+      | None -> t.default_timeout_ms
+    in
+    let budget =
+      match int_field obj "budget" with
+      | Some b -> Some b
+      | None -> t.default_budget
+    in
+    (* the request guard is passed explicitly to every library entry
+       point, never installed as the process-wide ambient guard: requests
+       racing in a stdin batch cannot trip each other *)
+    let guard =
+      match timeout_ms, budget with
+      | None, None -> Ucfg_exec.Exec.current_guard ()
+      | timeout_ms, budget ->
+        Guard.create
+          ?timeout:(Option.map (fun ms -> ms /. 1000.) timeout_ms)
+          ?budget ()
+    in
+    let no_cache = Option.value ~default:false (bool_field obj "no_cache") in
+    let respond_computed ~op ~key compute =
+      match key with
+      | None ->
+        let payload = Json.to_string (compute ()) in
+        ok_response ~id:!id ~op ~source:"computed" ~key:None payload
+      | Some key -> (
+          let lookup = if no_cache then Cache.Miss else Cache.lookup t.cache key in
+          match lookup with
+          | Cache.Memory payload ->
+            ok_response ~id:!id ~op ~source:"mem" ~key:(Some key) payload
+          | Cache.Disk payload ->
+            ok_response ~id:!id ~op ~source:"disk" ~key:(Some key) payload
+          | Cache.Miss ->
+            let payload = Json.to_string (compute ()) in
+            Cache.store t.cache key payload;
+            ok_response ~id:!id ~op ~source:"computed" ~key:(Some key) payload
+          | Cache.Corrupt ->
+            (* hash verification rejected the on-disk entry: recompute,
+               overwrite atomically, and say so — a damaged cache can cost
+               time, never correctness *)
+            let payload = Json.to_string (compute ()) in
+            Cache.store t.cache key payload;
+            ok_response ~id:!id ~op ~source:"recomputed" ~key:(Some key)
+              ~warning:(Diag.cache_corrupt key) payload)
+    in
+    match op with
+    | "ping" ->
+      ok_response ~id:!id ~op ~source:"computed" ~key:None
+        (Json.to_string
+           (Json.Obj
+              [ ("pong", Json.Bool true); ("version", Json.Str t.version) ]))
+    | "stats" ->
+      let s = Cache.stats t.cache in
+      ok_response ~id:!id ~op ~source:"computed" ~key:None
+        (Json.to_string
+           (Json.Obj
+              [ ("requests", Json.Int t.requests);
+                ("errors", Json.Int t.errors);
+                ("cache",
+                 Json.Obj
+                   [ ("lookups", Json.Int s.Cache.lookups);
+                     ("mem_hits", Json.Int s.Cache.mem_hits);
+                     ("disk_hits", Json.Int s.Cache.disk_hits);
+                     ("misses", Json.Int s.Cache.misses);
+                     ("corrupt", Json.Int s.Cache.corrupt);
+                     ("stores", Json.Int s.Cache.stores);
+                     ("evictions", Json.Int s.Cache.evictions) ]);
+                ("artifacts", Json.Int (Hashtbl.length t.artifacts)) ]))
+    | "shutdown" ->
+      t.stop <- true;
+      ok_response ~id:!id ~op ~source:"computed" ~key:None
+        (Json.to_string (Json.Obj [ ("stopping", Json.Bool true) ]))
+    | "lint" ->
+      let g = grammar_of obj "" in
+      let semantic = Option.value ~default:false (bool_field obj "semantic") in
+      let params = Printf.sprintf "semantic=%b" semantic in
+      (* lint diagnostics mention nonterminal names, so names are part of
+         this op's key (and only this op's) *)
+      let key = key_of ~op ~params ~keep_names:true [ g ] in
+      respond_computed ~op ~key:(Some key) (fun () -> op_lint t ~guard ~semantic g)
+    | "ambiguity" ->
+      let g = grammar_of obj "" in
+      let key = key_of ~op ~params:"" ~keep_names:false [ g ] in
+      respond_computed ~op ~key:(Some key) (fun () -> op_ambiguity ~guard g)
+    | "check" ->
+      let g1 = grammar_of obj "" in
+      let property =
+        match string_field obj "property" with
+        | Some p -> p
+        | None -> badf "missing \"property\""
+      in
+      let g2 =
+        if property = "universal" then None else Some (grammar_of obj "2")
+      in
+      let cross_check =
+        Option.value ~default:false (bool_field obj "cross_check")
+      in
+      let params = Printf.sprintf "property=%s cross_check=%b" property cross_check in
+      let grammars = g1 :: Option.to_list g2 in
+      let key = key_of ~op ~params ~keep_names:false grammars in
+      respond_computed ~op ~key:(Some key)
+        (fun () -> op_check ~guard ~cross_check ~property g1 g2)
+    | "rectangles" ->
+      let g = grammar_of obj "" in
+      let key = key_of ~op ~params:"" ~keep_names:false [ g ] in
+      respond_computed ~op ~key:(Some key) (fun () -> op_rectangles ~guard g)
+    | "rank" ->
+      let g = grammar_of obj "" in
+      let split = int_field obj "split" in
+      let params =
+        match split with
+        | Some s -> Printf.sprintf "split=%d" s
+        | None -> "split=half"
+      in
+      let key = key_of ~op ~params ~keep_names:false [ g ] in
+      respond_computed ~op ~key:(Some key) (fun () -> op_rank t ~guard ~split g)
+    | op ->
+      t.errors <- t.errors + 1;
+      error_response ~id:!id ~op (Diag.unsupported (Printf.sprintf "op %S" op)) 2
+  with
+  | Bad_request msg ->
+    t.errors <- t.errors + 1;
+    error_response ~id:!id ?op:!op_for_error (Diag.invalid_input msg) 2
+  | Guard.Interrupt reason | Interrupted_status reason ->
+    t.errors <- t.errors + 1;
+    error_response ~id:!id ?op:!op_for_error (Diag.interrupted reason) 124
+  | Invalid_argument msg | Failure msg | Sys_error msg ->
+    t.errors <- t.errors + 1;
+    error_response ~id:!id ?op:!op_for_error (Diag.invalid_input msg) 2
+
+(* --- transports ----------------------------------------------------------- *)
+
+let run_stdin t ic oc =
+  let rec read acc =
+    match input_line ic with
+    | line -> read (if String.trim line = "" then acc else line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let lines = read [] in
+  let responses = Ucfg_exec.Exec.parallel_map (handle_line t) lines in
+  List.iter
+    (fun r ->
+       output_string oc r;
+       output_char oc '\n')
+    responses;
+  flush oc
+
+let serve_connection t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     while not t.stop do
+       let line = input_line ic in
+       if String.trim line <> "" then begin
+         output_string oc (handle_line t line);
+         output_char oc '\n';
+         flush oc
+       end
+     done
+   with End_of_file | Sys_error _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let accept_loop t sock =
+  while not t.stop do
+    match Unix.accept sock with
+    | fd, _ -> serve_connection t fd
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  (try Unix.close sock with Unix.Unix_error _ -> ())
+
+let run_unix t ~path =
+  (try Sys.remove path with Sys_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 64;
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> accept_loop t sock)
+
+let run_tcp t ~port =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen sock 64;
+  accept_loop t sock

@@ -1,0 +1,91 @@
+(** The grammar-analysis daemon: line-delimited JSON requests over a unix
+    or TCP socket (or a stdin batch), answered through the
+    content-addressed {!Cache}.
+
+    {2 Protocol}
+
+    One request per line, one response line per request, in order.  A
+    request is a JSON object:
+
+    {v
+    { "op": "lint" | "check" | "ambiguity" | "rectangles" | "rank"
+          | "ping" | "stats" | "shutdown",
+      "id": <any JSON, echoed back>,                      (optional)
+      "grammar": "<Grammar_io text>"                      (inline grammar)
+        or "kind": "log"|"example3"|"example4"|"trivial", "n": <int>,
+      "alphabet": "ab",                                   (optional)
+      -- op-specific --
+      "semantic": bool,                                   (lint)
+      "property": "universal"|"includes"|"equiv"|"disjoint",  (check)
+      "grammar2" / "kind2","n2",                          (check)
+      "cross_check": bool,                                (check)
+      "split": <int>,                                     (rank)
+      -- per-request resource guard --
+      "timeout_ms": <number>, "budget": <int>,
+      "no_cache": bool }
+    v}
+
+    A successful response is
+    [{"id":…, "ok":true, "op":…, "cached":bool, "source":"computed"|
+    "mem"|"disk"|"recomputed", "key":"<hex>"|null, "result":{…},
+    "warning":{…}?}] — [result] is the cached unit: its bytes are
+    byte-identical between a cold computation and any later hit, at any
+    job count.  [source] and [cached] describe {e this} lookup ([cached]
+    is timing-dependent when requests race in a stdin batch; [result] is
+    not).  ["recomputed"] flags a disk entry that failed hash
+    verification and was transparently rebuilt ([warning] then carries
+    the R020 diagnostic).
+
+    A failed request is [{"id":…, "ok":false, "error":{"code":…,
+    "exit_code":…, "message":…, "hint":…}, "diagnostics":[…]}] using the
+    CLI's exit-code taxonomy per request instead of per process: R001–R003
+    guard trips map to [exit_code] 124, R010 invalid input and R011
+    unknown operation to 2.  Guard trips are never cached, so a request
+    that timed out under a small budget is recomputed when retried with a
+    larger one.
+
+    Requests over a socket are served strictly in order on one
+    connection, and connections one at a time — concurrency lives {e
+    inside} each computation, which fans over {!Ucfg_exec.Pool} through
+    the library's parallel paths with the request's guard passed
+    explicitly (never installed ambiently, so concurrent stdin-batch
+    requests cannot poison each other).  {!run_stdin} additionally fans
+    whole requests over the pool, preserving response order. *)
+
+type t
+
+(** [create ()] — [cache_dir] (default [Some "_repro/cache"], [None]
+    disables the disk tier) and [mem_capacity] configure the {!Cache};
+    [default_timeout_ms]/[default_budget] bound requests that do not carry
+    their own; [version] is echoed by [ping]. *)
+val create :
+  ?cache_dir:string option ->
+  ?mem_capacity:int ->
+  ?default_timeout_ms:float ->
+  ?default_budget:int ->
+  ?version:string ->
+  unit ->
+  t
+
+val cache : t -> Cache.t
+
+(** [handle_line t line] processes one request line into one response
+    line (no trailing newline).  Never raises: every failure mode is an
+    error response. *)
+val handle_line : t -> string -> string
+
+(** [stopping t] — a [shutdown] request has been served. *)
+val stopping : t -> bool
+
+(** [run_stdin t ic oc] reads all request lines from [ic], processes them
+    as one batch fanned over the pool, and writes the response lines to
+    [oc] in request order. *)
+val run_stdin : t -> in_channel -> out_channel -> unit
+
+(** [run_unix t ~path] listens on a unix-domain socket (an existing file
+    at [path] is replaced), serving connections one at a time until a
+    [shutdown] request; the socket file is removed on exit. *)
+val run_unix : t -> path:string -> unit
+
+(** [run_tcp t ~port] — same loop on loopback TCP. *)
+val run_tcp : t -> port:int -> unit

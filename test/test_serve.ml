@@ -1,0 +1,489 @@
+(* Tests for the serving subsystem: the JSON codec's canonical printer,
+   canonicalisation-based cache keys, the self-verifying disk cache
+   (including deliberate corruption and concurrent writers), the daemon's
+   request handling (cold/warm byte-identity, per-request guard trips as
+   structured errors, the R010/R011 input taxonomy), stdin batch ordering
+   under jobs 1 and 4, and an in-process bombard smoke run. *)
+
+open Ucfg_word
+open Ucfg_cfg
+open Ucfg_serve
+module G = Grammar
+module Exec = Ucfg_exec.Exec
+
+(* flip the process-wide pool, restoring the previous size afterwards *)
+let with_global_jobs jobs f =
+  let saved = Exec.jobs () in
+  Exec.set_jobs jobs;
+  Fun.protect ~finally:(fun () -> Exec.set_jobs saved) f
+
+let temp_counter = ref 0
+
+(* a fresh directory per test so cache state never leaks between cases *)
+let with_temp_dir f =
+  incr temp_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ucfg-serve-test-%d-%d" (Unix.getpid ()) !temp_counter)
+  in
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm dir) (fun () -> f dir)
+
+let json_of s =
+  match Json.parse s with
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "JSON parse failed on %S: %s" s msg
+
+let member_exn name v =
+  match Json.member name v with
+  | Some f -> f
+  | None -> Alcotest.failf "missing field %S in %s" name (Json.to_string v)
+
+let get_str name v = Option.get (Json.get_string (member_exn name v))
+let get_bool name v = Option.get (Json.get_bool (member_exn name v))
+let get_int name v = Option.get (Json.get_int (member_exn name v))
+
+(* --- Json ---------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  (* the printer is canonical: parse ∘ print is the identity on printed
+     values, which is what the byte-identity contract rests on *)
+  let cases =
+    [
+      {|{"a": 1, "b": [true, false, null], "c": {"d": "x"}}|};
+      {|[1, -2, 3.5, "s"]|};
+      {|"plain"|};
+      {|{"nested": {"deep": [{"k": "v"}]}}|};
+    ]
+  in
+  List.iter
+    (fun s ->
+       let printed = Json.to_string (json_of s) in
+       Alcotest.(check string) s printed (Json.to_string (json_of printed)))
+    cases
+
+let test_json_escapes () =
+  let v = json_of {|"line\nbreak A é 😀 \" \\ tab\t"|} in
+  (match Json.get_string v with
+   | Some s ->
+     Alcotest.(check string) "escapes decoded"
+       "line\nbreak A \xc3\xa9 \xf0\x9f\x98\x80 \" \\ tab\t" s
+   | None -> Alcotest.fail "expected a string");
+  (* control characters re-escape on output *)
+  Alcotest.(check string) "escaped output" {|"a\nb"|}
+    (Json.to_string (Json.Str "a\nb"))
+
+let test_json_errors () =
+  let bad = [ "{"; "[1,]"; {|{"a" 1}|}; "tru"; {|"unterminated|}; "{} extra"; "" ] in
+  List.iter
+    (fun s ->
+       match Json.parse s with
+       | Ok _ -> Alcotest.failf "expected a parse error on %S" s
+       | Error _ -> ())
+    bad
+
+let test_json_accessors () =
+  let v = json_of {|{"i": 7, "f": 1.5, "s": "x", "b": true, "n": null}|} in
+  Alcotest.(check int) "int" 7 (get_int "i" v);
+  Alcotest.(check bool) "bool" true (get_bool "b" v);
+  Alcotest.(check string) "str" "x" (get_str "s" v);
+  Alcotest.(check (option (float 1e-9))) "float via int"
+    (Some 7.) (Json.get_float (member_exn "i" v));
+  Alcotest.(check bool) "missing member" true
+    (Json.member "zz" v = None);
+  Alcotest.(check bool) "wrong constructor" true
+    (Json.get_string (member_exn "i" v) = None)
+
+(* --- Canon --------------------------------------------------------------- *)
+
+let mk ~names ~start rules =
+  G.make ~alphabet:Alphabet.binary ~names ~rules ~start
+
+(* S -> AB | BA; A -> a; B -> b, in several presentations *)
+let presentation_a () =
+  mk ~names:[| "S"; "A"; "B" |] ~start:0
+    [
+      { G.lhs = 0; rhs = [ G.N 1; G.N 2 ] };
+      { G.lhs = 0; rhs = [ G.N 2; G.N 1 ] };
+      { G.lhs = 1; rhs = [ G.T 'a' ] };
+      { G.lhs = 2; rhs = [ G.T 'b' ] };
+    ]
+
+(* same grammar: nonterminals renumbered (S=2, A=0, B=1), rules of distinct
+   nonterminals interleaved differently, different names.  (Alternative
+   order within a nonterminal is part of the BFS first-occurrence order, so
+   it is kept — Canon documents that it is not a graph-canonical form.) *)
+let presentation_b () =
+  mk ~names:[| "Left"; "Right"; "Top" |] ~start:2
+    [
+      { G.lhs = 0; rhs = [ G.T 'a' ] };
+      { G.lhs = 2; rhs = [ G.N 0; G.N 1 ] };
+      { G.lhs = 1; rhs = [ G.T 'b' ] };
+      { G.lhs = 2; rhs = [ G.N 1; G.N 0 ] };
+    ]
+
+let test_canon_invariance () =
+  Alcotest.(check string) "canonical text agrees"
+    (Canon.canonical (presentation_a ()))
+    (Canon.canonical (presentation_b ()));
+  Alcotest.(check string) "digest agrees"
+    (Canon.digest (presentation_a ()))
+    (Canon.digest (presentation_b ()))
+
+let test_canon_distinguishes () =
+  (* a genuinely different grammar (S -> AB only) must not collide *)
+  let smaller =
+    mk ~names:[| "S"; "A"; "B" |] ~start:0
+      [
+        { G.lhs = 0; rhs = [ G.N 1; G.N 2 ] };
+        { G.lhs = 1; rhs = [ G.T 'a' ] };
+        { G.lhs = 2; rhs = [ G.T 'b' ] };
+      ]
+  in
+  Alcotest.(check bool) "different rule sets differ" false
+    (String.equal (Canon.digest (presentation_a ())) (Canon.digest smaller))
+
+let test_canon_keep_names () =
+  (* name-sensitive artifacts (lint) must key on names too *)
+  Alcotest.(check bool) "keep_names separates presentations" false
+    (String.equal
+       (Canon.canonical ~keep_names:true (presentation_a ()))
+       (Canon.canonical ~keep_names:true (presentation_b ())));
+  let hex = Canon.digest (presentation_a ()) in
+  Alcotest.(check int) "digest is 32 hex chars" 32 (String.length hex);
+  String.iter
+    (fun c ->
+       if not ((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) then
+         Alcotest.failf "non-hex digest char %C" c)
+    hex
+
+(* --- Cache --------------------------------------------------------------- *)
+
+let key_a = String.make 32 'a'
+let key_b = String.make 32 'b'
+
+let test_cache_memory () =
+  let c = Cache.create ~mem_capacity:2 () in
+  Alcotest.(check bool) "miss first" true (Cache.lookup c key_a = Cache.Miss);
+  Cache.store c key_a "payload-a";
+  (match Cache.lookup c key_a with
+   | Cache.Memory v -> Alcotest.(check string) "mem value" "payload-a" v
+   | _ -> Alcotest.fail "expected a memory hit");
+  (* capacity 2: touching a, then adding b and c, must evict b (oldest) *)
+  Cache.store c key_b "payload-b";
+  ignore (Cache.lookup c key_a);
+  Cache.store c (String.make 32 'c') "payload-c";
+  Alcotest.(check bool) "lru evicted the stale key" true
+    (Cache.lookup c key_b = Cache.Miss);
+  Alcotest.(check bool) "recently used key survives" true
+    (match Cache.lookup c key_a with Cache.Memory _ -> true | _ -> false);
+  let s = Cache.stats c in
+  Alcotest.(check int) "evictions counted" 1 s.Cache.evictions
+
+let test_cache_disk_tier () =
+  with_temp_dir (fun dir ->
+    let c1 = Cache.create ~dir () in
+    Cache.store c1 key_a "persistent-payload";
+    (* a fresh instance over the same directory has a cold LRU: the hit
+       must come from disk, verified, and then be promoted *)
+    let c2 = Cache.create ~dir () in
+    (match Cache.lookup c2 key_a with
+     | Cache.Disk v -> Alcotest.(check string) "disk value" "persistent-payload" v
+     | _ -> Alcotest.fail "expected a disk hit");
+    (match Cache.lookup c2 key_a with
+     | Cache.Memory _ -> ()
+     | _ -> Alcotest.fail "expected promotion into the LRU");
+    let s = Cache.stats c2 in
+    Alcotest.(check int) "one disk hit" 1 s.Cache.disk_hits;
+    Alcotest.(check int) "one mem hit" 1 s.Cache.mem_hits)
+
+let corrupt_entry path mutate =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let bytes = really_input_string ic len in
+  close_in ic;
+  let oc = open_out_bin path in
+  output_string oc (mutate bytes);
+  close_out oc
+
+let test_cache_corruption () =
+  with_temp_dir (fun dir ->
+    let payload = "the one true payload" in
+    let check_detects label mutate =
+      let c = Cache.create ~dir () in
+      Cache.store c key_a payload;
+      let path = Option.get (Cache.entry_path c key_a) in
+      corrupt_entry path mutate;
+      (* fresh instance: the LRU copy is gone, the damaged entry is all
+         there is — it must be detected, never returned *)
+      let c' = Cache.create ~dir () in
+      (match Cache.lookup c' key_a with
+       | Cache.Corrupt -> ()
+       | Cache.Disk v ->
+         Alcotest.failf "%s: corrupt entry served verbatim (%S)" label v
+       | Cache.Memory _ -> Alcotest.failf "%s: impossible memory hit" label
+       | Cache.Miss -> Alcotest.failf "%s: expected Corrupt, got Miss" label);
+      Alcotest.(check int) (label ^ ": corruption counted") 1
+        (Cache.stats c').Cache.corrupt;
+      (* recompute-and-store must repair the entry in place *)
+      Cache.store c' key_a payload;
+      let c'' = Cache.create ~dir () in
+      match Cache.lookup c'' key_a with
+      | Cache.Disk v -> Alcotest.(check string) (label ^ ": repaired") payload v
+      | _ -> Alcotest.failf "%s: entry not repaired" label
+    in
+    check_detects "truncated" (fun s -> String.sub s 0 (String.length s - 4));
+    check_detects "bit-flipped payload" (fun s ->
+      let b = Bytes.of_string s in
+      let i = Bytes.length b - 3 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+      Bytes.to_string b);
+    check_detects "mangled header" (fun s -> "xxxx" ^ s);
+    check_detects "appended garbage" (fun s -> s ^ "trailing"))
+
+let test_cache_concurrent_writers () =
+  with_temp_dir (fun dir ->
+    let c = Cache.create ~dir () in
+    let values = Array.init 16 (Printf.sprintf "writer-%d-payload") in
+    with_global_jobs 4 (fun () ->
+      ignore
+        (Exec.parallel_map
+           (fun v ->
+              Cache.store c key_a v;
+              ignore (Cache.lookup c key_a))
+           (Array.to_list values)));
+    (* whatever the interleaving, a fresh read must verify and must be one
+       of the written values — a complete entry, never a splice *)
+    let c' = Cache.create ~dir () in
+    match Cache.lookup c' key_a with
+    | Cache.Disk v ->
+      Alcotest.(check bool) "surviving entry is one written value" true
+        (Array.exists (String.equal v) values)
+    | Cache.Corrupt -> Alcotest.fail "concurrent writers corrupted the entry"
+    | _ -> Alcotest.fail "expected a disk entry")
+
+(* --- Server -------------------------------------------------------------- *)
+
+let result_bytes line =
+  Json.to_string (member_exn "result" (json_of line))
+
+let test_server_cold_warm_identity () =
+  with_temp_dir (fun dir ->
+    let srv = Server.create ~cache_dir:(Some dir) () in
+    let req = {|{"op": "ambiguity", "kind": "log", "n": 3}|} in
+    let cold = Server.handle_line srv req in
+    let warm = Server.handle_line srv req in
+    let cv = json_of cold and wv = json_of warm in
+    Alcotest.(check bool) "cold ok" true (get_bool "ok" cv);
+    Alcotest.(check string) "cold computed" "computed" (get_str "source" cv);
+    Alcotest.(check string) "warm from memory" "mem" (get_str "source" wv);
+    Alcotest.(check bool) "warm flagged cached" true (get_bool "cached" wv);
+    Alcotest.(check string) "result bytes identical" (result_bytes cold)
+      (result_bytes warm);
+    (* a fresh server over the same directory: the disk tier answers, and
+       the payload bytes still agree *)
+    let srv' = Server.create ~cache_dir:(Some dir) () in
+    let disk = Server.handle_line srv' req in
+    Alcotest.(check string) "disk source" "disk" (get_str "source" (json_of disk));
+    Alcotest.(check string) "disk bytes identical" (result_bytes cold)
+      (result_bytes disk))
+
+let test_server_canon_shares_cache () =
+  (* two presentations of one grammar share a semantic cache entry *)
+  let srv = Server.create ~cache_dir:None () in
+  let r1 =
+    Server.handle_line srv
+      {|{"op": "ambiguity", "grammar": "start: <S>\n<S> -> <A> <B> | <B> <A>\n<A> -> a\n<B> -> b"}|}
+  in
+  let r2 =
+    Server.handle_line srv
+      {|{"op": "ambiguity", "grammar": "start: <Top>\n<Right> -> b\n<Top> -> <Left> <Right> | <Right> <Left>\n<Left> -> a"}|}
+  in
+  let v1 = json_of r1 and v2 = json_of r2 in
+  Alcotest.(check string) "same cache key" (get_str "key" v1) (get_str "key" v2);
+  Alcotest.(check string) "second presentation hits" "mem" (get_str "source" v2);
+  Alcotest.(check string) "same result" (result_bytes r1) (result_bytes r2)
+
+let test_server_guard_trip_not_cached () =
+  let srv = Server.create ~cache_dir:None () in
+  let tripped =
+    Server.handle_line srv
+      {|{"op": "check", "property": "universal", "kind": "log", "n": 4, "budget": 1}|}
+  in
+  let tv = json_of tripped in
+  Alcotest.(check bool) "trip is an error response" false (get_bool "ok" tv);
+  let err = member_exn "error" tv in
+  Alcotest.(check string) "budget trip code" "R002" (get_str "code" err);
+  Alcotest.(check int) "guard exit code" 124 (get_int "exit_code" err);
+  (* the same request without the budget must compute — the trip was not
+     stored under the (resource-independent) cache key *)
+  let retry =
+    Server.handle_line srv
+      {|{"op": "check", "property": "universal", "kind": "log", "n": 4}|}
+  in
+  let rv = json_of retry in
+  Alcotest.(check bool) "retry succeeds" true (get_bool "ok" rv);
+  Alcotest.(check string) "retry is computed, not a poisoned hit" "computed"
+    (get_str "source" rv)
+
+let test_server_input_taxonomy () =
+  let srv = Server.create ~cache_dir:None () in
+  let check_error line code exit_code =
+    let v = json_of (Server.handle_line srv line) in
+    Alcotest.(check bool) (code ^ " not ok") false (get_bool "ok" v);
+    let err = member_exn "error" v in
+    Alcotest.(check string) (code ^ " code") code (get_str "code" err);
+    Alcotest.(check int) (code ^ " exit") exit_code (get_int "exit_code" err)
+  in
+  check_error "this is not json" "R010" 2;
+  check_error {|{"op": "lint", "grammar": "start: <S"}|} "R010" 2;
+  check_error {|{"op": "frobnicate"}|} "R011" 2;
+  check_error {|{"op": "check", "property": "weird", "kind": "log", "n": 3}|}
+    "R010" 2;
+  (* id of any JSON shape is echoed on errors too *)
+  let v = json_of (Server.handle_line srv {|{"op": "frobnicate", "id": [1, "x"]}|}) in
+  Alcotest.(check string) "id echoed" {|[1, "x"]|}
+    (Json.to_string (member_exn "id" v))
+
+let batch_lines =
+  [
+    {|{"op": "ping", "id": 1}|};
+    {|{"op": "lint", "kind": "log", "n": 3, "id": 2}|};
+    {|{"op": "rank", "kind": "log", "n": 3, "id": 3}|};
+    {|{"op": "rectangles", "kind": "example4", "n": 3, "id": 4}|};
+    {|{"op": "lint", "kind": "log", "n": 3, "id": 5}|};
+    {|{"op": "ambiguity", "kind": "example4", "n": 3, "id": 6}|};
+  ]
+
+let run_batch srv lines =
+  let input = String.concat "\n" lines ^ "\n" in
+  let tmp_in = Filename.temp_file "ucfg-serve-in" ".jsonl" in
+  let tmp_out = Filename.temp_file "ucfg-serve-out" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp_in; Sys.remove tmp_out)
+    (fun () ->
+       let oc = open_out tmp_in in
+       output_string oc input;
+       close_out oc;
+       let ic = open_in tmp_in and oc = open_out tmp_out in
+       Server.run_stdin srv ic oc;
+       close_in ic;
+       close_out oc;
+       let ic = open_in tmp_out in
+       let rec go acc =
+         match input_line ic with
+         | line -> go (line :: acc)
+         | exception End_of_file -> close_in ic; List.rev acc
+       in
+       let lines = go [] in
+       close_in_noerr ic;
+       lines)
+
+let test_server_stdin_batch_jobs_invariant () =
+  let results jobs =
+    with_global_jobs jobs (fun () ->
+      let srv = Server.create ~cache_dir:None () in
+      run_batch srv batch_lines)
+  in
+  let r1 = results 1 and r4 = results 4 in
+  Alcotest.(check int) "one response per request" (List.length batch_lines)
+    (List.length r1);
+  (* responses come back in request order: the echoed ids are 1..6 *)
+  List.iteri
+    (fun i line ->
+       Alcotest.(check int)
+         (Printf.sprintf "response %d in order" i)
+         (i + 1)
+         (get_int "id" (json_of line)))
+    r1;
+  (* the result payloads are jobs-invariant even though the envelope's
+     cached flag may differ when equal requests race *)
+  List.iter2
+    (fun a b ->
+       Alcotest.(check string) "jobs 1 vs 4 result bytes" (result_bytes a)
+         (result_bytes b))
+    r1 r4
+
+let test_server_no_cache_flag () =
+  let srv = Server.create ~cache_dir:None () in
+  let req = {|{"op": "rank", "kind": "log", "n": 3, "no_cache": true}|} in
+  let a = Server.handle_line srv req in
+  let b = Server.handle_line srv req in
+  Alcotest.(check string) "second run recomputes" "computed"
+    (get_str "source" (json_of b));
+  Alcotest.(check string) "recomputation is deterministic" (result_bytes a)
+    (result_bytes b)
+
+(* --- Bombard ------------------------------------------------------------- *)
+
+let test_bombard_smoke () =
+  with_temp_dir (fun dir ->
+    let srv = Server.create ~cache_dir:(Some dir) () in
+    let report =
+      Bombard.run ~profile:"smoke" ~seed:7 ~requests:25
+        (Server.handle_line srv)
+    in
+    Alcotest.(check bool) "no errors, no mismatches" true (Bombard.ok report);
+    Alcotest.(check int) "cold phase covers the pool" report.Bombard.distinct
+      report.Bombard.cold.Bombard.count;
+    (* after the cold phase every warm draw is a repeat: all must hit *)
+    Alcotest.(check (float 1e-9)) "warm phase fully cached" 1.0
+      report.Bombard.warm_hit_ratio;
+    (* the JSON report parses and carries the gate fields *)
+    let v = json_of (Bombard.to_json report) in
+    Alcotest.(check string) "consistency ok" "ok" (get_str "consistency" v);
+    Alcotest.(check int) "errors serialised" 0 (get_int "errors" v))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "canonical roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "escapes" `Quick test_json_escapes;
+          Alcotest.test_case "parse errors" `Quick test_json_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "canon",
+        [
+          Alcotest.test_case "presentation invariance" `Quick
+            test_canon_invariance;
+          Alcotest.test_case "distinguishes languages" `Quick
+            test_canon_distinguishes;
+          Alcotest.test_case "keep_names and digest shape" `Quick
+            test_canon_keep_names;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "memory LRU" `Quick test_cache_memory;
+          Alcotest.test_case "disk tier" `Quick test_cache_disk_tier;
+          Alcotest.test_case "corruption detected and repaired" `Quick
+            test_cache_corruption;
+          Alcotest.test_case "concurrent writers" `Quick
+            test_cache_concurrent_writers;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "cold/warm/disk byte identity" `Quick
+            test_server_cold_warm_identity;
+          Alcotest.test_case "canonicalisation shares entries" `Quick
+            test_server_canon_shares_cache;
+          Alcotest.test_case "guard trip is an uncached error" `Quick
+            test_server_guard_trip_not_cached;
+          Alcotest.test_case "R010/R011 taxonomy" `Quick
+            test_server_input_taxonomy;
+          Alcotest.test_case "stdin batch order and jobs invariance" `Quick
+            test_server_stdin_batch_jobs_invariant;
+          Alcotest.test_case "no_cache recomputes deterministically" `Quick
+            test_server_no_cache_flag;
+        ] );
+      ( "bombard",
+        [ Alcotest.test_case "in-process smoke" `Quick test_bombard_smoke ] );
+    ]
