@@ -4,8 +4,12 @@
 let canonical ?(keep_names = false) g =
   let n = Grammar.nonterminal_count g in
   (* old id -> canonical id, assigned in BFS reachability order from the
-     start symbol; rule alternatives are scanned in insertion order so the
-     assignment depends only on the rule multiset, not on the ids *)
+     start symbol, scanning each nonterminal's alternatives in insertion
+     order.  The assignment is independent of the original ids, but NOT
+     of the relative order of one nonterminal's alternatives: reordering
+     them reorders first occurrences, which can renumber and so change
+     the canonical text (a spurious cache miss, never a wrong answer —
+     see the mli) *)
   let canon = Array.make n (-1) in
   let next = ref 0 in
   let assign i =

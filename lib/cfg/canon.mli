@@ -4,7 +4,8 @@
     verdicts, ambiguity profiles, rectangle covers, rank tables) by the
     {e content} of the grammar it was computed from, so that two clients
     submitting the same grammar — possibly with different nonterminal
-    numbering, rule order, or names — share one cache entry.
+    numbering, names, or interleaving of the rules of {e distinct}
+    nonterminals — share one cache entry.
 
     {!canonical} renders a grammar into a normal form that is invariant
     under exactly those presentation choices:
@@ -16,18 +17,26 @@
       stay part of the key);
     - names are dropped (pass [~keep_names:true] for artifacts whose
       rendering mentions names, e.g. lint diagnostics);
-    - the alternatives of each nonterminal are sorted lexicographically.
+    - the alternatives of each nonterminal are sorted lexicographically
+      {e in the rendering} (the BFS numbering above is assigned from the
+      pre-sort scan order).
 
-    Two grammars with equal canonical text define the same rule set up to
-    renaming, hence the same language and the same semantic artifacts.
-    The converse is not claimed: canonicalisation is not a graph-canonical
-    form, so structurally equal grammars presented with sufficiently
-    different reachability orders may render differently — the cache then
-    merely recomputes, it is never wrong. *)
+    The normal form is {e not} invariant under reordering the
+    alternatives {e of a single nonterminal}: that reorders first
+    occurrences on right-hand sides, which can change the BFS numbering
+    and hence the canonical text and digest.  Two grammars with equal
+    canonical text define the same rule set up to renaming, hence the
+    same language and the same semantic artifacts; the converse is not
+    claimed — canonicalisation is not a graph-canonical form, so
+    structurally equal grammars presented sufficiently differently may
+    render differently.  Either way the cache merely recomputes, it is
+    never wrong. *)
 
 (** [canonical ?keep_names g] is the canonical text of [g].  Stable across
     processes and OCaml versions: the text depends only on the grammar's
-    alphabet, rules and start symbol (plus names when [keep_names]). *)
+    alphabet, rules (including the relative order of each nonterminal's
+    alternatives, per the caveat above) and start symbol (plus names when
+    [keep_names]). *)
 val canonical : ?keep_names:bool -> Grammar.t -> string
 
 (** [digest ?keep_names g] is the MD5 hex digest (32 lowercase hex chars)

@@ -49,6 +49,12 @@ let unsupported msg =
   make ~code:"R011" ~severity:Error ~loc:Whole
     (Printf.sprintf "unsupported operation: %s" msg)
 
+let internal msg =
+  make ~code:"R012" ~severity:Error ~loc:Whole
+    ~hint:"this is a server-side fault, not an input problem — check the \
+           daemon's log and report it"
+    (Printf.sprintf "internal error: %s" msg)
+
 let cache_corrupt key =
   make ~code:"R020" ~severity:Warning ~loc:Whole
     ~hint:"the entry was recomputed and rewritten; no wrong answer is served"

@@ -61,6 +61,11 @@ val invalid_input : string -> t
     operation or parameter. *)
 val unsupported : string -> t
 
+(** [internal msg] is the R012 error for an unexpected server-side
+    exception (exit code 70, [EX_SOFTWARE]): a fault of the daemon, not
+    of the request. *)
+val internal : string -> t
+
 (** [cache_corrupt key] is the R020 warning: an on-disk cache entry
     failed hash verification and was transparently recomputed. *)
 val cache_corrupt : string -> t

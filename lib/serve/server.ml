@@ -11,7 +11,8 @@ module Bignum = Ucfg_util.Bignum
 (* per-grammar derived artifacts shared across operations: the parsed
    grammar and (lazily) its materialised language, keyed by the semantic
    content digest — a lint then a rank on the same grammar parse and
-   materialise once *)
+   materialise once.  [lang] is read and written only under [art_mutex]:
+   stdin batches fan [handle_line] over domains *)
 type artifact = { grammar : Grammar.t; mutable lang : Lang.t option }
 
 type t = {
@@ -22,8 +23,8 @@ type t = {
   artifacts : (string, artifact) Hashtbl.t;
   art_mutex : Mutex.t;
   mutable stop : bool;
-  mutable requests : int;
-  mutable errors : int;
+  requests : int Atomic.t;
+  errors : int Atomic.t;
 }
 
 let create ?(cache_dir = Some "_repro/cache") ?mem_capacity ?default_timeout_ms
@@ -36,8 +37,8 @@ let create ?(cache_dir = Some "_repro/cache") ?mem_capacity ?default_timeout_ms
     artifacts = Hashtbl.create 32;
     art_mutex = Mutex.create ();
     stop = false;
-    requests = 0;
-    errors = 0;
+    requests = Atomic.make 0;
+    errors = Atomic.make 0;
   }
 
 let cache t = t.cache
@@ -144,12 +145,23 @@ let artifact t g =
   Mutex.unlock t.art_mutex;
   art
 
-let language ~guard art =
-  match art.lang with
+let language t ~guard art =
+  let cached =
+    Mutex.lock t.art_mutex;
+    let l = art.lang in
+    Mutex.unlock t.art_mutex;
+    l
+  in
+  match cached with
   | Some l -> l
   | None ->
+    (* materialise outside the lock — racing domains may compute the same
+       language redundantly, but never while holding the mutex; the first
+       publication wins *)
     let l = Analysis.language_exn ~guard art.grammar in
-    art.lang <- Some l;
+    Mutex.lock t.art_mutex;
+    let l = match art.lang with Some l -> l | None -> art.lang <- Some l; l in
+    Mutex.unlock t.art_mutex;
     l
 
 (* --- result rendering ----------------------------------------------------- *)
@@ -211,12 +223,27 @@ let key_of ~op ~params ~keep_names grammars =
    [SL.Interrupted] status becomes an uncached error response upstream *)
 exception Interrupted_status of Guard.reason
 
-let op_lint t ~guard ~semantic g =
-  ignore t;
+let op_lint ~guard ~semantic g =
   let diags =
     let static = Ucfg_lint.Grammar_lint.run g in
     if semantic then Diag.sort (static @ SL.lint ~guard g) else static
   in
+  (* [SL.lint] renders a guard trip as an R001–R003 warning (a partial
+     verdict) instead of raising; a partial verdict must never be cached,
+     so resurface the trip here and let the dispatcher turn it into an
+     uncached 124 error response, exactly as [op_check] does *)
+  (match
+     List.find_map
+       (fun (d : Diag.t) ->
+          match d.Diag.code with
+          | "R001" -> Some Guard.Timeout
+          | "R002" -> Some Guard.Budget
+          | "R003" -> Some Guard.Cancel
+          | _ -> None)
+       diags
+   with
+   | Some reason -> raise (Interrupted_status reason)
+   | None -> ());
   let errors, warnings, infos = Diag.count_severity diags in
   Json.Obj
     [ ("diagnostics", diags_json diags);
@@ -279,7 +306,11 @@ let op_rectangles ~guard g =
 
 let op_rank t ~guard ~split g =
   let art = artifact t g in
-  let lang = language ~guard art in
+  let lang =
+    (* a language too large (or infinite) to materialise is an input
+       problem of this request, not a server fault *)
+    try language t ~guard art with Invalid_argument msg -> badf "%s" msg
+  in
   let len =
     match Lang.uniform_length lang with
     | Some l -> l
@@ -337,7 +368,7 @@ let ok_response ~id ~op ~source ~key ?warning payload =
         | None -> []))
 
 let handle_line t line =
-  t.requests <- t.requests + 1;
+  Atomic.incr t.requests;
   let id = ref Json.Null in
   let op_for_error = ref None in
   try
@@ -412,8 +443,8 @@ let handle_line t line =
       ok_response ~id:!id ~op ~source:"computed" ~key:None
         (Json.to_string
            (Json.Obj
-              [ ("requests", Json.Int t.requests);
-                ("errors", Json.Int t.errors);
+              [ ("requests", Json.Int (Atomic.get t.requests));
+                ("errors", Json.Int (Atomic.get t.errors));
                 ("cache",
                  Json.Obj
                    [ ("lookups", Json.Int s.Cache.lookups);
@@ -435,7 +466,7 @@ let handle_line t line =
       (* lint diagnostics mention nonterminal names, so names are part of
          this op's key (and only this op's) *)
       let key = key_of ~op ~params ~keep_names:true [ g ] in
-      respond_computed ~op ~key:(Some key) (fun () -> op_lint t ~guard ~semantic g)
+      respond_computed ~op ~key:(Some key) (fun () -> op_lint ~guard ~semantic g)
     | "ambiguity" ->
       let g = grammar_of obj "" in
       let key = key_of ~op ~params:"" ~keep_names:false [ g ] in
@@ -473,18 +504,29 @@ let handle_line t line =
       let key = key_of ~op ~params ~keep_names:false [ g ] in
       respond_computed ~op ~key:(Some key) (fun () -> op_rank t ~guard ~split g)
     | op ->
-      t.errors <- t.errors + 1;
+      Atomic.incr t.errors;
       error_response ~id:!id ~op (Diag.unsupported (Printf.sprintf "op %S" op)) 2
   with
   | Bad_request msg ->
-    t.errors <- t.errors + 1;
+    Atomic.incr t.errors;
     error_response ~id:!id ?op:!op_for_error (Diag.invalid_input msg) 2
   | Guard.Interrupt reason | Interrupted_status reason ->
-    t.errors <- t.errors + 1;
+    Atomic.incr t.errors;
     error_response ~id:!id ?op:!op_for_error (Diag.interrupted reason) 124
-  | Invalid_argument msg | Failure msg | Sys_error msg ->
-    t.errors <- t.errors + 1;
+  | Invalid_argument msg | Failure msg ->
+    (* the library marks unsupported-input preconditions with
+       [invalid_arg]/[failwith] ("cyclic grammar", "grammar not in CNF",
+       …): input-dependent, hence a client error *)
+    Atomic.incr t.errors;
     error_response ~id:!id ?op:!op_for_error (Diag.invalid_input msg) 2
+  | exn ->
+    (* anything else — I/O failures, Not_found, assertion failures deep in
+       an analysis pass — is a server-side fault: give it a distinct code
+       and log it for the operator instead of blaming the input *)
+    Atomic.incr t.errors;
+    let msg = Printexc.to_string exn in
+    Printf.eprintf "ucfg serve: internal error on request: %s\n%!" msg;
+    error_response ~id:!id ?op:!op_for_error (Diag.internal msg) 70
 
 (* --- transports ----------------------------------------------------------- *)
 
@@ -527,7 +569,29 @@ let accept_loop t sock =
   (try Unix.close sock with Unix.Unix_error _ -> ())
 
 let run_unix t ~path =
-  (try Sys.remove path with Sys_error _ -> ());
+  (* only ever displace a *stale* socket: a regular file is someone
+     else's data, and a socket something still answers on is a live
+     daemon — unlinking either would be silent sabotage *)
+  (match Unix.lstat path with
+   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+   | { Unix.st_kind = Unix.S_SOCK; _ } ->
+     let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+     let live =
+       match Unix.connect probe (Unix.ADDR_UNIX path) with
+       | () -> true
+       | exception Unix.Unix_error _ -> false
+     in
+     (try Unix.close probe with Unix.Unix_error _ -> ());
+     if live then
+       failwith
+         (Printf.sprintf
+            "socket %s already has a live server; shut it down or pass a \
+             different path" path);
+     (try Sys.remove path with Sys_error _ -> ())
+   | _ ->
+     failwith
+       (Printf.sprintf "%s exists and is not a socket; refusing to replace it"
+          path));
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind sock (Unix.ADDR_UNIX path);
   Unix.listen sock 64;

@@ -40,8 +40,12 @@
     "exit_code":…, "message":…, "hint":…}, "diagnostics":[…]}] using the
     CLI's exit-code taxonomy per request instead of per process: R001–R003
     guard trips map to [exit_code] 124, R010 invalid input and R011
-    unknown operation to 2.  Guard trips are never cached, so a request
-    that timed out under a small budget is recomputed when retried with a
+    unknown operation to 2, and R012 — an unexpected server-side
+    exception, also logged to stderr for the operator — to 70
+    ([EX_SOFTWARE]).  Guard trips are never cached (a semantic lint whose
+    verdict is merely partial because the guard tripped mid-check is an
+    R001–R003 error response, not a cacheable result), so a request that
+    timed out under a small budget is recomputed when retried with a
     larger one.
 
     Requests over a socket are served strictly in order on one
@@ -82,9 +86,11 @@ val stopping : t -> bool
     [oc] in request order. *)
 val run_stdin : t -> in_channel -> out_channel -> unit
 
-(** [run_unix t ~path] listens on a unix-domain socket (an existing file
-    at [path] is replaced), serving connections one at a time until a
-    [shutdown] request; the socket file is removed on exit. *)
+(** [run_unix t ~path] listens on a unix-domain socket, serving
+    connections one at a time until a [shutdown] request; the socket file
+    is removed on exit.  A {e stale} socket left at [path] by a dead
+    daemon is replaced; a socket a live server still answers on, or any
+    non-socket file, is refused ([Failure] — exit 2 at the CLI). *)
 val run_unix : t -> path:string -> unit
 
 (** [run_tcp t ~port] — same loop on loopback TCP. *)

@@ -333,6 +333,78 @@ let test_server_guard_trip_not_cached () =
   Alcotest.(check string) "retry is computed, not a poisoned hit" "computed"
     (get_str "source" rv)
 
+let test_server_lint_trip_not_cached () =
+  (* unlike [check], [SL.lint] swallows the guard exception and renders
+     the trip as an R001–R003 warning diagnostic (a partial verdict); the
+     server must resurface it as an uncached error, or the partial verdict
+     would poison the resource-independent cache key *)
+  let srv = Server.create ~cache_dir:None () in
+  let tripped =
+    Server.handle_line srv
+      {|{"op": "lint", "semantic": true, "kind": "log", "n": 4, "budget": 1}|}
+  in
+  let tv = json_of tripped in
+  Alcotest.(check bool) "trip is an error response" false (get_bool "ok" tv);
+  let err = member_exn "error" tv in
+  Alcotest.(check string) "budget trip code" "R002" (get_str "code" err);
+  Alcotest.(check int) "guard exit code" 124 (get_int "exit_code" err);
+  (* the same lint with no budget must compute a full verdict — nothing
+     partial was stored under the shared key *)
+  let retry =
+    Server.handle_line srv
+      {|{"op": "lint", "semantic": true, "kind": "log", "n": 4}|}
+  in
+  let rv = json_of retry in
+  Alcotest.(check bool) "retry succeeds" true (get_bool "ok" rv);
+  Alcotest.(check string) "retry is computed, not a poisoned hit" "computed"
+    (get_str "source" rv);
+  (* and the full verdict carries no interrupt diagnostic *)
+  let diags = Json.to_string (member_exn "diagnostics" (member_exn "result" rv)) in
+  List.iter
+    (fun code ->
+       Alcotest.(check bool)
+         (Printf.sprintf "no %s in the full verdict" code)
+         false
+         (let re = Printf.sprintf {|"%s"|} code in
+          let len = String.length diags and n = String.length re in
+          let rec scan i =
+            i + n <= len && (String.sub diags i n = re || scan (i + 1))
+          in
+          scan 0))
+    [ "R001"; "R002"; "R003" ]
+
+let test_server_unix_socket_safety () =
+  with_temp_dir (fun dir ->
+    Unix.mkdir dir 0o700;
+    let srv = Server.create ~cache_dir:None () in
+    (* a regular file at the socket path is someone else's data: refuse
+       and leave it untouched *)
+    let file_path = Filename.concat dir "not-a-socket" in
+    let oc = open_out file_path in
+    output_string oc "precious bytes";
+    close_out oc;
+    (match Server.run_unix srv ~path:file_path with
+     | () -> Alcotest.fail "expected a refusal on a regular file"
+     | exception Failure _ -> ());
+    let ic = open_in file_path in
+    let survived = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Alcotest.(check string) "regular file untouched" "precious bytes" survived;
+    (* a socket with a live listener is a running daemon: refuse and keep
+       the socket bound *)
+    let sock_path = Filename.concat dir "live.sock" in
+    let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind listener (Unix.ADDR_UNIX sock_path);
+    Unix.listen listener 1;
+    Fun.protect
+      ~finally:(fun () -> try Unix.close listener with Unix.Unix_error _ -> ())
+      (fun () ->
+         (match Server.run_unix srv ~path:sock_path with
+          | () -> Alcotest.fail "expected a refusal on a live socket"
+          | exception Failure _ -> ());
+         Alcotest.(check bool) "live socket not unlinked" true
+           (Sys.file_exists sock_path)))
+
 let test_server_input_taxonomy () =
   let srv = Server.create ~cache_dir:None () in
   let check_error line code exit_code =
@@ -477,6 +549,10 @@ let () =
             test_server_canon_shares_cache;
           Alcotest.test_case "guard trip is an uncached error" `Quick
             test_server_guard_trip_not_cached;
+          Alcotest.test_case "semantic lint trip is an uncached error" `Quick
+            test_server_lint_trip_not_cached;
+          Alcotest.test_case "unix socket path safety" `Quick
+            test_server_unix_socket_safety;
           Alcotest.test_case "R010/R011 taxonomy" `Quick
             test_server_input_taxonomy;
           Alcotest.test_case "stdin batch order and jobs invariance" `Quick
