@@ -10,7 +10,7 @@ BENCH := dune exec --no-build -- bench/main.exe
 # experiments with fully deterministic output (e24/e25/e26/e27/timings
 # print wall-clock numbers and are excluded from the determinism diffs)
 DET_EXPERIMENTS := e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 \
-  e17 e18 e19 e20 e21 e22 e23 e29 e30
+  e17 e18 e19 e20 e21 e22 e23 e29 e30 e31
 
 .PHONY: build test lint bench smoke determinism json-determinism \
   bench-record bench-compare chaos timeout-smoke check-smoke serve-smoke \
@@ -69,24 +69,25 @@ json-determinism: build
 	@echo "json-determinism: OK"
 
 # regenerate this PR's perf record under the same conditions as the
-# committed BENCH_pr5.json baseline (smoke, sequential)
+# committed BENCH_pr6.json baseline (smoke, sequential)
 bench-record: build
-	UCFG_JOBS=1 $(BENCH) --smoke --json-out BENCH_pr6.json > /dev/null
+	UCFG_JOBS=1 $(BENCH) --smoke --json-out BENCH_pr7.json > /dev/null
 
-# checksum drift gate: the deterministic experiments in BENCH_pr6.json
-# must carry byte-identical output checksums to the BENCH_pr5.json
-# baseline (e30 is new in pr6: compared on e1–e23, e29/e30 asserted
+# checksum drift gate: the deterministic experiments in BENCH_pr7.json
+# must carry byte-identical output checksums to the BENCH_pr6.json
+# baseline (e31 is new in pr7: compared on e1–e23, e29/e30/e31 asserted
 # present)
 bench-compare:
 	@mkdir -p _build/determinism
-	@for pr in pr5 pr6; do \
+	@for pr in pr6 pr7; do \
 	  sed -n 's/ *{ "name": "\(e[0-9]*\)", "ms": [0-9.]*, "checksum": "\([0-9a-f]*\)".*/\1 \2/p' \
 	    BENCH_$$pr.json | grep -E '^e([1-9]|1[0-9]|2[0-3]) ' | sort \
 	    > _build/determinism/$$pr.sums; \
 	done
-	diff _build/determinism/pr5.sums _build/determinism/pr6.sums
-	@grep -q '"name": "e29"' BENCH_pr6.json
-	@grep -q '"name": "e30"' BENCH_pr6.json
+	diff _build/determinism/pr6.sums _build/determinism/pr7.sums
+	@grep -q '"name": "e29"' BENCH_pr7.json
+	@grep -q '"name": "e30"' BENCH_pr7.json
+	@grep -q '"name": "e31"' BENCH_pr7.json
 	@echo "bench-compare: OK"
 
 # the full suite must stay green under seeded fault injection: injected

@@ -1310,6 +1310,99 @@ let e29_semantic_check () =
              ])
           (pick [ 4; 5; 6; 7 ] [ 3; 4 ])))
 
+(* ----------------------------------------------------------------- E31 *)
+
+let e31_tier_sweeps () =
+  (* The tiered kernel beyond the 62-character wall: every row symbolically
+     materialises a language whose words no longer fit one machine integer
+     — L_n at n >= 16 has 4^n - 3^n (billions of) words of length 2n >= 32,
+     held as a Θ(2^n)-node tier-T2 circuit with exact Bignum model counts.
+     The text is verdict-only (no wall clock), so the checksum gates
+     against drift and the experiment joins the determinism set. *)
+  let tier_name l =
+    match Lang.tier l with
+    | `T0 -> "T0" | `T1 -> "T1" | `T2 -> "T2" | `Set -> "set"
+  in
+  Report.print_table
+    ~title:
+      "E31a (tiered kernel, exactness): the factored fixpoint over the \
+       Θ(log n) grammar equals the symbolic L_n circuit at n >= 16 — exact \
+       cardinals, never an enumeration"
+    ~headers:[ "n"; "tier"; "|L_n|"; "nodes"; "fixpoint = L_n"; "= 4^n-3^n" ]
+    (prows
+       (fun n ->
+          let l =
+            Analysis.language_exn ~factored:true (Constructions.log_cfg n)
+          in
+          let nodes =
+            match Lang.to_factored l with
+            | Some f -> string_of_int (Factored.node_count f)
+            | None -> "-"
+          in
+          let card = Lang.cardinal_big l in
+          [
+            string_of_int n;
+            tier_name l;
+            Bignum.to_string card;
+            nodes;
+            yes (Lang.equal l (Ln.language_factored n));
+            yes (Bignum.equal card (Ln.cardinal n));
+          ])
+       (pick [ 12; 16; 18 ] [ 12 ]));
+  Report.print_table
+    ~title:
+      "E31b (ambiguity census on T2): counting verdicts with model-count \
+       word totals — log_cfg stays ambiguous and sigma_chain unambiguous \
+       at language sizes in the billions"
+    ~headers:[ "n"; "grammar"; "unambiguous"; "words"; "trees" ]
+    (List.concat
+       (prows
+          (fun n ->
+             let fmt name (v : Ambiguity.verdict) =
+               [
+                 string_of_int n;
+                 name;
+                 yes v.Ambiguity.unambiguous;
+                 (match v.Ambiguity.word_count with
+                  | Some c -> string_of_int c
+                  | None -> "?");
+                 (match v.Ambiguity.total_trees with
+                  | Some t -> Bignum.to_string t
+                  | None -> "?");
+               ]
+             in
+             let check g = Ambiguity.check ~fast:false ~factored:true g in
+             [
+               fmt "log_cfg" (check (Constructions.log_cfg n));
+               fmt "sigma_chain"
+                 (check (Constructions.sigma_chain Alphabet.binary (2 * n)));
+             ])
+          (pick [ 12; 16 ] [ 12 ])));
+  Report.print_table
+    ~title:
+      "E31c (discrepancy at n >= 16): tight-example rectangle discrepancy \
+       against the Lemma 19 bound at m = 4, 5 (n = 4m), with the \
+       enumerated cross-check where it still fits"
+    ~headers:[ "m"; "n"; "bound 2^3m"; "tight |d|"; "enumerated agrees" ]
+    (prows
+       (fun m ->
+          let blocks = Ucfg_disc.Blocks.create (4 * m) in
+          let t = Ucfg_disc.Discrepancy.tight_example blocks in
+          let fast = Ucfg_disc.Discrepancy.of_rectangle blocks t in
+          let enum_ok =
+            if m <= 4 then
+              yes (Ucfg_disc.Discrepancy.of_rectangle_enumerated blocks t = fast)
+            else "skipped"
+          in
+          [
+            string_of_int m;
+            string_of_int (4 * m);
+            Bignum.to_string (Ucfg_disc.Discrepancy.lemma19_bound ~m);
+            string_of_int (abs fast);
+            enum_ok;
+          ])
+       (pick [ 4; 5 ] [ 2 ]))
+
 (* ------------------------------------------------------- timing section *)
 
 let timings () =
@@ -1484,7 +1577,7 @@ let experiments =
     ("e23", e23_overlap_asymmetry); ("e24", e24_lint_fastpath);
     ("e25", e25_parallel_speedup); ("e26", e26_packed_speedup);
     ("e27", e27_bitset_kernel); ("e29", e29_semantic_check);
-    ("e30", e30_serve_cache);
+    ("e30", e30_serve_cache); ("e31", e31_tier_sweeps);
     ("timings", timings);
   ]
 
@@ -1494,7 +1587,7 @@ let experiments =
    of deterministic experiments must agree between the sequential and
    parallel runs (the `make json-determinism` gate). *)
 let json_mode = ref false
-let json_out = ref "BENCH_pr6.json"
+let json_out = ref "BENCH_pr7.json"
 
 (* --timeout SEC wraps each experiment in its own wall-clock guard: a
    tripped experiment prints a note, records a "timeout" outcome in the

@@ -746,10 +746,10 @@ let serve_cmd =
      trip once and poison every later request), so it takes per-request
      defaults instead of [guard_term] and only uses [jobs_term] *)
   let run () socket tcp stdin_mode cache_dir no_disk mem_capacity
-      default_timeout default_budget =
+      cache_max_bytes default_timeout default_budget =
     let cache_dir = if no_disk then None else Some cache_dir in
     let srv =
-      Server.create ~cache_dir ?mem_capacity
+      Server.create ~cache_dir ?mem_capacity ?cache_max_bytes
         ?default_timeout_ms:(Option.map (fun s -> s *. 1000.) default_timeout)
         ?default_budget ~version ()
     in
@@ -782,6 +782,16 @@ let serve_cmd =
       & info [ "mem-capacity" ] ~docv:"N"
           ~doc:"In-memory LRU entry cap (default 512).")
   in
+  let cache_max_bytes_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-max-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Byte cap on the on-disk cache tier; after each store, \
+             oldest-stamp entries are evicted until the store fits \
+             (default: unbounded).")
+  in
   let default_timeout_arg =
     Arg.(
       value
@@ -811,7 +821,8 @@ let serve_cmd =
           instead of killing the process.")
     Term.(
       const run $ jobs_term $ socket_arg $ tcp_arg $ stdin_arg $ cache_dir_arg
-      $ no_disk_arg $ mem_capacity_arg $ default_timeout_arg
+      $ no_disk_arg $ mem_capacity_arg $ cache_max_bytes_arg
+      $ default_timeout_arg
       $ default_budget_arg)
 
 (* --- bombard --------------------------------------------------------------- *)

@@ -10,22 +10,24 @@ type verdict = {
   via : method_;
 }
 
-let check_by_counting ?guard ?max_len ?max_card g =
+let check_by_counting ?guard ?factored ?max_len ?max_card g =
   (* the exhaustive path: materialising the language dominates, and
      [Analysis.language] partitions its concatenation steps across the
-     [Ucfg_exec] domain pool; the tree total is a cheap polynomial DP *)
-  let lang = Analysis.language_exn ?guard ?max_len ?max_card g in
-  let word_count = Lang.cardinal lang in
+     [Ucfg_exec] domain pool (or, with [~factored:true], runs entirely on
+     tier-T2 circuits whose cardinals are exact model counts); the tree
+     total is a cheap polynomial DP *)
+  let lang = Analysis.language_exn ?guard ?factored ?max_len ?max_card g in
+  let words = Lang.cardinal_big lang in
   let total_trees = Analysis.count_trees_total g in
-  let unambiguous = Bignum.equal total_trees (Bignum.of_int word_count) in
+  let unambiguous = Bignum.equal total_trees words in
   {
     unambiguous;
     total_trees = Some total_trees;
-    word_count = Some word_count;
+    word_count = Bignum.to_int words;
     via = Counting;
   }
 
-let check ?guard ?max_len ?max_card ?(fast = true) g =
+let check ?guard ?factored ?max_len ?max_card ?(fast = true) g =
   let g = Trim.trim g in
   if not (Analysis.has_finitely_many_trees g) then
     (* a trimmed grammar with a dependency cycle pumps parse trees;
@@ -54,10 +56,10 @@ let check ?guard ?max_len ?max_card ?(fast = true) g =
         word_count = None;
         via = Static_witness word;
       }
-    | Static.Unknown -> check_by_counting ?guard ?max_len ?max_card g
+    | Static.Unknown -> check_by_counting ?guard ?factored ?max_len ?max_card g
 
-let is_unambiguous ?guard ?max_len ?max_card ?fast g =
-  (check ?guard ?max_len ?max_card ?fast g).unambiguous
+let is_unambiguous ?guard ?factored ?max_len ?max_card ?fast g =
+  (check ?guard ?factored ?max_len ?max_card ?fast g).unambiguous
 
 type profile = {
   word_total : int;
@@ -239,14 +241,14 @@ let census guard g =
     (Analysis.topological_order g);
   counts.(Grammar.start g)
 
-let profile ?guard ?max_len ?max_card g =
+let profile ?guard ?factored ?max_len ?max_card g =
   let guard =
     match guard with
     | Some gd -> gd
     | None -> Ucfg_exec.Exec.current_guard ()
   in
   let g = Trim.trim g in
-  let lang = Analysis.language_exn ~guard ?max_len ?max_card g in
+  let lang = Analysis.language_exn ~guard ?factored ?max_len ?max_card g in
   if not (Analysis.has_finitely_many_trees g) then
     invalid_arg "Ambiguity.profile: infinitely many parse trees";
   let hist = Hashtbl.create 16 in
@@ -276,7 +278,7 @@ let profile ?guard ?max_len ?max_card g =
     histogram;
   }
 
-let ambiguous_witness ?guard ?max_len ?max_card ?(fast = true) g =
+let ambiguous_witness ?guard ?factored ?max_len ?max_card ?(fast = true) g =
   let guard =
     match guard with
     | Some gd -> gd
@@ -290,7 +292,7 @@ let ambiguous_witness ?guard ?max_len ?max_card ?(fast = true) g =
     | Static.Ambiguous { word; _ } -> Some word
     | Static.Unambiguous -> None
     | Static.Unknown ->
-      let lang = Analysis.language_exn ~guard ?max_len ?max_card g in
+      let lang = Analysis.language_exn ~guard ?factored ?max_len ?max_card g in
       (* candidate words are scanned in parallel chunks; [parallel_find_map]
          returns the first hit in word order, matching the sequential scan.
          One compiled plan serves every candidate. *)

@@ -25,15 +25,22 @@ type verdict = {
   total_trees : Ucfg_util.Bignum.t option;
       (** [None] when a static witness short-circuited the count *)
   word_count : int option;
-      (** [None] when the fast path skipped enumeration (or, under
-          [Certificate], when the count exceeds native [int]) *)
+      (** [None] when the fast path skipped enumeration, or when the
+          count exceeds native [int] (possible under [Certificate], or
+          under [Counting] with [~factored:true]) *)
   via : method_;
 }
 
-(** [check ?guard ?max_len ?max_card ?fast g] decides unambiguity of [g].
+(** [check ?guard ?factored ?max_len ?max_card ?fast g] decides
+    unambiguity of [g].
     [fast] (default [true]) consults the static certificate and
     definite-ambiguity probe first and skips enumeration when conclusive.
-    [guard] (default {!Ucfg_exec.Exec.current_guard}) bounds the
+    [factored] (default [false]) runs the counting path's language fixpoint
+    on tier-T2 circuits (see {!Analysis.language}): word counts become
+    exact Bignum model counts, so the comparison stays honest at sizes no
+    enumeration could reach — this is how the ambiguity census of bench
+    E31 handles [L_n] grammars at n ≥ 16, whose languages have billions of
+    words.  [guard] (default {!Ucfg_exec.Exec.current_guard}) bounds the
     enumeration; once it trips, {!Ucfg_exec.Guard.Interrupt} escapes.
     @raise Invalid_argument when the language is infinite or too large to
     materialise under the caps (see {!Analysis.language}), or when the
@@ -42,11 +49,13 @@ type verdict = {
     language. *)
 val check :
   ?guard:Ucfg_exec.Guard.t ->
+  ?factored:bool ->
   ?max_len:int -> ?max_card:int -> ?fast:bool -> Grammar.t -> verdict
 
 (** [is_unambiguous g] is [(check g).unambiguous]. *)
 val is_unambiguous :
   ?guard:Ucfg_exec.Guard.t ->
+  ?factored:bool ->
   ?max_len:int -> ?max_card:int -> ?fast:bool -> Grammar.t -> bool
 
 (** [ambiguous_witness g] is some word with at least two parse trees, when
@@ -55,6 +64,7 @@ val is_unambiguous :
     over the language (polling [guard] per candidate word). *)
 val ambiguous_witness :
   ?guard:Ucfg_exec.Guard.t ->
+  ?factored:bool ->
   ?max_len:int -> ?max_card:int -> ?fast:bool -> Grammar.t -> string option
 
 type profile = {
@@ -72,4 +82,5 @@ type profile = {
     exceptions as {!check}. *)
 val profile :
   ?guard:Ucfg_exec.Guard.t ->
+  ?factored:bool ->
   ?max_len:int -> ?max_card:int -> Grammar.t -> profile

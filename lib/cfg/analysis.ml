@@ -94,8 +94,9 @@ let topological_order g =
 (* below this many (u, v) pairs a concatenation step stays sequential *)
 let par_pair_threshold = 1 lsl 12
 
-let language_table ?guard ?(packed = true) ?(acyclic = false) ?(seeds = [||])
-    ?(max_len = 64) ?(max_card = 2_000_000) g =
+let language_table ?guard ?(packed = true) ?(factored = false)
+    ?(acyclic = false) ?(seeds = [||]) ?(max_len = 64)
+    ?(max_card = 2_000_000) g =
   let guard =
     match guard with
     | Some gd -> gd
@@ -112,8 +113,24 @@ let language_table ?guard ?(packed = true) ?(acyclic = false) ?(seeds = [||])
      longer than [max_len] (and recording the truncation) *)
   let truncated = ref false in
   (* with [packed = false] the seeds stay set-backed, so every derived
-     language does too and the fixpoint follows the pre-packed baseline *)
-  let seed l = if packed then l else Lang.unpack l in
+     language does too and the fixpoint follows the pre-packed baseline;
+     with [factored = true] they start on tier T2 and the whole fixpoint
+     runs on circuits — languages of 4^16 words never enumerate *)
+  let seed l =
+    if factored then Lang.factor l else if packed then l else Lang.unpack l
+  in
+  (* the [max_card] cap bounds *memory*: on the enumerated representations
+     that is the cardinal; on tier T2 it is the circuit's node count (a
+     factorised language of billions of words can be a few-hundred-
+     thousand-node DAG, which is the whole point of the tier) *)
+  let size_proxy merged =
+    match Lang.to_factored merged with
+    | Some f ->
+      if factored then Factored.node_count ~guard f
+      else
+        Option.value ~default:max_int (Factored.cardinal_int ~guard f)
+    | None -> Lang.cardinal merged
+  in
   for i = 0 to min n (Array.length seeds) - 1 do
     match seeds.(i) with Some l -> sets.(i) <- seed l | None -> ()
   done;
@@ -162,21 +179,25 @@ let language_table ?guard ?(packed = true) ?(acyclic = false) ?(seeds = [||])
            Lang.union out set)
         Lang.empty
   in
+  (* uniform length of a tiered operand — O(1); [None] on the set form *)
+  let tier_len l =
+    match Lang.tier l with `Set -> None | _ -> Lang.uniform_length l
+  in
   let concat_step acc s =
-    match Lang.to_packed acc, Lang.to_packed s with
-    | Some p, Some q -> begin
-        match Packed.length p + Packed.length q with
-        | len when len > max_len ->
-          (* both operands are uniform-length, so the cutoff the set path
-             applies per word is all-or-nothing here *)
-          truncated := true;
-          Lang.empty
-        | len when len <= Packed.max_length ->
-          (* the packed product: sorted machine-integer codes end to end
-             (chunked over domains inside Lang.concat when large) *)
-          Lang.concat acc s
-        | _ -> concat_step_sets acc s
+    match tier_len acc, tier_len s with
+    | Some la, Some lb ->
+      if la + lb > max_len then begin
+        (* both operands are uniform-length, so the cutoff the set path
+           applies per word is all-or-nothing here *)
+        truncated := true;
+        Lang.empty
       end
+      else
+        (* the tiered product: T0 sorted machine-integer codes end to end
+           (chunked over domains inside Lang.concat when large), T1
+           multi-limb codes, or — when either side is factorised or the
+           product cardinality is huge — a T2 circuit substitution *)
+        Lang.concat acc s
     | _ -> concat_step_sets acc s
   in
   let concat_all rhs =
@@ -193,7 +214,7 @@ let language_table ?guard ?(packed = true) ?(acyclic = false) ?(seeds = [||])
       if Lang.equal merged sets.(lhs) then false
       else begin
         sets.(lhs) <- merged;
-        if Lang.cardinal merged > max_card then
+        if size_proxy merged > max_card then
           raise (Overflowed (`Card_exceeded max_card));
         true
       end
@@ -220,10 +241,11 @@ let language_table ?guard ?(packed = true) ?(acyclic = false) ?(seeds = [||])
     if !truncated then Error (`Length_exceeded max_len) else Ok sets
   with Overflowed o -> Error o
 
-let language ?guard ?packed ?acyclic ?seeds ?max_len ?max_card g =
+let language ?guard ?packed ?factored ?acyclic ?seeds ?max_len ?max_card g =
   Result.map
     (fun sets -> sets.(start g))
-    (language_table ?guard ?packed ?acyclic ?seeds ?max_len ?max_card g)
+    (language_table ?guard ?packed ?factored ?acyclic ?seeds ?max_len ?max_card
+       g)
 
 let overflow_exn = function
   | Ok v -> v
@@ -232,12 +254,16 @@ let overflow_exn = function
   | Error (`Card_exceeded n) ->
     invalid_arg (Printf.sprintf "Analysis.language: more than %d words" n)
 
-let language_exn ?guard ?packed ?acyclic ?seeds ?max_len ?max_card g =
-  overflow_exn (language ?guard ?packed ?acyclic ?seeds ?max_len ?max_card g)
-
-let language_table_exn ?guard ?packed ?acyclic ?seeds ?max_len ?max_card g =
+let language_exn ?guard ?packed ?factored ?acyclic ?seeds ?max_len ?max_card
+    g =
   overflow_exn
-    (language_table ?guard ?packed ?acyclic ?seeds ?max_len ?max_card g)
+    (language ?guard ?packed ?factored ?acyclic ?seeds ?max_len ?max_card g)
+
+let language_table_exn ?guard ?packed ?factored ?acyclic ?seeds ?max_len
+    ?max_card g =
+  overflow_exn
+    (language_table ?guard ?packed ?factored ?acyclic ?seeds ?max_len ?max_card
+       g)
 
 (* derives_nonempty.(a): a derives at least one word of length >= 1 *)
 let derives_nonempty g =

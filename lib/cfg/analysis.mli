@@ -19,10 +19,18 @@ type overflow = [ `Length_exceeded of int | `Card_exceeded of int ]
     infinite.
 
     When every intermediate language is uniform-length binary (the [L_n]
-    constructions), the concatenation steps run on the packed backend
-    ({!Ucfg_lang.Packed}); [~packed:false] (default [true]) forces the set
-    representation throughout — the result is identical, only slower, and
-    exists so the speedup stays measurable (bench E26).
+    constructions), the concatenation steps run on the tiered kernel —
+    machine-integer codes ({!Ucfg_lang.Packed}) up to length 62, multi-limb
+    codes ({!Ucfg_lang.Wide}) up to 128, and factorised circuits
+    ({!Ucfg_lang.Factored}) beyond, or whenever the product cardinality is
+    huge.  [~packed:false] (default [true]) forces the set representation
+    throughout — the result is identical, only slower, and exists so the
+    speedup stays measurable (bench E26).  [~factored:true] (default
+    [false]) seeds the fixpoint on tier T2, so every derived language is a
+    circuit: languages of billions of words stay a few hundred thousand
+    hash-consed nodes and the n ≥ 16 sweeps (bench E31) terminate.  With
+    [~factored:true] the [max_card] cap bounds the circuit's {e node count}
+    (the memory actually used) instead of the cardinal.
 
     [~seeds] pins the denotations of selected nonterminals: when
     [seeds.(i)] is [Some l], nonterminal [i] starts at [l] and its rules
@@ -44,6 +52,7 @@ type overflow = [ `Length_exceeded of int | `Card_exceeded of int ]
 val language :
   ?guard:Ucfg_exec.Guard.t ->
   ?packed:bool ->
+  ?factored:bool ->
   ?acyclic:bool ->
   ?seeds:Lang.t option array ->
   ?max_len:int -> ?max_card:int -> Grammar.t -> (Lang.t, overflow) result
@@ -53,6 +62,7 @@ val language :
 val language_exn :
   ?guard:Ucfg_exec.Guard.t ->
   ?packed:bool ->
+  ?factored:bool ->
   ?acyclic:bool ->
   ?seeds:Lang.t option array ->
   ?max_len:int -> ?max_card:int -> Grammar.t -> Lang.t
@@ -64,6 +74,7 @@ val language_exn :
 val language_table :
   ?guard:Ucfg_exec.Guard.t ->
   ?packed:bool ->
+  ?factored:bool ->
   ?acyclic:bool ->
   ?seeds:Lang.t option array ->
   ?max_len:int -> ?max_card:int -> Grammar.t -> (Lang.t array, overflow) result
@@ -71,6 +82,7 @@ val language_table :
 val language_table_exn :
   ?guard:Ucfg_exec.Guard.t ->
   ?packed:bool ->
+  ?factored:bool ->
   ?acyclic:bool ->
   ?seeds:Lang.t option array ->
   ?max_len:int -> ?max_card:int -> Grammar.t -> Lang.t array

@@ -87,10 +87,18 @@ module Dp (Num : NUM) = struct
     let n = String.length w in
     let nt_memo : (int, Num.t) Hashtbl.t = Hashtbl.create 256 in
     let seq_memo : (int, Num.t) Hashtbl.t = Hashtbl.create 256 in
-    (* memo keys packed into a single int: positions fit in n+1 values *)
+    (* memo keys packed into a single int: positions fit in [span] values,
+       suffix offsets in [krad] — k is bounded by the longest rhs, not by
+       the word, so it needs its own radix (packing it with [span] made
+       distinct (ridx, k) pairs alias on short words: at w = "" every key
+       collapsed to ridx + k + i + j, and a suffix count of one rule could
+       answer for another) *)
     let span = n + 1 in
+    let krad =
+      1 + Array.fold_left (fun m rhs -> max m (Array.length rhs)) 0 p.rhs_arr
+    in
     let nt_key a i j = ((a * span) + i) * span + j in
-    let seq_key ridx k i j = ((((ridx * span) + k) * span) + i) * span + j in
+    let seq_key ridx k i j = ((((ridx * krad) + k) * span) + i) * span + j in
     (* #ways nonterminal a derives w[i..j) *)
     let rec nt a i j =
       let key = nt_key a i j in

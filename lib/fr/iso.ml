@@ -58,6 +58,61 @@ let drep_of_cfg g =
       ~root:nt_gate.(G.start g)
   end
 
+(* The language-kernel end of the correspondence: a tier-T2 circuit
+   ({!Ucfg_lang.Factored}) is a d-representation whose product gates all
+   split letter-first.  Each branch node becomes a union of (letter ×
+   residual) products, skipping reject children — by construction the
+   union arms start with distinct letters and every product factorises
+   uniquely, so the result is {e deterministic} and [Drep.count_tuples]
+   equals the circuit's model count. *)
+let drep_of_factored f =
+  let module F = Ucfg_lang.Factored in
+  let nodes = ref [] in
+  let count = ref 0 in
+  let push nd =
+    nodes := nd :: !nodes;
+    let id = !count in
+    incr count;
+    id
+  in
+  let a_id = push (Drep.Letter 'a') in
+  let b_id = push (Drep.Letter 'b') in
+  let eps_id = lazy (push Drep.Eps) in
+  let memo = Hashtbl.create 256 in
+  (* gates for the children are pushed before the parent, so every child
+     index is smaller — the bottom-up order [Drep.make] validates *)
+  let rec gate nd =
+    match Hashtbl.find_opt memo (F.node_id nd) with
+    | Some id -> id
+    | None ->
+      let id =
+        match F.view nd with
+        | `Accept -> Lazy.force eps_id
+        | `Reject -> push (Drep.Union [])
+        | `Branch (lo, hi) ->
+          let arm letter child =
+            match F.view child with
+            | `Reject -> None
+            | `Accept -> Some letter
+            | `Branch _ when not (F.node_nonempty child) ->
+              (* dead subtree (canonical empty of its height): the arm
+                 denotes nothing — drop it instead of exporting junk *)
+              None
+            | `Branch _ -> Some (push (Drep.Prod [ letter; gate child ]))
+          in
+          let arms =
+            List.filter_map Fun.id [ arm a_id lo; arm b_id hi ]
+          in
+          (match arms with [ g ] -> g | _ -> push (Drep.Union arms))
+      in
+      Hashtbl.replace memo (F.node_id nd) id;
+      id
+  in
+  let root = gate (F.root f) in
+  Drep.make ~alphabet:Ucfg_word.Alphabet.binary
+    ~nodes:(Array.of_list (List.rev !nodes))
+    ~root
+
 let cfg_of_drep d =
   let n = Drep.node_count d in
   let names = Array.init n (fun i -> Printf.sprintf "G%d" i) in

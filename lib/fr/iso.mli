@@ -16,3 +16,12 @@ val drep_of_cfg : Ucfg_cfg.Grammar.t -> Drep.t
 (** [cfg_of_drep d] — one nonterminal per gate; size at most
     [size d + node_count d]. *)
 val cfg_of_drep : Drep.t -> Ucfg_cfg.Grammar.t
+
+(** [drep_of_factored f] — a tier-T2 circuit ({!Ucfg_lang.Factored}) as a
+    d-representation: each live branch node becomes a union of
+    (letter × residual) products, letter-first, dead subtrees pruned.  The
+    result is {e deterministic} (union arms start with distinct letters and
+    products factorise uniquely), denotes exactly the circuit's language,
+    and has O(node count) gates — so [Drep.count_tuples] is the circuit's
+    exact model count and the KMN size measure transfers to the tier. *)
+val drep_of_factored : Ucfg_lang.Factored.t -> Drep.t

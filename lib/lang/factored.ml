@@ -1,0 +1,403 @@
+(* Tier T2: hash-consed level decision DAGs.
+
+   A node at height [h] denotes a language of words of length [h] over
+   {a, b}: [Branch { lo; hi }] reads one character ('a' goes to [lo], 'b'
+   to [hi]), the sinks [Accept]/[Reject] denote {ε}/∅.  The diagram is
+   quasi-reduced — every path from a root of height [h] has exactly [h]
+   edges, no level skipping — so a node's height is determined by its
+   children and the key [(id lo, id hi)] identifies it completely.  One
+   global mutex-guarded hash-cons table makes structurally equal nodes
+   physically equal across the whole process: equality is id comparison,
+   applies memoise on id pairs, and the empty/full language of each height
+   is a unique node (the [nonempty]/[full] flags below are therefore exact,
+   not heuristic).
+
+   Jobs-invariance: numeric ids depend on construction order, but two
+   structurally equal languages always resolve to the same node whatever
+   the interleaving (keys are built bottom-up from already-unified
+   children), and no operation's *result* depends on id values — only memo
+   layouts do. *)
+
+module Bignum = Ucfg_util.Bignum
+module Guard = Ucfg_exec.Guard
+
+type node =
+  | Accept
+  | Reject
+  | Branch of {
+      id : int;
+      height : int;
+      nonempty : bool;
+      full : bool;
+      lo : node;  (* residual after 'a' *)
+      hi : node;  (* residual after 'b' *)
+    }
+
+let node_id = function Accept -> 1 | Reject -> 0 | Branch b -> b.id
+
+let height = function Accept | Reject -> 0 | Branch b -> b.height
+let nonempty = function Accept -> true | Reject -> false | Branch b -> b.nonempty
+let node_nonempty = nonempty
+let node_full = function Accept -> true | Reject -> false | Branch b -> b.full
+
+let view = function
+  | Accept -> `Accept
+  | Reject -> `Reject
+  | Branch b -> `Branch (b.lo, b.hi)
+
+(* The global manager.  All table access happens under [lock]; [mk] never
+   recurses while holding it. *)
+let table : (int * int, node) Hashtbl.t = Hashtbl.create 4096
+let counter = ref 2
+let lock = Mutex.create ()
+
+let mk lo hi =
+  let key = (node_id lo, node_id hi) in
+  Mutex.lock lock;
+  let n =
+    match Hashtbl.find_opt table key with
+    | Some n -> n
+    | None ->
+      let id = !counter in
+      incr counter;
+      let n =
+        Branch
+          {
+            id;
+            height = height lo + 1;
+            nonempty = nonempty lo || nonempty hi;
+            full = node_full lo && node_full hi;
+            lo;
+            hi;
+          }
+      in
+      Hashtbl.add table key n;
+      n
+  in
+  Mutex.unlock lock;
+  n
+
+let rec rejects h = if h = 0 then Reject else let c = rejects (h - 1) in mk c c
+let rec accepts h = if h = 0 then Accept else let c = accepts (h - 1) in mk c c
+
+let accept = Accept
+let reject = Reject
+let reject_all = rejects
+
+let branch lo hi =
+  if height lo <> height hi then
+    invalid_arg "Factored.branch: children of unequal heights";
+  mk lo hi
+
+type t = { len : int; root : node }
+
+let of_root len root =
+  if height root <> len then
+    invalid_arg
+      (Printf.sprintf "Factored.of_root: root height %d at length %d"
+         (height root) len);
+  { len; root }
+
+let root t = t.root
+let length t = t.len
+let is_empty t = not (nonempty t.root)
+let is_full t = node_full t.root
+
+let check_len op len =
+  if len < 0 then invalid_arg (Printf.sprintf "Factored.%s: negative length" op)
+
+let empty len =
+  check_len "empty" len;
+  { len; root = rejects len }
+
+let full len =
+  check_len "full" len;
+  { len; root = accepts len }
+
+let check_same_len op t1 t2 =
+  if t1.len <> t2.len then
+    invalid_arg
+      (Printf.sprintf "Factored.%s: length mismatch (%d vs %d)" op t1.len t2.len)
+
+(* Generic sorted-range builder: [get w] gives word [w]'s character at a
+   position; the words (by index in [0, n)) are sorted lexicographically,
+   so at each height the range splits at a single binary-searched point.
+   Hash-consing dedups shared suffix structure as the build proceeds. *)
+let build_sorted ~n ~char_at ~len =
+  let rec go h lo hi =
+    if lo >= hi then rejects h
+    else if h = 0 then Accept
+    else begin
+      let pos = len - h in
+      (* first index in [lo, hi) whose character at [pos] is 'b' *)
+      let a = ref lo and b = ref hi in
+      while !a < !b do
+        let mid = (!a + !b) / 2 in
+        if char_at mid pos = 'b' then b := mid else a := mid + 1
+      done;
+      mk (go (h - 1) lo !a) (go (h - 1) !a hi)
+    end
+  in
+  { len; root = go len 0 n }
+
+let singleton_word w =
+  let len = String.length w in
+  String.iter
+    (fun c ->
+       if c <> 'a' && c <> 'b' then
+         invalid_arg "Factored.singleton_word: non-binary character")
+    w;
+  build_sorted ~n:1 ~char_at:(fun _ pos -> w.[pos]) ~len
+
+let of_word_list len ws =
+  check_len "of_word_list" len;
+  List.iter
+    (fun w ->
+       if String.length w <> len then
+         invalid_arg "Factored.of_word_list: word of the wrong length";
+       String.iter
+         (fun c ->
+            if c <> 'a' && c <> 'b' then
+              invalid_arg "Factored.of_word_list: non-binary character")
+         w)
+    ws;
+  let arr = Array.of_list (List.sort_uniq compare ws) in
+  build_sorted ~n:(Array.length arr) ~char_at:(fun i pos -> arr.(i).[pos]) ~len
+
+let of_packed p =
+  let len = Packed.length p in
+  let codes = Array.of_seq (Packed.codes p) in
+  build_sorted ~n:(Array.length codes)
+    ~char_at:(fun i pos ->
+        if (codes.(i) lsr (len - 1 - pos)) land 1 = 1 then 'b' else 'a')
+    ~len
+
+let of_wide w =
+  let len = Wide.length w in
+  (* materialising the word list is fine: a Wide value is an explicit code
+     array already, so this is a constant-factor copy *)
+  of_word_list len (List.of_seq (Wide.words w))
+
+let mem t w =
+  String.length w = t.len
+  && String.for_all (fun c -> c = 'a' || c = 'b') w
+  &&
+  let rec go n i =
+    match n with
+    | Accept -> true
+    | Reject -> false
+    | Branch b -> go (if w.[i] = 'a' then b.lo else b.hi) (i + 1)
+  in
+  go t.root 0
+
+let ambient_guard = function
+  | Some g -> g
+  | None -> Ucfg_exec.Exec.current_guard ()
+
+(* Memoised apply.  Shortcut rules use the exactness of [nonempty]/[full]:
+   the empty and full nodes of each height are unique, so returning the
+   other operand (or a sink chain) is returning *the* canonical result. *)
+type op = Union | Inter | Diff
+
+let apply ?guard op t1 t2 =
+  check_same_len
+    (match op with Union -> "union" | Inter -> "inter" | Diff -> "diff")
+    t1 t2;
+  let g = ambient_guard guard in
+  let memo : (int * int, node) Hashtbl.t = Hashtbl.create 256 in
+  let rec go n1 n2 =
+    let h = height n1 in
+    match op with
+    | Union when node_id n1 = node_id n2 -> n1
+    | Union when not (nonempty n1) -> n2
+    | Union when not (nonempty n2) -> n1
+    | Union when node_full n1 || node_full n2 -> accepts h
+    | Inter when node_id n1 = node_id n2 -> n1
+    | Inter when (not (nonempty n1)) || not (nonempty n2) -> rejects h
+    | Inter when node_full n1 -> n2
+    | Inter when node_full n2 -> n1
+    | Diff when (not (nonempty n1)) || node_id n1 = node_id n2 -> rejects h
+    | Diff when not (nonempty n2) -> n1
+    | _ ->
+      let key = (node_id n1, node_id n2) in
+      (match Hashtbl.find_opt memo key with
+       | Some n -> n
+       | None ->
+         Guard.tick g;
+         let n =
+           match n1, n2 with
+           | (Accept | Reject), (Accept | Reject) ->
+             let x = nonempty n1 and y = nonempty n2 in
+             let z =
+               match op with
+               | Union -> x || y
+               | Inter -> x && y
+               | Diff -> x && not y
+             in
+             if z then Accept else Reject
+           | Branch b1, Branch b2 -> mk (go b1.lo b2.lo) (go b1.hi b2.hi)
+           | _ -> assert false (* equal heights *)
+         in
+         Hashtbl.add memo key n;
+         n)
+  in
+  { len = t1.len; root = go t1.root t2.root }
+
+let union ?guard t1 t2 = apply ?guard Union t1 t2
+let inter ?guard t1 t2 = apply ?guard Inter t1 t2
+let diff ?guard t1 t2 = apply ?guard Diff t1 t2
+
+let complement ?guard t =
+  let g = ambient_guard guard in
+  let memo : (int, node) Hashtbl.t = Hashtbl.create 256 in
+  let rec go n =
+    match n with
+    | Accept -> Reject
+    | Reject -> Accept
+    | Branch b -> (
+        match Hashtbl.find_opt memo b.id with
+        | Some n -> n
+        | None ->
+          Guard.tick g;
+          let n = mk (go b.lo) (go b.hi) in
+          Hashtbl.add memo b.id n;
+          n)
+  in
+  { len = t.len; root = go t.root }
+
+let concat ?guard t1 t2 =
+  let g = ambient_guard guard in
+  let bottom = rejects t2.len in
+  let memo : (int, node) Hashtbl.t = Hashtbl.create 256 in
+  let rec go n =
+    match n with
+    | Accept -> t2.root
+    | Reject -> bottom
+    | Branch b -> (
+        match Hashtbl.find_opt memo b.id with
+        | Some n -> n
+        | None ->
+          Guard.tick g;
+          let n = mk (go b.lo) (go b.hi) in
+          Hashtbl.add memo b.id n;
+          n)
+  in
+  { len = t1.len + t2.len; root = go t1.root }
+
+let equal t1 t2 = t1.len = t2.len && node_id t1.root = node_id t2.root
+
+let subset ?guard t1 t2 =
+  check_same_len "subset" t1 t2;
+  is_empty (diff ?guard t1 t2)
+
+let disjoint ?guard t1 t2 =
+  check_same_len "disjoint" t1 t2;
+  is_empty (inter ?guard t1 t2)
+
+let cardinal ?guard t =
+  let g = ambient_guard guard in
+  let memo : (int, Bignum.t) Hashtbl.t = Hashtbl.create 256 in
+  let rec go n =
+    match n with
+    | Accept -> Bignum.one
+    | Reject -> Bignum.zero
+    | Branch b -> (
+        match Hashtbl.find_opt memo b.id with
+        | Some c -> c
+        | None ->
+          Guard.tick g;
+          let c =
+            if b.full then Bignum.two_pow b.height
+            else if not b.nonempty then Bignum.zero
+            else Bignum.add (go b.lo) (go b.hi)
+          in
+          Hashtbl.add memo b.id c;
+          c)
+  in
+  go t.root
+
+let cardinal_int ?guard t = Bignum.to_int (cardinal ?guard t)
+
+let node_count ?guard t =
+  let g = ambient_guard guard in
+  let seen : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let count = ref 0 in
+  let rec go n =
+    match n with
+    | Accept | Reject -> ()
+    | Branch b ->
+      if not (Hashtbl.mem seen b.id) then begin
+        Guard.tick g;
+        Hashtbl.add seen b.id ();
+        incr count;
+        go b.lo;
+        go b.hi
+      end
+  in
+  go t.root;
+  !count
+
+let min_word t =
+  if is_empty t then None
+  else begin
+    let buf = Buffer.create t.len in
+    let rec go n =
+      match n with
+      | Accept -> ()
+      | Reject -> assert false
+      | Branch b ->
+        if nonempty b.lo then begin
+          Buffer.add_char buf 'a';
+          go b.lo
+        end
+        else begin
+          Buffer.add_char buf 'b';
+          go b.hi
+        end
+    in
+    go t.root;
+    Some (Buffer.contents buf)
+  end
+
+let min_absent_word t =
+  if is_full t then None
+  else begin
+    let buf = Buffer.create t.len in
+    let rec go n h =
+      match n with
+      | Reject -> for _ = 1 to h do Buffer.add_char buf 'a' done
+      | Accept -> assert false
+      | Branch b ->
+        if not (node_full b.lo) then begin
+          Buffer.add_char buf 'a';
+          go b.lo (h - 1)
+        end
+        else begin
+          Buffer.add_char buf 'b';
+          go b.hi (h - 1)
+        end
+    in
+    go t.root t.len;
+    Some (Buffer.contents buf)
+  end
+
+let words t =
+  (* lexicographic DFS: 'a' (lo) before 'b' (hi) *)
+  let rec seq prefix n () =
+    match n with
+    | Reject -> Seq.Nil
+    | Accept -> Seq.Cons (prefix, Seq.empty)
+    | Branch b when not b.nonempty -> Seq.Nil (* prune dead subtrees *)
+    | Branch b ->
+      Seq.append (seq (prefix ^ "a") b.lo) (seq (prefix ^ "b") b.hi) ()
+  in
+  if is_empty t then Seq.empty else seq "" t.root
+
+let iter_words f t = Seq.iter f (words t)
+
+let filter p t =
+  of_word_list t.len
+    (Seq.fold_left (fun acc w -> if p w then w :: acc else acc) [] (words t))
+
+let pp fmt t =
+  Format.fprintf fmt "{%s}" (String.concat ", " (List.of_seq (words t)))

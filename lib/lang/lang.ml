@@ -1,19 +1,43 @@
 open Ucfg_word
 
-(* Hybrid representation: general languages live in a persistent string set;
-   non-empty languages of one length whose words are all binary and short
-   enough live in the packed backend ({!Packed}), where the boolean algebra
-   and concatenation run on machine integers.  The packed code order equals
-   the lexicographic word order, so every observable behaviour — iteration
-   order, [elements], [choose_opt], predicate application order — is
-   identical in both representations.  Canonical form: the empty language is
-   always [Set Word.Set.empty] (a [Packed] value is never empty). *)
-type t = Set of Word.Set.t | Packed of Packed.t
+(* Tiered representation.  General languages live in a persistent string
+   set; non-empty uniform-length binary languages live on the packed tier
+   ladder:
+
+     T0  [Packed]    len <= 62    one machine integer per code
+     T1  [Wide]      len <= 128   ceil(len/62) limbs per code, same algebra
+     T2  [Factored]  any length   hash-consed decision DAG (a deterministic
+                                  d-rep), cardinals by model counting
+
+   Dispatch is by length — and, for concatenation, by *cardinality*: a
+   product whose explicit code array would exceed [wide_pair_threshold]
+   escalates to T2 even at small lengths, which is what lets the n >= 16
+   sweeps run where 4^n words could never be enumerated.  All tiers (and
+   the set form) enumerate in ascending lexicographic order, so every
+   observable behaviour — iteration order, [elements], [choose_opt],
+   [digest] — is representation-invariant.  Canonical form: the empty
+   language is always [Set Word.Set.empty] (a tiered value is never
+   empty). *)
+type t =
+  | Set of Word.Set.t
+  | Packed of Packed.t
+  | Wide of Wide.t
+  | Factored of Factored.t
 
 let empty = Set Word.Set.empty
 
 let of_packed p = if Packed.is_empty p then empty else Packed p
-let to_packed = function Packed p -> Some p | Set _ -> None
+let to_packed = function Packed p -> Some p | _ -> None
+let of_wide w = if Wide.is_empty w then empty else Wide w
+let to_wide = function Wide w -> Some w | _ -> None
+let of_factored f = if Factored.is_empty f then empty else Factored f
+let to_factored = function Factored f -> Some f | _ -> None
+
+let tier = function
+  | Set _ -> `Set
+  | Packed _ -> `T0
+  | Wide _ -> `T1
+  | Factored _ -> `T2
 
 let is_binary_word w = String.for_all (fun c -> c = 'a' || c = 'b') w
 
@@ -24,19 +48,22 @@ let packable_word w =
 let to_set = function
   | Set s -> s
   | Packed p -> Word.Set.of_seq (Packed.words p)
+  | Wide w -> Word.Set.of_seq (Wide.words w)
+  | Factored f -> Word.Set.of_seq (Factored.words f)
 
 let pack t =
   match t with
-  | Packed _ -> t
+  | Packed _ | Wide _ | Factored _ -> t
   | Set s when Word.Set.is_empty s -> t
   | Set s ->
     let len = String.length (Word.Set.min_elt s) in
     if
-      len <= Packed.max_length
-      && Word.Set.for_all
+      not
+        (Word.Set.for_all
            (fun w -> String.length w = len && is_binary_word w)
-           s
-    then begin
+           s)
+    then t
+    else if len <= Packed.max_length then begin
       let codes = Array.make (Word.Set.cardinal s) 0 in
       let k = ref 0 in
       (* set iteration is ascending, and the code order agrees with it *)
@@ -47,43 +74,109 @@ let pack t =
         s;
       Packed (Packed.of_sorted_codes ~len codes)
     end
-    else t
+    else if len <= Wide.max_length then
+      Wide (Wide.of_word_list len (Word.Set.elements s))
+    else Factored (Factored.of_word_list len (Word.Set.elements s))
 
-let unpack = function Packed _ as t -> Set (to_set t) | t -> t
+let unpack = function Set _ as t -> t | t -> Set (to_set t)
+
+(* [factor t] forces tier T2 when the language is uniform-length binary
+   (leaving [t] unchanged otherwise, and the empty language canonical). *)
+let factor t =
+  match t with
+  | Factored _ -> t
+  | Packed p -> Factored (Factored.of_packed p)
+  | Wide w -> Factored (Factored.of_wide w)
+  | Set s when Word.Set.is_empty s -> t
+  | Set s ->
+    let len = String.length (Word.Set.min_elt s) in
+    if
+      Word.Set.for_all
+        (fun w -> String.length w = len && is_binary_word w)
+        s
+    then Factored (Factored.of_word_list len (Word.Set.elements s))
+    else t
 
 let singleton w =
   if packable_word w then Packed (Packed.singleton_word w)
+  else if is_binary_word w && String.length w <= Wide.max_length then
+    Wide (Wide.singleton_word w)
+  else if is_binary_word w then Factored (Factored.singleton_word w)
   else Set (Word.Set.singleton w)
 
 let of_list ws = pack (Set (Word.Set.of_list ws))
 let of_seq ws = pack (Set (Word.Set.of_seq ws))
 
-(* [add] degrades a packed value to the set representation: persistent
-   single-word insertion into a packed array is O(cardinal), so the common
-   [fold add empty] accumulation loops would turn quadratic.  Adding to the
-   empty language still yields a packed singleton, so only the second add
-   pays a (one-element) conversion. *)
+(* [add] degrades a tiered value to the set representation: persistent
+   single-word insertion into a sorted code array is O(cardinal), so the
+   common [fold add empty] accumulation loops would turn quadratic.  Adding
+   to the empty language still yields a tiered singleton, so only the
+   second add pays a (one-element) conversion. *)
 let add w t =
   match t with
   | Set s when Word.Set.is_empty s -> singleton w
   | Set s -> Set (Word.Set.add w s)
-  | Packed _ -> Set (Word.Set.add w (to_set t))
+  | Packed _ | Wide _ | Factored _ -> Set (Word.Set.add w (to_set t))
 
 let mem w = function
   | Set s -> Word.Set.mem w s
   | Packed p -> Packed.mem p w
+  | Wide wd -> Wide.mem wd w
+  | Factored f -> Factored.mem f w
 
 let cardinal = function
   | Set s -> Word.Set.cardinal s
   | Packed p -> Packed.cardinal p
+  | Wide w -> Wide.cardinal w
+  | Factored f -> (
+      match Factored.cardinal_int f with
+      | Some n -> n
+      | None ->
+        invalid_arg
+          "Lang.cardinal: cardinal exceeds the native int range (use \
+           Lang.cardinal_big)")
 
-let is_empty = function Set s -> Word.Set.is_empty s | Packed _ -> false
+let cardinal_big = function
+  | Factored f -> Factored.cardinal f
+  | t -> Ucfg_util.Bignum.of_int (cardinal t)
+
+let is_empty = function
+  | Set s -> Word.Set.is_empty s
+  | Packed _ | Wide _ | Factored _ -> false
 
 let same_len p q = Packed.length p = Packed.length q
+
+(* Uniform length of a tiered value, [None] on the set form — O(1). *)
+let tier_length = function
+  | Packed p -> Some (Packed.length p)
+  | Wide w -> Some (Wide.length w)
+  | Factored f -> Some (Factored.length f)
+  | Set _ -> None
+
+(* Promote two same-length tiered values to their common (higher) tier.
+   T0 lifts into T1 by reinterpreting codes as one-limb codes; T1 lifts
+   into T2 by a sorted-range build.  Used only on equal lengths. *)
+let as_wide = function
+  | Packed p -> Wide.of_packed p
+  | Wide w -> w
+  | Set _ | Factored _ -> assert false
+
+let as_factored = function
+  | Packed p -> Factored.of_packed p
+  | Wide w -> Factored.of_wide w
+  | Factored f -> f
+  | Set _ -> assert false
 
 let union a b =
   match a, b with
   | Packed p, Packed q when same_len p q -> Packed (Packed.union p q)
+  | (Factored _, (Packed _ | Wide _ | Factored _)
+    | (Packed _ | Wide _), Factored _)
+    when tier_length a = tier_length b ->
+    Factored (Factored.union (as_factored a) (as_factored b))
+  | ((Packed _ | Wide _), (Packed _ | Wide _))
+    when tier_length a = tier_length b ->
+    Wide (Wide.union (as_wide a) (as_wide b))
   | _ ->
     if is_empty a then b
     else if is_empty b then a
@@ -92,13 +185,35 @@ let union a b =
 let inter a b =
   match a, b with
   | Packed p, Packed q when same_len p q -> of_packed (Packed.inter p q)
-  | Packed p, Packed q when not (same_len p q) -> empty
+  | (Factored _, (Packed _ | Wide _ | Factored _)
+    | (Packed _ | Wide _), Factored _)
+    when tier_length a = tier_length b ->
+    of_factored (Factored.inter (as_factored a) (as_factored b))
+  | ((Packed _ | Wide _), (Packed _ | Wide _))
+    when tier_length a = tier_length b ->
+    of_wide (Wide.inter (as_wide a) (as_wide b))
+  | (Packed _ | Wide _ | Factored _), (Packed _ | Wide _ | Factored _) ->
+    empty (* different uniform lengths never intersect *)
+  | (Factored f, Set s | Set s, Factored f) ->
+    (* keep the set side enumerated: the factored side may be huge *)
+    pack
+      (Set (Word.Set.filter (fun w -> Factored.mem f w) s))
   | _ -> Set (Word.Set.inter (to_set a) (to_set b))
 
 let diff a b =
   match a, b with
   | Packed p, Packed q when same_len p q -> of_packed (Packed.diff p q)
-  | Packed _, Packed _ -> a
+  | (Factored _, (Packed _ | Wide _ | Factored _)
+    | (Packed _ | Wide _), Factored _)
+    when tier_length a = tier_length b ->
+    of_factored (Factored.diff (as_factored a) (as_factored b))
+  | ((Packed _ | Wide _), (Packed _ | Wide _))
+    when tier_length a = tier_length b ->
+    of_wide (Wide.diff (as_wide a) (as_wide b))
+  | (Packed _ | Wide _ | Factored _), (Packed _ | Wide _ | Factored _) ->
+    a (* different uniform lengths: nothing to remove *)
+  | Set s, Factored f ->
+    pack (Set (Word.Set.filter (fun w -> not (Factored.mem f w)) s))
   | _ ->
     if is_empty a || is_empty b then a
     else Set (Word.Set.diff (to_set a) (to_set b))
@@ -107,7 +222,23 @@ let equal a b =
   match a, b with
   | Packed p, Packed q -> same_len p q && Packed.equal p q
   | Set s, Set s' -> Word.Set.equal s s'
-  | (Packed _ as pk), (Set _ as st) | (Set _ as st), (Packed _ as pk) ->
+  | (Wide _ | Factored _), (Packed _ | Wide _ | Factored _)
+  | Packed _, (Wide _ | Factored _) ->
+    tier_length a = tier_length b
+    && (match a, b with
+        | Factored _, _ | _, Factored _ ->
+          Factored.equal (as_factored a) (as_factored b)
+        | _ -> Wide.equal (as_wide a) (as_wide b))
+  | (Factored f as fc), (Set _ as st) | (Set _ as st), (Factored f as fc) ->
+    (* never enumerate the factored side: cardinal check, then membership
+       of the (already materialised) set side *)
+    (not (is_empty st))
+    && tier_length fc = Some (String.length (Word.Set.min_elt (to_set st)))
+    && Ucfg_util.Bignum.equal (Factored.cardinal f)
+         (Ucfg_util.Bignum.of_int (cardinal st))
+    && Word.Set.for_all (fun w -> Factored.mem f w) (to_set st)
+  | ((Packed _ | Wide _) as pk), (Set _ as st)
+  | (Set _ as st), ((Packed _ | Wide _) as pk) ->
     (not (is_empty st))
     && cardinal pk = cardinal st
     && Word.Set.equal (to_set pk) (to_set st)
@@ -115,6 +246,19 @@ let equal a b =
 let subset a b =
   match a, b with
   | Packed p, Packed q -> same_len p q && Packed.subset p q
+  | (Wide _ | Factored _), (Packed _ | Wide _ | Factored _)
+  | Packed _, (Wide _ | Factored _) ->
+    tier_length a = tier_length b
+    && (match a, b with
+        | Factored _, _ | _, Factored _ ->
+          Factored.subset (as_factored a) (as_factored b)
+        | _ -> Wide.subset (as_wide a) (as_wide b))
+  | Set _, Factored f -> Word.Set.for_all (fun w -> Factored.mem f w) (to_set a)
+  | Factored f, Set s ->
+    Ucfg_util.Bignum.compare (Factored.cardinal f)
+      (Ucfg_util.Bignum.of_int (Word.Set.cardinal s))
+    <= 0
+    && Seq.for_all (fun w -> Word.Set.mem w s) (Factored.words f)
   | _ ->
     is_empty a
     || ((not (is_empty b)) && Word.Set.subset (to_set a) (to_set b))
@@ -122,11 +266,27 @@ let subset a b =
 let disjoint a b =
   match a, b with
   | Packed p, Packed q -> (not (same_len p q)) || Packed.disjoint p q
+  | (Wide _ | Factored _), (Packed _ | Wide _ | Factored _)
+  | Packed _, (Wide _ | Factored _) ->
+    tier_length a <> tier_length b
+    || (match a, b with
+        | Factored _, _ | _, Factored _ ->
+          Factored.disjoint (as_factored a) (as_factored b)
+        | _ -> Wide.disjoint (as_wide a) (as_wide b))
+  | (Factored f, Set s | Set s, Factored f) ->
+    Word.Set.for_all (fun w -> not (Factored.mem f w)) s
   | _ ->
     is_empty a || is_empty b || Word.Set.disjoint (to_set a) (to_set b)
 
 (* below this many (u, v) pairs the fan-out overhead outweighs the work *)
 let par_pair_threshold = 1 lsl 12
+
+(* above this many (u, v) pairs an explicit product array stops being a
+   good idea at any length: escalate to the factorised tier, where concat
+   is O(nodes).  This cardinality escape — not the 62-char length wall —
+   is what caps the enumerated sweeps around n ~ 10, and lifting it is
+   what pushes the E-series to n >= 16. *)
+let wide_pair_threshold = 1 lsl 22
 
 (* Packed product, chunked over the left operand's codes when large.  Each
    chunk of ascending u-codes emits an ascending slice of the result, and
@@ -187,36 +347,61 @@ let concat_sets l1 l2 =
 
 let concat a b =
   match a, b with
-  | Packed p, Packed q
-    when Packed.length p + Packed.length q <= Packed.max_length ->
-    Packed (concat_packed p q)
+  | ( (Packed _ | Wide _ | Factored _),
+      (Packed _ | Wide _ | Factored _) ) -> (
+      let la = Option.get (tier_length a)
+      and lb = Option.get (tier_length b) in
+      let len = la + lb in
+      match a, b with
+      | Factored _, _ | _, Factored _ ->
+        Factored (Factored.concat (as_factored a) (as_factored b))
+      | _ ->
+        let pairs = cardinal a * cardinal b in
+        if pairs >= wide_pair_threshold then
+          Factored (Factored.concat (as_factored a) (as_factored b))
+        else if len <= Packed.max_length then
+          (* T0 inputs stay on the T0 path (the parallel chunked product);
+             mixed or T1 inputs at packable lengths use the wide product *)
+          (match a, b with
+           | Packed p, Packed q -> Packed (concat_packed p q)
+           | _ -> Wide (Wide.concat (as_wide a) (as_wide b)))
+        else if len <= Wide.max_length then
+          Wide (Wide.concat (as_wide a) (as_wide b))
+        else Factored (Factored.concat (as_factored a) (as_factored b)))
   | _ ->
     if is_empty a || is_empty b then empty
     else Set (concat_sets (to_set a) (to_set b))
 
 let concat_list ls = List.fold_left concat (singleton "") ls
 
-let elements = function
-  | Set s -> Word.Set.elements s
-  | Packed p -> List.of_seq (Packed.words p)
+let to_seq = function
+  | Set s -> Word.Set.to_seq s
+  | Packed p -> Packed.words p
+  | Wide w -> Wide.words w
+  | Factored f -> Factored.words f
 
-let to_seq = function Set s -> Word.Set.to_seq s | Packed p -> Packed.words p
+let elements t = List.of_seq (to_seq t)
 
-(* both representations enumerate in ascending string order (packed code
+(* all representations enumerate in ascending string order (tier code
    order is lexicographic within the uniform length), so the digest is
-   representation-invariant: pack/unpack round trips hash identically *)
+   representation-invariant: pack/factor round trips hash identically *)
 let digest l =
   let buf = Buffer.create 1024 in
   Seq.iter
     (fun w ->
        Buffer.add_string buf w;
        Buffer.add_char buf '\n')
-    (match l with Set s -> Word.Set.to_seq s | Packed p -> Packed.words p);
+    (to_seq l);
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
 let iter f = function
   | Set s -> Word.Set.iter f s
-  | Packed p -> Packed.iter_codes (fun c -> f (Packed.word_of_code ~len:(Packed.length p) c)) p
+  | Packed p ->
+    Packed.iter_codes
+      (fun c -> f (Packed.word_of_code ~len:(Packed.length p) c))
+      p
+  | Wide w -> Wide.iter_words f w
+  | Factored fc -> Factored.iter_words f fc
 
 let fold f t init =
   match t with
@@ -225,15 +410,19 @@ let fold f t init =
     Packed.fold_codes
       (fun c acc -> f (Packed.word_of_code ~len:(Packed.length p) c) acc)
       p init
+  | Wide _ | Factored _ -> Seq.fold_left (fun acc w -> f w acc) init (to_seq t)
 
 let filter f = function
   | Set s -> Set (Word.Set.filter f s)
   | Packed p -> of_packed (Packed.filter f p)
+  | Wide w -> of_wide (Wide.filter f w)
+  | Factored fc -> of_factored (Factored.filter f fc)
 
 let map f t =
   match t with
   | Set s -> pack (Set (Word.Set.map f s))
-  | Packed _ -> pack (Set (fold (fun w acc -> Word.Set.add (f w) acc) t Word.Set.empty))
+  | Packed _ | Wide _ | Factored _ ->
+    pack (Set (fold (fun w acc -> Word.Set.add (f w) acc) t Word.Set.empty))
 
 exception Early
 
@@ -248,6 +437,7 @@ let for_all f = function
          p;
        true
      with Early -> false)
+  | Wide _ | Factored _ as t -> Seq.for_all f (to_seq t)
 
 let exists f = function
   | Set s -> Word.Set.exists f s
@@ -260,24 +450,65 @@ let exists f = function
          p;
        false
      with Early -> true)
+  | Wide _ | Factored _ as t -> Seq.exists f (to_seq t)
 
 let choose_opt = function
   | Set s -> Word.Set.choose_opt s (* stdlib choose = min_elt *)
   | Packed p -> Packed.min_word p
+  | Wide w -> Wide.min_word w
+  | Factored f -> Factored.min_word f
+
+let min_word = choose_opt
+
+(* Least word of [Σ^len] missing from a tiered language: the T0/T1 gap
+   scans and the T2 descent, all O(representation), never O(2^len).
+   [None] = the language is full; raises on the set form (callers decide
+   how to enumerate a raw set). *)
+let first_absent_word = function
+  | Packed p ->
+    Option.map
+      (Packed.word_of_code ~len:(Packed.length p))
+      (Packed.first_absent_code p)
+  | Wide w -> Wide.first_absent_word w
+  | Factored f -> Factored.min_absent_word f
+  | Set _ -> invalid_arg "Lang.first_absent_word: set representation"
 
 let full alpha n =
-  if Alphabet.chars alpha = [ 'a'; 'b' ] && n <= Packed.max_length then
-    of_packed (Packed.full n)
+  if Alphabet.chars alpha = [ 'a'; 'b' ] then
+    if n <= Packed.max_length then of_packed (Packed.full n)
+    else Factored (Factored.full n)
   else of_seq (Word.enumerate alpha n)
 
+(* Restrict [l] to its length-[n] binary slice as a T2 value. *)
+let factor_slice n l =
+  match l with
+  | Packed p when Packed.length p = n -> Factored.of_packed p
+  | Wide w when Wide.length w = n -> Factored.of_wide w
+  | Factored f when Factored.length f = n -> f
+  | Packed _ | Wide _ | Factored _ -> Factored.empty n
+  | Set s ->
+    Factored.of_word_list n
+      (Word.Set.elements
+         (Word.Set.filter
+            (fun w -> String.length w = n && is_binary_word w)
+            s))
+
 let complement_within alpha n l =
-  if Alphabet.chars alpha = [ 'a'; 'b' ] && n <= Packed.max_length then
-    match l with
-    | Packed p when Packed.length p = n ->
-      of_packed (Packed.complement_within p)
-    | _ ->
-      (* same filter the set path runs, just over the packed universe *)
-      of_packed (Packed.filter (fun w -> not (mem w l)) (Packed.full n))
+  if Alphabet.chars alpha = [ 'a'; 'b' ] then begin
+    if n <= Packed.max_length then
+      match l with
+      | Packed p when Packed.length p = n ->
+        of_packed (Packed.complement_within p)
+      | Wide _ | Factored _ ->
+        of_factored (Factored.complement (factor_slice n l))
+      | _ ->
+        (* same filter the set path runs, just over the packed universe *)
+        of_packed (Packed.filter (fun w -> not (mem w l)) (Packed.full n))
+    else
+      (* beyond the machine-word tier the complement cannot be enumerated:
+         it lives on the factorised tier, where it is a sink swap *)
+      of_factored (Factored.complement (factor_slice n l))
+  end
   else
     Set
       (Word.Set.filter
@@ -286,6 +517,8 @@ let complement_within alpha n l =
 
 let lengths = function
   | Packed p -> [ Packed.length p ]
+  | Wide w -> [ Wide.length w ]
+  | Factored f -> [ Factored.length f ]
   | Set s ->
     Word.Set.fold (fun w acc -> String.length w :: acc) s []
     |> List.sort_uniq compare

@@ -12,27 +12,46 @@ type t
 (** {1 Representations}
 
     Internally a language is either a persistent string set or, when all
-    words are binary and share one length [<= Packed.max_length], a
-    {!Packed} value (sorted machine-integer codes).  The two behave
-    identically — same iteration order, same [elements], same
-    [choose_opt] — so the representation is observable only through
-    {!to_packed}. *)
+    words are binary and share one length, a value on the packed tier
+    ladder: T0 {!Packed} (sorted machine-integer codes, len ≤ 62),
+    T1 {!Wide} (sorted multi-limb codes, len ≤ 128), or T2 {!Factored}
+    (a hash-consed decision DAG — a deterministic d-rep — any length,
+    cardinals by exact model counting).  All four behave identically —
+    same iteration order, same [elements], same [choose_opt] — so the
+    representation is observable only through the [to_*] peeks and
+    {!tier}.  Dispatch between tiers is automatic, by length and (for
+    {!concat}) by product cardinality: a concatenation whose explicit
+    code array would be huge escalates to T2 even at small lengths. *)
 
 (** [of_packed p] wraps a packed language (empty packed values normalise to
     {!empty}). *)
 val of_packed : Packed.t -> t
 
-(** [to_packed t] is the packed backend when [t] currently uses it — an
+(** [to_packed t] is the T0 backend when [t] currently uses it — an
     O(1) peek, never a conversion.  Use {!pack} first to force one. *)
 val to_packed : t -> Packed.t option
 
-(** [pack t] switches to the packed representation when the language is
-    non-empty, uniform-length, binary and short enough; otherwise [t]
+val of_wide : Wide.t -> t
+val to_wide : t -> Wide.t option
+val of_factored : Factored.t -> t
+val to_factored : t -> Factored.t option
+
+(** Which representation [t] currently uses — O(1), for tests and
+    diagnostics. *)
+val tier : t -> [ `Set | `T0 | `T1 | `T2 ]
+
+(** [pack t] switches to the cheapest fitting packed tier when the
+    language is non-empty, uniform-length and binary; otherwise [t]
     unchanged.  Lossless either way. *)
 val pack : t -> t
 
-(** [unpack t] forces the set representation — the inverse of {!pack}.
-    Mostly for benchmarking the packed backend against the set baseline. *)
+(** [factor t] forces the factorised tier T2 when the language is
+    non-empty, uniform-length and binary; otherwise [t] unchanged. *)
+val factor : t -> t
+
+(** [unpack t] forces the set representation — the inverse of {!pack} /
+    {!factor}.  Mostly for benchmarking the tiers against the set
+    baseline; enumerates, so only for languages known to be small. *)
 val unpack : t -> t
 
 val empty : t
@@ -41,7 +60,15 @@ val of_list : Word.t list -> t
 val of_seq : Word.t Seq.t -> t
 val add : Word.t -> t -> t
 val mem : Word.t -> t -> bool
+
+(** @raise Invalid_argument when a T2 cardinal exceeds the native [int]
+    range — use {!cardinal_big} there. *)
 val cardinal : t -> int
+
+(** Exact cardinal as a big integer (a model count on tier T2 — never an
+    enumeration). *)
+val cardinal_big : t -> Ucfg_util.Bignum.t
+
 val is_empty : t -> bool
 
 val union : t -> t -> t
@@ -66,6 +93,16 @@ val map : (Word.t -> Word.t) -> t -> t
 val for_all : (Word.t -> bool) -> t -> bool
 val exists : (Word.t -> bool) -> t -> bool
 val choose_opt : t -> Word.t option
+
+(** [min_word t] = {!choose_opt}: the lexicographically least word (every
+    representation enumerates in ascending order). *)
+val min_word : t -> Word.t option
+
+(** [first_absent_word t] is the least word of the tier's uniform length
+    missing from [t] ([None] when full) — gap scans on T0/T1, a non-full
+    descent on T2; O(representation), never O(2^len).
+    @raise Invalid_argument on the set representation. *)
+val first_absent_word : t -> Word.t option
 
 (** [full alpha n] is [Σ^n]. *)
 val full : Alphabet.t -> int -> t

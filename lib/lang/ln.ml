@@ -19,13 +19,42 @@ let codes n =
   let total = 1 lsl (2 * n) in
   Seq.filter (mem_code n) (Seq.init total Fun.id)
 
-let language n =
+(* Symbolic chain for one slice [L_n^k] — positions [k] and [k + n] fixed
+   to 'a', every other position free — built bottom-up with the raw
+   factored-node constructors: ~4n hash-consed nodes, no enumeration. *)
+let slice_factored n k =
+  if k < 0 || k > n - 1 then invalid_arg "Ln.slice_factored: bad k";
+  let len = 2 * n in
+  let acc = ref Factored.accept in
+  for pos = len - 1 downto 0 do
+    let h = len - 1 - pos in
+    (* !acc has height h *)
+    if pos = k || pos = k + n then
+      acc := Factored.branch !acc (Factored.reject_all h)
+    else acc := Factored.branch !acc !acc
+  done;
+  Factored.of_root len !acc
+
+(* [L_n = ∪_k L_n^k] on the factorised tier: n memoised unions over the
+   ~4n-node slice chains.  The result is the canonical level decision DAG
+   of [L_n] — Θ(2^n) nodes (the residual after the first half is the set
+   of 'a'-positions read, and all 2^n of them are distinct), exponentially
+   smaller than the 4^n − 3^n words it denotes, and cardinals stay exact
+   Bignum model counts.  This is what carries the E-series to n >= 16. *)
+let language_factored n =
+  if n <= 0 then invalid_arg "Ln.language_factored: n must be positive";
+  let rec go k acc =
+    if k >= n then acc else go (k + 1) (Factored.union acc (slice_factored n k))
+  in
+  Lang.of_factored (go 1 (slice_factored n 0))
+
+(* Direct enumeration into the packed backend — cheap up to n ~ 10. *)
+let language_enumerated n =
   (* Straight into the packed backend: [codes] sets bit [i] for an 'a' at
      position [i], while the packed key sets bit [len - 1 - i] for a 'b'
      there, so the key is the bit-reversed complement of the code.  A
      direct scan of the code space (no intermediate [Seq]) keeps the
      construction cheap enough to rebuild per benchmark row. *)
-  if 2 * n > 60 then invalid_arg "Ln.codes: n too large";
   let len = 2 * n in
   let total = 1 lsl len in
   let key_of_code code =
@@ -52,6 +81,15 @@ let language n =
   done;
   Lang.of_packed (Packed.of_codes ~len (Array.sub keys 0 !k))
 
+(* The enumeration scans all 4^n codes, so it stops paying around n ~ 10;
+   beyond that the factorised construction takes over.  Both materialise
+   the same language (QCheck-pinned on the overlap). *)
+let enumeration_cap = 10
+
+let language n =
+  if n <= enumeration_cap && 2 * n <= 60 then language_enumerated n
+  else language_factored n
+
 let cardinal n =
   Bignum.sub (Bignum.pow (Bignum.of_int 4) n) (Bignum.pow (Bignum.of_int 3) n)
 
@@ -63,7 +101,9 @@ let slice_mem n k w =
   && w.[k + n] = 'a'
 
 let slice n k =
-  Lang.filter (fun w -> slice_mem n k w) (Lang.full Alphabet.binary (2 * n))
+  if 2 * n <= Packed.max_length then
+    Lang.filter (fun w -> slice_mem n k w) (Lang.full Alphabet.binary (2 * n))
+  else Lang.of_factored (slice_factored n k)
 
 let star_mem n w =
   if n mod 2 <> 0 then invalid_arg "Ln.star_mem: n must be even";
@@ -79,4 +119,19 @@ let star_mem n w =
   end
 
 let star n =
-  Lang.filter (fun w -> star_mem n w) (Lang.full Alphabet.binary (2 * n))
+  if n mod 2 <> 0 then invalid_arg "Ln.star_mem: n must be even";
+  if 2 * n <= Packed.max_length then
+    Lang.filter (fun w -> star_mem n w) (Lang.full Alphabet.binary (2 * n))
+  else begin
+    (* symbolic chain: the first and last n/2 positions fixed to 'a' *)
+    let len = 2 * n in
+    let h2 = n / 2 in
+    let acc = ref Factored.accept in
+    for pos = len - 1 downto 0 do
+      let h = len - 1 - pos in
+      if pos < h2 || pos >= len - h2 then
+        acc := Factored.branch !acc (Factored.reject_all h)
+      else acc := Factored.branch !acc !acc
+    done;
+    Lang.of_factored (Factored.of_root len !acc)
+  end

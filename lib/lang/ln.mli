@@ -17,9 +17,17 @@ val mem : int -> Word.t -> bool
     word of length [2n] (as produced by {!Ucfg_word.Word.to_bits}). *)
 val mem_code : int -> int -> bool
 
-(** [language n] materialises [L_n] by enumerating all [4^n] words.
-    Use for [n] up to ~10. *)
+(** [language n] is [L_n] — enumerated into the packed backend for
+    [n <= 10] (a 4^n code scan), built symbolically on the factorised tier
+    beyond (see {!language_factored}).  Both routes produce the same
+    language; the representations compare equal through {!Lang.equal}. *)
 val language : int -> Lang.t
+
+(** [language_factored n] is [L_n] on tier T2, built as the union of the
+    [n] slice chains [L_n^k] — Θ(2^n) hash-consed nodes, never an
+    enumeration of the [4^n − 3^n] words, with exact Bignum cardinals.
+    This is the reference object for the n ≥ 16 sweeps (E31). *)
+val language_factored : int -> Lang.t
 
 (** [codes n] enumerates the packed codes of [L_n] lazily. *)
 val codes : int -> int Seq.t

@@ -13,7 +13,12 @@ type t = { len : int; repr : repr }
 
 let check_len op len =
   if len < 0 || len > max_length then
-    invalid_arg (Printf.sprintf "Packed.%s: length %d out of [0, %d]" op len max_length)
+    invalid_arg
+      (Printf.sprintf
+         "Packed.%s: length %d out of [0, %d] — lengths up to 128 live on \
+          the multi-word tier (Wide), longer ones on the factorised tier \
+          (Factored); Lang dispatches automatically"
+         op len max_length)
 
 let length t = t.len
 
@@ -65,10 +70,13 @@ let of_sorted_codes ~len codes =
 
 let of_codes ~len codes =
   check_len "of_codes" len;
-  let universe = 1 lsl len in
+  (* [c lsr len <> 0] instead of [c >= 1 lsl len]: at len = 62 the universe
+     size itself overflows the 63-bit native int and would reject every
+     code *)
   Array.iter
     (fun c ->
-       if c < 0 || c >= universe then invalid_arg "Packed.of_codes: code out of range")
+       if c < 0 || c lsr len <> 0 then
+         invalid_arg "Packed.of_codes: code out of range")
     codes;
   if is_dense len then of_sorted_codes ~len codes
   else begin
@@ -251,8 +259,8 @@ let complement_within t =
     { t with repr = Sparse out }
 
 let add_code t c =
-  let universe = 1 lsl t.len in
-  if c < 0 || c >= universe then invalid_arg "Packed.add_code: code out of range";
+  if c < 0 || c lsr t.len <> 0 then
+    invalid_arg "Packed.add_code: code out of range";
   match t.repr with
   | Dense b -> { t with repr = Dense (Bitset.add b c) }
   | Sparse a ->
@@ -261,7 +269,12 @@ let add_code t c =
 
 let concat t1 t2 =
   let len = t1.len + t2.len in
-  if len > max_length then invalid_arg "Packed.concat: combined length too large";
+  if len > max_length then
+    invalid_arg
+      (Printf.sprintf
+         "Packed.concat: combined length %d exceeds %d — escalate to the \
+          multi-word tier (Wide.concat), or let Lang.concat dispatch"
+         len max_length);
   let c1 = cardinal t1 and c2 = cardinal t2 in
   (* key (u ^ v) = key u lsl len2 lor key v is strictly monotone in the
      lexicographic pair (u, v), so the nested ascending iteration emits the

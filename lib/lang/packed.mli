@@ -1,4 +1,4 @@
-(** Packed fixed-length binary languages.
+(** Packed fixed-length binary languages — tier T0 of the language kernel.
 
     A language all of whose words are binary (over [{a, b}]) and share one
     length [len <= 62] fits into machine integers: a word is packed into
@@ -8,6 +8,14 @@
     This is the representation behind the hot paths of the reproduction:
     the witness family [L_n] and everything the exactness checks and the
     discrepancy enumerations materialise is of this shape.
+
+    This module is the bottom rung of a three-tier ladder, all sharing the
+    sorted-code merge algebra: T0 (here, one machine integer per code,
+    len ≤ 62) → T1 ({!Wide}, one 62-bit limb array per code, len ≤ 128) →
+    T2 ({!Factored}, a hash-consed decision-DAG circuit, any length, with
+    exact Bignum model counts instead of enumeration).  {!Lang} dispatches
+    between the tiers by length — and by {e cardinality}, escalating huge
+    concatenation products straight to T2.
 
     Two consequences of the code order make the operations cheap:
 
@@ -25,12 +33,13 @@ open Ucfg_word
 
 type t
 
-(** Largest supported word length: {b 62} characters, the widest width at
-    which every code [0 .. 2^len - 1] still fits OCaml's tagged 63-bit
-    native [int].  Every constructor validates its length against this cap
-    and raises [Invalid_argument] with a message of the shape
-    ["Packed.<op>: length <len> out of [0, 62]"] beyond it — longer words
-    must stay on the generic {!Lang} set representation. *)
+(** Largest word length on {e this} tier: {b 62} characters, the widest
+    width at which every code [0 .. 2^len - 1] still fits OCaml's tagged
+    63-bit native [int].  Every constructor validates its length against
+    this cap and raises [Invalid_argument] beyond it, with a message
+    naming the tier that does handle the length — {!Wide} up to 128,
+    {!Factored} beyond.  62 is not a wall, just the T0/T1 crossover;
+    {!Lang} moves between the tiers automatically. *)
 val max_length : int
 
 (** [length t] is the common word length.  Meaningful even when empty. *)
@@ -125,7 +134,8 @@ val add_code : t -> int -> t
     [length t1 + length t2]; the result has exactly
     [cardinal t1 * cardinal t2] words (packing is injective).
     @raise Invalid_argument when the combined length exceeds
-    {!max_length}. *)
+    {!max_length} — the message points at {!Wide.concat}, the next tier
+    up ({!Lang.concat} performs that escalation itself). *)
 val concat : t -> t -> t
 
 (** [filter p t] keeps the words satisfying [p] (applied in order). *)

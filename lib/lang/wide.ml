@@ -1,0 +1,317 @@
+(* Tier T1: sorted multi-limb code arrays for 62 < len <= 128 (and, for the
+   tier-equivalence tests, any smaller length).  A code is ceil(len/62)
+   62-bit limbs, most-significant limb first; a language is one flattened
+   [int array], [limbs] ints per code, codes strictly increasing.  The
+   limb-tuple order equals lexicographic word order, so every merge-based
+   algorithm of tier T0 ({!Packed}) transfers limb-for-limb. *)
+
+let limb_bits = 62
+let limb_mask = (1 lsl limb_bits) - 1
+let max_length = 128
+
+let limbs_for len = if len <= 0 then 1 else (len + limb_bits - 1) / limb_bits
+
+let check_len op len =
+  if len < 0 || len > max_length then
+    invalid_arg
+      (Printf.sprintf
+         "Wide.%s: length %d out of [0, %d] — lengths beyond the multi-word \
+          tier live on the factorised tier (Factored)"
+         op len max_length)
+
+type t = {
+  len : int;
+  limbs : int;  (* ints per code *)
+  codes : int array;  (* flattened, [limbs] per code, strictly increasing *)
+}
+
+let length t = t.len
+let cardinal t = Array.length t.codes / t.limbs
+let is_empty t = Array.length t.codes = 0
+
+let empty len =
+  check_len "empty" len;
+  { len; limbs = limbs_for len; codes = [||] }
+
+let code_of_word w =
+  let len = String.length w in
+  check_len "code_of_word" len;
+  let m = limbs_for len in
+  let c = Array.make m 0 in
+  for i = 0 to len - 1 do
+    match w.[i] with
+    | 'a' -> ()
+    | 'b' ->
+      let p = len - 1 - i in
+      let q = m - 1 - (p / limb_bits) in
+      c.(q) <- c.(q) lor (1 lsl (p mod limb_bits))
+    | _ -> invalid_arg "Wide.code_of_word: non-binary character"
+  done;
+  c
+
+let word_of_code ~len code =
+  check_len "word_of_code" len;
+  let m = limbs_for len in
+  String.init len (fun i ->
+      let p = len - 1 - i in
+      let q = m - 1 - (p / limb_bits) in
+      if (code.(q) lsr (p mod limb_bits)) land 1 = 1 then 'b' else 'a')
+
+(* Compare the [m]-limb slices at offsets [i] and [j].  Limbs are
+   non-negative and most-significant first, so plain int comparison
+   left-to-right is the numeric (= lexicographic word) order. *)
+let cmp_at a i b j m =
+  let rec go k =
+    if k = m then 0
+    else
+      let d = compare a.(i + k) b.(j + k) in
+      if d <> 0 then d else go (k + 1)
+  in
+  go 0
+
+let singleton_word w =
+  let len = String.length w in
+  { len; limbs = limbs_for len; codes = code_of_word w }
+
+let of_word_list len ws =
+  check_len "of_word_list" len;
+  let m = limbs_for len in
+  let codes =
+    List.map
+      (fun w ->
+         if String.length w <> len then
+           invalid_arg "Wide.of_word_list: word of the wrong length";
+         code_of_word w)
+      ws
+  in
+  let sorted = List.sort_uniq (fun a b -> cmp_at a 0 b 0 m) codes in
+  let n = List.length sorted in
+  let flat = Array.make (n * m) 0 in
+  List.iteri (fun i c -> Array.blit c 0 flat (i * m) m) sorted;
+  { len; limbs = m; codes = flat }
+
+let of_packed p =
+  let len = Packed.length p in
+  let m = limbs_for len in
+  (* m = 1 for any packable length, so the T0 codes are the limbs *)
+  assert (m = 1);
+  { len; limbs = m; codes = Array.of_seq (Packed.codes p) }
+
+let to_packed t =
+  if t.len > Packed.max_length then None
+  else Some (Packed.of_sorted_codes ~len:t.len (Array.copy t.codes))
+
+let mem_code t c =
+  let m = t.limbs in
+  let n = cardinal t in
+  let lo = ref 0 and hi = ref (n - 1) and found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let d = cmp_at t.codes (mid * m) c 0 m in
+    if d = 0 then found := true
+    else if d < 0 then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let mem t w =
+  String.length w = t.len
+  && String.for_all (fun c -> c = 'a' || c = 'b') w
+  && mem_code t (code_of_word w)
+
+let check_same_len op t1 t2 =
+  if t1.len <> t2.len then
+    invalid_arg
+      (Printf.sprintf "Wide.%s: length mismatch (%d vs %d)" op t1.len t2.len)
+
+(* Merge of two strictly-increasing flattened code arrays under a boolean
+   op — the T0 [merge_sparse], with slice comparison and slice blits. *)
+let merge ~keep_left ~keep_right ~keep_both t1 t2 =
+  let m = t1.limbs in
+  let a = t1.codes and b = t2.codes in
+  let na = Array.length a / m and nb = Array.length b / m in
+  let out = Array.make ((na + nb) * m) 0 in
+  let i = ref 0 and j = ref 0 and k = ref 0 in
+  let push src off =
+    Array.blit src (off * m) out (!k * m) m;
+    incr k
+  in
+  while !i < na && !j < nb do
+    let d = cmp_at a (!i * m) b (!j * m) m in
+    if d < 0 then begin
+      if keep_left then push a !i;
+      incr i
+    end
+    else if d > 0 then begin
+      if keep_right then push b !j;
+      incr j
+    end
+    else begin
+      if keep_both then push a !i;
+      incr i;
+      incr j
+    end
+  done;
+  if keep_left then
+    while !i < na do
+      push a !i;
+      incr i
+    done;
+  if keep_right then
+    while !j < nb do
+      push b !j;
+      incr j
+    done;
+  { t1 with codes = Array.sub out 0 (!k * m) }
+
+let union t1 t2 =
+  check_same_len "union" t1 t2;
+  merge ~keep_left:true ~keep_right:true ~keep_both:true t1 t2
+
+let inter t1 t2 =
+  check_same_len "inter" t1 t2;
+  merge ~keep_left:false ~keep_right:false ~keep_both:true t1 t2
+
+let diff t1 t2 =
+  check_same_len "diff" t1 t2;
+  merge ~keep_left:true ~keep_right:false ~keep_both:false t1 t2
+
+let equal t1 t2 = t1.len = t2.len && t1.codes = t2.codes
+
+let subset t1 t2 =
+  check_same_len "subset" t1 t2;
+  is_empty (diff t1 t2)
+
+let disjoint t1 t2 =
+  check_same_len "disjoint" t1 t2;
+  is_empty (inter t1 t2)
+
+(* [or_shifted dst src m_src shift] ors [src * 2^shift] into [dst] (both
+   most-significant-first limb arrays).  A source limb's low part lands in
+   one destination limb, its high part spills into the next — the shift-or
+   that makes concatenation linear in limbs instead of bits. *)
+let or_shifted dst src m_src shift =
+  let m_dst = Array.length dst in
+  for l = 0 to m_src - 1 do
+    (* l counts limbs from the least-significant end *)
+    let limb = src.(m_src - 1 - l) in
+    if limb <> 0 then begin
+      let lo_bit = (l * limb_bits) + shift in
+      let q = lo_bit / limb_bits and r = lo_bit mod limb_bits in
+      let qi = m_dst - 1 - q in
+      dst.(qi) <- dst.(qi) lor ((limb lsl r) land limb_mask);
+      if r > 0 then begin
+        let hi = limb lsr (limb_bits - r) in
+        if hi <> 0 then dst.(qi - 1) <- dst.(qi - 1) lor hi
+      end
+    end
+  done
+
+let concat t1 t2 =
+  let len = t1.len + t2.len in
+  if len > max_length then
+    invalid_arg
+      (Printf.sprintf
+         "Wide.concat: combined length %d exceeds %d — escalate to the \
+          factorised tier (Factored.concat)"
+         len max_length);
+  let m = limbs_for len in
+  let c1 = cardinal t1 and c2 = cardinal t2 in
+  let out = Array.make (c1 * c2 * m) 0 in
+  (* code (u ^ v) = code u * 2^len2 + code v is strictly monotone in the
+     lexicographic pair (u, v): the nested ascending loops emit the product
+     already sorted and duplicate-free, exactly as in tier T0. *)
+  let hi = Array.make m 0 in
+  let u = Array.make t1.limbs 0 and v = Array.make t2.limbs 0 in
+  let k = ref 0 in
+  for i = 0 to c1 - 1 do
+    Array.fill hi 0 m 0;
+    Array.blit t1.codes (i * t1.limbs) u 0 t1.limbs;
+    or_shifted hi u t1.limbs t2.len;
+    for j = 0 to c2 - 1 do
+      let off = !k * m in
+      Array.blit hi 0 out off m;
+      Array.blit t2.codes (j * t2.limbs) v 0 t2.limbs;
+      (* v occupies the low t2.len bits: or it in unshifted *)
+      for l = 0 to t2.limbs - 1 do
+        let oi = off + m - 1 - l in
+        out.(oi) <- out.(oi) lor v.(t2.limbs - 1 - l)
+      done;
+      incr k
+    done
+  done;
+  { len; limbs = m; codes = out }
+
+(* Multi-limb increment of a most-significant-first counter. *)
+let incr_code c =
+  let m = Array.length c in
+  let rec go i =
+    if i >= 0 then begin
+      let v = c.(i) + 1 in
+      if v > limb_mask then begin
+        c.(i) <- 0;
+        go (i - 1)
+      end
+      else c.(i) <- v
+    end
+  in
+  go (m - 1)
+
+let first_code t =
+  if is_empty t then None else Some (Array.sub t.codes 0 t.limbs)
+
+let min_word t = Option.map (word_of_code ~len:t.len) (first_code t)
+
+(* Gap scan: walk the sorted codes alongside a running counter; the first
+   disagreement is the least absent code.  O(cardinal), never O(2^len). *)
+let first_absent_word t =
+  let m = t.limbs in
+  let n = cardinal t in
+  let counter = Array.make m 0 in
+  let rec scan i =
+    if i >= n then
+      (* counter now equals the cardinal; absent iff cardinal < 2^len,
+         which at len >= 63 always holds (an array cannot reach 2^62) *)
+      if t.len < limb_bits && n = 1 lsl t.len then None
+      else Some (word_of_code ~len:t.len counter)
+    else if cmp_at t.codes (i * m) counter 0 m <> 0 then
+      Some (word_of_code ~len:t.len counter)
+    else begin
+      incr_code counter;
+      scan (i + 1)
+    end
+  in
+  scan 0
+
+let iter_words f t =
+  let m = t.limbs in
+  let n = cardinal t in
+  let c = Array.make m 0 in
+  for i = 0 to n - 1 do
+    Array.blit t.codes (i * m) c 0 m;
+    f (word_of_code ~len:t.len c)
+  done
+
+let words t =
+  let m = t.limbs in
+  let n = cardinal t in
+  Seq.map
+    (fun i -> word_of_code ~len:t.len (Array.sub t.codes (i * m) m))
+    (Seq.init n Fun.id)
+
+let filter p t =
+  let keep = ref [] and n = ref 0 in
+  let m = t.limbs in
+  for i = cardinal t - 1 downto 0 do
+    let c = Array.sub t.codes (i * m) m in
+    if p (word_of_code ~len:t.len c) then begin
+      keep := c :: !keep;
+      incr n
+    end
+  done;
+  let flat = Array.make (!n * m) 0 in
+  List.iteri (fun i c -> Array.blit c 0 flat (i * m) m) !keep;
+  { t with codes = flat }
+
+let pp fmt t =
+  Format.fprintf fmt "{%s}" (String.concat ", " (List.of_seq (words t)))

@@ -1,0 +1,89 @@
+(** Tier T1 of the language kernel: multi-word packed languages.
+
+    Uniform-length binary languages whose words are too long for a single
+    machine integer ({!Packed.max_length} [= 62] characters) but short
+    enough that sorted code arrays still pay off: [len <= 128].  A code is
+    the word's binary value split into 62-bit limbs, most-significant limb
+    first, and a language is one flattened [int array] holding the codes in
+    strictly increasing order — the limb-tuple order equals the
+    lexicographic word order, exactly as the single-limb code order does in
+    tier T0.  Every T0 algorithm carries over verbatim: boolean operations
+    are linear merges, membership is binary search, concatenation is a
+    shift-or over the limb boundary (monotone, so the product comes out
+    sorted), and the least absent code is a gap scan against a running
+    multi-word counter.
+
+    What does {e not} carry over is complementation: [2^len - cardinal]
+    codes cannot be materialised at [len > 62].  Complements (and anything
+    else whose {e result} outgrows an explicit code array) escalate to the
+    factorised tier {!Factored}, where they are symbolic.  The ladder is
+    T0 ({!Packed}, [len <= 62]) → T1 (this module, [len <= 128]) →
+    T2 ({!Factored}, any length, circuit-backed); {!Lang} dispatches
+    between them automatically. *)
+
+type t
+
+(** Number of payload bits per limb (62: codes stay non-negative OCaml
+    [int]s with a spare tag bit). *)
+val limb_bits : int
+
+(** Upper bound on the word length this tier accepts (128).  Lengths
+    [<= Packed.max_length] are also accepted — the overlap range is what
+    the tier-equivalence tests pin down. *)
+val max_length : int
+
+(** [limbs_for len] is the number of limbs per code at length [len]
+    (at least 1). *)
+val limbs_for : int -> int
+
+(** [length t] is the uniform word length. *)
+val length : t -> int
+
+val is_empty : t -> bool
+val cardinal : t -> int
+
+(** [empty len] / [singleton_word w] / [of_word_list len ws].
+    @raise Invalid_argument when the length is outside [[0, max_length]]
+    (the message names the {!Factored} tier) or a word is non-binary or of
+    the wrong length. *)
+val empty : int -> t
+
+val singleton_word : string -> t
+val of_word_list : int -> string list -> t
+
+(** [code_of_word w] is the code as limbs, most-significant first. *)
+val code_of_word : string -> int array
+
+val word_of_code : len:int -> int array -> string
+
+(** [of_packed p] / [to_packed t] convert to and from tier T0 losslessly;
+    [to_packed] is [None] when [length t > Packed.max_length]. *)
+val of_packed : Packed.t -> t
+
+val to_packed : t -> Packed.t option
+
+val mem : t -> string -> bool
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+val disjoint : t -> t -> bool
+
+(** [concat t1 t2] — sorted-product shift-or.
+    @raise Invalid_argument when the combined length exceeds
+    {!max_length} (the message names the {!Factored} tier). *)
+val concat : t -> t -> t
+
+(** Least word (lexicographically), i.e. the least code. *)
+val min_word : t -> string option
+
+(** [first_absent_word t] is the least word of length [length t] {e not}
+    in [t], or [None] when [t] is full — a gap scan over the sorted codes
+    against a running multi-limb counter, O(cardinal), never O(2^len). *)
+val first_absent_word : t -> string option
+
+val iter_words : (string -> unit) -> t -> unit
+val words : t -> string Seq.t
+val filter : (string -> bool) -> t -> t
+val pp : Format.formatter -> t -> unit

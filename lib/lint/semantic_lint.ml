@@ -52,17 +52,27 @@ let checks =
 type slice = { len : int; lang : Lang.t; packed : Packed.t option }
 
 let slices lang =
-  List.map
-    (fun len ->
-       let sl = Lang.filter (fun w -> String.length w = len) lang in
-       { len; lang = sl; packed = Lang.to_packed (Lang.pack sl) })
-    (Lang.lengths lang)
+  match Lang.uniform_length lang with
+  | Some len when Lang.tier lang <> `Set ->
+    (* a tiered value (T0/T1/T2) is uniform-length by construction — it is
+       its own single slice, and [Lang.filter]'s word enumeration (fatal on
+       a factorised language of billions of words) never runs *)
+    [ { len; lang; packed = Lang.to_packed lang } ]
+  | _ ->
+    List.map
+      (fun len ->
+         let sl = Lang.filter (fun w -> String.length w = len) lang in
+         { len; lang = sl; packed = Lang.to_packed (Lang.pack sl) })
+      (Lang.lengths lang)
 
 let seq_head s = match s () with Seq.Nil -> None | Seq.Cons (x, _) -> Some x
 let min_of_lang l = seq_head (Lang.to_seq l)
 
 (* least word of [s1 \ s2] ([s2] absent means nothing on the right at this
-   length, so the least word of [s1] itself separates) *)
+   length, so the least word of [s1] itself separates).  The non-packed
+   fallback is still tier-aware: [Lang.diff] dispatches to the T1/T2
+   algebra and [Lang.to_seq] is a lazy lexicographic descent, so the head
+   costs O(len) even on a circuit. *)
 let diff_min s1 s2o =
   match s2o with
   | None -> min_of_lang s1.lang
@@ -91,9 +101,15 @@ let missing_min ~guard alpha s =
     | Some p ->
       Option.map (Packed.word_of_code ~len:s.len) (Packed.first_absent_code p)
     | None ->
-      Seq.find
-        (fun w -> Guard.tick guard; not (Lang.mem w s.lang))
-        (Word.enumerate alpha s.len)
+      (match Lang.tier s.lang with
+       | `T1 | `T2 ->
+         (* the multi-limb gap scan / circuit descent — never a 2^len
+            sweep, which [Word.enumerate] would be beyond length 62 *)
+         Lang.first_absent_word s.lang
+       | _ ->
+         Seq.find
+           (fun w -> Guard.tick guard; not (Lang.mem w s.lang))
+           (Word.enumerate alpha s.len))
   else
     Seq.find
       (fun w -> Guard.tick guard; not (Lang.mem w s.lang))
@@ -127,7 +143,7 @@ let packed_universal ~guard g =
   let lang = Analysis.language_exn ~guard g in
   if Lang.is_empty lang then `Empty
   else
-    let card = Bignum.of_int (Lang.cardinal lang) in
+    let card = Lang.cardinal_big lang in
     let sls = slices lang in
     let s0 = List.hd sls in
     match missing_min ~guard alpha s0 with
@@ -271,7 +287,7 @@ let relational ~prop ?guard ?(cross_check = false) g1 g2 =
   let diff = prop = Includes in
   try
     let lang1 = Analysis.language_exn ~guard g1 in
-    let card1 = Bignum.of_int (Lang.cardinal lang1) in
+    let card1 = Lang.cardinal_big lang1 in
     if Lang.is_empty lang1 then
       (* ∅ ⊆ L2 and ∅ ∩ L2 = ∅, whatever L2 is *)
       report Holds Packed ~vacuous:true ~cardinal:Bignum.zero ()
@@ -302,7 +318,7 @@ let relational ~prop ?guard ?(cross_check = false) g1 g2 =
         match p_result with Some (_, l2) -> Lang.is_empty l2 | None -> false
       in
       let cardinal2 =
-        Option.map (fun (_, l2) -> Bignum.of_int (Lang.cardinal l2)) p_result
+        Option.map (fun (_, l2) -> Lang.cardinal_big l2) p_result
       in
       match witness with
       | None ->

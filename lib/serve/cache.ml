@@ -5,6 +5,7 @@ type entry = { value : string; mutable stamp : int }
 type t = {
   dir : string option;
   capacity : int;
+  disk_max_bytes : int option;
   tbl : (string, entry) Hashtbl.t;
   mutable clock : int;
   mutex : Mutex.t;
@@ -15,6 +16,7 @@ type t = {
   mutable corrupt : int;
   mutable stores : int;
   mutable evictions : int;
+  mutable disk_evictions : int;
 }
 
 type lookup = Memory of string | Disk of string | Miss | Corrupt
@@ -27,12 +29,18 @@ type stats = {
   corrupt : int;
   stores : int;
   evictions : int;
+  disk_evictions : int;
 }
 
-let create ?(mem_capacity = 512) ?dir () =
+let create ?(mem_capacity = 512) ?disk_max_bytes ?dir () =
+  (match disk_max_bytes with
+   | Some b when b <= 0 ->
+     invalid_arg "Cache.create: disk_max_bytes must be positive"
+   | _ -> ());
   {
     dir;
     capacity = max 1 mem_capacity;
+    disk_max_bytes;
     tbl = Hashtbl.create 64;
     clock = 0;
     mutex = Mutex.create ();
@@ -43,6 +51,7 @@ let create ?(mem_capacity = 512) ?dir () =
     corrupt = 0;
     stores = 0;
     evictions = 0;
+    disk_evictions = 0;
   }
 
 let dir t = t.dir
@@ -132,6 +141,70 @@ let read_disk path =
                        else D_corrupt))
              | _ -> D_corrupt))
 
+(* --- disk-tier eviction --------------------------------------------------- *)
+
+(* Every [.entry] file under the two-level store, with its last-use stamp
+   (the mtime — refreshed on disk hits, so eviction order is LRU) and
+   size.  A full scan per enforcement is O(files); stores are rare
+   relative to hits in a long-lived daemon, so as with the LRU below
+   simplicity wins over an incremental index (which another process — the
+   store is shared — could silently invalidate anyway). *)
+let scan_entries dir =
+  let out = ref [] in
+  (match Sys.readdir dir with
+   | exception Sys_error _ -> ()
+   | subdirs ->
+     Array.iter
+       (fun sub ->
+          let subpath = Filename.concat dir sub in
+          match Sys.readdir subpath with
+          | exception Sys_error _ -> ()
+          | files ->
+            Array.iter
+              (fun f ->
+                 if Filename.check_suffix f ".entry" then begin
+                   let path = Filename.concat subpath f in
+                   match Unix.stat path with
+                   | exception Unix.Unix_error _ -> ()
+                   | st ->
+                     if st.Unix.st_kind = Unix.S_REG then
+                       out := (path, st.Unix.st_mtime, st.Unix.st_size) :: !out
+                 end)
+              files)
+       subdirs);
+  !out
+
+(* refresh the last-use stamp of a disk entry (best-effort: the entry may
+   have been evicted by a concurrent writer between read and touch) *)
+let touch path =
+  try Unix.utimes path 0.0 0.0 with Unix.Unix_error _ -> ()
+
+(* bring the disk tier back under [disk_max_bytes] by deleting
+   oldest-stamp entries first.  Concurrent enforcers race only over
+   unlinks of the same (already chosen) victims, which is benign. *)
+let enforce_disk_cap t =
+  match t.dir, t.disk_max_bytes with
+  | Some dir, Some cap ->
+    let entries = scan_entries dir in
+    let total = List.fold_left (fun acc (_, _, sz) -> acc + sz) 0 entries in
+    if total > cap then begin
+      let by_age =
+        List.sort (fun (_, m1, _) (_, m2, _) -> compare m1 m2) entries
+      in
+      let excess = ref (total - cap) in
+      let evicted = ref 0 in
+      List.iter
+        (fun (path, _, sz) ->
+           if !excess > 0 then begin
+             (try Unix.unlink path with Unix.Unix_error _ -> ());
+             excess := !excess - sz;
+             incr evicted
+           end)
+        by_age;
+      locked t (fun () -> t.disk_evictions <- t.disk_evictions + !evicted)
+    end
+  | _ -> ()
+
 (* --- LRU ------------------------------------------------------------------ *)
 
 (* O(capacity) scan on eviction: capacities are a few hundred and
@@ -181,6 +254,7 @@ let lookup t key =
       | Some path -> (
           match read_disk path with
           | D_hit payload ->
+            touch path;
             locked t (fun () ->
                 t.disk_hits <- t.disk_hits + 1;
                 insert_locked t key payload);
@@ -199,7 +273,9 @@ let store t key payload =
       insert_locked t key payload);
   match entry_path t key with
   | None -> ()
-  | Some path -> write_disk path payload
+  | Some path ->
+    write_disk path payload;
+    enforce_disk_cap t
 
 let stats t =
   locked t (fun () ->
@@ -211,4 +287,5 @@ let stats t =
         corrupt = t.corrupt;
         stores = t.stores;
         evictions = t.evictions;
+        disk_evictions = t.disk_evictions;
       })

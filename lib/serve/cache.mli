@@ -21,10 +21,16 @@
 
 type t
 
-(** [create ?mem_capacity ?dir ()] — [mem_capacity] (default 512) bounds
-    the LRU entry count; [dir] (default [None]) enables the disk tier and
-    is created on demand. *)
-val create : ?mem_capacity:int -> ?dir:string -> unit -> t
+(** [create ?mem_capacity ?disk_max_bytes ?dir ()] — [mem_capacity]
+    (default 512) bounds the LRU entry count; [dir] (default [None])
+    enables the disk tier and is created on demand.  [disk_max_bytes]
+    (default unbounded) caps the total size of the disk store: after each
+    store the tier is scanned and oldest-stamp entries are deleted until
+    the cap holds again (stamps are mtimes, refreshed on disk hits, so
+    eviction is LRU; a concurrent reader of an evicted entry degrades to a
+    recomputation, never a wrong answer).
+    @raise Invalid_argument when [disk_max_bytes <= 0]. *)
+val create : ?mem_capacity:int -> ?disk_max_bytes:int -> ?dir:string -> unit -> t
 
 (** [dir t] is the disk root, if the disk tier is enabled. *)
 val dir : t -> string option
@@ -43,7 +49,8 @@ val lookup : t -> string -> lookup
 val store : t -> string -> string -> unit
 
 (** Monotonic counters since {!create}.  [corrupt] counts failed disk
-    verifications; [evictions] LRU evictions. *)
+    verifications; [evictions] LRU evictions; [disk_evictions] entry files
+    deleted by the [disk_max_bytes] cap. *)
 type stats = {
   lookups : int;
   mem_hits : int;
@@ -52,6 +59,7 @@ type stats = {
   corrupt : int;
   stores : int;
   evictions : int;
+  disk_evictions : int;
 }
 
 val stats : t -> stats

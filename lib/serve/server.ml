@@ -27,10 +27,12 @@ type t = {
   errors : int Atomic.t;
 }
 
-let create ?(cache_dir = Some "_repro/cache") ?mem_capacity ?default_timeout_ms
-    ?default_budget ?(version = "dev") () =
+let create ?(cache_dir = Some "_repro/cache") ?mem_capacity ?cache_max_bytes
+    ?default_timeout_ms ?default_budget ?(version = "dev") () =
   {
-    cache = Cache.create ?mem_capacity ?dir:cache_dir ();
+    cache =
+      Cache.create ?mem_capacity ?disk_max_bytes:cache_max_bytes
+        ?dir:cache_dir ();
     version;
     default_timeout_ms;
     default_budget;
@@ -453,7 +455,8 @@ let handle_line t line =
                      ("misses", Json.Int s.Cache.misses);
                      ("corrupt", Json.Int s.Cache.corrupt);
                      ("stores", Json.Int s.Cache.stores);
-                     ("evictions", Json.Int s.Cache.evictions) ]);
+                     ("evictions", Json.Int s.Cache.evictions);
+                     ("disk_evictions", Json.Int s.Cache.disk_evictions) ]);
                 ("artifacts", Json.Int (Hashtbl.length t.artifacts)) ]))
     | "shutdown" ->
       t.stop <- true;

@@ -59,12 +59,15 @@
 type t
 
 (** [create ()] — [cache_dir] (default [Some "_repro/cache"], [None]
-    disables the disk tier) and [mem_capacity] configure the {!Cache};
-    [default_timeout_ms]/[default_budget] bound requests that do not carry
-    their own; [version] is echoed by [ping]. *)
+    disables the disk tier), [mem_capacity] and [cache_max_bytes] (a byte
+    cap on the disk store, enforced by oldest-stamp eviction after each
+    store) configure the {!Cache}; [default_timeout_ms]/[default_budget]
+    bound requests that do not carry their own; [version] is echoed by
+    [ping]. *)
 val create :
   ?cache_dir:string option ->
   ?mem_capacity:int ->
+  ?cache_max_bytes:int ->
   ?default_timeout_ms:float ->
   ?default_budget:int ->
   ?version:string ->

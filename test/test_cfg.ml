@@ -268,6 +268,27 @@ let test_cyk_count_ambiguous () =
   Alcotest.check bn "aa has 1 tree" BN.one (Count_word.trees (amb ()) "aa");
   Alcotest.check bn "a has 0 trees" BN.zero (Count_word.trees (amb ()) "a")
 
+(* regression: the suffix-DP memo key used the word span as the radix for
+   the rhs offset, so on words shorter than the longest rhs distinct
+   (rule, offset) pairs aliased — at w = "" the count of S -> C a C's "a C"
+   suffix (0) answered for S -> C, and ε vanished from the language *)
+let test_count_word_short_word_memo () =
+  let g =
+    G.make ~alphabet:Alphabet.binary ~names:[| "S"; "C" |]
+      ~rules:
+        [
+          { G.lhs = 0; rhs = [ G.T 'b'; G.T 'a'; G.T 'b' ] };
+          { G.lhs = 0; rhs = [ G.N 1; G.T 'a'; G.N 1 ] };
+          { G.lhs = 0; rhs = [ G.N 1 ] };
+          { G.lhs = 1; rhs = [] };
+        ]
+      ~start:0
+  in
+  Alcotest.check bn "ε has 1 tree" BN.one (Count_word.trees g "");
+  Alcotest.check bn "a has 1 tree" BN.one (Count_word.trees g "a");
+  Alcotest.check bn "bab has 1 tree" BN.one (Count_word.trees g "bab");
+  Alcotest.check bn "b has 0 trees" BN.zero (Count_word.trees g "b")
+
 let test_cyk_parse_valid () =
   let g = Cnf.of_grammar (Constructions.log_cfg 3) in
   let w = "aabaab" in
@@ -1044,6 +1065,8 @@ let () =
         [
           Alcotest.test_case "cyk recognize" `Quick test_cyk_recognize;
           Alcotest.test_case "tree counting" `Quick test_cyk_count_ambiguous;
+          Alcotest.test_case "short-word memo keys" `Quick
+            test_count_word_short_word_memo;
           Alcotest.test_case "cyk parse validity" `Quick test_cyk_parse_valid;
           Alcotest.test_case "all trees (Figure 1)" `Quick test_cyk_all_trees;
           Alcotest.test_case "earley agrees" `Quick test_earley_agrees_with_cyk;

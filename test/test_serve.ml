@@ -269,6 +269,31 @@ let test_cache_concurrent_writers () =
     | Cache.Corrupt -> Alcotest.fail "concurrent writers corrupted the entry"
     | _ -> Alcotest.fail "expected a disk entry")
 
+let test_cache_disk_eviction () =
+  with_temp_dir (fun dir ->
+    let payload = String.make 100 'x' in
+    (* two entries (~150 bytes each with header) overflow a 200-byte cap *)
+    let c = Cache.create ~disk_max_bytes:200 ~dir () in
+    Cache.store c key_a payload;
+    (* age the first entry so the eviction order is unambiguous even on
+       filesystems with coarse mtime resolution *)
+    let path_a = Option.get (Cache.entry_path c key_a) in
+    Unix.utimes path_a 1000.0 1000.0;
+    Cache.store c key_b payload;
+    Alcotest.(check bool) "oldest-stamp entry evicted from disk" false
+      (Sys.file_exists path_a);
+    Alcotest.(check bool) "newest entry survives" true
+      (Sys.file_exists (Option.get (Cache.entry_path c key_b)));
+    Alcotest.(check bool) "disk evictions counted" true
+      ((Cache.stats c).Cache.disk_evictions >= 1);
+    (* the LRU copy is untouched; only a cold instance sees the miss *)
+    let c' = Cache.create ~dir () in
+    Alcotest.(check bool) "cold lookup of the victim is a miss" true
+      (Cache.lookup c' key_a = Cache.Miss);
+    match Cache.lookup c' key_b with
+    | Cache.Disk v -> Alcotest.(check string) "survivor intact" payload v
+    | _ -> Alcotest.fail "expected a disk hit on the survivor")
+
 (* --- Server -------------------------------------------------------------- *)
 
 let result_bytes line =
@@ -540,6 +565,8 @@ let () =
             test_cache_corruption;
           Alcotest.test_case "concurrent writers" `Quick
             test_cache_concurrent_writers;
+          Alcotest.test_case "disk-tier byte cap eviction" `Quick
+            test_cache_disk_eviction;
         ] );
       ( "server",
         [

@@ -1,0 +1,248 @@
+(* The tiered language kernel: T0 (Packed, machine-integer codes, len <= 62),
+   T1 (Wide, multi-limb codes, len <= 128) and T2 (Factored, hash-consed
+   decision-DAG circuits) must agree wherever their ranges overlap — same
+   words, same cardinals, same algebra, same least-code witnesses — and the
+   factored fixpoint must be invariant under the job count and
+   interruptible by the ambient guard.  These pins are what lets Lang move a computation
+   between tiers without changing any observable. *)
+
+open Ucfg_lang
+open Ucfg_cfg
+open Ucfg_exec
+module Bignum = Ucfg_util.Bignum
+
+let with_global_jobs jobs f =
+  let saved = Exec.jobs () in
+  Exec.set_jobs jobs;
+  Fun.protect ~finally:(fun () -> Exec.set_jobs saved) f
+
+(* --- generators -------------------------------------------------------- *)
+
+let gen_word len =
+  QCheck.Gen.map
+    (fun l ->
+       String.init len (fun i -> if List.nth l i then 'b' else 'a'))
+    QCheck.Gen.(list_repeat len bool)
+
+(* a sorted-unique list of random binary words of one length in [lo..hi] *)
+let gen_words lo hi =
+  QCheck.Gen.(
+    int_range lo hi >>= fun len ->
+    list_size (int_bound 30) (gen_word len) >>= fun ws ->
+    return (len, List.sort_uniq compare ws))
+
+let print_words (len, ws) =
+  Printf.sprintf "len=%d [%s]" len (String.concat "," ws)
+
+let arb_overlap_t0_t1 = QCheck.make ~print:print_words (gen_words 56 62)
+let arb_overlap_t1_t2 = QCheck.make ~print:print_words (gen_words 120 128)
+
+let arb_pair lo hi =
+  QCheck.make
+    ~print:(fun (a, b) -> print_words a ^ " / " ^ print_words b)
+    QCheck.Gen.(
+      gen_words lo hi >>= fun (len, a) ->
+      list_size (int_bound 30) (gen_word len) >>= fun b ->
+      return ((len, a), (len, List.sort_uniq compare b)))
+
+(* --- T0 vs T1 on the 56..62 overlap ------------------------------------ *)
+
+let packed_of len ws =
+  Packed.of_codes ~len (Array.of_list (List.map Packed.code_of_word ws))
+
+let wide_of len ws = Wide.of_word_list len ws
+
+let prop_t0_t1_construction =
+  QCheck.Test.make ~name:"T0/T1: words, cardinal, mem, witnesses agree"
+    ~count:200 arb_overlap_t0_t1 (fun (len, ws) ->
+      let p = packed_of len ws and w = wide_of len ws in
+      Packed.cardinal p = Wide.cardinal w
+      && List.of_seq (Packed.words p) = List.of_seq (Wide.words w)
+      && List.for_all (fun x -> Packed.mem p x && Wide.mem w x) ws
+      && Option.map (Packed.word_of_code ~len) (Packed.first_code p)
+         = Wide.min_word w
+      && Option.map (Packed.word_of_code ~len) (Packed.first_absent_code p)
+         = Wide.first_absent_word w)
+
+let prop_t0_t1_algebra =
+  QCheck.Test.make ~name:"T0/T1: boolean algebra and predicates agree"
+    ~count:200 (arb_pair 56 62) (fun ((len, a), (_, b)) ->
+      let pa = packed_of len a and pb = packed_of len b in
+      let wa = wide_of len a and wb = wide_of len b in
+      let same op_p op_w =
+        List.of_seq (Packed.words (op_p pa pb))
+        = List.of_seq (Wide.words (op_w wa wb))
+      in
+      same Packed.union Wide.union
+      && same Packed.inter Wide.inter
+      && same Packed.diff Wide.diff
+      && Packed.equal pa pb = Wide.equal wa wb
+      && Packed.subset pa pb = Wide.subset wa wb
+      && Packed.disjoint pa pb = Wide.disjoint wa wb)
+
+let prop_t0_t1_concat =
+  QCheck.Test.make ~name:"T0/T1: concat agrees below the 62 wall" ~count:200
+    (arb_pair 28 31) (fun ((len, a), (_, b)) ->
+      let p = Packed.concat (packed_of len a) (packed_of len b) in
+      let w = Wide.concat (wide_of len a) (wide_of len b) in
+      List.of_seq (Packed.words p) = List.of_seq (Wide.words w))
+
+(* --- T1 vs T2 on the 120..128 overlap ----------------------------------- *)
+
+let factored_of len ws = Factored.of_word_list len ws
+
+let prop_t1_t2_construction =
+  QCheck.Test.make ~name:"T1/T2: words, cardinal, mem, witnesses agree"
+    ~count:200 arb_overlap_t1_t2 (fun (len, ws) ->
+      let w = wide_of len ws and f = factored_of len ws in
+      Bignum.equal (Bignum.of_int (Wide.cardinal w)) (Factored.cardinal f)
+      && List.of_seq (Wide.words w) = List.of_seq (Factored.words f)
+      && List.for_all (fun x -> Wide.mem w x && Factored.mem f x) ws
+      && Wide.min_word w = Factored.min_word f
+      && Wide.first_absent_word w = Factored.min_absent_word f)
+
+let prop_t1_t2_algebra =
+  QCheck.Test.make ~name:"T1/T2: boolean algebra and predicates agree"
+    ~count:200 (arb_pair 120 128) (fun ((len, a), (_, b)) ->
+      let wa = wide_of len a and wb = wide_of len b in
+      let fa = factored_of len a and fb = factored_of len b in
+      let same op_w op_f =
+        List.of_seq (Wide.words (op_w wa wb))
+        = List.of_seq (Factored.words (op_f ?guard:None fa fb))
+      in
+      same Wide.union Factored.union
+      && same Wide.inter Factored.inter
+      && same Wide.diff Factored.diff
+      && Wide.equal wa wb = Factored.equal fa fb
+      && Wide.subset wa wb = Factored.subset fa fb
+      && Wide.disjoint wa wb = Factored.disjoint fa fb)
+
+let prop_t1_t2_concat =
+  QCheck.Test.make ~name:"T1/T2: concat agrees up to the 128 wall" ~count:200
+    (arb_pair 60 64) (fun ((len, a), (_, b)) ->
+      let w = Wide.concat (wide_of len a) (wide_of len b) in
+      let f = Factored.concat (factored_of len a) (factored_of len b) in
+      List.of_seq (Wide.words w) = List.of_seq (Factored.words f))
+
+(* complement within Σ^len is a T2-only operation above 62; its exact
+   Bignum cardinal and its least-word witnesses must match what the T1 gap
+   scan sees on the uncomplemented side *)
+let prop_t1_t2_complement =
+  QCheck.Test.make ~name:"T1/T2: complement cardinal and witnesses" ~count:100
+    arb_overlap_t1_t2 (fun (len, ws) ->
+      let w = wide_of len ws in
+      let c = Factored.complement (Factored.of_wide w) in
+      Bignum.equal (Factored.cardinal c)
+        (Bignum.sub (Bignum.two_pow len)
+           (Bignum.of_int (Wide.cardinal w)))
+      && Factored.min_absent_word c = Wide.min_word w
+      && Factored.min_word c = Wide.first_absent_word w
+      && List.for_all (fun x -> not (Factored.mem c x)) ws)
+
+(* Lang-level dispatch: the same word set packed through Lang lands on the
+   tier its length demands, and cross-tier Lang.equal still answers *)
+let prop_lang_dispatch =
+  QCheck.Test.make ~name:"Lang: pack dispatches by length, equal crosses tiers"
+    ~count:100 (QCheck.make ~print:print_words (gen_words 1 128))
+    (fun (len, ws) ->
+      let l = Lang.pack (Lang.of_list ws) in
+      let expected_tier =
+        if ws = [] then `Set
+        else if len <= Packed.max_length then `T0
+        else `T1
+      in
+      Lang.tier l = expected_tier
+      && Lang.equal l (Lang.factor l)
+      && Lang.elements l = ws)
+
+(* --- the factored fixpoint ---------------------------------------------- *)
+
+(* Ln.language is enumerated (T0) up to n = 10 and symbolic (T2) beyond;
+   both constructions must denote the same language on the overlap *)
+let test_ln_factored_agrees () =
+  for n = 1 to 8 do
+    let enum = Ln.language n in
+    let fact = Ln.language_factored n in
+    Alcotest.(check bool)
+      (Printf.sprintf "L_%d enumerated = factored" n)
+      true (Lang.equal enum fact);
+    Alcotest.(check string)
+      (Printf.sprintf "L_%d cardinal" n)
+      (Bignum.to_string (Ln.cardinal n))
+      (Bignum.to_string (Lang.cardinal_big fact))
+  done
+
+(* the whole point of the tier: the fixpoint over the Θ(log n) grammar at
+   n = 16 — a language of 4^16 − 3^16 ≈ 4.25e9 words — terminates, exactly *)
+let test_factored_fixpoint_n16 () =
+  let g = Constructions.log_cfg 16 in
+  let l = Analysis.language_exn ~factored:true g in
+  Alcotest.(check bool) "tier is T2" true (Lang.tier l = `T2);
+  Alcotest.(check bool) "equals the symbolic L_16" true
+    (Lang.equal l (Ln.language_factored 16));
+  Alcotest.(check string) "exact cardinal 4^16 - 3^16"
+    (Bignum.to_string (Ln.cardinal 16))
+    (Bignum.to_string (Lang.cardinal_big l))
+
+let test_factored_fixpoint_jobs_invariant () =
+  let run jobs =
+    with_global_jobs jobs (fun () ->
+        Analysis.language_exn ~factored:true (Constructions.log_cfg 12))
+  in
+  let l1 = run 1 and l4 = run 4 in
+  Alcotest.(check bool) "jobs 1 = jobs 4 (hash-consed identity)" true
+    (Lang.equal l1 l4);
+  Alcotest.(check bool) "witnesses agree" true
+    (Lang.min_word l1 = Lang.min_word l4
+     && Lang.first_absent_word l1 = Lang.first_absent_word l4)
+
+(* a small tick budget must interrupt the memoised model count mid-walk —
+   every long T2 loop polls the guard *)
+let test_guard_trips_in_cardinal () =
+  let l = Ln.language_factored 14 in
+  let f = Option.get (Lang.to_factored l) in
+  match Factored.cardinal ~guard:(Guard.create ~budget:5 ()) f with
+  | _ -> Alcotest.fail "expected the budget guard to interrupt the cardinal"
+  | exception Guard.Interrupt Guard.Budget -> ()
+
+(* --- the d-rep export ---------------------------------------------------- *)
+
+let prop_drep_export =
+  QCheck.Test.make ~name:"drep_of_factored: denotation, determinism, count"
+    ~count:100 (QCheck.make ~print:print_words (gen_words 1 10))
+    (fun (len, ws) ->
+      let f = Factored.of_word_list len ws in
+      let d = Ucfg_fr.Iso.drep_of_factored f in
+      Lang.elements (Ucfg_fr.Drep.denotation d) = ws
+      && Bignum.equal (Ucfg_fr.Drep.count_tuples d) (Factored.cardinal f)
+      && Ucfg_fr.Drep.is_deterministic d)
+
+(* --- registration -------------------------------------------------------- *)
+
+let qtests = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "ucfg_tiers"
+    [
+      ( "t0-t1",
+        qtests [ prop_t0_t1_construction; prop_t0_t1_algebra; prop_t0_t1_concat ]
+      );
+      ( "t1-t2",
+        qtests
+          [
+            prop_t1_t2_construction; prop_t1_t2_algebra; prop_t1_t2_concat;
+            prop_t1_t2_complement; prop_lang_dispatch;
+          ] );
+      ( "fixpoint",
+        [
+          Alcotest.test_case "Ln enumerated = factored" `Quick
+            test_ln_factored_agrees;
+          Alcotest.test_case "factored fixpoint reaches n=16" `Quick
+            test_factored_fixpoint_n16;
+          Alcotest.test_case "factored fixpoint invariant under jobs" `Quick
+            test_factored_fixpoint_jobs_invariant;
+          Alcotest.test_case "guard trips inside a T2 cardinal" `Quick
+            test_guard_trips_in_cardinal;
+        ] );
+      ("drep", qtests [ prop_drep_export ]);
+    ]
