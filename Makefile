@@ -13,8 +13,8 @@ DET_EXPERIMENTS := e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 \
   e17 e18 e19 e20 e21 e22 e23 e29 e30 e31
 
 .PHONY: build test lint bench smoke determinism json-determinism \
-  bench-record bench-compare chaos timeout-smoke check-smoke serve-smoke \
-  ci check clean
+  bench-record bench-compare chaos timeout-smoke search-resume-smoke \
+  check-smoke serve-smoke ci check clean
 
 build:
 	dune build @all
@@ -69,25 +69,26 @@ json-determinism: build
 	@echo "json-determinism: OK"
 
 # regenerate this PR's perf record under the same conditions as the
-# committed BENCH_pr6.json baseline (smoke, sequential)
+# committed BENCH_pr7.json baseline (smoke, sequential)
 bench-record: build
-	UCFG_JOBS=1 $(BENCH) --smoke --json-out BENCH_pr7.json > /dev/null
+	UCFG_JOBS=1 $(BENCH) --smoke --json-out BENCH_pr8.json > /dev/null
 
-# checksum drift gate: the deterministic experiments in BENCH_pr7.json
-# must carry byte-identical output checksums to the BENCH_pr6.json
-# baseline (e31 is new in pr7: compared on e1–e23, e29/e30/e31 asserted
-# present)
+# checksum drift gate: the deterministic experiments in BENCH_pr8.json
+# must carry byte-identical output checksums to the BENCH_pr7.json
+# baseline (e32 is new in pr8: compared on e1–e23, e29/e30/e31/e32
+# asserted present)
 bench-compare:
 	@mkdir -p _build/determinism
-	@for pr in pr6 pr7; do \
+	@for pr in pr7 pr8; do \
 	  sed -n 's/ *{ "name": "\(e[0-9]*\)", "ms": [0-9.]*, "checksum": "\([0-9a-f]*\)".*/\1 \2/p' \
 	    BENCH_$$pr.json | grep -E '^e([1-9]|1[0-9]|2[0-3]) ' | sort \
 	    > _build/determinism/$$pr.sums; \
 	done
-	diff _build/determinism/pr6.sums _build/determinism/pr7.sums
-	@grep -q '"name": "e29"' BENCH_pr7.json
-	@grep -q '"name": "e30"' BENCH_pr7.json
-	@grep -q '"name": "e31"' BENCH_pr7.json
+	diff _build/determinism/pr7.sums _build/determinism/pr8.sums
+	@grep -q '"name": "e29"' BENCH_pr8.json
+	@grep -q '"name": "e30"' BENCH_pr8.json
+	@grep -q '"name": "e31"' BENCH_pr8.json
+	@grep -q '"name": "e32"' BENCH_pr8.json
 	@echo "bench-compare: OK"
 
 # the full suite must stay green under seeded fault injection: injected
@@ -112,6 +113,36 @@ timeout-smoke: build
 	    echo "timeout-smoke: took $${el}s at jobs=$$j (limit 3s)"; exit 1; fi; \
 	done
 	@echo "timeout-smoke: OK"
+
+# an interrupted search must leave a resumable checkpoint: trip the run
+# with a tight guard budget (exit 124, checkpoint on disk), resume it
+# slice by slice to completion, and the final verdict and replayed node
+# count must equal an uninterrupted run's byte for byte
+search-resume-smoke: build
+	@rm -rf _build/resume && mkdir -p _build/resume
+	@$(CLI) search -n 2 --max-nonterminals 2 --budget 80000 \
+	  --checkpoint-dir _build/resume --json > _build/resume/slice.json; \
+	st=$$?; if [ $$st -ne 124 ]; then \
+	  echo "search-resume-smoke: expected exit 124, got $$st"; exit 1; fi
+	@ls _build/resume/*/checkpoint > /dev/null || \
+	  { echo "search-resume-smoke: no checkpoint written"; exit 1; }
+	@i=0; while :; do \
+	  $(CLI) search -n 2 --max-nonterminals 2 --budget 80000 \
+	    --checkpoint-dir _build/resume --resume --json \
+	    > _build/resume/final.json && break; \
+	  i=$$((i+1)); if [ $$i -gt 20 ]; then \
+	    echo "search-resume-smoke: did not converge in 20 slices"; exit 1; fi; \
+	done
+	@grep -q '"resumed": true' _build/resume/final.json || \
+	  { echo "search-resume-smoke: final slice did not resume"; exit 1; }
+	@$(CLI) search -n 2 --max-nonterminals 2 --no-checkpoint --json \
+	  > _build/resume/whole.json
+	@for f in final whole; do \
+	  sed -n 's/.*"minimal_size": \([^,]*\), "nodes_explored": \([0-9]*\), "budget_exhausted": \([a-z]*\).*/\1 \2 \3/p' \
+	    _build/resume/$$f.json > _build/resume/$$f.fields; \
+	done
+	diff _build/resume/final.fields _build/resume/whole.fields
+	@echo "search-resume-smoke: OK"
 
 # dogfood `ucfg check` on the examples/ grammar pairs: every exit code is
 # asserted (0 holds, 1 fails-with-witness, 2 bad input, 124 guard trip),
@@ -172,7 +203,7 @@ check: build test lint check-smoke
 	@echo "check: OK"
 
 ci: check smoke determinism json-determinism bench-record bench-compare \
-  chaos timeout-smoke serve-smoke
+  chaos timeout-smoke search-resume-smoke serve-smoke
 	@echo "ci: OK"
 
 clean:

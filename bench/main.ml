@@ -1403,6 +1403,107 @@ let e31_tier_sweeps () =
           ])
        (pick [ 4; 5 ] [ 2 ]))
 
+(* ----------------------------------------------------------------- E32 *)
+
+let e32_resumable_search () =
+  (* Checkpointable sharded search as a product.  E32a: a search
+     interrupted by a per-slice tick guard and resumed from its
+     checkpoint, slice after slice, lands on exactly the verdict and
+     replayed node count of one uninterrupted run.  E32b: the
+     cross-domain verdict memo — identical nodes with the memo on or
+     off, nonzero hit ratio, and the wall-clock it buys at jobs=1 and
+     jobs=4.  Slice counts and wall-clock are scheduling- and
+     machine-dependent, so E32 stays out of the determinism set. *)
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1e3)
+  in
+  let saved = Ucfg_exec.Exec.jobs () in
+  let run jobs f =
+    Ucfg_exec.Exec.set_jobs jobs;
+    Fun.protect
+      ~finally:(fun () -> Ucfg_exec.Exec.set_jobs saved)
+      (fun () -> wall f)
+  in
+  let describe r =
+    Printf.sprintf "%s, %d nodes"
+      (match r.Search.minimal_size with
+       | Some s -> string_of_int s
+       | None -> "none")
+      r.Search.nodes_explored
+  in
+  (* E32a: refutation instance small enough to slice finely *)
+  let l2 = Ln.language 2 in
+  let whole =
+    Search.minimal_cnf_size ~max_nonterminals:2 ~max_size:8 Alphabet.binary l2
+  in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ucfg-bench-e32-%d" (Unix.getpid ()))
+  in
+  let rec slices count resume =
+    let guard = Ucfg_exec.Guard.create ~budget:8_000 () in
+    let r =
+      Search.minimal_cnf_size ~guard ~max_nonterminals:2 ~max_size:8
+        ~checkpoint:dir ~resume Alphabet.binary l2
+    in
+    if r.Search.interrupted = None then (r, count) else slices (count + 1) true
+  in
+  let sliced, interrupts = slices 0 false in
+  Report.print_table
+    ~title:
+      "E32a (resumable search): minimal-CNF search for L_2 (k<=2, size<=8) \
+       interrupted every 8k guard ticks and resumed from its checkpoint — \
+       the final slice must equal the uninterrupted run byte for byte"
+    ~headers:[ "mode"; "result"; "slices"; "identical" ]
+    [
+      [ "one uninterrupted run"; describe whole; "1"; "-" ];
+      [
+        "checkpoint + resume";
+        describe sliced;
+        string_of_int (interrupts + 1);
+        yes
+          (describe whole = describe sliced
+          && Option.map Grammar.to_string whole.Search.witness
+             = Option.map Grammar.to_string sliced.Search.witness);
+      ];
+    ];
+  (* E32b: k=3 universe, where nonterminal renamings and cross-k
+     containment give the canonical-key memo its hits *)
+  let ms = pick 7 6 in
+  let search memo () =
+    Search.minimal_cnf_size ~max_size:ms ~memo Alphabet.binary (Ln.language 3)
+  in
+  Report.print_table
+    ~title:
+      (Printf.sprintf
+         "E32b (verdict memo): minimal-CNF search for L_3 (k<=3, size<=%d), \
+          memo on vs off — same nodes, hit ratio and wall-clock effect" ms)
+    ~headers:
+      [ "jobs"; "memo off ms"; "memo on ms"; "speedup"; "hit ratio"; "identical" ]
+    (List.map
+       (fun jobs ->
+          ignore (search true ());
+          (* warmup: first call pays allocation/GC ramp-up *)
+          let off, t_off = run jobs (search false) in
+          let on, t_on = run jobs (search true) in
+          let ratio =
+            float_of_int on.Search.memo_hits
+            /. float_of_int (max 1 (on.Search.memo_hits + on.Search.memo_misses))
+          in
+          [
+            string_of_int jobs;
+            Printf.sprintf "%.1f" t_off;
+            Printf.sprintf "%.1f" t_on;
+            Printf.sprintf "%.2fx" (t_off /. Float.max t_on 1e-6);
+            Printf.sprintf "%.2f" ratio;
+            yes (describe off = describe on);
+          ])
+       [ 1; 4 ]);
+  Printf.printf "\n"
+
 (* ------------------------------------------------------- timing section *)
 
 let timings () =
@@ -1578,6 +1679,7 @@ let experiments =
     ("e25", e25_parallel_speedup); ("e26", e26_packed_speedup);
     ("e27", e27_bitset_kernel); ("e29", e29_semantic_check);
     ("e30", e30_serve_cache); ("e31", e31_tier_sweeps);
+    ("e32", e32_resumable_search);
     ("timings", timings);
   ]
 
@@ -1587,7 +1689,7 @@ let experiments =
    of deterministic experiments must agree between the sequential and
    parallel runs (the `make json-determinism` gate). *)
 let json_mode = ref false
-let json_out = ref "BENCH_pr7.json"
+let json_out = ref "BENCH_pr8.json"
 
 (* --timeout SEC wraps each experiment in its own wall-clock guard: a
    tripped experiment prints a note, records a "timeout" outcome in the

@@ -611,42 +611,79 @@ let check_cmd =
 (* --- search ---------------------------------------------------------------- *)
 
 let search_cmd =
-  let run () n unambiguous max_nonterminals max_size nodes json =
+  let run () n unambiguous max_nonterminals max_size nodes json checkpoint_root
+      no_checkpoint no_memo resume =
+    let lang = Ln.language n in
+    let budget = nodes in
+    (* one checkpoint directory per search identity: a resume can only
+       ever see a checkpoint written by the same search *)
+    let checkpoint =
+      if no_checkpoint then None
+      else
+        Some
+          (Filename.concat checkpoint_root
+             (Search.checkpoint_key ~unambiguous ~max_nonterminals ~max_size
+                ?budget Ucfg_word.Alphabet.binary lang))
+    in
     let r =
       Search.minimal_cnf_size ~unambiguous ~max_nonterminals ~max_size
-        ?budget:nodes Ucfg_word.Alphabet.binary (Ln.language n)
+        ?budget ~memo:(not no_memo) ?checkpoint ~resume
+        Ucfg_word.Alphabet.binary lang
+    in
+    let warn_diags =
+      match r.Search.checkpoint_warning with
+      | Some reason -> [ Ucfg_lint.Diag.checkpoint_corrupt reason ]
+      | None -> []
     in
     match r.Search.interrupted with
     | Some reason ->
       (* the guard tripped mid-search: report the partial progress the
          same way in text and JSON, then exit 124 like a trip anywhere
          else in the pipeline would *)
-      let d = interrupt_diag reason in
+      let diags = interrupt_diag reason :: warn_diags in
       if json then
         Printf.printf
           "{ \"interrupted\": \"%s\", \"nodes_explored\": %d, \
-           \"nodes_exact\": false, \"diagnostics\": %s }\n"
+           \"nodes_exact\": false, \"checkpoint\": %s, \"resumed\": %b, \
+           \"diagnostics\": %s }\n"
           (Ucfg_exec.Guard.reason_code reason)
           r.Search.nodes_explored
-          (Ucfg_lint.Diag.list_to_json [ d ])
+          (match r.Search.checkpoint_written with
+           | Some path -> Printf.sprintf "%S" path
+           | None -> "null")
+          r.Search.resumed
+          (Ucfg_lint.Diag.list_to_json diags)
       else begin
-        Format.printf "%a@." Ucfg_lint.Diag.pp_report [ d ];
+        Format.printf "%a@." Ucfg_lint.Diag.pp_report diags;
         Printf.printf
           "partial nodes explored: %d (approximate: scheduling-dependent \
            under --jobs > 1)\n"
-          r.Search.nodes_explored
+          r.Search.nodes_explored;
+        (match r.Search.checkpoint_written with
+         | Some path ->
+           Printf.printf
+             "checkpoint written: %s\nrerun with --resume to continue\n" path
+         | None -> ())
       end;
       exit 124
     | None ->
       if json then
         Printf.printf
           "{ \"minimal_size\": %s, \"nodes_explored\": %d, \
-           \"budget_exhausted\": %b }\n"
+           \"budget_exhausted\": %b, \"memo_hits\": %d, \"memo_misses\": %d, \
+           \"resumed\": %b%s }\n"
           (match r.Search.minimal_size with
            | Some s -> string_of_int s
            | None -> "null")
-          r.Search.nodes_explored r.Search.budget_exhausted
+          r.Search.nodes_explored r.Search.budget_exhausted r.Search.memo_hits
+          r.Search.memo_misses r.Search.resumed
+          (if warn_diags = [] then ""
+           else
+             Printf.sprintf ", \"diagnostics\": %s"
+               (Ucfg_lint.Diag.list_to_json warn_diags))
       else begin
+        if warn_diags <> [] then
+          Format.printf "%a@." Ucfg_lint.Diag.pp_report warn_diags;
         (match r.Search.minimal_size, r.Search.witness with
          | Some s, Some g ->
            Printf.printf "minimal CNF size for L_%d: %d\n" n s;
@@ -655,7 +692,10 @@ let search_cmd =
            Printf.printf "no grammar within caps%s\n"
              (if r.Search.budget_exhausted then " (node budget exhausted)"
               else ""));
-        Printf.printf "nodes explored: %d\n" r.Search.nodes_explored
+        Printf.printf "nodes explored: %d\n" r.Search.nodes_explored;
+        if r.Search.resumed then
+          Printf.printf "resumed from checkpoint (memo: %d hits, %d misses)\n"
+            r.Search.memo_hits r.Search.memo_misses
       end
   in
   let unambiguous_arg =
@@ -685,15 +725,50 @@ let search_cmd =
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the result as JSON.")
   in
+  let checkpoint_dir_arg =
+    Arg.(
+      value
+      & opt string (Filename.concat "_repro" "search")
+      & info [ "checkpoint-dir" ] ~docv:"DIR"
+          ~doc:
+            "Root directory for search checkpoints; each search uses the \
+             subdirectory named by its parameter digest.")
+  in
+  let no_checkpoint_arg =
+    Arg.(
+      value & flag
+      & info [ "no-checkpoint" ]
+          ~doc:"Do not write a checkpoint when the guard interrupts the run.")
+  in
+  let no_memo_arg =
+    Arg.(
+      value & flag
+      & info [ "no-memo" ]
+          ~doc:
+            "Disable the cross-domain verdict memo (identical result, \
+             slower on symmetric instances).")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Continue from the checkpoint of an earlier interrupted run \
+             with the same parameters, if one exists; a damaged or \
+             mismatched checkpoint degrades to a fresh run with an R021 \
+             warning.")
+  in
   Cmd.v
     (Cmd.info "search"
        ~doc:
          "Exhaustively search the smallest CNF grammar accepting exactly \
           L_n.  Exponential: combine with --timeout/--budget for large n; \
-          an interrupted run reports its partial node count and exits 124.")
+          an interrupted run writes a checkpoint, reports its partial node \
+          count and exits 124; $(b,--resume) picks it up.")
     Term.(
       const run $ common_term $ n_arg $ unambiguous_arg $ max_nonterminals_arg
-      $ max_size_arg $ nodes_arg $ json_arg)
+      $ max_size_arg $ nodes_arg $ json_arg $ checkpoint_dir_arg
+      $ no_checkpoint_arg $ no_memo_arg $ resume_arg)
 
 (* --- circuit ---------------------------------------------------------------- *)
 

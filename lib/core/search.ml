@@ -3,6 +3,8 @@ open Ucfg_lang
 open Ucfg_cfg
 open Ucfg_automata
 module G = Grammar
+module Memo = Ucfg_exec.Memo
+module Checkpoint = Ucfg_exec.Checkpoint
 
 let minimal_dfa_states alpha l =
   let nfa = Nfa.of_word_list alpha (Lang.elements l) in
@@ -14,6 +16,11 @@ type grammar_search = {
   nodes_explored : int;
   budget_exhausted : bool;
   interrupted : Ucfg_exec.Guard.reason option;
+  memo_hits : int;
+  memo_misses : int;
+  resumed : bool;
+  checkpoint_written : string option;
+  checkpoint_warning : string option;
 }
 
 (* The search fans out over the top-level rule-set frontier: for each
@@ -32,12 +39,29 @@ type grammar_search = {
      overflowed;
    - a branch that finds a witness or hits the cap publishes its rank, and
      branches strictly to the right abort — their outcomes are never
-     consulted by the replay, so cancellation affects wall-clock only. *)
+     consulted by the replay, so cancellation affects wall-clock only.
+
+   Two layers ride on that determinism:
+
+   - a sharded cross-domain memo table over [accepts_exactly] verdicts,
+     keyed by MD5 of the candidate's canonical text, the target language
+     digest and the unambiguity flag.  A memo hit costs the same single
+     tick as a miss, so [nodes_explored] and the budget replay are
+     byte-identical with the memo on, off, cold or warm, at any job
+     count — the memo only moves wall-clock;
+   - a branch interrupted by the resource guard reports [Guarded] instead
+     of unwinding the level, so completed sibling outcomes survive the
+     trip and can be checkpointed.  Branch outcomes are deterministic
+     functions of (level, rank, cap), which makes them safe to reload in
+     a later process: the resumed replay is indistinguishable from one
+     that computed every branch itself. *)
 type branch_outcome =
   | Found of G.t * int  (* witness and ticks spent reaching it *)
   | Exhausted of int    (* subtree fully explored, ticks spent *)
   | Capped              (* ran out of the level's remaining budget *)
   | Cancelled           (* aborted: an earlier branch terminated the level *)
+  | Guarded of Ucfg_exec.Guard.reason
+      (* the resource guard tripped inside this branch: no outcome *)
 
 exception Branch_capped
 exception Branch_cancelled
@@ -47,8 +71,59 @@ let rec publish_rank terminal rank =
   if rank < cur && not (Atomic.compare_and_set terminal cur rank) then
     publish_rank terminal rank
 
-let minimal_cnf_size ?guard ?(unambiguous = false) ?(max_nonterminals = 3)
+let names k = Array.init k (fun i -> Printf.sprintf "N%d" i)
+
+(* --- checkpoint payload codec --------------------------------------------- *)
+
+exception Corrupt_payload
+
+(* CNF rules as one space-free token per rule: [T<lhs>.<charcode>] or
+   [B<lhs>.<B>.<C>], ';'-joined.  Reconstruction through [G.make] with the
+   same N0..Nk-1 names makes a reloaded witness byte-identical to the one
+   the interrupted run would have returned. *)
+let encode_rules rules =
+  String.concat ";"
+    (List.map
+       (fun { G.lhs; rhs } ->
+          match rhs with
+          | [ G.T c ] -> Printf.sprintf "T%d.%d" lhs (Char.code c)
+          | [ G.N b; G.N c ] -> Printf.sprintf "B%d.%d.%d" lhs b c
+          | _ -> invalid_arg "Search: non-CNF rule in checkpoint")
+       rules)
+
+let decode_rules text =
+  List.map
+    (fun item ->
+       if item = "" then raise Corrupt_payload;
+       let body = String.sub item 1 (String.length item - 1) in
+       match (item.[0], String.split_on_char '.' body) with
+       | 'T', [ lhs; code ] ->
+         { G.lhs = int_of_string lhs; rhs = [ G.T (Char.chr (int_of_string code)) ] }
+       | 'B', [ lhs; b; c ] ->
+         { G.lhs = int_of_string lhs;
+           rhs = [ G.N (int_of_string b); G.N (int_of_string c) ] }
+       | _ -> raise Corrupt_payload)
+    (String.split_on_char ';' text)
+
+(* the parameter line doubles as the checkpoint identity: a resumed run
+   with any differing parameter (or target language) degrades to fresh *)
+let params_line ~unambiguous ~max_nonterminals ~max_size ~budget alpha digest =
+  Printf.sprintf "params cnf %b %d %d %d %s %s" unambiguous max_nonterminals
+    max_size budget
+    (String.concat "."
+       (List.map (fun c -> string_of_int (Char.code c)) (Alphabet.chars alpha)))
+    digest
+
+let checkpoint_key ?(unambiguous = false) ?(max_nonterminals = 3)
     ?(max_size = 12) ?(budget = 3_000_000) alpha l =
+  Digest.to_hex
+    (Digest.string
+       (params_line ~unambiguous ~max_nonterminals ~max_size ~budget alpha
+          (Lang.digest l)))
+
+let minimal_cnf_size ?guard ?(unambiguous = false) ?(max_nonterminals = 3)
+    ?(max_size = 12) ?(budget = 3_000_000) ?(memo = true) ?checkpoint
+    ?(resume = false) alpha l =
   if Lang.mem "" l then invalid_arg "Search.minimal_cnf_size: ε not supported";
   let guard =
     match guard with
@@ -63,7 +138,14 @@ let minimal_cnf_size ?guard ?(unambiguous = false) ?(max_nonterminals = 3)
   let max_word_len =
     List.fold_left max 0 (Lang.lengths l)
   in
-  (* the candidate rule universe for k nonterminals, with costs *)
+  let target_digest = Lang.digest l in
+  let params =
+    params_line ~unambiguous ~max_nonterminals ~max_size ~budget alpha
+      target_digest
+  in
+  let memo_tbl = if memo then Some (Memo.create ()) else None in
+  (* the candidate rule universe for k nonterminals, with costs; built once
+     per search — the universes depend only on k, never on the size level *)
   let rules_for k =
     let terminal =
       List.concat_map
@@ -85,20 +167,42 @@ let minimal_cnf_size ?guard ?(unambiguous = false) ?(max_nonterminals = 3)
     in
     Array.of_list (terminal @ binary)
   in
-  let names k = Array.init k (fun i -> Printf.sprintf "N%d" i) in
+  let universes = Array.init (max_nonterminals + 1) rules_for in
   let accepts_exactly ~tick rules k =
     tick ();
     let g = G.make ~alphabet:alpha ~names:(names k) ~rules ~start:0 in
-    match
-      Analysis.language ~guard ~max_len:max_word_len
-        ~max_card:(4 * Lang.cardinal l + 16) g
-    with
-    | Error _ -> false
-    | Ok lg ->
-      Lang.equal lg l
-      && (not unambiguous
-          || (Analysis.has_finitely_many_trees g
-              && Ambiguity.is_unambiguous ~guard g))
+    let decide () =
+      match
+        Analysis.language ~guard ~max_len:max_word_len
+          ~max_card:(4 * Lang.cardinal l + 16) g
+      with
+      | Error _ -> false
+      | Ok lg ->
+        Lang.equal lg l
+        && (not unambiguous
+            || (Analysis.has_finitely_many_trees g
+                && Ambiguity.is_unambiguous ~guard g))
+    in
+    match memo_tbl with
+    | None -> decide ()
+    | Some m ->
+      (* Canon-identical candidates share one verdict across branches,
+         nonterminal counts, domains and resumed runs; the single tick
+         above is paid either way, so the memo is invisible to the
+         deterministic node accounting *)
+      let key =
+        Digest.to_hex
+          (Digest.string
+             (String.concat "\x00"
+                [ Canon.canonical g; target_digest;
+                  (if unambiguous then "u" else "p") ]))
+      in
+      (match Memo.find m key with
+       | Some v -> v = "1"
+       | None ->
+         let v = decide () in
+         Memo.set m key (if v then "1" else "0");
+         v)
   in
   (* all rule sets of cost exactly [s] over [universe] whose first rule is
      [first]; ticks are branch-local so the count is schedule-independent *)
@@ -141,79 +245,210 @@ let minimal_cnf_size ?guard ?(unambiguous = false) ?(max_nonterminals = 3)
       publish_rank terminal rank;
       Capped
     | exception Branch_cancelled -> Cancelled
+    | exception Ucfg_exec.Guard.Interrupt r ->
+      (* keep the level alive: completed siblings still report, and the
+         checkpoint below records them.  The root reason is CAS-recorded,
+         so every Guarded branch carries the same kind. *)
+      Guarded r
   in
-  let consumed = ref 0 in
-  let out_of_budget = ref false in
-  let run_level s =
-    let cap = budget - !consumed in
-    let terminal = Atomic.make max_int in
+  (* --- checkpoint load ---------------------------------------------------- *)
+  let parse_payload payload =
+    match String.split_on_char '\n' payload with
+    | p :: rest when p = params ->
+      (try
+         let consumed0 = ref 0 and level0 = ref 0 in
+         let outcomes : (int, branch_outcome) Hashtbl.t = Hashtbl.create 64 in
+         let memo_entries = ref [] in
+         List.iter
+           (fun line ->
+              match String.split_on_char ' ' line with
+              | [] | [ "" ] -> ()
+              | [ "consumed"; n ] -> consumed0 := int_of_string n
+              | [ "level"; s ] -> level0 := int_of_string s
+              | [ "outcome"; rank; "E"; t ] ->
+                Hashtbl.replace outcomes (int_of_string rank)
+                  (Exhausted (int_of_string t))
+              | [ "outcome"; rank; "C" ] ->
+                Hashtbl.replace outcomes (int_of_string rank) Capped
+              | [ "outcome"; rank; "F"; t; k; rules ] ->
+                let k = int_of_string k in
+                let g =
+                  G.make ~alphabet:alpha ~names:(names k)
+                    ~rules:(decode_rules rules) ~start:0
+                in
+                Hashtbl.replace outcomes (int_of_string rank)
+                  (Found (g, int_of_string t))
+              | [ "memo"; key; v ] -> memo_entries := (key, v) :: !memo_entries
+              | _ -> raise Corrupt_payload)
+           rest;
+         if !level0 < 1 || !level0 > max_size || !consumed0 < 0 then
+           raise Corrupt_payload;
+         Ok (!consumed0, !level0, outcomes, List.rev !memo_entries)
+       with Corrupt_payload | Failure _ | Invalid_argument _ ->
+         Error "unparseable checkpoint payload")
+    | _ -> Error "parameter mismatch (different search or library version)"
+  in
+  let loaded_level = ref None in
+  let loaded_consumed = ref 0 in
+  let was_resumed = ref false in
+  let warning = ref None in
+  (match checkpoint with
+   | Some dir when resume -> (
+       match Checkpoint.load ~dir with
+       | Checkpoint.Absent -> ()
+       | Checkpoint.Invalid reason -> warning := Some reason
+       | Checkpoint.Loaded payload -> (
+           match parse_payload payload with
+           | Ok (consumed0, level0, outcomes, memo_entries) ->
+             loaded_consumed := consumed0;
+             loaded_level := Some (level0, outcomes);
+             (match memo_tbl with
+              | Some m -> Memo.add_entries m memo_entries
+              | None -> ());
+             was_resumed := true
+           | Error reason -> warning := Some reason))
+   | _ -> ());
+  let consumed = ref !loaded_consumed in
+  let empty_stored : (int, branch_outcome) Hashtbl.t = Hashtbl.create 1 in
+  let run_level ~stored s =
+    let level_start = !consumed in
+    let cap = budget - level_start in
     let branches =
       List.concat_map
         (fun k ->
-           let universe = rules_for k in
+           let universe = universes.(k) in
            List.filter_map
              (fun i ->
                 if snd universe.(i) <= s then Some (k, universe, i) else None)
              (Ucfg_util.Prelude.range 0 (Array.length universe)))
         (Ucfg_util.Prelude.range_incl 1 max_nonterminals)
     in
+    (* the lowest checkpointed terminal rank: fresh branches strictly to
+       its right can never be consulted by the replay, so they are not
+       even scheduled *)
+    let stored_terminal =
+      Hashtbl.fold
+        (fun rank o acc ->
+           match o with Found _ | Capped -> min rank acc | _ -> acc)
+        stored max_int
+    in
+    let terminal = Atomic.make stored_terminal in
     let outcomes =
       Ucfg_exec.Exec.run_list
         (List.mapi
-           (fun rank (k, universe, first) ->
-              run_branch ~k ~universe ~s ~cap ~terminal ~rank ~first)
+           (fun rank (k, universe, first) () ->
+              match Hashtbl.find_opt stored rank with
+              | Some o -> o
+              | None ->
+                if rank > stored_terminal then Cancelled
+                else run_branch ~k ~universe ~s ~cap ~terminal ~rank ~first ())
            branches)
     in
-    let rec replay = function
-      | [] -> None
+    let rec replay acc = function
+      | [] -> `Exhausted acc
       | Found (g, t) :: _ ->
-        if !consumed + t <= budget then begin
-          consumed := !consumed + t;
-          Some g
-        end
-        else begin
-          out_of_budget := true;
-          None
-        end
+        if acc + t <= cap then `Found (g, acc + t) else `Out_of_budget
       | Exhausted t :: rest ->
-        if !consumed + t <= budget then begin
-          consumed := !consumed + t;
-          replay rest
-        end
-        else begin
-          out_of_budget := true;
-          None
-        end
-      | Capped :: _ ->
-        out_of_budget := true;
-        None
+        if acc + t <= cap then replay (acc + t) rest else `Out_of_budget
+      | Capped :: _ -> `Out_of_budget
+      | Guarded r :: _ -> `Guarded r
       | Cancelled :: _ ->
         (* unreachable: a cancelled branch is always preceded in frontier
            order by a Found or Capped branch, where the replay stops *)
         assert false
     in
-    replay outcomes
+    match replay 0 outcomes with
+    | `Found (g, d) ->
+      consumed := level_start + d;
+      `Found g
+    | `Exhausted d ->
+      consumed := level_start + d;
+      `Done
+    | `Out_of_budget -> `Out_of_budget
+    | `Guarded r ->
+      (* [consumed] still holds the level-start value: an incomplete level
+         commits nothing, the resumed replay re-accounts it in full *)
+      `Guarded (r, outcomes)
+  in
+  let write_checkpoint s outcomes =
+    match checkpoint with
+    | None -> None
+    | Some dir ->
+      let buf = Buffer.create 4096 in
+      Buffer.add_string buf params;
+      Buffer.add_char buf '\n';
+      Printf.bprintf buf "consumed %d\nlevel %d\n" !consumed s;
+      List.iteri
+        (fun rank o ->
+           match o with
+           | Exhausted t -> Printf.bprintf buf "outcome %d E %d\n" rank t
+           | Capped -> Printf.bprintf buf "outcome %d C\n" rank
+           | Found (g, t) ->
+             Printf.bprintf buf "outcome %d F %d %d %s\n" rank t
+               (G.nonterminal_count g)
+               (encode_rules (G.rules g))
+           | Cancelled | Guarded _ ->
+             (* scheduling-dependent non-outcomes are never persisted *)
+             ())
+        outcomes;
+      (match memo_tbl with
+       | Some m ->
+         List.iter
+           (fun (k, v) -> Printf.bprintf buf "memo %s %s\n" k v)
+           (Memo.entries m)
+       | None -> ());
+      Some (Checkpoint.save ~dir (Buffer.contents buf))
+  in
+  let memo_counts () =
+    match memo_tbl with
+    | Some m ->
+      let s = Memo.stats m in
+      (s.Memo.hits, s.Memo.misses)
+    | None -> (0, 0)
+  in
+  let finish ~minimal_size ~witness ~budget_exhausted ~nodes =
+    (match checkpoint with Some dir -> Checkpoint.clear ~dir | None -> ());
+    let hits, misses = memo_counts () in
+    { minimal_size; witness; nodes_explored = nodes; budget_exhausted;
+      interrupted = None; memo_hits = hits; memo_misses = misses;
+      resumed = !was_resumed; checkpoint_written = None;
+      checkpoint_warning = !warning }
+  in
+  let interrupted_result reason checkpoint_written =
+    let hits, misses = memo_counts () in
+    { minimal_size = None; witness = None;
+      nodes_explored = Atomic.get explored; budget_exhausted = false;
+      interrupted = Some reason; memo_hits = hits; memo_misses = misses;
+      resumed = !was_resumed; checkpoint_written;
+      checkpoint_warning = !warning }
+  in
+  let start_level =
+    match !loaded_level with Some (s0, _) -> s0 | None -> 1
   in
   let rec over_sizes s =
     if s > max_size then
-      { minimal_size = None; witness = None; nodes_explored = !consumed;
-        budget_exhausted = false; interrupted = None }
-    else
-      match run_level s with
-      | Some g ->
-        { minimal_size = Some s; witness = Some g; nodes_explored = !consumed;
-          budget_exhausted = false; interrupted = None }
-      | None when !out_of_budget ->
+      finish ~minimal_size:None ~witness:None ~budget_exhausted:false
+        ~nodes:!consumed
+    else begin
+      let stored =
+        match !loaded_level with
+        | Some (s0, tbl) when s0 = s -> tbl
+        | _ -> empty_stored
+      in
+      match run_level ~stored s with
+      | `Found g ->
+        finish ~minimal_size:(Some s) ~witness:(Some g)
+          ~budget_exhausted:false ~nodes:!consumed
+      | `Out_of_budget ->
         (* the sequential counter raises the moment it passes the budget *)
-        { minimal_size = None; witness = None; nodes_explored = budget + 1;
-          budget_exhausted = true; interrupted = None }
-      | None -> over_sizes (s + 1)
+        finish ~minimal_size:None ~witness:None ~budget_exhausted:true
+          ~nodes:(budget + 1)
+      | `Guarded (r, outcomes) ->
+        interrupted_result r (write_checkpoint s outcomes)
+      | `Done -> over_sizes (s + 1)
+    end
   in
-  (* a tripped guard unwinds every branch with the same root reason (the
-     pool reraises the first in frontier order); the partial node count is
-     what the cross-domain counter had seen by then *)
-  try over_sizes 1
-  with Ucfg_exec.Guard.Interrupt r ->
-    { minimal_size = None; witness = None;
-      nodes_explored = Atomic.get explored; budget_exhausted = false;
-      interrupted = Some r }
+  (* branches catch their own Interrupts; this backstop covers a trip in
+     the orchestration itself (no level in flight, nothing to checkpoint) *)
+  try over_sizes start_level
+  with Ucfg_exec.Guard.Interrupt r -> interrupted_result r None

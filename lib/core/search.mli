@@ -25,12 +25,38 @@ type grammar_search = {
       (** [Some r] when the ambient or explicit guard tripped mid-search:
           the run is partial, [minimal_size]/[witness] are [None].  The
           {e kind} of reason is jobs-invariant. *)
+  memo_hits : int;  (** verdict-memo hits this run (0 with [~memo:false]) *)
+  memo_misses : int;  (** verdict-memo misses this run *)
+  resumed : bool;  (** a valid checkpoint was loaded and continued *)
+  checkpoint_written : string option;
+      (** path of the checkpoint written on a guard trip, if any *)
+  checkpoint_warning : string option;
+      (** set when a requested resume degraded to a fresh run: the
+          checkpoint was corrupt, truncated, version-mismatched, or for
+          different search parameters.  Never fatal, never a wrong
+          answer. *)
 }
 
+(** [checkpoint_key ?unambiguous ?max_nonterminals ?max_size ?budget
+    alpha l] is a stable hex digest of the full search identity —
+    parameters and target language.  Callers use it to derive a
+    per-search checkpoint directory (the CLI uses
+    [_repro/search/<key>]); two searches share a key exactly when a
+    checkpoint written by one is resumable by the other. *)
+val checkpoint_key :
+  ?unambiguous:bool ->
+  ?max_nonterminals:int ->
+  ?max_size:int ->
+  ?budget:int ->
+  Alphabet.t ->
+  Lang.t ->
+  string
+
 (** [minimal_cnf_size ?guard ?unambiguous ?max_nonterminals ?max_size
-    ?budget alpha l] searches for the smallest CNF grammar (rules
-    [A -> a] of size 1 and [A -> BC] of size 2) accepting exactly [l];
-    with [unambiguous = true] (default false), restricts to uCFGs.
+    ?budget ?memo ?checkpoint ?resume alpha l] searches for the smallest
+    CNF grammar (rules [A -> a] of size 1 and [A -> BC] of size 2)
+    accepting exactly [l]; with [unambiguous = true] (default false),
+    restricts to uCFGs.
 
     Defaults: 3 nonterminals, size cap 12, budget 3 million nodes.
     [l] must not contain [ε].
@@ -39,13 +65,33 @@ type grammar_search = {
     search node; when it trips, the search returns a partial record with
     [interrupted = Some _] instead of raising.  The [?budget] node cap is
     a separate, deterministic mechanism and reports through
-    [budget_exhausted] as before. *)
+    [budget_exhausted] as before.
+
+    [memo] (default true) shares candidate-verdict results through a
+    sharded cross-domain {!Ucfg_exec.Memo} table keyed by canonical
+    grammar text, target-language digest and the unambiguity flag.
+    Memo hits cost the same single search tick as misses, so the memo
+    never changes [nodes_explored], the verdict, the witness, or the
+    budget semantics — only wall-clock.
+
+    [checkpoint] names a directory for a {!Ucfg_exec.Checkpoint}: when
+    the guard trips mid-level, the search atomically persists its
+    position (level, completed branch outcomes, replayed budget, memo
+    entries) and reports the path in [checkpoint_written].  With
+    [resume = true] (default false) a valid checkpoint for the same
+    parameters is loaded first and the search continues where it
+    stopped; completed runs delete their checkpoint.  Any damaged or
+    mismatched checkpoint degrades to a fresh run with
+    [checkpoint_warning] set. *)
 val minimal_cnf_size :
   ?guard:Ucfg_exec.Guard.t ->
   ?unambiguous:bool ->
   ?max_nonterminals:int ->
   ?max_size:int ->
   ?budget:int ->
+  ?memo:bool ->
+  ?checkpoint:string ->
+  ?resume:bool ->
   Alphabet.t ->
   Lang.t ->
   grammar_search

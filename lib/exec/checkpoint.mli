@@ -1,0 +1,34 @@
+(** Self-verifying search checkpoints.
+
+    A checkpoint is a single file [dir/checkpoint] holding one opaque
+    payload behind the same header discipline as the serve disk cache:
+    [ucfg-search v1 <md5> <len>] followed by exactly [len] payload
+    bytes.  {!save} writes to a unique temp file and renames — atomic on
+    POSIX, so a reader (or a concurrent writer) sees the old checkpoint
+    or the new one, never a splice.  {!load} re-verifies everything: a
+    missing header, an unknown magic or version, a length mismatch, a
+    digest mismatch, or trailing garbage all degrade to {!Invalid} — the
+    caller restarts from scratch with a warning, it never resumes from a
+    damaged state.
+
+    Payload syntax and versioning-on-meaning are the caller's problem:
+    searches prepend a parameter line to the payload and treat a
+    mismatch as {e their} invalidity.  Bumping the format version here
+    invalidates every existing checkpoint at once, by design. *)
+
+type load =
+  | Loaded of string  (** the verified payload *)
+  | Absent  (** no checkpoint file *)
+  | Invalid of string  (** damaged or version-mismatched; the reason *)
+
+(** [file ~dir] is the checkpoint path [dir/checkpoint]. *)
+val file : dir:string -> string
+
+(** [save ~dir payload] creates [dir] as needed and atomically writes the
+    checkpoint; returns the path written. *)
+val save : dir:string -> string -> string
+
+val load : dir:string -> load
+
+(** [clear ~dir] removes the checkpoint file if present (best-effort). *)
+val clear : dir:string -> unit

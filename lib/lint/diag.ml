@@ -62,6 +62,13 @@ let cache_corrupt key =
        "on-disk cache entry %s failed hash verification (truncated or \
         bit-flipped)" key)
 
+let checkpoint_corrupt reason =
+  make ~code:"R021" ~severity:Warning ~loc:Whole
+    ~hint:"the search restarted from scratch; a fresh checkpoint replaces \
+           the damaged one on the next interruption"
+    (Printf.sprintf "search checkpoint unusable (%s); resuming from scratch"
+       reason)
+
 let soundness_label = function
   | Certificate -> "certificate"
   | Definite -> "definite"

@@ -70,6 +70,11 @@ val internal : string -> t
     failed hash verification and was transparently recomputed. *)
 val cache_corrupt : string -> t
 
+(** [checkpoint_corrupt reason] is the R021 warning: a requested search
+    resume found a corrupt, truncated or parameter-mismatched checkpoint
+    and degraded to a fresh run — never a wrong answer. *)
+val checkpoint_corrupt : string -> t
+
 (** Sort order: errors first, then warnings, then infos; ties by code. *)
 val sort : t list -> t list
 
