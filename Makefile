@@ -14,7 +14,7 @@ DET_EXPERIMENTS := e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 \
 
 .PHONY: build test lint bench smoke determinism json-determinism \
   bench-record bench-compare chaos timeout-smoke search-resume-smoke \
-  check-smoke serve-smoke ci check clean
+  check-smoke serve-smoke serve-drain-smoke serve-chaos ci check clean
 
 build:
 	dune build @all
@@ -69,26 +69,26 @@ json-determinism: build
 	@echo "json-determinism: OK"
 
 # regenerate this PR's perf record under the same conditions as the
-# committed BENCH_pr7.json baseline (smoke, sequential)
+# committed BENCH_pr8.json baseline (smoke, sequential)
 bench-record: build
-	UCFG_JOBS=1 $(BENCH) --smoke --json-out BENCH_pr8.json > /dev/null
+	UCFG_JOBS=1 $(BENCH) --smoke --json-out BENCH_pr9.json > /dev/null
 
-# checksum drift gate: the deterministic experiments in BENCH_pr8.json
-# must carry byte-identical output checksums to the BENCH_pr7.json
-# baseline (e32 is new in pr8: compared on e1–e23, e29/e30/e31/e32
-# asserted present)
+# checksum drift gate: the deterministic experiments in BENCH_pr9.json
+# must carry byte-identical output checksums to the BENCH_pr8.json
+# baseline (e33 is new in pr9: compared on e1–e23, e29–e33 asserted
+# present)
 bench-compare:
 	@mkdir -p _build/determinism
-	@for pr in pr7 pr8; do \
+	@for pr in pr8 pr9; do \
 	  sed -n 's/ *{ "name": "\(e[0-9]*\)", "ms": [0-9.]*, "checksum": "\([0-9a-f]*\)".*/\1 \2/p' \
 	    BENCH_$$pr.json | grep -E '^e([1-9]|1[0-9]|2[0-3]) ' | sort \
 	    > _build/determinism/$$pr.sums; \
 	done
-	diff _build/determinism/pr7.sums _build/determinism/pr8.sums
-	@grep -q '"name": "e29"' BENCH_pr8.json
-	@grep -q '"name": "e30"' BENCH_pr8.json
-	@grep -q '"name": "e31"' BENCH_pr8.json
-	@grep -q '"name": "e32"' BENCH_pr8.json
+	diff _build/determinism/pr8.sums _build/determinism/pr9.sums
+	@for e in e29 e30 e31 e32 e33; do \
+	  grep -q "\"name\": \"$$e\"" BENCH_pr9.json || \
+	    { echo "bench-compare: $$e missing from BENCH_pr9.json"; exit 1; }; \
+	done
 	@echo "bench-compare: OK"
 
 # the full suite must stay green under seeded fault injection: injected
@@ -199,11 +199,69 @@ serve-smoke: build
 	diff _build/serve/dump1.txt _build/serve/dump4.txt
 	@echo "serve-smoke: OK"
 
+# SIGTERM must drain, not drop: boot a daemon, park a multi-second request
+# in flight (rank example4:10 runs ~4 s cold), TERM the daemon mid-request,
+# and require (a) the in-flight client still receives its response and
+# (b) the daemon exits 0 (graceful drain, not a crash or a kill)
+serve-drain-smoke: build
+	@set -e; rm -rf _build/drain; mkdir -p _build/drain; \
+	$(CLI) serve --socket _build/drain/sock --cache-dir _build/drain/cache \
+	  --drain-timeout-ms 30000 & pid=$$!; \
+	i=0; while [ ! -S _build/drain/sock ] && [ $$i -lt 100 ]; do \
+	  sleep 0.1; i=$$((i+1)); done; \
+	$(CLI) bombard --socket _build/drain/sock \
+	  --request '{"op": "rank", "kind": "example4", "n": 10}' \
+	  > _build/drain/resp.txt & cpid=$$!; \
+	sleep 1; \
+	kill -TERM $$pid; \
+	wait $$cpid || { echo "serve-drain-smoke: in-flight client failed"; \
+	  kill -9 $$pid 2> /dev/null; exit 1; }; \
+	wait $$pid; st=$$?; \
+	if [ $$st -ne 0 ]; then \
+	  echo "serve-drain-smoke: daemon exited $$st, want 0"; exit 1; fi
+	@grep -q '"ok": true' _build/drain/resp.txt || \
+	  { echo "serve-drain-smoke: in-flight request not answered ok"; \
+	    cat _build/drain/resp.txt; exit 1; }
+	@echo "serve-drain-smoke: OK"
+
+# the adversarial serving gate: seeded socket chaos (partial writes,
+# aborts, malformed and oversized frames, slow-loris stalls past the read
+# deadline, concurrent bursts through a 2-worker daemon) at jobs 1 and 4.
+# The daemon must survive every round and still answer, sheds must carry
+# R013 and be absorbed by retry, and the post-chaos cache contents must be
+# byte-identical across job counts AND to a chaos-free smoke run
+serve-chaos: build
+	@set -e; rm -rf _build/chaos; mkdir -p _build/chaos; \
+	for j in 1 4; do \
+	  UCFG_JOBS=$$j $(CLI) serve --socket _build/chaos/sock$$j \
+	    --cache-dir _build/chaos/cache$$j --max-connections 2 \
+	    --idle-timeout-ms 400 --max-request-bytes 4096 & pid=$$!; \
+	  i=0; while [ ! -S _build/chaos/sock$$j ] && [ $$i -lt 100 ]; do \
+	    sleep 0.1; i=$$((i+1)); done; \
+	  UCFG_JOBS=$$j $(CLI) bombard --chaos --seed 1066 --stall-ms 900 \
+	    --oversize-bytes 8192 --socket _build/chaos/sock$$j \
+	    --dump _build/chaos/chaosdump$$j.txt \
+	    --json-out _build/chaos/chaos$$j.json --shutdown; \
+	  wait $$pid; \
+	done; \
+	rm -rf _build/chaos/plaincache _build/chaos/plainsock; \
+	$(CLI) serve --socket _build/chaos/plainsock \
+	  --cache-dir _build/chaos/plaincache & pid=$$!; \
+	i=0; while [ ! -S _build/chaos/plainsock ] && [ $$i -lt 100 ]; do \
+	  sleep 0.1; i=$$((i+1)); done; \
+	$(CLI) bombard --smoke --socket _build/chaos/plainsock --shutdown \
+	  --dump _build/chaos/plaindump.txt > /dev/null; \
+	wait $$pid
+	diff _build/chaos/chaosdump1.txt _build/chaos/chaosdump4.txt
+	diff _build/chaos/chaosdump1.txt _build/chaos/plaindump.txt
+	@echo "serve-chaos: OK"
+
 check: build test lint check-smoke
 	@echo "check: OK"
 
 ci: check smoke determinism json-determinism bench-record bench-compare \
-  chaos timeout-smoke search-resume-smoke serve-smoke
+  chaos timeout-smoke search-resume-smoke serve-smoke serve-drain-smoke \
+  serve-chaos
 	@echo "ci: OK"
 
 clean:

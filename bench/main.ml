@@ -1663,6 +1663,89 @@ let e30_serve_cache () =
           ])
        requests)
 
+(* ----------------------------------------------------------------- E33 *)
+
+let e33_concurrent_serving () =
+  (* The concurrent daemon as a measurement: the same seeded bombard
+     profile, 4 persistent client connections, against a real unix-socket
+     daemon at --max-connections 1 (one worker: PR 8's effective serial
+     loop) and 4.  Wall clock and p99 are machine-dependent, so E33 stays
+     out of the determinism set; byte identity across connection counts
+     is the serving gate's job (`make serve-smoke` / `make serve-chaos`),
+     not this table's — here errors and mismatches are merely required to
+     be zero. *)
+  let module Server = Ucfg_serve.Server in
+  let module Bombard = Ucfg_serve.Bombard in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ucfg-bench-e33-%d" (Unix.getpid ()))
+  in
+  let rec rm path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  rm dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect ~finally:(fun () -> rm dir) @@ fun () ->
+  let requests = pick 400 60 in
+  let clients = 4 in
+  let row mc =
+    let path = Filename.concat dir (Printf.sprintf "mc%d.sock" mc) in
+    (* queue headroom = client count: persistent connections beyond the
+       worker pool wait their turn instead of being shed, so the one-
+       worker row measures serial service, not retry storms *)
+    let srv =
+      Server.create ~cache_dir:None ~max_connections:mc
+        ~queue_capacity:clients ()
+    in
+    let th =
+      Thread.create (fun () -> ignore (Server.run_unix srv ~path)) ()
+    in
+    let rec await n =
+      if n > 1000 then failwith "e33: daemon did not come up"
+      else if not (Sys.file_exists path) then begin
+        Thread.delay 0.005;
+        await (n + 1)
+      end
+    in
+    await 0;
+    let r =
+      Fun.protect
+        ~finally:(fun () ->
+            Server.request_drain srv;
+            Thread.join th)
+        (fun () ->
+           Bombard.concurrent_run ~profile:"smoke" ~seed:1066 ~requests
+             ~clients (Bombard.Unix_path path))
+    in
+    [
+      string_of_int mc;
+      string_of_int clients;
+      string_of_int (r.Bombard.cold.Bombard.count + r.Bombard.warm.Bombard.count);
+      Printf.sprintf "%.0f" r.Bombard.throughput_rps;
+      Printf.sprintf "%.2f" r.Bombard.warm.Bombard.p50_ms;
+      Printf.sprintf "%.2f" r.Bombard.warm.Bombard.p99_ms;
+      Printf.sprintf "%.2f" r.Bombard.warm_hit_ratio;
+      string_of_int (r.Bombard.errors + r.Bombard.mismatches);
+    ]
+  in
+  Report.print_table
+    ~title:
+      "E33 (concurrent serving): seeded smoke bombardment over 4 persistent \
+       client connections against a unix-socket daemon, one worker vs four \
+       — throughput and warm-phase latency (machine-dependent; errors + \
+       mismatches must be 0)"
+    ~headers:
+      [ "max-conn"; "clients"; "served"; "req/s"; "warm p50 ms";
+        "warm p99 ms"; "warm hits"; "err+mism" ]
+    (List.map row [ 1; 4 ]);
+  Printf.printf "\n"
+
 (* ------------------------------------------------------------------ main *)
 
 let experiments =
@@ -1680,6 +1763,7 @@ let experiments =
     ("e27", e27_bitset_kernel); ("e29", e29_semantic_check);
     ("e30", e30_serve_cache); ("e31", e31_tier_sweeps);
     ("e32", e32_resumable_search);
+    ("e33", e33_concurrent_serving);
     ("timings", timings);
   ]
 
@@ -1689,7 +1773,7 @@ let experiments =
    of deterministic experiments must agree between the sequential and
    parallel runs (the `make json-determinism` gate). *)
 let json_mode = ref false
-let json_out = ref "BENCH_pr8.json"
+let json_out = ref "BENCH_pr9.json"
 
 (* --timeout SEC wraps each experiment in its own wall-clock guard: a
    tripped experiment prints a note, records a "timeout" outcome in the

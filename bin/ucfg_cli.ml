@@ -60,7 +60,7 @@ let common_term = Term.(const (fun () () -> ()) $ jobs_term $ guard_term)
 
 (* the CLI's release version: also echoed by the serve daemon's ping and
    recorded in bombard reports *)
-let version = "1.2.0"
+let version = "1.3.0"
 
 (* guard trips and malformed inputs render as the linter's diagnostics:
    stable code, severity, message, optional hint — same text and JSON
@@ -821,21 +821,46 @@ let serve_cmd =
      trip once and poison every later request), so it takes per-request
      defaults instead of [guard_term] and only uses [jobs_term] *)
   let run () socket tcp stdin_mode cache_dir no_disk mem_capacity
-      cache_max_bytes default_timeout default_budget =
+      cache_max_bytes default_timeout default_budget max_connections
+      queue_capacity idle_timeout_ms max_request_bytes drain_timeout_ms
+      backlog =
     let cache_dir = if no_disk then None else Some cache_dir in
     let srv =
       Server.create ~cache_dir ?mem_capacity ?cache_max_bytes
         ?default_timeout_ms:(Option.map (fun s -> s *. 1000.) default_timeout)
-        ?default_budget ~version ()
+        ?default_budget ?max_connections ?queue_capacity ?idle_timeout_ms
+        ?max_request_bytes ?drain_timeout_ms ~version ()
     in
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let finish = function
+      | Server.Drained -> ()
+      | Server.Forced n ->
+        Printf.eprintf
+          "ucfg serve: forced exit: %d request(s) ignored cancellation\n%!" n;
+        (* skip at_exit: it joins the domain pool, which a wedged request
+           may hold forever *)
+        Unix._exit 1
+    in
+    let install_drain_signals () =
+      (* first signal: graceful drain (finish in-flight, flush the cache,
+         exit 0); second: give up immediately *)
+      let hits = Atomic.make 0 in
+      let on_signal _ =
+        if Atomic.fetch_and_add hits 1 = 0 then Server.request_drain srv
+        else Unix._exit 1
+      in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal)
+    in
     match socket, tcp, stdin_mode with
     | Some path, None, false ->
+      install_drain_signals ();
       Printf.eprintf "ucfg serve: listening on %s\n%!" path;
-      Server.run_unix srv ~path
+      finish (Server.run_unix ?backlog srv ~path)
     | None, Some port, false ->
+      install_drain_signals ();
       Printf.eprintf "ucfg serve: listening on 127.0.0.1:%d\n%!" port;
-      Server.run_tcp srv ~port
+      finish (Server.run_tcp ?backlog srv ~port)
     | None, None, true -> Server.run_stdin srv stdin stdout
     | None, None, false ->
       failwith "pass one of --socket PATH, --tcp PORT, --stdin"
@@ -884,6 +909,62 @@ let serve_cmd =
       & info [ "default-budget" ] ~docv:"N"
           ~doc:"Per-request tick budget applied when a request carries none.")
   in
+  let max_connections_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:
+            "Serve up to $(docv) connections concurrently, each on its own \
+             worker (default: the --jobs count).")
+  in
+  let queue_capacity_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "queue-capacity" ] ~docv:"N"
+          ~doc:
+            "Accepted connections waiting for a worker beyond \
+             --max-connections (default: --max-connections); past that the \
+             daemon sheds with a retriable R013 response.")
+  in
+  let idle_timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "idle-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Absolute deadline for one complete request line (default \
+             30000; <= 0 disables).  A stalled mid-request connection gets \
+             a retriable R014 error and is closed; an idle one is closed \
+             quietly.")
+  in
+  let max_request_bytes_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-request-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Cap on one request line (default 1048576); an oversized \
+             request gets R015 and the connection is closed.")
+  in
+  let drain_timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "drain-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "On SIGTERM/SIGINT or a shutdown request, wait up to $(docv) \
+             (default 5000) for in-flight requests before cancelling their \
+             guards (they answer R003).")
+  in
+  let backlog_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "backlog" ] ~docv:"N"
+          ~doc:"Kernel accept backlog for the listener (default 64).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -898,19 +979,101 @@ let serve_cmd =
       const run $ jobs_term $ socket_arg $ tcp_arg $ stdin_arg $ cache_dir_arg
       $ no_disk_arg $ mem_capacity_arg $ cache_max_bytes_arg
       $ default_timeout_arg
-      $ default_budget_arg)
+      $ default_budget_arg $ max_connections_arg $ queue_capacity_arg
+      $ idle_timeout_arg $ max_request_bytes_arg $ drain_timeout_arg
+      $ backlog_arg)
 
 (* --- bombard --------------------------------------------------------------- *)
 
 let bombard_cmd =
   let run () socket tcp in_process cache_dir no_disk smoke profile seed
-      requests dump json_out json assert_warm_hits shutdown =
+      requests dump json_out json assert_warm_hits shutdown chaos_mode
+      request_line rounds burst stall_ms oversize_bytes clients =
     let profile = if smoke then "smoke" else profile in
     let requests =
       match requests with
       | Some r -> r
       | None -> if profile = "smoke" then 40 else 200
     in
+    let target =
+      match socket, tcp with
+      | Some path, None -> Some (Bombard.Unix_path path)
+      | None, Some port -> Some (Bombard.Tcp_port port)
+      | None, None -> None
+      | Some _, Some _ -> failwith "pass one of --socket PATH or --tcp PORT"
+    in
+    let need_target what =
+      match target with
+      | Some t -> t
+      | None -> failwith (what ^ " needs --socket PATH or --tcp PORT")
+    in
+    let with_dump f =
+      let dump_oc = Option.map open_out dump in
+      Fun.protect
+        ~finally:(fun () -> Option.iter close_out dump_oc)
+        (fun () -> f dump_oc)
+    in
+    let emit_report report =
+      (match json_out with
+       | Some path ->
+         let oc = open_out path in
+         output_string oc (Bombard.to_json report);
+         output_char oc '\n';
+         close_out oc
+       | None -> ());
+      if json then print_endline (Bombard.to_json report)
+      else print_endline (Bombard.to_text report);
+      if not (Bombard.ok report) then exit 1;
+      if assert_warm_hits && report.Bombard.warm_hit_ratio <= 0. then begin
+        prerr_endline
+          "bombard: --assert-warm-hits failed (warm hit ratio is 0)";
+        exit 3
+      end
+    in
+    match request_line, chaos_mode with
+    | Some _, true -> failwith "--request and --chaos are mutually exclusive"
+    | Some line, false -> (
+        (* one request, one response line on stdout: the drain-smoke
+           client, and a handy manual probe *)
+        let tgt = need_target "--request" in
+        match Bombard.one_shot tgt line with
+        | Some resp ->
+          print_endline resp;
+          if shutdown then ignore (Bombard.one_shot tgt {|{"op": "shutdown"}|})
+        | None ->
+          prerr_endline
+            "bombard: no response (connection closed or timed out)";
+          exit 1)
+    | None, true ->
+      let tgt = need_target "--chaos" in
+      let params =
+        { Bombard.rounds; burst; stall_ms; oversize_bytes }
+      in
+      let report =
+        with_dump (fun dump_oc ->
+            Bombard.chaos ?dump:dump_oc ~params ~target:tgt ~seed ())
+      in
+      if shutdown then ignore (Bombard.one_shot tgt {|{"op": "shutdown"}|});
+      (match json_out with
+       | Some path ->
+         let oc = open_out path in
+         output_string oc (Bombard.chaos_to_json report);
+         output_char oc '\n';
+         close_out oc
+       | None -> ());
+      if json then print_endline (Bombard.chaos_to_json report)
+      else print_endline (Bombard.chaos_to_text report);
+      if not (Bombard.chaos_ok report) then exit 1
+    | None, false when clients > 1 ->
+      let tgt = need_target "--clients" in
+      let report =
+        with_dump (fun dump_oc ->
+            Bombard.concurrent_run ?dump:dump_oc ~profile ~seed ~requests
+              ~clients tgt)
+      in
+      if shutdown then ignore (Bombard.one_shot tgt {|{"op": "shutdown"}|});
+      emit_report report
+    | None, false ->
     let send, cleanup =
       match socket, tcp, in_process with
       | Some path, None, false ->
@@ -948,25 +1111,10 @@ let bombard_cmd =
           if shutdown then ignore (send {|{"op": "shutdown"}|});
           cleanup ())
         (fun () ->
-           let dump_oc = Option.map open_out dump in
-           Fun.protect
-             ~finally:(fun () -> Option.iter close_out dump_oc)
-             (fun () -> Bombard.run ?dump:dump_oc ~profile ~seed ~requests send))
+           with_dump (fun dump_oc ->
+               Bombard.run ?dump:dump_oc ~profile ~seed ~requests send))
     in
-    (match json_out with
-     | Some path ->
-       let oc = open_out path in
-       output_string oc (Bombard.to_json report);
-       output_char oc '\n';
-       close_out oc
-     | None -> ());
-    if json then print_endline (Bombard.to_json report)
-    else print_endline (Bombard.to_text report);
-    if not (Bombard.ok report) then exit 1;
-    if assert_warm_hits && report.Bombard.warm_hit_ratio <= 0. then begin
-      prerr_endline "bombard: --assert-warm-hits failed (warm hit ratio is 0)";
-      exit 3
-    end
+    emit_report report
   in
   let in_process_arg =
     Arg.(
@@ -1029,6 +1177,62 @@ let bombard_cmd =
       & info [ "shutdown" ]
           ~doc:"Send a shutdown request when done (stops the daemon).")
   in
+  let chaos_arg =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:
+            "Seeded adversarial mode against a live daemon: partial \
+             writes, mid-request disconnects, malformed and oversized \
+             frames, slow and stalled clients, concurrent bursts — the \
+             daemon must survive them all and keep answering \
+             byte-identically (needs --socket/--tcp).")
+  in
+  let request_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "request" ] ~docv:"LINE"
+          ~doc:
+            "Send one request line, print the one response line, exit \
+             (exit 1 if the connection closes unanswered; needs \
+             --socket/--tcp).")
+  in
+  let rounds_arg =
+    Arg.(
+      value & opt int 40
+      & info [ "rounds" ] ~docv:"N" ~doc:"Chaos scenario rounds.")
+  in
+  let burst_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "burst" ] ~docv:"N"
+          ~doc:"Concurrent clients per chaos burst round.")
+  in
+  let stall_ms_arg =
+    Arg.(
+      value & opt float 800.
+      & info [ "stall-ms" ] ~docv:"MS"
+          ~doc:
+            "Chaos slow-loris silence; set above the daemon's \
+             --idle-timeout-ms to exercise R014.")
+  in
+  let oversize_bytes_arg =
+    Arg.(
+      value & opt int 8192
+      & info [ "oversize-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Chaos newline-free flood size; set above the daemon's \
+             --max-request-bytes to exercise R015.")
+  in
+  let clients_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "clients" ] ~docv:"N"
+          ~doc:
+            "Fan the warm phase over $(docv) concurrent connections \
+             (needs --socket/--tcp when > 1).")
+  in
   Cmd.v
     (Cmd.info "bombard"
        ~doc:
@@ -1042,7 +1246,8 @@ let bombard_cmd =
       const run $ jobs_term $ socket_arg $ tcp_arg $ in_process_arg
       $ cache_dir_arg $ no_disk_arg $ smoke_arg $ profile_arg $ seed_arg
       $ requests_arg $ dump_arg $ json_out_arg $ json_arg $ assert_arg
-      $ shutdown_arg)
+      $ shutdown_arg $ chaos_arg $ request_arg $ rounds_arg $ burst_arg
+      $ stall_ms_arg $ oversize_bytes_arg $ clients_arg)
 
 let main_cmd =
   let doc =

@@ -10,12 +10,15 @@
 
    The pool is created lazily on first use and rebuilt when the job count
    changes, so flipping [set_jobs] mid-process (as the determinism tests
-   do) is cheap and leak-free.  Orchestration is assumed single-domain:
-   only pool *jobs* run concurrently, [set_jobs] and the first [pool]
-   call do not. *)
+   do) is cheap and leak-free.  Creation and rebuild are serialised by a
+   mutex: the serve daemon's connection workers ([Workq] threads) may
+   submit batches concurrently, and the first two must not race a double
+   pool into existence.  [set_jobs] mid-flight is still the caller's
+   responsibility to sequence against running batches. *)
 
 let override = ref None
 let pool_ref = ref None
+let pool_lock = Mutex.create ()
 
 let jobs () =
   match !override with
@@ -25,21 +28,28 @@ let jobs () =
 let set_jobs j = override := Some (max 1 j)
 
 let pool () =
-  let wanted = jobs () in
-  match !pool_ref with
-  | Some p when Pool.jobs p = wanted -> p
-  | existing ->
-    Option.iter Pool.shutdown existing;
-    let p = Pool.create ~jobs:wanted () in
-    pool_ref := Some p;
-    p
+  Mutex.lock pool_lock;
+  let p =
+    let wanted = jobs () in
+    match !pool_ref with
+    | Some p when Pool.jobs p = wanted -> p
+    | existing ->
+      Option.iter Pool.shutdown existing;
+      let p = Pool.create ~jobs:wanted () in
+      pool_ref := Some p;
+      p
+  in
+  Mutex.unlock pool_lock;
+  p
 
 (* joined workers cannot outlive the process: exit paths through at_exit
    stop the pool cleanly *)
 let () =
   at_exit (fun () ->
+      Mutex.lock pool_lock;
       Option.iter Pool.shutdown !pool_ref;
-      pool_ref := None)
+      pool_ref := None;
+      Mutex.unlock pool_lock)
 
 (* --- ambient guard ------------------------------------------------------- *)
 

@@ -1,0 +1,121 @@
+(* Bounded work queue over POSIX threads.  See the mli for the contract;
+   the implementation is one mutex, one condition for workers, and a
+   busy counter — [await_idle] polls (the stdlib [Condition] has no
+   timed wait) at a period that is noise next to connection lifetimes. *)
+
+type 'a t = {
+  workers : int;
+  capacity : int;
+  queue : 'a Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable stopping : bool;
+  mutable busy : int;
+  mutable swallowed : int;
+  mutable threads : Thread.t list;
+}
+
+let rec worker_loop t handler =
+  Mutex.lock t.lock;
+  let rec next () =
+    match Queue.take_opt t.queue with
+    | Some x -> Some x
+    | None ->
+      if t.stopping then None
+      else begin
+        Condition.wait t.nonempty t.lock;
+        next ()
+      end
+  in
+  match next () with
+  | None -> Mutex.unlock t.lock
+  | Some x ->
+    t.busy <- t.busy + 1;
+    Mutex.unlock t.lock;
+    (try handler x
+     with _ ->
+       Mutex.lock t.lock;
+       t.swallowed <- t.swallowed + 1;
+       Mutex.unlock t.lock);
+    Mutex.lock t.lock;
+    t.busy <- t.busy - 1;
+    Mutex.unlock t.lock;
+    worker_loop t handler
+
+let create ~workers ~capacity handler =
+  let t =
+    {
+      workers = max 1 workers;
+      capacity = max 1 capacity;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      stopping = false;
+      busy = 0;
+      swallowed = 0;
+      threads = [];
+    }
+  in
+  t.threads <-
+    List.init t.workers (fun _ -> Thread.create (fun () -> worker_loop t handler) ());
+  t
+
+let workers t = t.workers
+
+let push t x =
+  Mutex.lock t.lock;
+  let accepted =
+    if t.stopping || Queue.length t.queue >= t.capacity then false
+    else begin
+      Queue.add x t.queue;
+      Condition.signal t.nonempty;
+      true
+    end
+  in
+  Mutex.unlock t.lock;
+  accepted
+
+let busy t =
+  Mutex.lock t.lock;
+  let b = t.busy in
+  Mutex.unlock t.lock;
+  b
+
+let queued t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.lock;
+  n
+
+let swallowed t =
+  Mutex.lock t.lock;
+  let n = t.swallowed in
+  Mutex.unlock t.lock;
+  n
+
+let stop t =
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  let leftover = List.of_seq (Queue.to_seq t.queue) in
+  Queue.clear t.queue;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock;
+  leftover
+
+let await_idle t ~deadline =
+  let rec go () =
+    Mutex.lock t.lock;
+    let idle = t.busy = 0 && Queue.is_empty t.queue in
+    Mutex.unlock t.lock;
+    if idle then true
+    else if Unix.gettimeofday () >= deadline then false
+    else begin
+      Thread.delay 0.02;
+      go ()
+    end
+  in
+  go ()
+
+let join t =
+  List.iter Thread.join t.threads;
+  t.threads <- []

@@ -1,0 +1,56 @@
+(** A bounded work queue served by a fixed set of POSIX threads.
+
+    {!Pool} runs CPU-bound batches on domains; this is its small sibling
+    for {e I/O-bound} units of work — the serve daemon's connections —
+    where a worker spends most of its life blocked in [read]/[write] and
+    a domain apiece would be waste.  Worker threads live in the spawning
+    domain, so library code they call still fans out over the domain
+    pool (they are not {!Pool} workers).
+
+    The queue is the admission-control point: {!push} never blocks and
+    never queues unboundedly — when [capacity] items are already waiting
+    it refuses, and the caller sheds the item (the daemon answers
+    "server busy" and closes).  {!stop} halts intake and hands the
+    not-yet-started items back to the caller for disposal; workers
+    finish the item they are on.  Handlers are expected to catch their
+    own exceptions; one that escapes is swallowed (and counted) rather
+    than killing the worker thread. *)
+
+type 'a t
+
+(** [create ~workers ~capacity handler] spawns [workers] threads (at
+    least 1) that pop items and run [handler] on each.  [capacity]
+    bounds the {e waiting} queue (at least 1): up to [workers] items in
+    service plus [capacity] queued. *)
+val create : workers:int -> capacity:int -> ('a -> unit) -> 'a t
+
+val workers : 'a t -> int
+
+(** [push t x] enqueues [x] unless the queue is full or stopped —
+    [false] means [x] was {e not} accepted and the caller must dispose
+    of it. *)
+val push : 'a t -> 'a -> bool
+
+(** [busy t] is the number of workers currently inside the handler;
+    [queued t] the number of accepted items not yet started. *)
+val busy : 'a t -> int
+
+val queued : 'a t -> int
+
+(** [swallowed t] counts handler exceptions that escaped (each one a
+    handler bug: the daemon's handler catches everything itself). *)
+val swallowed : 'a t -> int
+
+(** [stop t] halts intake and returns the queued-but-unstarted items in
+    arrival order; workers exit once their current item finishes.
+    Idempotent — later calls return []. *)
+val stop : 'a t -> 'a list
+
+(** [await_idle t ~deadline] polls until no worker is inside the handler
+    and nothing is queued, or [Unix.gettimeofday () >= deadline];
+    [true] on idle. *)
+val await_idle : 'a t -> deadline:float -> bool
+
+(** [join t] joins the worker threads.  Only meaningful after {!stop};
+    blocks for as long as the slowest in-flight handler runs. *)
+val join : 'a t -> unit

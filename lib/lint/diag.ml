@@ -55,6 +55,31 @@ let internal msg =
            daemon's log and report it"
     (Printf.sprintf "internal error: %s" msg)
 
+let busy ?(draining = false) () =
+  make ~code:"R013" ~severity:Error ~loc:Whole
+    ~hint:"transient (exit 75, EX_TEMPFAIL): retry with jittered backoff"
+    (if draining then
+       "server draining: shutting down gracefully, not accepting new \
+        connections"
+     else
+       "server busy: all workers in service and the connection queue is \
+        full; load was shed instead of queued unboundedly")
+
+let read_timeout ms =
+  make ~code:"R014" ~severity:Error ~loc:Whole
+    ~hint:"transient (exit 75): send the full request line within the \
+           deadline and retry"
+    (Printf.sprintf
+       "read deadline exceeded: request line still incomplete after %.0f ms \
+        (slow or stalled client); the connection is closed" ms)
+
+let oversized ~limit =
+  make ~code:"R015" ~severity:Error ~loc:Whole
+    ~hint:"shrink the request or raise --max-request-bytes on the daemon"
+    (Printf.sprintf
+       "request line exceeds the size cap (%d bytes); the connection is \
+        closed" limit)
+
 let cache_corrupt key =
   make ~code:"R020" ~severity:Warning ~loc:Whole
     ~hint:"the entry was recomputed and rewritten; no wrong answer is served"

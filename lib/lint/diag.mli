@@ -66,6 +66,23 @@ val unsupported : string -> t
     of the request. *)
 val internal : string -> t
 
+(** [busy ()] is the R013 error a daemon at capacity answers a shed
+    connection with (and, with [~draining:true], one accepted after
+    graceful shutdown began).  Retriable: the per-request [exit_code] is
+    75 ([EX_TEMPFAIL]); clients should retry with jittered backoff. *)
+val busy : ?draining:bool -> unit -> t
+
+(** [read_timeout ms] is the R014 error for a connection whose request
+    line was still incomplete after the read deadline ([ms]
+    milliseconds) — slow-loris protection.  Retriable (exit 75); the
+    daemon closes the connection after answering. *)
+val read_timeout : float -> t
+
+(** [oversized ~limit] is the R015 error for a request line longer than
+    the daemon's [--max-request-bytes] cap.  A client error (exit 2);
+    the connection is closed (the frame cannot be resynchronised). *)
+val oversized : limit:int -> t
+
 (** [cache_corrupt key] is the R020 warning: an on-disk cache entry
     failed hash verification and was transparently recomputed. *)
 val cache_corrupt : string -> t

@@ -173,6 +173,578 @@ let run ?dump ~profile ~seed ~requests send =
 
 let ok r = r.errors = 0 && r.mismatches = 0
 
+(* --- socket-level clients -------------------------------------------------- *)
+
+type target = Unix_path of string | Tcp_port of int
+
+let connect target =
+  let domain, addr =
+    match target with
+    | Unix_path path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | Tcp_port port ->
+      (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  match Unix.connect fd addr with
+  | () -> fd
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+(* a peer that vanished mid-conversation; every chaos scenario treats it
+   as an outcome, not a failure *)
+exception Peer_gone
+
+let send_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      match Unix.write_substring fd s off (len - off) with
+      | 0 -> raise Peer_gone
+      | n -> go (off + n)
+      | exception
+          Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        raise Peer_gone
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* [None] on EOF, reset, or deadline — the caller knows whether a missing
+   response is acceptable.  The timeout is generous: it exists to keep a
+   wedged daemon from wedging CI, not to measure anything. *)
+let recv_line ?(timeout = 60.) fd =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let buf = Buffer.create 256 in
+  let b = Bytes.create 4096 in
+  let rec go () =
+    let now = Unix.gettimeofday () in
+    if now >= deadline then None
+    else
+      match Unix.select [ fd ] [] [] (Float.min 1.0 (deadline -. now)) with
+      | [], _, _ -> go ()
+      | _ -> (
+          match Unix.read fd b 0 (Bytes.length b) with
+          | 0 -> None
+          | n ->
+            Buffer.add_subbytes buf b 0 n;
+            let s = Buffer.contents buf in
+            (match String.index_opt s '\n' with
+             | Some i -> Some (String.sub s 0 i)
+             | None -> go ())
+          | exception
+              Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> None
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let ignore_sigpipe () =
+  (* a daemon that died mid-conversation must fail the gate, not kill the
+     client that was measuring it *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+let one_shot ?timeout target line =
+  ignore_sigpipe ();
+  let fd = connect target in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+       match send_all fd (line ^ "\n") with
+       | () -> recv_line ?timeout fd
+       | exception Peer_gone -> None)
+
+let error_code resp =
+  match Json.parse resp with
+  | Error _ -> None
+  | Ok v -> (
+      match Json.member "error" v with
+      | None -> None
+      | Some err ->
+        Json.member "code" err |> Option.map Json.get_string |> Option.join)
+
+let is_busy resp = error_code resp = Some "R013"
+
+(* the reference retry policy the R013 contract asks of clients: jittered
+   exponential backoff, both the base delay and the jitter seeded *)
+let with_retry ?(attempts = 8) rng shot =
+  let retries = ref 0 and busy = ref 0 in
+  let rec go k =
+    let backoff () =
+      if k + 1 >= attempts then None
+      else begin
+        incr retries;
+        Thread.delay
+          (Float.min 1.0 ((0.05 *. (2. ** float_of_int k)) +. (Rng.float rng *. 0.05)));
+        go (k + 1)
+      end
+    in
+    match shot () with
+    | Some resp when is_busy resp ->
+      incr busy;
+      backoff ()
+    | Some resp -> Some resp
+    | None -> backoff ()
+    | exception Unix.Unix_error _ -> backoff ()
+  in
+  let resp = go 0 in
+  (resp, !retries, !busy)
+
+(* --- chaos mode ------------------------------------------------------------ *)
+
+type chaos_params = {
+  rounds : int;
+  burst : int;
+  stall_ms : float;
+  oversize_bytes : int;
+}
+
+let default_chaos =
+  { rounds = 40; burst = 6; stall_ms = 800.; oversize_bytes = 8192 }
+
+type chaos_report = {
+  c_seed : int;
+  c_jobs : int;
+  c_rounds : int;
+  ok_responses : int;
+  busy_shed : int;
+  c_retries : int;
+  aborts_sent : int;
+  partial_writes : int;
+  malformed_sent : int;
+  oversized_sent : int;
+  slow_requests : int;
+  stalls_sent : int;
+  read_timeouts_seen : int;
+  c_bursts : int;
+  c_errors : int;
+  c_mismatches : int;
+  c_elapsed_s : float;
+}
+
+(* every adversarial client shape the daemon must survive *)
+type scenario =
+  | Normal
+  | Partial_disconnect
+  | Abort_before_read
+  | Malformed
+  | Oversized
+  | Slow_ok
+  | Stall
+  | Burst
+
+let all_scenarios =
+  [| Normal; Partial_disconnect; Abort_before_read; Malformed; Oversized;
+     Slow_ok; Stall; Burst |]
+
+let chaos ?dump ?(params = default_chaos) ~target ~seed () =
+  ignore_sigpipe ();
+  let rng = Rng.create seed in
+  let pool = Array.of_list smoke_pool in
+  let started = Unix.gettimeofday () in
+  (* shared across burst threads, hence the lock *)
+  let lock = Mutex.create () in
+  let ok_responses = ref 0 and busy_shed = ref 0 and retries = ref 0 in
+  let aborts_sent = ref 0 and partial_writes = ref 0 in
+  let malformed_sent = ref 0 and oversized_sent = ref 0 in
+  let slow_requests = ref 0 and stalls_sent = ref 0 in
+  let read_timeouts_seen = ref 0 and bursts = ref 0 in
+  let errors = ref 0 and mismatches = ref 0 in
+  let seen : (string, string) Hashtbl.t = Hashtbl.create 32 in
+  let keys : (string, string) Hashtbl.t = Hashtbl.create 32 in
+  let sync f =
+    Mutex.lock lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+  in
+  let record line resp =
+    match parse_response resp with
+    | Error _ -> sync (fun () -> incr errors)
+    | Ok (ok, _cached, key, result) ->
+      sync (fun () ->
+          if ok then incr ok_responses else incr errors;
+          (match key with
+           | Some k -> Hashtbl.replace keys line k
+           | None -> ());
+          match result with
+          | Some r -> (
+              match Hashtbl.find_opt seen line with
+              | None -> Hashtbl.add seen line r
+              | Some first ->
+                if not (String.equal first r) then incr mismatches)
+          | None -> ())
+  in
+  let shoot_with_retry rng' line =
+    let resp, r, b = with_retry rng' (fun () -> one_shot target line) in
+    sync (fun () ->
+        retries := !retries + r;
+        busy_shed := !busy_shed + b);
+    match resp with
+    | Some resp -> record line resp
+    | None -> sync (fun () -> incr errors)
+  in
+  let run_scenario = function
+    | Normal -> shoot_with_retry rng (Rng.pick rng pool)
+    | Partial_disconnect -> (
+        (* half a request, then vanish: the daemon's read deadline (or our
+           close) must reclaim the worker without collateral damage *)
+        let line = Rng.pick rng pool in
+        let half = String.sub line 0 (String.length line / 2) in
+        incr partial_writes;
+        match connect target with
+        | fd ->
+          (try send_all fd half with Peer_gone -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ())
+        | exception Unix.Unix_error _ -> incr errors)
+    | Abort_before_read -> (
+        (* full request, but hang up before the response: exercises the
+           daemon's EPIPE containment on the write side *)
+        let line = Rng.pick rng pool in
+        incr aborts_sent;
+        match connect target with
+        | fd ->
+          (try send_all fd (line ^ "\n") with Peer_gone -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ())
+        | exception Unix.Unix_error _ -> incr errors)
+    | Malformed -> (
+        (* a busy daemon may shed the connection before ever parsing the
+           frame — R013 is retriable by contract, so retry through it and
+           judge only the answer the frame itself earns *)
+        incr malformed_sent;
+        let resp, r, b =
+          with_retry rng (fun () -> one_shot target {|{"op": |})
+        in
+        sync (fun () ->
+            retries := !retries + r;
+            busy_shed := !busy_shed + b);
+        match resp with
+        | Some resp ->
+          if error_code resp <> Some "R010" then incr errors
+        | None -> incr errors)
+    | Oversized -> (
+        (* a newline-free flood; SHUTDOWN_SEND afterwards so a daemon with
+           a larger cap sees EOF instead of waiting out its deadline.
+           Acceptable outcomes: R015, or a quiet close. *)
+        incr oversized_sent;
+        match connect target with
+        | fd ->
+          Fun.protect
+            ~finally:(fun () ->
+                try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+               (try
+                  send_all fd (String.make params.oversize_bytes 'a');
+                  Unix.shutdown fd Unix.SHUTDOWN_SEND
+                with Peer_gone | Unix.Unix_error _ -> ());
+               match recv_line fd with
+               | Some resp ->
+                 if is_busy resp then incr busy_shed
+                 else if error_code resp <> Some "R015" then incr errors
+               | None -> ())
+        | exception Unix.Unix_error _ -> incr errors)
+    | Slow_ok -> (
+        (* a legitimate but slow client: three chunks inside the deadline
+           must still be served, and served correctly *)
+        let line = Rng.pick rng pool ^ "\n" in
+        incr slow_requests;
+        match connect target with
+        | fd ->
+          Fun.protect
+            ~finally:(fun () ->
+                try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+               let len = String.length line in
+               let third = max 1 (len / 3) in
+               try
+                 send_all fd (String.sub line 0 third);
+                 Thread.delay 0.03;
+                 send_all fd (String.sub line third third);
+                 Thread.delay 0.03;
+                 send_all fd
+                   (String.sub line (2 * third) (len - (2 * third)));
+                 match recv_line fd with
+                 | Some resp ->
+                   if is_busy resp then incr busy_shed
+                   else record (String.sub line 0 (len - 1)) resp
+                 | None -> incr errors
+               with Peer_gone -> incr errors)
+        | exception Unix.Unix_error _ -> incr errors)
+    | Stall -> (
+        (* a slow-loris: half a request, then silence past the daemon's
+           read deadline.  Acceptable outcomes: R014, or a quiet close
+           (a daemon with a longer deadline sees our EOF instead). *)
+        let line = Rng.pick rng pool in
+        let half = String.sub line 0 (String.length line / 2) in
+        incr stalls_sent;
+        match connect target with
+        | fd ->
+          Fun.protect
+            ~finally:(fun () ->
+                try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+               (try send_all fd half with Peer_gone -> ());
+               Thread.delay (params.stall_ms /. 1000.);
+               (try Unix.shutdown fd Unix.SHUTDOWN_SEND
+                with Unix.Unix_error _ -> ());
+               match recv_line fd with
+               | Some resp ->
+                 if error_code resp = Some "R014" then
+                   incr read_timeouts_seen
+                 else if not (is_busy resp) then incr errors
+               | None -> ())
+        | exception Unix.Unix_error _ -> incr errors)
+    | Burst ->
+      (* concurrent pressure: [burst] clients at once, each retrying
+         through any shed.  Lines and per-thread rngs are drawn before
+         spawning so the schedule stays seeded. *)
+      incr bursts;
+      let work =
+        Array.init params.burst (fun _ -> (Rng.pick rng pool, Rng.split rng))
+      in
+      let threads =
+        Array.map
+          (fun (line, rng') ->
+             Thread.create (fun () -> shoot_with_retry rng' line) ())
+          work
+      in
+      Array.iter Thread.join threads
+  in
+  for round = 0 to params.rounds - 1 do
+    (* one guaranteed visit of each scenario, then seeded draws *)
+    let s =
+      if round < Array.length all_scenarios then all_scenarios.(round)
+      else Rng.pick rng all_scenarios
+    in
+    run_scenario s
+  done;
+  (* the daemon must still be fully alive: a served ping and stats are the
+     liveness assertion the whole mode exists for (retrying through any
+     leftover congestion from the last rounds) *)
+  let live line =
+    let resp, r, b = with_retry rng (fun () -> one_shot target line) in
+    sync (fun () ->
+        retries := !retries + r;
+        busy_shed := !busy_shed + b);
+    match resp with
+    | Some resp when error_code resp = None -> ()
+    | _ -> incr errors
+  in
+  live {|{"op": "ping"}|};
+  live {|{"op": "stats"}|};
+  (* final sequential pool pass: the post-chaos cache must answer every
+     pool request, byte-identical to what chaos rounds observed — and the
+     dump makes it diffable against a chaos-free run *)
+  Array.iter (fun line -> shoot_with_retry rng line) pool;
+  (match dump with
+   | None -> ()
+   | Some oc ->
+     Array.iter
+       (fun line ->
+          let key = Option.value ~default:"-" (Hashtbl.find_opt keys line) in
+          let result =
+            Option.value ~default:"-" (Hashtbl.find_opt seen line)
+          in
+          Printf.fprintf oc "%s %s\n" key result)
+       pool;
+     flush oc);
+  {
+    c_seed = seed;
+    c_jobs = Ucfg_exec.Exec.jobs ();
+    c_rounds = params.rounds;
+    ok_responses = !ok_responses;
+    busy_shed = !busy_shed;
+    c_retries = !retries;
+    aborts_sent = !aborts_sent;
+    partial_writes = !partial_writes;
+    malformed_sent = !malformed_sent;
+    oversized_sent = !oversized_sent;
+    slow_requests = !slow_requests;
+    stalls_sent = !stalls_sent;
+    read_timeouts_seen = !read_timeouts_seen;
+    c_bursts = !bursts;
+    c_errors = !errors;
+    c_mismatches = !mismatches;
+    c_elapsed_s = Unix.gettimeofday () -. started;
+  }
+
+let chaos_ok r = r.c_errors = 0 && r.c_mismatches = 0
+
+let chaos_to_text r =
+  String.concat "\n"
+    [
+      Printf.sprintf "bombard --chaos: seed=%d jobs=%d rounds=%d" r.c_seed
+        r.c_jobs r.c_rounds;
+      Printf.sprintf
+        "  sent: %d partial, %d aborts, %d malformed, %d oversized, %d \
+         slow, %d stalls, %d bursts"
+        r.partial_writes r.aborts_sent r.malformed_sent r.oversized_sent
+        r.slow_requests r.stalls_sent r.c_bursts;
+      Printf.sprintf
+        "  observed: %d ok, %d busy-shed (R013), %d read-timeouts (R014), \
+         %d retries"
+        r.ok_responses r.busy_shed r.read_timeouts_seen r.c_retries;
+      Printf.sprintf "  elapsed: %.2f s" r.c_elapsed_s;
+      Printf.sprintf "  errors: %d, result mismatches: %d (%s)" r.c_errors
+        r.c_mismatches
+        (if chaos_ok r then "survival: ok" else "SURVIVAL: FAILED");
+    ]
+
+let chaos_to_json r =
+  Json.to_string
+    (Json.Obj
+       [ ("mode", Json.Str "chaos");
+         ("seed", Json.Int r.c_seed);
+         ("jobs", Json.Int r.c_jobs);
+         ("rounds", Json.Int r.c_rounds);
+         ("ok_responses", Json.Int r.ok_responses);
+         ("busy_shed", Json.Int r.busy_shed);
+         ("retries", Json.Int r.c_retries);
+         ("aborts_sent", Json.Int r.aborts_sent);
+         ("partial_writes", Json.Int r.partial_writes);
+         ("malformed_sent", Json.Int r.malformed_sent);
+         ("oversized_sent", Json.Int r.oversized_sent);
+         ("slow_requests", Json.Int r.slow_requests);
+         ("stalls_sent", Json.Int r.stalls_sent);
+         ("read_timeouts_seen", Json.Int r.read_timeouts_seen);
+         ("bursts", Json.Int r.c_bursts);
+         ("errors", Json.Int r.c_errors);
+         ("mismatches", Json.Int r.c_mismatches);
+         ("elapsed_s", Json.Float r.c_elapsed_s);
+         ("survival", Json.Str (if chaos_ok r then "ok" else "failed")) ])
+
+(* --- concurrent clients ---------------------------------------------------- *)
+
+let concurrent_run ?dump ~profile ~seed ~requests ~clients target =
+  ignore_sigpipe ();
+  let pool = Array.of_list (pool_of profile) in
+  let lock = Mutex.create () in
+  let seen : (string, string) Hashtbl.t = Hashtbl.create 32 in
+  let keys : (string, string) Hashtbl.t = Hashtbl.create 32 in
+  let errors = ref 0 and mismatches = ref 0 in
+  let sync f =
+    Mutex.lock lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+  in
+  (* one persistent connection per client thread; busy sheds retried.
+     The daemon closes a connection it sheds (R013) or loses, so the
+     persistent fd is poisoned the moment an attempt fails — replace it
+     before the next attempt instead of retrying into a closed socket. *)
+  let shoot rng' fdr line =
+    let t0 = Unix.gettimeofday () in
+    let stale = ref false in
+    let resp, _, _ =
+      with_retry rng' (fun () ->
+          if !stale then begin
+            (try Unix.close !fdr with Unix.Unix_error _ -> ());
+            fdr := connect target;
+            stale := false
+          end;
+          match send_all !fdr (line ^ "\n") with
+          | () -> (
+              match recv_line !fdr with
+              | Some r when is_busy r ->
+                stale := true;
+                Some r
+              | other ->
+                if other = None then stale := true;
+                other)
+          | exception Peer_gone ->
+            stale := true;
+            None)
+    in
+    let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    match resp with
+    | None ->
+      sync (fun () -> incr errors);
+      (ms, false)
+    | Some resp -> (
+        match parse_response resp with
+        | Error _ ->
+          sync (fun () -> incr errors);
+          (ms, false)
+        | Ok (ok, cached, key, result) ->
+          sync (fun () ->
+              if not ok then incr errors;
+              (match key with
+               | Some k -> Hashtbl.replace keys line k
+               | None -> ());
+              match result with
+              | Some r -> (
+                  match Hashtbl.find_opt seen line with
+                  | None -> Hashtbl.add seen line r
+                  | Some first ->
+                    if not (String.equal first r) then incr mismatches)
+              | None -> ());
+          (ms, cached))
+  in
+  let started = Unix.gettimeofday () in
+  (* cold: sequential, one connection, pool order — populates the cache *)
+  let rng = Rng.create seed in
+  let cold_lat = ref [] and cold_hits = ref 0 in
+  let fdr = ref (connect target) in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close !fdr with Unix.Unix_error _ -> ())
+    (fun () ->
+       Array.iter
+         (fun line ->
+            let ms, cached = shoot rng fdr line in
+            cold_lat := ms :: !cold_lat;
+            if cached then incr cold_hits)
+         pool);
+  (* warm: [clients] threads, each with its own connection and seeded
+     stream, draws split evenly (remainder to the first threads) *)
+  let clients = max 1 clients in
+  let warm_lat = ref [] and warm_hits = ref 0 in
+  let worker i rng' =
+    let mine = (requests / clients) + (if i < requests mod clients then 1 else 0) in
+    let fdr = ref (connect target) in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close !fdr with Unix.Unix_error _ -> ())
+      (fun () ->
+         for _ = 1 to mine do
+           let line = Rng.pick rng' pool in
+           let ms, cached = shoot rng' fdr line in
+           sync (fun () ->
+               warm_lat := ms :: !warm_lat;
+               if cached then incr warm_hits)
+         done)
+  in
+  let threads =
+    List.init clients (fun i ->
+        let rng' = Rng.split rng in
+        Thread.create (fun () -> worker i rng') ())
+  in
+  List.iter Thread.join threads;
+  let elapsed_s = Unix.gettimeofday () -. started in
+  (match dump with
+   | None -> ()
+   | Some oc ->
+     Array.iter
+       (fun line ->
+          let key = Option.value ~default:"-" (Hashtbl.find_opt keys line) in
+          let result =
+            Option.value ~default:"-" (Hashtbl.find_opt seen line)
+          in
+          Printf.fprintf oc "%s %s\n" key result)
+       pool;
+     flush oc);
+  let total = Array.length pool + requests in
+  {
+    profile;
+    seed;
+    jobs = Ucfg_exec.Exec.jobs ();
+    distinct = Array.length pool;
+    requests;
+    cold = phase_of !cold_lat !cold_hits;
+    warm = phase_of !warm_lat !warm_hits;
+    warm_hit_ratio =
+      (if requests = 0 then 0.
+       else float_of_int !warm_hits /. float_of_int requests);
+    elapsed_s;
+    throughput_rps =
+      (if elapsed_s > 0. then float_of_int total /. elapsed_s else 0.);
+    errors = !errors;
+    mismatches = !mismatches;
+  }
+
 let to_text r =
   String.concat "\n"
     [

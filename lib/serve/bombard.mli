@@ -67,3 +67,99 @@ val ok : report -> bool
 val to_text : report -> string
 
 val to_json : report -> string
+
+(** {2 Socket-level clients}
+
+    The modes below talk to a {e real} daemon over a socket (SIGPIPE is
+    ignored process-wide on entry: a dead daemon must fail the gate, not
+    kill the client). *)
+
+type target = Unix_path of string | Tcp_port of int
+
+(** [one_shot target line] — connect, send one request line, read one
+    response line, close.  [None] on EOF, reset, or [timeout] (default
+    60 s — a backstop against a wedged daemon, not a measurement). *)
+val one_shot : ?timeout:float -> target -> string -> string option
+
+(** {2 Chaos mode}
+
+    Seeded socket-level adversity: every round plays one client shape —
+    normal (with retry), partial-write-then-disconnect, full-request-
+    then-abort-before-read, malformed frame, oversized newline-free
+    frame, slow-but-legitimate chunked writer, slow-loris stall past the
+    read deadline, and a [burst] of concurrent clients retrying through
+    shed.  The first rounds visit each shape once; the rest are seeded
+    draws.  After the rounds the daemon must still serve [ping] and
+    [stats], and a final sequential pool pass must answer every request
+    byte-identically to what the chaos rounds observed ([dump] writes
+    the same ["<key> <result>"] transcript as {!run}, so it diffs
+    against a chaos-free run).
+
+    An error is a protocol violation: a missing or non-matching answer
+    where one was required (R013 busy answers are retried, never errors;
+    R014/R015 are the {e expected} answers to stalls and floods). *)
+
+type chaos_params = {
+  rounds : int;  (** total scenario rounds (default 40) *)
+  burst : int;  (** concurrent clients per burst round (default 6) *)
+  stall_ms : float;  (** slow-loris silence; set above the daemon's
+                         [--idle-timeout-ms] to see R014 (default 800) *)
+  oversize_bytes : int;  (** newline-free flood; set above the daemon's
+                             [--max-request-bytes] to see R015 (default
+                             8192) *)
+}
+
+val default_chaos : chaos_params
+
+type chaos_report = {
+  c_seed : int;
+  c_jobs : int;
+  c_rounds : int;
+  ok_responses : int;
+  busy_shed : int;  (** R013 responses observed (all retried) *)
+  c_retries : int;
+  aborts_sent : int;
+  partial_writes : int;
+  malformed_sent : int;
+  oversized_sent : int;
+  slow_requests : int;
+  stalls_sent : int;
+  read_timeouts_seen : int;  (** R014 responses observed *)
+  c_bursts : int;
+  c_errors : int;
+  c_mismatches : int;
+  c_elapsed_s : float;
+}
+
+val chaos :
+  ?dump:out_channel ->
+  ?params:chaos_params ->
+  target:target ->
+  seed:int ->
+  unit ->
+  chaos_report
+
+(** [chaos_ok r] — the daemon survived: no protocol violations, no
+    result mismatches. *)
+val chaos_ok : chaos_report -> bool
+
+val chaos_to_text : chaos_report -> string
+val chaos_to_json : chaos_report -> string
+
+(** {2 Concurrent clients}
+
+    [concurrent_run ~profile ~seed ~requests ~clients target] is {!run}
+    with the warm phase fanned over [clients] threads, each on its own
+    persistent connection with its own seeded stream ([requests] split
+    evenly); the cold phase stays sequential on one connection.  R013
+    sheds are retried with the reference backoff.  Same report and
+    [dump] semantics as {!run} — in particular the dump diffs against a
+    serial run's, which is the concurrency gate. *)
+val concurrent_run :
+  ?dump:out_channel ->
+  profile:string ->
+  seed:int ->
+  requests:int ->
+  clients:int ->
+  target ->
+  report

@@ -17,6 +17,7 @@ type t = {
   mutable stores : int;
   mutable evictions : int;
   mutable disk_evictions : int;
+  mutable closed : bool;
 }
 
 type lookup = Memory of string | Disk of string | Miss | Corrupt
@@ -52,6 +53,7 @@ let create ?(mem_capacity = 512) ?disk_max_bytes ?dir () =
     stores = 0;
     evictions = 0;
     disk_evictions = 0;
+    closed = false;
   }
 
 let dir t = t.dir
@@ -247,7 +249,7 @@ let lookup t key =
   match mem with
   | Some v -> Memory v
   | None -> (
-      match entry_path t key with
+      match (if t.closed then None else entry_path t key) with
       | None ->
         locked t (fun () -> t.misses <- t.misses + 1);
         Miss
@@ -268,14 +270,22 @@ let lookup t key =
 
 let store t key payload =
   check_key key;
-  locked t (fun () ->
-      t.stores <- t.stores + 1;
-      insert_locked t key payload);
-  match entry_path t key with
-  | None -> ()
-  | Some path ->
-    write_disk path payload;
-    enforce_disk_cap t
+  let closed =
+    locked t (fun () ->
+        if not t.closed then begin
+          t.stores <- t.stores + 1;
+          insert_locked t key payload
+        end;
+        t.closed)
+  in
+  if not closed then
+    match entry_path t key with
+    | None -> ()
+    | Some path ->
+      write_disk path payload;
+      enforce_disk_cap t
+
+let close t = locked t (fun () -> t.closed <- true)
 
 let stats t =
   locked t (fun () ->

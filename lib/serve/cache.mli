@@ -64,6 +64,14 @@ type stats = {
 
 val stats : t -> stats
 
+(** [close t] quiesces the cache for shutdown: subsequent {!store}s are
+    dropped (no new disk writes begin) and {!lookup}s stop touching the
+    disk tier (memory hits still serve).  Disk writes already in flight
+    finish or lose their temp file — the store's atomic-rename discipline
+    means a racing writer can never leave a partial entry.  Idempotent;
+    safe to call while workers still hold the cache. *)
+val close : t -> unit
+
 (** [entry_path t key] is the disk path the entry lives at (diagnostics,
     tests), when the disk tier is enabled. *)
 val entry_path : t -> string -> string option

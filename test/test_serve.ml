@@ -409,7 +409,8 @@ let test_server_unix_socket_safety () =
     output_string oc "precious bytes";
     close_out oc;
     (match Server.run_unix srv ~path:file_path with
-     | () -> Alcotest.fail "expected a refusal on a regular file"
+     | Server.Drained | Server.Forced _ ->
+       Alcotest.fail "expected a refusal on a regular file"
      | exception Failure _ -> ());
     let ic = open_in file_path in
     let survived = really_input_string ic (in_channel_length ic) in
@@ -425,7 +426,8 @@ let test_server_unix_socket_safety () =
       ~finally:(fun () -> try Unix.close listener with Unix.Unix_error _ -> ())
       (fun () ->
          (match Server.run_unix srv ~path:sock_path with
-          | () -> Alcotest.fail "expected a refusal on a live socket"
+          | Server.Drained | Server.Forced _ ->
+            Alcotest.fail "expected a refusal on a live socket"
           | exception Failure _ -> ());
          Alcotest.(check bool) "live socket not unlinked" true
            (Sys.file_exists sock_path)))
@@ -518,6 +520,497 @@ let test_server_no_cache_flag () =
   Alcotest.(check string) "recomputation is deterministic" (result_bytes a)
     (result_bytes b)
 
+(* --- concurrent daemon ---------------------------------------------------- *)
+
+(* Boot a real daemon on a unix socket in a background thread, run [f]
+   against it, then drain and join.  [f] receives the server (for stats
+   or targeted drains) and the socket path.  Returns the drain outcome. *)
+let with_daemon ?max_connections ?queue_capacity ?idle_timeout_ms
+    ?max_request_bytes ?drain_timeout_ms f =
+  with_temp_dir (fun dir ->
+    Unix.mkdir dir 0o700;
+    let path = Filename.concat dir "daemon.sock" in
+    let srv =
+      Server.create ~cache_dir:None ?max_connections ?queue_capacity
+        ?idle_timeout_ms ?max_request_bytes ?drain_timeout_ms ()
+    in
+    let outcome = ref None in
+    let th =
+      Thread.create (fun () -> outcome := Some (Server.run_unix srv ~path)) ()
+    in
+    let rec await_up n =
+      if n > 1000 then Alcotest.fail "daemon did not come up"
+      else if not (Sys.file_exists path) then begin
+        Thread.delay 0.005;
+        await_up (n + 1)
+      end
+    in
+    await_up 0;
+    Fun.protect
+      ~finally:(fun () ->
+          Server.request_drain srv;
+          Thread.join th)
+      (fun () -> f srv path);
+    match !outcome with
+    | Some o -> o
+    | None -> Alcotest.fail "daemon thread died without an outcome")
+
+(* a client connection with a persistent read buffer: responses to
+   pipelined requests can arrive many-per-read, so leftover bytes must
+   survive between [recv_resp] calls *)
+type conn = { fd : Unix.file_descr; mutable left : string }
+
+let connect_unix path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  { fd; left = "" }
+
+let send_raw c s = ignore (Unix.write_substring c.fd s 0 (String.length s))
+
+(* read one response line off [c], waiting up to [timeout]; None on EOF *)
+let recv_resp ?(timeout = 30.) c =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let b = Bytes.create 4096 in
+  let take () =
+    match String.index_opt c.left '\n' with
+    | None -> None
+    | Some i ->
+      let line = String.sub c.left 0 i in
+      c.left <- String.sub c.left (i + 1) (String.length c.left - i - 1);
+      Some line
+  in
+  let rec go () =
+    match take () with
+    | Some line -> Some line
+    | None -> (
+        let remaining = deadline -. Unix.gettimeofday () in
+        if remaining <= 0. then
+          Alcotest.fail "timed out waiting for a response"
+        else
+          match Unix.select [ c.fd ] [] [] remaining with
+          | [], _, _ -> go ()
+          | _ -> (
+              match Unix.read c.fd b 0 (Bytes.length b) with
+              | 0 -> None
+              | n ->
+                c.left <- c.left ^ Bytes.sub_string b 0 n;
+                go ()
+              | exception
+                  Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+                None))
+  in
+  go ()
+
+let close_quiet c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let error_code_of line =
+  let v = json_of line in
+  match Json.member "error" v with
+  | None -> None
+  | Some err -> Some (get_str "code" err)
+
+let test_server_parallel_clients_byte_identical () =
+  (* byte-identity gate: N concurrent clients hammering the same pool get
+     exactly the bytes a serial in-process baseline computes *)
+  let reqs =
+    [|
+      {|{"op": "ambiguity", "kind": "log", "n": 3}|};
+      {|{"op": "rank", "kind": "log", "n": 3}|};
+      {|{"op": "lint", "kind": "example4", "n": 3}|};
+    |]
+  in
+  let baseline_srv = Server.create ~cache_dir:None () in
+  let baseline =
+    Array.map (fun r -> result_bytes (Server.handle_line baseline_srv r)) reqs
+  in
+  ignore
+    (* queue headroom over the client count: admission is racy (workers
+       may not have popped yet when the last client lands), and this
+       test is about byte identity, not shedding *)
+    (with_daemon ~max_connections:4 ~queue_capacity:8 (fun _srv path ->
+         let errors = Atomic.make 0 and mismatches = Atomic.make 0 in
+         let client () =
+           let fd = connect_unix path in
+           Fun.protect
+             ~finally:(fun () -> close_quiet fd)
+             (fun () ->
+                Array.iteri
+                  (fun i r ->
+                     send_raw fd (r ^ "\n");
+                     match recv_resp fd with
+                     | None -> Atomic.incr errors
+                     | Some resp ->
+                       if not (get_bool "ok" (json_of resp)) then
+                         Atomic.incr errors
+                       else if
+                         not (String.equal (result_bytes resp) baseline.(i))
+                       then Atomic.incr mismatches)
+                  reqs)
+         in
+         let threads = List.init 6 (fun _ -> Thread.create client ()) in
+         List.iter Thread.join threads;
+         Alcotest.(check int) "no client errors" 0 (Atomic.get errors);
+         Alcotest.(check int) "no byte mismatches vs serial baseline" 0
+           (Atomic.get mismatches)))
+
+let test_server_pipelined_in_order () =
+  (* several requests written back-to-back on one connection come back in
+     request order, one response per request *)
+  ignore
+    (with_daemon (fun _srv path ->
+         let fd = connect_unix path in
+         Fun.protect
+           ~finally:(fun () -> close_quiet fd)
+           (fun () ->
+              let lines =
+                List.init 5 (fun i ->
+                    Printf.sprintf {|{"op": "ping", "id": %d}|} i)
+              in
+              send_raw fd (String.concat "\n" lines ^ "\n");
+              List.iteri
+                (fun i _ ->
+                   match recv_resp fd with
+                   | None -> Alcotest.fail "connection closed mid-pipeline"
+                   | Some resp ->
+                     Alcotest.(check int)
+                       (Printf.sprintf "response %d in order" i)
+                       i
+                       (get_int "id" (json_of resp)))
+                lines)))
+
+let test_server_slow_client_isolation () =
+  (* a stalled client on one worker must not delay a fast client on
+     another: the ping must answer while the stall is still pending *)
+  ignore
+    (with_daemon ~max_connections:2 ~idle_timeout_ms:10_000. (fun _srv path ->
+         let slow = connect_unix path in
+         Fun.protect
+           ~finally:(fun () -> close_quiet slow)
+           (fun () ->
+              send_raw slow {|{"op": "pi|};
+              (* half a request: the worker is now blocked reading *)
+              Thread.delay 0.05;
+              let fd = connect_unix path in
+              Fun.protect
+                ~finally:(fun () -> close_quiet fd)
+                (fun () ->
+                   let t0 = Unix.gettimeofday () in
+                   send_raw fd "{\"op\": \"ping\"}\n";
+                   match recv_resp fd with
+                   | None -> Alcotest.fail "fast client got no response"
+                   | Some resp ->
+                     let elapsed = Unix.gettimeofday () -. t0 in
+                     Alcotest.(check bool) "ping ok" true
+                       (get_bool "ok" (json_of resp));
+                     Alcotest.(check bool)
+                       "fast client not delayed by the stalled one" true
+                       (elapsed < 5.)))))
+
+let test_server_shed_r013 () =
+  (* one worker, one queue slot: the third concurrent connection must be
+     shed immediately with the retriable R013 *)
+  ignore
+    (with_daemon ~max_connections:1 ~queue_capacity:1
+       ~idle_timeout_ms:10_000. (fun srv path ->
+         let a = connect_unix path in
+         Thread.delay 0.1;
+         (* a occupies the worker; b fills the queue slot *)
+         let b = connect_unix path in
+         Thread.delay 0.1;
+         let c = connect_unix path in
+         Fun.protect
+           ~finally:(fun () ->
+               close_quiet a;
+               close_quiet b;
+               close_quiet c)
+           (fun () ->
+              (match recv_resp c with
+               | None -> Alcotest.fail "shed connection got no R013 response"
+               | Some resp ->
+                 Alcotest.(check (option string)) "R013 on shed"
+                   (Some "R013") (error_code_of resp);
+                 let err = member_exn "error" (json_of resp) in
+                 Alcotest.(check int) "retriable exit code" 75
+                   (get_int "exit_code" err);
+                 (* after the refusal the daemon closes the connection *)
+                 Alcotest.(check bool) "shed connection closed" true
+                   (recv_resp c = None));
+              (* freeing the worker lets the queued connection be served *)
+              close_quiet a;
+              send_raw b "{\"op\": \"ping\"}\n";
+              (match recv_resp b with
+               | None -> Alcotest.fail "queued connection never served"
+               | Some resp ->
+                 Alcotest.(check bool) "queued connection served" true
+                   (get_bool "ok" (json_of resp)));
+              (* the daemon's own books agree *)
+              let stats = json_of (Server.handle_line srv {|{"op":"stats"}|}) in
+              let result = member_exn "result" stats in
+              Alcotest.(check bool) "shed counted" true
+                (get_int "shed" result >= 1))))
+
+let test_server_read_deadline_r014 () =
+  (* slow-loris: half a request then silence must get R014 within the
+     deadline (not hang a worker forever), then a close *)
+  ignore
+    (with_daemon ~idle_timeout_ms:200. (fun srv path ->
+         let fd = connect_unix path in
+         Fun.protect
+           ~finally:(fun () -> close_quiet fd)
+           (fun () ->
+              send_raw fd {|{"op": "lint", "kind|};
+              (match recv_resp fd with
+               | None -> Alcotest.fail "expected an R014 response"
+               | Some resp ->
+                 Alcotest.(check (option string)) "R014 on stalled request"
+                   (Some "R014") (error_code_of resp);
+                 let err = member_exn "error" (json_of resp) in
+                 Alcotest.(check int) "retriable exit code" 75
+                   (get_int "exit_code" err);
+                 Alcotest.(check bool) "connection closed after R014" true
+                   (recv_resp fd = None));
+              let stats = json_of (Server.handle_line srv {|{"op":"stats"}|}) in
+              Alcotest.(check bool) "read timeout counted" true
+                (get_int "read_timeouts" (member_exn "result" stats) >= 1))))
+
+let test_server_oversized_r015 () =
+  ignore
+    (with_daemon ~max_request_bytes:100 (fun _srv path ->
+         let fd = connect_unix path in
+         Fun.protect
+           ~finally:(fun () -> close_quiet fd)
+           (fun () ->
+              send_raw fd (String.make 300 'a');
+              match recv_resp fd with
+              | None -> Alcotest.fail "expected an R015 response"
+              | Some resp ->
+                Alcotest.(check (option string)) "R015 on oversized frame"
+                  (Some "R015") (error_code_of resp);
+                Alcotest.(check bool) "connection closed after R015" true
+                  (recv_resp fd = None))));
+  (* a COMPLETE oversized line delivered in one write must be capped
+     too — the newline must not let the frame outrun the size check *)
+  ignore
+    (with_daemon ~max_request_bytes:100 (fun _srv path ->
+         let fd = connect_unix path in
+         Fun.protect
+           ~finally:(fun () -> close_quiet fd)
+           (fun () ->
+              send_raw fd
+                ("{\"op\": \"ping\", \"pad\": \"" ^ String.make 300 'x'
+               ^ "\"}\n");
+              match recv_resp fd with
+              | None -> Alcotest.fail "expected an R015 response"
+              | Some resp ->
+                Alcotest.(check (option string))
+                  "R015 on complete oversized line" (Some "R015")
+                  (error_code_of resp))));
+  (* a request within the cap on the same daemon settings still serves *)
+  ignore
+    (with_daemon ~max_request_bytes:100 (fun _srv path ->
+         let fd = connect_unix path in
+         Fun.protect
+           ~finally:(fun () -> close_quiet fd)
+           (fun () ->
+              send_raw fd "{\"op\": \"ping\"}\n";
+              match recv_resp fd with
+              | None -> Alcotest.fail "small request unserved"
+              | Some resp ->
+                Alcotest.(check bool) "within-cap request ok" true
+                  (get_bool "ok" (json_of resp)))))
+
+let test_server_client_abort_contained () =
+  (* a client that sends a request and hangs up before reading must cost
+     only its own connection — the daemon keeps serving *)
+  ignore
+    (with_daemon (fun _srv path ->
+         for _ = 1 to 5 do
+           let fd = connect_unix path in
+           send_raw fd "{\"op\": \"ambiguity\", \"kind\": \"log\", \"n\": 4}\n";
+           close_quiet fd
+         done;
+         (* the daemon must still answer — R013 while it digests the
+            aborted requests is fine (retriable by contract), anything
+            else is not *)
+         let deadline = Unix.gettimeofday () +. 30. in
+         let rec ping () =
+           let fd = connect_unix path in
+           let answer =
+             Fun.protect
+               ~finally:(fun () -> close_quiet fd)
+               (fun () ->
+                  send_raw fd "{\"op\": \"ping\"}\n";
+                  recv_resp fd)
+           in
+           match answer with
+           | Some resp when get_bool "ok" (json_of resp) -> ()
+           | Some resp
+             when error_code_of resp = Some "R013"
+                  && Unix.gettimeofday () < deadline ->
+             Thread.delay 0.1;
+             ping ()
+           | Some resp ->
+             Alcotest.failf "daemon unhealthy after client aborts: %s" resp
+           | None -> Alcotest.fail "daemon died after client aborts"
+         in
+         ping ()))
+
+let test_server_drain_completes_inflight () =
+  (* a drain that arrives while a request is in flight: the request is
+     answered (ok, or R003 if the drain had to cancel it), the daemon
+     never wedges, and the loop returns Drained *)
+  let got = ref None in
+  let outcome =
+    with_daemon ~drain_timeout_ms:10_000. (fun srv path ->
+        let client =
+          Thread.create
+            (fun () ->
+               let fd = connect_unix path in
+               Fun.protect
+                 ~finally:(fun () -> close_quiet fd)
+                 (fun () ->
+                    send_raw fd
+                      "{\"op\": \"lint\", \"semantic\": true, \"kind\": \
+                       \"log\", \"n\": 6}\n";
+                    got := recv_resp fd))
+            ()
+        in
+        Thread.delay 0.05;
+        Server.request_drain srv;
+        Thread.join client)
+  in
+  (match outcome with
+   | Server.Drained -> ()
+   | Server.Forced n -> Alcotest.failf "drain forced with %d stuck" n);
+  match !got with
+  | None -> Alcotest.fail "in-flight request lost by the drain"
+  | Some resp ->
+    let v = json_of resp in
+    if get_bool "ok" v then ()
+    else
+      Alcotest.(check (option string)) "cancelled in-flight answers R003"
+        (Some "R003") (error_code_of resp)
+
+let test_server_drain_cancels_stragglers () =
+  (* a request far longer than the drain deadline must be cancelled and
+     answered R003 — drain completes without waiting it out *)
+  let got = ref None in
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    with_daemon ~drain_timeout_ms:50. (fun srv path ->
+        let client =
+          Thread.create
+            (fun () ->
+               let fd = connect_unix path in
+               Fun.protect
+                 ~finally:(fun () -> close_quiet fd)
+                 (fun () ->
+                    (* no timeout_ms: only cancellation can stop this one;
+                       rectangles at this size outlives the 50 ms drain
+                       deadline and polls its guard as it enumerates *)
+                    send_raw fd
+                      "{\"op\": \"rectangles\", \"kind\": \"log\", \"n\": \
+                       10}\n";
+                    got := recv_resp fd))
+            ()
+        in
+        Thread.delay 0.05;
+        Server.request_drain srv;
+        Thread.join client)
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (match outcome with
+   | Server.Drained -> ()
+   | Server.Forced n -> Alcotest.failf "drain forced with %d stuck" n);
+  Alcotest.(check bool) "drain did not wait out the computation" true
+    (elapsed < 20.);
+  match !got with
+  | None -> Alcotest.fail "cancelled request got no response"
+  | Some resp ->
+    let v = json_of resp in
+    if get_bool "ok" v then ()  (* finished under the wire: acceptable *)
+    else begin
+      Alcotest.(check (option string)) "straggler answers R003" (Some "R003")
+        (error_code_of resp);
+      Alcotest.(check int) "guard-trip exit code" 124
+        (get_int "exit_code" (member_exn "error" (json_of resp)))
+    end
+
+let test_server_stats_concurrency_fields () =
+  let srv = Server.create ~cache_dir:None () in
+  let v = json_of (Server.handle_line srv {|{"op": "stats"}|}) in
+  let result = member_exn "result" v in
+  Alcotest.(check bool) "in_flight counts this request" true
+    (get_int "in_flight" result >= 1);
+  Alcotest.(check bool) "peak tracked" true
+    (get_int "peak_concurrency" result >= 1);
+  Alcotest.(check int) "no sheds yet" 0 (get_int "shed" result);
+  Alcotest.(check int) "no read timeouts yet" 0
+    (get_int "read_timeouts" result);
+  Alcotest.(check int) "no client aborts yet" 0
+    (get_int "client_aborts" result)
+
+(* --- Workq ---------------------------------------------------------------- *)
+
+let test_workq_bounded_and_sheds () =
+  let gate = Mutex.create () in
+  Mutex.lock gate;
+  let done_count = Atomic.make 0 in
+  let wq =
+    Ucfg_exec.Workq.create ~workers:1 ~capacity:1 (fun () ->
+        Mutex.lock gate;
+        Mutex.unlock gate;
+        Atomic.incr done_count)
+  in
+  let rec wait_busy n =
+    if n > 1000 then Alcotest.fail "worker never picked up the item"
+    else if Ucfg_exec.Workq.busy wq = 0 then begin
+      Thread.delay 0.005;
+      wait_busy (n + 1)
+    end
+  in
+  Alcotest.(check bool) "first accepted" true (Ucfg_exec.Workq.push wq ());
+  wait_busy 0;
+  Alcotest.(check bool) "second queued" true (Ucfg_exec.Workq.push wq ());
+  Alcotest.(check bool) "third refused (queue full)" false
+    (Ucfg_exec.Workq.push wq ());
+  Mutex.unlock gate;
+  let deadline = Unix.gettimeofday () +. 5. in
+  Alcotest.(check bool) "drains to idle" true
+    (Ucfg_exec.Workq.await_idle wq ~deadline);
+  Alcotest.(check int) "both accepted items ran" 2 (Atomic.get done_count);
+  Alcotest.(check bool) "push after stop refused" false
+    (let _ = Ucfg_exec.Workq.stop wq in
+     Ucfg_exec.Workq.push wq ());
+  Ucfg_exec.Workq.join wq
+
+let test_workq_stop_returns_queued () =
+  let gate = Mutex.create () in
+  Mutex.lock gate;
+  let wq =
+    Ucfg_exec.Workq.create ~workers:1 ~capacity:4 (fun _ ->
+        Mutex.lock gate;
+        Mutex.unlock gate)
+  in
+  Alcotest.(check bool) "a" true (Ucfg_exec.Workq.push wq 1);
+  let rec wait_busy n =
+    if n > 1000 then Alcotest.fail "worker never started"
+    else if Ucfg_exec.Workq.busy wq = 0 then begin
+      Thread.delay 0.005;
+      wait_busy (n + 1)
+    end
+  in
+  wait_busy 0;
+  Alcotest.(check bool) "b" true (Ucfg_exec.Workq.push wq 2);
+  Alcotest.(check bool) "c" true (Ucfg_exec.Workq.push wq 3);
+  let leftover = Ucfg_exec.Workq.stop wq in
+  Alcotest.(check (list int)) "unstarted items back in order" [ 2; 3 ]
+    leftover;
+  Mutex.unlock gate;
+  Ucfg_exec.Workq.join wq;
+  Alcotest.(check (list int)) "stop idempotent" []
+    (Ucfg_exec.Workq.stop wq)
+
 (* --- Bombard ------------------------------------------------------------- *)
 
 let test_bombard_smoke () =
@@ -586,6 +1079,36 @@ let () =
             test_server_stdin_batch_jobs_invariant;
           Alcotest.test_case "no_cache recomputes deterministically" `Quick
             test_server_no_cache_flag;
+          Alcotest.test_case "stats concurrency fields" `Quick
+            test_server_stats_concurrency_fields;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "parallel clients byte-identical" `Quick
+            test_server_parallel_clients_byte_identical;
+          Alcotest.test_case "pipelined responses in request order" `Quick
+            test_server_pipelined_in_order;
+          Alcotest.test_case "slow client does not delay fast client" `Quick
+            test_server_slow_client_isolation;
+          Alcotest.test_case "overload sheds with R013" `Quick
+            test_server_shed_r013;
+          Alcotest.test_case "read deadline trips R014" `Quick
+            test_server_read_deadline_r014;
+          Alcotest.test_case "oversized request trips R015" `Quick
+            test_server_oversized_r015;
+          Alcotest.test_case "aborting client contained" `Quick
+            test_server_client_abort_contained;
+          Alcotest.test_case "drain completes in-flight" `Quick
+            test_server_drain_completes_inflight;
+          Alcotest.test_case "drain cancels stragglers" `Quick
+            test_server_drain_cancels_stragglers;
+        ] );
+      ( "workq",
+        [
+          Alcotest.test_case "bounded queue sheds" `Quick
+            test_workq_bounded_and_sheds;
+          Alcotest.test_case "stop returns queued items" `Quick
+            test_workq_stop_returns_queued;
         ] );
       ( "bombard",
         [ Alcotest.test_case "in-process smoke" `Quick test_bombard_smoke ] );
